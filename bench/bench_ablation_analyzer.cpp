@@ -1,0 +1,109 @@
+// Ablations of the analyzer's load-bearing design choices (DESIGN.md):
+//
+//  * pending liberations vs most-recent-state-only (the paper's abandoned
+//    one-pass design, section 4);
+//  * the vantage grace window: how long superseded window states may still
+//    explain a send;
+//  * the two-pass sender-window inference: pass 1's max-in-flight cap vs
+//    no cap at all.
+//
+// Metric: spurious window violations on traces of the TRUE implementation
+// (ground truth: there should be none) across host processing delays.
+#include <cstdio>
+
+#include "core/sender_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+std::size_t violations_over_sweep(const core::SenderAnalysisOptions& opts,
+                                  util::Duration proc_delay, bool cap_sender_window) {
+  std::size_t total = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    tcp::SessionConfig cfg = tcp::default_session();
+    cfg.sender_profile = tcp::generic_reno();
+    cfg.receiver_profile = cfg.sender_profile;
+    cfg.sender_proc_delay = proc_delay;
+    cfg.fwd_path.loss_prob = 0.04;
+    if (!cap_sender_window) cfg.sender.send_buffer = 4 * 1024;  // cap in force
+    cfg.seed = seed;
+    auto r = tcp::run_session(cfg);
+    if (!r.completed) continue;
+    total += core::SenderAnalyzer(tcp::generic_reno(), opts)
+                 .analyze(r.sender_trace)
+                 .violations.size();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Analyzer design ablations ==\n\n");
+
+  // ---- liberation bookkeeping x vantage grace ----
+  util::TextTable table({"liberations", "grace", "viol @0.3ms proc", "viol @4ms proc",
+                         "viol @8ms proc"});
+  struct Row {
+    const char* label;
+    bool single;
+    util::Duration grace;
+  } rows[] = {
+      {"most-recent only", true, util::Duration::zero()},
+      {"pending list", false, util::Duration::zero()},
+      {"pending list", false, util::Duration::millis(5)},
+      {"pending list", false, util::Duration::millis(30)},
+      {"pending list", false, util::Duration::millis(100)},
+  };
+  for (const auto& row : rows) {
+    core::SenderAnalysisOptions opts;
+    opts.single_liberation = row.single;
+    opts.vantage_grace = row.grace;
+    std::vector<std::string> cells{row.label,
+                                   util::strf("%ld ms", (long)(row.grace.count() / 1000))};
+    for (long proc_us : {300L, 4000L, 8000L}) {
+      cells.push_back(util::strf(
+          "%zu", violations_over_sweep(opts, util::Duration::micros(proc_us), true)));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("spurious violations on 20 true-profile lossy traces (ground\n"
+              "truth: zero). The pending-liberation list plus a grace window is\n"
+              "what absorbs the filter's vantage point (sections 3.2, 4, 6.1):\n%s\n",
+              table.render().c_str());
+
+  // ---- sender-window inference (pass 1) on a buffer-capped sender ----
+  util::TextTable wtable(
+      {"pass-1 window inference", "violations + lulls (4 KB send buffer)"});
+  for (bool use_cap : {true, false}) {
+    std::size_t total = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      tcp::SessionConfig cfg = tcp::default_session();
+      cfg.sender_profile = tcp::generic_reno();
+      cfg.receiver_profile = cfg.sender_profile;
+      cfg.sender.send_buffer = 4 * 1024;
+      cfg.fwd_path.loss_prob = 0.02;
+      cfg.seed = seed;
+      auto r = tcp::run_session(cfg);
+      core::SenderAnalysisOptions opts;
+      opts.infer_sender_window = use_cap;
+      auto rep = core::SenderAnalyzer(tcp::generic_reno(), opts).analyze(r.sender_trace);
+      // Without the inferred cap the model expects sends the socket buffer
+      // forbids: persistent underuse (lulls), plus any violations.
+      total += rep.violations.size() + rep.lull_count;
+    }
+    wtable.add_row({use_cap ? "enabled (two-pass)" : "DISABLED (one-pass)",
+                    util::strf("%zu", total)});
+  }
+  std::printf(
+      "the two-pass sender-window inference (section 6.2): without pass 1's\n"
+      "max-in-flight cap, a buffer-capped sender looks persistently lazy --\n"
+      "'one basic property tcpanaly needs... is only truly apparent upon\n"
+      "inspecting an entire connection' (section 4):\n%s\n",
+      wtable.render().c_str());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Identification confusion matrix: for traces of each TRUE implementation
+// (rows), which candidate profiles (columns) rate as close fits?
+//
+// This extends Table 1's identification result with the full structure the
+// paper's lineage analysis implies: behavioral twins (BSDI/NetBSD;
+// SunOS/generic Tahoe) tie legitimately; distinct behaviors must separate
+// once path conditions exercise their differences. Cells count close fits
+// over a mixed sweep (clean / lossy / long-RTT / no-MSS-option peer), so a
+// candidate that is indistinguishable only under benign conditions scores
+// partial credit rather than full confusion.
+#include <cstdio>
+#include <vector>
+
+#include "core/matcher.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+std::vector<tcp::SessionConfig> scenarios(const tcp::TcpProfile& impl) {
+  std::vector<tcp::SessionConfig> out;
+  // Clean short-RTT path.
+  tcp::SessionConfig clean = tcp::default_session();
+  clean.seed = 31;
+  out.push_back(clean);
+  // Lossy path: exercises recovery (Tahoe vs Reno vs Linux vs Solaris).
+  tcp::SessionConfig lossy = tcp::default_session();
+  lossy.fwd_path.loss_prob = 0.03;
+  lossy.seed = 32;
+  out.push_back(lossy);
+  // Long-RTT clean path: exercises the RTO schemes.
+  tcp::SessionConfig long_rtt = tcp::default_session();
+  long_rtt.fwd_path.prop_delay = util::Duration::millis(340);
+  long_rtt.rev_path.prop_delay = util::Duration::millis(340);
+  long_rtt.seed = 33;
+  out.push_back(long_rtt);
+  // Peer omitting the MSS option: detonates the Net/3 bug if present.
+  tcp::SessionConfig no_mss = tcp::default_session();
+  no_mss.receiver.omit_mss_option = true;
+  no_mss.seed = 34;
+  out.push_back(no_mss);
+  for (auto& cfg : out) {
+    cfg.sender_profile = impl;
+    cfg.receiver_profile = impl;
+  }
+  return out;
+}
+
+std::string short_name(const std::string& name) {
+  if (name == "Generic Tahoe") return "Tah";
+  if (name == "Generic Reno") return "Ren";
+  if (name == "DEC OSF/1") return "OSF";
+  if (name == "HP/UX") return "HPX";
+  if (name == "Linux 1.0") return "L10";
+  if (name == "Linux 2.0") return "L20";
+  if (name == "Solaris 2.3") return "S23";
+  if (name == "Solaris 2.4") return "S24";
+  if (name == "SunOS 4.1") return "Sun";
+  if (name == "Trumpet/Winsock") return "Trm";
+  if (name == "Windows 95") return "W95";
+  if (name == "NetBSD") return "NBD";
+  if (name == "BSDI") return "BSD";
+  if (name == "IRIX") return "IRX";
+  return name.substr(0, 3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Sender-side identification confusion matrix ==\n\n");
+  const auto candidates = tcp::all_profiles();
+
+  std::vector<std::string> headers{"true \\ candidate"};
+  for (const auto& c : candidates) headers.push_back(short_name(c.name));
+  util::TextTable table(std::move(headers));
+
+  for (const auto& impl : candidates) {
+    std::vector<int> close(candidates.size(), 0);
+    int runs = 0;
+    for (const auto& cfg : scenarios(impl)) {
+      auto r = tcp::run_session(cfg);
+      if (!r.completed) continue;
+      ++runs;
+      auto match = core::match_implementations(r.sender_trace, candidates);
+      for (const auto& fit : match.fits) {
+        if (fit.fit != core::FitClass::kClose) continue;
+        for (std::size_t c = 0; c < candidates.size(); ++c)
+          if (candidates[c].name == fit.profile.name) ++close[c];
+      }
+    }
+    std::vector<std::string> row{short_name(impl.name)};
+    for (std::size_t c = 0; c < candidates.size(); ++c)
+      row.push_back(close[c] == 0 ? "." : util::strf("%d", close[c]));
+    table.add_row(std::move(row));
+    (void)runs;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "cells: close-fit count over 4 scenarios (clean / 3%% loss / 680 ms RTT\n"
+      "/ peer without MSS option). Diagonal should dominate; off-diagonal\n"
+      "mass marks behavioral twins (BSDI=NetBSD, SunOS=generic Tahoe,\n"
+      "Solaris 2.3=2.4 on sender traces) and benign-condition lookalikes --\n"
+      "the same equivalences the paper's lineage table predicts.\n");
+  return 0;
+}

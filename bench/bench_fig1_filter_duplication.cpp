@@ -1,0 +1,62 @@
+// Figure 1 reproduction: packet-filter duplication (IRIX 5.2/5.3).
+//
+// The filter on the sending host records each outgoing packet twice: once
+// when the OS schedules it (bogus timing, at the OS source rate of several
+// MB/s) and once when it departs onto the Ethernet (accurate, at the link
+// rate). tcpanaly must (a) detect the duplication, (b) recover the two
+// rates -- the telltale signature -- and (c) discard the later copies.
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+int main() {
+  std::printf("== Figure 1: packet filter duplication ==\n\n");
+
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("IRIX");
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.sender.transfer_bytes = 64 * 1024;
+  cfg.fwd_path.rate_bytes_per_sec = 1'000'000.0;  // the Ethernet of the figure
+  cfg.sender_filter.irix_double_copy = true;
+  tcp::SessionResult r = tcp::run_session(cfg);
+
+  auto pts = trace::extract_seqplot(r.sender_trace);
+  std::printf("%s\n", trace::render_seqplot(pts, 72, 20).c_str());
+
+  auto dup = core::detect_measurement_duplicates(r.sender_trace);
+  std::printf("records:                 %zu\n", r.sender_trace.size());
+  std::printf("duplicates detected:     %zu (ground truth %llu)\n",
+              dup.duplicate_indices.size(),
+              static_cast<unsigned long long>(r.sender_filter_duplicates));
+  std::printf("first-copy data rate:    %.2f MB/s  (OS sourcing rate; 'bogus timing')\n",
+              dup.first_copy_rate / 1e6);
+  std::printf("second-copy data rate:   %.2f MB/s  (matches the %.2f MB/s local link)\n",
+              dup.second_copy_rate / 1e6, cfg.fwd_path.rate_bytes_per_sec / 1e6);
+
+  // Scoring the detector against ground truth annotations.
+  std::size_t hits = 0, false_pos = 0;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < r.sender_trace.size(); ++i) {
+    const bool flagged =
+        next < dup.duplicate_indices.size() && dup.duplicate_indices[next] == i;
+    if (flagged) ++next;
+    if (flagged && r.sender_trace[i].truth_filter_duplicate) ++hits;
+    if (flagged && !r.sender_trace[i].truth_filter_duplicate) ++false_pos;
+  }
+  std::printf("detector hits:           %zu / %llu   false positives: %zu\n", hits,
+              static_cast<unsigned long long>(r.sender_filter_duplicates), false_pos);
+
+  trace::Trace cleaned = core::strip_duplicates(r.sender_trace, dup);
+  auto clean_report = core::detect_measurement_duplicates(cleaned);
+  std::printf("after stripping:         %zu records, %zu duplicates remain\n",
+              cleaned.size(), clean_report.duplicate_indices.size());
+  std::printf(
+      "\npaper: first copies ~2.5 MB/s vs second copies ~1 MB/s (Ethernet);\n"
+      "tcpanaly copes by discarding the later copy of each pair.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 2 reproduction: vantage-point ambiguity.
+//
+// The filter sits near -- but not at -- the TCP. A retransmission can
+// appear in the trace AFTER the ack covering that data was recorded,
+// because the TCP had not yet processed the ack when it decided to
+// retransmit. Neither the filter nor the TCP misbehaved. A naive analyzer
+// keyed to the most recent ack flags these as anomalies; tcpanaly's
+// pending-liberation bookkeeping does not.
+#include <cstdio>
+
+#include "core/sender_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+/// Naive single-state analysis: count data packets whose payload was
+/// already fully acknowledged by the most recently recorded ack.
+std::size_t naive_anomalies(const trace::Trace& tr) {
+  std::size_t anomalies = 0;
+  bool have_ack = false;
+  trace::SeqNum last_ack = 0;
+  for (const auto& rec : tr.records()) {
+    if (!tr.is_from_local(rec)) {
+      if (rec.tcp.flags.ack) {
+        last_ack = rec.tcp.ack;
+        have_ack = true;
+      }
+      continue;
+    }
+    if (rec.tcp.payload_len == 0 || !have_ack) continue;
+    if (trace::seq_le(rec.tcp.seq_end(), last_ack)) ++anomalies;
+  }
+  return anomalies;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 2: vantage-point ambiguity ==\n\n");
+
+  std::size_t stale_retx = 0, naive_violations = 0, full_violations = 0;
+  double full_resp_sum = 0.0;
+  int runs = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    tcp::SessionConfig cfg = tcp::default_session();
+    cfg.sender_profile = tcp::generic_reno();
+    cfg.receiver_profile = cfg.sender_profile;
+    // A sluggish host: several milliseconds between the filter recording
+    // an arrival and the TCP acting on it -- the figure's setting.
+    cfg.sender_proc_delay = util::Duration::millis(8);
+    cfg.fwd_path.loss_prob = 0.04;
+    cfg.seed = seed;
+    tcp::SessionResult r = tcp::run_session(cfg);
+    if (!r.completed) continue;
+    ++runs;
+
+    stale_retx += naive_anomalies(r.sender_trace);
+
+    // Ablation: only the most recent window state may explain a send (the
+    // paper's abandoned one-pass design).
+    core::SenderAnalysisOptions naive_opts;
+    naive_opts.single_liberation = true;
+    naive_opts.vantage_grace = util::Duration::zero();
+    auto naive_rep =
+        core::SenderAnalyzer(tcp::generic_reno(), naive_opts).analyze(r.sender_trace);
+    naive_violations += naive_rep.violations.size();
+
+    auto rep = core::SenderAnalyzer(tcp::generic_reno()).analyze(r.sender_trace);
+    full_violations += rep.violations.size();
+    full_resp_sum += rep.response_delays.mean().to_seconds();
+  }
+
+  std::printf("sessions analyzed (8 ms host processing delay):  %d\n", runs);
+  std::printf("retransmissions recorded after their covering ack: %zu\n", stale_retx);
+  std::printf("spurious window violations, most-recent-state only: %zu\n",
+              naive_violations);
+  std::printf("window violations with pending liberations:        %zu\n",
+              full_violations);
+  std::printf("mean response delay (liberation tracking):         %.1f ms\n",
+              1000.0 * full_resp_sum / (runs ? runs : 1));
+
+  // The figure's literal pattern -- a retransmission recorded AFTER the ack
+  // covering it -- needs a sender whose retransmission decisions race a
+  // dense ack stream; Linux 1.0's whole-flight resends on a long path
+  // produce it constantly.
+  std::size_t linux_stale = 0, linux_viol = 0;
+  int linux_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    tcp::SessionConfig cfg = tcp::default_session();
+    cfg.sender_profile = *tcp::find_profile("Linux 1.0");
+    cfg.receiver_profile = cfg.sender_profile;
+    cfg.sender_proc_delay = util::Duration::millis(8);
+    cfg.fwd_path.prop_delay = util::Duration::millis(340);
+    cfg.rev_path.prop_delay = util::Duration::millis(340);
+    cfg.fwd_path.loss_prob = 0.02;
+    cfg.seed = seed;
+    tcp::SessionResult r = tcp::run_session(cfg);
+    if (!r.completed) continue;
+    ++linux_runs;
+    linux_stale += naive_anomalies(r.sender_trace);
+    auto rep = core::SenderAnalyzer(*tcp::find_profile("Linux 1.0")).analyze(r.sender_trace);
+    linux_viol += rep.violations.size();
+  }
+  std::printf("\nLinux 1.0 storms on a 680 ms path (%d sessions):\n", linux_runs);
+  std::printf("retransmissions recorded after their covering ack: %zu\n", linux_stale);
+  std::printf("tcpanaly window violations (Linux 1.0 knowledge):  %zu\n", linux_viol);
+  std::printf(
+      "\npaper: neither the filter nor the TCP misbehaves -- the vantage point\n"
+      "merely differs from the TCP's. Keying analysis to only the most\n"
+      "recently received packet is insufficient (sections 3.2, 6.1); pending\n"
+      "liberations absorb the ambiguity.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 3 reproduction: the Net/3 uninitialized-cwnd bug.
+//
+// If the SYN-ack carries no MSS option, Net/3-derived stacks leave cwnd
+// and ssthresh at a huge value and slam out the entire offered window in
+// one burst (~30 packets into a 16 KB window). In the paper's example, 14
+// of the 61 packets of the first two bursts were lost.
+#include <cstdio>
+
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+struct BurstStats {
+  std::size_t first_flight = 0;   ///< data packets out before any data ack
+  std::size_t burst_losses = 0;   ///< network drops among the first 2 bursts
+  std::size_t total_sent = 0;
+  bool completed = false;
+};
+
+BurstStats run_case(const tcp::TcpProfile& impl, bool omit_mss) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = impl;
+  cfg.receiver_profile = impl;
+  cfg.receiver.omit_mss_option = omit_mss;
+  cfg.receiver.recv_buffer = 16 * 1024;  // the figure's 16,384-byte window
+  cfg.sender.send_buffer = 64 * 1024;
+  // A congested bottleneck inside the cloud: the burst overruns its queue.
+  cfg.fwd_path.bottleneck_rate_bytes_per_sec = 180'000.0;
+  cfg.fwd_path.bottleneck_queue_limit = 12;
+  tcp::SessionResult r = tcp::run_session(cfg);
+
+  BurstStats out;
+  out.completed = r.completed;
+  out.total_sent = r.sender_stats.data_packets;
+  out.burst_losses = r.fwd_network_drops;
+  for (const auto& rec : r.sender_trace.records()) {
+    if (!r.sender_trace.is_from_local(rec) && rec.tcp.flags.ack &&
+        trace::seq_gt(rec.tcp.ack, cfg.sender.initial_seq + 1))
+      break;
+    if (r.sender_trace.is_from_local(rec) && rec.tcp.payload_len > 0) ++out.first_flight;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 3: Net/3 uninitialized-cwnd bug ==\n\n");
+
+  util::TextTable table({"sender", "SYN-ack MSS option", "first-flight pkts",
+                         "network drops", "completed"});
+  struct Case {
+    const char* impl;
+    bool omit;
+  } cases[] = {
+      {"BSDI", true},    // Net/3 lineage, bug detonates
+      {"BSDI", false},   // same stack, normal peer: slow start
+      {"HP/UX", true},   // Reno without the bug: slow start regardless
+  };
+  for (const auto& c : cases) {
+    BurstStats s = run_case(*tcp::find_profile(c.impl), c.omit);
+    table.add_row({c.impl, c.omit ? "ABSENT" : "present",
+                   util::strf("%zu", s.first_flight), util::strf("%zu", s.burst_losses),
+                   s.completed ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Sequence plot of the pathological case's opening.
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("BSDI");
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.receiver.omit_mss_option = true;
+  cfg.receiver.recv_buffer = 16 * 1024;
+  cfg.sender.send_buffer = 64 * 1024;
+  cfg.sender.transfer_bytes = 48 * 1024;
+  cfg.fwd_path.bottleneck_rate_bytes_per_sec = 180'000.0;
+  cfg.fwd_path.bottleneck_queue_limit = 12;
+  tcp::SessionResult r = tcp::run_session(cfg);
+  auto pts = trace::extract_seqplot(r.sender_trace);
+  std::printf("%s\n", trace::render_seqplot(pts, 72, 18).c_str());
+
+  std::printf(
+      "paper: ~30 full-sized packets flood out the instant the first window\n"
+      "opens (cwnd never initialized); 14 of 61 packets in the first two\n"
+      "spikes were lost. The bug needs the unusual combination of a peer\n"
+      "omitting the MSS option AND offering a large window (section 8.4).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 5 reproduction: broken Solaris 2.3/2.4 retransmission timer.
+//
+// Solaris starts its RTO near 300 ms and cannot adapt it upward: the
+// moment an ack covers retransmitted data the timer reverts to its tiny
+// base, and Karn's rule starves it of samples. On any path with RTT above
+// the initial RTO, every packet is retransmitted needlessly -- the paper's
+// 680 ms California-Netherlands path sends "almost as many retransmissions
+// as new packets", and at RTT 2.6 s the first packets go out 4-6 times
+// each. Effective load on a high-latency path roughly doubles.
+#include <cstdio>
+#include <map>
+
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+struct RtoStats {
+  std::uint64_t data_packets = 0;
+  std::uint64_t retx = 0;
+  std::uint64_t needless = 0;  ///< duplicate payload the receiver saw
+  std::uint64_t net_drops = 0;
+  int max_copies_first5 = 0;  ///< max times any of the first 5 segments was sent
+  bool completed = false;
+};
+
+RtoStats run_case(const tcp::TcpProfile& impl, util::Duration owd) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = impl;
+  cfg.receiver_profile = impl;
+  cfg.fwd_path.prop_delay = owd;
+  cfg.rev_path.prop_delay = owd;
+  cfg.sender.transfer_bytes = 100 * 1024;
+  tcp::SessionResult r = tcp::run_session(cfg);
+
+  RtoStats out;
+  out.completed = r.completed;
+  out.data_packets = r.sender_stats.data_packets;
+  out.retx = r.sender_stats.retransmissions;
+  out.needless = r.receiver_stats.duplicate_data_bytes / 512;
+  out.net_drops = r.fwd_network_drops;
+  std::map<trace::SeqNum, int> copies;
+  for (const auto& rec : r.sender_trace.records()) {
+    if (!r.sender_trace.is_from_local(rec) || rec.tcp.payload_len == 0) continue;
+    if (rec.tcp.seq < cfg.sender.initial_seq + 1 + 5 * 512) ++copies[rec.tcp.seq];
+  }
+  for (const auto& [seq, n] : copies) out.max_copies_first5 = std::max(out.max_copies_first5, n);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 5: Solaris premature retransmission timer ==\n\n");
+
+  util::TextTable table({"sender", "RTT", "pkts", "retx", "retx/new", "needless(segs)",
+                         "net drops", "max copies of an early seg"});
+  struct Case {
+    const char* impl;
+    int rtt_ms;
+  } cases[] = {
+      {"Solaris 2.4", 40},   {"Solaris 2.4", 680}, {"Solaris 2.4", 2600},
+      {"Generic Reno", 680}, {"Generic Reno", 2600},
+  };
+  for (const auto& c : cases) {
+    RtoStats s = run_case(*tcp::find_profile(c.impl), util::Duration::millis(c.rtt_ms / 2));
+    const double new_pkts = static_cast<double>(s.data_packets - s.retx);
+    table.add_row({c.impl, util::strf("%d ms", c.rtt_ms),
+                   util::strf("%llu", (unsigned long long)s.data_packets),
+                   util::strf("%llu", (unsigned long long)s.retx),
+                   util::strf("%.2f", new_pkts > 0 ? (double)s.retx / new_pkts : 0.0),
+                   util::strf("%llu", (unsigned long long)s.needless),
+                   util::strf("%llu", (unsigned long long)s.net_drops),
+                   util::strf("%d", s.max_copies_first5)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "paper: at RTT 680 ms 'almost as many retransmissions as new packets',\n"
+      "every one needless (net drops = 0); at RTT 2.6 s the first data\n"
+      "packets are retransmitted 4-6 times; load on a high-latency path is\n"
+      "effectively doubled. A BSD timer (1 s floor, proper backoff and\n"
+      "adaptation) retransmits nothing on the same clean path.\n");
+  return 0;
+}

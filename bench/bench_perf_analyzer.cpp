@@ -1,0 +1,81 @@
+// Analysis throughput (google-benchmark): packets/second through each
+// tcpanaly stage. Not a paper artifact -- tcpanaly was envisioned as a
+// possible real-time monitor ("watch an Internet link in real-time"), so
+// the analysis cost per packet matters.
+#include <benchmark/benchmark.h>
+
+#include "core/analyze.hpp"
+#include "core/calibration.hpp"
+#include "core/receiver_analyzer.hpp"
+#include "core/sender_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+const tcp::SessionResult& shared_session() {
+  static const tcp::SessionResult r = [] {
+    tcp::SessionConfig cfg = tcp::default_session();
+    cfg.sender_profile = tcp::generic_reno();
+    cfg.receiver_profile = cfg.sender_profile;
+    cfg.sender.transfer_bytes = 512 * 1024;
+    cfg.fwd_path.loss_prob = 0.01;
+    return tcp::run_session(cfg);
+  }();
+  return r;
+}
+
+void BM_Calibrate(benchmark::State& state) {
+  const auto& r = shared_session();
+  for (auto _ : state) benchmark::DoNotOptimize(core::calibrate(r.sender_trace));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.sender_trace.size()));
+}
+BENCHMARK(BM_Calibrate);
+
+void BM_SenderAnalyze(benchmark::State& state) {
+  const auto& r = shared_session();
+  core::SenderAnalyzer analyzer(tcp::generic_reno());
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(r.sender_trace));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.sender_trace.size()));
+}
+BENCHMARK(BM_SenderAnalyze);
+
+void BM_ReceiverAnalyze(benchmark::State& state) {
+  const auto& r = shared_session();
+  core::ReceiverAnalyzer analyzer(tcp::generic_reno());
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(r.receiver_trace));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.receiver_trace.size()));
+}
+BENCHMARK(BM_ReceiverAnalyze);
+
+void BM_MatchAllImplementations(benchmark::State& state) {
+  const auto& r = shared_session();
+  const auto candidates = tcp::all_profiles();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::match_implementations(r.sender_trace, candidates));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.sender_trace.size()));
+}
+BENCHMARK(BM_MatchAllImplementations);
+
+void BM_SimulateSession(benchmark::State& state) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.fwd_path.loss_prob = 0.01;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(tcp::run_session(cfg));
+  }
+}
+BENCHMARK(BM_SimulateSession);
+
+}  // namespace
+
+BENCHMARK_MAIN();

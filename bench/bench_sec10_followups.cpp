@@ -1,0 +1,115 @@
+// Section 10 reproduction: the follow-up independent implementations.
+//
+// The paper's main finding -- independently written TCPs misbehave far
+// more than BSD-derived ones -- motivated a quick look at Windows 95/NT,
+// Trumpet/Winsock, and Linux 2.0. Linux 2.0 fixes the 1.0 storms;
+// Trumpet/Winsock "exhibits severe deficiencies" (our reconstruction: no
+// congestion window at all, go-back-N recovery); Windows 95 behaves
+// Reno-like. This bench contrasts their congestion friendliness on a
+// shared congested bottleneck, plus the clock-pair calibration that the
+// richer follow-up data motivates.
+#include <cstdio>
+
+#include "core/clock_pair.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+int main() {
+  std::printf("== Section 10: follow-up implementations ==\n\n");
+
+  util::TextTable table({"sender", "lineage", "pkts", "retx%", "net drop%",
+                         "first-flight pkts", "elapsed(s)"});
+  for (const char* name :
+       {"Trumpet/Winsock", "Linux 1.0", "Linux 2.0", "Windows 95", "Generic Reno"}) {
+    std::uint64_t pkts = 0, retx = 0, drops = 0;
+    std::size_t first_flight_max = 0;
+    double elapsed = 0;
+    int n = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      tcp::SessionConfig cfg = tcp::default_session();
+      cfg.sender_profile = *tcp::find_profile(name);
+      cfg.receiver_profile = cfg.sender_profile;
+      cfg.receiver.recv_buffer = 16 * 1024;
+      cfg.fwd_path.prop_delay = util::Duration::millis(60);
+      cfg.rev_path.prop_delay = util::Duration::millis(60);
+      cfg.fwd_path.bottleneck_rate_bytes_per_sec = 80'000.0;
+      cfg.fwd_path.bottleneck_queue_limit = 12;
+      cfg.seed = seed;
+      auto r = tcp::run_session(cfg);
+      if (!r.completed) continue;
+      ++n;
+      pkts += r.sender_stats.data_packets;
+      retx += r.sender_stats.retransmissions;
+      drops += r.fwd_network_drops;
+      elapsed += r.elapsed.to_seconds();
+      // First-flight size: congestion friendliness at connection start.
+      std::size_t ff = 0;
+      for (const auto& rec : r.sender_trace.records()) {
+        if (!r.sender_trace.is_from_local(rec) && rec.tcp.flags.ack &&
+            trace::seq_gt(rec.tcp.ack, cfg.sender.initial_seq + 1))
+          break;
+        if (r.sender_trace.is_from_local(rec) && rec.tcp.payload_len > 0) ++ff;
+      }
+      first_flight_max = std::max(first_flight_max, ff);
+    }
+    if (n == 0) continue;
+    const char* lineage =
+        tcp::find_profile(name)->lineage == tcp::Lineage::kIndependent ? "Indep." : "BSD";
+    table.add_row(
+        {name, lineage, util::strf("%llu", (unsigned long long)(pkts / n)),
+         util::strf("%.0f%%", pkts ? 100.0 * (double)retx / (double)pkts : 0.0),
+         util::strf("%.0f%%", pkts ? 100.0 * (double)drops / (double)pkts : 0.0),
+         util::strf("%zu", first_flight_max), util::strf("%.1f", elapsed / n)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper: 'the most problematic TCPs were all independently written' --\n"
+      "Trumpet/Winsock opens with the whole offered window (no congestion\n"
+      "window at all; reconstruction documented in DESIGN.md), while Linux\n"
+      "2.0 fixes the 1.0 storms and Windows 95 tracks Reno.\n\n");
+
+  // ---- trace-pair clock calibration ([Pa97b], section 3.1.4) ----
+  std::printf("== trace-pair clock calibration ==\n\n");
+  util::TextTable clocks({"scenario", "skew found", "steps found", "verdict"});
+  struct Case {
+    const char* name;
+    double skew_ppm;
+    int step_ms;
+  } cases[] = {
+      {"clean clocks", 0.0, 0},
+      {"receiver +400 ppm", 400.0, 0},
+      {"receiver +40 ms step", 0.0, 40},
+      {"both: +200 ppm and -30 ms", 200.0, -30},
+  };
+  for (const auto& c : cases) {
+    tcp::SessionConfig cfg = tcp::default_session();
+    cfg.sender_profile = tcp::generic_reno();
+    cfg.receiver_profile = cfg.sender_profile;
+    cfg.sender.transfer_bytes = 200 * 1024;
+    cfg.fwd_path.rate_bytes_per_sec = 125'000.0;
+    cfg.rev_path.rate_bytes_per_sec = 125'000.0;
+    if (c.skew_ppm != 0.0) cfg.receiver_filter.clock.set_skew_ppm(c.skew_ppm);
+    if (c.step_ms != 0)
+      cfg.receiver_filter.clock.add_step(util::TimePoint(1'000'000),
+                                         util::Duration::millis(c.step_ms));
+    auto r = tcp::run_session(cfg);
+    auto rep = core::compare_clocks(r.sender_trace, r.receiver_trace);
+    clocks.add_row(
+        {c.name,
+         rep.skew_detected ? util::strf("%+.0f ppm", rep.relative_skew_ppm) : "none",
+         rep.steps.empty()
+             ? std::string("none")
+             : util::strf("%+.0f ms", rep.steps[0].delta.to_millis()),
+         rep.clocks_agree() ? "clocks agree" : "SUSPECT"});
+  }
+  std::printf("%s\n", clocks.render().c_str());
+  std::printf(
+      "paper (3.1.4): forward clock adjustments 'appear virtually identical\n"
+      "to a period of elevated network delays... they can, however, be\n"
+      "detected if one has available trace pairs of packet departures and\n"
+      "arrivals' -- which is exactly what this analysis does.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Section 11 reproduction: "it behooves the Internet community to develop
+// testing programs and reference implementations."
+//
+// This is that testing program, run against every implementation in the
+// registry: each row aggregates conformance verdicts over scenarios that
+// exercise the requirements (clean, lossy, long-RTT, dead-path, no-MSS
+// peer). The failure pattern reproduces the paper's findings requirement
+// by requirement.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/conformance.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+std::vector<tcp::SessionConfig> scenarios(const tcp::TcpProfile& impl) {
+  std::vector<tcp::SessionConfig> out;
+  tcp::SessionConfig clean = tcp::default_session();
+  out.push_back(clean);
+  tcp::SessionConfig lossy = tcp::default_session();
+  lossy.fwd_path.loss_prob = 0.03;
+  lossy.seed = 7;
+  out.push_back(lossy);
+  tcp::SessionConfig long_rtt = tcp::default_session();
+  long_rtt.fwd_path.prop_delay = util::Duration::millis(340);
+  long_rtt.rev_path.prop_delay = util::Duration::millis(340);
+  out.push_back(long_rtt);
+  tcp::SessionConfig no_mss = tcp::default_session();
+  no_mss.receiver.omit_mss_option = true;
+  out.push_back(no_mss);
+  tcp::SessionConfig dead = tcp::default_session();
+  for (std::uint64_t n = 40; n < 400; ++n) dead.fwd_path.drop_nth.push_back(n);
+  dead.sender.max_data_retries = 5;  // short enough to reach abandonment
+  dead.time_limit = util::Duration::seconds(240.0);
+  out.push_back(dead);
+  for (auto& cfg : out) {
+    cfg.sender_profile = impl;
+    cfg.receiver_profile = impl;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section 11: conformance testing program ==\n\n");
+
+  // Establish column order from one run.
+  std::vector<std::string> requirements;
+  {
+    auto r = tcp::run_session(scenarios(tcp::generic_reno())[0]);
+    for (const auto& c : core::check_conformance(r.sender_trace).checks)
+      requirements.push_back(c.requirement);
+    for (const auto& c : core::check_conformance(r.receiver_trace).checks)
+      requirements.push_back(c.requirement);
+  }
+
+  std::vector<std::string> headers{"implementation"};
+  for (std::size_t i = 0; i < requirements.size(); ++i)
+    headers.push_back(util::strf("R%zu", i + 1));
+  util::TextTable table(std::move(headers));
+
+  for (const auto& impl : tcp::all_profiles()) {
+    std::map<std::string, char> cell;  // requirement -> worst verdict
+    for (const auto& cfg : scenarios(impl)) {
+      auto r = tcp::run_session(cfg);
+      auto apply = [&](const core::ConformanceReport& rep) {
+        for (const auto& c : rep.checks) {
+          char& v = cell.try_emplace(c.requirement, '-').first->second;
+          if (c.verdict == core::Verdict::kFail)
+            v = 'F';
+          else if (c.verdict == core::Verdict::kPass && v != 'F')
+            v = 'P';
+        }
+      };
+      apply(core::check_conformance(r.sender_trace));
+      apply(core::check_conformance(r.receiver_trace));
+    }
+    std::vector<std::string> row{impl.name};
+    for (const auto& req : requirements)
+      row.push_back(std::string(1, cell.count(req) ? cell[req] : '-'));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  for (std::size_t i = 0; i < requirements.size(); ++i)
+    std::printf("R%zu: %s\n", i + 1, requirements[i].c_str());
+  std::printf(
+      "\nP = passed wherever exercised; F = failed in at least one scenario;\n"
+      "- = never exercised. Scenarios: clean / 3%% loss / 680 ms RTT / peer\n"
+      "without MSS option / dead path. The failure pattern is the paper's:\n"
+      "independently written TCPs (Linux 1.0, Solaris, Trumpet) carry the\n"
+      "serious violations; BSD-derived stacks fail only via the Net/3\n"
+      "uninitialized-cwnd bug under its unusual trigger (section 8.4, 11).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Section 2 reproduction: the active-probing methodology of Comer & Lin
+// and the fault injection of Dawson et al., combined with automated trace
+// analysis as the paper's closing remark suggests.
+//
+// Every implementation in the registry is probed as a black box; the
+// table reproduces the related work's published findings where they
+// overlap our registry: Solaris' ~300 ms initial RTO (Comer & Lin found
+// the same for 2.1; Dawson et al. for 2.3) vs everyone else's seconds,
+// the backoff behavior, and the per-implementation recovery machinery.
+#include <cstdio>
+
+#include "probe/probe.hpp"
+#include "tcp/profiles.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+int main() {
+  std::printf("== Section 2: active probing x automated analysis ==\n\n");
+  util::TextTable table({"implementation", "init RTO", "backoff", "timeout retx",
+                         "recovery", "init ssthresh", "abandon", "rcv acking"});
+  for (const auto& impl : tcp::all_profiles()) {
+    auto rep = probe::probe_implementation(impl);
+    std::string recovery = "timeout only";
+    if (rep.flight_retransmit_on_dup)
+      recovery = "FLIGHT STORM on dups";
+    else if (rep.fast_retransmit && rep.fast_recovery)
+      recovery = util::strf("fast retx+recovery (%d dups)",
+                            rep.dup_ack_threshold.value_or(0));
+    else if (rep.fast_retransmit)
+      recovery = util::strf("fast retx (%d dups)", rep.dup_ack_threshold.value_or(0));
+    std::string acking = "-";
+    if (rep.acks_every_packet)
+      acking = "every pkt";
+    else if (rep.delayed_ack_timer)
+      acking = util::strf("~%.0f ms", rep.delayed_ack_timer->to_millis());
+    std::string abandon = "-";
+    if (rep.gives_up_after)
+      abandon = util::strf("%d retx, %s", *rep.gives_up_after,
+                           rep.sends_rst_on_give_up ? "RST" : "NO RST");
+    table.add_row(
+        {impl.name,
+         rep.initial_rto ? util::strf("%.1f s", rep.initial_rto->to_seconds()) : "-",
+         rep.backoff_factor ? util::strf("%.1fx", *rep.backoff_factor) : "-",
+         rep.flight_retransmit_on_timeout ? "WHOLE FLIGHT" : "1 segment",
+         recovery,
+         rep.initial_ssthresh_segments
+             ? util::strf("%u seg", *rep.initial_ssthresh_segments)
+             : "unbounded",
+         abandon, acking});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "related work reproduced: Comer & Lin / Dawson et al. measured\n"
+      "Solaris' ~300 ms initial RTO (vs seconds elsewhere); the paper's own\n"
+      "findings appear as the Linux 1.0 storms, the Solaris 8-segment and\n"
+      "Linux 1-segment initial ssthresh, the Tahoe/Reno recovery split, and\n"
+      "the three acking policies of section 9. Every probe reads only the\n"
+      "resulting packet traces ('one can combine active techniques... with\n"
+      "automated analysis of traces of the results', section 2).\n");
+  return 0;
+}

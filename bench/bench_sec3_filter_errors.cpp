@@ -1,0 +1,202 @@
+// Section 3 reproduction: packet-filter measurement-error detection.
+//
+// Each error class of section 3.1 is injected at controlled rates and
+// tcpanaly's calibration pass is scored against the simulator's ground
+// truth: drops (3.1.1), additions (3.1.2), resequencing (3.1.3), and
+// time travel (3.1.4). Clean traces measure the false-positive rate.
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+tcp::SessionConfig base_config(std::uint64_t seed) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.fwd_path.loss_prob = 0.01;  // some real loss, so drops must not confuse
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct Score {
+  int traces = 0;
+  int truth_affected = 0;   ///< traces where the error actually occurred
+  int flagged_affected = 0; ///< ...and calibration flagged it
+  int flagged_clean = 0;    ///< flagged despite no injected error
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Section 3: packet-filter error detection ==\n\n");
+  util::TextTable table(
+      {"error class", "injected", "traces", "affected", "detected", "false+"});
+
+  constexpr int kSeeds = 25;
+
+  // ---- filter drops (sender-side trace) ----
+  for (double p : {0.0, 0.01, 0.04}) {
+    Score sc;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      auto cfg = base_config(seed);
+      cfg.sender_filter.drop_prob = p;
+      auto r = tcp::run_session(cfg);
+      if (!r.completed) continue;
+      ++sc.traces;
+      const bool truth = r.sender_filter_drops > 0;
+      auto rep = core::detect_filter_drops(r.sender_trace);
+      if (truth) {
+        ++sc.truth_affected;
+        if (rep.drops_detected()) ++sc.flagged_affected;
+      } else if (rep.drops_detected()) {
+        ++sc.flagged_clean;
+      }
+    }
+    table.add_row({"drops", util::strf("%.0f%%", p * 100), util::strf("%d", sc.traces),
+                   util::strf("%d", sc.truth_affected),
+                   util::strf("%d", sc.flagged_affected), util::strf("%d", sc.flagged_clean)});
+  }
+
+  // ---- filter drops (receiver-side trace) ----
+  for (double p : {0.01, 0.04}) {
+    Score sc;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      auto cfg = base_config(seed + 100);
+      cfg.receiver_filter.drop_prob = p;
+      auto r = tcp::run_session(cfg);
+      if (!r.completed) continue;
+      ++sc.traces;
+      const bool truth = r.receiver_filter_drops > 0;
+      auto rep = core::detect_filter_drops(r.receiver_trace);
+      if (truth) {
+        ++sc.truth_affected;
+        if (rep.drops_detected()) ++sc.flagged_affected;
+      } else if (rep.drops_detected()) {
+        ++sc.flagged_clean;
+      }
+    }
+    table.add_row({"drops (rcv side)", util::strf("%.0f%%", p * 100),
+                   util::strf("%d", sc.traces), util::strf("%d", sc.truth_affected),
+                   util::strf("%d", sc.flagged_affected), util::strf("%d", sc.flagged_clean)});
+  }
+
+  // ---- additions (IRIX double copies) ----
+  for (bool irix : {false, true}) {
+    Score sc;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      auto cfg = base_config(seed + 200);
+      cfg.sender_filter.irix_double_copy = irix;
+      auto r = tcp::run_session(cfg);
+      if (!r.completed) continue;
+      ++sc.traces;
+      auto rep = core::detect_measurement_duplicates(r.sender_trace);
+      if (irix) {
+        ++sc.truth_affected;
+        if (!rep.duplicate_indices.empty()) ++sc.flagged_affected;
+      } else if (!rep.duplicate_indices.empty()) {
+        ++sc.flagged_clean;
+      }
+    }
+    table.add_row({"additions", irix ? "2x copies" : "off", util::strf("%d", sc.traces),
+                   util::strf("%d", sc.truth_affected),
+                   util::strf("%d", sc.flagged_affected), util::strf("%d", sc.flagged_clean)});
+  }
+
+  // ---- resequencing (Solaris-style, ~20% of that filter's traces) ----
+  for (double p : {0.0, 0.08}) {
+    Score sc;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      auto cfg = base_config(seed + 300);
+      cfg.sender_filter.reseq_prob = p;
+      cfg.sender_filter.reseq_delay = util::Duration::micros(600);
+      auto r = tcp::run_session(cfg);
+      if (!r.completed) continue;
+      ++sc.traces;
+      const bool truth = r.sender_resequenced > 0;
+      auto rep = core::detect_resequencing(r.sender_trace);
+      if (truth) {
+        ++sc.truth_affected;
+        if (!rep.instances.empty()) ++sc.flagged_affected;
+      } else if (!rep.instances.empty()) {
+        ++sc.flagged_clean;
+      }
+    }
+    table.add_row({"resequencing", util::strf("%.0f%%", p * 100),
+                   util::strf("%d", sc.traces), util::strf("%d", sc.truth_affected),
+                   util::strf("%d", sc.flagged_affected), util::strf("%d", sc.flagged_clean)});
+  }
+
+  // ---- time travel (clock stepped backwards mid-trace) ----
+  for (bool step : {false, true}) {
+    Score sc;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      auto cfg = base_config(seed + 400);
+      if (step) {
+        // A fast clock yanked backwards by periodic synchronization, the
+        // BSDI 1.1 / NetBSD 1.0 pattern behind the paper's >500 instances.
+        cfg.sender_filter.clock.set_skew_ppm(300.0);
+        cfg.sender_filter.clock.add_step(util::TimePoint(500'000),
+                                         util::Duration::millis(-40));
+      }
+      auto r = tcp::run_session(cfg);
+      if (!r.completed) continue;
+      ++sc.traces;
+      auto rep = core::detect_time_travel(r.sender_trace);
+      if (step) {
+        ++sc.truth_affected;
+        if (!rep.instances.empty()) ++sc.flagged_affected;
+      } else if (!rep.instances.empty()) {
+        ++sc.flagged_clean;
+      }
+    }
+    table.add_row({"time travel", step ? "-40ms step" : "off", util::strf("%d", sc.traces),
+                   util::strf("%d", sc.truth_affected),
+                   util::strf("%d", sc.flagged_affected), util::strf("%d", sc.flagged_clean)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+
+  // ---- why inference instead of asking the OS: drop-REPORT pathologies ----
+  util::TextTable reports({"drop counter behavior", "true drops", "OS reports",
+                           "inference flags trace"});
+  struct RMode {
+    const char* label;
+    sim::FilterConfig::DropReportMode mode;
+  } rmodes[] = {
+      {"accurate", sim::FilterConfig::DropReportMode::kAccurate},
+      {"not reported", sim::FilterConfig::DropReportMode::kNotReported},
+      {"stuck at 62", sim::FilterConfig::DropReportMode::kStuck},
+      {"always zero", sim::FilterConfig::DropReportMode::kAlwaysZero},
+  };
+  for (const auto& rm : rmodes) {
+    auto cfg = base_config(3);
+    cfg.sender_filter.drop_prob = 0.03;
+    cfg.sender_filter.drop_report_mode = rm.mode;
+    auto r = tcp::run_session(cfg);
+    auto rep = core::detect_filter_drops(r.sender_trace);
+    const std::string reported =
+        r.sender_filter_reported_drops
+            ? util::strf("%llu", (unsigned long long)*r.sender_filter_reported_drops)
+            : "(none)";
+    reports.add_row({rm.label,
+                     util::strf("%llu", (unsigned long long)r.sender_filter_drops),
+                     reported, rep.drops_detected() ? "yes" : "no"});
+  }
+  std::printf("drop-counter reporting pathologies (3.1.1) vs self-consistency\n"
+              "inference -- the reason tcpanaly never asks the OS:\n%s\n",
+              reports.render().c_str());
+
+  std::printf(
+      "paper: filter drop reports cannot be trusted, so tcpanaly infers drops\n"
+      "from TCP self-consistency; ~20%% of Solaris-filter traces were\n"
+      "resequenced; >500 time-travel instances, all on BSDI 1.1 / NetBSD 1.0\n"
+      "clocks. Detection must not mistake genuine network loss (present in\n"
+      "all runs above) for measurement error.\n");
+  return 0;
+}

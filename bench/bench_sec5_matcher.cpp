@@ -1,0 +1,78 @@
+// Sections 5 / 6.1 reproduction: sorting candidate implementations into
+// close / imperfect / clearly-incorrect fits.
+//
+// For one trace of each of three very different senders, the full ranking
+// is printed -- response-delay statistics and window violations are the
+// discriminators, exactly as tcpanaly uses them to pick a base class when
+// adding a new implementation.
+#include <cstdio>
+
+#include "core/matcher.hpp"
+#include "corpus/corpus.hpp"
+#include "tcp/profiles.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+void show_ranking(const char* impl_name, const corpus::ScenarioParams& params) {
+  auto impl = *tcp::find_profile(impl_name);
+  auto r = tcp::run_session(corpus::make_session(impl, params));
+  auto match = core::match_implementations(r.sender_trace, tcp::all_profiles());
+  std::printf("--- true sender: %s (%s) ---\n%s\n", impl_name, params.label().c_str(),
+              match.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Sections 5/6.1: candidate-implementation ranking ==\n\n");
+
+  corpus::ScenarioParams lossy;
+  lossy.loss_prob = 0.02;
+  lossy.seed = 17;
+  show_ranking("Generic Reno", lossy);
+  show_ranking("Linux 1.0", lossy);
+
+  corpus::ScenarioParams long_rtt;
+  long_rtt.one_way_delay = util::Duration::millis(340);
+  long_rtt.seed = 9;
+  show_ranking("Solaris 2.4", long_rtt);
+
+  // Aggregate confusion behavior: how often is each candidate class
+  // assigned when matching every implementation's traces?
+  std::printf("--- fit-class distribution over one sweep per implementation ---\n");
+  util::TextTable table({"true impl", "close", "imperfect", "clearly-incorrect",
+                         "true-impl fit"});
+  corpus::CorpusOptions copts;
+  copts.seeds_per_cell = 1;
+  copts.loss_probs = {0.02};
+  copts.one_way_delays = {util::Duration::millis(60)};
+  for (const auto& impl : tcp::main_study_profiles()) {
+    int close = 0, imperfect = 0, incorrect = 0;
+    std::string true_fit = "-";
+    for (const auto& entry : corpus::generate_corpus(impl, copts)) {
+      if (!entry.result.completed) continue;
+      auto match = core::match_implementations(entry.result.sender_trace, tcp::all_profiles());
+      for (const auto& fit : match.fits) {
+        switch (fit.fit) {
+          case core::FitClass::kClose: ++close; break;
+          case core::FitClass::kImperfect: ++imperfect; break;
+          case core::FitClass::kClearlyIncorrect: ++incorrect; break;
+        }
+        if (fit.profile.name == impl.name) true_fit = core::to_string(fit.fit);
+      }
+    }
+    table.add_row({impl.name, util::strf("%d", close), util::strf("%d", imperfect),
+                   util::strf("%d", incorrect), true_fit});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper: correct candidates show small response times and no window\n"
+      "violations; incorrect candidates show increased response times or\n"
+      "violations, letting tcpanaly sort them into close, imperfect, and\n"
+      "clearly-incorrect fits (section 6.1). Behavioral twins (e.g.\n"
+      "BSDI/NetBSD) legitimately tie as close fits.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Section 6.2 reproduction: inferring implicit sender behavior.
+//
+//  * Sender window: a socket send-buffer smaller than cwnd x offered
+//    window caps the flight; tcpanaly infers the cap from the trace's peak
+//    in-flight and recognizes when it was binding.
+//  * ICMP source quench: quenches never appear in a TCP-only trace; they
+//    must be inferred from an otherwise-inexplicable slow-start restart.
+//    The paper found 91 among 20,000 traces.
+#include <cstdio>
+
+#include "core/sender_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+int main() {
+  std::printf("== Section 6.2: implicit-behavior inference ==\n\n");
+
+  // ---- sender-window inference ----
+  util::TextTable wtable({"send buffer", "offered window", "inferred window",
+                          "window limited?"});
+  for (std::uint32_t sndbuf : {4u * 1024, 8u * 1024, 32u * 1024}) {
+    tcp::SessionConfig cfg = tcp::default_session();
+    cfg.sender_profile = tcp::generic_reno();
+    cfg.receiver_profile = cfg.sender_profile;
+    cfg.sender.send_buffer = sndbuf;
+    cfg.receiver.recv_buffer = 16 * 1024;
+    auto r = tcp::run_session(cfg);
+    auto rep = core::SenderAnalyzer(tcp::generic_reno()).analyze(r.sender_trace);
+    wtable.add_row({util::strf("%u", sndbuf), "16384",
+                    util::strf("%u", rep.inferred_sender_window),
+                    rep.sender_window_limited ? "yes" : "no"});
+  }
+  std::printf("sender-window inference (paper: \"all TCPs have a sender window...\n"
+              "often, though, this limit is not reached\"):\n%s\n",
+              wtable.render().c_str());
+
+  // ---- source-quench inference ----
+  util::TextTable qtable({"scenario", "sessions", "quenches delivered",
+                          "quenches inferred", "false inferences"});
+  struct Cell {
+    const char* name;
+    const char* impl;
+    bool with_quench;
+  } cells[] = {
+      {"BSD, no quench", "Generic Reno", false},
+      {"BSD, one quench", "Generic Reno", true},
+      {"Solaris, one quench", "Solaris 2.4", true},
+  };
+  for (const auto& cell : cells) {
+    int sessions = 0, delivered = 0, inferred = 0, false_inf = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      tcp::SessionConfig cfg = tcp::default_session();
+      cfg.sender_profile = *tcp::find_profile(cell.impl);
+      cfg.receiver_profile = cfg.sender_profile;
+      cfg.seed = seed;
+      if (cell.with_quench)
+        cfg.quench_times.push_back(util::TimePoint(250'000 + 8'000 * seed));
+      auto r = tcp::run_session(cfg);
+      if (!r.completed) continue;
+      ++sessions;
+      delivered += static_cast<int>(r.sender_stats.source_quenches);
+      auto rep =
+          core::SenderAnalyzer(cfg.sender_profile).analyze(r.sender_trace);
+      if (cell.with_quench)
+        inferred += static_cast<int>(rep.inferred_quenches.size());
+      else
+        false_inf += static_cast<int>(rep.inferred_quenches.size());
+    }
+    qtable.add_row({cell.name, util::strf("%d", sessions), util::strf("%d", delivered),
+                    util::strf("%d", inferred), util::strf("%d", false_inf)});
+  }
+  std::printf("source-quench inference (paper: 91 instances in 20,000 traces;\n"
+              "BSD enters slow start, Solaris also halves ssthresh):\n%s\n",
+              qtable.render().c_str());
+  return 0;
+}

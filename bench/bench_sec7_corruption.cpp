@@ -1,0 +1,68 @@
+// Section 7 reproduction: inferring packet corruption from acking
+// behavior.
+//
+// "tcpanaly cannot verify a packet's TCP checksum if the packet filter
+// only records the packet headers... Nevertheless, it can usually infer
+// that a packet arrived corrupted... by inspecting each instance of the
+// TCP failing to generate the acks elicited by the packets it has
+// seemingly received." ([Pa97a] measures Internet corruption prevalence on
+// exactly this inference.)
+//
+// Receiver-side traces with header-only snaplens (checksums unverifiable)
+// and injected network corruption: score the inference against the
+// receiver's ground-truth discard counter, and confirm full-snaplen traces
+// take the checksum-verified path instead.
+#include <cstdio>
+
+#include "core/receiver_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+int main() {
+  std::printf("== Section 7: corruption inference ==\n\n");
+
+  util::TextTable table({"corruption rate", "snaplen", "discarded (truth)",
+                         "checksum-verified", "inferred", "false inferences"});
+  for (double rate : {0.0, 0.01, 0.03}) {
+    for (bool headers_only : {true, false}) {
+      std::uint64_t truth = 0, verified = 0, inferred = 0, false_inf = 0;
+      for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+        tcp::SessionConfig cfg = tcp::default_session();
+        cfg.sender_profile = tcp::generic_reno();
+        cfg.receiver_profile = cfg.sender_profile;
+        cfg.fwd_path.corrupt_prob = rate;
+        cfg.receiver_filter.snap_headers_only = headers_only;
+        cfg.seed = seed + (headers_only ? 0 : 1000);
+        auto r = tcp::run_session(cfg);
+        if (!r.completed) continue;
+        truth += r.receiver_stats.corrupted_discarded;
+        auto rep =
+            core::ReceiverAnalyzer(tcp::generic_reno()).analyze(r.receiver_trace);
+        verified += rep.checksum_verified_corrupt;
+        if (r.receiver_stats.corrupted_discarded > 0)
+          inferred += rep.inferred_corrupt_packets;
+        else
+          false_inf += rep.inferred_corrupt_packets;
+      }
+      table.add_row({util::strf("%.0f%%", rate * 100),
+                     headers_only ? "headers only" : "full packets",
+                     util::strf("%llu", (unsigned long long)truth),
+                     util::strf("%llu", (unsigned long long)verified),
+                     util::strf("%llu", (unsigned long long)inferred),
+                     util::strf("%llu", (unsigned long long)false_inf)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "with full packets the checksum settles it; with header-only captures\n"
+      "(the common tcpdump default) the discard must be INFERRED from the\n"
+      "receiver's failure to ack data it seemingly got. The inference is\n"
+      "deliberately conservative -- like the paper's, it waits for the acks\n"
+      "to stay behind far longer than the acking policy permits, so brief\n"
+      "or tail-end corruptions can go uncounted; it must never fire on a\n"
+      "clean trace.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Section 8.1-8.3 reproduction: the congestion-window rule variations.
+//
+// Pure window-model ablation (no network): drive each profile's
+// WindowModel with a fixed ack schedule and print the cwnd trajectory.
+// Visible here:
+//   * Eqn 1 vs Eqn 2 -- the +MSS/8 term's super-linear growth in
+//     congestion avoidance,
+//   * initial ssthresh (huge vs Solaris' 8 segments vs Linux 1.0's 1),
+//   * ssthresh cut rounding and minimum clamps,
+//   * fast recovery inflation/deflation, with the header-prediction and
+//     fencepost deflation bugs.
+#include <cstdio>
+#include <vector>
+
+#include "tcp/profiles.hpp"
+#include "tcp/window_model.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+constexpr std::uint32_t kMss = 512;
+
+tcp::WindowModel fresh(const tcp::TcpProfile& p) {
+  tcp::WindowModel m(p, kMss, 4);
+  m.on_connection_established(/*synack_had_mss=*/true, kMss);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section 8: congestion-window rule variants ==\n\n");
+
+  // ---- growth trajectories ----
+  const std::vector<const char*> impls = {"Generic Tahoe", "Generic Reno", "HP/UX",
+                                          "Solaris 2.4",   "Linux 1.0"};
+  util::TextTable growth({"acks", "Tahoe(Eqn1)", "Reno(Eqn2)", "HP/UX(Eqn1)",
+                          "Solaris(ssth=8)", "Linux1.0(ssth=1)"});
+  std::vector<tcp::WindowModel> models;
+  for (auto* name : impls) models.push_back(fresh(*tcp::find_profile(name)));
+  // Force Tahoe/Reno into congestion avoidance at the same point so Eqn 1
+  // vs Eqn 2 growth is directly comparable: cut with a 16 KB flight.
+  models[0].on_timeout(16 * 1024);
+  models[1].on_timeout(16 * 1024);
+  models[2].on_timeout(16 * 1024);
+  for (int ack = 0; ack <= 120; ++ack) {
+    if (ack % 20 == 0) {
+      std::vector<std::string> row{util::strf("%d", ack)};
+      for (auto& m : models) row.push_back(util::strf("%u", m.cwnd()));
+      growth.add_row(std::move(row));
+    }
+    for (auto& m : models) m.on_new_ack(kMss);
+  }
+  std::printf("cwnd after N acks (Tahoe/Reno/HP-UX cut to ssthresh=8192 first,\n"
+              "so their rows show pure congestion avoidance):\n%s\n",
+              growth.render().c_str());
+
+  // ---- ssthresh cut rules ----
+  util::TextTable cuts({"flight at loss", "Tahoe", "Reno", "Solaris 2.4", "Linux 1.0"});
+  for (std::uint32_t flight : {700u, 1500u, 5000u, 12000u}) {
+    std::vector<std::string> row{util::strf("%u", flight)};
+    for (auto* name : {"Generic Tahoe", "Generic Reno", "Solaris 2.4", "Linux 1.0"}) {
+      auto m = fresh(*tcp::find_profile(name));
+      m.on_timeout(flight);
+      row.push_back(util::strf("%u", m.ssthresh()));
+    }
+    cuts.add_row(std::move(row));
+  }
+  std::printf("ssthresh after a timeout with the given flight (rounding to MSS\n"
+              "multiples and minimum clamps differ; Tahoe clamps at 1 MSS):\n%s\n",
+              cuts.render().c_str());
+
+  // ---- recovery deflation bugs ----
+  util::TextTable rec({"variant", "cwnd before exit", "after exit (normal ack)",
+                       "after exit (header-predicted ack)"});
+  struct Variant {
+    const char* name;
+    bool deflate;
+    bool fencepost;
+  } variants[] = {
+      {"correct Reno", true, false},
+      {"header-prediction bug", false, false},
+      {"fencepost bug", true, true},
+  };
+  for (const auto& v : variants) {
+    tcp::TcpProfile p = tcp::generic_reno();
+    p.deflate_cwnd_after_recovery = v.deflate;
+    p.fencepost_recovery_bug = v.fencepost;
+    auto run = [&](bool header_predicted) {
+      auto m = fresh(p);
+      for (int i = 0; i < 16; ++i) m.on_new_ack(kMss);  // open to 8704
+      m.on_fast_retransmit(m.cwnd());
+      for (int i = 0; i < 6; ++i) m.on_dup_ack_in_recovery();
+      const std::uint32_t before = m.cwnd();
+      m.on_recovery_exit(header_predicted);
+      return std::make_pair(before, m.cwnd());
+    };
+    auto [before_n, after_n] = run(false);
+    auto [before_h, after_h] = run(true);
+    (void)before_h;
+    rec.add_row({v.name, util::strf("%u", before_n), util::strf("%u", after_n),
+                 util::strf("%u", after_h)});
+  }
+  std::printf("fast-recovery exit deflation (the [BP95] bugs, section 8.2/8.3):\n%s\n",
+              rec.render().c_str());
+
+  // ---- slow-start test < vs <= ----
+  util::TextTable ss({"test", "cwnd==ssthresh step is"});
+  for (auto test : {tcp::SlowStartTest::kLess, tcp::SlowStartTest::kLessEqual}) {
+    tcp::TcpProfile p = tcp::generic_reno();
+    p.ss_test = test;
+    auto m = fresh(p);
+    m.on_timeout(4096);  // ssthresh 2048, cwnd 512
+    while (m.cwnd() < m.ssthresh()) m.on_new_ack(kMss);
+    const std::uint32_t at = m.cwnd();
+    m.on_new_ack(kMss);
+    ss.add_row({test == tcp::SlowStartTest::kLess ? "cwnd <  ssthresh" : "cwnd <= ssthresh",
+                util::strf("%u -> %u (%s)", at, m.cwnd(),
+                           m.cwnd() - at == kMss ? "slow start" : "cong. avoidance")});
+  }
+  std::printf("the boundary ack at cwnd == ssthresh (section 8.3):\n%s\n",
+              ss.render().c_str());
+  return 0;
+}

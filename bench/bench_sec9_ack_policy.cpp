@@ -1,0 +1,174 @@
+// Section 9 reproduction: receiver acknowledgement policies.
+//
+//  * Ack classification per implementation: delayed (< 2 full segments),
+//    normal (exactly 2), stretch (> 2), duplicate.
+//  * Delayed-ack latency distributions: BSD's free-running 200 ms
+//    heartbeat spreads delays over 0-200 ms; Solaris' per-arrival 50 ms
+//    timer pins them at ~50 ms; Linux 1.0 acks every packet within ~1 ms.
+//  * The Solaris 50 ms counter-productivity threshold: when the link can't
+//    deliver two segments inside the timer (T*B < 2*S), EVERY in-sequence
+//    packet is acked individually -- the paper derives ~21 KB/s for
+//    536-byte segments; for the 200 ms BSD timer the bad regime ends at
+//    ~5.4 KB/s.
+#include <cstdio>
+
+#include "core/receiver_analyzer.hpp"
+#include "core/summary.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+tcp::SessionResult run_for(const tcp::TcpProfile& impl, double rate, std::uint64_t seed,
+                           std::uint32_t transfer = 100 * 1024) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = impl;
+  cfg.receiver_profile = impl;
+  cfg.fwd_path.rate_bytes_per_sec = rate;
+  cfg.rev_path.rate_bytes_per_sec = rate;
+  cfg.sender.transfer_bytes = transfer;
+  cfg.receiver.heartbeat_phase = util::Duration::millis((seed * 37) % 200);
+  cfg.seed = seed;
+  cfg.time_limit = util::Duration::seconds(600.0);
+  return tcp::run_session(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section 9: acknowledgement policy ==\n\n");
+
+  // ---- classification + delay distribution per implementation ----
+  util::TextTable cls({"receiver", "delayed", "normal", "stretch", "dup",
+                       "delay mean", "delay min", "delay max"});
+  for (const char* name : {"BSDI", "Solaris 2.4", "Solaris 2.3", "Linux 1.0"}) {
+    auto impl = *tcp::find_profile(name);
+    core::ReceiverReport total;
+    util::OnlineStats delays;
+    std::size_t delayed = 0, normal = 0, stretch = 0, dup = 0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      // A slow link (9 kB/s): delayed acks are routine, so the
+      // timer machinery is visible. Below Solaris' effective threshold, so
+      // its receiver acks (nearly) every packet at ~50 ms.
+      auto r = run_for(impl, 9'000.0, seed, 24 * 1024);
+      if (!r.completed) continue;
+      core::ReceiverAnalysisOptions opts;
+      opts.on_ack = [&](const core::AckObservation& o) {
+        switch (o.cls) {
+          case core::AckClass::kDelayed:
+            ++delayed;
+            if (!o.recovery_exempt) delays.add(o.delay.to_millis());
+            break;
+          case core::AckClass::kNormal: ++normal; break;
+          case core::AckClass::kStretch: ++stretch; break;
+          case core::AckClass::kDup: ++dup; break;
+          default: break;
+        }
+      };
+      (void)core::ReceiverAnalyzer(impl, opts).analyze(r.receiver_trace);
+    }
+    cls.add_row({name, util::strf("%zu", delayed), util::strf("%zu", normal),
+                 util::strf("%zu", stretch), util::strf("%zu", dup),
+                 util::strf("%.1f ms", delays.mean()), util::strf("%.1f ms", delays.min()),
+                 util::strf("%.1f ms", delays.max())});
+  }
+  std::printf("%s\n", cls.render().c_str());
+
+  // ---- the Solaris 2.3 acking bug (fixed in 2.4) ----
+  util::TextTable bug({"receiver", "normal acks", "stretch acks"});
+  for (const char* name : {"Solaris 2.3", "Solaris 2.4"}) {
+    std::size_t normal = 0, stretch = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      auto r = run_for(*tcp::find_profile(name), 1'000'000.0, seed);
+      core::ReceiverAnalysisOptions opts;
+      opts.on_ack = [&](const core::AckObservation& o) {
+        if (o.cls == core::AckClass::kNormal) ++normal;
+        if (o.cls == core::AckClass::kStretch) ++stretch;
+      };
+      (void)core::ReceiverAnalyzer(*tcp::find_profile(name), opts).analyze(r.receiver_trace);
+    }
+    bug.add_row({name, util::strf("%zu", normal), util::strf("%zu", stretch)});
+  }
+  std::printf("the 'relatively minor bug in 2.3's acking policy' fixed in 2.4\n"
+              "(occasional stretch acks on a fast link):\n%s\n",
+              bug.render().c_str());
+
+  // ---- BSD heartbeat delay histogram (uniform over 0-200 ms) ----
+  util::Histogram hist(0.0, 220.0, 11);
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    // Slow link so single segments routinely wait for the heartbeat.
+    auto r = run_for(*tcp::find_profile("BSDI"), 4'000.0, seed, 12 * 1024);
+    core::ReceiverAnalysisOptions opts;
+    opts.on_ack = [&](const core::AckObservation& o) {
+      if (o.cls == core::AckClass::kDelayed && !o.recovery_exempt)
+        hist.add(o.delay.to_millis());
+    };
+    (void)core::ReceiverAnalyzer(*tcp::find_profile("BSDI"), opts).analyze(r.receiver_trace);
+  }
+  std::printf("BSD delayed-ack latency histogram, ms (paper: evenly distributed\n"
+              "over 0-200 ms thanks to the free-running heartbeat):\n%s\n",
+              hist.render(44).c_str());
+
+  // ---- the delayed-ack timer threshold sweep ----
+  util::TextTable sweep({"link rate", "Solaris acks/pkt", "BSD acks/pkt",
+                         "Linux acks/pkt"});
+  for (double rate : {2'000.0, 5'000.0, 10'000.0, 21'000.0, 40'000.0, 125'000.0}) {
+    std::vector<std::string> row{util::strf("%.0f B/s", rate)};
+    for (const char* name : {"Solaris 2.4", "BSDI", "Linux 1.0"}) {
+      auto r = run_for(*tcp::find_profile(name), rate, 3, 16 * 1024);
+      const double acks = static_cast<double>(r.receiver_stats.acks_sent);
+      const double pkts = static_cast<double>(r.receiver_stats.data_packets);
+      row.push_back(util::strf("%.2f", pkts > 0 ? acks / pkts : 0.0));
+    }
+    sweep.add_row(std::move(row));
+  }
+  std::printf("acks per data packet vs link rate (512-byte MSS). Below the\n"
+              "T*B = 2*S boundary a timer-delayed receiver acks EVERY packet:\n"
+              "Solaris (T=50 ms): boundary ~20.5 kB/s; BSD (T~200 ms): ~5.1 kB/s.\n%s\n",
+              sweep.render().c_str());
+  std::printf(
+      "paper: Solaris' 50 ms timer is counter-productive at 56/64 kbit/s\n"
+      "rates -- the sender waits longer for acks of two packets; Linux 1.0\n"
+      "acks every packet at any rate (section 9.1).\n\n");
+
+  // ---- 9.3: ack response delays as RTT-measurement noise ----
+  // On a clean fixed-RTT path, every spread in the sender's Karn-valid RTT
+  // samples above the true 40 ms RTT is noise contributed by the
+  // receiver's acking machinery.
+  util::TextTable noise({"receiver", "RTT samples", "min", "max", "spread"});
+  for (const char* name : {"Linux 1.0", "Solaris 2.4", "BSDI"}) {
+    util::DurationStats rtt;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      auto r = run_for(*tcp::find_profile(name), 1'000'000.0, seed, 48 * 1024);
+      auto s = core::summarize(r.sender_trace);
+      for (std::size_t i = 0; i < 1; ++i) {  // merge the per-trace stats
+        // DurationStats has no merge; accumulate via raw samples is not
+        // exposed -- approximate by re-adding min/mean/max weighting.
+      }
+      if (!s.rtt.empty()) {
+        rtt.add(s.rtt.min());
+        rtt.add(s.rtt.mean());
+        rtt.add(s.rtt.max());
+      }
+    }
+    if (rtt.empty()) continue;
+    noise.add_row({name, util::strf("%zu traces", rtt.count() / 3),
+                   util::strf("%.0f ms", rtt.min().to_millis()),
+                   util::strf("%.0f ms", rtt.max().to_millis()),
+                   util::strf("%.0f ms", (rtt.max() - rtt.min()).to_millis())});
+  }
+  std::printf(
+      "ack response delays as RTT-measurement noise (section 9.3): on a\n"
+      "clean 40 ms path, everything above 40 ms in the sender's Karn-valid\n"
+      "RTT samples is the receiver's acking delay:\n%s\n"
+      "Linux's immediate acks add ~nothing; the Solaris timer adds up to\n"
+      "~50 ms; the BSD heartbeat adds up to ~200 ms -- 'a significant noise\n"
+      "term for senders that attempt to measure round-trip times to high\n"
+      "resolution.'\n",
+      noise.render().c_str());
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Table 1 reproduction: the implementations studied, corpus sizes, and --
+// the part the paper demonstrates qualitatively throughout sections 8-9 --
+// whether tcpanaly's per-implementation knowledge actually matches traces
+// of each implementation.
+//
+// The paper's corpus is 20,034 sender + 20,043 receiver traces of real
+// stacks; ours is a simulated sweep per implementation (loss x delay x
+// rate x seed). For every trace we run the full matcher against ALL
+// candidate implementations and report:
+//   * close-fit rate for the true implementation (tcpanaly "consistent"),
+//   * identification rate: the true implementation is among the best
+//     close fits (behavioral twins tie, as BSDI/NetBSD genuinely do).
+#include <cstdio>
+#include <map>
+
+#include "core/matcher.hpp"
+#include "corpus/corpus.hpp"
+#include "tcp/profiles.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+const char* lineage_name(tcp::Lineage lineage) {
+  switch (lineage) {
+    case tcp::Lineage::kTahoe:
+      return "Tahoe";
+    case tcp::Lineage::kReno:
+      return "Reno";
+    case tcp::Lineage::kIndependent:
+      return "Indep.";
+  }
+  return "?";
+}
+
+struct RowStats {
+  int sender_traces = 0, sender_close = 0, sender_identified = 0;
+  int receiver_traces = 0, receiver_close = 0, receiver_identified = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 1: TCP implementations studied (simulated corpus) ==\n\n");
+
+  const std::vector<tcp::TcpProfile> candidates = tcp::all_profiles();
+  corpus::CorpusOptions copts;
+  copts.seeds_per_cell = 1;
+
+  util::TextTable table({"Implementation", "Versions", "Lineage", "#Snd", "close%",
+                         "ident%", "#Rcv", "close%", "ident%"});
+
+  for (const auto& impl : tcp::main_study_profiles()) {
+    RowStats row;
+    for (const auto& entry : corpus::generate_corpus(impl, copts)) {
+      if (!entry.result.completed) continue;
+      {
+        auto match = core::match_implementations(entry.result.sender_trace, candidates);
+        ++row.sender_traces;
+        for (const auto& fit : match.fits)
+          if (fit.profile.name == impl.name && fit.fit == core::FitClass::kClose)
+            ++row.sender_close;
+        if (match.identifies(impl.name)) ++row.sender_identified;
+      }
+      {
+        auto match = core::match_implementations(entry.result.receiver_trace, candidates);
+        ++row.receiver_traces;
+        for (const auto& fit : match.fits)
+          if (fit.profile.name == impl.name && fit.fit == core::FitClass::kClose)
+            ++row.receiver_close;
+        if (match.identifies(impl.name)) ++row.receiver_identified;
+      }
+    }
+    auto pct = [](int a, int b) {
+      return b ? util::strf("%3.0f%%", 100.0 * a / b) : std::string("-");
+    };
+    table.add_row({impl.name, impl.versions, lineage_name(impl.lineage),
+                   util::strf("%d", row.sender_traces),
+                   pct(row.sender_close, row.sender_traces),
+                   pct(row.sender_identified, row.sender_traces),
+                   util::strf("%d", row.receiver_traces),
+                   pct(row.receiver_close, row.receiver_traces),
+                   pct(row.receiver_identified, row.receiver_traces)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper: 20,034 sender / 20,043 receiver real traces across these rows;\n"
+      "       here each row is a %zu-scenario simulated sweep per role.\n"
+      "close%% = candidate matching its own traces (tcpanaly 'consistent');\n"
+      "ident%% = true implementation among the best close fits (behavioral\n"
+      "twins such as BSDI/NetBSD tie, and receiver-side analysis can only\n"
+      "separate acking-policy families, as in the paper).\n",
+      corpus::CorpusOptions{}.loss_probs.size() *
+          corpus::CorpusOptions{}.one_way_delays.size() *
+          corpus::CorpusOptions{}.rates.size());
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Actively probe a TCP implementation and print its inferred
+// characteristics -- the paper's closing suggestion made concrete:
+// controlled stimuli (dead paths, surgical single-packet drops, peers
+// withholding the MSS option, paced arrivals) with every answer read back
+// from the packet traces alone.
+//
+// Usage: active_probe [implementation-name]
+//        active_probe --all
+#include <cstdio>
+#include <cstring>
+
+#include "probe/probe.hpp"
+#include "tcp/profiles.hpp"
+
+using namespace tcpanaly;
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--all") == 0) {
+    for (const auto& impl : tcp::all_profiles()) {
+      std::printf("=== %s ===\n%s\n", impl.name.c_str(),
+                  probe::probe_implementation(impl).render().c_str());
+    }
+    return 0;
+  }
+  const char* name = argc > 1 ? argv[1] : "Solaris 2.4";
+  auto impl = tcp::find_profile(name);
+  if (!impl) {
+    std::fprintf(stderr, "unknown implementation '%s'; known:\n", name);
+    for (const auto& p : tcp::all_profiles())
+      std::fprintf(stderr, "  %s\n", p.name.c_str());
+    return 1;
+  }
+  std::printf("probing %s as a black box...\n\n", name);
+  std::printf("%s", probe::probe_implementation(*impl).render().c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Explore the paper's three headline pathologies interactively: run each
+// scenario, print the connection statistics and an ASCII time-sequence
+// plot (the same visualization the paper's figures use).
+//
+// Usage: pathology_explorer [net3|linux|solaris|all]
+#include <cstdio>
+#include <cstring>
+
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "trace/trace.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+void report(const char* title, const tcp::SessionResult& r) {
+  std::printf("=== %s ===\n", title);
+  std::printf("data packets %llu | retransmissions %llu | timeouts %llu | "
+              "fast retx %llu | flight bursts %llu | network drops %llu\n",
+              static_cast<unsigned long long>(r.sender_stats.data_packets),
+              static_cast<unsigned long long>(r.sender_stats.retransmissions),
+              static_cast<unsigned long long>(r.sender_stats.timeouts),
+              static_cast<unsigned long long>(r.sender_stats.fast_retransmits),
+              static_cast<unsigned long long>(r.sender_stats.flight_retransmit_bursts),
+              static_cast<unsigned long long>(r.fwd_network_drops));
+  std::printf("receiver got %llu duplicate bytes; transfer took %s\n",
+              static_cast<unsigned long long>(r.receiver_stats.duplicate_data_bytes),
+              r.elapsed.to_string().c_str());
+  std::printf("%s\n", trace::render_seqplot(trace::extract_seqplot(r.sender_trace), 76, 20)
+                          .c_str());
+}
+
+void net3() {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("BSDI");
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.receiver.omit_mss_option = true;  // the trigger: SYN-ack without MSS
+  cfg.receiver.recv_buffer = 16 * 1024;
+  cfg.sender.send_buffer = 64 * 1024;
+  cfg.sender.transfer_bytes = 64 * 1024;
+  cfg.fwd_path.bottleneck_rate_bytes_per_sec = 180'000.0;
+  cfg.fwd_path.bottleneck_queue_limit = 12;
+  report("Net/3 uninitialized cwnd: 30-packet opening burst (Figure 3)",
+         tcp::run_session(cfg));
+}
+
+void linux_storm() {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("Linux 1.0");
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.sender.transfer_bytes = 64 * 1024;
+  cfg.fwd_path.prop_delay = util::Duration::millis(80);
+  cfg.rev_path.prop_delay = util::Duration::millis(80);
+  cfg.fwd_path.loss_prob = 0.03;
+  cfg.fwd_path.reorder_prob = 0.02;
+  cfg.fwd_path.reorder_extra = util::Duration::millis(30);
+  cfg.seed = 2;
+  report("Linux 1.0: whole-flight retransmission storms (Figure 4)",
+         tcp::run_session(cfg));
+}
+
+void solaris() {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("Solaris 2.4");
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.sender.transfer_bytes = 64 * 1024;
+  cfg.fwd_path.prop_delay = util::Duration::millis(340);  // RTT ~680 ms
+  cfg.rev_path.prop_delay = util::Duration::millis(340);
+  report("Solaris 2.3/2.4: premature RTO on a 680 ms path (Figure 5)",
+         tcp::run_session(cfg));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* which = argc > 1 ? argv[1] : "all";
+  const bool all = std::strcmp(which, "all") == 0;
+  if (all || !std::strcmp(which, "net3")) net3();
+  if (all || !std::strcmp(which, "linux")) linux_storm();
+  if (all || !std::strcmp(which, "solaris")) solaris();
+  return 0;
+}

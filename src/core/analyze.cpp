@@ -1,0 +1,26 @@
+#include "core/analyze.hpp"
+
+namespace tcpanaly::core {
+
+TraceAnalysis analyze_trace(const trace::Trace& trace,
+                            std::vector<tcp::TcpProfile> candidates,
+                            const MatchOptions& opts) {
+  if (candidates.empty()) candidates = tcp::all_profiles();
+  TraceAnalysis analysis;
+  analysis.calibration = calibrate(trace);
+  analysis.cleaned = analysis.calibration.duplication.duplicate_indices.empty()
+                         ? trace
+                         : strip_duplicates(trace, analysis.calibration.duplication);
+  analysis.match = match_implementations(analysis.cleaned, candidates, opts);
+  return analysis;
+}
+
+std::string TraceAnalysis::render() const {
+  std::string out = "== calibration ==\n";
+  out += calibration.summary();
+  out += "== implementation match ==\n";
+  out += match.render();
+  return out;
+}
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,29 @@
+// Top-level facade: what running "tcpanaly" on one trace produces --
+// calibration first (is the trace trustworthy? strip measurement
+// duplicates), then per-implementation matching on the cleaned trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/matcher.hpp"
+
+namespace tcpanaly::core {
+
+struct TraceAnalysis {
+  CalibrationReport calibration;
+  /// The trace actually analyzed (measurement duplicates stripped).
+  trace::Trace cleaned;
+  MatchResult match;
+
+  std::string render() const;
+};
+
+/// Calibrate, clean, and match a trace against candidate implementations.
+/// With no candidates given, the full profile registry is used.
+TraceAnalysis analyze_trace(const trace::Trace& trace,
+                            std::vector<tcp::TcpProfile> candidates = {},
+                            const MatchOptions& opts = {});
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,407 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "core/interval_set.hpp"
+#include "core/sender_analyzer.hpp"
+#include "util/table.hpp"
+
+namespace tcpanaly::core {
+
+using trace::PacketRecord;
+using trace::seq_diff;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::SeqNum;
+
+// ------------------------------------------------------------ time travel
+
+TimeTravelReport detect_time_travel(const Trace& trace) {
+  TimeTravelReport report;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].timestamp < trace[i - 1].timestamp) {
+      report.instances.push_back(
+          {i, trace[i - 1].timestamp - trace[i].timestamp});
+    }
+  }
+  return report;
+}
+
+// -------------------------------------------------------------- additions
+
+namespace {
+
+/// Content identity for duplicate matching: everything a filter-copied
+/// record shares with its twin.
+using SegKey = std::tuple<SeqNum, SeqNum, std::uint32_t, std::uint32_t, bool, bool, bool>;
+
+SegKey seg_key(const PacketRecord& rec) {
+  return {rec.tcp.seq,        rec.tcp.ack,       rec.tcp.payload_len,
+          rec.tcp.window,     rec.tcp.flags.syn, rec.tcp.flags.fin,
+          rec.tcp.flags.psh};
+}
+
+/// Mean rate (bytes/sec) over back-to-back same-set records. The gap bound
+/// keeps only intra-burst spacings (copy serialization), excluding pauses
+/// between window flights that would dilute the rate estimate.
+double burst_rate(const std::vector<std::pair<TimePoint, std::uint32_t>>& pts) {
+  double bytes = 0.0, secs = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const Duration gap = pts[i].first - pts[i - 1].first;
+    if (gap <= Duration::zero() || gap > Duration::millis(3)) continue;
+    bytes += pts[i].second;
+    secs += gap.to_seconds();
+  }
+  return secs > 0.0 ? bytes / secs : 0.0;
+}
+
+}  // namespace
+
+DuplicationReport detect_measurement_duplicates(const Trace& trace,
+                                                const DuplicationOptions& opts) {
+  DuplicationReport report;
+  // Unmatched earlier copies by content; a later identical record within
+  // max_gap pairs with the earliest pending twin.
+  std::map<SegKey, std::pair<std::size_t, TimePoint>> pending;
+  std::vector<std::size_t> later_copies;
+  std::size_t outbound_data = 0;
+
+  std::vector<std::pair<TimePoint, std::uint32_t>> first_pts, second_pts;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& rec = trace[i];
+    if (!trace.is_from_local(rec)) continue;
+    if (rec.tcp.payload_len > 0) ++outbound_data;
+    const SegKey key = seg_key(rec);
+    auto it = pending.find(key);
+    if (it != pending.end() && rec.timestamp - it->second.second <= opts.max_gap) {
+      later_copies.push_back(i);
+      first_pts.emplace_back(it->second.second, rec.tcp.payload_len);
+      second_pts.emplace_back(rec.timestamp, rec.tcp.payload_len);
+      pending.erase(it);
+    } else {
+      pending[key] = {i, rec.timestamp};
+    }
+  }
+
+  // Genuine retransmissions can also repeat content at short gaps (Linux
+  // 1.0 re-storms); measurement duplication is *systematic* -- essentially
+  // every outbound packet is doubled. Require a majority before declaring
+  // the trace duplicated.
+  if (outbound_data > 4 && later_copies.size() * 2 >= outbound_data) {
+    report.duplicate_indices = std::move(later_copies);
+    std::sort(first_pts.begin(), first_pts.end());
+    std::sort(second_pts.begin(), second_pts.end());
+    report.first_copy_rate = burst_rate(first_pts);
+    report.second_copy_rate = burst_rate(second_pts);
+  }
+  return report;
+}
+
+Trace strip_duplicates(const Trace& trace, const DuplicationReport& report) {
+  Trace cleaned(trace.meta());
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (next < report.duplicate_indices.size() && report.duplicate_indices[next] == i) {
+      ++next;
+      continue;
+    }
+    cleaned.push_back(trace[i]);
+  }
+  return cleaned;
+}
+
+// ------------------------------------------------------------ resequencing
+
+ResequencingReport detect_resequencing(const Trace& trace,
+                                       const ResequencingOptions& opts) {
+  ResequencingReport report;
+  const bool sender_side = trace.meta().role == trace::LocalRole::kSender;
+
+  if (sender_side) {
+    // Signatures (i)/(ii): local data packet recorded, and within epsilon
+    // an inbound ack arrives that (ii) repairs an offered-window violation
+    // or (i) is the first window-advancing ack after a lull.
+    bool have_ack = false;
+    SeqNum last_ack = 0;
+    std::uint32_t last_win = 0;
+    std::optional<TimePoint> last_outbound_data;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto& rec = trace[i];
+      if (trace.is_from_local(rec)) {
+        if (rec.tcp.payload_len == 0) continue;
+        const bool violates =
+            have_ack && seq_gt(rec.tcp.seq_end(), last_ack + last_win);
+        const bool lull = last_outbound_data &&
+                          rec.timestamp - *last_outbound_data > Duration::millis(200);
+        last_outbound_data = rec.timestamp;
+        if (!violates && !lull) continue;
+        // Look ahead for the contradicting ack within epsilon.
+        for (std::size_t j = i + 1; j < trace.size(); ++j) {
+          const auto& nxt = trace[j];
+          if (nxt.timestamp - rec.timestamp > opts.epsilon) break;
+          if (trace.is_from_local(nxt) || !nxt.tcp.flags.ack) continue;
+          const bool repairs =
+              seq_le(rec.tcp.seq_end(), nxt.tcp.ack + nxt.tcp.window);
+          const bool advances = !have_ack || seq_gt(nxt.tcp.ack, last_ack);
+          if ((violates && repairs) || (lull && advances)) {
+            report.instances.push_back(
+                {j, ResequencingKind::kDataBeforeLiberatingAck,
+                 nxt.timestamp - rec.timestamp});
+            break;
+          }
+        }
+      } else if (rec.tcp.flags.ack) {
+        have_ack = true;
+        last_ack = rec.tcp.ack;
+        last_win = rec.tcp.window;
+      }
+    }
+  } else {
+    // Signature (iii): the local (receiving) host acks data the trace has
+    // not yet shown arriving, and the data appears within epsilon after.
+    bool have_data = false;
+    SeqNum max_arrived = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto& rec = trace[i];
+      if (!trace.is_from_local(rec)) {
+        if (rec.tcp.payload_len > 0 || rec.tcp.flags.syn) {
+          const SeqNum end = rec.tcp.seq_end();
+          if (!have_data || seq_gt(end, max_arrived)) max_arrived = end;
+          have_data = true;
+        }
+        continue;
+      }
+      if (!rec.tcp.flags.ack || !have_data) continue;
+      if (!seq_gt(rec.tcp.ack, max_arrived)) continue;
+      for (std::size_t j = i + 1; j < trace.size(); ++j) {
+        const auto& nxt = trace[j];
+        if (nxt.timestamp - rec.timestamp > opts.epsilon) break;
+        if (trace.is_from_local(nxt) || nxt.tcp.payload_len == 0) continue;
+        if (!seq_gt(rec.tcp.ack, nxt.tcp.seq_end())) {
+          report.instances.push_back(
+              {i, ResequencingKind::kAckForDataNotYetArrived,
+               nxt.timestamp - rec.timestamp});
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+// ------------------------------------------------------------ filter drops
+
+const char* to_string(DropCheck check) {
+  switch (check) {
+    case DropCheck::kAckForUnseenData: return "ack-for-unseen-data";
+    case DropCheck::kAckedHoleNeverSent: return "acked-hole-never-sent";
+    case DropCheck::kLocalAckForUnseenData: return "local-ack-for-unseen-data";
+    case DropCheck::kAckedHoleNeverArrived: return "acked-hole-never-arrived";
+    case DropCheck::kOfferedWindowViolation: return "offered-window-violation";
+    case DropCheck::kDupAcksWithoutCause: return "dup-acks-without-cause";
+    case DropCheck::kCongestionWindowViolation: return "congestion-window-violation";
+  }
+  return "?";
+}
+
+FilterDropReport detect_filter_drops(const Trace& trace) {
+  FilterDropReport report;
+  const bool sender_side = trace.meta().role == trace::LocalRole::kSender;
+
+  // To avoid double-counting resequencing as drops, pre-compute the
+  // resequenced record set and skip window checks near those records.
+  auto reseq = detect_resequencing(trace);
+
+  if (sender_side) {
+    SeqIntervalSet sent;
+    bool have_send = false;
+    SeqNum max_sent_end = 0;
+    bool have_ack = false;
+    SeqNum last_ack = 0;
+    std::uint32_t last_win = 0;
+    SeqNum checked_to = 0;  // ack frontier already audited for holes
+    bool have_checked = false;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto& rec = trace[i];
+      if (trace.is_from_local(rec)) {
+        const SeqNum begin = rec.tcp.seq;
+        const SeqNum end = rec.tcp.seq_end();
+        if (end != begin) {
+          sent.insert(begin, end);
+          if (!have_send || seq_gt(end, max_sent_end)) max_sent_end = end;
+          if (!have_send) {
+            checked_to = begin;
+            have_checked = true;
+          }
+          have_send = true;
+        }
+        // Offered-window violation (not explainable by resequencing):
+        // either the filter missed a window-update ack, or ordering lies.
+        if (rec.tcp.payload_len > 0 && have_ack &&
+            seq_gt(end, last_ack + last_win)) {
+          const bool explained = std::any_of(
+              reseq.instances.begin(), reseq.instances.end(),
+              [&](const ResequencingInstance& inst) {
+                return inst.record_index >= i && inst.record_index <= i + 4;
+              });
+          if (!explained) {
+            report.findings.push_back(
+                {DropCheck::kOfferedWindowViolation, i,
+                 static_cast<std::uint64_t>(seq_diff(end, last_ack + last_win))});
+          }
+        }
+        continue;
+      }
+      if (!rec.tcp.flags.ack || rec.tcp.flags.syn) {
+        if (rec.tcp.flags.syn) {
+          have_ack = true;
+          last_ack = rec.tcp.ack;
+          last_win = rec.tcp.window;
+        }
+        continue;
+      }
+      // Self-consistency: an ack must cover only recorded sends.
+      if (have_send && seq_gt(rec.tcp.ack, max_sent_end)) {
+        const auto missing = static_cast<std::uint64_t>(seq_diff(rec.tcp.ack, max_sent_end));
+        report.findings.push_back({DropCheck::kAckForUnseenData, i, missing});
+        report.inferred_missing_bytes += missing;
+        sent.insert(max_sent_end, rec.tcp.ack);  // don't re-report
+        max_sent_end = rec.tcp.ack;
+      } else if (have_send && have_checked && seq_gt(rec.tcp.ack, checked_to)) {
+        const std::uint64_t hole = sent.missing_in(checked_to, rec.tcp.ack);
+        if (hole > 0) {
+          report.findings.push_back({DropCheck::kAckedHoleNeverSent, i, hole});
+          report.inferred_missing_bytes += hole;
+          sent.insert(checked_to, rec.tcp.ack);
+        }
+        checked_to = rec.tcp.ack;
+      }
+      have_ack = true;
+      last_ack = rec.tcp.ack;
+      last_win = rec.tcp.window;
+    }
+  } else {
+    SeqIntervalSet arrived;
+    bool have_data = false;
+    SeqNum max_arrived = 0;
+    SeqNum checked_to = 0;
+    bool have_checked = false;
+    // Dup-acks-without-cause bookkeeping: duplicate acks must be elicited
+    // by inbound data; several in a row with no data recorded in between
+    // mean the filter missed the (out-of-order) arrivals.
+    bool have_local_ack = false;
+    SeqNum last_local_ack = 0;
+    int uncaused_dups = 0;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto& rec = trace[i];
+      if (!trace.is_from_local(rec)) {
+        if (rec.tcp.payload_len > 0) uncaused_dups = 0;
+        const SeqNum begin = rec.tcp.seq;
+        const SeqNum end = rec.tcp.seq_end();
+        if (end != begin) {
+          arrived.insert(begin, end);
+          if (!have_data || seq_gt(end, max_arrived)) max_arrived = end;
+          if (!have_data) {
+            checked_to = begin;
+            have_checked = true;
+          }
+          have_data = true;
+        }
+        continue;
+      }
+      if (!rec.tcp.flags.ack || !have_data) continue;
+      if (have_local_ack && rec.tcp.ack == last_local_ack && rec.tcp.payload_len == 0) {
+        if (++uncaused_dups == 2) {
+          // Two dup acks with zero inbound data between them: whatever
+          // elicited them never made it into the trace.
+          report.findings.push_back({DropCheck::kDupAcksWithoutCause, i, 0});
+        }
+      }
+      have_local_ack = true;
+      last_local_ack = rec.tcp.ack;
+      const bool explained = std::any_of(
+          reseq.instances.begin(), reseq.instances.end(),
+          [&](const ResequencingInstance& inst) { return inst.record_index == i; });
+      if (explained) continue;
+      if (seq_gt(rec.tcp.ack, max_arrived)) {
+        const auto missing = static_cast<std::uint64_t>(seq_diff(rec.tcp.ack, max_arrived));
+        report.findings.push_back({DropCheck::kLocalAckForUnseenData, i, missing});
+        report.inferred_missing_bytes += missing;
+        arrived.insert(max_arrived, rec.tcp.ack);
+        max_arrived = rec.tcp.ack;
+      } else if (have_checked && seq_gt(rec.tcp.ack, checked_to)) {
+        const std::uint64_t hole = arrived.missing_in(checked_to, rec.tcp.ack);
+        if (hole > 0) {
+          report.findings.push_back({DropCheck::kAckedHoleNeverArrived, i, hole});
+          report.inferred_missing_bytes += hole;
+          arrived.insert(checked_to, rec.tcp.ack);
+        }
+        checked_to = rec.tcp.ack;
+      }
+    }
+  }
+  return report;
+}
+
+FilterDropReport infer_drops_from_model(const Trace& trace,
+                                        const tcp::TcpProfile& profile) {
+  FilterDropReport report;
+  if (trace.meta().role != trace::LocalRole::kSender) return report;
+  SenderAnalysisOptions opts;
+  opts.infer_source_quench = false;  // keep the replay deterministic/cheap
+  SenderReport rep = SenderAnalyzer(profile, opts).analyze(trace);
+  // Only an otherwise-matching model implicates the filter: a wrong
+  // candidate's violations reflect the model, not the measurement.
+  if (rep.unexplained_retransmissions > 0) return report;
+  if (rep.violations.size() > std::max<std::size_t>(3, rep.data_packets / 20))
+    return report;
+  for (const auto& v : rep.violations) {
+    report.findings.push_back(
+        {DropCheck::kCongestionWindowViolation, v.record_index, v.over_bytes});
+    report.inferred_missing_bytes += v.over_bytes;
+  }
+  return report;
+}
+
+// ------------------------------------------------------------- aggregation
+
+CalibrationReport calibrate(const Trace& trace) {
+  CalibrationReport report;
+  report.time_travel = detect_time_travel(trace);
+  report.duplication = detect_measurement_duplicates(trace);
+  // Analyze ordering and drops on the duplicate-stripped view, as tcpanaly
+  // does after discarding later copies.
+  if (report.duplication.duplicate_indices.empty()) {
+    report.resequencing = detect_resequencing(trace);
+    report.drops = detect_filter_drops(trace);
+  } else {
+    Trace cleaned = strip_duplicates(trace, report.duplication);
+    report.resequencing = detect_resequencing(cleaned);
+    report.drops = detect_filter_drops(cleaned);
+  }
+  return report;
+}
+
+std::string CalibrationReport::summary() const {
+  std::string out;
+  out += util::strf("time travel:   %zu instance(s)\n", time_travel.instances.size());
+  out += util::strf("additions:     %zu duplicated record(s)", duplication.duplicate_indices.size());
+  if (!duplication.duplicate_indices.empty())
+    out += util::strf("  [first-copy rate %.0f B/s, second-copy rate %.0f B/s]",
+                      duplication.first_copy_rate, duplication.second_copy_rate);
+  out += '\n';
+  out += util::strf("resequencing:  %zu instance(s)\n", resequencing.instances.size());
+  out += util::strf("filter drops:  %zu finding(s), >= %llu byte(s) unrecorded\n",
+                    drops.findings.size(),
+                    static_cast<unsigned long long>(drops.inferred_missing_bytes));
+  out += util::strf("verdict:       %s\n", trustworthy() ? "trustworthy" : "SUSPECT");
+  return out;
+}
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,161 @@
+// Trace calibration: detecting packet-filter measurement errors (paper
+// section 3) before any TCP-level analysis is attempted.
+//
+// Everything here consumes ONLY what a real tcpdump trace contains --
+// timestamps and TCP/IP headers. The truth_* annotations on PacketRecord
+// are never read; tests use them to score these detectors.
+//
+// Error classes covered:
+//   * time travel          (3.1.4) -- timestamps that decrease
+//   * measurement additions (3.1.2) -- filter-duplicated records; the
+//     later copy of each pair is identified and can be stripped
+//   * resequencing         (3.1.3) -- record order contradicting TCP
+//     cause-and-effect on sub-millisecond scales
+//   * filter drops         (3.1.1) -- self-consistency checks exploiting
+//     TCP's reliability: acks for unseen data, acked sequence holes never
+//     seen retransmitted, sends beyond the offered window
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcp/profile.hpp"
+#include "trace/trace.hpp"
+
+namespace tcpanaly::core {
+
+using trace::Trace;
+using util::Duration;
+using util::TimePoint;
+
+// ------------------------------------------------------------ time travel
+
+struct TimeTravelInstance {
+  std::size_t record_index = 0;  ///< the record whose timestamp went backwards
+  Duration magnitude;            ///< how far backwards
+};
+
+struct TimeTravelReport {
+  std::vector<TimeTravelInstance> instances;
+  bool clock_untrustworthy() const { return !instances.empty(); }
+};
+
+TimeTravelReport detect_time_travel(const Trace& trace);
+
+// -------------------------------------------------------------- additions
+
+struct DuplicationReport {
+  /// Indices of records judged to be filter-added later copies.
+  std::vector<std::size_t> duplicate_indices;
+  /// Estimated data rate of the first copies vs the second copies
+  /// (bytes/sec); the Figure 1 signature is first >> second, with the
+  /// second matching the local link rate.
+  double first_copy_rate = 0.0;
+  double second_copy_rate = 0.0;
+};
+
+struct DuplicationOptions {
+  /// Max spacing between a record and its filter-added copy. The IRIX
+  /// artifact spaces copies by local-link serialization (~0.5 ms/packet at
+  /// Ethernet rates), far below any RTT on which real retransmissions run.
+  Duration max_gap = Duration::millis(30);
+};
+
+DuplicationReport detect_measurement_duplicates(const Trace& trace,
+                                                const DuplicationOptions& opts = {});
+
+/// Remove the later copy of each duplicated record ("tcpanaly copes with
+/// measurement duplicates by discarding the later copy").
+Trace strip_duplicates(const Trace& trace, const DuplicationReport& report);
+
+// ------------------------------------------------------------ resequencing
+
+enum class ResequencingKind {
+  kDataBeforeLiberatingAck,   ///< (i)/(ii): data sent, liberating ack follows
+                              ///  within epsilon
+  kAckForDataNotYetArrived,   ///< (iii): local ack precedes the data it covers
+};
+
+struct ResequencingInstance {
+  std::size_t record_index = 0;  ///< the misplaced record
+  ResequencingKind kind;
+  Duration gap;  ///< how soon the contradicting record follows
+};
+
+struct ResequencingOptions {
+  /// Max gap for "very shortly afterward". Resequencing artifacts live on
+  /// few-hundred-microsecond scales.
+  Duration epsilon = Duration::millis(2);
+};
+
+struct ResequencingReport {
+  std::vector<ResequencingInstance> instances;
+  bool ordering_untrustworthy() const { return instances.size() >= 2; }
+};
+
+ResequencingReport detect_resequencing(const Trace& trace,
+                                       const ResequencingOptions& opts = {});
+
+// ------------------------------------------------------------ filter drops
+
+enum class DropCheck {
+  kAckForUnseenData,      ///< inbound ack beyond any recorded outbound data
+  kAckedHoleNeverSent,    ///< acked outbound sequence range never recorded
+  kLocalAckForUnseenData, ///< (receiver trace) local ack beyond recorded arrivals
+  kAckedHoleNeverArrived, ///< (receiver trace) acked range never recorded arriving
+  kOfferedWindowViolation,///< send beyond the peer's offered window
+  kDupAcksWithoutCause,   ///< (receiver trace) duplicate acks with no recorded
+                          ///  inbound data to elicit them
+  kCongestionWindowViolation,  ///< send beyond the computed cwnd of an
+                               ///  otherwise-matching implementation (the
+                               ///  paper's "most powerful" drop check; needs
+                               ///  implementation knowledge, section 6)
+};
+
+const char* to_string(DropCheck check);
+
+struct FilterDropFinding {
+  DropCheck check;
+  std::size_t record_index = 0;  ///< the record that exposed the inconsistency
+  std::uint64_t missing_bytes = 0;
+};
+
+struct FilterDropReport {
+  std::vector<FilterDropFinding> findings;
+  /// Lower bound on payload bytes the filter failed to record.
+  std::uint64_t inferred_missing_bytes = 0;
+  bool drops_detected() const { return !findings.empty(); }
+};
+
+FilterDropReport detect_filter_drops(const Trace& trace);
+
+/// The implementation-aware drop check (paper 3.1.1 / section 6): when a
+/// sender-side trace otherwise matches `profile` closely, its window
+/// violations are best explained as filter drops of the acks that must
+/// have opened the window. Returns kCongestionWindowViolation findings;
+/// empty when the profile does not otherwise fit (a wrong model's
+/// violations say nothing about the filter).
+FilterDropReport infer_drops_from_model(const Trace& trace,
+                                        const tcp::TcpProfile& profile);
+
+// ------------------------------------------------------------- aggregation
+
+struct CalibrationReport {
+  TimeTravelReport time_travel;
+  DuplicationReport duplication;
+  ResequencingReport resequencing;
+  FilterDropReport drops;
+
+  bool trustworthy() const {
+    return !time_travel.clock_untrustworthy() && duplication.duplicate_indices.empty() &&
+           !resequencing.ordering_untrustworthy() && !drops.drops_detected();
+  }
+  std::string summary() const;
+};
+
+/// Run every calibration pass over a trace.
+CalibrationReport calibrate(const Trace& trace);
+
+}  // namespace tcpanaly::core

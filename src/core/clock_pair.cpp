@@ -1,0 +1,232 @@
+#include "core/clock_pair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "util/table.hpp"
+
+namespace tcpanaly::core {
+
+namespace {
+
+using trace::PacketRecord;
+using trace::Trace;
+
+/// Content key identifying "the same packet" across the two vantage
+/// points: sequence, length, and the principal flags.
+using PacketKey = std::tuple<trace::SeqNum, std::uint32_t, bool, bool>;
+
+PacketKey key_of(const PacketRecord& rec) {
+  return {rec.tcp.seq, rec.tcp.payload_len, rec.tcp.flags.syn, rec.tcp.flags.fin};
+}
+
+/// Pair departures (recorded at the transmitting host) with arrivals
+/// (recorded at the other host). Retransmissions repeat keys; each arrival
+/// is paired with the latest not-later departure of the same key, which
+/// tolerates drops (departures without arrivals).
+std::vector<OwdSample> pair_direction(const Trace& tx_trace, bool tx_from_local,
+                                      const Trace& rx_trace, bool rx_from_local) {
+  std::map<PacketKey, std::deque<TimePoint>> departures;
+  for (const auto& rec : tx_trace.records()) {
+    if (tx_trace.is_from_local(rec) != tx_from_local) continue;
+    if (rec.tcp.payload_len == 0 && !rec.tcp.flags.syn && !rec.tcp.flags.fin) continue;
+    departures[key_of(rec)].push_back(rec.timestamp);
+  }
+  std::vector<OwdSample> samples;
+  for (const auto& rec : rx_trace.records()) {
+    if (rx_trace.is_from_local(rec) != rx_from_local) continue;
+    if (rec.tcp.payload_len == 0 && !rec.tcp.flags.syn && !rec.tcp.flags.fin) continue;
+    auto it = departures.find(key_of(rec));
+    if (it == departures.end() || it->second.empty()) continue;
+    // Latest departure at or before the arrival; fall back to the earliest
+    // remaining one when clock errors invert the order (that inversion is
+    // itself a finding).
+    auto& dq = it->second;
+    TimePoint dep = dq.front();
+    while (dq.size() > 1 && dq[1] <= rec.timestamp) {
+      dq.pop_front();
+      dep = dq.front();
+    }
+    dq.pop_front();
+    samples.push_back({dep, rec.timestamp - dep});
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const OwdSample& a, const OwdSample& b) { return a.departure < b.departure; });
+  return samples;
+}
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2), v.end());
+  return v[v.size() / 2];
+}
+
+double low_quantile_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const auto idx = static_cast<std::ptrdiff_t>(v.size() / 10);
+  std::nth_element(v.begin(), v.begin() + idx, v.end());
+  return v[static_cast<std::size_t>(idx)];
+}
+
+/// Robust OWD trend in ppm: the LOW quantile of the last quarter minus the
+/// low quantile of the first, over the spanned time. The low quantile
+/// tracks propagation delay plus clock error and is immune to queueing --
+/// self-induced queueing can raise median delays by tens of milliseconds,
+/// dwarfing any skew.
+double trend_ppm(const std::vector<OwdSample>& samples_in) {
+  if (samples_in.size() < 12) return 0.0;
+  // Skip the opening third: slow start builds a standing queue whose
+  // delay growth would otherwise swamp any clock drift. Within steady
+  // state, the standing queue is stable and the low quantile tracks
+  // propagation delay plus clock error.
+  const std::vector<OwdSample> samples(samples_in.begin() + samples_in.size() / 3,
+                                       samples_in.end());
+  const std::size_t quarter = std::max<std::size_t>(2, samples.size() / 4);
+  std::vector<double> head, tail;
+  for (std::size_t i = 0; i < quarter; ++i)
+    head.push_back(static_cast<double>(samples[i].owd.count()));
+  for (std::size_t i = samples.size() - quarter; i < samples.size(); ++i)
+    tail.push_back(static_cast<double>(samples[i].owd.count()));
+  const double dt = static_cast<double>(
+      (samples[samples.size() - quarter / 2 - 1].departure - samples[quarter / 2].departure)
+          .count());
+  if (dt <= 0.0) return 0.0;
+  return (low_quantile_of(tail) - low_quantile_of(head)) / dt * 1e6;
+}
+
+struct Jump {
+  TimePoint when;
+  double delta_us;
+};
+
+/// Steps in a (median-of-3 smoothed) OWD series.
+std::vector<Jump> find_jumps(const std::vector<OwdSample>& samples, Duration min_step) {
+  std::vector<Jump> jumps;
+  if (samples.size() < 4) return jumps;
+  auto smooth = [&](std::size_t i) {
+    std::vector<double> w;
+    for (std::size_t j = i > 0 ? i - 1 : 0; j <= std::min(samples.size() - 1, i + 1); ++j)
+      w.push_back(static_cast<double>(samples[j].owd.count()));
+    return median_of(w);
+  };
+  for (std::size_t i = 1; i + 1 < samples.size(); ++i) {
+    const double delta = smooth(i + 1) - smooth(i - 1 > 0 ? i - 1 : 0);
+    if (std::abs(delta) >= static_cast<double>(min_step.count())) {
+      // Coalesce with the previous jump if adjacent.
+      if (!jumps.empty() &&
+          samples[i].departure - jumps.back().when < Duration::millis(200)) {
+        if (std::abs(delta) > std::abs(jumps.back().delta_us))
+          jumps.back() = {samples[i].departure, delta};
+        continue;
+      }
+      jumps.push_back({samples[i].departure, delta});
+    }
+  }
+  return jumps;
+}
+
+}  // namespace
+
+ClockPairReport compare_clocks(const Trace& sender_trace, const Trace& receiver_trace,
+                               const ClockPairOptions& opts) {
+  ClockPairReport report;
+
+  // Forward: data leaves the sender (local there), arrives at the receiver
+  // (remote there). Reverse: acks leave the receiver, arrive at the sender.
+  // Acks carry no payload, so the reverse direction pairs on SYN/FIN plus
+  // -- much richer -- pure acks keyed by ack number.
+  auto fwd = pair_direction(sender_trace, true, receiver_trace, false);
+
+  // Reverse pairing on ack numbers (occurrence order per ack value).
+  std::map<std::pair<trace::SeqNum, std::uint32_t>, std::deque<TimePoint>> ack_departures;
+  for (const auto& rec : receiver_trace.records()) {
+    if (!receiver_trace.is_from_local(rec) || !rec.tcp.is_pure_ack()) continue;
+    ack_departures[{rec.tcp.ack, rec.tcp.window}].push_back(rec.timestamp);
+  }
+  std::vector<OwdSample> rev;
+  for (const auto& rec : sender_trace.records()) {
+    if (sender_trace.is_from_local(rec) || !rec.tcp.is_pure_ack()) continue;
+    auto it = ack_departures.find({rec.tcp.ack, rec.tcp.window});
+    if (it == ack_departures.end() || it->second.empty()) continue;
+    auto& dq = it->second;
+    TimePoint dep = dq.front();
+    while (dq.size() > 1 && dq[1] <= rec.timestamp) {
+      dq.pop_front();
+      dep = dq.front();
+    }
+    dq.pop_front();
+    rev.push_back({dep, rec.timestamp - dep});
+  }
+  std::sort(rev.begin(), rev.end(),
+            [](const OwdSample& a, const OwdSample& b) { return a.departure < b.departure; });
+
+  report.fwd_samples = fwd.size();
+  report.rev_samples = rev.size();
+  for (const auto& s : fwd)
+    if (s.owd < Duration::zero()) ++report.negative_owds;
+  for (const auto& s : rev)
+    if (s.owd < Duration::zero()) ++report.negative_owds;
+
+  if (fwd.size() < opts.min_samples || rev.size() < opts.min_samples) return report;
+
+  // Relative skew: appears with OPPOSITE sign in the two directions.
+  // Same-sign trends are genuine path-delay changes, not clocks.
+  const double t_fwd = trend_ppm(fwd);
+  const double t_rev = trend_ppm(rev);
+  // A genuine clock skew shows up with comparable magnitude and OPPOSITE
+  // sign in the two directions; anything else is the path changing.
+  if (t_fwd * t_rev < 0.0) {
+    const double mag_ratio = std::abs(t_fwd) / std::max(1e-9, std::abs(t_rev));
+    if (mag_ratio > 1.0 / 3.0 && mag_ratio < 3.0) {
+      const double skew = (t_fwd - t_rev) / 2.0;
+      if (std::abs(skew) >= opts.min_skew_ppm) {
+        report.relative_skew_ppm = skew;
+        report.skew_detected = true;
+      }
+    }
+  }
+
+  // Step adjustments: a remote-clock step of +D shifts forward OWDs by +D
+  // and reverse OWDs by -D at the same moment.
+  const auto fwd_jumps = find_jumps(fwd, opts.min_step);
+  const auto rev_jumps = find_jumps(rev, opts.min_step);
+  for (const auto& fj : fwd_jumps) {
+    for (const auto& rj : rev_jumps) {
+      const Duration gap = fj.when > rj.when ? fj.when - rj.when : rj.when - fj.when;
+      if (gap > Duration::seconds(2.0)) continue;
+      if (fj.delta_us * rj.delta_us >= 0.0) continue;  // must be opposite
+      const double mag_ratio = std::abs(fj.delta_us) / std::abs(rj.delta_us);
+      if (mag_ratio < 0.5 || mag_ratio > 2.0) continue;
+      report.steps.push_back(
+          {fj.when, Duration::micros(static_cast<std::int64_t>(
+                        (fj.delta_us - rj.delta_us) / 2.0))});
+      break;
+    }
+  }
+  return report;
+}
+
+std::string ClockPairReport::summary() const {
+  std::string out;
+  out += util::strf("paired samples:  %zu forward, %zu reverse\n", fwd_samples, rev_samples);
+  out += util::strf("negative OWDs:   %zu\n", negative_owds);
+  if (skew_detected)
+    out += util::strf("relative skew:   %+.0f ppm (receiver clock vs sender clock)\n",
+                      relative_skew_ppm);
+  else
+    out += "relative skew:   none detected\n";
+  if (steps.empty()) {
+    out += "clock steps:     none detected\n";
+  } else {
+    for (const auto& s : steps)
+      out += util::strf("clock step:      %+lld us at ~%s (receiver clock)\n",
+                        static_cast<long long>(s.delta.count()), s.when.to_string().c_str());
+  }
+  out += util::strf("verdict:         %s\n", clocks_agree() ? "clocks agree" : "SUSPECT");
+  return out;
+}
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,80 @@
+// Trace-pair clock calibration (paper section 3.1.4, detailed in the
+// companion tech report [Pa97b]).
+//
+// A single trace only reveals *backward* clock steps (time travel).
+// Forward adjustments "appear virtually identical to a period of elevated
+// network delays", and relative skew is invisible -- "they can, however,
+// be detected if one has available trace pairs of packet departures and
+// arrivals". Given the sender-side and receiver-side traces of the same
+// connection, this module:
+//
+//   * pairs each packet's departure and arrival records (by sequence
+//     content, per direction, in occurrence order);
+//   * computes one-way-delay (OWD) series in both directions;
+//   * estimates the RELATIVE SKEW between the two measurement clocks: a
+//     skew trend appears with opposite sign in the two directions, while
+//     genuine path asymmetry or congestion does not;
+//   * detects STEP ADJUSTMENTS: a clock step shifts one direction's OWDs
+//     up and the other's down by the same amount at the same moment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace tcpanaly::core {
+
+using util::Duration;
+using util::TimePoint;
+
+struct OwdSample {
+  TimePoint departure;  ///< timestamp at the sending host's filter
+  Duration owd;         ///< arrival timestamp minus departure timestamp
+};
+
+struct ClockPairOptions {
+  /// Minimum paired samples per direction for any verdict.
+  std::size_t min_samples = 8;
+  /// Steps smaller than this are ignored (queueing noise).
+  Duration min_step = util::Duration::millis(10);
+  /// Relative skew magnitudes below this (ppm) are reported as zero.
+  double min_skew_ppm = 20.0;
+};
+
+struct ClockStep {
+  TimePoint when;   ///< approximate true time of the adjustment
+  Duration delta;   ///< signed step of the REMOTE clock relative to local
+};
+
+struct ClockPairReport {
+  std::size_t fwd_samples = 0;  ///< sender->receiver pairs
+  std::size_t rev_samples = 0;  ///< receiver->sender pairs
+
+  /// Estimated skew of the receiver-side clock relative to the sender-side
+  /// clock, in parts per million; 0 when below the detection floor.
+  double relative_skew_ppm = 0.0;
+  bool skew_detected = false;
+
+  std::vector<ClockStep> steps;
+
+  /// Negative one-way delays: impossible physically; a clock offset or
+  /// step is certain.
+  std::size_t negative_owds = 0;
+
+  bool clocks_agree() const {
+    return !skew_detected && steps.empty() && negative_owds == 0;
+  }
+  std::string summary() const;
+};
+
+/// Pair departures with arrivals across the two traces and analyze the
+/// OWD series. `sender_trace` must be the trace captured at the bulk-data
+/// sender, `receiver_trace` at the receiver.
+ClockPairReport compare_clocks(const trace::Trace& sender_trace,
+                               const trace::Trace& receiver_trace,
+                               const ClockPairOptions& opts = {});
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,427 @@
+#include "core/conformance.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/interval_set.hpp"
+#include "util/table.hpp"
+
+namespace tcpanaly::core {
+
+using trace::PacketRecord;
+using trace::seq_ge;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::seq_lt;
+using trace::SeqNum;
+using util::Duration;
+using util::TimePoint;
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kPass:
+      return "PASS";
+    case Verdict::kFail:
+      return "FAIL";
+    case Verdict::kNotExercised:
+      return "not exercised";
+  }
+  return "?";
+}
+
+namespace {
+
+struct SenderView {
+  std::uint32_t mss = 536;
+  bool have_ack = false;
+  SeqNum last_ack = 0;
+  std::uint32_t last_win = 0;
+
+  bool have_data = false;
+  SeqNum snd_max = 0;
+
+  // First flight: data packets before the first data-covering ack.
+  std::size_t first_flight = 0;
+  bool first_ack_seen = false;
+  SeqNum first_data_seq = 0;
+
+  // Offered-window compliance.
+  std::size_t window_excesses = 0;
+  std::uint64_t worst_excess = 0;
+
+  // Per-segment transmission history and dup-ack context.
+  std::map<SeqNum, TimePoint> last_tx;
+  int dups_since_progress = 0;
+
+  // Karn-valid RTT samples for the premature-retransmission bound.
+  std::map<SeqNum, std::pair<TimePoint, bool>> pending_rtt;  // end -> (t, clean)
+  Duration min_rtt = Duration::infinite();
+  bool have_rtt = false;
+
+  // Premature retransmissions (gap below measured RTT, no dup-ack cause).
+  std::size_t total_retx = 0;
+  std::size_t premature = 0;
+  Duration worst_premature_gap = Duration::infinite();
+
+  // Backoff chains: consecutive retransmissions of one segment with no
+  // forward progress in between.
+  std::vector<std::pair<double, double>> backoff_ratios;  // (g1,g2) secs
+  std::map<SeqNum, std::vector<TimePoint>> retx_times;
+
+  // Abandonment: trailing retransmissions of one segment with no progress,
+  // and whether a RST announced the abort (Dawson et al., section 2).
+  std::size_t trailing_same_seq_retx = 0;
+  bool sent_rst = false;
+
+  // Post-timeout restart flight.
+  bool counting_restart = false;
+  SeqNum restart_trigger = 0;
+  std::size_t restart_flight = 0;
+  std::size_t worst_restart_flight = 0;
+};
+
+void scan_sender(const trace::Trace& tr, SenderView& v) {
+  for (const auto& rec : tr.records()) {
+    if (tr.is_from_local(rec)) {
+      if (rec.tcp.flags.rst) v.sent_rst = true;
+      if (rec.tcp.flags.syn) {
+        if (rec.tcp.mss_option) v.mss = *rec.tcp.mss_option;
+        continue;
+      }
+      if (rec.tcp.payload_len == 0) continue;
+      const SeqNum end = rec.tcp.seq_end();
+      if (!v.have_data) {
+        v.have_data = true;
+        v.first_data_seq = rec.tcp.seq;
+        v.snd_max = rec.tcp.seq;
+      }
+      if (!v.first_ack_seen) ++v.first_flight;
+
+      if (v.have_ack) {
+        const std::int64_t over =
+            trace::seq_diff(end, v.last_ack + v.last_win + 2 * v.mss);
+        if (over > 0) {
+          ++v.window_excesses;
+          v.worst_excess = std::max<std::uint64_t>(v.worst_excess,
+                                                   static_cast<std::uint64_t>(over));
+        }
+      }
+
+      if (seq_lt(rec.tcp.seq, v.snd_max)) {
+        // Retransmission.
+        ++v.total_retx;
+        auto& times = v.retx_times[rec.tcp.seq];
+        if (auto it = v.last_tx.find(rec.tcp.seq); it != v.last_tx.end()) {
+          const Duration gap = rec.timestamp - it->second;
+          if (v.have_rtt && gap < v.min_rtt && v.dups_since_progress < 3) {
+            ++v.premature;
+            v.worst_premature_gap = std::min(v.worst_premature_gap, gap);
+          }
+          times.push_back(rec.timestamp);
+          if (times.size() >= 3) {
+            const double g1 = (times[times.size() - 2] - times[times.size() - 3]).to_seconds();
+            const double g2 = (times[times.size() - 1] - times[times.size() - 2]).to_seconds();
+            if (g1 > 0.0) v.backoff_ratios.emplace_back(g1, g2);
+          }
+          // A retransmitted segment never yields a clean RTT sample.
+          if (auto p = v.pending_rtt.find(end); p != v.pending_rtt.end())
+            p->second.second = false;
+          // Timeout-shaped (no dup acks): count everything sent before
+          // the next forward progress -- a conservative restart sends one
+          // segment; Linux-style storms resend the whole flight. A
+          // re-retransmission of the SAME segment is a fresh (backed-off)
+          // timeout epoch, not a bigger flight.
+          if (v.dups_since_progress < 3) {
+            if (!v.counting_restart || rec.tcp.seq == v.restart_trigger) {
+              if (v.counting_restart)
+                v.worst_restart_flight =
+                    std::max(v.worst_restart_flight, v.restart_flight);
+              v.counting_restart = true;
+              v.restart_trigger = rec.tcp.seq;
+              v.restart_flight = 1;
+            } else {
+              ++v.restart_flight;
+            }
+          } else if (v.counting_restart) {
+            ++v.restart_flight;
+          }
+        } else {
+          times.push_back(rec.timestamp);
+        }
+      } else {
+        if (v.counting_restart) ++v.restart_flight;
+        v.pending_rtt.emplace(end, std::make_pair(rec.timestamp, true));
+        v.snd_max = end;
+      }
+      v.last_tx[rec.tcp.seq] = rec.timestamp;
+      continue;
+    }
+    if (!rec.tcp.flags.ack) continue;
+    if (rec.tcp.flags.syn) {
+      v.have_ack = true;
+      v.last_ack = rec.tcp.ack;
+      v.last_win = rec.tcp.window;
+      continue;
+    }
+    if (v.have_data && !v.first_ack_seen && seq_gt(rec.tcp.ack, v.first_data_seq))
+      v.first_ack_seen = true;
+    if (v.have_ack && seq_gt(rec.tcp.ack, v.last_ack)) {
+      // Forward progress: close RTT samples, reset dup context, and end
+      // any restart-flight count.
+      for (auto it = v.pending_rtt.begin(); it != v.pending_rtt.end();) {
+        if (seq_le(it->first, rec.tcp.ack)) {
+          if (it->second.second) {
+            const Duration rtt = rec.timestamp - it->second.first;
+            if (rtt < v.min_rtt) v.min_rtt = rtt;
+            v.have_rtt = true;
+          }
+          it = v.pending_rtt.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      v.dups_since_progress = 0;
+      v.retx_times.clear();
+      if (v.counting_restart) {
+        v.worst_restart_flight = std::max(v.worst_restart_flight, v.restart_flight);
+        v.counting_restart = false;
+      }
+      v.last_ack = rec.tcp.ack;
+    } else if (v.have_ack && rec.tcp.ack == v.last_ack && rec.tcp.payload_len == 0 &&
+               rec.tcp.window == v.last_win) {
+      ++v.dups_since_progress;
+    }
+    v.have_ack = true;
+    v.last_win = rec.tcp.window;
+  }
+  if (v.counting_restart)
+    v.worst_restart_flight = std::max(v.worst_restart_flight, v.restart_flight);
+  // Whatever retransmission chains survive to the end of the trace saw no
+  // further forward progress: the abandonment pattern.
+  for (const auto& [seq, times] : v.retx_times)
+    v.trailing_same_seq_retx = std::max(v.trailing_same_seq_retx, times.size());
+}
+
+void check_abandonment(const SenderView& v, ConformanceReport& report);
+
+void check_sender(const trace::Trace& tr, const ConformanceOptions& opts,
+                  ConformanceReport& report) {
+  SenderView v;
+  scan_sender(tr, v);
+  (void)opts;
+
+  {
+    ConformanceCheck c{"slow start: first flight <= 2 segments", "[Ja88]", Verdict::kNotExercised, ""};
+    if (v.have_data && v.first_ack_seen) {
+      c.verdict = v.first_flight <= 2 ? Verdict::kPass : Verdict::kFail;
+      c.evidence = util::strf("first flight = %zu segment(s)", v.first_flight);
+    }
+    report.checks.push_back(std::move(c));
+  }
+  {
+    ConformanceCheck c{"no data beyond the offered window", "RFC793", Verdict::kNotExercised, ""};
+    if (v.have_data && v.have_ack) {
+      c.verdict = v.window_excesses == 0 ? Verdict::kPass : Verdict::kFail;
+      c.evidence = v.window_excesses == 0
+                       ? "all sends within offered window"
+                       : util::strf("%zu send(s) beyond it, worst by %llu bytes",
+                                    v.window_excesses,
+                                    static_cast<unsigned long long>(v.worst_excess));
+    }
+    report.checks.push_back(std::move(c));
+  }
+  {
+    ConformanceCheck c{"no premature retransmission (< measured RTT, no dup acks)", "[Ja88]/[KP87]", Verdict::kNotExercised, ""};
+    if (v.have_rtt && v.total_retx > 0) {
+      c.verdict = v.premature == 0 ? Verdict::kPass : Verdict::kFail;
+      c.evidence =
+          v.premature == 0
+              ? util::strf("%zu retransmission(s), min RTT %.0f ms respected",
+                           v.total_retx, v.min_rtt.to_millis())
+              : util::strf("%zu retransmission(s) faster than the %.0f ms min RTT"
+                           ", worst gap %.0f ms",
+                           v.premature, v.min_rtt.to_millis(),
+                           v.worst_premature_gap.to_millis());
+    }
+    report.checks.push_back(std::move(c));
+  }
+  {
+    ConformanceCheck c{"retransmission timer backs off (>= 1.5x)", "[Ja88]/[KP87]", Verdict::kNotExercised, ""};
+    if (!v.backoff_ratios.empty()) {
+      bool ok = true;
+      double worst = 99.0;
+      for (const auto& [g1, g2] : v.backoff_ratios) {
+        const double ratio = g2 / g1;
+        if (ratio < 1.5) {
+          ok = false;
+          worst = std::min(worst, ratio);
+        }
+      }
+      c.verdict = ok ? Verdict::kPass : Verdict::kFail;
+      c.evidence = ok ? util::strf("%zu backoff step(s), all >= 1.5x",
+                                   v.backoff_ratios.size())
+                      : util::strf("backoff ratio as low as %.2fx", worst);
+    }
+    report.checks.push_back(std::move(c));
+  }
+  {
+    ConformanceCheck c{"conservative restart after timeout (<= 3 segments)", "[Ja88]", Verdict::kNotExercised, ""};
+    if (v.worst_restart_flight > 0) {
+      c.verdict = v.worst_restart_flight <= 3 ? Verdict::kPass : Verdict::kFail;
+      c.evidence = util::strf("largest post-timeout flight = %zu segment(s)",
+                              v.worst_restart_flight);
+    }
+    report.checks.push_back(std::move(c));
+  }
+  check_abandonment(v, report);
+}
+
+void check_abandonment(const SenderView& v, ConformanceReport& report) {
+  ConformanceCheck c{"abandoned connections announced with a RST",
+                     "RFC793 / Dawson et al.", Verdict::kNotExercised, ""};
+  // Exercised when the trace ends in a dead retransmission chain (>= 4
+  // unanswered resends of one segment): the TCP evidently gave up (or was
+  // cut off); a conformant stack eventually signals the abort.
+  if (v.trailing_same_seq_retx >= 4) {
+    c.verdict = v.sent_rst ? Verdict::kPass : Verdict::kFail;
+    c.evidence = v.sent_rst
+                     ? util::strf("%zu unanswered retransmissions, then RST",
+                                  v.trailing_same_seq_retx)
+                     : util::strf("%zu unanswered retransmissions, no RST ever sent",
+                                  v.trailing_same_seq_retx);
+  }
+  report.checks.push_back(std::move(c));
+}
+
+void check_receiver(const trace::Trace& tr, const ConformanceOptions& opts,
+                    ConformanceReport& report) {
+  std::uint32_t mss = 536;
+  SeqIntervalSet arrived;
+  bool established = false;
+  SeqNum frontier = 0;
+  struct Event {
+    TimePoint when;
+    SeqNum frontier;
+  };
+  std::deque<Event> events;
+  std::uint32_t unacked_full = 0;  // full-sized segments pending
+  std::size_t two_segment_misses = 0;
+  Duration worst_delay = Duration::zero();
+  bool any_delay = false;
+  std::deque<TimePoint> mandatory;
+  std::size_t mandatory_late = 0;
+  bool any_mandatory = false;
+
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    const auto& rec = tr[i];
+    if (!tr.is_from_local(rec)) {
+      if (rec.tcp.flags.syn) {
+        if (rec.tcp.mss_option) mss = *rec.tcp.mss_option;
+        frontier = rec.tcp.seq + 1;
+        established = true;
+        continue;
+      }
+      if (!established || rec.tcp.payload_len == 0) continue;
+      if (rec.checksum_known && !rec.checksum_ok) continue;
+      arrived.insert(rec.tcp.seq, rec.tcp.seq + rec.tcp.payload_len);
+      const SeqNum nf = arrived.contiguous_end(frontier);
+      if (seq_gt(nf, frontier)) {
+        frontier = nf;
+        events.push_back({rec.timestamp, frontier});
+        if (rec.tcp.payload_len >= mss) {
+          if (++unacked_full > 2) {
+            ++two_segment_misses;
+            unacked_full = 0;  // count each miss once
+          }
+        }
+      } else {
+        any_mandatory = true;
+        mandatory.push_back(rec.timestamp);
+      }
+      continue;
+    }
+    if (!rec.tcp.flags.ack || rec.tcp.flags.syn || !established) continue;
+    // Ack: measure delay from the earliest covered arrival.
+    while (!mandatory.empty()) {
+      if (rec.timestamp - mandatory.front() > opts.timing_slack) ++mandatory_late;
+      mandatory.pop_front();
+      break;  // one obligation per ack
+    }
+    for (const auto& ev : events) {
+      if (seq_le(ev.frontier, rec.tcp.ack)) {
+        const Duration d = rec.timestamp - ev.when;
+        if (d > worst_delay) worst_delay = d;
+        any_delay = true;
+      }
+      break;  // only the earliest outstanding arrival bounds the delay
+    }
+    while (!events.empty() && seq_le(events.front().frontier, rec.tcp.ack))
+      events.pop_front();
+    unacked_full = 0;
+  }
+
+  {
+    ConformanceCheck c{"ack delay <= 500 ms", "RFC1122 4.2.3.2", Verdict::kNotExercised, ""};
+    if (any_delay) {
+      const bool ok = worst_delay <= Duration::millis(500) + opts.timing_slack;
+      c.verdict = ok ? Verdict::kPass : Verdict::kFail;
+      c.evidence = util::strf("worst ack delay %.0f ms", worst_delay.to_millis());
+    }
+    report.checks.push_back(std::move(c));
+  }
+  {
+    ConformanceCheck c{"ack at least every 2 full-sized segments", "RFC1122 4.2.3.2", Verdict::kNotExercised, ""};
+    if (any_delay) {
+      c.verdict = two_segment_misses == 0 ? Verdict::kPass : Verdict::kFail;
+      c.evidence = two_segment_misses == 0
+                       ? "never more than 2 unacked full segments"
+                       : util::strf("%zu stretch(es) beyond 2 segments",
+                                    two_segment_misses);
+    }
+    report.checks.push_back(std::move(c));
+  }
+  {
+    ConformanceCheck c{"out-of-order data acked promptly", "[Ja88] fast retransmit", Verdict::kNotExercised, ""};
+    if (any_mandatory) {
+      c.verdict = mandatory_late == 0 ? Verdict::kPass : Verdict::kFail;
+      c.evidence = mandatory_late == 0
+                       ? "every out-of-order arrival answered promptly"
+                       : util::strf("%zu late/missing duplicate ack(s)", mandatory_late);
+    }
+    report.checks.push_back(std::move(c));
+  }
+}
+
+}  // namespace
+
+ConformanceReport check_conformance(const trace::Trace& trace,
+                                    const ConformanceOptions& opts) {
+  ConformanceReport report;
+  if (trace.meta().role == trace::LocalRole::kSender)
+    check_sender(trace, opts, report);
+  else
+    check_receiver(trace, opts, report);
+  return report;
+}
+
+std::size_t ConformanceReport::failures() const {
+  std::size_t n = 0;
+  for (const auto& c : checks)
+    if (c.verdict == Verdict::kFail) ++n;
+  return n;
+}
+
+std::string ConformanceReport::render() const {
+  std::string out;
+  for (const auto& c : checks) {
+    out += util::strf("  [%-13s] %-55s (%s)", to_string(c.verdict), c.requirement.c_str(),
+                      c.reference.c_str());
+    if (!c.evidence.empty()) out += "\n                  " + c.evidence;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tcpanaly::core

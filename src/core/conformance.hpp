@@ -1,0 +1,65 @@
+// TCP conformance checking against the standards the paper measures
+// implementations by (RFC 1122 / Jacobson congestion avoidance) -- the
+// "testing programs" section 11 calls on the community to build.
+//
+// Each requirement is checked from a trace alone. Sender-side traces
+// exercise the congestion requirements; receiver-side traces the
+// acknowledgement requirements. A check can also be inapplicable: a clean
+// short transfer never exercises retransmission backoff, and an honest
+// checker says so instead of passing it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace tcpanaly::core {
+
+enum class Verdict { kPass, kFail, kNotExercised };
+
+const char* to_string(Verdict verdict);
+
+struct ConformanceCheck {
+  std::string requirement;  ///< short name, e.g. "ack-delay <= 500ms"
+  std::string reference;    ///< where it comes from, e.g. "RFC1122 4.2.3.2"
+  Verdict verdict = Verdict::kNotExercised;
+  std::string evidence;     ///< one-line justification with numbers
+};
+
+struct ConformanceReport {
+  std::vector<ConformanceCheck> checks;
+
+  std::size_t failures() const;
+  bool conformant() const { return failures() == 0; }
+  std::string render() const;
+};
+
+struct ConformanceOptions {
+  /// Slack added to hard timing bounds (host processing, vantage).
+  util::Duration timing_slack = util::Duration::millis(30);
+};
+
+/// Check the requirements observable from this trace:
+///
+/// Sender-side traces:
+///   * slow start: the first flight after connection setup is at most two
+///     segments ([Ja88]; pre-RFC2581 allowed 1, we accept <= 2)
+///   * no data beyond the offered window (RFC 793)
+///   * retransmission timers back off exponentially under repeated loss
+///     ([Ja88]/Karn; factor >= 1.5 between consecutive timeouts)
+///   * no retransmission storms: a retransmission is not re-sent within a
+///     plausible minimum RTO unless duplicate acks justify it
+///   * the congestion window is respected after loss: the first flight
+///     following a timeout is at most 3 segments
+///
+/// Receiver-side traces:
+///   * acks are delayed at most 500 ms (RFC 1122 4.2.3.2)
+///   * at least one ack for every two full-sized segments (RFC 1122)
+///   * out-of-order data is acked promptly (duplicate ack)
+ConformanceReport check_conformance(const trace::Trace& trace,
+                                    const ConformanceOptions& opts = {});
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,93 @@
+#include "core/interval_set.hpp"
+
+#include <algorithm>
+
+namespace tcpanaly::core {
+
+void SeqIntervalSet::insert(trace::SeqNum lo, trace::SeqNum hi) {
+  if (lo == hi) return;
+  if (!anchored_) {
+    anchor_ = lo;
+    anchored_ = true;
+  }
+  std::int64_t new_lo = offset_of(lo);
+  std::int64_t new_hi = new_lo + trace::seq_diff(hi, lo);
+  if (new_hi <= new_lo) return;
+
+  auto it = intervals_.upper_bound(new_lo);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= new_lo) {
+      new_lo = prev->first;
+      new_hi = std::max(new_hi, prev->second);
+      intervals_.erase(prev);
+    }
+  }
+  it = intervals_.lower_bound(new_lo);
+  while (it != intervals_.end() && it->first <= new_hi) {
+    new_hi = std::max(new_hi, it->second);
+    it = intervals_.erase(it);
+  }
+  intervals_.emplace(new_lo, new_hi);
+}
+
+std::uint64_t SeqIntervalSet::covered_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [lo, hi] : intervals_) total += static_cast<std::uint64_t>(hi - lo);
+  return total;
+}
+
+std::uint64_t SeqIntervalSet::missing_in(trace::SeqNum lo, trace::SeqNum hi) const {
+  const auto want = static_cast<std::uint64_t>(trace::seq_diff(hi, lo));
+  if (want == 0) return 0;
+  if (!anchored_) return want;
+  std::int64_t q_lo = offset_of(lo);
+  std::int64_t q_hi = q_lo + static_cast<std::int64_t>(want);
+  std::uint64_t covered = 0;
+  auto it = intervals_.upper_bound(q_lo);
+  if (it != intervals_.begin()) --it;
+  for (; it != intervals_.end() && it->first < q_hi; ++it) {
+    const std::int64_t lo_i = std::max(it->first, q_lo);
+    const std::int64_t hi_i = std::min(it->second, q_hi);
+    if (hi_i > lo_i) covered += static_cast<std::uint64_t>(hi_i - lo_i);
+  }
+  return want - covered;
+}
+
+void SeqIntervalSet::erase(trace::SeqNum lo, trace::SeqNum hi) {
+  if (!anchored_ || lo == hi) return;
+  std::int64_t e_lo = offset_of(lo);
+  std::int64_t e_hi = e_lo + trace::seq_diff(hi, lo);
+  if (e_hi <= e_lo) return;
+  auto it = intervals_.upper_bound(e_lo);
+  if (it != intervals_.begin()) --it;
+  while (it != intervals_.end() && it->first < e_hi) {
+    const std::int64_t i_lo = it->first;
+    const std::int64_t i_hi = it->second;
+    if (i_hi <= e_lo) {
+      ++it;
+      continue;
+    }
+    it = intervals_.erase(it);
+    if (i_lo < e_lo) intervals_.emplace(i_lo, e_lo);
+    if (i_hi > e_hi) it = intervals_.emplace(e_hi, i_hi).first;
+  }
+}
+
+trace::SeqNum SeqIntervalSet::contiguous_end(trace::SeqNum from) const {
+  if (!anchored_) return from;
+  const std::int64_t q = offset_of(from);
+  auto it = intervals_.upper_bound(q);
+  if (it == intervals_.begin()) return from;
+  --it;
+  if (it->second < q) return from;  // `from` may sit exactly at an interval end
+  return from + static_cast<trace::SeqNum>(static_cast<std::uint64_t>(it->second - q));
+}
+
+trace::SeqNum SeqIntervalSet::max_end() const {
+  if (intervals_.empty()) return anchor_;
+  return anchor_ + static_cast<trace::SeqNum>(
+                       static_cast<std::uint64_t>(intervals_.rbegin()->second));
+}
+
+}  // namespace tcpanaly::core

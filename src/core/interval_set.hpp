@@ -1,0 +1,53 @@
+// A set of half-open sequence-space intervals, anchored at the first value
+// inserted so wrap-around arithmetic reduces to signed 64-bit offsets.
+// Used by the calibration and analysis passes to track which sequence
+// ranges a trace shows as sent / arrived.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "trace/seq.hpp"
+
+namespace tcpanaly::core {
+
+class SeqIntervalSet {
+ public:
+  /// Insert [lo, hi). The first insertion anchors the coordinate frame.
+  void insert(trace::SeqNum lo, trace::SeqNum hi);
+
+  bool empty() const { return intervals_.empty(); }
+
+  /// Total bytes covered.
+  std::uint64_t covered_bytes() const;
+
+  /// Bytes of [lo, hi) NOT covered by the set. Returns hi-lo when the set
+  /// is empty.
+  std::uint64_t missing_in(trace::SeqNum lo, trace::SeqNum hi) const;
+
+  /// True if [lo, hi) is fully covered.
+  bool covers(trace::SeqNum lo, trace::SeqNum hi) const {
+    return missing_in(lo, hi) == 0;
+  }
+
+  /// Remove [lo, hi) from the set.
+  void erase(trace::SeqNum lo, trace::SeqNum hi);
+
+  /// One past the highest covered sequence number; meaningless when empty.
+  trace::SeqNum max_end() const;
+
+  /// End of the contiguous covered run starting at `from`; returns `from`
+  /// itself if `from` is not covered.
+  trace::SeqNum contiguous_end(trace::SeqNum from) const;
+
+ private:
+  std::int64_t offset_of(trace::SeqNum s) const {
+    return trace::seq_diff(s, anchor_);
+  }
+
+  bool anchored_ = false;
+  trace::SeqNum anchor_ = 0;
+  std::map<std::int64_t, std::int64_t> intervals_;  // start -> end (offsets)
+};
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,117 @@
+#include "core/matcher.hpp"
+
+#include <algorithm>
+
+#include "util/table.hpp"
+
+namespace tcpanaly::core {
+
+const char* to_string(FitClass fit) {
+  switch (fit) {
+    case FitClass::kClose:
+      return "close";
+    case FitClass::kImperfect:
+      return "imperfect";
+    case FitClass::kClearlyIncorrect:
+      return "clearly-incorrect";
+  }
+  return "?";
+}
+
+namespace {
+
+FitClass classify_sender(const SenderReport& r, const MatchOptions& opts) {
+  const bool clean = r.violations.empty() && r.unexplained_retransmissions == 0;
+  if (clean && r.lull_count == 0 &&
+      r.response_delays.mean() <= opts.close_mean_response)
+    return FitClass::kClose;
+  if (r.violations.size() <= 1 && r.unexplained_retransmissions <= 2 &&
+      r.penalty() < 2500.0)
+    return FitClass::kImperfect;
+  return FitClass::kClearlyIncorrect;
+}
+
+FitClass classify_receiver(const ReceiverReport& r) {
+  if (r.policy_violations == 0 && !r.distribution_mismatch && r.gratuitous_acks == 0 &&
+      r.mandatory_missed == 0)
+    return FitClass::kClose;
+  if (r.penalty() < 600.0) return FitClass::kImperfect;
+  return FitClass::kClearlyIncorrect;
+}
+
+int fit_rank(FitClass fit) { return static_cast<int>(fit); }
+
+}  // namespace
+
+std::string CandidateFit::one_line() const {
+  if (sender.acks_seen > 0 || sender.data_packets > 0) {
+    return util::strf(
+        "%-16s %-18s penalty=%9.1f viol=%zu unexpl=%zu lull=%zu resp(mean=%s max=%s)",
+        profile.name.c_str(), to_string(fit), penalty, sender.violations.size(),
+        sender.unexplained_retransmissions, sender.lull_count,
+        sender.response_delays.mean().to_string().c_str(),
+        sender.response_delays.max().to_string().c_str());
+  }
+  return util::strf(
+      "%-16s %-18s penalty=%9.1f polviol=%zu grat=%zu mand=%zu dist=%s delay(mean=%s)",
+      profile.name.c_str(), to_string(fit), penalty, receiver.policy_violations,
+      receiver.gratuitous_acks, receiver.mandatory_missed,
+      receiver.distribution_mismatch ? "MISMATCH" : "ok",
+      receiver.delayed_ack_delays.mean().to_string().c_str());
+}
+
+bool MatchResult::identifies(const std::string& name) const {
+  if (fits.empty()) return false;
+  const double best_penalty = fits.front().penalty;
+  // Response-delay sums never replay bit-identically across profiles, so
+  // "tied" means within a small tolerance, not exactly equal.
+  const double tie = best_penalty + std::max(2.0, best_penalty * 0.05);
+  for (const auto& f : fits) {
+    if (f.fit != FitClass::kClose) break;
+    if (f.penalty > tie) break;
+    if (f.profile.name == name) return true;
+  }
+  return false;
+}
+
+std::string MatchResult::render() const {
+  std::string out;
+  out += role == trace::LocalRole::kSender ? "sender-side trace\n" : "receiver-side trace\n";
+  for (const auto& f : fits) {
+    out += "  ";
+    out += f.one_line();
+    out += '\n';
+  }
+  return out;
+}
+
+MatchResult match_implementations(const trace::Trace& trace,
+                                  const std::vector<tcp::TcpProfile>& candidates,
+                                  const MatchOptions& opts) {
+  MatchResult result;
+  result.role = trace.meta().role;
+  result.fits.reserve(candidates.size());
+  for (const auto& profile : candidates) {
+    CandidateFit fit;
+    fit.profile = profile;
+    if (result.role == trace::LocalRole::kSender) {
+      fit.sender = SenderAnalyzer(profile, opts.sender).analyze(trace);
+      fit.penalty = fit.sender.penalty();
+      fit.fit = classify_sender(fit.sender, opts);
+    } else {
+      fit.receiver = ReceiverAnalyzer(profile, opts.receiver).analyze(trace);
+      fit.penalty = fit.receiver.penalty();
+      fit.fit = classify_receiver(fit.receiver);
+    }
+    result.fits.push_back(std::move(fit));
+  }
+  std::stable_sort(result.fits.begin(), result.fits.end(),
+                   [](const CandidateFit& a, const CandidateFit& b) {
+                     if (fit_rank(a.fit) != fit_rank(b.fit))
+                       return fit_rank(a.fit) < fit_rank(b.fit);
+                     return a.penalty < b.penalty;
+                   });
+  return result;
+}
+
+}  // namespace tcpanaly::core

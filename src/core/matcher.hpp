@@ -1,0 +1,62 @@
+// Implementation matching (paper sections 5 and 6.1).
+//
+// "tcpanaly can automatically run all known implementations against a
+// given trace, sorting them into close, imperfect, and clearly-incorrect
+// fits" -- using response-time statistics and the presence or absence of
+// window violations (sender side) / policy violations and gratuitous acks
+// (receiver side).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/receiver_analyzer.hpp"
+#include "core/sender_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "trace/trace.hpp"
+
+namespace tcpanaly::core {
+
+enum class FitClass { kClose, kImperfect, kClearlyIncorrect };
+
+const char* to_string(FitClass fit);
+
+struct CandidateFit {
+  tcp::TcpProfile profile;
+  FitClass fit = FitClass::kClearlyIncorrect;
+  double penalty = 0.0;
+
+  // Populated for sender-side traces.
+  SenderReport sender;
+  // Populated for receiver-side traces.
+  ReceiverReport receiver;
+
+  std::string one_line() const;
+};
+
+struct MatchResult {
+  trace::LocalRole role = trace::LocalRole::kSender;
+  /// Sorted best-first (ascending penalty; ties broken toward closer fit).
+  std::vector<CandidateFit> fits;
+
+  const CandidateFit& best() const { return fits.front(); }
+  /// True if `name` is among the close fits sharing the best penalty
+  /// (behaviorally identical profiles -- e.g. BSDI vs NetBSD -- tie).
+  bool identifies(const std::string& name) const;
+  std::string render() const;
+};
+
+struct MatchOptions {
+  SenderAnalysisOptions sender;
+  ReceiverAnalysisOptions receiver;
+  /// Sender-side close-fit bound on mean response delay.
+  util::Duration close_mean_response = util::Duration::millis(50);
+};
+
+/// Run every candidate against the trace; the trace's meta role selects
+/// sender vs receiver analysis.
+MatchResult match_implementations(const trace::Trace& trace,
+                                  const std::vector<tcp::TcpProfile>& candidates,
+                                  const MatchOptions& opts = {});
+
+}  // namespace tcpanaly::core

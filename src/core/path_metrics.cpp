@@ -1,0 +1,124 @@
+#include "core/path_metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace tcpanaly::core {
+
+namespace {
+
+using trace::PacketRecord;
+
+// Data packets flowing toward the local receiver / away from the local
+// sender, in record order.
+std::vector<const PacketRecord*> data_packets(const trace::Trace& t, bool from_remote) {
+  std::vector<const PacketRecord*> out;
+  const trace::Endpoint& source = from_remote ? t.meta().remote : t.meta().local;
+  for (const auto& rec : t.records())
+    if (rec.is_data() && rec.src == source) out.push_back(&rec);
+  return out;
+}
+
+}  // namespace
+
+BottleneckEstimate estimate_bottleneck(const trace::Trace& receiver_trace,
+                                       const BottleneckOptions& opts) {
+  BottleneckEstimate est;
+  auto arrivals = data_packets(receiver_trace, /*from_remote=*/true);
+  if (arrivals.size() < 2) return est;
+
+  // Split the arrivals into runs of sequence-adjacent packets: within a
+  // run, every packet was sent while its predecessor was still in flight,
+  // so the bottleneck (not the sender's ack clock) set their spacing.
+  std::vector<double> rates;
+  std::size_t run_begin = 0;
+  auto flush_run = [&](std::size_t begin, std::size_t end) {  // [begin, end)
+    const std::size_t n = end - begin;
+    if (n < 2) return;
+    const int kmax = std::max(2, opts.max_bunch);
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      // Every bunch ending at i, from pairs up to max_bunch-long windows.
+      std::uint64_t bytes = 0;
+      for (int k = 1; k < kmax && i >= begin + static_cast<std::size_t>(k); ++k) {
+        bytes += arrivals[i - k + 1]->tcp.payload_len + opts.header_overhead_bytes;
+        const auto dt = arrivals[i]->timestamp - arrivals[i - k]->timestamp;
+        if (dt.count() <= 0) continue;
+        rates.push_back(static_cast<double>(bytes) / dt.to_seconds());
+      }
+    }
+  };
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    const bool adjacent = arrivals[i]->tcp.seq == arrivals[i - 1]->tcp.seq_end() &&
+                          arrivals[i]->timestamp >= arrivals[i - 1]->timestamp;
+    if (!adjacent) {
+      flush_run(run_begin, i);
+      run_begin = i;
+    }
+  }
+  flush_run(run_begin, arrivals.size());
+
+  est.samples = static_cast<int>(rates.size());
+  if (rates.empty()) return est;
+  std::sort(rates.begin(), rates.end());
+
+  // Densest multiplicative window [r, r*(1+2*width)] wins; its median is
+  // the estimate.
+  const double span = 1.0 + 2.0 * opts.mode_rel_width;
+  std::size_t best_lo = 0, best_count = 0;
+  std::size_t hi = 0;
+  for (std::size_t lo = 0; lo < rates.size(); ++lo) {
+    if (hi < lo) hi = lo;
+    while (hi < rates.size() && rates[hi] <= rates[lo] * span) ++hi;
+    if (hi - lo > best_count) {
+      best_count = hi - lo;
+      best_lo = lo;
+    }
+  }
+  est.bytes_per_sec = rates[best_lo + best_count / 2];
+  est.mode_fraction = static_cast<double>(best_count) / static_cast<double>(rates.size());
+  est.reliable =
+      est.samples >= opts.min_samples && est.mode_fraction >= opts.reliable_fraction;
+  return est;
+}
+
+PairPathReport measure_path_dynamics(const trace::Trace& sender_trace,
+                                     const trace::Trace& receiver_trace) {
+  PairPathReport report;
+  auto sends = data_packets(sender_trace, /*from_remote=*/false);
+  auto arrivals = data_packets(receiver_trace, /*from_remote=*/true);
+  report.sender_copies = sends.size();
+  report.receiver_copies = arrivals.size();
+
+  // FIFO queues of unmatched send indices per (seq, payload) key.
+  auto key_of = [](const PacketRecord& rec) {
+    return (static_cast<std::uint64_t>(rec.tcp.seq) << 32) | rec.tcp.payload_len;
+  };
+  std::unordered_map<std::uint64_t, std::deque<std::uint32_t>> pending;
+  pending.reserve(sends.size());
+  for (std::uint32_t i = 0; i < sends.size(); ++i)
+    pending[key_of(*sends[i])].push_back(i);
+
+  std::uint64_t unmatched_sends = sends.size();
+  std::int64_t max_send_seen = -1;
+  for (const PacketRecord* arr : arrivals) {
+    auto it = pending.find(key_of(*arr));
+    if (it == pending.end() || it->second.empty()) {
+      ++report.network_duplicates;
+      continue;
+    }
+    const std::uint32_t s = it->second.front();
+    it->second.pop_front();
+    --unmatched_sends;
+    ++report.matched;
+    if (static_cast<std::int64_t>(s) < max_send_seen)
+      ++report.reordered;
+    else
+      max_send_seen = s;
+  }
+  report.network_losses = unmatched_sends;
+  return report;
+}
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,101 @@
+// Path-dynamics metrics: what tcpanaly grew into after this paper.
+//
+// The companion measurement study ([Pa97b]'s sibling, "End-to-End Internet
+// Packet Dynamics") extended tcpanaly from *implementation* analysis to
+// *network-path* analysis over the same trace pairs: estimating the
+// bottleneck bandwidth from packet-bunch timing, and measuring network
+// reordering, replication, and loss by aligning the two endpoints' traces.
+// This module implements those analyses over our Trace model.
+//
+// Bottleneck estimation is a simplified packet-bunch mode: every run of
+// sequence-adjacent data arrivals gives rate samples (bytes conveyed over
+// the bunch / bunch duration); the densest relative cluster of samples is
+// the bottleneck. Self-interference makes this work -- once the window
+// exceeds the pipe, the bottleneck queue spaces back-to-back segments at
+// exactly its serialization rate, and that spacing survives the constant
+// downstream propagation delay. (The real tool's PBM added multi-modal
+// splitting for route changes; we report the dominant mode plus a
+// confidence fraction.)
+//
+// Pair alignment matches the k-th sender copy of a (seq, payload) segment
+// to the k-th receiver copy -- our headers carry no IP id, so copies are
+// matched FIFO, which is exact unless the network reorders two copies of
+// the *same* segment (retransmissions are ~RTT apart, so this does not
+// happen in practice). Run trace calibration first: filter drops in either
+// trace masquerade as network loss or replication here.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace tcpanaly::core {
+
+struct BottleneckEstimate {
+  /// Dominant-mode estimate of the bottleneck rate, bytes/second
+  /// (0 when no estimate could be formed).
+  double bytes_per_sec = 0.0;
+  /// Rate samples extracted from bunch timings.
+  int samples = 0;
+  /// Fraction of samples inside the dominant mode; low values mean the
+  /// timing signal is multi-modal (route change, heavy cross traffic) or
+  /// too thin to trust.
+  double mode_fraction = 0.0;
+  /// True when there were enough samples and the mode is dominant.
+  bool reliable = false;
+};
+
+struct BottleneckOptions {
+  /// Per-packet overhead beyond TCP payload on the bottleneck link:
+  /// Ethernet framing + IP + TCP headers (14 + 20 + 20).
+  std::uint32_t header_overhead_bytes = 54;
+  /// Longest bunch of sequence-adjacent arrivals to use. Longer bunches
+  /// average out timestamp granularity but break across ack-clocked gaps.
+  int max_bunch = 4;
+  /// Minimum samples before any estimate is offered.
+  int min_samples = 8;
+  /// Relative half-width of the mode-search window (0.1 = +/-10%).
+  double mode_rel_width = 0.10;
+  /// Mode fraction at or above which `reliable` is set.
+  double reliable_fraction = 0.35;
+};
+
+/// Estimate the bottleneck bandwidth from a RECEIVER-side trace (arrival
+/// spacing at the receiver reflects bottleneck serialization; sender-side
+/// spacing reflects only the local link).
+BottleneckEstimate estimate_bottleneck(const trace::Trace& receiver_trace,
+                                       const BottleneckOptions& opts = {});
+
+/// Network-path events measured by aligning a sender-side and a
+/// receiver-side trace of the same connection (data direction only).
+struct PairPathReport {
+  std::uint64_t sender_copies = 0;    ///< data packets leaving the sender host
+  std::uint64_t receiver_copies = 0;  ///< data packets arriving
+  std::uint64_t matched = 0;
+  /// Arrivals that were overtaken: the packet arrived after at least one
+  /// packet the sender transmitted later ([Pa97a]'s definition).
+  std::uint64_t reordered = 0;
+  /// Receiver copies with no remaining sender counterpart: the network
+  /// replicated the packet.
+  std::uint64_t network_duplicates = 0;
+  /// Sender copies that never arrived: network loss.
+  std::uint64_t network_losses = 0;
+
+  double reorder_fraction() const {
+    return matched ? static_cast<double>(reordered) / static_cast<double>(matched) : 0.0;
+  }
+  double loss_fraction() const {
+    return sender_copies ? static_cast<double>(network_losses) /
+                               static_cast<double>(sender_copies)
+                         : 0.0;
+  }
+};
+
+/// Align the data packets of a trace pair and report reordering,
+/// replication, and loss. Both traces must be of the same connection with
+/// the data flowing local->remote in `sender_trace`.
+PairPathReport measure_path_dynamics(const trace::Trace& sender_trace,
+                                     const trace::Trace& receiver_trace);
+
+}  // namespace tcpanaly::core

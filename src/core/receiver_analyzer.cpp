@@ -1,0 +1,306 @@
+#include "core/receiver_analyzer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "core/interval_set.hpp"
+
+namespace tcpanaly::core {
+
+using trace::PacketRecord;
+using trace::seq_diff;
+using trace::seq_ge;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::seq_lt;
+using trace::SeqNum;
+using util::TimePoint;
+
+namespace {
+
+Duration policy_max_delay(tcp::AckPolicy policy) {
+  switch (policy) {
+    case tcp::AckPolicy::kBsdHeartbeat200:
+      return Duration::millis(200);
+    case tcp::AckPolicy::kSolarisTimer50:
+      return Duration::millis(50);
+    case tcp::AckPolicy::kEveryPacket:
+      return Duration::millis(5);
+  }
+  return Duration::millis(200);
+}
+
+struct FrontierEvent {
+  TimePoint when;
+  SeqNum frontier;  ///< rcv_nxt estimate after this arrival
+};
+
+}  // namespace
+
+ReceiverAnalyzer::ReceiverAnalyzer(tcp::TcpProfile profile, ReceiverAnalysisOptions opts)
+    : profile_(std::move(profile)), opts_(opts) {}
+
+ReceiverReport ReceiverAnalyzer::analyze(const Trace& trace) const {
+  ReceiverReport report;
+
+  bool established = false;
+  SeqNum frontier = 0;  ///< contiguous-arrival estimate of the TCP's rcv_nxt
+  std::uint32_t mss = 536;
+  SeqIntervalSet arrived;
+  std::deque<FrontierEvent> events;
+
+  bool have_ack = false;
+  SeqNum last_ack = 0;
+  std::uint32_t last_window = 0;
+
+  // Every out-of-sequence (or wholly old) arrival is its own mandatory
+  // obligation; a receiver discharges each with an immediate dup ack.
+  std::deque<TimePoint> mandatory_pending;
+
+  // Acks driven by loss recovery (hole fills, retransmitted arrivals) are
+  // sent immediately regardless of the delayed-ack machinery; exempt them
+  // from timer-policy checks and from the delay distribution.
+  bool recovery_exempt_since_ack = false;
+  bool have_arrival_end = false;
+  SeqNum max_arrival_end = 0;
+  bool fin_seen = false;
+  bool have_arrival = false;
+  TimePoint last_data_arrival;
+
+  const Duration max_delay = policy_max_delay(profile_.ack_policy);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const PacketRecord& rec = trace[i];
+    if (!trace.is_from_local(rec)) {
+      // ---- inbound: data from the remote sender ----
+      if (rec.tcp.flags.syn) {
+        if (rec.tcp.mss_option) mss = *rec.tcp.mss_option;
+        frontier = rec.tcp.seq + 1;
+        established = true;
+        report.mss = mss;
+        continue;
+      }
+      if (rec.tcp.flags.fin) fin_seen = true;
+      if (!established || rec.tcp.payload_len == 0) continue;
+      ++report.data_packets;
+      if (rec.checksum_known && !rec.checksum_ok) {
+        // The capture proves this packet arrived damaged; the TCP silently
+        // discarded it, so no obligation arises.
+        ++report.checksum_verified_corrupt;
+        continue;
+      }
+      const SeqNum begin = rec.tcp.seq;
+      const SeqNum end = begin + rec.tcp.payload_len;
+      have_arrival = true;
+      last_data_arrival = rec.timestamp;
+      if (have_arrival_end && seq_lt(begin, max_arrival_end))
+        recovery_exempt_since_ack = true;  // retransmitted / hole-filling data
+      if (!have_arrival_end || seq_gt(end, max_arrival_end)) {
+        max_arrival_end = end;
+        have_arrival_end = true;
+      }
+      arrived.insert(begin, end);
+      const SeqNum new_frontier = arrived.contiguous_end(frontier);
+      if (seq_gt(new_frontier, frontier)) {
+        const auto advanced = static_cast<std::uint32_t>(seq_diff(new_frontier, frontier));
+        if (advanced > rec.tcp.payload_len) recovery_exempt_since_ack = true;
+        frontier = new_frontier;
+        events.push_back({rec.timestamp, frontier});
+      } else {
+        // Out-of-sequence or wholly old data: a mandatory ack obligation.
+        mandatory_pending.push_back(rec.timestamp);
+        // Corruption inference, retransmission-completes-the-proof form
+        // (section 7): the remote is re-sending data our estimate says
+        // already arrived, the TCP's acks never covered it, and far more
+        // time has passed than any ack policy permits -- the original
+        // arrival was evidently discarded as corrupted.
+        if (have_ack && seq_le(last_ack, begin) && seq_lt(begin, frontier)) {
+          for (auto& ev : events) {
+            if (!seq_gt(ev.frontier, begin)) continue;
+            if (rec.timestamp - ev.when >
+                max_delay + opts_.policy_slack + opts_.policy_slack) {
+              ++report.inferred_corrupt_packets;
+              ev.when = rec.timestamp;  // the re-delivery restarts the clock
+            }
+            break;
+          }
+        }
+      }
+      continue;
+    }
+
+    // ---- outbound: the local receiver's acks ----
+    if (!rec.tcp.flags.ack || rec.tcp.flags.syn) {
+      if (rec.tcp.flags.syn) last_window = rec.tcp.window;
+      continue;
+    }
+    if (!established) continue;
+    ++report.acks;
+
+    const bool discharges_mandatory = !mandatory_pending.empty();
+    if (discharges_mandatory) {
+      if (rec.timestamp - mandatory_pending.front() > opts_.mandatory_slack)
+        ++report.mandatory_missed;
+      mandatory_pending.pop_front();
+    }
+
+    if (!have_ack) {
+      have_ack = true;
+      last_ack = rec.tcp.ack;
+      last_window = rec.tcp.window;
+      continue;
+    }
+
+    // Corruption inference (section 7): the TCP acks less than the trace
+    // shows arriving, and has sat on the "arrived" data far longer than
+    // its ack policy permits -- so the packets were discarded on arrival.
+    // Checked on every ack, advancing or not: a dup-ack stream holding
+    // below seemingly-arrived data is exactly the failing-to-ack evidence.
+    if (seq_lt(rec.tcp.ack, frontier)) {
+      const FrontierEvent* head = nullptr;
+      for (const auto& ev : events) {
+        if (seq_gt(ev.frontier, rec.tcp.ack)) {
+          head = &ev;
+          break;
+        }
+      }
+      if (head != nullptr &&
+          rec.timestamp - head->when > max_delay + opts_.policy_slack + opts_.policy_slack) {
+        // Only the arrival at the head of the hole was demonstrably
+        // discarded; anything above it may sit buffered out-of-order.
+        ++report.inferred_corrupt_packets;
+        const SeqNum head_end =
+            seq_lt(head->frontier, frontier) ? head->frontier : frontier;
+        arrived.erase(rec.tcp.ack, head_end);
+        frontier = rec.tcp.ack;
+        while (!events.empty() && seq_gt(events.back().frontier, frontier))
+          events.pop_back();
+      }
+    }
+
+    const std::int64_t advance = seq_diff(rec.tcp.ack, last_ack);
+    if (advance <= 0) {
+      if (rec.tcp.ack == last_ack) {
+        AckObservation obs;
+        obs.record_index = i;
+        obs.advance = 0;
+        if (discharges_mandatory ||
+            (have_arrival && rec.timestamp - last_data_arrival <= opts_.mandatory_slack)) {
+          // A dup ack, or an ambiguous twin of one: with the filter's
+          // vantage, two same-instant acks can race the data that caused
+          // them, so any zero-advance ack closely following a data arrival
+          // is attributed to that arrival rather than called gratuitous.
+          ++report.dup_acks;
+          obs.cls = AckClass::kDup;
+        } else if (rec.tcp.window != last_window) {
+          ++report.window_update_acks;
+          obs.cls = AckClass::kWindowUpdate;
+        } else if (!rec.tcp.flags.fin && !rec.tcp.flags.rst) {
+          // No obligation, no window change, not a teardown: gratuitous --
+          // the receiver-side analogue of a window violation.
+          ++report.gratuitous_acks;
+          obs.cls = AckClass::kGratuitous;
+        } else {
+          obs.cls = AckClass::kWindowUpdate;
+        }
+        if (opts_.on_ack) opts_.on_ack(obs);
+      }
+      last_window = rec.tcp.window;
+      continue;
+    }
+
+    // Ack delay: measured from the earliest arrival this ack covers.
+    Duration delay = Duration::zero();
+    for (const auto& ev : events) {
+      if (seq_gt(ev.frontier, last_ack)) {
+        delay = rec.timestamp - ev.when;
+        if (delay < Duration::zero()) delay = Duration::zero();
+        break;
+      }
+    }
+    while (!events.empty() && seq_le(events.front().frontier, rec.tcp.ack))
+      events.pop_front();
+
+    // Classification (9.1): by full-sized segments of newly acked data.
+    // Recovery-driven acks are classified but exempt from timer-policy
+    // scoring -- they are mandatory-immediate regardless of policy.
+    // Exempt also applies when this ack discharges a mandatory obligation
+    // (the dup-ack for out-of-order data acks pending in-sequence bytes as
+    // a side effect) and during connection teardown.
+    const bool exempt = recovery_exempt_since_ack || discharges_mandatory || fin_seen;
+    const auto adv_u = static_cast<std::uint64_t>(advance);
+    AckObservation obs;
+    obs.record_index = i;
+    obs.advance = advance;
+    obs.delay = delay;
+    obs.recovery_exempt = exempt;
+    const std::size_t viol_before = report.policy_violations;
+    if (adv_u < 2ull * mss) {
+      ++report.delayed_acks;
+      obs.cls = AckClass::kDelayed;
+      if (!exempt) {
+        report.delayed_ack_delays.add(delay);
+        if (delay > max_delay + opts_.policy_slack) ++report.policy_violations;
+        if (profile_.ack_policy == tcp::AckPolicy::kSolarisTimer50 && adv_u == mss &&
+            delay + opts_.policy_slack < Duration::millis(50))
+          ++report.policy_violations;  // the 50 ms timer never acks a lone segment early
+      }
+    } else if (adv_u < 3ull * mss) {
+      ++report.normal_acks;
+      obs.cls = AckClass::kNormal;
+      if (!exempt) {
+        report.normal_ack_delays.add(delay);
+        if (profile_.ack_policy == tcp::AckPolicy::kEveryPacket)
+          ++report.policy_violations;  // an ack-every-packet TCP never batches two
+      }
+    } else {
+      ++report.stretch_acks;
+      obs.cls = AckClass::kStretch;
+      if (!exempt && profile_.stretch_ack_every == 0) ++report.policy_violations;
+    }
+    obs.violation = report.policy_violations != viol_before;
+    if (opts_.on_ack) opts_.on_ack(obs);
+
+    recovery_exempt_since_ack = false;
+    last_ack = rec.tcp.ack;
+    last_window = rec.tcp.window;
+  }
+
+  report.mandatory_missed += mandatory_pending.size();
+
+  // Distribution signatures (9.1). Care is needed: an ack-clocked,
+  // window-limited BSD flow can phase-lock with its own 200 ms heartbeat,
+  // producing tightly clustered delays at an arbitrary value -- so the
+  // heartbeat is rejected only on signatures it cannot produce: an
+  // every-packet pattern (all acks delayed-class, near-zero latency) or a
+  // tight cluster at exactly the Solaris 50 ms timer value.
+  if (report.delayed_ack_delays.count() >= 6) {
+    const double mean_ms = report.delayed_ack_delays.mean().to_millis();
+    const double sd_ms = report.delayed_ack_delays.raw().stddev() * 1000.0;
+    switch (profile_.ack_policy) {
+      case tcp::AckPolicy::kEveryPacket:
+        report.distribution_mismatch = mean_ms > 15.0;
+        break;
+      case tcp::AckPolicy::kSolarisTimer50:
+        // The per-arrival 50 ms timer yields delays pinned near 50 ms.
+        report.distribution_mismatch = mean_ms < 25.0 || mean_ms > 85.0 || sd_ms > 20.0;
+        break;
+      case tcp::AckPolicy::kBsdHeartbeat200:
+        report.distribution_mismatch =
+            (report.normal_acks == 0 && mean_ms < 15.0) ||
+            (std::abs(mean_ms - 50.0) < 8.0 && sd_ms < 8.0);
+        break;
+    }
+  }
+  return report;
+}
+
+double ReceiverReport::penalty() const {
+  return 120.0 * static_cast<double>(policy_violations) +
+         150.0 * static_cast<double>(mandatory_missed) +
+         80.0 * static_cast<double>(gratuitous_acks) +
+         (distribution_mismatch ? 400.0 : 0.0);
+}
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,99 @@
+// Receiver-behavior analysis (paper sections 7 and 9).
+//
+// Given a receiver-side trace and a candidate TcpProfile, replay the data
+// arrivals and acknowledgements:
+//
+//  * ack obligations: in-sequence data creates an *optional* obligation
+//    (dischargeable within the policy's delay bound, at latest every two
+//    full segments); out-of-sequence data creates a *mandatory* one (an
+//    immediate duplicate ack).
+//  * ack classification: delayed (< 2 full segments of new data), normal
+//    (2), stretch (> 2), duplicate, gratuitous (no obligation, no window
+//    change -- the receiver-side analogue of a window violation).
+//  * policy fit: each candidate ack policy bounds how late (and, for the
+//    Solaris 50 ms timer, how early) a delayed ack may come; acks outside
+//    the envelope are policy violations that count against the candidate.
+//  * corruption inference (section 7): when the TCP's acks lag what the
+//    trace shows arriving by more than the policy could explain, the
+//    missing packets were evidently discarded on arrival -- corrupted --
+//    and tcpanaly infers as much without any checksum available.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tcp/profile.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace tcpanaly::core {
+
+using trace::Trace;
+using util::Duration;
+
+enum class AckClass { kDelayed, kNormal, kStretch, kDup, kWindowUpdate, kGratuitous };
+
+struct AckObservation {
+  std::size_t record_index = 0;
+  AckClass cls = AckClass::kDelayed;
+  Duration delay;            ///< arrival-to-ack latency (advance classes only)
+  std::int64_t advance = 0;  ///< newly acked bytes
+  bool recovery_exempt = false;
+  bool violation = false;
+};
+
+struct ReceiverAnalysisOptions {
+  /// Timing slack on top of each policy's bound (host processing, filter
+  /// vantage).
+  Duration policy_slack = Duration::millis(25);
+  /// A mandatory (dup-ack) obligation must be discharged within this.
+  Duration mandatory_slack = Duration::millis(40);
+  /// Optional per-ack observer (benches dump ack-by-ack classifications).
+  std::function<void(const AckObservation&)> on_ack;
+};
+
+struct ReceiverReport {
+  // Ack classification (paper 9.1).
+  std::size_t acks = 0;
+  std::size_t delayed_acks = 0;
+  std::size_t normal_acks = 0;
+  std::size_t stretch_acks = 0;
+  std::size_t dup_acks = 0;
+  std::size_t window_update_acks = 0;
+  std::size_t gratuitous_acks = 0;
+
+  util::DurationStats delayed_ack_delays;
+  util::DurationStats normal_ack_delays;
+
+  // Policy fit.
+  std::size_t policy_violations = 0;
+  std::size_t mandatory_missed = 0;
+  /// The delayed-ack delay *distribution* contradicts the candidate policy
+  /// (e.g. a tight ~50 ms cluster cannot come from a free-running 200 ms
+  /// heartbeat, whose delays spread uniformly over 0-200 ms).
+  bool distribution_mismatch = false;
+
+  // Section 7 inferences.
+  std::size_t inferred_corrupt_packets = 0;
+  std::size_t checksum_verified_corrupt = 0;
+
+  std::size_t data_packets = 0;
+  std::uint32_t mss = 536;
+
+  double penalty() const;
+};
+
+class ReceiverAnalyzer {
+ public:
+  explicit ReceiverAnalyzer(tcp::TcpProfile profile, ReceiverAnalysisOptions opts = {});
+
+  ReceiverReport analyze(const Trace& trace) const;
+
+ private:
+  tcp::TcpProfile profile_;
+  ReceiverAnalysisOptions opts_;
+};
+
+}  // namespace tcpanaly::core

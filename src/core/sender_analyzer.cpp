@@ -1,0 +1,609 @@
+#include "core/sender_analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "tcp/window_model.hpp"
+
+namespace tcpanaly::core {
+
+using trace::PacketRecord;
+using trace::seq_diff;
+using trace::seq_ge;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::seq_lt;
+
+namespace {
+
+constexpr std::uint32_t kMssOptionBytes = 4;
+
+/// Minimum believable gap between transmissions of the same segment for a
+/// genuine timeout under each RTO scheme. A "timeout" faster than this is
+/// not something the candidate implementation could have done.
+Duration min_plausible_rto(tcp::RtoScheme scheme) {
+  switch (scheme) {
+    case tcp::RtoScheme::kBsd:
+      return Duration::millis(900);  // 2-tick (1 s) floor, minus slack
+    case tcp::RtoScheme::kSolarisBroken:
+      return Duration::millis(250);  // ~300 ms initial value
+    case tcp::RtoScheme::kLinux10:
+      return Duration::millis(500);
+  }
+  return Duration::millis(900);
+}
+
+struct Liberation {
+  TimePoint when;
+  SeqNum ceiling = 0;
+  /// Until when this liberation may still explain a send after an event
+  /// lowered the ceiling (vantage-point grace: the TCP may not have
+  /// processed the event yet when the packet left).
+  TimePoint expires = TimePoint::infinite();
+};
+
+/// The complete, copyable replay state: branch probing (source-quench
+/// inference) snapshots this and runs both branches forward.
+struct ReplayState {
+  std::optional<tcp::WindowModel> model;
+  bool synack_had_mss = false;
+  bool established = false;
+  std::uint32_t mss = 536;
+  std::uint32_t offered_mss = 536;
+  std::uint32_t offered_window = 0;
+  std::uint32_t sender_window_cap = 0;  ///< 0 = uncapped (pass 1 fills this)
+
+  bool have_data = false;
+  SeqNum iss = 0;
+  SeqNum snd_una = 0;
+  SeqNum snd_max = 0;
+
+  int dup_acks = 0;
+  bool in_recovery = false;
+  bool expect_fast_retx = false;  ///< dup-ack threshold hit; resend imminent
+  SeqNum recover = 0;
+
+  /// Go-back-N refill epoch after a timeout or recovery-less fast
+  /// retransmit: retransmissions riding new-ack liberations are expected.
+  bool refill_epoch = false;
+  SeqNum refill_until = 0;
+
+  std::vector<Liberation> libs;
+  std::map<SeqNum, TimePoint> last_tx;  ///< per-segment last transmission
+  std::set<SeqNum> retransmitted;       ///< unacked retransmitted segment starts
+  bool last_ack_covered_retx = false;
+  TimePoint last_new_ack_time = TimePoint::origin();
+  bool saw_new_ack = false;
+  TimePoint last_any_ack_time = TimePoint::origin();
+  bool saw_any_ack = false;
+  /// Model of the retransmission timer's restart point: new acks restart
+  /// it, a timeout re-arms it, and a send into an empty pipe arms it
+  /// fresh; retransmissions do NOT restart an armed timer.
+  TimePoint timer_base = TimePoint::origin();
+  bool timer_running = false;
+  TimePoint last_burst_time = TimePoint::origin();
+  bool burst_open = false;
+
+  int quench_probes = 0;
+
+  // Sustained-underuse tracking: the model says several segments are
+  // sendable, yet the sender leaves them unsent for a long stretch --
+  // "failing to send at a seemingly appropriate time". The signature of an
+  // unseen source quench (or of a wrong candidate model).
+  bool underuse_timing = false;
+  TimePoint underuse_start;
+  bool underuse_pending = false;
+
+  SenderReport report;
+};
+
+class Replayer {
+ public:
+  Replayer(const tcp::TcpProfile& profile, const SenderAnalysisOptions& opts,
+           const Trace& trace)
+      : profile_(profile), opts_(opts), trace_(trace) {}
+
+  SenderReport run() {
+    ReplayState state;
+    state.sender_window_cap =
+        opts_.infer_sender_window ? infer_sender_window_cap(opts_.vantage_grace) : 0;
+    // The grace-lagged cap above bounds the liberation ceiling; the
+    // *reported* inferred window uses the plain trace-order flight, which
+    // is the tighter estimate of the actual buffer limit (and drives the
+    // underuse detector).
+    state.report.inferred_sender_window =
+        opts_.infer_sender_window ? infer_sender_window_cap(Duration::zero()) : 0;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      // If an underuse period starts at this record, the quench (if one
+      // explains it) happened just BEFORE it -- keep the pre-record state
+      // as the branch point for the probe.
+      const bool maybe_onset = !state.underuse_timing;
+      std::unique_ptr<ReplayState> prev;
+      if (maybe_onset) prev = std::make_unique<ReplayState>(state);
+      step(state, i, /*probing=*/false);
+      if (maybe_onset && state.underuse_timing) {
+        snapshot_ = std::move(prev);
+        snapshot_index_ = i;
+      }
+    }
+    finalize(state);
+    return std::move(state.report);
+  }
+
+ private:
+  /// Pass 1: the largest amount of data ever observed in flight. Used as
+  /// the sender-window cap in pass 2 (paper section 6.2).
+  ///
+  /// Vantage caveat: an ack record can precede sends the TCP released
+  /// before processing that ack, so charging flight against the newest
+  /// recorded ack UNDERstates the peak. Flight is therefore measured
+  /// against the newest ack at least a vantage-grace older than the send.
+  std::uint32_t infer_sender_window_cap(Duration grace) const {
+    bool have = false;
+    SeqNum smax = 0;
+    std::uint32_t peak = 0;
+    std::vector<std::pair<TimePoint, SeqNum>> acks;  // new-ack frontier history
+    SeqNum highest_ack = 0;
+    bool have_ack = false;
+    std::size_t lag = 0;  // index of first ack NOT yet safely processed
+    SeqNum una_lagged = 0;
+    for (const auto& rec : trace_.records()) {
+      if (trace_.is_from_local(rec)) {
+        const SeqNum end = rec.tcp.seq_end();
+        if (rec.tcp.payload_len == 0 && !rec.tcp.flags.syn && !rec.tcp.flags.fin) continue;
+        if (!have) {
+          smax = end;
+          una_lagged = rec.tcp.seq;
+          have = true;
+        } else if (seq_gt(end, smax)) {
+          smax = end;
+        }
+        while (lag < acks.size() &&
+               acks[lag].first + grace <= rec.timestamp) {
+          una_lagged = seq_gt(acks[lag].second, una_lagged) ? acks[lag].second : una_lagged;
+          ++lag;
+        }
+        peak = std::max(peak, static_cast<std::uint32_t>(seq_diff(smax, una_lagged)));
+      } else if (rec.tcp.flags.ack && have &&
+                 (!have_ack || seq_gt(rec.tcp.ack, highest_ack)) &&
+                 seq_le(rec.tcp.ack, smax)) {
+        highest_ack = rec.tcp.ack;
+        have_ack = true;
+        acks.emplace_back(rec.timestamp, rec.tcp.ack);
+      }
+    }
+    return peak;
+  }
+
+  std::uint32_t effective_window(const ReplayState& s) const {
+    std::uint32_t w = std::min(s.model->cwnd(), s.offered_window);
+    if (s.sender_window_cap > 0) w = std::min(w, s.sender_window_cap);
+    return w;
+  }
+
+  void push_liberation(ReplayState& s, TimePoint when) {
+    // Sender-window inference (6.2): the cap is "in effect" if the
+    // congestion and offered windows would have allowed at least a full
+    // segment more than the peak in-flight the trace ever shows.
+    if (s.report.inferred_sender_window > 0 && s.model &&
+        std::min(s.model->cwnd(), s.offered_window) >=
+            s.report.inferred_sender_window + s.mss)
+      s.report.sender_window_limited = true;
+    const SeqNum ceiling = s.snd_una + effective_window(s);
+    // Prune liberations that have fully expired.
+    std::erase_if(s.libs, [&](const Liberation& l) { return l.expires < when; });
+    // When the ceiling drops (recovery exit, timeout, quench, shrunken
+    // offered window), superseded liberations do not vanish: the TCP acts
+    // a host-processing delay after the filter records (section 3.2), so
+    // they remain valid for a short grace window.
+    for (auto& l : s.libs)
+      if (seq_gt(l.ceiling, ceiling)) l.expires = std::min(l.expires, when + opts_.vantage_grace);
+    if (!s.libs.empty() && s.libs.back().ceiling == ceiling &&
+        s.libs.back().expires == TimePoint::infinite())
+      return;  // no change
+    s.libs.push_back({when, ceiling, TimePoint::infinite()});
+  }
+
+  void reset_liberations(ReplayState& s, TimePoint when) { push_liberation(s, when); }
+
+  void step(ReplayState& s, std::size_t index, bool probing) {
+    const PacketRecord& rec = trace_[index];
+    if (trace_.is_from_local(rec))
+      on_outbound(s, rec, index, probing);
+    else
+      on_inbound(s, rec, index, probing);
+  }
+
+  void on_outbound(ReplayState& s, const PacketRecord& rec, std::size_t index,
+                   bool probing) {
+    if (rec.tcp.flags.syn) {
+      s.iss = rec.tcp.seq;
+      if (rec.tcp.mss_option) s.offered_mss = *rec.tcp.mss_option;
+      return;
+    }
+    if (!s.established || rec.tcp.payload_len == 0) return;
+
+    const SeqNum end = rec.tcp.seq_end();
+    if (!s.have_data) {
+      s.have_data = true;
+      s.snd_max = rec.tcp.seq;  // new-data test below will extend it
+    }
+
+    if (!s.timer_running) {
+      s.timer_base = rec.timestamp;  // send into an empty pipe arms the timer
+      s.timer_running = true;
+    }
+    if (seq_ge(rec.tcp.seq, s.snd_max)) {
+      if (s.underuse_pending) {
+        // A sustained stretch where the model says several segments were
+        // sendable but none went out. Either an unseen source quench (test
+        // it) or an imperfect understanding of the TCP (penalize it).
+        s.underuse_pending = false;
+        ++s.report.lull_count;
+        if (!probing) maybe_probe_quench(s, rec, end, index);
+      }
+      on_new_data(s, rec, end, index);
+      s.snd_max = end;
+    } else {
+      on_retransmission(s, rec, index, probing);
+    }
+    s.last_tx[rec.tcp.seq] = rec.timestamp;
+    update_headroom(s, rec.timestamp, index, probing);
+  }
+
+  void on_new_data(ReplayState& s, const PacketRecord& rec, SeqNum end,
+                   std::size_t index) {
+    ++s.report.data_packets;
+    // Find the earliest liberation whose ceiling covers this send. In the
+    // single-liberation ablation (the paper's abandoned one-pass design),
+    // only the most recent window state may explain a packet.
+    const Liberation* lib = nullptr;
+    if (opts_.single_liberation) {
+      if (!s.libs.empty() && seq_ge(s.libs.back().ceiling, end)) lib = &s.libs.back();
+    } else {
+      for (const auto& l : s.libs) {
+        if (l.expires < rec.timestamp) continue;
+        if (seq_ge(l.ceiling, end)) {
+          lib = &l;
+          break;
+        }
+      }
+    }
+    if (lib == nullptr && !s.libs.empty()) {
+      // Noise guard: sub-quarter-MSS overshoot is window-arithmetic drift
+      // (racing recovery exits shift a congestion-avoidance increment or
+      // two), not a behavioral violation -- those show up at MSS scale.
+      const SeqNum cur = s.libs.back().ceiling;
+      if (seq_gt(end, cur) &&
+          static_cast<std::uint32_t>(seq_diff(end, cur)) < s.mss / 4) {
+        lib = &s.libs.back();
+      }
+    }
+    if (lib == nullptr) {
+      const SeqNum cur = s.libs.empty() ? s.snd_una : s.libs.back().ceiling;
+      s.report.violations.push_back(
+          {index, end, static_cast<std::uint64_t>(std::max<std::int64_t>(0, seq_diff(end, cur))),
+           rec.timestamp});
+      return;
+    }
+    Duration delay = rec.timestamp - lib->when;
+    if (delay < Duration::zero()) delay = Duration::zero();  // vantage skew
+    s.report.response_delays.add(delay);
+    if (delay > opts_.lull_threshold) ++s.report.lull_count;
+    // New data ends any refill epoch (everything below is re-sent or moot).
+    if (s.refill_epoch && seq_ge(end, s.refill_until)) s.refill_epoch = false;
+  }
+
+  void on_retransmission(ReplayState& s, const PacketRecord& rec, std::size_t index,
+                         bool probing) {
+    ++s.report.data_packets;
+    ++s.report.retransmissions;
+
+    // Burst continuation: part of an already-classified event.
+    if (s.burst_open && rec.timestamp - s.last_burst_time <= opts_.burst_gap) {
+      s.last_burst_time = rec.timestamp;
+      return;
+    }
+    s.burst_open = false;
+
+    // Fast retransmit: the window cut was already applied when the third
+    // dup ack arrived (where the sender acts); the resend of the ack-point
+    // segment is its visible signature.
+    if (s.expect_fast_retx && rec.tcp.seq == s.snd_una) {
+      s.expect_fast_retx = false;
+      ++s.report.fast_retransmit_events;
+      s.retransmitted.insert(rec.tcp.seq);
+      return;
+    }
+
+    // Linux 1.0 whole-flight burst on the first dup ack: no window cut.
+    // Dup-vs-new ack classification races the vantage point, so any burst
+    // shortly after ack activity qualifies; only silence-preceded bursts
+    // fall through to the timeout path (which does cut).
+    if (profile_.retransmit_flight_on_dupack &&
+        (s.dup_acks >= 1 ||
+         (s.saw_any_ack &&
+          rec.timestamp - s.last_any_ack_time <= opts_.resend_window))) {
+      ++s.report.flight_burst_events;
+      s.burst_open = true;
+      s.last_burst_time = rec.timestamp;
+      s.retransmitted.insert(rec.tcp.seq);
+      s.dup_acks = 0;
+      return;
+    }
+
+    const bool after_ack =
+        s.saw_new_ack && rec.timestamp - s.last_new_ack_time <= opts_.resend_window;
+
+    // Solaris quirk: resend of the packet just above a fresh ack that
+    // covered retransmitted data; window state untouched.
+    if (profile_.solaris_retx_beyond_ack && rec.tcp.seq == s.snd_una && after_ack &&
+        s.last_ack_covered_retx) {
+      ++s.report.quirk_retransmissions;
+      s.retransmitted.insert(rec.tcp.seq);
+      return;
+    }
+
+    // Go-back-N refill: inside a timeout epoch, resends ride liberations.
+    if (s.refill_epoch && after_ack && seq_ge(rec.tcp.seq, s.snd_una) &&
+        seq_le(rec.tcp.seq_end(), s.snd_una + effective_window(s))) {
+      s.report.response_delays.add(rec.timestamp - s.last_new_ack_time);
+      s.retransmitted.insert(rec.tcp.seq);
+      return;
+    }
+
+    // Otherwise: a timeout. It plausibly fired only if at least the
+    // profile's minimum RTO elapsed since the timer was last (re)armed --
+    // by a new ack, a previous timeout, or a send into an empty pipe;
+    // faster than that is not something the candidate could have done.
+    const Duration since_timer_base =
+        s.timer_running ? rec.timestamp - s.timer_base : Duration::infinite();
+    if (since_timer_base < min_plausible_rto(profile_.rto)) {
+      ++s.report.unexplained_retransmissions;
+      s.report.unexplained_indices.push_back(index);
+    }
+    ++s.report.timeout_events;
+    s.timer_base = rec.timestamp;  // the timeout re-arms with backoff
+    s.timer_running = true;
+    s.model->on_timeout(flight(s));
+    if (profile_.clear_dupacks_on_timeout) s.dup_acks = 0;
+    s.in_recovery = false;
+    s.refill_epoch = true;
+    s.refill_until = s.snd_max;
+    s.retransmitted.insert(rec.tcp.seq);
+    if (profile_.retransmit_flight_on_rto) {
+      s.burst_open = true;
+      s.last_burst_time = rec.timestamp;
+    }
+    reset_liberations(s, rec.timestamp);
+    (void)probing;
+  }
+
+  void update_headroom(ReplayState& s, TimePoint now, std::size_t index, bool probing) {
+    if (!s.established || !s.have_data) return;
+    // The TIGHT sender-window estimate applies here (the loose grace-lagged
+    // cap exists to avoid false violations; for underuse it would leave a
+    // phantom two-segment headroom on buffer-capped flows).
+    std::uint32_t w = std::min(s.model->cwnd(), s.offered_window);
+    if (s.report.inferred_sender_window > 0)
+      w = std::min(w, s.report.inferred_sender_window);
+    const std::int64_t headroom = seq_diff(s.snd_una + w, s.snd_max);
+    if (s.in_recovery || s.refill_epoch ||
+        headroom < 2 * static_cast<std::int64_t>(s.mss)) {
+      s.underuse_timing = false;
+      return;
+    }
+    if (!s.underuse_timing) {
+      s.underuse_timing = true;
+      s.underuse_start = now;
+      (void)index;
+      (void)probing;
+      return;
+    }
+    if (now - s.underuse_start >= opts_.underuse_threshold) {
+      s.underuse_pending = true;
+      s.underuse_start = now;  // rate-limit to one event per period
+    }
+  }
+
+  std::uint32_t flight(const ReplayState& s) const {
+    return std::min(s.model->cwnd(), s.offered_window);
+  }
+
+  void on_inbound(ReplayState& s, const PacketRecord& rec, std::size_t index,
+                  bool probing) {
+    if (rec.tcp.flags.syn && rec.tcp.flags.ack) {
+      s.synack_had_mss = rec.tcp.mss_option.has_value();
+      s.mss = rec.tcp.mss_option
+                  ? std::min<std::uint32_t>(*rec.tcp.mss_option, s.offered_mss)
+                  : 536;
+      s.model.emplace(profile_, s.mss, kMssOptionBytes);
+      s.model->on_connection_established(s.synack_had_mss, s.offered_mss);
+      s.offered_window = rec.tcp.window;
+      s.snd_una = s.iss + 1;
+      s.snd_max = s.snd_una;
+      s.established = true;
+      s.report.handshake_seen = true;
+      s.report.mss = s.mss;
+      push_liberation(s, rec.timestamp);
+      return;
+    }
+    if (!s.established || !rec.tcp.flags.ack) return;
+    ++s.report.acks_seen;
+    s.saw_any_ack = true;
+    s.last_any_ack_time = rec.timestamp;
+
+    if (seq_gt(rec.tcp.ack, s.snd_una)) {
+      // New ack.
+      s.last_ack_covered_retx = covers_retransmitted(s, s.snd_una, rec.tcp.ack);
+      if (s.in_recovery) {
+        s.model->on_recovery_exit(rec.tcp.ack == s.snd_max);
+        s.in_recovery = false;
+      }
+      s.dup_acks = 0;
+      s.expect_fast_retx = false;
+      s.model->on_new_ack(static_cast<std::uint32_t>(seq_diff(rec.tcp.ack, s.snd_una)));
+      for (auto it = s.retransmitted.begin(); it != s.retransmitted.end();)
+        it = seq_lt(*it, rec.tcp.ack) ? s.retransmitted.erase(it) : std::next(it);
+      // Prune bookkeeping that can no longer matter, so the state stays
+      // small (it is snapshot-copied for underuse branch points):
+      // per-segment transmission times below the ack, and liberations whose
+      // ceiling can never cover a future send.
+      for (auto it = s.last_tx.begin(); it != s.last_tx.end();)
+        it = seq_lt(it->first, rec.tcp.ack) ? s.last_tx.erase(it) : std::next(it);
+      while (!s.libs.empty() && seq_le(s.libs.front().ceiling, rec.tcp.ack))
+        s.libs.erase(s.libs.begin());
+      s.snd_una = rec.tcp.ack;
+      if (s.refill_epoch && seq_ge(s.snd_una, s.refill_until)) s.refill_epoch = false;
+      s.offered_window = rec.tcp.window;
+      s.saw_new_ack = true;
+      s.last_new_ack_time = rec.timestamp;
+      s.timer_base = rec.timestamp;  // a new ack restarts the timer
+      s.timer_running = seq_lt(s.snd_una, s.snd_max);
+      push_liberation(s, rec.timestamp);
+      update_headroom(s, rec.timestamp, index, probing);
+      return;
+    }
+    const bool outstanding = seq_lt(s.snd_una, s.snd_max);
+    if (rec.tcp.ack == s.snd_una && rec.tcp.payload_len == 0 &&
+        rec.tcp.window == s.offered_window && outstanding && !rec.tcp.flags.fin) {
+      // Duplicate ack.
+      ++s.report.dup_acks_seen;
+      ++s.dup_acks;
+      if (profile_.has_fast_retransmit && s.dup_acks == profile_.dup_ack_threshold) {
+        // The sender acts here: cut the window, retransmit the ack-point
+        // segment (whose record we expect shortly), and enter recovery
+        // (Reno) or refill (Tahoe lineage).
+        s.model->on_fast_retransmit(flight(s));
+        s.expect_fast_retx = true;
+        if (profile_.has_fast_recovery) {
+          s.in_recovery = true;
+          s.recover = s.snd_max;
+        } else {
+          s.refill_epoch = true;
+          s.refill_until = s.snd_max;
+        }
+        reset_liberations(s, rec.timestamp);
+      } else if (s.in_recovery && s.dup_acks > profile_.dup_ack_threshold) {
+        s.model->on_dup_ack_in_recovery();
+        push_liberation(s, rec.timestamp);
+      } else {
+        s.model->on_dup_ack_below_threshold();
+        if (profile_.dupack_updates_cwnd) push_liberation(s, rec.timestamp);
+      }
+      return;
+    }
+    // Window update / stale ack.
+    s.offered_window = rec.tcp.window;
+    push_liberation(s, rec.timestamp);
+  }
+
+  bool covers_retransmitted(const ReplayState& s, SeqNum from, SeqNum to) const {
+    for (SeqNum r : s.retransmitted)
+      if (seq_ge(r, from) && seq_lt(r, to)) return true;
+    return false;
+  }
+
+  /// Source-quench inference (6.2): a sustained stretch of unexercised
+  /// liberations is the trigger; the test replays the whole series from
+  /// where the underuse began with a slow-start restart applied -- "if the
+  /// whole series is consistent with slow start having begun sometime
+  /// between the ack and the data packet, then the trace is consistent
+  /// with an unseen source quench". The analysis does not work for Linux
+  /// 1.0, which merely decrements cwnd (also the paper's caveat).
+  void maybe_probe_quench(ReplayState& s, const PacketRecord& rec, SeqNum end,
+                          std::size_t index) {
+    if (!opts_.infer_source_quench) return;
+    if (profile_.quench != tcp::QuenchResponse::kSlowStart &&
+        profile_.quench != tcp::QuenchResponse::kSlowStartCutSsthresh)
+      return;
+    if (s.quench_probes >= opts_.max_quench_probes) return;
+    if (!snapshot_ || snapshot_index_ > index) return;
+    (void)end;
+    (void)rec;
+    ++s.quench_probes;
+
+    const double p0 = snapshot_->report.penalty();
+    ReplayState branch = *snapshot_;
+    branch.model->on_source_quench(flight(branch));
+    reset_liberations(branch, branch.libs.empty() ? trace_[snapshot_index_].timestamp
+                                                   : branch.libs.back().when);
+    for (std::size_t i = snapshot_index_; i < index; ++i) step(branch, i, /*probing=*/true);
+    ReplayState branch_at_index = branch;
+
+    const std::size_t horizon = std::min(trace_.size(), index + opts_.probe_horizon);
+    for (std::size_t i = index; i < horizon; ++i) step(branch, i, /*probing=*/true);
+    const double branch_pen = branch.report.penalty() - p0;
+
+    ReplayState base = s;
+    for (std::size_t i = index; i < horizon; ++i) step(base, i, /*probing=*/true);
+    const double base_pen = base.report.penalty() - p0;
+
+    if (branch_pen + 1e-9 < base_pen) {
+      const int probes = s.quench_probes;
+      const std::size_t quench_at = snapshot_index_;
+      s = std::move(branch_at_index);
+      s.quench_probes = probes;
+      s.report.inferred_quenches.push_back(quench_at);
+    }
+  }
+
+
+
+  void finalize(ReplayState& /*s*/) {}
+
+  tcp::TcpProfile profile_;
+  SenderAnalysisOptions opts_;
+  const Trace& trace_;
+  /// Snapshot of the replay state at the onset of the current underuse
+  /// period (quench-probe branch point).
+  std::unique_ptr<ReplayState> snapshot_;
+  std::size_t snapshot_index_ = 0;
+};
+
+}  // namespace
+
+double SenderReport::penalty() const {
+  return 1000.0 * static_cast<double>(violations.size()) +
+         300.0 * static_cast<double>(unexplained_retransmissions) +
+         50.0 * static_cast<double>(lull_count) +
+         10.0 * response_delays.raw().sum();
+}
+
+std::uint32_t infer_initial_ssthresh(const Trace& trace, tcp::TcpProfile base,
+                                     const SenderAnalysisOptions& opts) {
+  // Candidate initial ssthresh values, in segments (0 = unbounded). The
+  // replay penalty is sharply better at the true value: too low predicts
+  // congestion-avoidance pacing the sender didn't follow (violations);
+  // too high predicts slow-start bursts that never came (underuse lulls).
+  static constexpr std::uint32_t kCandidates[] = {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+  SenderAnalysisOptions sweep_opts = opts;
+  sweep_opts.infer_source_quench = false;  // don't let quench probes mask it
+  double best_penalty = 0.0;
+  std::uint32_t best = 0;
+  bool first = true;
+  for (std::uint32_t segments : kCandidates) {
+    base.initial_ssthresh_segments = segments;
+    SenderReport rep = SenderAnalyzer(base, sweep_opts).analyze(trace);
+    const double penalty = rep.penalty();
+    if (first || penalty < best_penalty - 1e-9) {
+      best_penalty = penalty;
+      best = segments;
+      first = false;
+    }
+  }
+  return best;
+}
+
+SenderAnalyzer::SenderAnalyzer(tcp::TcpProfile profile, SenderAnalysisOptions opts)
+    : profile_(std::move(profile)), opts_(opts) {}
+
+SenderReport SenderAnalyzer::analyze(const Trace& trace) const {
+  Replayer replayer(profile_, opts_, trace);
+  return replayer.run();
+}
+
+}  // namespace tcpanaly::core

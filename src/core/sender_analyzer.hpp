@@ -1,0 +1,134 @@
+// Sender-behavior analysis (paper section 6).
+//
+// Given a sender-side trace and a candidate TcpProfile, replay the trace
+// against the profile's window-evolution rules and measure how well the
+// observed transmissions fit:
+//
+//  * data liberations (6.1): each inbound ack extends a "ceiling" of
+//    sendable sequence space, computed from the profile's congestion
+//    window, the offered window, and the inferred sender window. A list of
+//    pending liberations absorbs vantage-point ambiguity -- a packet may
+//    lawfully respond to an ack several records back, not just the latest.
+//  * response delay: time from the liberation that permitted a packet to
+//    its transmission. Small for a correct candidate profile.
+//  * window violations: packets sent with no liberation covering them.
+//    "In principle, tcpanaly should never observe a window violation if it
+//    correctly understands the operation of the sending TCP."
+//  * retransmission classification: fast retransmit, timeout (go-back-N
+//    refill tracked as an epoch), Linux-style whole-flight bursts, the
+//    Solaris beyond-ack quirk -- or *unexplained*, which counts against
+//    the candidate.
+//  * implicit-behavior inference (6.2): the sender window from a first
+//    pass over max in-flight; unseen ICMP source quenches by branch
+//    testing whether a slow-start restart explains a large response delay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcp/profile.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace tcpanaly::core {
+
+using trace::SeqNum;
+using trace::Trace;
+using util::Duration;
+using util::TimePoint;
+
+struct SenderAnalysisOptions {
+  /// Response delay above which a liberation is considered unexercised.
+  Duration lull_threshold = Duration::millis(800);
+  /// How long the model may show >= 2 sendable segments going unsent
+  /// before it counts as an unexercised liberation (and, if the profile
+  /// responds to quenches with slow start, triggers a source-quench branch
+  /// probe).
+  Duration underuse_threshold = Duration::millis(250);
+  /// Window in which a retransmission right after a new ack is treated as
+  /// epoch refill (go-back-N) or the Solaris quirk.
+  Duration resend_window = Duration::millis(60);
+  /// Retransmissions within this gap of a classified retransmission event
+  /// belong to the same burst.
+  Duration burst_gap = Duration::millis(15);
+  /// After an event lowers the send ceiling, superseded liberations still
+  /// explain packets recorded within this grace (host processing delay
+  /// between the filter's record and the TCP acting -- section 3.2).
+  Duration vantage_grace = Duration::millis(30);
+  /// Ablation: remember only the most recent window state, as the paper's
+  /// abandoned one-pass design did. Vantage-point races then surface as
+  /// spurious window violations.
+  bool single_liberation = false;
+  /// Ablation: disable pass 1's sender-window inference. A buffer-capped
+  /// sender then looks persistently lazy (lulls) because the model expects
+  /// sends the socket buffer forbids -- the reason the paper's one-pass
+  /// design "finally foundered" (section 4).
+  bool infer_sender_window = true;
+  bool infer_source_quench = true;
+  int max_quench_probes = 8;
+  /// Records to replay when penalty-scoring a branch probe.
+  std::size_t probe_horizon = 24;
+};
+
+struct WindowViolation {
+  std::size_t record_index = 0;
+  SeqNum seq_end = 0;
+  std::uint64_t over_bytes = 0;  ///< how far beyond the ceiling
+  TimePoint when;
+};
+
+struct SenderReport {
+  // Fit metrics (drive the implementation matcher).
+  util::DurationStats response_delays;
+  std::vector<WindowViolation> violations;
+  std::size_t lull_count = 0;
+  std::size_t unexplained_retransmissions = 0;
+  /// Record indices of the unexplained retransmissions -- where to look
+  /// when deducing a new implementation's rules (paper section 5).
+  std::vector<std::size_t> unexplained_indices;
+
+  // Traffic accounting.
+  std::size_t data_packets = 0;
+  std::size_t retransmissions = 0;
+  std::size_t timeout_events = 0;
+  std::size_t fast_retransmit_events = 0;
+  std::size_t flight_burst_events = 0;
+  std::size_t quirk_retransmissions = 0;  ///< Solaris beyond-ack resends
+  std::size_t acks_seen = 0;
+  std::size_t dup_acks_seen = 0;
+
+  // Inferences (6.2).
+  bool sender_window_limited = false;
+  std::uint32_t inferred_sender_window = 0;  ///< bytes; max in-flight observed
+  std::vector<std::size_t> inferred_quenches;  ///< record indices
+
+  std::uint32_t mss = 0;
+  bool handshake_seen = false;
+
+  /// Aggregate penalty used to rank candidate implementations: violations
+  /// and unexplained retransmissions dominate; response delay is the
+  /// tie-breaker.
+  double penalty() const;
+};
+
+/// Infer a connection's initial ssthresh (paper section 6.2): sweep
+/// candidate values through the replay and return the one whose model
+/// explains the trace best. Returns 0 when the default "effectively
+/// unbounded" value fits best (no route-cache initialization in effect).
+/// Meaningful only when `base` otherwise matches the trace.
+std::uint32_t infer_initial_ssthresh(const Trace& trace, tcp::TcpProfile base,
+                                     const SenderAnalysisOptions& opts = {});
+
+class SenderAnalyzer {
+ public:
+  explicit SenderAnalyzer(tcp::TcpProfile profile, SenderAnalysisOptions opts = {});
+
+  /// Analyze a sender-side trace against this analyzer's profile.
+  SenderReport analyze(const Trace& trace) const;
+
+ private:
+  tcp::TcpProfile profile_;
+  SenderAnalysisOptions opts_;
+};
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,145 @@
+#include "core/summary.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/interval_set.hpp"
+#include "util/table.hpp"
+
+namespace tcpanaly::core {
+
+using trace::PacketRecord;
+using trace::seq_ge;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::SeqNum;
+using util::Duration;
+using util::TimePoint;
+
+TraceSummary summarize(const trace::Trace& trace) {
+  TraceSummary s;
+  if (trace.empty()) return s;
+
+  const bool data_from_local = trace.meta().role == trace::LocalRole::kSender;
+
+  SeqIntervalSet sent;
+  bool have_data = false;
+  SeqNum max_sent = 0;
+
+  bool have_ack = false;
+  SeqNum last_ack = 0;
+  std::uint32_t last_win = 0;
+  bool have_win = false;
+
+  // RTT sampling (sender-side traces): time each first transmission of a
+  // segment; sample when the first covering ack arrives; Karn's rule drops
+  // segments that were retransmitted in between.
+  std::map<SeqNum, std::pair<TimePoint, bool>> pending;  // seq_end -> (sent, clean)
+
+  TimePoint prev = trace[0].timestamp;
+  TimePoint first = trace[0].timestamp;
+  TimePoint last = trace[0].timestamp;
+
+  for (const auto& rec : trace.records()) {
+    last = std::max(last, rec.timestamp);
+    if (rec.timestamp - prev > s.max_idle) s.max_idle = rec.timestamp - prev;
+    prev = rec.timestamp;
+
+    const bool is_data_side = trace.is_from_local(rec) == data_from_local;
+    if (is_data_side) {
+      if (rec.tcp.flags.syn) s.saw_syn = true;
+      if (rec.tcp.flags.fin) s.saw_fin = true;
+      if (rec.tcp.payload_len > 0) {
+        ++s.data_packets;
+        s.data_bytes += rec.tcp.payload_len;
+        const SeqNum end = rec.tcp.seq_end();
+        const std::uint64_t fresh = sent.missing_in(rec.tcp.seq, end);
+        if (fresh < rec.tcp.payload_len) {
+          ++s.retransmitted_packets;
+          s.retransmitted_bytes += rec.tcp.payload_len - fresh;
+          // Karn: a retransmitted segment can no longer give a clean sample.
+          if (auto it = pending.find(end); it != pending.end()) it->second.second = false;
+        } else if (data_from_local) {
+          pending.emplace(end, std::make_pair(rec.timestamp, true));
+        }
+        sent.insert(rec.tcp.seq, end);
+        if (!have_data || seq_gt(end, max_sent)) max_sent = end;
+        have_data = true;
+      } else if (rec.tcp.is_pure_ack()) {
+        ++s.pure_acks_out;
+      }
+    } else {
+      if (rec.tcp.flags.syn && rec.tcp.flags.ack) s.saw_synack = true;
+      if (!rec.tcp.flags.ack) continue;
+      ++s.acks_in;
+      if (!have_win) {
+        s.min_window_in = s.max_window_in = rec.tcp.window;
+        have_win = true;
+      } else {
+        s.min_window_in = std::min(s.min_window_in, rec.tcp.window);
+        s.max_window_in = std::max(s.max_window_in, rec.tcp.window);
+      }
+      if (have_ack) {
+        if (rec.tcp.ack == last_ack && rec.tcp.payload_len == 0) {
+          if (rec.tcp.window == last_win)
+            ++s.dup_acks_in;
+          else
+            ++s.window_updates_in;
+        }
+        if (seq_gt(rec.tcp.ack, last_ack)) {
+          // Collect Karn-valid RTT samples for segments this ack covers.
+          for (auto it = pending.begin(); it != pending.end();) {
+            if (seq_le(it->first, rec.tcp.ack)) {
+              if (it->second.second) s.rtt.add(rec.timestamp - it->second.first);
+              it = pending.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+      }
+      have_ack = true;
+      last_ack = rec.tcp.ack;
+      last_win = rec.tcp.window;
+    }
+  }
+
+  s.unique_bytes = sent.covered_bytes();
+  s.duration = last - first;
+  const double secs = s.duration.to_seconds();
+  if (secs > 0.0) {
+    s.goodput_bytes_per_sec = static_cast<double>(s.unique_bytes) / secs;
+    s.throughput_bytes_per_sec = static_cast<double>(s.data_bytes) / secs;
+  }
+  if (s.data_packets > 0)
+    s.retransmission_rate =
+        static_cast<double>(s.retransmitted_packets) / static_cast<double>(s.data_packets);
+  return s;
+}
+
+std::string TraceSummary::render() const {
+  std::string out;
+  out += util::strf("connection:       %s%s%s, %s\n", saw_syn ? "SYN " : "",
+                    saw_synack ? "SYN-ack " : "", saw_fin ? "FIN" : "(no FIN)",
+                    duration.to_string().c_str());
+  out += util::strf("data stream:      %zu packets, %llu bytes (%llu unique)\n",
+                    data_packets, static_cast<unsigned long long>(data_bytes),
+                    static_cast<unsigned long long>(unique_bytes));
+  out += util::strf("retransmissions:  %zu packets, %llu bytes (%.1f%% of packets)\n",
+                    retransmitted_packets,
+                    static_cast<unsigned long long>(retransmitted_bytes),
+                    100.0 * retransmission_rate);
+  out += util::strf("feedback stream:  %zu acks (%zu dup, %zu window updates)\n", acks_in,
+                    dup_acks_in, window_updates_in);
+  out += util::strf("offered window:   %u - %u bytes\n", min_window_in, max_window_in);
+  out += util::strf("throughput:       %.1f kB/s (goodput %.1f kB/s)\n",
+                    throughput_bytes_per_sec / 1000.0, goodput_bytes_per_sec / 1000.0);
+  if (!rtt.empty())
+    out += util::strf("rtt (Karn-valid): min %s / mean %s / max %s over %zu samples\n",
+                      rtt.min().to_string().c_str(), rtt.mean().to_string().c_str(),
+                      rtt.max().to_string().c_str(), rtt.count());
+  out += util::strf("longest idle:     %s\n", max_idle.to_string().c_str());
+  return out;
+}
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,56 @@
+// Per-connection summary statistics: the descriptive layer under the
+// behavioral analysis -- packet/byte counts, retransmission rates,
+// throughput, RTT samples from ack matching, idle time. Comparable to the
+// per-connection output of classic tcptrace, and what the tcpanaly CLI
+// prints under --summary.
+//
+// All values are derived from the trace alone; RTT samples follow Karn's
+// rule (never measured across a retransmitted segment).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace tcpanaly::core {
+
+struct TraceSummary {
+  // Connection framing.
+  bool saw_syn = false;
+  bool saw_synack = false;
+  bool saw_fin = false;
+  util::Duration duration;  ///< first record to last record
+
+  // Local endpoint's data stream.
+  std::size_t data_packets = 0;
+  std::uint64_t data_bytes = 0;          ///< payload bytes incl. retransmissions
+  std::uint64_t unique_bytes = 0;        ///< distinct sequence space
+  std::size_t retransmitted_packets = 0; ///< re-covering already-sent space
+  std::uint64_t retransmitted_bytes = 0;
+  std::size_t pure_acks_out = 0;
+
+  // Remote endpoint's feedback stream.
+  std::size_t acks_in = 0;
+  std::size_t dup_acks_in = 0;
+  std::size_t window_updates_in = 0;
+  std::uint32_t min_window_in = 0;
+  std::uint32_t max_window_in = 0;
+
+  // Derived measures.
+  double goodput_bytes_per_sec = 0.0;    ///< unique bytes / duration
+  double throughput_bytes_per_sec = 0.0; ///< all data bytes / duration
+  double retransmission_rate = 0.0;      ///< retransmitted / data packets
+  util::DurationStats rtt;               ///< Karn-valid ack-matching samples
+  util::Duration max_idle;               ///< longest gap between records
+
+  std::string render() const;
+};
+
+/// Summarize the local endpoint's side of the trace. Works for sender- and
+/// receiver-side traces alike (a receiver-side trace simply has the data
+/// stream inbound; counts then describe the REMOTE sender as observed).
+TraceSummary summarize(const trace::Trace& trace);
+
+}  // namespace tcpanaly::core

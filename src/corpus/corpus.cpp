@@ -1,0 +1,58 @@
+#include "corpus/corpus.hpp"
+
+#include "util/table.hpp"
+
+namespace tcpanaly::corpus {
+
+std::string ScenarioParams::label() const {
+  return util::strf("loss=%.0f%% owd=%ldms rate=%.0fkB/s seed=%llu", loss_prob * 100.0,
+                    static_cast<long>(one_way_delay.count() / 1000),
+                    rate_bytes_per_sec / 1000.0,
+                    static_cast<unsigned long long>(seed));
+}
+
+tcp::SessionConfig make_session(const tcp::TcpProfile& impl, const ScenarioParams& params) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = impl;
+  cfg.receiver_profile = impl;
+  cfg.sender.transfer_bytes = params.transfer_bytes;
+  cfg.fwd_path.loss_prob = params.loss_prob;
+  cfg.fwd_path.prop_delay = params.one_way_delay;
+  cfg.fwd_path.rate_bytes_per_sec = params.rate_bytes_per_sec;
+  cfg.rev_path.prop_delay = params.one_way_delay;
+  cfg.rev_path.rate_bytes_per_sec = params.rate_bytes_per_sec;
+  cfg.seed = params.seed;
+  // Seed-derived nuisance parameters: heartbeat phase and host processing.
+  cfg.receiver.heartbeat_phase = util::Duration::millis((params.seed * 37) % 200);
+  cfg.sender_proc_delay = util::Duration::micros(200 + (params.seed * 131) % 400);
+  cfg.receiver_proc_delay = util::Duration::micros(200 + (params.seed * 197) % 400);
+  return cfg;
+}
+
+std::vector<CorpusEntry> generate_corpus(const tcp::TcpProfile& impl,
+                                         const CorpusOptions& opts) {
+  std::vector<CorpusEntry> entries;
+  std::uint64_t seed = opts.base_seed;
+  for (double loss : opts.loss_probs) {
+    for (util::Duration owd : opts.one_way_delays) {
+      for (double rate : opts.rates) {
+        for (int k = 0; k < opts.seeds_per_cell; ++k) {
+          ScenarioParams params;
+          params.loss_prob = loss;
+          params.one_way_delay = owd;
+          params.rate_bytes_per_sec = rate;
+          params.transfer_bytes = opts.transfer_bytes;
+          params.seed = ++seed;
+          CorpusEntry entry;
+          entry.impl_name = impl.name;
+          entry.params = params;
+          entry.result = tcp::run_session(make_session(impl, params));
+          entries.push_back(std::move(entry));
+        }
+      }
+    }
+  }
+  return entries;
+}
+
+}  // namespace tcpanaly::corpus

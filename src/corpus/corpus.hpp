@@ -1,0 +1,57 @@
+// Corpus generation: the reproduction's stand-in for the paper's 20,034
+// sender-side + 20,043 receiver-side tcpdump traces.
+//
+// Each implementation is swept over a grid of path conditions (loss rate,
+// one-way delay, link rate) and seeds; every session yields one sender-side
+// and one receiver-side trace, labeled with the generating implementation
+// so identification accuracy can be scored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcp/session.hpp"
+
+namespace tcpanaly::corpus {
+
+struct ScenarioParams {
+  double loss_prob = 0.0;
+  util::Duration one_way_delay = util::Duration::millis(20);
+  double rate_bytes_per_sec = 1'000'000.0;
+  std::uint32_t transfer_bytes = 100 * 1024;  ///< the paper's 100 KB transfers
+  std::uint64_t seed = 1;
+
+  std::string label() const;
+};
+
+/// Build a ready-to-run session for one implementation under the given
+/// path conditions. Both endpoints run the implementation, so the sender
+/// trace and the receiver trace both characterize it (Table 1 counts each
+/// implementation in both roles). Receiver heartbeat phase and host
+/// processing delays are seed-derived so corpora cover the full 0-200 ms
+/// delayed-ack spread.
+tcp::SessionConfig make_session(const tcp::TcpProfile& impl, const ScenarioParams& params);
+
+struct CorpusOptions {
+  std::vector<double> loss_probs{0.0, 0.01, 0.03};
+  std::vector<util::Duration> one_way_delays{util::Duration::millis(20),
+                                             util::Duration::millis(60),
+                                             util::Duration::millis(200)};
+  std::vector<double> rates{1'000'000.0, 125'000.0};
+  int seeds_per_cell = 1;
+  std::uint32_t transfer_bytes = 100 * 1024;
+  std::uint64_t base_seed = 1000;
+};
+
+struct CorpusEntry {
+  std::string impl_name;
+  ScenarioParams params;
+  tcp::SessionResult result;
+};
+
+/// Run the sweep for one implementation.
+std::vector<CorpusEntry> generate_corpus(const tcp::TcpProfile& impl,
+                                         const CorpusOptions& opts = {});
+
+}  // namespace tcpanaly::corpus

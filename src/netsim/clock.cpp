@@ -1,0 +1,23 @@
+#include "netsim/clock.hpp"
+
+#include <algorithm>
+
+namespace tcpanaly::sim {
+
+void MeasurementClock::add_step(util::TimePoint at, util::Duration delta) {
+  steps_.push_back({at, delta});
+  std::sort(steps_.begin(), steps_.end(),
+            [](const Step& a, const Step& b) { return a.at < b.at; });
+}
+
+util::TimePoint MeasurementClock::read(util::TimePoint t) const {
+  std::int64_t us = t.count();
+  us += offset_.count();
+  us += static_cast<std::int64_t>(static_cast<double>(t.count()) * skew_ppm_ * 1e-6);
+  for (const auto& step : steps_) {
+    if (step.at <= t) us += step.delta.count();
+  }
+  return util::TimePoint(us);
+}
+
+}  // namespace tcpanaly::sim

@@ -1,0 +1,47 @@
+// Measurement clock model (paper section 3.1.4).
+//
+// A packet filter stamps packets with its *local* clock, which differs from
+// true simulation time by a constant offset, a relative skew (ppm), and
+// step adjustments -- e.g. a fast-running clock periodically yanked
+// backwards by time synchronization, which is exactly the mechanism Paxson
+// identifies behind the >500 "time travel" instances in BSDI 1.1 / NetBSD
+// 1.0 traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tcpanaly::sim {
+
+class MeasurementClock {
+ public:
+  MeasurementClock() = default;
+
+  /// Constant offset added to every reading.
+  void set_offset(util::Duration offset) { offset_ = offset; }
+
+  /// Relative rate error in parts-per-million: +100 ppm runs fast by
+  /// 100 us per true second.
+  void set_skew_ppm(double ppm) { skew_ppm_ = ppm; }
+
+  /// Schedule a step adjustment: at true time `at`, the clock jumps by
+  /// `delta` (negative = set backwards, producing time travel for packets
+  /// stamped just after the step).
+  void add_step(util::TimePoint at, util::Duration delta);
+
+  /// Reading of this clock at true time `t`.
+  util::TimePoint read(util::TimePoint t) const;
+
+ private:
+  util::Duration offset_ = util::Duration::zero();
+  double skew_ppm_ = 0.0;
+  struct Step {
+    util::TimePoint at;
+    util::Duration delta;
+  };
+  std::vector<Step> steps_;  // kept sorted by `at`
+};
+
+}  // namespace tcpanaly::sim

@@ -1,0 +1,66 @@
+#include "netsim/event_loop.hpp"
+
+namespace tcpanaly::sim {
+
+EventId EventLoop::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_order_++, id, std::move(fn)});
+  ++pending_count_;
+  return id;
+}
+
+bool EventLoop::cancel(EventId id) {
+  // Lazy cancellation: mark and skip at fire time. The set stays small
+  // because entries are erased when their queue slot drains.
+  if (cancelled_.contains(id)) return false;
+  cancelled_.insert(id);
+  if (pending_count_ > 0) --pending_count_;
+  return true;
+}
+
+bool EventLoop::fire_next() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.at;
+    --pending_count_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run(std::size_t limit) {
+  std::size_t fired = 0;
+  while (fired < limit && fire_next()) ++fired;
+  return fired;
+}
+
+std::size_t EventLoop::run_until(TimePoint deadline) {
+  // Handled inline rather than via fire_next(): fire_next skips cancelled
+  // entries and fires the next live one, which could lie PAST the deadline.
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > deadline) break;
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    --pending_count_;
+    e.fn();
+    ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+}  // namespace tcpanaly::sim

@@ -1,0 +1,74 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop over virtual time. Determinism rules:
+// events at equal times fire in scheduling order (FIFO), so a given seed
+// always produces a byte-identical trace corpus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tcpanaly::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventLoop {
+ public:
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to now if in the past).
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay from now.
+  EventId schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if it already ran or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the queue is empty or `limit` events have fired.
+  /// Returns the number of events fired.
+  std::size_t run(std::size_t limit = 10'000'000);
+
+  /// Run events with time <= deadline; leaves later events queued.
+  std::size_t run_until(TimePoint deadline);
+
+  bool empty() const { return pending_count_ == 0; }
+  std::size_t pending() const { return pending_count_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t order;  // tie-break: FIFO among equal times
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.order > b.order;
+    }
+  };
+
+  bool fire_next();
+
+  TimePoint now_;
+  std::uint64_t next_order_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t pending_count_ = 0;
+};
+
+}  // namespace tcpanaly::sim

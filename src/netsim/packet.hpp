@@ -1,0 +1,30 @@
+// The in-flight packet representation used inside the simulator.
+//
+// Distinct from trace::PacketRecord: a SimPacket is the network's view
+// (true wire object, possibly corrupted en route), while a PacketRecord is
+// the *filter's* view of it -- with whatever timestamp, ordering, and
+// duplication errors the measurement apparatus introduces.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/packet.hpp"
+#include "trace/wire.hpp"
+
+namespace tcpanaly::sim {
+
+struct SimPacket {
+  trace::Endpoint src;
+  trace::Endpoint dst;
+  trace::TcpSegment tcp;
+  bool corrupted = false;      ///< damaged in the network; receiver discards
+  std::uint64_t id = 0;        ///< unique per simulation, for debugging
+
+  /// Bytes on the wire: Ethernet + IPv4 + TCP (+MSS option) + payload.
+  std::size_t wire_size() const {
+    return trace::kEthernetHeaderLen + trace::kIpv4HeaderLen + trace::kTcpBaseHeaderLen +
+           (tcp.mss_option ? 4 : 0) + tcp.payload_len;
+  }
+};
+
+}  // namespace tcpanaly::sim

@@ -1,0 +1,109 @@
+#include "netsim/path.hpp"
+
+#include <algorithm>
+
+namespace tcpanaly::sim {
+
+Path::Path(EventLoop& loop, PathConfig config, util::Rng rng)
+    : loop_(loop), config_(config), rng_(rng) {}
+
+bool Path::forced(const std::vector<std::uint64_t>& list, std::uint64_t n) const {
+  return std::find(list.begin(), list.end(), n) != list.end();
+}
+
+void Path::send(SimPacket pkt) {
+  const TimePoint now = loop_.now();
+  const std::uint64_t index = offered_++;
+
+  // Stage 1: the local link. The sending OS blocks rather than drops, so
+  // everything handed off eventually reaches the wire; a host filter sees
+  // all of it.
+  TimePoint depart = now;
+  if (config_.rate_bytes_per_sec > 0.0) {
+    const auto serialize = Duration::seconds(static_cast<double>(pkt.wire_size()) /
+                                             config_.rate_bytes_per_sec);
+    depart = std::max(now, link_free_) + serialize;
+    link_free_ = depart;
+  }
+  if (transmit_obs_) transmit_obs_(TransmitEvent{pkt, now, depart});
+
+  // Impairments inside the network cloud.
+  if (forced(config_.drop_nth, index) || rng_.chance(config_.loss_prob)) {
+    ++random_drops_;
+    return;
+  }
+  if (forced(config_.corrupt_nth, index) || rng_.chance(config_.corrupt_prob)) {
+    ++corrupted_;
+    pkt.corrupted = true;
+  }
+
+  // Stage 2: optional bottleneck hop with a drop-tail queue. Occupancy is
+  // evaluated at the frame's arrival time there; sends are processed in
+  // time order and the queue is FIFO, so this is consistent.
+  TimePoint arrival_base = depart;
+  if (config_.bottleneck_rate_bytes_per_sec > 0.0) {
+    inject_cross_traffic(depart);
+    while (!bottleneck_departs_.empty() && bottleneck_departs_.front() <= depart)
+      bottleneck_departs_.pop_front();
+    if (config_.bottleneck_queue_limit != 0 &&
+        bottleneck_departs_.size() >= config_.bottleneck_queue_limit) {
+      ++queue_drops_;
+      return;
+    }
+    const auto serialize = Duration::seconds(
+        static_cast<double>(pkt.wire_size()) / config_.bottleneck_rate_bytes_per_sec);
+    const TimePoint b_depart = std::max(depart, bottleneck_free_) + serialize;
+    bottleneck_free_ = b_depart;
+    bottleneck_departs_.push_back(b_depart);
+    arrival_base = b_depart;
+  }
+
+  TimePoint arrival = arrival_base + config_.prop_delay;
+  if (rng_.chance(config_.reorder_prob)) {
+    ++reorder_delayed_;
+    arrival += config_.reorder_extra;
+  }
+  deliver_later(pkt, arrival);
+
+  if (rng_.chance(config_.dup_prob)) {
+    ++duplicated_;
+    deliver_later(pkt, arrival + Duration::micros(200));
+  }
+}
+
+void Path::inject_cross_traffic(TimePoint until) {
+  if (config_.cross_traffic_intensity <= 0.0) return;
+  const double pkt_serialize_sec = static_cast<double>(config_.cross_packet_bytes) /
+                                   config_.bottleneck_rate_bytes_per_sec;
+  const double mean_interarrival = pkt_serialize_sec / config_.cross_traffic_intensity;
+  if (!cross_seeded_) {
+    next_cross_arrival_ =
+        TimePoint::origin() + Duration::seconds(rng_.next_exponential(mean_interarrival));
+    cross_seeded_ = true;
+  }
+  // Lazily replay the Poisson competitor up to `until`: the bottleneck
+  // state is only ever sampled at this connection's own arrivals, so the
+  // deferred injection is exact.
+  while (next_cross_arrival_ <= until) {
+    const TimePoint at = next_cross_arrival_;
+    while (!bottleneck_departs_.empty() && bottleneck_departs_.front() <= at)
+      bottleneck_departs_.pop_front();
+    if (config_.bottleneck_queue_limit == 0 ||
+        bottleneck_departs_.size() < config_.bottleneck_queue_limit) {
+      const TimePoint done =
+          std::max(at, bottleneck_free_) + Duration::seconds(pkt_serialize_sec);
+      bottleneck_free_ = done;
+      bottleneck_departs_.push_back(done);
+    }
+    next_cross_arrival_ = at + Duration::seconds(rng_.next_exponential(mean_interarrival));
+  }
+}
+
+void Path::deliver_later(const SimPacket& pkt, TimePoint at) {
+  loop_.schedule_at(at, [this, pkt, at] {
+    ++delivered_;
+    if (deliver_) deliver_(pkt, at);
+  });
+}
+
+}  // namespace tcpanaly::sim

@@ -1,0 +1,121 @@
+// One-directional network path: a rate-limited first hop (the local link,
+// e.g. 10 Mb/s Ethernet), a drop-tail bottleneck queue, propagation delay,
+// and stochastic impairments (loss, corruption, duplication, reordering).
+//
+// The first-hop rate limit matters beyond realism: it is what makes the
+// IRIX filter-duplication artifact of Figure 1 reproducible -- the first
+// (bogus) copy of each packet is stamped at the OS hand-off rate, the
+// second at the link's serialization rate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "netsim/event_loop.hpp"
+#include "netsim/packet.hpp"
+#include "util/rng.hpp"
+
+namespace tcpanaly::sim {
+
+struct PathConfig {
+  /// Local-link rate in bytes/second; 0 means no rate limit. The sending
+  /// OS blocks rather than drops here, so this stage never loses packets
+  /// -- a host-resident filter sees everything that is handed off.
+  double rate_bytes_per_sec = 1'000'000.0;  // ~10 Mb/s Ethernet payload rate
+  /// One-way propagation delay.
+  Duration prop_delay = Duration::millis(20);
+  /// Optional bottleneck inside the network cloud: a slower router hop
+  /// with a drop-tail queue. 0 rate disables the stage.
+  double bottleneck_rate_bytes_per_sec = 0.0;
+  /// Max packets queued at the bottleneck (drop-tail). 0 = unlimited.
+  std::size_t bottleneck_queue_limit = 20;
+  /// Random per-packet network loss probability.
+  double loss_prob = 0.0;
+  /// Drop exactly these packets (0-based index over packets offered to this
+  /// path), regardless of loss_prob. Applied once each.
+  std::vector<std::uint64_t> drop_nth;
+  /// Random per-packet corruption probability (packet arrives, fails
+  /// checksum, receiver discards it silently).
+  double corrupt_prob = 0.0;
+  /// Corrupt exactly these packets (0-based offered index).
+  std::vector<std::uint64_t> corrupt_nth;
+  /// Random network duplication probability (second copy delivered shortly
+  /// after the first).
+  double dup_prob = 0.0;
+  /// Probability that a packet is delayed an extra `reorder_extra`,
+  /// letting later packets overtake it.
+  double reorder_prob = 0.0;
+  Duration reorder_extra = Duration::millis(5);
+  /// Cross traffic at the bottleneck, as a fraction of its capacity
+  /// (0 = none). Poisson arrivals of `cross_packet_bytes`-sized frames
+  /// compete for the queue, perturbing this connection's queueing delays
+  /// (and occasionally crowding it out of the drop-tail queue).
+  double cross_traffic_intensity = 0.0;
+  std::uint32_t cross_packet_bytes = 570;
+};
+
+/// What happened to one packet offered to the path; used by filter taps
+/// sitting at the sending host's link.
+struct TransmitEvent {
+  SimPacket packet;
+  TimePoint handoff;      ///< when the host handed it to the link
+  TimePoint wire_depart;  ///< when serialization onto the local link finished
+};
+
+class Path {
+ public:
+  using DeliverFn = std::function<void(const SimPacket&, TimePoint arrival)>;
+  using TransmitFn = std::function<void(const TransmitEvent&)>;
+
+  Path(EventLoop& loop, PathConfig config, util::Rng rng);
+
+  /// Offer a packet to the path at the current simulation time.
+  void send(SimPacket pkt);
+
+  /// Sink for delivered packets (the far host).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Observer of local-link transmission events (filter taps).
+  void set_transmit_observer(TransmitFn fn) { transmit_obs_ = std::move(fn); }
+
+  // Counters for tests/benches (ground truth).
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t queue_drops() const { return queue_drops_; }
+  std::uint64_t random_drops() const { return random_drops_; }
+  std::uint64_t corrupted_count() const { return corrupted_; }
+  std::uint64_t duplicated_count() const { return duplicated_; }
+  std::uint64_t delivered_count() const { return delivered_; }
+  /// Packets given the reordering extra delay (an upper bound on packets
+  /// actually overtaken -- overtaking needs a close-behind successor).
+  std::uint64_t reorder_delayed_count() const { return reorder_delayed_; }
+
+ private:
+  void deliver_later(const SimPacket& pkt, TimePoint at);
+  bool forced(const std::vector<std::uint64_t>& list, std::uint64_t n) const;
+
+  EventLoop& loop_;
+  PathConfig config_;
+  util::Rng rng_;
+  DeliverFn deliver_;
+  TransmitFn transmit_obs_;
+
+  void inject_cross_traffic(TimePoint until);
+
+  TimePoint link_free_;        ///< when the local link finishes its current frame
+  TimePoint bottleneck_free_;  ///< when the bottleneck finishes its current frame
+  std::deque<TimePoint> bottleneck_departs_;  ///< depart times of queued frames
+  TimePoint next_cross_arrival_;
+  bool cross_seeded_ = false;
+
+  std::uint64_t offered_ = 0;
+  std::uint64_t queue_drops_ = 0;
+  std::uint64_t random_drops_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t reorder_delayed_ = 0;
+};
+
+}  // namespace tcpanaly::sim

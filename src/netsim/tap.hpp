@@ -1,0 +1,100 @@
+// Packet-filter tap: the measurement apparatus (paper section 3).
+//
+// A FilterTap sits at one host and produces the trace tcpanaly will see.
+// Every error class of section 3.1 is a configuration knob here:
+//   * drops          -- the filter misses packets (3.1.1)
+//   * additions      -- IRIX 5.2/5.3-style double copies of outbound
+//                       packets, first at OS hand-off time (bogus, fast),
+//                       again at wire departure (accurate) (3.1.2)
+//   * resequencing   -- Solaris 2.3/2.4-style: inbound packets are
+//                       timestamped late on a slow code path, so record
+//                       order and timestamps misstate cause/effect (3.1.3)
+//   * timing         -- timestamps come from a MeasurementClock with skew
+//                       and step adjustments; a fast clock stepped
+//                       backwards yields "time travel" (3.1.4)
+// plus the vantage-point knob of section 3.2: the tap records arrivals
+// when they hit the host, while the TCP acts on them a processing delay
+// later -- so traced cause-and-effect is genuinely ambiguous.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netsim/clock.hpp"
+#include "netsim/event_loop.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/path.hpp"
+#include "trace/trace.hpp"
+
+namespace tcpanaly::sim {
+
+struct FilterConfig {
+  /// Probability of the filter missing any individual packet.
+  double drop_prob = 0.0;
+  /// Drop exactly these records (0-based index over packets the filter
+  /// would otherwise record), each once.
+  std::vector<std::uint64_t> drop_nth;
+  /// Record outbound packets twice: once at hand-off, once at wire
+  /// departure (the IRIX artifact of Figure 1).
+  bool irix_double_copy = false;
+  /// Rate at which the OS sources the first copies (paper: ~2.5 MB/s,
+  /// versus the 1 MB/s Ethernet the second copies reflect).
+  double irix_os_rate_bytes_per_sec = 2'500'000.0;
+  /// Fraction of inbound packets whose filter processing is delayed by
+  /// `reseq_delay`, shifting both their record position and timestamp.
+  double reseq_prob = 0.0;
+  Duration reseq_delay = Duration::micros(400);
+  /// The filter's local clock (offset / skew / step adjustments).
+  MeasurementClock clock;
+  /// Header-only snaplen: records carry no verifiable checksum, so the
+  /// analyzer must infer corruption (paper section 7).
+  bool snap_headers_only = false;
+  /// How the filter's drop COUNTER behaves (paper 3.1.1: "we cannot trust
+  /// packet filters to reliably report drops"): accurate; absent (several
+  /// OSF/1, HP-UX, IRIX, Solaris tracing machines reported nothing); stuck
+  /// at a stale value ("one IRIX site reported exactly 62 dropped packets
+  /// for 256 consecutive traces"); or zero despite real drops (NetBSD 1.0
+  /// and Solaris systems).
+  enum class DropReportMode { kAccurate, kNotReported, kStuck, kAlwaysZero };
+  DropReportMode drop_report_mode = DropReportMode::kAccurate;
+  std::uint64_t stuck_report_value = 62;
+};
+
+/// Records the traffic visible at one host into a Trace.
+class FilterTap {
+ public:
+  FilterTap(EventLoop& loop, FilterConfig config, util::Rng rng, trace::Trace* out);
+
+  /// Hook this tap onto the outbound path of its host.
+  void observe_transmit(const TransmitEvent& ev);
+
+  /// Record an inbound packet arriving at the host at `arrival`.
+  void observe_arrival(const SimPacket& pkt, TimePoint arrival);
+
+  /// What the OS would ANSWER if asked how many packets the filter
+  /// dropped -- per the configured (unreliable) reporting mode. Returns
+  /// nullopt when the interface reports nothing at all.
+  std::optional<std::uint64_t> reported_drops() const;
+
+  // Ground-truth counters for calibration scoring.
+  std::uint64_t filter_drops() const { return filter_drops_; }
+  std::uint64_t duplicates_recorded() const { return dups_; }
+  std::uint64_t resequenced() const { return reseq_; }
+
+ private:
+  void record(const SimPacket& pkt, TimePoint process_time, TimePoint true_wire_time,
+              bool is_filter_duplicate);
+
+  EventLoop& loop_;
+  FilterConfig config_;
+  util::Rng rng_;
+  trace::Trace* out_;
+  std::uint64_t seen_ = 0;  ///< packets offered to the filter (drop_nth index)
+  TimePoint os_copy_free_;  ///< IRIX mode: when the OS copy path is next free
+  std::uint64_t filter_drops_ = 0;
+  std::uint64_t dups_ = 0;
+  std::uint64_t reseq_ = 0;
+};
+
+}  // namespace tcpanaly::sim

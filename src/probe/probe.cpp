@@ -1,0 +1,385 @@
+#include "probe/probe.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "trace/seq.hpp"
+#include "core/sender_analyzer.hpp"
+#include "util/table.hpp"
+
+namespace tcpanaly::probe {
+
+using trace::seq_ge;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::seq_lt;
+using trace::SeqNum;
+using util::Duration;
+using util::TimePoint;
+
+namespace {
+
+tcp::SessionConfig base_config(const tcp::TcpProfile& subject, const ProbeOptions& opts) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = subject;
+  cfg.receiver_profile = tcp::generic_reno();  // a well-behaved peer
+  cfg.sender.offered_mss = opts.mss;
+  cfg.receiver.mss_to_offer = static_cast<std::uint16_t>(opts.mss);
+  cfg.seed = opts.seed;
+  return cfg;
+}
+
+/// Transmission times of the first data segment, in trace order.
+std::vector<TimePoint> first_segment_transmissions(const trace::Trace& tr) {
+  std::vector<TimePoint> times;
+  bool have = false;
+  SeqNum first_seq = 0;
+  for (const auto& rec : tr.records()) {
+    if (!tr.is_from_local(rec) || rec.tcp.payload_len == 0) continue;
+    if (!have) {
+      first_seq = rec.tcp.seq;
+      have = true;
+    }
+    if (rec.tcp.seq == first_seq) times.push_back(rec.timestamp);
+  }
+  return times;
+}
+
+std::size_t count_first_flight(const trace::Trace& tr) {
+  std::size_t n = 0;
+  bool have_data = false;
+  SeqNum first_seq = 0;
+  for (const auto& rec : tr.records()) {
+    if (!tr.is_from_local(rec)) {
+      if (have_data && rec.tcp.flags.ack && seq_gt(rec.tcp.ack, first_seq)) break;
+      continue;
+    }
+    if (rec.tcp.payload_len == 0) continue;
+    if (!have_data) {
+      first_seq = rec.tcp.seq;
+      have_data = true;
+    }
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------- probes
+
+void probe_dead_path(const tcp::TcpProfile& subject, const ProbeOptions& opts,
+                     ProbeReport& report) {
+  // (a) Path dies immediately after the handshake: the first data segment
+  // is retransmitted on the initial RTO with pure backoff.
+  {
+    tcp::SessionConfig cfg = base_config(subject, opts);
+    cfg.sender.transfer_bytes = 8 * 1024;
+    cfg.sender.max_data_retries = 5;  // let the give-up behavior manifest too
+    for (std::uint64_t n = 2; n < 300; ++n) cfg.fwd_path.drop_nth.push_back(n);
+    cfg.time_limit = Duration::seconds(240.0);
+    auto r = tcp::run_session(cfg);
+    if (r.sender_stats.gave_up) {
+      report.gives_up_after = static_cast<int>(r.sender_stats.retransmissions);
+      for (const auto& rec : r.sender_trace.records())
+        if (r.sender_trace.is_from_local(rec) && rec.tcp.flags.rst)
+          report.sends_rst_on_give_up = true;
+    }
+    auto times = first_segment_transmissions(r.sender_trace);
+    if (times.size() >= 2) report.initial_rto = times[1] - times[0];
+    if (times.size() >= 4) {
+      std::vector<double> ratios;
+      for (std::size_t i = 2; i < times.size(); ++i) {
+        const double g1 = (times[i - 1] - times[i - 2]).to_seconds();
+        const double g2 = (times[i] - times[i - 1]).to_seconds();
+        if (g1 > 0) ratios.push_back(g2 / g1);
+      }
+      if (!ratios.empty()) {
+        std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2, ratios.end());
+        report.backoff_factor = ratios[ratios.size() / 2];
+      }
+    }
+  }
+  // (b) Path dies after a short warmup, with several segments in flight:
+  // does the timeout resend one segment or the whole flight?
+  {
+    tcp::SessionConfig cfg = base_config(subject, opts);
+    cfg.sender.transfer_bytes = 16 * 1024;
+    for (std::uint64_t n = 8; n < 400; ++n) cfg.fwd_path.drop_nth.push_back(n);
+    cfg.time_limit = Duration::seconds(60.0);
+    auto r = tcp::run_session(cfg);
+    // Find the first retransmission after the last inbound ack, and count
+    // distinct data sequences sent within 20 ms of it.
+    const auto& tr = r.sender_trace;
+    TimePoint last_ack;
+    bool saw_ack = false;
+    SeqNum smax = 0;
+    bool have = false;
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+      const auto& rec = tr[i];
+      if (!tr.is_from_local(rec)) {
+        if (rec.tcp.flags.ack) {
+          last_ack = rec.timestamp;
+          saw_ack = true;
+        }
+        continue;
+      }
+      if (rec.tcp.payload_len == 0) continue;
+      const SeqNum end = rec.tcp.seq_end();
+      if (have && seq_lt(rec.tcp.seq, smax) && saw_ack && rec.timestamp > last_ack) {
+        std::size_t burst = 0;
+        std::vector<SeqNum> seen;
+        for (std::size_t j = i; j < tr.size(); ++j) {
+          if (!tr.is_from_local(tr[j]) || tr[j].tcp.payload_len == 0) continue;
+          if (tr[j].timestamp - rec.timestamp > Duration::millis(20)) break;
+          if (std::find(seen.begin(), seen.end(), tr[j].tcp.seq) == seen.end()) {
+            seen.push_back(tr[j].tcp.seq);
+            ++burst;
+          }
+        }
+        report.flight_retransmit_on_timeout = burst >= 2;
+        break;
+      }
+      if (!have || seq_gt(end, smax)) smax = end;
+      have = true;
+    }
+  }
+}
+
+void probe_single_loss(const tcp::TcpProfile& subject, const ProbeOptions& opts,
+                       ProbeReport& report) {
+  tcp::SessionConfig cfg = base_config(subject, opts);
+  cfg.sender.transfer_bytes = 48 * 1024;
+  cfg.fwd_path.prop_delay = Duration::millis(40);
+  cfg.rev_path.prop_delay = Duration::millis(40);
+  cfg.fwd_path.drop_nth = {14};  // exactly one mid-stream data packet
+  auto r = tcp::run_session(cfg);
+  const auto& tr = r.sender_trace;
+
+  // Locate the loss: the ack number the peer gets stuck at.
+  SeqNum stuck = 0;
+  bool have_stuck = false;
+  {
+    SeqNum last = 0;
+    bool have = false;
+    int repeats = 0;
+    for (const auto& rec : tr.records()) {
+      if (tr.is_from_local(rec) || !rec.tcp.flags.ack || rec.tcp.flags.syn) continue;
+      if (have && rec.tcp.ack == last && rec.tcp.payload_len == 0) {
+        if (++repeats >= 1 && !have_stuck) {
+          stuck = rec.tcp.ack;
+          have_stuck = true;
+        }
+      } else {
+        repeats = 0;
+      }
+      last = rec.tcp.ack;
+      have = true;
+    }
+  }
+  if (!have_stuck) return;  // loss never manifested (shouldn't happen)
+
+  // Count dup acks before the resend of the stuck segment; check whether
+  // new data flowed during the dup stream (fast recovery) and whether the
+  // resend dragged the rest of the flight with it.
+  std::vector<TimePoint> dup_times;
+  bool resent = false;
+  SeqNum smax_at_resend = 0;
+  TimePoint resend_time;
+  TimePoint hole_fill_time = TimePoint::infinite();
+  SeqNum smax = 0;
+  bool have_max = false;
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    const auto& rec = tr[i];
+    if (!tr.is_from_local(rec)) {
+      if (!resent && rec.tcp.flags.ack && rec.tcp.ack == stuck && rec.tcp.payload_len == 0)
+        dup_times.push_back(rec.timestamp);
+      if (resent && hole_fill_time == TimePoint::infinite() && rec.tcp.flags.ack &&
+          seq_gt(rec.tcp.ack, stuck))
+        hole_fill_time = rec.timestamp;
+      continue;
+    }
+    if (rec.tcp.payload_len == 0) continue;
+    const SeqNum end = rec.tcp.seq_end();
+    if (!resent && rec.tcp.seq == stuck && have_max && seq_lt(rec.tcp.seq, smax)) {
+      resent = true;
+      resend_time = rec.timestamp;
+      smax_at_resend = smax;
+      // Flight storm: further (non-stuck) retransmissions right after.
+      for (std::size_t j = i + 1; j < tr.size(); ++j) {
+        if (!tr.is_from_local(tr[j]) || tr[j].tcp.payload_len == 0) continue;
+        if (tr[j].timestamp - rec.timestamp > Duration::millis(20)) break;
+        if (seq_lt(tr[j].tcp.seq, smax) && tr[j].tcp.seq != stuck)
+          report.flight_retransmit_on_dup = true;
+      }
+    }
+    // Fast recovery: NEW data while the peer's acks are still stuck (the
+    // hole has not yet been filled), sustained by dup-ack inflation.
+    if (resent && seq_gt(rec.tcp.seq, smax_at_resend) &&
+        rec.timestamp < hole_fill_time)
+      report.fast_recovery = true;
+    if (!have_max || seq_gt(end, smax)) smax = end;
+    have_max = true;
+  }
+  // Count the dups recorded strictly before the resend: the filter logs an
+  // arrival before the TCP reacts, so the triggering dup itself precedes
+  // the resend record, while later dups land after it.
+  int dups = 0;
+  if (resent)
+    for (const TimePoint& t : dup_times)
+      if (t < resend_time) ++dups;
+  if (resent && dups >= 1 && dups <= 8) {
+    report.dup_ack_threshold = dups;
+    report.fast_retransmit = !report.flight_retransmit_on_dup;
+  } else {
+    // dups > 8 (or none): the resend was a plain timeout; any burst around
+    // it is the timeout's flight storm, not a dup-triggered one.
+    report.flight_retransmit_on_dup = false;
+  }
+}
+
+void probe_clean_transfer(const tcp::TcpProfile& subject, const ProbeOptions& opts,
+                          ProbeReport& report) {
+  tcp::SessionConfig cfg = base_config(subject, opts);
+  cfg.sender.transfer_bytes = 96 * 1024;
+  auto r = tcp::run_session(cfg);
+  report.first_flight_segments =
+      static_cast<std::uint32_t>(count_first_flight(r.sender_trace));
+
+  // Initial ssthresh: sweep candidates under both growth rules and keep
+  // the better-explaining one (the probe is black-box: the subject's exact
+  // lineage is unknown).
+  tcp::TcpProfile base_eqn2 = tcp::generic_reno();
+  tcp::TcpProfile base_eqn1 = tcp::generic_reno();
+  base_eqn1.cwnd_increase = tcp::CwndIncrease::kEqn1;
+  base_eqn1.ss_test = tcp::SlowStartTest::kLess;
+  std::uint32_t best = 0;
+  double best_pen = 0.0;
+  bool first = true;
+  for (const auto& base : {base_eqn1, base_eqn2}) {
+    tcp::TcpProfile probe_profile = base;
+    const std::uint32_t segs = core::infer_initial_ssthresh(r.sender_trace, probe_profile);
+    probe_profile.initial_ssthresh_segments = segs;
+    core::SenderAnalysisOptions aopts;
+    aopts.infer_source_quench = false;
+    const double pen =
+        core::SenderAnalyzer(probe_profile, aopts).analyze(r.sender_trace).penalty();
+    if (first || pen < best_pen) {
+      best = segs;
+      best_pen = pen;
+      first = false;
+    }
+  }
+  if (best != 0) report.initial_ssthresh_segments = best;
+}
+
+void probe_no_mss_option(const tcp::TcpProfile& subject, const ProbeOptions& opts,
+                         ProbeReport& report) {
+  tcp::SessionConfig cfg = base_config(subject, opts);
+  cfg.sender.transfer_bytes = 48 * 1024;
+  cfg.receiver.omit_mss_option = true;
+  cfg.receiver.recv_buffer = 16 * 1024;
+  auto r = tcp::run_session(cfg);
+  // An uninitialized congestion window blasts the whole offered window;
+  // interpret >= 8 segments in the first flight as the Net/3 bug (unless
+  // the subject never slow-starts at all, which the clean probe exposes).
+  const std::size_t burst = count_first_flight(r.sender_trace);
+  report.net3_uninit_cwnd_bug = burst >= 8 && report.first_flight_segments <= 2;
+}
+
+void probe_ack_policy(const tcp::TcpProfile& subject, const ProbeOptions& opts,
+                      ProbeReport& report) {
+  // The subject RECEIVES from a well-behaved sender over a slow link, so
+  // most segments arrive alone and its delayed-ack machinery is exposed.
+  tcp::SessionConfig cfg = base_config(subject, opts);
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = subject;
+  cfg.sender.transfer_bytes = 16 * 1024;
+  cfg.fwd_path.rate_bytes_per_sec = 4'000.0;
+  cfg.rev_path.rate_bytes_per_sec = 4'000.0;
+  cfg.time_limit = Duration::seconds(300.0);
+  auto r = tcp::run_session(cfg);
+  const auto& tr = r.receiver_trace;
+
+  std::vector<double> delays_ms;
+  TimePoint arrival;
+  SeqNum expected_ack = 0;
+  bool pending = false;
+  for (const auto& rec : tr.records()) {
+    if (!tr.is_from_local(rec)) {
+      if (rec.tcp.payload_len > 0 && !pending) {
+        arrival = rec.timestamp;
+        expected_ack = rec.tcp.seq_end();
+        pending = true;
+      }
+      continue;
+    }
+    if (!rec.tcp.flags.ack || !pending) continue;
+    if (seq_ge(rec.tcp.ack, expected_ack)) {
+      delays_ms.push_back((rec.timestamp - arrival).to_millis());
+      pending = false;
+    }
+  }
+  if (delays_ms.size() < 6) return;
+  std::sort(delays_ms.begin(), delays_ms.end());
+  const double p90 = delays_ms[delays_ms.size() * 9 / 10];
+  const double median = delays_ms[delays_ms.size() / 2];
+  if (p90 < 5.0) {
+    report.acks_every_packet = true;
+  } else {
+    report.delayed_ack_timer = Duration::seconds(p90 / 1000.0);
+  }
+  (void)median;
+}
+
+}  // namespace
+
+ProbeReport probe_implementation(const tcp::TcpProfile& subject, const ProbeOptions& opts) {
+  ProbeReport report;
+  probe_clean_transfer(subject, opts, report);
+  probe_dead_path(subject, opts, report);
+  probe_single_loss(subject, opts, report);
+  probe_no_mss_option(subject, opts, report);
+  probe_ack_policy(subject, opts, report);
+  return report;
+}
+
+std::string ProbeReport::render() const {
+  std::string out;
+  out += util::strf("initial RTO:           %s\n",
+                    initial_rto ? initial_rto->to_string().c_str() : "(not measured)");
+  out += util::strf("timer backoff factor:  %s\n",
+                    backoff_factor ? util::strf("%.2fx", *backoff_factor).c_str()
+                                   : "(not measured)");
+  out += util::strf("timeout retransmits:   %s\n",
+                    flight_retransmit_on_timeout ? "WHOLE FLIGHT" : "one segment");
+  if (gives_up_after)
+    out += util::strf("connection abandon:    after %d retransmission(s), %s\n",
+                      *gives_up_after,
+                      sends_rst_on_give_up ? "with a RST" : "SILENTLY (no RST)");
+  if (dup_ack_threshold)
+    out += util::strf("loss recovery:         resend after %d dup ack(s)%s%s%s\n",
+                      *dup_ack_threshold, fast_retransmit ? " [fast retransmit]" : "",
+                      fast_recovery ? " [fast recovery]" : "",
+                      flight_retransmit_on_dup ? " [FLIGHT STORM]" : "");
+  else
+    out += "loss recovery:         timeout only (no fast retransmit observed)\n";
+  out += util::strf("first flight:          %u segment(s)\n", first_flight_segments);
+  out += util::strf("initial ssthresh:      %s\n",
+                    initial_ssthresh_segments
+                        ? util::strf("%u segment(s)", *initial_ssthresh_segments).c_str()
+                        : "effectively unbounded");
+  out += util::strf("no-MSS-option SYN-ack: %s\n",
+                    net3_uninit_cwnd_bug ? "UNINITIALIZED CWND BURST (Net/3 bug)"
+                                         : "handled sanely");
+  if (acks_every_packet)
+    out += "receiver acking:       every packet, immediately\n";
+  else if (delayed_ack_timer)
+    out += util::strf("receiver acking:       delayed-ack timer ~%.0f ms\n",
+                      delayed_ack_timer->to_millis());
+  else
+    out += "receiver acking:       (not measured)\n";
+  return out;
+}
+
+}  // namespace tcpanaly::probe

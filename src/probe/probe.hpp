@@ -1,0 +1,77 @@
+// Active probing of a TCP implementation (paper sections 2 and 11).
+//
+// The paper closes by noting that "one can combine active techniques, for
+// controlling the stimuli seen by a TCP implementation, with automated
+// analysis of traces of the results". This module is that combination: a
+// suite of controlled experiments -- in the style of Comer & Lin's active
+// probing and Dawson et al.'s fault injection -- driven against an
+// implementation-under-test through the simulator, with each response
+// read back from the packet traces alone.
+//
+// Experiments and what they infer:
+//   * dead-path probe      -> initial RTO; backoff factors; whether a
+//                             whole flight is retransmitted on timeout
+//   * single-loss probe    -> duplicate-ack threshold for fast retransmit
+//                             (or its absence); fast recovery (new data
+//                             sent during the dup-ack stream)
+//   * clean-transfer probe -> initial ssthresh (slow-start exit with no
+//                             loss); first-flight size
+//   * no-MSS-option probe  -> the Net/3 uninitialized-cwnd bug
+//   * paced-arrival probe  -> delayed-ack timer value (receiver side)
+//
+// Everything here consumes only the resulting traces, so the same probes
+// could drive a real stack through a fault-injecting gateway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tcp/profile.hpp"
+#include "util/time.hpp"
+
+namespace tcpanaly::probe {
+
+struct ProbeReport {
+  // Timer behavior (dead-path probe).
+  std::optional<util::Duration> initial_rto;
+  std::optional<double> backoff_factor;      ///< median ratio between timeouts
+  bool flight_retransmit_on_timeout = false; ///< whole window resent at once
+  std::optional<int> gives_up_after;         ///< retransmissions before abandoning
+  bool sends_rst_on_give_up = false;         ///< RST announces the abort (Dawson
+                                             ///  et al. found some TCPs omit it)
+
+  // Loss recovery (single-loss probe).
+  /// Duplicate acks recorded before the resend. The sender's actual
+  /// threshold is this or one less -- the last dup can still be in flight
+  /// between the filter and the TCP when the decision is made (the
+  /// vantage-point gap of the companion passive analysis).
+  std::optional<int> dup_ack_threshold;
+  bool fast_retransmit = false;              ///< resend before any timeout
+  bool fast_recovery = false;                ///< new data during the dup stream
+  bool flight_retransmit_on_dup = false;     ///< storm on early dups
+
+  // Window initialization (clean + no-MSS probes).
+  std::uint32_t first_flight_segments = 0;
+  std::optional<std::uint32_t> initial_ssthresh_segments;  ///< nullopt = unbounded
+  bool net3_uninit_cwnd_bug = false;
+
+  // Receiver acking (paced-arrival probe).
+  std::optional<util::Duration> delayed_ack_timer;
+  bool acks_every_packet = false;
+
+  std::string render() const;
+};
+
+struct ProbeOptions {
+  std::uint32_t mss = 512;
+  std::uint64_t seed = 424242;
+};
+
+/// Run the full probe suite against an implementation-under-test.
+/// The subject is exercised as a black box: probes control only the peer
+/// and the path, and read only the resulting traces.
+ProbeReport probe_implementation(const tcp::TcpProfile& subject,
+                                 const ProbeOptions& opts = {});
+
+}  // namespace tcpanaly::probe

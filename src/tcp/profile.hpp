@@ -1,0 +1,134 @@
+// TcpProfile: the complete knob set describing one TCP implementation's
+// observable behavior, distilled from sections 8 and 9 of the paper.
+//
+// Both sides of the reproduction consume profiles:
+//   * the simulator (tcp/sender.hpp, tcp/receiver.hpp) runs them as live
+//     endpoint state machines to generate traces, and
+//   * the analyzer (core/) uses the same profile to *predict* window
+//     evolution from a trace, exactly as tcpanaly carries per-
+//     implementation knowledge classes.
+// The paper expresses a new implementation as a C++ class derived from its
+// closest base; here that relationship is the profile registry
+// (tcp/profiles.hpp), where each named implementation is written as a
+// delta applied to generic Tahoe or generic Reno.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tcpanaly::tcp {
+
+enum class Lineage { kTahoe, kReno, kIndependent };
+
+/// Congestion-avoidance increment per ack (paper eqns 1 and 2):
+/// Eqn1: cwnd += MSS*MSS/cwnd.  Eqn2 adds the too-aggressive +MSS/8 term,
+/// giving super-linear growth; widespread among Reno derivatives.
+enum class CwndIncrease { kEqn1, kEqn2 };
+
+/// Whether slow start applies when cwnd < ssthresh or cwnd <= ssthresh
+/// (one of the paper's "minor variations", section 8.3).
+enum class SlowStartTest { kLess, kLessEqual };
+
+/// Retransmission-timeout management scheme.
+enum class RtoScheme {
+  kBsd,            ///< Jacobson/Karn on 500 ms ticks, fixed-point srtt/rttvar
+  kSolarisBroken,  ///< ~300 ms initial, reverts to base on ack of a
+                   ///< retransmitted packet, adapts far too slowly (sec 8.6)
+  kLinux10,        ///< early firing, irregular backoff (sec 8.5)
+};
+
+/// Response to an ICMP source quench (paper section 6.2).
+enum class QuenchResponse {
+  kSlowStart,             ///< BSD-derived: enter slow start
+  kSlowStartCutSsthresh,  ///< Solaris: slow start AND halve ssthresh
+  kCwndMinusOneSegment,   ///< Linux 1.0: cwnd -= MSS, nothing else
+  kIgnore,
+};
+
+/// Delayed-acknowledgement machinery (paper section 9.1).
+enum class AckPolicy {
+  kBsdHeartbeat200,  ///< 200 ms heartbeat timer; uniform 0-200 ms ack delays
+  kSolarisTimer50,   ///< 50 ms timer armed per arrival
+  kEveryPacket,      ///< Linux 1.0: immediate ack for every packet
+};
+
+struct TcpProfile {
+  std::string name;      ///< e.g. "Solaris 2.4"
+  std::string versions;  ///< version string(s) as in Table 1
+  Lineage lineage = Lineage::kReno;
+
+  // ----- sender: window management -----
+  CwndIncrease cwnd_increase = CwndIncrease::kEqn2;
+  SlowStartTest ss_test = SlowStartTest::kLessEqual;
+  std::uint32_t initial_cwnd_segments = 1;
+  /// 0 means "effectively unbounded" (initialize ssthresh to a huge value);
+  /// Linux 1.0 uses 1, Solaris uses 8. An experimental TCP initializes it
+  /// from its route cache (paper section 6.2) -- modeled as a nonzero
+  /// value here, inferable by core::infer_initial_ssthresh.
+  std::uint32_t initial_ssthresh_segments = 0;
+  /// Lower clamp, in segments, applied when ssthresh is cut (Tahoe: 1,
+  /// Reno lineage: 2).
+  std::uint32_t min_ssthresh_segments = 2;
+  /// Round the cut ssthresh down to a segment multiple (BSD behavior).
+  bool round_ssthresh_to_mss = true;
+
+  // ----- sender: loss recovery -----
+  bool has_fast_retransmit = true;
+  bool has_fast_recovery = true;  ///< Reno only; Tahoe/SunOS/Solaris lack it
+  int dup_ack_threshold = 3;
+  /// Correct Reno deflates cwnd to ssthresh when recovery completes; the
+  /// Net/3 header-prediction bug can skip the shrink.
+  bool deflate_cwnd_after_recovery = true;
+  /// Fencepost error deciding whether the post-recovery window needs
+  /// shrinking: buggy implementations shrink only when strictly above
+  /// ssthresh + MSS, leaving cwnd one segment too big.
+  bool fencepost_recovery_bug = false;
+  bool clear_dupacks_on_timeout = true;  ///< false = rare BSD variant bug
+  bool dupack_updates_cwnd = false;      ///< rare variant: dups grow cwnd
+
+  // ----- sender: MSS handling -----
+  /// MSS confusion [BP95]: window arithmetic uses an MSS that includes
+  /// TCP option bytes (overstates increments by the option size).
+  bool mss_includes_options = false;
+  /// Initialize cwnd from the locally offered MSS instead of the
+  /// negotiated one.
+  bool use_offered_mss_for_cwnd = false;
+  /// Net/3 uninitialized-cwnd bug: if the SYN-ack carries no MSS option,
+  /// cwnd and ssthresh stay at a huge uninitialized value (section 8.4).
+  bool net3_uninit_cwnd_bug = false;
+
+  // ----- sender: retransmission pathologies -----
+  /// Linux 1.0: a retransmission resends *every* unacknowledged packet.
+  bool retransmit_flight_on_rto = false;
+  /// Linux 1.0: the first duplicate ack triggers a whole-flight
+  /// retransmission (no dup-ack threshold).
+  bool retransmit_flight_on_dupack = false;
+  /// Solaris: sometimes retransmits the packet just above the ack point
+  /// rather than sending the newly liberated data (section 8.6); does not
+  /// touch cwnd or snd_nxt.
+  bool solaris_retx_beyond_ack = false;
+  RtoScheme rto = RtoScheme::kBsd;
+
+  // ----- sender: miscellany -----
+  QuenchResponse quench = QuenchResponse::kSlowStart;
+  /// Terminate with a RST after exhausting data retransmission retries.
+  /// Dawson et al. (cited in section 2) found "some TCPs do not correctly
+  /// terminate their connections with RST packets if the maximum
+  /// retransmission count is reached" -- false models those.
+  bool rst_on_give_up = true;
+  /// Trumpet/Winsock reconstruction (section 10): no congestion window at
+  /// all -- sends to the offered window from the first RTT, pure go-back-N.
+  bool no_congestion_control = false;
+
+  // ----- receiver -----
+  AckPolicy ack_policy = AckPolicy::kBsdHeartbeat200;
+  /// Ack at latest on every second full-sized segment (RFC 1122).
+  bool ack_every_two_segments = true;
+  /// Every Nth ack covers up to four segments instead of two (stretch
+  /// acks); 0 = never. Used for the Solaris 2.3 acking bug fixed in 2.4.
+  std::uint32_t stretch_ack_every = 0;
+
+  bool operator==(const TcpProfile&) const = default;
+};
+
+}  // namespace tcpanaly::tcp

@@ -1,0 +1,222 @@
+#include "tcp/profiles.hpp"
+
+namespace tcpanaly::tcp {
+
+TcpProfile generic_tahoe() {
+  TcpProfile p;
+  p.name = "Generic Tahoe";
+  p.versions = "BSD 1988";
+  p.lineage = Lineage::kTahoe;
+  p.cwnd_increase = CwndIncrease::kEqn1;  // no +MSS/8 term (section 8.1)
+  p.ss_test = SlowStartTest::kLessEqual;
+  p.min_ssthresh_segments = 1;  // "never sets it lower than MSS"
+  p.has_fast_retransmit = true;
+  p.has_fast_recovery = false;
+  p.rto = RtoScheme::kBsd;
+  p.quench = QuenchResponse::kSlowStart;
+  p.ack_policy = AckPolicy::kBsdHeartbeat200;
+  return p;
+}
+
+TcpProfile generic_reno() {
+  TcpProfile p = generic_tahoe();
+  p.name = "Generic Reno";
+  p.versions = "BSD 1990";
+  p.lineage = Lineage::kReno;
+  p.cwnd_increase = CwndIncrease::kEqn2;  // the +MSS/8 super-linear term
+  p.min_ssthresh_segments = 2;
+  p.has_fast_recovery = true;
+  // Faithful to the release: suffers the header-prediction and fencepost
+  // deflation errors (section 8.2 citing [BP95]).
+  p.deflate_cwnd_after_recovery = false;
+  p.fencepost_recovery_bug = true;
+  return p;
+}
+
+namespace {
+
+TcpProfile bsdi() {
+  TcpProfile p = generic_reno();
+  p.name = "BSDI";
+  p.versions = "1.1, 2.0, 2.1";
+  // Net/3-derived: carries the uninitialized-cwnd bug (section 8.4).
+  p.net3_uninit_cwnd_bug = true;
+  return p;
+}
+
+TcpProfile dec_osf1() {
+  TcpProfile p = generic_reno();
+  p.name = "DEC OSF/1";
+  p.versions = "1.3a, 2.0, 3.0, 3.2";
+  // Reno variant without the deflation bugs but with MSS confusion:
+  // window arithmetic includes option bytes [BP95].
+  p.deflate_cwnd_after_recovery = true;
+  p.fencepost_recovery_bug = false;
+  p.mss_includes_options = true;
+  return p;
+}
+
+TcpProfile hpux() {
+  TcpProfile p = generic_reno();
+  p.name = "HP/UX";
+  p.versions = "9.05, 10.10";
+  // Uses the plain Eqn 1 increase and initializes cwnd from the offered MSS.
+  p.cwnd_increase = CwndIncrease::kEqn1;
+  p.use_offered_mss_for_cwnd = true;
+  p.deflate_cwnd_after_recovery = true;
+  p.fencepost_recovery_bug = false;
+  return p;
+}
+
+TcpProfile irix() {
+  TcpProfile p = generic_reno();
+  p.name = "IRIX";
+  p.versions = "4.0, 5.1-5.3, 6.2";
+  // Later-version bug accumulation (section 8.3): fails to clear the
+  // dup-ack counter on timeout, and dup acks update cwnd.
+  p.clear_dupacks_on_timeout = false;
+  p.dupack_updates_cwnd = true;
+  return p;
+}
+
+TcpProfile linux10() {
+  TcpProfile p;
+  p.name = "Linux 1.0";
+  p.versions = "1.0";
+  p.lineage = Lineage::kIndependent;
+  p.cwnd_increase = CwndIncrease::kEqn1;
+  p.ss_test = SlowStartTest::kLess;
+  p.initial_ssthresh_segments = 1;  // "initializes ssthresh to a single packet"
+  p.min_ssthresh_segments = 1;
+  p.round_ssthresh_to_mss = false;
+  p.has_fast_retransmit = false;  // section 8.5
+  p.has_fast_recovery = false;
+  p.retransmit_flight_on_rto = true;     // resends every unacked packet
+  p.retransmit_flight_on_dupack = true;  // ...and far too early
+  p.rto = RtoScheme::kLinux10;
+  p.quench = QuenchResponse::kCwndMinusOneSegment;
+  p.ack_policy = AckPolicy::kEveryPacket;  // acks every packet (section 9.1)
+  return p;
+}
+
+TcpProfile netbsd() {
+  TcpProfile p = generic_reno();
+  p.name = "NetBSD";
+  p.versions = "1.0";
+  p.net3_uninit_cwnd_bug = true;  // Net/3 lineage
+  return p;
+}
+
+TcpProfile solaris(const char* version, bool acking_bug) {
+  TcpProfile p;
+  p.name = std::string("Solaris ") + version;
+  p.versions = version;
+  p.lineage = Lineage::kIndependent;
+  p.cwnd_increase = CwndIncrease::kEqn1;
+  p.ss_test = SlowStartTest::kLess;
+  p.initial_ssthresh_segments = 8;  // conservative; impedes fast transfers
+  p.min_ssthresh_segments = 2;
+  p.round_ssthresh_to_mss = false;
+  p.has_fast_retransmit = true;
+  p.has_fast_recovery = false;  // present in code, disabled by a logic bug
+  p.solaris_retx_beyond_ack = true;
+  p.rto = RtoScheme::kSolarisBroken;
+  p.quench = QuenchResponse::kSlowStartCutSsthresh;
+  p.ack_policy = AckPolicy::kSolarisTimer50;
+  p.stretch_ack_every = acking_bug ? 8 : 0;  // the 2.3 bug fixed in 2.4
+  return p;
+}
+
+TcpProfile sunos41() {
+  TcpProfile p = generic_tahoe();
+  p.name = "SunOS 4.1";
+  p.versions = "4.1";
+  p.lineage = Lineage::kTahoe;
+  return p;
+}
+
+TcpProfile linux20() {
+  // Section 10: later Linux fixes the storm ("This problem has been fixed
+  // in later Linux releases") and adds fast retransmission.
+  TcpProfile p = linux10();
+  p.name = "Linux 2.0";
+  p.versions = "2.0.27, 2.0.30";
+  p.initial_ssthresh_segments = 0;
+  p.has_fast_retransmit = true;
+  p.retransmit_flight_on_rto = false;
+  p.retransmit_flight_on_dupack = false;
+  p.rto = RtoScheme::kBsd;
+  return p;
+}
+
+TcpProfile trumpet() {
+  // Section 10 found "severe deficiencies"; the surviving text does not
+  // enumerate them, so this is a reconstruction consistent with that
+  // verdict: no congestion window at all (fills the offered window from
+  // the first round trip) and pure go-back-N timeout recovery.
+  TcpProfile p;
+  p.name = "Trumpet/Winsock";
+  p.versions = "2.0b, 3.0c";
+  p.lineage = Lineage::kIndependent;
+  p.no_congestion_control = true;
+  p.has_fast_retransmit = false;
+  p.has_fast_recovery = false;
+  p.retransmit_flight_on_rto = true;
+  p.rto = RtoScheme::kBsd;
+  p.quench = QuenchResponse::kIgnore;
+  p.ack_policy = AckPolicy::kEveryPacket;
+  // Dawson et al.'s finding, folded into the reconstruction: no RST when
+  // the connection is abandoned.
+  p.rst_on_give_up = false;
+  return p;
+}
+
+TcpProfile windows95() {
+  // Independently written but broadly Reno-conformant.
+  TcpProfile p = generic_reno();
+  p.name = "Windows 95";
+  p.versions = "95, NT";
+  p.lineage = Lineage::kIndependent;
+  p.deflate_cwnd_after_recovery = true;
+  p.fencepost_recovery_bug = false;
+  p.cwnd_increase = CwndIncrease::kEqn1;
+  return p;
+}
+
+}  // namespace
+
+TcpProfile experimental_route_cache(std::uint32_t cached_ssthresh_segments) {
+  TcpProfile p = generic_reno();
+  p.name = "Experimental (route cache)";
+  p.versions = "exp";
+  p.initial_ssthresh_segments = cached_ssthresh_segments;
+  // The experimental stack also carries the corrected Reno recovery code.
+  p.deflate_cwnd_after_recovery = true;
+  p.fencepost_recovery_bug = false;
+  return p;
+}
+
+std::vector<TcpProfile> main_study_profiles() {
+  return {bsdi(),   dec_osf1(), hpux(),          irix(),
+          linux10(), netbsd(),  solaris("2.3", true), solaris("2.4", false),
+          sunos41()};
+}
+
+std::vector<TcpProfile> followup_profiles() {
+  return {linux20(), trumpet(), windows95()};
+}
+
+std::vector<TcpProfile> all_profiles() {
+  std::vector<TcpProfile> all{generic_tahoe(), generic_reno()};
+  for (auto& p : main_study_profiles()) all.push_back(std::move(p));
+  for (auto& p : followup_profiles()) all.push_back(std::move(p));
+  return all;
+}
+
+std::optional<TcpProfile> find_profile(const std::string& name) {
+  for (auto& p : all_profiles())
+    if (p.name == name) return p;
+  return std::nullopt;
+}
+
+}  // namespace tcpanaly::tcp

@@ -1,0 +1,43 @@
+// Registry of named TCP implementation profiles (Table 1 of the paper,
+// plus the section-10 follow-ups). Each profile is written as a delta
+// against generic Tahoe or generic Reno, mirroring how tcpanaly expresses
+// an implementation as a C++ class derived from its closest base.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tcp/profile.hpp"
+
+namespace tcpanaly::tcp {
+
+/// Generic Tahoe (BSD, 1988): slow start, congestion avoidance, fast
+/// retransmit; no fast recovery; Eqn 1; ssthresh clamp at 1 MSS.
+TcpProfile generic_tahoe();
+
+/// Generic Reno (BSD, 1990): adds fast recovery, the Eqn 2 +MSS/8 term,
+/// and (faithfully) the header-prediction and fencepost deflation bugs.
+TcpProfile generic_reno();
+
+/// All implementations of the main study (Table 1, first group).
+/// Order matches the table.
+std::vector<TcpProfile> main_study_profiles();
+
+/// Section-10 follow-ups: Linux 2.0 (fixed retransmission), Trumpet/
+/// Winsock (reconstructed: no congestion control), Windows 95.
+std::vector<TcpProfile> followup_profiles();
+
+/// The experimental route-cache TCP of section 6.2: a Reno stack whose
+/// initial ssthresh comes from cached per-route state rather than the
+/// default huge value ("an experimental TCP that tcpanaly also knows
+/// about does [use the route cache]").
+TcpProfile experimental_route_cache(std::uint32_t cached_ssthresh_segments = 6);
+
+/// Everything known to the registry.
+std::vector<TcpProfile> all_profiles();
+
+/// Find a profile by exact name. Returns nullopt if unknown.
+std::optional<TcpProfile> find_profile(const std::string& name);
+
+}  // namespace tcpanaly::tcp

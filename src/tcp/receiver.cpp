@@ -1,0 +1,245 @@
+#include "tcp/receiver.hpp"
+
+#include <algorithm>
+
+namespace tcpanaly::tcp {
+
+using trace::seq_ge;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::seq_lt;
+
+TcpReceiver::TcpReceiver(sim::EventLoop& loop, TcpProfile profile, ReceiverConfig config,
+                         SendFn send)
+    : loop_(loop), profile_(std::move(profile)), config_(config), send_(std::move(send)) {}
+
+TcpReceiver::~TcpReceiver() {
+  if (ack_timer_armed_) loop_.cancel(ack_timer_event_);
+}
+
+std::uint32_t TcpReceiver::offered_window() const {
+  if (config_.app_read_rate_bytes_per_sec <= 0.0) return config_.recv_buffer;
+  const auto occ = static_cast<std::uint64_t>(occupancy_);
+  return occ >= config_.recv_buffer
+             ? 0
+             : config_.recv_buffer - static_cast<std::uint32_t>(occ);
+}
+
+void TcpReceiver::drain_to_now() {
+  if (config_.app_read_rate_bytes_per_sec <= 0.0) return;
+  const Duration dt = loop_.now() - last_drain_;
+  last_drain_ = loop_.now();
+  occupancy_ =
+      std::max(0.0, occupancy_ - config_.app_read_rate_bytes_per_sec * dt.to_seconds());
+}
+
+void TcpReceiver::ensure_drain_scheduled() {
+  if (config_.app_read_rate_bytes_per_sec <= 0.0) return;
+  if (drain_armed_ || occupancy_ <= 0.0) return;
+  // Wake when roughly two segments' worth of space has freed (or sooner,
+  // when the buffer is nearly drained), to advertise the opened window.
+  const double bytes_to_free = std::min(occupancy_, 2.0 * mss_seen_);
+  const double secs = bytes_to_free / config_.app_read_rate_bytes_per_sec;
+  drain_armed_ = true;
+  drain_event_ =
+      loop_.schedule_after(Duration::seconds(std::max(secs, 0.005)), [this] {
+        on_drain_timer();
+      });
+}
+
+void TcpReceiver::on_drain_timer() {
+  drain_armed_ = false;
+  if (state_ == State::kClosed) return;
+  drain_to_now();
+  // Advertise when the window has opened by at least two segments (or
+  // fully reopened) since the last ack we sent -- BSD's window-update rule.
+  const std::uint32_t now_window = offered_window();
+  if (now_window >= advertised_window_ + 2 * mss_seen_ ||
+      (now_window == config_.recv_buffer && advertised_window_ < now_window)) {
+    ++stats_.window_updates_sent;
+    send_ack(false);
+  }
+  ensure_drain_scheduled();
+}
+
+void TcpReceiver::on_segment(const trace::TcpSegment& seg, bool corrupted) {
+  if (corrupted) {
+    // A checksum-failing packet is discarded before TCP sees it; no ack
+    // obligation of any kind arises (paper section 7).
+    ++stats_.corrupted_discarded;
+    return;
+  }
+
+  if (seg.flags.syn && !seg.flags.ack) {
+    // New or retransmitted SYN: (re)send our SYN-ack.
+    irs_ = seg.seq;
+    rcv_nxt_ = seg.seq + 1;
+    if (seg.mss_option) mss_seen_ = *seg.mss_option;
+    if (state_ == State::kListen) state_ = State::kSynReceived;
+    trace::TcpSegment synack;
+    synack.seq = iss_;
+    synack.ack = rcv_nxt_;
+    synack.flags.syn = true;
+    synack.flags.ack = true;
+    synack.window = offered_window();
+    if (!config_.omit_mss_option)
+      synack.mss_option = static_cast<std::uint16_t>(config_.mss_to_offer);
+    snd_nxt_ = iss_ + 1;
+    send_(synack);
+    return;
+  }
+
+  if (state_ == State::kSynReceived && seg.flags.ack && seg.ack == iss_ + 1) {
+    state_ = State::kEstablished;
+    if (profile_.ack_policy == AckPolicy::kBsdHeartbeat200) {
+      // Free-running heartbeat from here on (phase is arbitrary on a real
+      // host; configurable so corpora cover the whole 0-200 ms spread).
+      ack_timer_armed_ = true;
+      ack_timer_event_ =
+          loop_.schedule_after(config_.heartbeat_phase + Duration::millis(200),
+                               [this] { on_ack_timer(); });
+    }
+  }
+
+  if (state_ != State::kEstablished) return;
+  if (seg.payload_len > 0 || seg.flags.fin) on_data(seg);
+}
+
+void TcpReceiver::on_data(const trace::TcpSegment& seg) {
+  ++stats_.data_packets;
+  const SeqNum seg_begin = seg.seq;
+  const SeqNum payload_end = seg.seq + seg.payload_len;
+
+  bool need_immediate_dup = false;
+  bool merged_hole = false;
+
+  if (seg.payload_len > 0) {
+    if (seq_le(payload_end, rcv_nxt_)) {
+      // Entirely old data: a retransmission of something we already have.
+      stats_.duplicate_data_bytes += seg.payload_len;
+      need_immediate_dup = true;
+    } else if (seq_gt(seg_begin, rcv_nxt_)) {
+      // Above a sequence hole: buffer it, ack immediately (mandatory).
+      ++stats_.out_of_order_packets;
+      auto [it, inserted] = ooo_.emplace(seg_begin, payload_end);
+      if (!inserted && seq_gt(payload_end, it->second)) it->second = payload_end;
+      need_immediate_dup = true;
+    } else {
+      // In sequence (possibly overlapping the front).
+      const auto dup_bytes = static_cast<std::uint32_t>(trace::seq_diff(rcv_nxt_, seg_begin));
+      stats_.duplicate_data_bytes += dup_bytes;
+      const auto new_bytes =
+          static_cast<std::uint32_t>(trace::seq_diff(payload_end, rcv_nxt_));
+      rcv_nxt_ = payload_end;
+      stats_.bytes_delivered += new_bytes;
+      unacked_bytes_ += new_bytes;
+      drain_to_now();
+      occupancy_ += new_bytes;
+      // Merge any out-of-order intervals this arrival connects to.
+      while (!ooo_.empty()) {
+        auto it = ooo_.begin();
+        if (seq_gt(it->first, rcv_nxt_)) break;
+        if (seq_gt(it->second, rcv_nxt_)) {
+          const auto filled =
+              static_cast<std::uint32_t>(trace::seq_diff(it->second, rcv_nxt_));
+          stats_.bytes_delivered += filled;
+          unacked_bytes_ += filled;
+          occupancy_ += filled;
+          rcv_nxt_ = it->second;
+          merged_hole = true;
+        }
+        ooo_.erase(it);
+      }
+    }
+  }
+
+  if (seg.flags.fin && seg.seq + seg.payload_len == rcv_nxt_ && ooo_.empty()) {
+    rcv_nxt_ += 1;
+    fin_received_ = true;
+    state_ = State::kClosed;
+    send_ack(false);
+    return;
+  }
+
+  if (need_immediate_dup) {
+    // Out-of-sequence (or below-sequence) data: mandatory ack obligation,
+    // discharged immediately -- this is the duplicate-ack stream fast
+    // retransmission feeds on.
+    send_ack(true);
+    return;
+  }
+  if (merged_hole) {
+    // A hole just filled: ack immediately so the sender learns at once.
+    send_ack(false);
+    return;
+  }
+
+  switch (profile_.ack_policy) {
+    case AckPolicy::kEveryPacket:
+      send_ack(false);
+      return;
+    case AckPolicy::kBsdHeartbeat200:
+    case AckPolicy::kSolarisTimer50: {
+      std::uint32_t threshold = 2 * mss_seen_;
+      if (profile_.stretch_ack_every != 0 &&
+          (normal_ack_counter_ % profile_.stretch_ack_every) ==
+              profile_.stretch_ack_every - 1) {
+        threshold = 4 * mss_seen_;  // the Solaris 2.3 stretch-ack bug
+      }
+      if (unacked_bytes_ >= threshold) {
+        ++normal_ack_counter_;
+        send_ack(false);
+      } else {
+        ensure_delayed_ack_scheduled();
+      }
+      return;
+    }
+  }
+}
+
+void TcpReceiver::send_ack(bool is_dup) {
+  drain_to_now();
+  trace::TcpSegment ack;
+  ack.seq = snd_nxt_;
+  ack.ack = rcv_nxt_;
+  ack.flags.ack = true;
+  ack.window = offered_window();
+  advertised_window_ = ack.window;
+  ensure_drain_scheduled();
+  ++stats_.acks_sent;
+  if (is_dup) ++stats_.dup_acks_sent;
+  unacked_bytes_ = 0;
+  if (profile_.ack_policy == AckPolicy::kSolarisTimer50 && ack_timer_armed_) {
+    loop_.cancel(ack_timer_event_);
+    ack_timer_armed_ = false;
+  }
+  send_(ack);
+}
+
+void TcpReceiver::ensure_delayed_ack_scheduled() {
+  switch (profile_.ack_policy) {
+    case AckPolicy::kBsdHeartbeat200:
+      // The heartbeat free-runs; nothing to arm.
+      return;
+    case AckPolicy::kSolarisTimer50:
+      if (!ack_timer_armed_) {
+        ack_timer_armed_ = true;
+        ack_timer_event_ =
+            loop_.schedule_after(Duration::millis(50), [this] { on_ack_timer(); });
+      }
+      return;
+    case AckPolicy::kEveryPacket:
+      return;
+  }
+}
+
+void TcpReceiver::on_ack_timer() {
+  ack_timer_armed_ = false;
+  if (unacked_bytes_ > 0) send_ack(false);
+  if (profile_.ack_policy == AckPolicy::kBsdHeartbeat200 && state_ != State::kClosed) {
+    ack_timer_armed_ = true;
+    ack_timer_event_ = loop_.schedule_after(Duration::millis(200), [this] { on_ack_timer(); });
+  }
+}
+
+}  // namespace tcpanaly::tcp

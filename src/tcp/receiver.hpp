@@ -1,0 +1,129 @@
+// TcpReceiver: a live TCP bulk-data receiver driven by a TcpProfile's
+// acknowledgement policy (paper section 9).
+//
+// Policies modeled:
+//  * BSD heartbeat    -- a free-running 200 ms heartbeat timer; data waiting
+//                        at a tick gets acked, so delayed acks spread
+//                        uniformly over 0-200 ms.
+//  * Solaris 50 ms    -- a one-shot 50 ms timer armed on arrival; for slow
+//                        links this guarantees every in-sequence packet is
+//                        acked individually (the counter-productive regime
+//                        the paper derives: T*B < 2*S).
+//  * ack-every-packet -- Linux 1.0, within ~1 ms.
+// All policies ack immediately at two full segments (RFC 1122) and send an
+// immediate duplicate ack for out-of-sequence data (a *mandatory* ack
+// obligation in tcpanaly's terms).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "netsim/event_loop.hpp"
+#include "tcp/profile.hpp"
+#include "trace/packet.hpp"
+#include "trace/seq.hpp"
+
+namespace tcpanaly::tcp {
+
+using trace::SeqNum;
+using util::Duration;
+using util::TimePoint;
+
+struct ReceiverConfig {
+  trace::Endpoint local;
+  trace::Endpoint remote;
+  std::uint32_t recv_buffer = 16 * 1024;  ///< offered window
+  std::uint32_t mss_to_offer = 512;
+  /// Send the SYN-ack *without* an MSS option -- the unusual peer behavior
+  /// that detonates the Net/3 uninitialized-cwnd bug (section 8.4).
+  bool omit_mss_option = false;
+  /// Phase of the 200 ms heartbeat relative to connection start (BSD's
+  /// heartbeat free-runs from boot, so its phase is arbitrary).
+  Duration heartbeat_phase = Duration::millis(0);
+  /// Application read rate in bytes/second; 0 = the app drains instantly
+  /// (offered window constant). A finite rate makes the offered window
+  /// breathe: in-order data accumulates in the socket buffer, the
+  /// advertised window shrinks, and window-update acks are sent as the
+  /// app frees space -- the dynamics behind the paper's window-update
+  /// acks (sections 6.1, 7).
+  double app_read_rate_bytes_per_sec = 0.0;
+};
+
+struct ReceiverStats {
+  std::uint64_t data_packets = 0;
+  std::uint64_t duplicate_data_bytes = 0;  ///< payload re-covering received space
+  std::uint64_t out_of_order_packets = 0;
+  std::uint64_t corrupted_discarded = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t dup_acks_sent = 0;
+  std::uint64_t window_updates_sent = 0;  ///< pure window-opening acks
+  std::uint64_t bytes_delivered = 0;  ///< in-order bytes handed to the app
+};
+
+class TcpReceiver {
+ public:
+  using SendFn = std::function<void(const trace::TcpSegment&)>;
+
+  TcpReceiver(sim::EventLoop& loop, TcpProfile profile, ReceiverConfig config, SendFn send);
+  ~TcpReceiver();
+
+  TcpReceiver(const TcpReceiver&) = delete;
+  TcpReceiver& operator=(const TcpReceiver&) = delete;
+
+  /// Deliver one segment from the network at TCP processing time. A
+  /// corrupted segment is counted and silently discarded, exactly as a
+  /// checksum-failing packet is -- its acks simply never happen.
+  void on_segment(const trace::TcpSegment& seg, bool corrupted);
+
+  bool connected() const { return state_ == State::kEstablished || state_ == State::kClosed; }
+  bool finished() const { return state_ == State::kClosed; }
+  const ReceiverStats& stats() const { return stats_; }
+  SeqNum rcv_nxt() const { return rcv_nxt_; }
+
+ private:
+  enum class State { kListen, kSynReceived, kEstablished, kClosed };
+
+  void on_data(const trace::TcpSegment& seg);
+  void send_ack(bool is_dup);
+  void ensure_delayed_ack_scheduled();
+  void on_ack_timer();
+  std::uint32_t offered_window() const;
+
+  sim::EventLoop& loop_;
+  const TcpProfile profile_;
+  const ReceiverConfig config_;
+  SendFn send_;
+
+  State state_ = State::kListen;
+  SeqNum irs_ = 0;       ///< peer's initial sequence
+  SeqNum iss_ = 50000;   ///< our initial sequence
+  SeqNum rcv_nxt_ = 0;
+  SeqNum snd_nxt_ = 0;   ///< our (ack-only) sequence
+  bool fin_received_ = false;
+
+  /// Out-of-order payload intervals above rcv_nxt (start -> end).
+  std::map<SeqNum, SeqNum> ooo_;
+
+  /// Bytes of new in-sequence data not yet acknowledged.
+  std::uint32_t unacked_bytes_ = 0;
+  std::uint32_t mss_seen_ = 536;  ///< peer MSS (for the two-segment rule)
+
+  bool ack_timer_armed_ = false;
+  sim::EventId ack_timer_event_ = 0;
+  std::uint64_t normal_ack_counter_ = 0;  ///< drives the stretch-ack bug
+
+  // Application-limited buffering (app_read_rate_bytes_per_sec > 0).
+  void drain_to_now();
+  void ensure_drain_scheduled();
+  void on_drain_timer();
+  double occupancy_ = 0.0;           ///< bytes buffered awaiting the app
+  TimePoint last_drain_;
+  std::uint32_t advertised_window_ = 0;
+  bool drain_armed_ = false;
+  sim::EventId drain_event_ = 0;
+
+  ReceiverStats stats_;
+};
+
+}  // namespace tcpanaly::tcp

@@ -1,0 +1,116 @@
+#include "tcp/rto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcpanaly::tcp {
+
+// ---------------------------------------------------------------- BsdRto
+
+void BsdRto::on_rtt_sample(Duration rtt, bool of_retransmitted_segment) {
+  if (of_retransmitted_segment) return;  // Karn's algorithm
+  // Measured in whole ticks, as the 500 ms heartbeat would count them.
+  int nticks = static_cast<int>(rtt.count() / kTick.count()) + 1;
+  if (srtt_ != 0) {
+    int delta = nticks - 1 - (srtt_ >> 3);
+    srtt_ += delta;
+    if (srtt_ <= 0) srtt_ = 1;
+    if (delta < 0) delta = -delta;
+    delta -= rttvar_ >> 2;
+    rttvar_ += delta;
+    if (rttvar_ <= 0) rttvar_ = 1;
+  } else {
+    // First sample: srtt = rtt, rttvar = rtt/2 (Net/3 initialization).
+    srtt_ = nticks << 3;
+    rttvar_ = nticks << 1;
+  }
+  backoff_shift_ = 0;
+}
+
+int BsdRto::base_ticks() const {
+  if (srtt_ == 0) return 6;  // no sample yet: 3 s default
+  return std::clamp((srtt_ >> 3) + rttvar_, kMinTicks, kMaxTicks);
+}
+
+void BsdRto::on_timeout() { backoff_shift_ = std::min(backoff_shift_ + 1, 6); }
+
+void BsdRto::on_ack(bool /*covered_retransmitted_data*/) {}
+
+Duration BsdRto::current() const {
+  const int ticks = std::min(base_ticks() << backoff_shift_, kMaxTicks);
+  return kTick * ticks;
+}
+
+// ------------------------------------------------------- SolarisBrokenRto
+
+void SolarisBrokenRto::on_rtt_sample(Duration rtt, bool of_retransmitted_segment) {
+  if (of_retransmitted_segment) return;
+  const double r = rtt.to_seconds();
+  if (srtt_sec_ == 0.0) {
+    // Even the first sample is weighted far too weakly (section 8.6:
+    // "takes much longer to adapt the RTO to higher, measured RTTs").
+    srtt_sec_ = kInitial.to_seconds();
+  }
+  const double err = r - srtt_sec_;
+  srtt_sec_ += err / 16.0;
+  rttvar_sec_ += (std::abs(err) - rttvar_sec_) / 16.0;
+}
+
+void SolarisBrokenRto::on_timeout() { backoff_ = std::min(backoff_ * 2, 64); }
+
+void SolarisBrokenRto::on_ack(bool covered_retransmitted_data) {
+  // The fatal flaw: the moment an ack covers retransmitted data, the timer
+  // reverts to its (barely adapted) base value -- "it never has much
+  // opportunity to adapt".
+  if (covered_retransmitted_data) backoff_ = 1;
+}
+
+Duration SolarisBrokenRto::current() const {
+  double base = kInitial.to_seconds();
+  if (srtt_sec_ > 0.0) base = std::max(base, srtt_sec_ + 2.0 * rttvar_sec_);
+  return Duration::seconds(base * backoff_);
+}
+
+// ------------------------------------------------------------ Linux10Rto
+
+void Linux10Rto::on_rtt_sample(Duration rtt, bool of_retransmitted_segment) {
+  if (of_retransmitted_segment) return;
+  const double r = rtt.to_seconds();
+  srtt_sec_ = srtt_sec_ == 0.0 ? r : srtt_sec_ + (r - srtt_sec_) / 8.0;
+}
+
+void Linux10Rto::on_timeout() {
+  // "the timeout is not fully doubling as it backs off, though in other
+  // cases it does" -- alternate x2 and x1.5.
+  backoff_ *= next_backoff_big_ ? 2.0 : 1.5;
+  backoff_ = std::min(backoff_, 64.0);
+  next_backoff_big_ = !next_backoff_big_;
+}
+
+void Linux10Rto::on_ack(bool /*covered_retransmitted_data*/) {
+  backoff_ = 1.0;
+  next_backoff_big_ = true;
+}
+
+Duration Linux10Rto::current() const {
+  // Aggressively small: barely above the smoothed RTT, 1 s floor. Combined
+  // with whole-flight retransmission this yields the Figure 4 storm.
+  const double base = std::max(1.0, srtt_sec_ * 1.1);
+  return Duration::seconds(base * backoff_);
+}
+
+// ----------------------------------------------------------------- make
+
+std::unique_ptr<RtoEstimator> RtoEstimator::make(RtoScheme scheme) {
+  switch (scheme) {
+    case RtoScheme::kBsd:
+      return std::make_unique<BsdRto>();
+    case RtoScheme::kSolarisBroken:
+      return std::make_unique<SolarisBrokenRto>();
+    case RtoScheme::kLinux10:
+      return std::make_unique<Linux10Rto>();
+  }
+  return std::make_unique<BsdRto>();
+}
+
+}  // namespace tcpanaly::tcp

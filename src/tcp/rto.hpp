@@ -1,0 +1,103 @@
+// Retransmission-timeout estimators (paper sections 8.5, 8.6).
+//
+// Three schemes, selected by TcpProfile::rto:
+//  * BsdRto          -- Net/3's fixed-point Jacobson/Karn estimator on
+//                       500 ms ticks. Implemented with the exact integer
+//                       scalings (srtt << 3, rttvar << 2) so the coarse
+//                       quantization [BP95] criticizes is reproduced, not
+//                       smoothed away by floating point.
+//  * SolarisBrokenRto -- ~300 ms initial value; adapts to measured RTTs
+//                       with far too little gain, and collapses its backoff
+//                       whenever an ack arrives for retransmitted data --
+//                       so on a long path it never escapes premature
+//                       retransmission (section 8.6).
+//  * Linux10Rto      -- fires early and backs off irregularly (the
+//                       not-quite-doubling visible in Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "tcp/profile.hpp"
+#include "util/time.hpp"
+
+namespace tcpanaly::tcp {
+
+using util::Duration;
+
+class RtoEstimator {
+ public:
+  virtual ~RtoEstimator() = default;
+
+  /// Feed one round-trip measurement. `of_retransmitted_segment` marks
+  /// samples a Karn-compliant estimator must discard.
+  virtual void on_rtt_sample(Duration rtt, bool of_retransmitted_segment) = 0;
+
+  /// A retransmission timer fired; apply exponential (or broken) backoff.
+  virtual void on_timeout() = 0;
+
+  /// An acceptable ack arrived. `covered_retransmitted_data` marks acks
+  /// that cover data we retransmitted (the Solaris reset trigger).
+  virtual void on_ack(bool covered_retransmitted_data) = 0;
+
+  /// The timeout to arm right now.
+  virtual Duration current() const = 0;
+
+  static std::unique_ptr<RtoEstimator> make(RtoScheme scheme);
+};
+
+/// Net/3 estimator; exposed concretely for unit tests of the fixed-point
+/// arithmetic.
+class BsdRto final : public RtoEstimator {
+ public:
+  static constexpr Duration kTick = Duration::millis(500);
+  static constexpr int kMinTicks = 2;    // 1 s floor
+  static constexpr int kMaxTicks = 128;  // 64 s ceiling
+
+  void on_rtt_sample(Duration rtt, bool of_retransmitted_segment) override;
+  void on_timeout() override;
+  void on_ack(bool covered_retransmitted_data) override;
+  Duration current() const override;
+
+  int srtt_scaled() const { return srtt_; }
+  int rttvar_scaled() const { return rttvar_; }
+  int backoff_shift() const { return backoff_shift_; }
+
+ private:
+  int base_ticks() const;
+
+  // t_srtt (ticks << 3) and t_rttvar (ticks << 2); 0 = no sample yet.
+  int srtt_ = 0;
+  int rttvar_ = 24;  // default: 3 s of variance, Net/3's TCPTV_SRTTDFLT era
+  int backoff_shift_ = 0;
+};
+
+class SolarisBrokenRto final : public RtoEstimator {
+ public:
+  static constexpr Duration kInitial = Duration::millis(300);
+
+  void on_rtt_sample(Duration rtt, bool of_retransmitted_segment) override;
+  void on_timeout() override;
+  void on_ack(bool covered_retransmitted_data) override;
+  Duration current() const override;
+
+ private:
+  double srtt_sec_ = 0.0;  // adapts with deliberately tiny gain
+  double rttvar_sec_ = 0.0;
+  int backoff_ = 1;
+};
+
+class Linux10Rto final : public RtoEstimator {
+ public:
+  void on_rtt_sample(Duration rtt, bool of_retransmitted_segment) override;
+  void on_timeout() override;
+  void on_ack(bool covered_retransmitted_data) override;
+  Duration current() const override;
+
+ private:
+  double srtt_sec_ = 0.0;
+  double backoff_ = 1.0;
+  bool next_backoff_big_ = true;  // alternating x2 / x1.5: "not fully doubling"
+};
+
+}  // namespace tcpanaly::tcp

@@ -1,0 +1,372 @@
+#include "tcp/sender.hpp"
+
+#include <algorithm>
+
+namespace tcpanaly::tcp {
+
+using trace::seq_ge;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::seq_lt;
+
+namespace {
+constexpr std::uint32_t kOwnReceiveWindow = 16 * 1024;  // we receive no bulk data
+constexpr std::uint32_t kMssOptionBytes = 4;
+}  // namespace
+
+TcpSender::TcpSender(sim::EventLoop& loop, TcpProfile profile, SenderConfig config,
+                     SendFn send)
+    : loop_(loop), profile_(std::move(profile)), config_(config), send_(std::move(send)) {
+  iss_ = config_.initial_seq;
+}
+
+TcpSender::~TcpSender() {
+  if (rto_armed_) loop_.cancel(rto_event_);
+}
+
+void TcpSender::start() {
+  state_ = State::kSynSent;
+  snd_una_ = iss_;
+  snd_nxt_ = snd_max_ = iss_ + 1;
+  send_syn();
+  arm_rto();
+}
+
+void TcpSender::send_syn() {
+  trace::TcpSegment syn;
+  syn.seq = iss_;
+  syn.flags.syn = true;
+  syn.window = kOwnReceiveWindow;
+  syn.mss_option = static_cast<std::uint16_t>(config_.offered_mss);
+  send_(syn);
+}
+
+void TcpSender::on_segment(const trace::TcpSegment& seg) {
+  if (state_ == State::kClosed || state_ == State::kDone || state_ == State::kFailed) return;
+
+  if (state_ == State::kSynSent) {
+    if (seg.flags.syn && seg.flags.ack && seg.ack == iss_ + 1) {
+      mss_ = seg.mss_option ? std::min<std::uint32_t>(*seg.mss_option, config_.offered_mss)
+                            : config_.default_mss;
+      window_ = std::make_unique<WindowModel>(profile_, mss_, kMssOptionBytes);
+      window_->on_connection_established(seg.mss_option.has_value(), config_.offered_mss);
+      rto_ = RtoEstimator::make(profile_.rto);
+      peer_window_ = seg.window;
+      snd_una_ = iss_ + 1;  // the SYN octet is acknowledged
+      SeqNum rcv_nxt = seg.seq + 1;
+      rcv_nxt_ = rcv_nxt;
+
+      trace::TcpSegment ack;
+      ack.seq = snd_nxt_;
+      ack.ack = rcv_nxt_;
+      ack.flags.ack = true;
+      ack.window = kOwnReceiveWindow;
+      send_(ack);
+
+      state_ = State::kEstablished;
+      cancel_rto();
+      try_send();
+      arm_rto();
+    }
+    return;
+  }
+
+  if (!seg.flags.ack) return;
+
+  ++stats_.acks_received;
+  if (seq_gt(seg.ack, snd_una_)) {
+    process_ack(seg);
+    return;
+  }
+  const bool outstanding = seq_lt(snd_una_, snd_max_);
+  if (seg.ack == snd_una_ && seg.payload_len == 0 && !seg.flags.syn && !seg.flags.fin &&
+      seg.window == peer_window_ && outstanding) {
+    handle_dup_ack();
+    return;
+  }
+  // Window update (or stale ack): refresh the offered window and probe.
+  peer_window_ = seg.window;
+  try_send();
+}
+
+void TcpSender::process_ack(const trace::TcpSegment& seg) {
+  const auto acked_bytes = static_cast<std::uint32_t>(trace::seq_diff(seg.ack, snd_una_));
+  const bool acked_retx = covers_retransmitted(snd_una_, seg.ack);
+  rto_->on_ack(acked_retx);
+
+  if (timing_ && seq_gt(seg.ack, timed_seq_)) {
+    rto_->on_rtt_sample(loop_.now() - timed_at_, /*of_retransmitted_segment=*/false);
+    timing_ = false;
+  }
+
+  if (in_recovery_) {
+    // Classic Reno: any window-advancing ack terminates fast recovery.
+    const bool header_predicted = seg.ack == snd_max_;
+    window_->on_recovery_exit(header_predicted);
+    in_recovery_ = false;
+  }
+  dup_acks_ = 0;
+  window_->on_new_ack(acked_bytes);
+
+  // Retire Karn bookkeeping below the new ack point.
+  for (auto it = retransmitted_.begin(); it != retransmitted_.end();) {
+    if (seq_lt(*it, seg.ack))
+      it = retransmitted_.erase(it);
+    else
+      ++it;
+  }
+
+  snd_una_ = seg.ack;
+  if (seq_lt(snd_nxt_, snd_una_)) snd_nxt_ = snd_una_;
+  peer_window_ = seg.window;
+
+  if (state_ == State::kFinSent && snd_una_ == data_end() + 1) {
+    state_ = State::kDone;
+    cancel_rto();
+    return;
+  }
+
+  data_retries_ = 0;  // forward progress resets the give-up counter
+
+  // Restart the retransmission timer for remaining outstanding data.
+  cancel_rto();
+  arm_rto();
+
+  // The Solaris quirk (section 8.6): following an ack that covers
+  // retransmitted data, retransmit the packet just above the ack point
+  // *rather than* the newly liberated data; cwnd and snd_nxt untouched, so
+  // the new data goes out the next time the window advances.
+  if (profile_.solaris_retx_beyond_ack && acked_retx && seq_lt(snd_una_, snd_max_) &&
+      seq_lt(snd_una_, data_end())) {
+    ++stats_.beyond_ack_retransmits;
+    retransmit_one(snd_una_);
+    return;
+  }
+
+  try_send();
+}
+
+void TcpSender::handle_dup_ack() {
+  ++stats_.dup_acks_received;
+  ++dup_acks_;
+
+  if (profile_.retransmit_flight_on_dupack && dup_acks_ == 1 &&
+      seq_lt(snd_una_, snd_max_)) {
+    // Linux 1.0: the first dup ack triggers retransmission of the whole
+    // flight -- far too early, without cutting cwnd (section 8.5).
+    retransmit_flight();
+    return;
+  }
+
+  if (profile_.has_fast_retransmit && dup_acks_ == profile_.dup_ack_threshold) {
+    ++stats_.fast_retransmits;
+    window_->on_fast_retransmit(flight_for_cut());
+    retransmit_one(snd_una_);
+    if (profile_.has_fast_recovery) {
+      in_recovery_ = true;
+      recover_ = snd_max_;
+    } else {
+      // Tahoe lineage: fall back to slow start from the ack point.
+      snd_nxt_ = snd_una_ + segment_len_at(snd_una_);
+      if (seq_gt(snd_una_, snd_nxt_)) snd_nxt_ = snd_una_;
+    }
+    return;
+  }
+  if (in_recovery_ && dup_acks_ > profile_.dup_ack_threshold) {
+    window_->on_dup_ack_in_recovery();
+    try_send();
+    return;
+  }
+  window_->on_dup_ack_below_threshold();
+}
+
+std::uint32_t TcpSender::segment_len_at(SeqNum seq) const {
+  const auto remaining = static_cast<std::uint32_t>(trace::seq_diff(data_end(), seq));
+  return std::min(mss_, remaining);
+}
+
+bool TcpSender::covers_retransmitted(SeqNum from, SeqNum to) const {
+  for (SeqNum s : retransmitted_)
+    if (seq_ge(s, from) && seq_lt(s, to)) return true;
+  return false;
+}
+
+void TcpSender::send_data_segment(SeqNum seq, std::uint32_t len) {
+  trace::TcpSegment seg;
+  seg.seq = seq;
+  seg.ack = rcv_nxt_;
+  seg.flags.ack = true;
+  seg.flags.psh = seq + len == data_end();
+  seg.window = kOwnReceiveWindow;
+  seg.payload_len = len;
+  ++stats_.data_packets;
+  if (seq_lt(seq, snd_max_)) ++stats_.retransmissions;
+  send_(seg);
+}
+
+void TcpSender::retransmit_one(SeqNum seq) {
+  const std::uint32_t len = segment_len_at(seq);
+  if (len == 0) return;
+  if (timing_ && seq_ge(timed_seq_, seq) && seq_lt(timed_seq_, seq + len))
+    timing_ = false;  // Karn: never time a retransmitted segment
+  retransmitted_.insert(seq);
+  send_data_segment(seq, len);
+  arm_rto();
+}
+
+void TcpSender::retransmit_flight() {
+  ++stats_.flight_retransmit_bursts;
+  const SeqNum flight_end = seq_lt(data_end(), snd_max_) ? data_end() : snd_max_;
+  for (SeqNum s = snd_una_; seq_lt(s, flight_end);) {
+    const std::uint32_t len = segment_len_at(s);
+    if (len == 0) break;
+    retransmit_one(s);
+    s += len;
+  }
+}
+
+std::uint32_t TcpSender::effective_window() const {
+  return std::min({window_->cwnd(), peer_window_, config_.send_buffer});
+}
+
+std::uint32_t TcpSender::flight_for_cut() const {
+  return std::min(window_->cwnd(), peer_window_);
+}
+
+void TcpSender::try_send() {
+  if (state_ != State::kEstablished) return;
+  while (seq_lt(snd_nxt_, data_end())) {
+    const std::uint32_t wnd = effective_window();
+    const std::int32_t avail = trace::seq_diff(snd_una_ + wnd, snd_nxt_);
+    if (avail <= 0) break;
+    std::uint32_t len = segment_len_at(snd_nxt_);
+    if (static_cast<std::uint32_t>(avail) < len) {
+      // Avoid silly-window sends unless the pipe is empty and would stall.
+      if (seq_lt(snd_una_, snd_max_)) break;
+      len = static_cast<std::uint32_t>(avail);
+      if (len == 0) break;
+    }
+    const bool is_new = seq_ge(snd_nxt_, snd_max_);
+    if (!is_new) retransmitted_.insert(snd_nxt_);
+    send_data_segment(snd_nxt_, len);
+    if (is_new && !timing_) {
+      timing_ = true;
+      timed_seq_ = snd_nxt_;
+      timed_at_ = loop_.now();
+    }
+    snd_nxt_ += len;
+    if (seq_gt(snd_nxt_, snd_max_)) snd_max_ = snd_nxt_;
+    arm_rto();
+  }
+  if (snd_una_ == data_end() && state_ == State::kEstablished) send_fin();
+}
+
+void TcpSender::send_fin() {
+  state_ = State::kFinSent;
+  trace::TcpSegment fin;
+  fin.seq = data_end();
+  fin.ack = rcv_nxt_;
+  fin.flags.fin = true;
+  fin.flags.ack = true;
+  fin.window = kOwnReceiveWindow;
+  send_(fin);
+  snd_nxt_ = data_end() + 1;
+  if (seq_gt(snd_nxt_, snd_max_)) snd_max_ = snd_nxt_;
+  cancel_rto();
+  arm_rto();
+}
+
+void TcpSender::on_source_quench() {
+  if (state_ != State::kEstablished && state_ != State::kFinSent) return;
+  ++stats_.source_quenches;
+  window_->on_source_quench(flight_for_cut());
+}
+
+void TcpSender::give_up() {
+  stats_.gave_up = true;
+  if (profile_.rst_on_give_up) {
+    trace::TcpSegment rst;
+    rst.seq = snd_nxt_;
+    rst.ack = rcv_nxt_;
+    rst.flags.rst = true;
+    rst.flags.ack = true;
+    send_(rst);
+    stats_.sent_rst = true;
+  }
+  state_ = State::kFailed;
+  cancel_rto();
+}
+
+void TcpSender::arm_rto() {
+  if (rto_armed_) return;
+  if (state_ == State::kEstablished && !seq_lt(snd_una_, snd_max_)) return;
+  if (state_ == State::kDone || state_ == State::kFailed || state_ == State::kClosed) return;
+  const Duration timeout = state_ == State::kSynSent ? config_.syn_rto : rto_->current();
+  rto_armed_ = true;
+  rto_event_ = loop_.schedule_after(timeout, [this] { on_rto_fire(); });
+}
+
+void TcpSender::cancel_rto() {
+  if (!rto_armed_) return;
+  loop_.cancel(rto_event_);
+  rto_armed_ = false;
+}
+
+void TcpSender::on_rto_fire() {
+  rto_armed_ = false;
+  switch (state_) {
+    case State::kSynSent:
+      if (++syn_retries_ > config_.max_syn_retries) {
+        state_ = State::kFailed;
+        return;
+      }
+      send_syn();
+      arm_rto();
+      return;
+    case State::kEstablished: {
+      ++stats_.timeouts;
+      if (++data_retries_ > config_.max_data_retries) {
+        give_up();
+        return;
+      }
+      rto_->on_timeout();
+      window_->on_timeout(flight_for_cut());
+      if (profile_.clear_dupacks_on_timeout) dup_acks_ = 0;
+      in_recovery_ = false;
+      timing_ = false;
+      if (profile_.retransmit_flight_on_rto) {
+        retransmit_flight();
+      } else {
+        snd_nxt_ = snd_una_;  // go-back-N; slow start refills from here
+        try_send();
+      }
+      arm_rto();
+      return;
+    }
+    case State::kFinSent: {
+      rto_->on_timeout();
+      if (seq_lt(snd_una_, data_end())) {
+        // Data still unacked ahead of the FIN: recover it first.
+        ++stats_.timeouts;
+        window_->on_timeout(flight_for_cut());
+        state_ = State::kEstablished;
+        snd_nxt_ = snd_una_;
+        try_send();
+      } else {
+        trace::TcpSegment fin;
+        fin.seq = data_end();
+        fin.ack = rcv_nxt_;
+        fin.flags.fin = true;
+        fin.flags.ack = true;
+        fin.window = kOwnReceiveWindow;
+        send_(fin);
+      }
+      arm_rto();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace tcpanaly::tcp

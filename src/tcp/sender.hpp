@@ -1,0 +1,151 @@
+// TcpSender: a live TCP bulk-data sender driven by a TcpProfile.
+//
+// This is the simulator half of the reproduction: it generates the traffic
+// whose traces tcpanaly analyzes. Every sender pathology in sections 8.4 -
+// 8.6 of the paper is an emergent consequence of profile knobs here: the
+// Net/3 30-packet burst, the Linux 1.0 whole-flight retransmission storm,
+// the Solaris premature-RTO churn.
+//
+// The transfer model matches the paper's corpus: a unidirectional bulk
+// transfer of a configured size, connection initiated by the sender.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "netsim/event_loop.hpp"
+#include "tcp/profile.hpp"
+#include "tcp/rto.hpp"
+#include "tcp/window_model.hpp"
+#include "trace/packet.hpp"
+#include "trace/seq.hpp"
+
+namespace tcpanaly::tcp {
+
+using trace::SeqNum;
+using util::Duration;
+using util::TimePoint;
+
+struct SenderConfig {
+  trace::Endpoint local;
+  trace::Endpoint remote;
+  std::uint32_t transfer_bytes = 100 * 1024;  ///< the paper's 100 KB transfers
+  std::uint32_t offered_mss = 512;            ///< MSS option we put in our SYN
+  std::uint32_t default_mss = 536;            ///< assumed when peer sends no option
+  /// Socket send-buffer: the "sender window" of section 6.2 -- an upper
+  /// bound on unacknowledged data in flight independent of cwnd.
+  std::uint32_t send_buffer = 32 * 1024;
+  SeqNum initial_seq = 1000;
+  Duration syn_rto = Duration::seconds(6.0);  ///< separate SYN timer (sec 8.6)
+  int max_syn_retries = 4;
+  /// Consecutive data retransmissions of one epoch before giving up
+  /// (BSD's TCP_MAXRXTSHIFT is 12; keep it configurable for probing).
+  int max_data_retries = 12;
+};
+
+struct SenderStats {
+  std::uint64_t data_packets = 0;
+  std::uint64_t retransmissions = 0;  ///< data packets re-covering sent sequence space
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t flight_retransmit_bursts = 0;  ///< Linux 1.0 storms
+  std::uint64_t beyond_ack_retransmits = 0;    ///< the Solaris quirk
+  std::uint64_t source_quenches = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t dup_acks_received = 0;
+  bool gave_up = false;      ///< abandoned after max_data_retries timeouts
+  bool sent_rst = false;     ///< ...and announced it with a RST
+};
+
+class TcpSender {
+ public:
+  using SendFn = std::function<void(const trace::TcpSegment&)>;
+
+  TcpSender(sim::EventLoop& loop, TcpProfile profile, SenderConfig config, SendFn send);
+  ~TcpSender();
+
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
+  /// Initiate the connection (sends SYN).
+  void start();
+
+  /// Deliver one segment from the peer to this TCP, at the TCP's own
+  /// processing time (the caller applies any host processing delay).
+  void on_segment(const trace::TcpSegment& seg);
+
+  /// Deliver an ICMP source quench (never appears in TCP-only traces;
+  /// section 6.2).
+  void on_source_quench();
+
+  bool established() const { return state_ >= State::kEstablished; }
+  bool finished() const { return state_ == State::kDone; }
+  bool failed() const { return state_ == State::kFailed; }
+
+  const SenderStats& stats() const { return stats_; }
+  const WindowModel& window() const { return *window_; }
+  std::uint32_t mss() const { return mss_; }
+  SeqNum snd_una() const { return snd_una_; }
+  SeqNum snd_max() const { return snd_max_; }
+
+ private:
+  enum class State { kClosed, kSynSent, kEstablished, kFinSent, kDone, kFailed };
+
+  void send_syn();
+  void send_data_segment(SeqNum seq, std::uint32_t len);
+  void send_fin();
+  void try_send();
+  void process_ack(const trace::TcpSegment& seg);
+  void handle_dup_ack();
+  void retransmit_one(SeqNum seq);
+  void retransmit_flight();
+  void give_up();
+  void arm_rto();
+  void cancel_rto();
+  void on_rto_fire();
+  std::uint32_t effective_window() const;
+  std::uint32_t flight_for_cut() const;
+  SeqNum data_end() const { return iss_ + 1 + config_.transfer_bytes; }
+  std::uint32_t segment_len_at(SeqNum seq) const;
+  bool covers_retransmitted(SeqNum from, SeqNum to) const;
+
+  sim::EventLoop& loop_;
+  const TcpProfile profile_;
+  const SenderConfig config_;
+  SendFn send_;
+
+  State state_ = State::kClosed;
+  SeqNum iss_ = 0;
+  SeqNum snd_una_ = 0;
+  SeqNum snd_nxt_ = 0;
+  SeqNum snd_max_ = 0;
+  SeqNum rcv_nxt_ = 0;  ///< peer's next sequence (for the ack field we emit)
+  std::uint32_t mss_ = 0;
+  std::uint32_t peer_window_ = 0;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  SeqNum recover_ = 0;
+
+  std::unique_ptr<WindowModel> window_;
+  std::unique_ptr<RtoEstimator> rto_;
+  sim::EventId rto_event_ = 0;
+  bool rto_armed_ = false;
+  int syn_retries_ = 0;
+  int data_retries_ = 0;  ///< consecutive timeouts without forward progress
+
+  // RTT timing (one segment timed at a time, BSD style).
+  bool timing_ = false;
+  SeqNum timed_seq_ = 0;
+  TimePoint timed_at_;
+
+  /// Starts of segments retransmitted while still unacknowledged (for
+  /// Karn's algorithm and the Solaris reset trigger).
+  std::set<SeqNum> retransmitted_;
+
+  SenderStats stats_;
+};
+
+}  // namespace tcpanaly::tcp

@@ -1,0 +1,118 @@
+#include "tcp/session.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "netsim/event_loop.hpp"
+#include "util/rng.hpp"
+
+namespace tcpanaly::tcp {
+
+SessionConfig default_session() {
+  SessionConfig cfg;
+  cfg.sender.local = {0x0a000001, 4000};   // 10.0.0.1
+  cfg.sender.remote = {0x0a000002, 5000};  // 10.0.0.2
+  cfg.receiver.local = cfg.sender.remote;
+  cfg.receiver.remote = cfg.sender.local;
+  cfg.fwd_path.rate_bytes_per_sec = 1'000'000.0;
+  cfg.fwd_path.prop_delay = util::Duration::millis(20);
+  cfg.rev_path = cfg.fwd_path;
+  return cfg;
+}
+
+SessionResult run_session(const SessionConfig& cfg) {
+  sim::EventLoop loop;
+  util::Rng rng(cfg.seed ? cfg.seed : 1);
+
+  SessionResult result;
+  result.sender_trace.meta().local = cfg.sender.local;
+  result.sender_trace.meta().remote = cfg.sender.remote;
+  result.sender_trace.meta().role = trace::LocalRole::kSender;
+  result.sender_trace.meta().label = cfg.sender_profile.name;
+  result.receiver_trace.meta().local = cfg.receiver.local;
+  result.receiver_trace.meta().remote = cfg.receiver.remote;
+  result.receiver_trace.meta().role = trace::LocalRole::kReceiver;
+  result.receiver_trace.meta().label = cfg.receiver_profile.name;
+
+  sim::Path fwd(loop, cfg.fwd_path, rng.split());
+  sim::Path rev(loop, cfg.rev_path, rng.split());
+  sim::FilterTap sender_tap(loop, cfg.sender_filter, rng.split(), &result.sender_trace);
+  sim::FilterTap receiver_tap(loop, cfg.receiver_filter, rng.split(), &result.receiver_trace);
+
+  std::uint64_t next_packet_id = 1;
+
+  auto sender_ptr = std::make_unique<TcpSender>(
+      loop, cfg.sender_profile, cfg.sender, [&](const trace::TcpSegment& seg) {
+        sim::SimPacket pkt;
+        pkt.src = cfg.sender.local;
+        pkt.dst = cfg.sender.remote;
+        pkt.tcp = seg;
+        pkt.id = next_packet_id++;
+        fwd.send(pkt);
+      });
+  auto receiver_ptr = std::make_unique<TcpReceiver>(
+      loop, cfg.receiver_profile, cfg.receiver, [&](const trace::TcpSegment& seg) {
+        sim::SimPacket pkt;
+        pkt.src = cfg.receiver.local;
+        pkt.dst = cfg.receiver.remote;
+        pkt.tcp = seg;
+        pkt.id = next_packet_id++;
+        rev.send(pkt);
+      });
+  TcpSender& sender = *sender_ptr;
+  TcpReceiver& receiver = *receiver_ptr;
+
+  // The sender-side filter sees outbound data at the local link and
+  // inbound acks on arrival; symmetrically for the receiver side.
+  fwd.set_transmit_observer(
+      [&](const sim::TransmitEvent& ev) { sender_tap.observe_transmit(ev); });
+  rev.set_transmit_observer(
+      [&](const sim::TransmitEvent& ev) { receiver_tap.observe_transmit(ev); });
+
+  fwd.set_deliver([&](const sim::SimPacket& pkt, util::TimePoint at) {
+    receiver_tap.observe_arrival(pkt, at);
+    loop.schedule_at(at + cfg.receiver_proc_delay,
+                     [&, pkt] { receiver.on_segment(pkt.tcp, pkt.corrupted); });
+  });
+  rev.set_deliver([&](const sim::SimPacket& pkt, util::TimePoint at) {
+    sender_tap.observe_arrival(pkt, at);
+    if (!pkt.corrupted)
+      loop.schedule_at(at + cfg.sender_proc_delay,
+                       [&, pkt] { sender.on_segment(pkt.tcp); });
+  });
+
+  for (util::TimePoint t : cfg.quench_times)
+    loop.schedule_at(t, [&] { sender.on_source_quench(); });
+
+  sender.start();
+
+  const util::TimePoint limit = util::TimePoint::origin() + cfg.time_limit;
+  while (!loop.empty() && loop.now() < limit) {
+    if (sender.finished() || sender.failed()) break;
+    loop.run_until(std::min(limit, loop.now() + util::Duration::seconds(0.5)));
+  }
+  // Drain imminent events (in-flight records, the receiver's final ack).
+  loop.run_until(std::min(limit, loop.now() + util::Duration::seconds(1.0)));
+
+  result.sender_stats = sender.stats();
+  result.receiver_stats = receiver.stats();
+  result.sender_filter_reported_drops = sender_tap.reported_drops();
+  result.sender_filter_drops = sender_tap.filter_drops();
+  result.receiver_filter_drops = receiver_tap.filter_drops();
+  result.sender_filter_duplicates = sender_tap.duplicates_recorded();
+  result.sender_resequenced = sender_tap.resequenced();
+  result.receiver_resequenced = receiver_tap.resequenced();
+  result.fwd_network_drops = fwd.random_drops() + fwd.queue_drops();
+  result.rev_network_drops = rev.random_drops() + rev.queue_drops();
+  result.fwd_corrupted = fwd.corrupted_count();
+  result.fwd_delivered = fwd.delivered_count();
+  result.fwd_duplicated = fwd.duplicated_count();
+  result.fwd_reorder_delayed = fwd.reorder_delayed_count();
+  result.completed = sender.finished();
+  util::TimePoint last;
+  for (const auto& rec : result.sender_trace.records()) last = std::max(last, rec.timestamp);
+  result.elapsed = last - util::TimePoint::origin();
+  return result;
+}
+
+}  // namespace tcpanaly::tcp

@@ -1,0 +1,79 @@
+// Session: wires a TcpSender and TcpReceiver through two one-directional
+// paths with a packet-filter tap at each host, runs the bulk transfer, and
+// returns the two traces plus ground truth.
+//
+// This reproduces the paper's measurement setup: each connection yields a
+// sender-side trace and a receiver-side trace (Table 1 counts both), and
+// each tap is a separate filter with its own clock and error behavior.
+// Host processing delays separate the moment the filter records an arrival
+// from the moment the TCP acts on it -- the vantage-point gap of
+// section 3.2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netsim/path.hpp"
+#include "netsim/tap.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sender.hpp"
+#include "trace/trace.hpp"
+
+namespace tcpanaly::tcp {
+
+struct SessionConfig {
+  TcpProfile sender_profile = generic_reno();
+  TcpProfile receiver_profile = generic_reno();
+  SenderConfig sender;
+  ReceiverConfig receiver;
+  sim::PathConfig fwd_path;  ///< sender -> receiver (data)
+  sim::PathConfig rev_path;  ///< receiver -> sender (acks)
+  sim::FilterConfig sender_filter;
+  sim::FilterConfig receiver_filter;
+  /// Host processing latency between a packet's arrival (when the filter
+  /// records it) and the TCP acting on it.
+  util::Duration sender_proc_delay = util::Duration::micros(300);
+  util::Duration receiver_proc_delay = util::Duration::micros(300);
+  std::uint64_t seed = 1;
+  /// Times at which an ICMP source quench is delivered to the sender.
+  /// Quenches never appear in the traces (the filters match TCP only).
+  std::vector<util::TimePoint> quench_times;
+  util::Duration time_limit = util::Duration::seconds(300.0);
+};
+
+struct SessionResult {
+  trace::Trace sender_trace;
+  trace::Trace receiver_trace;
+  SenderStats sender_stats;
+  ReceiverStats receiver_stats;
+
+  // Ground truth for scoring the analyzer.
+  /// What the sender host's OS would REPORT as its filter drop count
+  /// (possibly absent or wrong, per FilterConfig::drop_report_mode).
+  std::optional<std::uint64_t> sender_filter_reported_drops;
+  std::uint64_t sender_filter_drops = 0;
+  std::uint64_t receiver_filter_drops = 0;
+  std::uint64_t sender_filter_duplicates = 0;
+  std::uint64_t sender_resequenced = 0;
+  std::uint64_t receiver_resequenced = 0;
+  std::uint64_t fwd_network_drops = 0;   ///< random + queue drops, data direction
+  std::uint64_t rev_network_drops = 0;
+  std::uint64_t fwd_corrupted = 0;
+  std::uint64_t fwd_delivered = 0;
+  std::uint64_t fwd_duplicated = 0;       ///< network-replicated data packets
+  std::uint64_t fwd_reorder_delayed = 0;  ///< packets given the reorder delay
+
+  bool completed = false;   ///< transfer fully acknowledged and FIN'd
+  util::Duration elapsed;   ///< simulated connection duration
+};
+
+/// Build a config with sensible defaults: 100 KB transfer, 512-byte MSS,
+/// a 1 MB/s / 20 ms path, clean filters.
+SessionConfig default_session();
+
+/// Run one bulk-transfer session to completion (or the time limit).
+SessionResult run_session(const SessionConfig& cfg);
+
+}  // namespace tcpanaly::tcp

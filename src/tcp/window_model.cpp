@@ -1,0 +1,123 @@
+#include "tcp/window_model.hpp"
+
+#include <algorithm>
+
+namespace tcpanaly::tcp {
+
+WindowModel::WindowModel(const TcpProfile& profile, std::uint32_t mss,
+                         std::uint32_t option_bytes)
+    : profile_(profile),
+      mss_(mss),
+      acct_mss_(profile.mss_includes_options ? mss + option_bytes : mss) {}
+
+void WindowModel::on_connection_established(bool synack_had_mss, std::uint32_t offered_mss) {
+  if (profile_.no_congestion_control) {
+    cwnd_ = kHugeWindow;
+    ssthresh_ = kHugeWindow;
+    return;
+  }
+  if (profile_.net3_uninit_cwnd_bug && !synack_had_mss) {
+    // Net/3 initializes cwnd/ssthresh while processing the SYN-ack's MSS
+    // option; with no option present they keep their huge prior values
+    // (section 8.4, [WS95] p.835).
+    cwnd_ = kHugeWindow;
+    ssthresh_ = kHugeWindow;
+    return;
+  }
+  const std::uint32_t seg = profile_.use_offered_mss_for_cwnd ? offered_mss : acct_mss_;
+  cwnd_ = profile_.initial_cwnd_segments * seg;
+  ssthresh_ = profile_.initial_ssthresh_segments == 0
+                  ? kHugeWindow
+                  : profile_.initial_ssthresh_segments * acct_mss_;
+}
+
+bool WindowModel::in_slow_start() const {
+  if (profile_.no_congestion_control) return false;
+  return profile_.ss_test == SlowStartTest::kLess ? cwnd_ < ssthresh_ : cwnd_ <= ssthresh_;
+}
+
+void WindowModel::on_new_ack(std::uint32_t /*acked_bytes*/) {
+  if (profile_.no_congestion_control) return;
+  if (in_slow_start()) {
+    cwnd_ += acct_mss_;
+  } else {
+    // Congestion avoidance: Eqn 1 adds MSS*MSS/cwnd per ack; Eqn 2 also
+    // adds MSS/8, giving the super-linear growth (section 8.2).
+    std::uint32_t incr = cwnd_ ? acct_mss_ * acct_mss_ / cwnd_ : acct_mss_;
+    if (profile_.cwnd_increase == CwndIncrease::kEqn2) incr += acct_mss_ / 8;
+    if (incr == 0) incr = 1;
+    cwnd_ += incr;
+  }
+  cwnd_ = std::min(cwnd_, kHugeWindow);
+}
+
+void WindowModel::on_dup_ack_below_threshold() {
+  if (profile_.dupack_updates_cwnd) on_new_ack(0);  // the rare IRIX-variant bug
+}
+
+void WindowModel::cut_ssthresh(std::uint32_t flight) {
+  std::uint32_t half = flight / 2;
+  if (profile_.round_ssthresh_to_mss) {
+    std::uint32_t segs = half / acct_mss_;
+    segs = std::max(segs, profile_.min_ssthresh_segments);
+    ssthresh_ = segs * acct_mss_;
+  } else {
+    ssthresh_ = std::max(half, profile_.min_ssthresh_segments * acct_mss_);
+  }
+}
+
+void WindowModel::on_fast_retransmit(std::uint32_t flight) {
+  if (profile_.no_congestion_control) return;
+  cut_ssthresh(flight);
+  if (profile_.has_fast_recovery) {
+    cwnd_ = ssthresh_ + static_cast<std::uint32_t>(profile_.dup_ack_threshold) * acct_mss_;
+  } else {
+    cwnd_ = profile_.initial_cwnd_segments * acct_mss_;  // Tahoe: back to slow start
+  }
+}
+
+void WindowModel::on_dup_ack_in_recovery() {
+  if (profile_.no_congestion_control || !profile_.has_fast_recovery) return;
+  cwnd_ = std::min(cwnd_ + acct_mss_, kHugeWindow);
+}
+
+void WindowModel::on_recovery_exit(bool via_header_prediction) {
+  if (profile_.no_congestion_control || !profile_.has_fast_recovery) return;
+  if (via_header_prediction && !profile_.deflate_cwnd_after_recovery) {
+    // Header-prediction bug: the fast path skips the deflation, leaving the
+    // inflated window in force.
+    return;
+  }
+  if (profile_.fencepost_recovery_bug) {
+    // Off-by-one: only shrinks when strictly above ssthresh + MSS, so the
+    // window can stay one segment too large.
+    if (cwnd_ > ssthresh_ + acct_mss_) cwnd_ = ssthresh_;
+    return;
+  }
+  cwnd_ = std::min(cwnd_, ssthresh_);
+}
+
+void WindowModel::on_timeout(std::uint32_t flight) {
+  if (profile_.no_congestion_control) return;
+  cut_ssthresh(flight);
+  cwnd_ = profile_.initial_cwnd_segments * acct_mss_;
+}
+
+void WindowModel::on_source_quench(std::uint32_t flight) {
+  switch (profile_.quench) {
+    case QuenchResponse::kSlowStart:
+      cwnd_ = profile_.initial_cwnd_segments * acct_mss_;
+      break;
+    case QuenchResponse::kSlowStartCutSsthresh:
+      cut_ssthresh(flight);
+      cwnd_ = profile_.initial_cwnd_segments * acct_mss_;
+      break;
+    case QuenchResponse::kCwndMinusOneSegment:
+      cwnd_ = cwnd_ > acct_mss_ ? cwnd_ - acct_mss_ : acct_mss_;
+      break;
+    case QuenchResponse::kIgnore:
+      break;
+  }
+}
+
+}  // namespace tcpanaly::tcp

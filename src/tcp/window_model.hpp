@@ -1,0 +1,81 @@
+// Congestion-window evolution rules, parameterized by TcpProfile.
+//
+// This is the single source of truth for how cwnd/ssthresh move, shared by
+// the live endpoint (tcp/sender.hpp) and by the analyzer's replay
+// (core/sender_analyzer.hpp). The analyzer drives it purely from trace
+// events; the sender drives it from its own protocol events -- if the two
+// ever disagree for the same event stream, one of them has a bug, which is
+// precisely the property the integration tests pin down.
+#pragma once
+
+#include <cstdint>
+
+#include "tcp/profile.hpp"
+
+namespace tcpanaly::tcp {
+
+class WindowModel {
+ public:
+  /// `mss` sizes data packets on the wire; `option_bytes` is the per-
+  /// segment TCP option overhead an MSS-confused stack folds into its
+  /// window arithmetic (0 for correct stacks).
+  WindowModel(const TcpProfile& profile, std::uint32_t mss, std::uint32_t option_bytes = 0);
+
+  /// Establish initial cwnd/ssthresh once the connection completes.
+  /// `synack_had_mss` feeds the Net/3 uninitialized-cwnd bug;
+  /// `offered_mss` is the MSS we offered in our SYN (some stacks size the
+  /// initial cwnd from it rather than from the negotiated value).
+  void on_connection_established(bool synack_had_mss, std::uint32_t offered_mss);
+
+  std::uint32_t cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const;
+
+  /// A new (window-advancing) ack for `acked_bytes`. Opens cwnd by the
+  /// profile's slow-start / congestion-avoidance rule.
+  void on_new_ack(std::uint32_t acked_bytes);
+
+  /// A duplicate ack below the fast-retransmit threshold. No-op unless the
+  /// profile has the dup-ack-updates-cwnd bug.
+  void on_dup_ack_below_threshold();
+
+  /// Fast retransmit fires: cut ssthresh; Reno inflates cwnd to
+  /// ssthresh + threshold*MSS, Tahoe collapses to one segment.
+  /// `flight` is the window in force (min of cwnd and offered window).
+  void on_fast_retransmit(std::uint32_t flight);
+
+  /// An additional dup ack while in fast recovery: inflate by one MSS.
+  void on_dup_ack_in_recovery();
+
+  /// Recovery completes (an ack moved past the recovery point).
+  /// `via_header_prediction` marks the fast-path case where the buggy
+  /// Net/3 lineage forgets to deflate.
+  void on_recovery_exit(bool via_header_prediction);
+
+  /// Retransmission timeout: cut ssthresh, collapse cwnd to one segment.
+  void on_timeout(std::uint32_t flight);
+
+  /// ICMP source quench (profile-dependent response).
+  void on_source_quench(std::uint32_t flight);
+
+  /// The byte value this profile uses for one "segment" in window
+  /// arithmetic (MSS, plus option bytes when confused).
+  std::uint32_t accounting_mss() const { return acct_mss_; }
+
+  /// The huge value used for "effectively unbounded" windows (and for the
+  /// Net/3 uninitialized cwnd).
+  static constexpr std::uint32_t kHugeWindow = 1u << 20;
+
+ private:
+  void cut_ssthresh(std::uint32_t flight);
+
+  // Non-const so WindowModel stays copy-assignable (the analyzer snapshots
+  // and restores replay states when branch-testing inferences).
+  TcpProfile profile_;
+  std::uint32_t mss_;
+  std::uint32_t acct_mss_;
+  std::uint32_t cwnd_ = 0;
+  std::uint32_t ssthresh_ = kHugeWindow;
+};
+
+}  // namespace tcpanaly::tcp

@@ -1,0 +1,40 @@
+#include "trace/checksum.hpp"
+
+namespace tcpanaly::trace {
+
+std::uint16_t checksum_accumulate(std::span<const std::uint8_t> data, std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return static_cast<std::uint16_t>(~checksum_accumulate(data) & 0xffff);
+}
+
+std::uint16_t tcp_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                           std::span<const std::uint8_t> tcp_bytes) {
+  std::uint32_t sum = 0;
+  sum += (src_ip >> 16) & 0xffff;
+  sum += src_ip & 0xffff;
+  sum += (dst_ip >> 16) & 0xffff;
+  sum += dst_ip & 0xffff;
+  sum += 6;  // protocol = TCP
+  sum += static_cast<std::uint32_t>(tcp_bytes.size());
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  std::uint16_t folded = checksum_accumulate(tcp_bytes, sum);
+  return static_cast<std::uint16_t>(~folded & 0xffff);
+}
+
+bool tcp_checksum_ok(std::uint32_t src_ip, std::uint32_t dst_ip,
+                     std::span<const std::uint8_t> tcp_bytes) {
+  // With the transmitted checksum left in place, a valid segment sums
+  // (after complement) to zero.
+  return tcp_checksum(src_ip, dst_ip, tcp_bytes) == 0;
+}
+
+}  // namespace tcpanaly::trace

@@ -1,0 +1,89 @@
+// The packet model: what one record in a packet-filter trace contains.
+//
+// This mirrors what a tcpdump capture of a TCP connection gives you --
+// a filter timestamp plus the TCP/IP header fields -- and nothing more.
+// The analyzer (src/core) may consume only this; the simulator's internal
+// state never leaks into a PacketRecord except through the optional
+// ground-truth annotations, which exist solely so tests and benches can
+// score the analyzer's inferences.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "trace/seq.hpp"
+#include "util/time.hpp"
+
+namespace tcpanaly::trace {
+
+/// One connection endpoint: IPv4 address + TCP port.
+struct Endpoint {
+  std::uint32_t ip = 0;  ///< host byte order
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  std::string to_string() const;
+};
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  friend bool operator==(const TcpFlags&, const TcpFlags&) = default;
+  std::string to_string() const;
+};
+
+/// The TCP-level content of one packet.
+struct TcpSegment {
+  SeqNum seq = 0;             ///< first sequence number of the payload
+  SeqNum ack = 0;             ///< acknowledgement number (valid if flags.ack)
+  TcpFlags flags;
+  std::uint32_t window = 0;   ///< offered (receive) window, bytes
+  std::uint32_t payload_len = 0;
+  std::optional<std::uint16_t> mss_option;  ///< present on SYN segments that carry one
+
+  /// Sequence space consumed: payload plus SYN/FIN phantom octets.
+  SeqNum seq_len() const {
+    return payload_len + (flags.syn ? 1u : 0u) + (flags.fin ? 1u : 0u);
+  }
+  /// One past the last sequence number this segment occupies.
+  SeqNum seq_end() const { return seq + seq_len(); }
+
+  bool is_pure_ack() const {
+    return flags.ack && !flags.syn && !flags.fin && !flags.rst && payload_len == 0;
+  }
+
+  friend bool operator==(const TcpSegment&, const TcpSegment&) = default;
+};
+
+/// One record as produced by a packet filter.
+struct PacketRecord {
+  util::TimePoint timestamp;  ///< the filter's timestamp (what tcpanaly sees)
+  Endpoint src;
+  Endpoint dst;
+  TcpSegment tcp;
+
+  /// True if the packet's TCP checksum verifies. Filters that snap only
+  /// headers cannot compute this; then `checksum_known` is false and the
+  /// analyzer must *infer* corruption from missing acks (paper section 7).
+  bool checksum_ok = true;
+  bool checksum_known = true;
+
+  // ---- Ground truth (simulator annotations; never read by the analyzer) ----
+  /// Wire time on the monitored link, when the simulator knows it.
+  std::optional<util::TimePoint> truth_wire_time;
+  /// True if this record is a filter-added duplicate (section 3.1.2).
+  bool truth_filter_duplicate = false;
+  /// True if the packet was corrupted in the network.
+  bool truth_corrupted = false;
+
+  bool is_data() const { return tcp.payload_len > 0; }
+
+  std::string to_string() const;
+};
+
+}  // namespace tcpanaly::trace

@@ -1,0 +1,402 @@
+#include "trace/pcap_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace tcpanaly::trace {
+
+namespace {
+
+constexpr std::uint32_t kMagicLE = 0xa1b2c3d4;  // written little-endian, usec ts
+constexpr std::uint32_t kMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNsLE = 0xa1b23c4d;  // nanosecond variant
+constexpr std::uint32_t kMagicNsSwapped = 0x4d3cb2a1;
+constexpr std::uint32_t kPcapngShb = 0x0a0d0d0a;  // pcapng Section Header
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+constexpr std::uint32_t kLinkEthernet = 1;
+
+void put_le32(std::ostream& out, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+               static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  out.write(b, 4);
+}
+
+void put_le16(std::ostream& out, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff)};
+  out.write(b, 2);
+}
+
+class LeReader {
+ public:
+  explicit LeReader(std::istream& in) : in_(in) {}
+
+  bool read_u32(std::uint32_t& v, bool swapped = false) {
+    std::uint8_t b[4];
+    if (!in_.read(reinterpret_cast<char*>(b), 4)) return false;
+    v = swapped ? (static_cast<std::uint32_t>(b[0]) << 24) | (b[1] << 16) | (b[2] << 8) | b[3]
+                : (static_cast<std::uint32_t>(b[3]) << 24) | (b[2] << 16) | (b[1] << 8) | b[0];
+    return true;
+  }
+
+  bool read_u16(std::uint16_t& v, bool swapped = false) {
+    std::uint8_t b[2];
+    if (!in_.read(reinterpret_cast<char*>(b), 2)) return false;
+    v = swapped ? static_cast<std::uint16_t>((b[0] << 8) | b[1])
+                : static_cast<std::uint16_t>((b[1] << 8) | b[0]);
+    return true;
+  }
+
+  bool read_bytes(std::vector<std::uint8_t>& buf, std::size_t n) {
+    buf.resize(n);
+    return static_cast<bool>(in_.read(reinterpret_cast<char*>(buf.data()),
+                                      static_cast<std::streamsize>(n)));
+  }
+
+ private:
+  std::istream& in_;
+};
+
+// The side sourcing the most payload bytes is the sender (the paper's
+// traces are unidirectional bulk transfers, so this is unambiguous).
+void infer_endpoints(Trace& trace, bool local_is_sender) {
+  Endpoint a, b;
+  bool have = false;
+  std::uint64_t bytes_a = 0, bytes_b = 0;
+  for (const auto& rec : trace.records()) {
+    if (!have) {
+      a = rec.src;
+      b = rec.dst;
+      have = true;
+    }
+    if (rec.src == a)
+      bytes_a += rec.tcp.payload_len;
+    else
+      bytes_b += rec.tcp.payload_len;
+  }
+  if (!have) return;
+  const Endpoint& sender = bytes_a >= bytes_b ? a : b;
+  const Endpoint& receiver = bytes_a >= bytes_b ? b : a;
+  auto& meta = trace.meta();
+  meta.local = local_is_sender ? sender : receiver;
+  meta.remote = local_is_sender ? receiver : sender;
+  meta.role = local_is_sender ? LocalRole::kSender : LocalRole::kReceiver;
+}
+
+}  // namespace
+
+void write_pcap(std::ostream& out, const Trace& trace, const PcapWriteOptions& opts) {
+  put_le32(out, kMagicLE);
+  put_le16(out, kVersionMajor);
+  put_le16(out, kVersionMinor);
+  put_le32(out, 0);  // thiszone
+  put_le32(out, 0);  // sigfigs
+  put_le32(out, opts.snaplen);
+  put_le32(out, kLinkEthernet);
+
+  for (const auto& rec : trace.records()) {
+    EncodeOptions enc = opts.encode;
+    enc.corrupt_tcp_payload = rec.truth_corrupted;
+    std::vector<std::uint8_t> frame = encode_frame(rec, enc);
+    const auto orig_len = static_cast<std::uint32_t>(frame.size());
+    const std::uint32_t cap_len = std::min(orig_len, opts.snaplen);
+
+    const std::int64_t us = rec.timestamp.count();
+    if (us < 0) throw std::runtime_error("pcap: negative-epoch timestamp");
+    put_le32(out, opts.epoch_offset_sec + static_cast<std::uint32_t>(us / 1000000));
+    put_le32(out, static_cast<std::uint32_t>(us % 1000000));
+    put_le32(out, cap_len);
+    put_le32(out, orig_len);
+    out.write(reinterpret_cast<const char*>(frame.data()), cap_len);
+  }
+  if (!out) throw std::runtime_error("pcap: write failure");
+}
+
+void write_pcap_file(const std::string& path, const Trace& trace,
+                     const PcapWriteOptions& opts) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("pcap: cannot open for write: " + path);
+  write_pcap(f, trace, opts);
+}
+
+PcapReadResult read_pcap(std::istream& in, bool local_is_sender) {
+  LeReader r(in);
+  std::uint32_t magic = 0;
+  if (!r.read_u32(magic)) throw std::runtime_error("pcap: empty file");
+  bool swapped = false;
+  bool nanos = false;
+  if (magic == kMagicSwapped || magic == kMagicNsSwapped) {
+    swapped = true;
+    nanos = magic == kMagicNsSwapped;
+  } else if (magic == kMagicLE || magic == kMagicNsLE) {
+    nanos = magic == kMagicNsLE;
+  } else {
+    throw std::runtime_error("pcap: bad magic");
+  }
+  std::uint16_t vmaj = 0, vmin = 0;
+  std::uint32_t zone = 0, sigfigs = 0, snaplen = 0, linktype = 0;
+  if (!r.read_u16(vmaj, swapped) || !r.read_u16(vmin, swapped) || !r.read_u32(zone, swapped) ||
+      !r.read_u32(sigfigs, swapped) || !r.read_u32(snaplen, swapped) ||
+      !r.read_u32(linktype, swapped))
+    throw std::runtime_error("pcap: truncated global header");
+  linktype &= 0x0fffffff;  // high bits may carry FCS metadata
+  if (!linktype_supported(linktype)) throw std::runtime_error("pcap: unsupported linktype");
+
+  PcapReadResult result;
+  std::vector<std::uint8_t> frame;
+  bool first = true;
+  std::uint64_t epoch0_us = 0;
+  for (;;) {
+    std::uint32_t ts_sec = 0;
+    if (!r.read_u32(ts_sec, swapped)) break;  // clean EOF
+    std::uint32_t ts_usec = 0, cap_len = 0, orig_len = 0;
+    if (!r.read_u32(ts_usec, swapped) || !r.read_u32(cap_len, swapped) ||
+        !r.read_u32(orig_len, swapped))
+      throw std::runtime_error("pcap: truncated record header");
+    if (!r.read_bytes(frame, cap_len)) throw std::runtime_error("pcap: truncated frame");
+
+    auto decoded = decode_frame(linktype, frame);
+    if (!decoded) {
+      ++result.skipped_frames;
+      continue;
+    }
+    const std::uint64_t abs_us = static_cast<std::uint64_t>(ts_sec) * 1000000ULL +
+                                 (nanos ? ts_usec / 1000 : ts_usec);
+    if (first) {
+      epoch0_us = abs_us;
+      first = false;
+    }
+    decoded->timestamp =
+        util::TimePoint(static_cast<std::int64_t>(abs_us - epoch0_us));
+    // decode_frame already downgraded checksum_known when the captured
+    // slice was shorter than the TCP segment (header-only snaplens).
+    (void)orig_len;
+    result.trace.push_back(std::move(*decoded));
+  }
+
+  infer_endpoints(result.trace, local_is_sender);
+  return result;
+}
+
+PcapReadResult read_pcap_file(const std::string& path, bool local_is_sender) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("pcap: cannot open for read: " + path);
+  return read_pcap(f, local_is_sender);
+}
+
+namespace {
+
+// In-memory parser for one pcapng block body, honoring section byte order.
+class BlockView {
+ public:
+  BlockView(const std::vector<std::uint8_t>& body, bool swapped)
+      : body_(body), swapped_(swapped) {}
+
+  std::size_t size() const { return body_.size(); }
+
+  std::uint16_t u16(std::size_t off) const {
+    return swapped_ ? static_cast<std::uint16_t>((body_[off] << 8) | body_[off + 1])
+                    : static_cast<std::uint16_t>((body_[off + 1] << 8) | body_[off]);
+  }
+
+  std::uint32_t u32(std::size_t off) const {
+    return swapped_ ? (static_cast<std::uint32_t>(body_[off]) << 24) |
+                          (body_[off + 1] << 16) | (body_[off + 2] << 8) | body_[off + 3]
+                    : (static_cast<std::uint32_t>(body_[off + 3]) << 24) |
+                          (body_[off + 2] << 16) | (body_[off + 1] << 8) | body_[off];
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t off, std::size_t n) const {
+    return std::span(body_).subspan(off, n);
+  }
+
+ private:
+  const std::vector<std::uint8_t>& body_;
+  bool swapped_;
+};
+
+struct PcapngInterface {
+  std::uint32_t linktype = kLinktypeEthernet;
+  // Timestamp units per second (default: microseconds).
+  std::uint64_t ticks_per_sec = 1'000'000;
+};
+
+// Convert an interface-resolution tick count to microseconds.
+std::uint64_t ticks_to_us(std::uint64_t ticks, std::uint64_t ticks_per_sec) {
+  if (ticks_per_sec == 1'000'000) return ticks;
+  const auto wide = static_cast<unsigned __int128>(ticks) * 1'000'000u;
+  return static_cast<std::uint64_t>(wide / ticks_per_sec);
+}
+
+// Walk an options list starting at `off`; returns if_tsresol ticks/sec if
+// present (option code 9), else the microsecond default.
+std::uint64_t parse_tsresol(const BlockView& v, std::size_t off) {
+  while (off + 4 <= v.size()) {
+    const std::uint16_t code = v.u16(off);
+    const std::uint16_t len = v.u16(off + 2);
+    off += 4;
+    if (code == 0) break;  // opt_endofopt
+    if (off + len > v.size()) break;
+    if (code == 9 && len >= 1) {
+      const std::uint8_t raw = v.bytes(off, 1)[0];
+      const unsigned exp = raw & 0x7f;
+      if (exp > 63) break;  // nonsense resolution; keep default
+      std::uint64_t tps = 1;
+      if (raw & 0x80) {
+        tps = 1ULL << exp;
+      } else {
+        for (unsigned i = 0; i < exp && i < 19; ++i) tps *= 10;
+      }
+      return tps;
+    }
+    off += (len + 3u) & ~3u;  // options pad to 32 bits
+  }
+  return 1'000'000;
+}
+
+}  // namespace
+
+PcapReadResult read_pcapng(std::istream& in, bool local_is_sender) {
+  constexpr std::uint32_t kByteOrderMagic = 0x1a2b3c4d;
+  constexpr std::uint32_t kIdb = 1, kSpb = 3, kEpb = 6;
+
+  PcapReadResult result;
+  std::vector<PcapngInterface> interfaces;
+  bool swapped = false;
+  bool in_section = false;
+  bool first_packet = true;
+  std::uint64_t epoch0_us = 0;
+  util::TimePoint last_ts;
+
+  std::vector<std::uint8_t> body;
+  for (;;) {
+    // Block header: type + total length, in the CURRENT section's order --
+    // except the SHB, whose byte-order magic defines the order; so read
+    // type raw and handle SHB specially.
+    std::uint8_t hdr[8];
+    if (!in.read(reinterpret_cast<char*>(hdr), 8)) break;  // clean EOF
+    auto raw_u32 = [&](const std::uint8_t* p, bool swap) {
+      return swap ? (static_cast<std::uint32_t>(p[0]) << 24) | (p[1] << 16) | (p[2] << 8) | p[3]
+                  : (static_cast<std::uint32_t>(p[3]) << 24) | (p[2] << 16) | (p[1] << 8) | p[0];
+    };
+    const std::uint32_t type = raw_u32(hdr, false);  // SHB magic is palindromic
+    const bool is_shb = type == kPcapngShb;
+    if (!is_shb && !in_section) throw std::runtime_error("pcapng: no section header");
+
+    std::uint32_t total_len = raw_u32(hdr + 4, swapped);
+    if (is_shb) {
+      // Peek the byte-order magic to learn this section's endianness.
+      std::uint8_t bom[4];
+      if (!in.read(reinterpret_cast<char*>(bom), 4))
+        throw std::runtime_error("pcapng: truncated section header");
+      if (raw_u32(bom, false) == kByteOrderMagic)
+        swapped = false;
+      else if (raw_u32(bom, true) == kByteOrderMagic)
+        swapped = true;
+      else
+        throw std::runtime_error("pcapng: bad byte-order magic");
+      total_len = raw_u32(hdr + 4, swapped);
+      if (total_len < 16 || total_len % 4 != 0)
+        throw std::runtime_error("pcapng: bad block length");
+      // Consume the rest of the SHB body plus trailing length.
+      body.resize(total_len - 12 - 4);
+      if (!in.read(reinterpret_cast<char*>(body.data()),
+                   static_cast<std::streamsize>(body.size())) ||
+          !in.ignore(4))
+        throw std::runtime_error("pcapng: truncated section header");
+      in_section = true;
+      interfaces.clear();  // interfaces are per-section
+      continue;
+    }
+
+    if (total_len < 12 || total_len % 4 != 0)
+      throw std::runtime_error("pcapng: bad block length");
+    body.resize(total_len - 12);
+    if (!in.read(reinterpret_cast<char*>(body.data()),
+                 static_cast<std::streamsize>(body.size())) ||
+        !in.ignore(4))
+      throw std::runtime_error("pcapng: truncated block");
+    BlockView v(body, swapped);
+
+    if (type == kIdb) {
+      if (v.size() < 8) throw std::runtime_error("pcapng: short interface block");
+      PcapngInterface iface;
+      iface.linktype = v.u16(0);
+      iface.ticks_per_sec = parse_tsresol(v, 8);
+      interfaces.push_back(iface);
+      continue;
+    }
+
+    auto decode_one = [&](std::uint32_t linktype, std::span<const std::uint8_t> frame,
+                          util::TimePoint ts) {
+      auto decoded = decode_frame(linktype, frame);
+      if (!decoded) {
+        ++result.skipped_frames;
+        return;
+      }
+      decoded->timestamp = ts;
+      last_ts = ts;
+      result.trace.push_back(std::move(*decoded));
+    };
+
+    if (type == kEpb) {
+      if (v.size() < 20) throw std::runtime_error("pcapng: short packet block");
+      const std::uint32_t iface_id = v.u32(0);
+      if (iface_id >= interfaces.size())
+        throw std::runtime_error("pcapng: packet references unknown interface");
+      const PcapngInterface& iface = interfaces[iface_id];
+      const std::uint64_t ticks =
+          (static_cast<std::uint64_t>(v.u32(4)) << 32) | v.u32(8);
+      const std::uint32_t cap_len = v.u32(12);
+      if (v.size() < 20 + cap_len) throw std::runtime_error("pcapng: truncated packet data");
+      const std::uint64_t abs_us = ticks_to_us(ticks, iface.ticks_per_sec);
+      if (first_packet) {
+        epoch0_us = abs_us;
+        first_packet = false;
+      }
+      decode_one(iface.linktype, v.bytes(20, cap_len),
+                 util::TimePoint(static_cast<std::int64_t>(abs_us - epoch0_us)));
+    } else if (type == kSpb) {
+      // Simple Packet Block: no timestamp; reuse the previous packet's so
+      // ordering survives (analysis of such captures is degraded anyway).
+      if (interfaces.empty())
+        throw std::runtime_error("pcapng: simple packet without interface");
+      if (v.size() < 4) throw std::runtime_error("pcapng: short packet block");
+      const std::uint32_t orig_len = v.u32(0);
+      const std::uint32_t cap_len =
+          std::min<std::uint32_t>(orig_len, static_cast<std::uint32_t>(v.size() - 4));
+      decode_one(interfaces[0].linktype, v.bytes(4, cap_len), last_ts);
+    }
+    // All other block types (name resolution, statistics, custom) skipped.
+  }
+
+  infer_endpoints(result.trace, local_is_sender);
+  return result;
+}
+
+PcapReadResult read_pcapng_file(const std::string& path, bool local_is_sender) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("pcapng: cannot open for read: " + path);
+  return read_pcapng(f, local_is_sender);
+}
+
+PcapReadResult read_capture_file(const std::string& path, bool local_is_sender) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("capture: cannot open for read: " + path);
+  std::uint8_t head[4] = {0, 0, 0, 0};
+  f.read(reinterpret_cast<char*>(head), 4);
+  f.clear();
+  f.seekg(0);
+  const std::uint32_t first = (static_cast<std::uint32_t>(head[3]) << 24) |
+                              (head[2] << 16) | (head[1] << 8) | head[0];
+  if (first == kPcapngShb) return read_pcapng(f, local_is_sender);
+  return read_pcap(f, local_is_sender);
+}
+
+}  // namespace tcpanaly::trace

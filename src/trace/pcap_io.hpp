@@ -1,0 +1,64 @@
+// pcap file reader/writer (the classic libpcap savefile format,
+// magic 0xa1b2c3d4, microsecond timestamps, LINKTYPE_ETHERNET).
+//
+// Implemented from the format specification so the repository has no
+// external capture-library dependency, yet its traces interoperate with
+// tcpdump/wireshark: a Trace written here opens in either tool, and a
+// tcpdump capture of a TCP bulk transfer loads here.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "trace/wire.hpp"
+
+namespace tcpanaly::trace {
+
+struct PcapWriteOptions {
+  /// Snap length recorded in the global header AND applied to frames:
+  /// frames longer than this are truncated, as real filters do. Header-only
+  /// captures (the common tcpdump default of 68 bytes) force the analyzer
+  /// down the checksum-unknown path.
+  std::uint32_t snaplen = 65535;
+  /// Timestamps in pcap are an absolute epoch; traces are connection-
+  /// relative. This offset (seconds) anchors them.
+  std::uint32_t epoch_offset_sec = 800000000;  // mid-1995, in period
+  EncodeOptions encode;
+};
+
+/// Write the trace to a pcap stream/file. Corrupted records
+/// (truth_corrupted) are written with a failing TCP checksum, which is how
+/// corruption appears in a real capture. Throws std::runtime_error on I/O
+/// failure.
+void write_pcap(std::ostream& out, const Trace& trace, const PcapWriteOptions& opts = {});
+void write_pcap_file(const std::string& path, const Trace& trace,
+                     const PcapWriteOptions& opts = {});
+
+struct PcapReadResult {
+  Trace trace;
+  std::size_t skipped_frames = 0;  ///< non-IPv4/TCP or undecodable frames
+};
+
+/// Read a pcap stream/file (classic format, microsecond or nanosecond
+/// timestamps, either byte order; Ethernet, Linux SLL, raw-IP, or BSD
+/// loopback link layers). Endpoint metadata (local/remote/role) is
+/// inferred: the endpoint sending the majority of payload bytes is the
+/// sender; `local_is_sender` picks which side counts as local.
+/// Throws std::runtime_error on malformed files.
+PcapReadResult read_pcap(std::istream& in, bool local_is_sender = true);
+PcapReadResult read_pcap_file(const std::string& path, bool local_is_sender = true);
+
+/// Read a pcapng stream/file (the format Wireshark saves by default).
+/// Section Header, Interface Description, Enhanced Packet, and Simple
+/// Packet blocks are understood; other block types are skipped. Per-
+/// interface timestamp resolution (if_tsresol) is honored.
+PcapReadResult read_pcapng(std::istream& in, bool local_is_sender = true);
+PcapReadResult read_pcapng_file(const std::string& path, bool local_is_sender = true);
+
+/// Sniff the first four bytes and dispatch to read_pcap or read_pcapng.
+/// This is what the CLI uses, so `tcpanaly foo.pcapng` just works.
+PcapReadResult read_capture_file(const std::string& path, bool local_is_sender = true);
+
+}  // namespace tcpanaly::trace

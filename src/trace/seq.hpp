@@ -1,0 +1,33 @@
+// TCP sequence-number arithmetic.
+//
+// Sequence numbers live in a 32-bit modular space (RFC 793): all ordering
+// comparisons must be taken mod 2^32 with a signed-difference convention,
+// or a connection that wraps 4 GB -- or simply starts near the top of the
+// space -- produces garbage analysis.
+#pragma once
+
+#include <cstdint>
+
+namespace tcpanaly::trace {
+
+using SeqNum = std::uint32_t;
+
+/// Signed circular distance from `b` to `a` (positive if a is "after" b).
+constexpr std::int32_t seq_diff(SeqNum a, SeqNum b) {
+  return static_cast<std::int32_t>(a - b);
+}
+
+constexpr bool seq_lt(SeqNum a, SeqNum b) { return seq_diff(a, b) < 0; }
+constexpr bool seq_le(SeqNum a, SeqNum b) { return seq_diff(a, b) <= 0; }
+constexpr bool seq_gt(SeqNum a, SeqNum b) { return seq_diff(a, b) > 0; }
+constexpr bool seq_ge(SeqNum a, SeqNum b) { return seq_diff(a, b) >= 0; }
+
+constexpr SeqNum seq_max(SeqNum a, SeqNum b) { return seq_lt(a, b) ? b : a; }
+constexpr SeqNum seq_min(SeqNum a, SeqNum b) { return seq_lt(a, b) ? a : b; }
+
+/// True if s lies in the half-open window [lo, hi).
+constexpr bool seq_in_window(SeqNum s, SeqNum lo, SeqNum hi) {
+  return seq_le(lo, s) && seq_lt(s, hi);
+}
+
+}  // namespace tcpanaly::trace

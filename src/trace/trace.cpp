@@ -1,0 +1,148 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace tcpanaly::trace {
+
+std::string Endpoint::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff, port);
+  return buf;
+}
+
+std::string TcpFlags::to_string() const {
+  std::string out;
+  if (syn) out += 'S';
+  if (fin) out += 'F';
+  if (rst) out += 'R';
+  if (psh) out += 'P';
+  if (ack) out += '.';
+  if (out.empty()) out = "-";
+  return out;
+}
+
+std::string PacketRecord::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s %s > %s %s seq=%u ack=%u len=%u win=%u",
+                timestamp.to_string().c_str(), src.to_string().c_str(),
+                dst.to_string().c_str(), tcp.flags.to_string().c_str(), tcp.seq, tcp.ack,
+                tcp.payload_len, tcp.window);
+  return buf;
+}
+
+std::uint64_t Trace::unique_payload_bytes(Direction dir) const {
+  // Merge payload [seq, seq_end) intervals in circular space. Bulk traces
+  // never span more than a small fraction of the space, so we can anchor at
+  // the first data packet and work with signed offsets.
+  bool have_anchor = false;
+  SeqNum anchor = 0;
+  std::map<std::int64_t, std::int64_t> intervals;  // start offset -> end offset
+  for (const auto& rec : records_) {
+    if (direction_of(rec) != dir || rec.tcp.payload_len == 0) continue;
+    if (!have_anchor) {
+      anchor = rec.tcp.seq;
+      have_anchor = true;
+    }
+    const std::int64_t lo = seq_diff(rec.tcp.seq, anchor);
+    const std::int64_t hi = lo + rec.tcp.payload_len;
+    auto it = intervals.upper_bound(lo);
+    std::int64_t new_lo = lo;
+    std::int64_t new_hi = hi;
+    if (it != intervals.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) {
+        new_lo = prev->first;
+        new_hi = std::max(new_hi, prev->second);
+        it = intervals.erase(prev);
+      }
+    }
+    while (it != intervals.end() && it->first <= new_hi) {
+      new_hi = std::max(new_hi, it->second);
+      it = intervals.erase(it);
+    }
+    intervals.emplace(new_lo, new_hi);
+  }
+  std::uint64_t total = 0;
+  for (const auto& [lo, hi] : intervals) total += static_cast<std::uint64_t>(hi - lo);
+  return total;
+}
+
+std::size_t Trace::count(Direction dir) const {
+  std::size_t n = 0;
+  for (const auto& rec : records_)
+    if (direction_of(rec) == dir) ++n;
+  return n;
+}
+
+void Trace::stable_sort_by_timestamp() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const PacketRecord& a, const PacketRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+std::vector<SeqPlotPoint> extract_seqplot(const Trace& trace) {
+  std::vector<SeqPlotPoint> pts;
+  pts.reserve(trace.size());
+  bool have_max = false;
+  SeqNum max_sent = 0;
+  for (const auto& rec : trace.records()) {
+    if (trace.is_from_local(rec) && rec.tcp.payload_len > 0) {
+      SeqPlotPoint p;
+      p.t = rec.timestamp;
+      p.seq_hi = rec.tcp.seq_end();
+      p.is_data = true;
+      p.is_retransmit = have_max && seq_le(p.seq_hi, max_sent);
+      if (!have_max || seq_gt(p.seq_hi, max_sent)) {
+        max_sent = p.seq_hi;
+        have_max = true;
+      }
+      pts.push_back(p);
+    } else if (!trace.is_from_local(rec) && rec.tcp.flags.ack) {
+      pts.push_back({rec.timestamp, rec.tcp.ack, false, false});
+    }
+  }
+  return pts;
+}
+
+std::string render_seqplot(const std::vector<SeqPlotPoint>& pts, std::size_t cols,
+                           std::size_t rows) {
+  if (pts.empty()) return "(empty plot)\n";
+  util::TimePoint t0 = pts.front().t, t1 = pts.front().t;
+  SeqNum anchor = pts.front().seq_hi;
+  std::int64_t s_lo = 0, s_hi = 0;
+  for (const auto& p : pts) {
+    t0 = std::min(t0, p.t);
+    t1 = std::max(t1, p.t);
+    const std::int64_t off = seq_diff(p.seq_hi, anchor);
+    s_lo = std::min(s_lo, off);
+    s_hi = std::max(s_hi, off);
+  }
+  const double t_span = std::max<double>(1.0, static_cast<double>((t1 - t0).count()));
+  const double s_span = std::max<double>(1.0, static_cast<double>(s_hi - s_lo));
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  for (const auto& p : pts) {
+    auto c = static_cast<std::size_t>(static_cast<double>((p.t - t0).count()) / t_span *
+                                      static_cast<double>(cols - 1));
+    const double off = static_cast<double>(seq_diff(p.seq_hi, anchor) - s_lo);
+    auto r = static_cast<std::size_t>(off / s_span * static_cast<double>(rows - 1));
+    r = rows - 1 - r;  // sequence grows upward
+    char mark = p.is_data ? (p.is_retransmit ? 'R' : '#') : 'o';
+    char& cell = grid[r][c];
+    // Data marks win over acks; retransmits win over everything.
+    if (cell == ' ' || cell == 'o' || (mark == 'R')) cell = mark;
+  }
+  std::string out;
+  for (const auto& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  out += "#=data  R=retransmit  o=ack   x: " + (t1 - t0).to_string() +
+         "   y: " + std::to_string(s_hi - s_lo) + " bytes\n";
+  return out;
+}
+
+}  // namespace tcpanaly::trace

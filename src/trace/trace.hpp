@@ -1,0 +1,89 @@
+// Trace container: an ordered list of PacketRecords for a single TCP
+// connection, plus the metadata tcpanaly needs to orient itself -- which
+// endpoint is "local" (the host the filter sits at or near) and whether the
+// local endpoint was the bulk-data sender or receiver for this transfer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/packet.hpp"
+
+namespace tcpanaly::trace {
+
+/// Which role the traced (local) endpoint played in the bulk transfer.
+enum class LocalRole { kSender, kReceiver };
+
+/// Which end of the packet a record represents relative to the local host.
+enum class Direction { kFromLocal, kToLocal };
+
+struct TraceMeta {
+  Endpoint local;
+  Endpoint remote;
+  LocalRole role = LocalRole::kSender;
+  /// Free-form provenance tag (e.g. the generating implementation name);
+  /// carried for corpus bookkeeping, never consulted by the analyzer.
+  std::string label;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(TraceMeta meta) : meta_(std::move(meta)) {}
+
+  const TraceMeta& meta() const { return meta_; }
+  TraceMeta& meta() { return meta_; }
+
+  void push_back(PacketRecord rec) { records_.push_back(std::move(rec)); }
+
+  const std::vector<PacketRecord>& records() const { return records_; }
+  std::vector<PacketRecord>& records() { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const PacketRecord& operator[](std::size_t i) const { return records_[i]; }
+  PacketRecord& operator[](std::size_t i) { return records_[i]; }
+
+  /// Direction of a record relative to the local endpoint. A record whose
+  /// source matches neither endpoint is classified by destination.
+  Direction direction_of(const PacketRecord& rec) const {
+    return rec.src == meta_.local ? Direction::kFromLocal : Direction::kToLocal;
+  }
+  bool is_from_local(const PacketRecord& rec) const {
+    return direction_of(rec) == Direction::kFromLocal;
+  }
+
+  /// Total bytes of distinct payload sequence space seen from the given
+  /// direction (retransmissions counted once).
+  std::uint64_t unique_payload_bytes(Direction dir) const;
+
+  /// Count of records in the given direction.
+  std::size_t count(Direction dir) const;
+
+  /// Re-sort records by timestamp, stably (keeps filter order for ties).
+  void stable_sort_by_timestamp();
+
+ private:
+  TraceMeta meta_;
+  std::vector<PacketRecord> records_;
+};
+
+/// A labeled point of a time-sequence plot (the paper's figures 1-5).
+struct SeqPlotPoint {
+  util::TimePoint t;
+  SeqNum seq_hi = 0;     ///< upper sequence number (data) or ack number
+  bool is_data = false;  ///< data packet vs acknowledgement
+  bool is_retransmit = false;
+};
+
+/// Extract the time-sequence series for the local endpoint's data and the
+/// remote endpoint's acks -- the exact content of a Paxson sequence plot.
+std::vector<SeqPlotPoint> extract_seqplot(const Trace& trace);
+
+/// Render a sequence plot to coarse ASCII art (rows = sequence buckets,
+/// columns = time buckets); used by the bench binaries to echo the paper's
+/// figures in a terminal.
+std::string render_seqplot(const std::vector<SeqPlotPoint>& pts, std::size_t cols = 72,
+                           std::size_t rows = 24);
+
+}  // namespace tcpanaly::trace

@@ -1,0 +1,225 @@
+#include "trace/wire.hpp"
+
+#include "trace/checksum.hpp"
+
+namespace tcpanaly::trace {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
+  return (static_cast<std::uint32_t>(get_u16(b, off)) << 16) | get_u16(b, off + 2);
+}
+
+void set_u16(std::span<std::uint8_t> b, std::size_t off, std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const PacketRecord& rec, const EncodeOptions& opts) {
+  const std::size_t tcp_opts_len = rec.tcp.mss_option ? 4 : 0;
+  const std::size_t tcp_len = kTcpBaseHeaderLen + tcp_opts_len + rec.tcp.payload_len;
+  const std::size_t ip_len = kIpv4HeaderLen + tcp_len;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kEthernetHeaderLen + ip_len);
+
+  // Ethernet II: MACs derived from the endpoint IPs, ethertype 0x0800.
+  auto push_mac = [&out](std::uint32_t ip) {
+    out.push_back(0x02);
+    out.push_back(0x00);
+    for (int shift = 24; shift >= 0; shift -= 8)
+      out.push_back(static_cast<std::uint8_t>((ip >> shift) & 0xff));
+  };
+  push_mac(rec.dst.ip);
+  push_mac(rec.src.ip);
+  put_u16(out, 0x0800);
+
+  // IPv4 header (no options).
+  const std::size_t ip_off = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0x00);  // DSCP/ECN
+  put_u16(out, static_cast<std::uint16_t>(ip_len));
+  put_u16(out, 0x0000);  // identification
+  put_u16(out, 0x4000);  // DF, no fragmentation
+  out.push_back(opts.ttl);
+  out.push_back(6);      // protocol TCP
+  put_u16(out, 0x0000);  // checksum placeholder
+  put_u32(out, rec.src.ip);
+  put_u32(out, rec.dst.ip);
+  const std::uint16_t ip_csum =
+      internet_checksum(std::span(out).subspan(ip_off, kIpv4HeaderLen));
+  set_u16(std::span(out), ip_off + 10, ip_csum);
+
+  // TCP header.
+  const std::size_t tcp_off = out.size();
+  put_u16(out, rec.src.port);
+  put_u16(out, rec.dst.port);
+  put_u32(out, rec.tcp.seq);
+  put_u32(out, rec.tcp.flags.ack ? rec.tcp.ack : 0);
+  const std::uint8_t data_off_words =
+      static_cast<std::uint8_t>((kTcpBaseHeaderLen + tcp_opts_len) / 4);
+  out.push_back(static_cast<std::uint8_t>(data_off_words << 4));
+  std::uint8_t flags = 0;
+  if (rec.tcp.flags.fin) flags |= 0x01;
+  if (rec.tcp.flags.syn) flags |= 0x02;
+  if (rec.tcp.flags.rst) flags |= 0x04;
+  if (rec.tcp.flags.psh) flags |= 0x08;
+  if (rec.tcp.flags.ack) flags |= 0x10;
+  out.push_back(flags);
+  put_u16(out, static_cast<std::uint16_t>(
+                   rec.tcp.window > 0xffff ? 0xffff : rec.tcp.window));
+  put_u16(out, 0x0000);  // checksum placeholder
+  put_u16(out, 0x0000);  // urgent pointer
+  if (rec.tcp.mss_option) {
+    out.push_back(2);  // kind = MSS
+    out.push_back(4);  // length
+    put_u16(out, *rec.tcp.mss_option);
+  }
+  out.insert(out.end(), rec.tcp.payload_len, opts.payload_fill);
+
+  const std::uint16_t tcp_csum =
+      tcp_checksum(rec.src.ip, rec.dst.ip, std::span(out).subspan(tcp_off, tcp_len));
+  set_u16(std::span(out), tcp_off + 16, tcp_csum);
+
+  if (opts.corrupt_tcp_payload && rec.tcp.payload_len > 0) out.back() ^= 0xff;
+
+  return out;
+}
+
+namespace {
+
+// Decode the network layer onward (an IPv4 packet carrying TCP).
+std::optional<PacketRecord> decode_ip_packet(std::span<const std::uint8_t> ip);
+
+}  // namespace
+
+std::optional<PacketRecord> decode_frame(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEthernetHeaderLen + kIpv4HeaderLen + kTcpBaseHeaderLen)
+    return std::nullopt;
+  // Ethernet II, skipping up to two 802.1Q/802.1ad VLAN tags.
+  std::size_t l2 = kEthernetHeaderLen;
+  std::uint16_t ethertype = get_u16(frame, 12);
+  for (int tags = 0; tags < 2 && (ethertype == 0x8100 || ethertype == 0x88a8); ++tags) {
+    if (frame.size() < l2 + 4 + kIpv4HeaderLen + kTcpBaseHeaderLen) return std::nullopt;
+    ethertype = get_u16(frame, l2 + 2);
+    l2 += 4;
+  }
+  if (ethertype != 0x0800) return std::nullopt;
+  return decode_ip_packet(frame.subspan(l2));
+}
+
+bool linktype_supported(std::uint32_t linktype) {
+  return linktype == kLinktypeNull || linktype == kLinktypeEthernet ||
+         linktype == kLinktypeRaw || linktype == kLinktypeLinuxSll;
+}
+
+std::optional<PacketRecord> decode_frame(std::uint32_t linktype,
+                                         std::span<const std::uint8_t> frame) {
+  switch (linktype) {
+    case kLinktypeEthernet:
+      return decode_frame(frame);
+    case kLinktypeRaw:
+      return decode_ip_packet(frame);
+    case kLinktypeNull: {
+      // 4-byte address family in HOST byte order of the capturing machine;
+      // AF_INET is 2 on every system of interest, so accept either layout.
+      if (frame.size() < 4) return std::nullopt;
+      const bool af_inet = (frame[0] == 2 && frame[1] == 0 && frame[2] == 0 && frame[3] == 0) ||
+                           (frame[3] == 2 && frame[0] == 0 && frame[1] == 0 && frame[2] == 0);
+      if (!af_inet) return std::nullopt;
+      return decode_ip_packet(frame.subspan(4));
+    }
+    case kLinktypeLinuxSll: {
+      // Linux cooked capture: 16-byte header, protocol (ethertype) in the
+      // last two bytes, big-endian.
+      constexpr std::size_t kSllLen = 16;
+      if (frame.size() < kSllLen + 2) return std::nullopt;
+      if (get_u16(frame, 14) != 0x0800) return std::nullopt;
+      return decode_ip_packet(frame.subspan(kSllLen));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+std::optional<PacketRecord> decode_ip_packet(std::span<const std::uint8_t> ip) {
+  if (ip.size() < kIpv4HeaderLen + kTcpBaseHeaderLen) return std::nullopt;
+  if ((ip[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < kIpv4HeaderLen || ip.size() < ihl + kTcpBaseHeaderLen) return std::nullopt;
+  if (ip[9] != 6) return std::nullopt;
+  const std::uint16_t ip_total = get_u16(ip, 2);
+
+  PacketRecord rec;
+  rec.src.ip = get_u32(ip, 12);
+  rec.dst.ip = get_u32(ip, 16);
+
+  auto tcp = ip.subspan(ihl);
+  rec.src.port = get_u16(tcp, 0);
+  rec.dst.port = get_u16(tcp, 2);
+  rec.tcp.seq = get_u32(tcp, 4);
+  rec.tcp.ack = get_u32(tcp, 8);
+  const std::size_t data_off = static_cast<std::size_t>(tcp[12] >> 4) * 4;
+  const std::uint8_t flags = tcp[13];
+  rec.tcp.flags.fin = flags & 0x01;
+  rec.tcp.flags.syn = flags & 0x02;
+  rec.tcp.flags.rst = flags & 0x04;
+  rec.tcp.flags.psh = flags & 0x08;
+  rec.tcp.flags.ack = flags & 0x10;
+  rec.tcp.window = get_u16(tcp, 14);
+  if (data_off < kTcpBaseHeaderLen || tcp.size() < data_off) return std::nullopt;
+
+  // Parse options for an MSS value.
+  std::size_t opt = kTcpBaseHeaderLen;
+  while (opt < data_off) {
+    const std::uint8_t kind = tcp[opt];
+    if (kind == 0) break;       // end of options
+    if (kind == 1) {            // NOP
+      ++opt;
+      continue;
+    }
+    if (opt + 1 >= data_off) break;
+    const std::uint8_t len = tcp[opt + 1];
+    if (len < 2 || opt + len > data_off) break;
+    if (kind == 2 && len == 4) rec.tcp.mss_option = get_u16(tcp, opt + 2);
+    opt += len;
+  }
+
+  const std::size_t tcp_total =
+      static_cast<std::size_t>(ip_total) >= ihl ? ip_total - ihl : 0;
+  if (tcp_total < data_off) return std::nullopt;
+  rec.tcp.payload_len = static_cast<std::uint32_t>(tcp_total - data_off);
+
+  // Only verify the TCP checksum when the whole segment was captured
+  // (header-only snaplens leave corruption to be *inferred*, paper sec. 7).
+  if (tcp.size() >= tcp_total) {
+    rec.checksum_known = true;
+    rec.checksum_ok = tcp_checksum_ok(rec.src.ip, rec.dst.ip, tcp.subspan(0, tcp_total));
+  } else {
+    rec.checksum_known = false;
+    rec.checksum_ok = true;
+  }
+  return rec;
+}
+
+}  // namespace
+
+}  // namespace tcpanaly::trace

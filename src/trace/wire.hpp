@@ -1,0 +1,60 @@
+// Wire codec: PacketRecord <-> Ethernet/IPv4/TCP frame bytes.
+//
+// tcpanaly's inputs in the paper are tcpdump captures; this codec is what
+// lets our traces round-trip through real pcap files (trace/pcap_io.hpp)
+// with valid IPv4 and TCP checksums, and lets deliberate corruption be
+// expressed the way a capture would show it: a frame whose TCP checksum
+// fails to verify.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "trace/packet.hpp"
+
+namespace tcpanaly::trace {
+
+constexpr std::size_t kEthernetHeaderLen = 14;
+constexpr std::size_t kIpv4HeaderLen = 20;
+constexpr std::size_t kTcpBaseHeaderLen = 20;
+
+struct EncodeOptions {
+  /// Fill payload bytes with this value (content is irrelevant to analysis;
+  /// a fixed fill keeps files deterministic).
+  std::uint8_t payload_fill = 0x5a;
+  /// If true, flip a bit in the payload after checksumming, producing a
+  /// frame whose TCP checksum does not verify (a corrupted capture).
+  bool corrupt_tcp_payload = false;
+  /// IPv4 TTL to stamp.
+  std::uint8_t ttl = 64;
+};
+
+/// Encode a record as an Ethernet II / IPv4 / TCP frame.
+std::vector<std::uint8_t> encode_frame(const PacketRecord& rec, const EncodeOptions& opts = {});
+
+/// Decode a frame back into a PacketRecord (timestamp left at origin; the
+/// pcap reader fills it in). Returns nullopt for frames that are not
+/// IPv4/TCP or are too short. Sets checksum_ok/checksum_known from the
+/// embedded checksums and the captured length. Handles Ethernet II frames,
+/// including 802.1Q/802.1ad VLAN-tagged ones.
+std::optional<PacketRecord> decode_frame(std::span<const std::uint8_t> frame);
+
+// Link-layer types a capture file can carry (pcap LINKTYPE_* values).
+constexpr std::uint32_t kLinktypeNull = 0;        ///< BSD loopback: 4-byte AF
+constexpr std::uint32_t kLinktypeEthernet = 1;
+constexpr std::uint32_t kLinktypeRaw = 101;       ///< raw IPv4/IPv6, no L2
+constexpr std::uint32_t kLinktypeLinuxSll = 113;  ///< Linux "cooked" (-i any)
+
+/// Decode a frame whose link layer is `linktype` (see kLinktype*). Used by
+/// the pcap/pcapng readers so captures from `tcpdump -i any` (SLL), raw-IP
+/// tunnels, and loopback all load. Returns nullopt for unsupported
+/// linktypes or non-IPv4/TCP packets.
+std::optional<PacketRecord> decode_frame(std::uint32_t linktype,
+                                         std::span<const std::uint8_t> frame);
+
+/// Whether this reader knows how to parse frames of `linktype`.
+bool linktype_supported(std::uint32_t linktype);
+
+}  // namespace tcpanaly::trace

@@ -1,0 +1,91 @@
+// Streaming and batch statistics used throughout the analyzer: response-delay
+// summaries (min/mean drive the implementation matcher, section 6.1 of the
+// paper), ack-delay distributions (section 9), and histogram rendering for
+// the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tcpanaly::util {
+
+/// Welford online mean/variance with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const;  ///< 0 if empty
+  double max() const;  ///< 0 if empty
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel-safe combination).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Duration-typed wrapper over OnlineStats; values are stored in seconds.
+class DurationStats {
+ public:
+  void add(Duration d) { s_.add(d.to_seconds()); }
+  std::size_t count() const { return s_.count(); }
+  bool empty() const { return s_.empty(); }
+  Duration mean() const { return Duration::seconds(s_.mean()); }
+  Duration min() const { return Duration::seconds(s_.min()); }
+  Duration max() const { return Duration::seconds(s_.max()); }
+  double mean_seconds() const { return s_.mean(); }
+  const OnlineStats& raw() const { return s_; }
+
+ private:
+  OnlineStats s_;
+};
+
+/// Batch quantile over a copy of the sample (nearest-rank interpolation).
+/// Returns nullopt for an empty sample or q outside [0,1].
+std::optional<double> quantile(std::vector<double> sample, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus
+/// under/overflow counters. Used by the bench harness to print the paper's
+/// delay distributions (e.g. the uniform 0-200 ms delayed-ack spread).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+  /// ASCII rendering, one line per bucket, bar scaled to `width` columns.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tcpanaly::util

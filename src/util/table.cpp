@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace tcpanaly::util {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      out += cell;
+      if (c + 1 < headers_.size()) out.append(width[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) rule += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string strf(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace tcpanaly::util

@@ -1,0 +1,33 @@
+// Minimal text-table renderer for the bench harness: the paper's evaluation
+// artifacts are tables and sequence plots, and every bench binary prints
+// its rows through this so output stays aligned and diff-able.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tcpanaly::util {
+
+class TextTable {
+ public:
+  /// Construct with column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; missing cells render empty, extras are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header rule, columns padded to widest cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience for building cells.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace tcpanaly::util

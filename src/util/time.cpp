@@ -1,0 +1,24 @@
+#include "util/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tcpanaly::util {
+
+namespace {
+std::string format_micros_as_seconds(std::int64_t micros) {
+  const char* sign = micros < 0 ? "-" : "";
+  std::uint64_t mag = micros < 0 ? static_cast<std::uint64_t>(-(micros + 1)) + 1
+                                 : static_cast<std::uint64_t>(micros);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%" PRIu64 ".%06" PRIu64 "s", sign, mag / 1000000,
+                mag % 1000000);
+  return buf;
+}
+}  // namespace
+
+std::string Duration::to_string() const { return format_micros_as_seconds(micros_); }
+
+std::string TimePoint::to_string() const { return format_micros_as_seconds(micros_); }
+
+}  // namespace tcpanaly::util

@@ -1,0 +1,84 @@
+// Simulation time types.
+//
+// All simulator and analyzer time is integer microseconds. The paper's
+// phenomena span five decades -- from ~100 us packet-filter resequencing
+// artifacts up to multi-second retransmission timeouts -- so a fixed-point
+// microsecond representation keeps comparisons exact (no float drift when
+// deciding whether a timestamp "travelled backwards").
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace tcpanaly::util {
+
+/// A span of time, in microseconds. Value type; arithmetic is exact.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr Duration micros(std::int64_t us) { return Duration(us); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration seconds(double s) {
+    // Round (not truncate): values that ride through double conversions,
+    // e.g. stats accumulators, must round-trip to the same microsecond.
+    return Duration(static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration infinite() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t count() const { return micros_; }
+  constexpr double to_seconds() const { return static_cast<double>(micros_) * 1e-6; }
+  constexpr double to_millis() const { return static_cast<double>(micros_) * 1e-3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(micros_ + o.micros_); }
+  constexpr Duration operator-(Duration o) const { return Duration(micros_ - o.micros_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(micros_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(micros_ / k); }
+  constexpr Duration& operator+=(Duration o) { micros_ += o.micros_; return *this; }
+  constexpr Duration& operator-=(Duration o) { micros_ -= o.micros_; return *this; }
+  constexpr Duration operator-() const { return Duration(-micros_); }
+
+  /// Rendered as seconds with microsecond precision, e.g. "1.234567s".
+  std::string to_string() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// An instant on a timeline, in microseconds since the timeline origin
+/// (connection start for traces, simulation start for the simulator).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr TimePoint origin() { return TimePoint(0); }
+  static constexpr TimePoint infinite() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t count() const { return micros_; }
+  constexpr double to_seconds() const { return static_cast<double>(micros_) * 1e-6; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(micros_ + d.count()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(micros_ - d.count()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration(micros_ - o.micros_); }
+  constexpr TimePoint& operator+=(Duration d) { micros_ += d.count(); return *this; }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+}  // namespace tcpanaly::util

@@ -1,0 +1,383 @@
+// Focused unit tests for the sender and receiver analyzers on synthetic
+// traces: liberation mechanics, retransmission classification, corruption
+// inference, ack classification, gratuitous-ack detection.
+#include <gtest/gtest.h>
+
+#include "core/receiver_analyzer.hpp"
+#include "core/sender_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+using trace::Endpoint;
+using trace::PacketRecord;
+using trace::SeqNum;
+using trace::Trace;
+using util::Duration;
+using util::TimePoint;
+
+constexpr Endpoint kLocal{0x0a000001, 1000};
+constexpr Endpoint kRemote{0x0a000002, 2000};
+constexpr std::uint32_t kMss = 512;
+
+class SenderTraceBuilder {
+ public:
+  SenderTraceBuilder() {
+    tr_.meta().local = kLocal;
+    tr_.meta().remote = kRemote;
+    tr_.meta().role = trace::LocalRole::kSender;
+    // Handshake: local SYN, remote SYN-ack, local ack.
+    PacketRecord syn = base(true, 0);
+    syn.tcp.seq = 1000;
+    syn.tcp.flags.syn = true;
+    syn.tcp.mss_option = kMss;
+    syn.tcp.window = 16384;
+    tr_.push_back(syn);
+    PacketRecord synack = base(false, 20'000);
+    synack.tcp.seq = 50'000;
+    synack.tcp.ack = 1001;
+    synack.tcp.flags.syn = true;
+    synack.tcp.flags.ack = true;
+    synack.tcp.mss_option = kMss;
+    synack.tcp.window = 16384;
+    tr_.push_back(synack);
+    PacketRecord estack = base(true, 20'200);
+    estack.tcp.seq = 1001;
+    estack.tcp.ack = 50'001;
+    estack.tcp.flags.ack = true;
+    estack.tcp.window = 16384;
+    tr_.push_back(estack);
+  }
+
+  SenderTraceBuilder& data(std::int64_t us, SeqNum seq, std::uint32_t len = kMss) {
+    PacketRecord rec = base(true, us);
+    rec.tcp.seq = seq;
+    rec.tcp.ack = 50'001;
+    rec.tcp.flags.ack = true;
+    rec.tcp.payload_len = len;
+    rec.tcp.window = 16384;
+    tr_.push_back(rec);
+    return *this;
+  }
+
+  SenderTraceBuilder& ack(std::int64_t us, SeqNum ackno, std::uint32_t window = 16384) {
+    PacketRecord rec = base(false, us);
+    rec.tcp.seq = 50'001;
+    rec.tcp.ack = ackno;
+    rec.tcp.flags.ack = true;
+    rec.tcp.window = window;
+    tr_.push_back(rec);
+    return *this;
+  }
+
+  Trace build() { return tr_; }
+
+ private:
+  PacketRecord base(bool from_local, std::int64_t us) {
+    PacketRecord rec;
+    rec.timestamp = TimePoint(us);
+    rec.src = from_local ? kLocal : kRemote;
+    rec.dst = from_local ? kRemote : kLocal;
+    return rec;
+  }
+  Trace tr_;
+};
+
+// --------------------------------------------------------------- sender
+
+TEST(SenderAnalyzerUnit, CleanSlowStartNoViolations) {
+  SenderTraceBuilder b;
+  b.data(20'300, 1001);                 // cwnd 1
+  b.ack(60'000, 1513).data(60'100, 1513).data(60'150, 2025);  // cwnd 2
+  b.ack(100'000, 3037).data(100'100, 3037).data(100'150, 3549).data(100'200, 4061);
+  auto rep = SenderAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_TRUE(rep.handshake_seen);
+  EXPECT_EQ(rep.mss, kMss);
+  EXPECT_TRUE(rep.violations.empty());
+  EXPECT_EQ(rep.unexplained_retransmissions, 0u);
+  EXPECT_EQ(rep.data_packets, 6u);
+  EXPECT_LT(rep.response_delays.mean().to_millis(), 1.0);
+}
+
+TEST(SenderAnalyzerUnit, BurstBeyondInitialCwndIsViolation) {
+  SenderTraceBuilder b;
+  // Five segments immediately after the handshake: a 1-MSS initial window
+  // cannot have sent these.
+  for (int i = 0; i < 5; ++i) b.data(20'300 + i * 50, 1001 + i * kMss);
+  auto rep = SenderAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_GE(rep.violations.size(), 3u);
+}
+
+TEST(SenderAnalyzerUnit, Net3ProfileExplainsTheBurst) {
+  // The same opening burst is legal for a Net/3 stack whose peer omitted
+  // the MSS option (uninitialized cwnd).
+  SenderTraceBuilder b;
+  Trace tr = b.build();
+  tr[1].tcp.mss_option.reset();  // SYN-ack without MSS
+  for (int i = 0; i < 5; ++i) {
+    PacketRecord rec;
+    rec.timestamp = TimePoint(20'300 + i * 50);
+    rec.src = kLocal;
+    rec.dst = kRemote;
+    rec.tcp.seq = 1001 + i * 536;  // default MSS without the option
+    rec.tcp.ack = 50'001;
+    rec.tcp.flags.ack = true;
+    rec.tcp.payload_len = 536;
+    rec.tcp.window = 16384;
+    tr.push_back(rec);
+  }
+  auto net3 = SenderAnalyzer(*tcp::find_profile("BSDI")).analyze(tr);
+  EXPECT_TRUE(net3.violations.empty());
+  auto correct = SenderAnalyzer(*tcp::find_profile("HP/UX")).analyze(tr);
+  EXPECT_FALSE(correct.violations.empty());
+}
+
+TEST(SenderAnalyzerUnit, FastRetransmitClassified) {
+  SenderTraceBuilder b;
+  b.data(20'300, 1001);
+  b.ack(60'000, 1513);
+  for (int i = 0; i < 4; ++i) b.data(60'100 + i * 50, 1513 + i * kMss);
+  // Three dup acks at 1513 (one packet lost), then the resend.
+  b.ack(100'000, 1513).ack(100'500, 1513).ack(101'000, 1513);
+  b.data(101'100, 1513);
+  auto rep = SenderAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.fast_retransmit_events, 1u);
+  EXPECT_EQ(rep.timeout_events, 0u);
+  EXPECT_EQ(rep.unexplained_retransmissions, 0u);
+  EXPECT_EQ(rep.dup_acks_seen, 3u);
+}
+
+TEST(SenderAnalyzerUnit, TimeoutClassifiedWhenPlausible) {
+  SenderTraceBuilder b;
+  b.data(20'300, 1001);
+  // Silence for well over a second, then the resend.
+  b.data(3'200'000, 1001);
+  auto rep = SenderAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.timeout_events, 1u);
+  EXPECT_EQ(rep.unexplained_retransmissions, 0u);
+}
+
+TEST(SenderAnalyzerUnit, PrematureTimeoutUnexplainedForBsd) {
+  SenderTraceBuilder b;
+  b.data(20'300, 1001);
+  b.data(320'300, 1001);  // 300 ms later: impossible for a 1 s-floor timer
+  auto bsd = SenderAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(bsd.unexplained_retransmissions, 1u);
+  ASSERT_EQ(bsd.unexplained_indices.size(), 1u);
+  auto solaris = SenderAnalyzer(*tcp::find_profile("Solaris 2.4")).analyze(b.build());
+  EXPECT_EQ(solaris.unexplained_retransmissions, 0u);
+}
+
+TEST(SenderAnalyzerUnit, SenderWindowInferredFromPeakFlight) {
+  SenderTraceBuilder b;
+  // cwnd-plausible growth, but the flight never exceeds 2 segments even
+  // though 16 KB is offered: a 1 KB socket buffer in force.
+  b.data(20'300, 1001);
+  b.ack(60'000, 1513).data(60'100, 1513).data(60'150, 2025);
+  b.ack(100'000, 2537).data(100'100, 2537).data(100'150, 3049);
+  b.ack(140'000, 3561).data(140'100, 3561).data(140'150, 4073);
+  b.ack(180'000, 4585).data(180'100, 4585).data(180'150, 5097);
+  b.ack(220'000, 5609).data(220'100, 5609).data(220'150, 6121);
+  b.ack(260'000, 6633).data(260'100, 6633).data(260'150, 7145);
+  auto rep = SenderAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.inferred_sender_window, 2 * kMss);
+  EXPECT_TRUE(rep.sender_window_limited);
+  EXPECT_TRUE(rep.violations.empty());
+}
+
+TEST(SenderAnalyzerUnit, UncappedFlowNotWindowLimited) {
+  SenderTraceBuilder b;
+  b.data(20'300, 1001);
+  b.ack(60'000, 1513).data(60'100, 1513).data(60'150, 2025);
+  b.ack(100'000, 2025).data(100'100, 2025).data(100'150, 2537).data(100'200, 3049);
+  auto rep = SenderAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_FALSE(rep.sender_window_limited);
+  EXPECT_TRUE(rep.violations.empty());
+}
+
+// -------------------------------------------------------------- receiver
+
+class ReceiverTraceBuilder {
+ public:
+  ReceiverTraceBuilder() {
+    tr_.meta().local = kLocal;
+    tr_.meta().remote = kRemote;
+    tr_.meta().role = trace::LocalRole::kReceiver;
+    PacketRecord syn;
+    syn.timestamp = TimePoint(0);
+    syn.src = kRemote;
+    syn.dst = kLocal;
+    syn.tcp.seq = 1000;
+    syn.tcp.flags.syn = true;
+    syn.tcp.mss_option = kMss;
+    tr_.push_back(syn);
+    // Handshake third ack: gives the analyzer its ack baseline, as every
+    // real trace does.
+    acks(100, 1001);
+  }
+
+  ReceiverTraceBuilder& arrives(std::int64_t us, SeqNum seq, std::uint32_t len = kMss,
+                                bool checksum_known = false, bool checksum_ok = true) {
+    PacketRecord rec;
+    rec.timestamp = TimePoint(us);
+    rec.src = kRemote;
+    rec.dst = kLocal;
+    rec.tcp.seq = seq;
+    rec.tcp.payload_len = len;
+    rec.tcp.flags.ack = true;
+    rec.checksum_known = checksum_known;
+    rec.checksum_ok = checksum_ok;
+    tr_.push_back(rec);
+    return *this;
+  }
+
+  ReceiverTraceBuilder& acks(std::int64_t us, SeqNum ackno, std::uint32_t window = 8192) {
+    PacketRecord rec;
+    rec.timestamp = TimePoint(us);
+    rec.src = kLocal;
+    rec.dst = kRemote;
+    rec.tcp.seq = 60'001;
+    rec.tcp.ack = ackno;
+    rec.tcp.flags.ack = true;
+    rec.tcp.window = window;
+    tr_.push_back(rec);
+    return *this;
+  }
+
+  Trace build() { return tr_; }
+
+ private:
+  Trace tr_;
+};
+
+TEST(ReceiverAnalyzerUnit, ClassifiesNormalDelayedStretch) {
+  ReceiverTraceBuilder b;
+  b.arrives(10'000, 1001).arrives(11'000, 1513).acks(11'100, 2025);    // normal
+  b.arrives(20'000, 2025).acks(120'000, 2537);                         // delayed (100 ms)
+  b.arrives(130'000, 2537).arrives(131'000, 3049).arrives(132'000, 3561)
+      .arrives(133'000, 4073).acks(133'100, 4585);                     // stretch
+  auto rep = ReceiverAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.normal_acks, 1u);
+  EXPECT_EQ(rep.delayed_acks, 1u);
+  EXPECT_EQ(rep.stretch_acks, 1u);
+  EXPECT_NEAR(rep.delayed_ack_delays.mean().to_millis(), 100.0, 0.5);
+}
+
+TEST(ReceiverAnalyzerUnit, DupAckForOutOfOrderData) {
+  ReceiverTraceBuilder b;
+  b.arrives(10'000, 1001).arrives(11'000, 1513).acks(11'100, 2025);
+  b.arrives(20'000, 2537);  // hole at 2025
+  b.acks(20'100, 2025);     // immediate dup
+  auto rep = ReceiverAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.dup_acks, 1u);
+  EXPECT_EQ(rep.mandatory_missed, 0u);
+  EXPECT_EQ(rep.gratuitous_acks, 0u);
+}
+
+TEST(ReceiverAnalyzerUnit, LateMandatoryAckCountsMissed) {
+  ReceiverTraceBuilder b;
+  b.arrives(10'000, 1001).arrives(11'000, 1513).acks(11'100, 2025);
+  b.arrives(20'000, 2537);  // hole at 2025: mandatory obligation
+  b.acks(400'000, 2025);    // discharged 380 ms later: far too late
+  auto rep = ReceiverAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.mandatory_missed, 1u);
+}
+
+TEST(ReceiverAnalyzerUnit, GratuitousAckFlagged) {
+  ReceiverTraceBuilder b;
+  b.arrives(10'000, 1001).arrives(11'000, 1513).acks(11'100, 2025);
+  b.acks(300'000, 2025);  // out of nowhere: no data, no window change
+  auto rep = ReceiverAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.gratuitous_acks, 1u);
+}
+
+TEST(ReceiverAnalyzerUnit, WindowUpdateNotGratuitous) {
+  ReceiverTraceBuilder b;
+  b.arrives(10'000, 1001).arrives(11'000, 1513).acks(11'100, 2025, 8192);
+  b.acks(300'000, 2025, 16384);  // pure window update
+  auto rep = ReceiverAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.gratuitous_acks, 0u);
+  EXPECT_EQ(rep.window_update_acks, 1u);
+}
+
+TEST(ReceiverAnalyzerUnit, InfersCorruptionFromMissingAcks) {
+  // A packet "arrives" (headers-only capture: checksum unknown) but the
+  // TCP keeps dup-acking below it long past any ack-policy delay; the
+  // remote retransmits and only then do acks advance. tcpanaly infers the
+  // original arrival was discarded as corrupted (paper section 7).
+  ReceiverTraceBuilder b;
+  b.arrives(10'000, 1001).arrives(11'000, 1513).acks(11'100, 2025);
+  b.arrives(20'000, 2025);      // this one arrived corrupted (unknowable)
+  b.arrives(21'000, 2537);      // next packet: TCP treats it as out of order
+  b.acks(21'100, 2025);         // dup ack (too soon to judge)
+  b.arrives(300'000, 3049);     // more data above the hole
+  b.acks(300'100, 2025);        // STILL 2025, 280 ms on: discard evident
+  b.arrives(1'300'000, 2025);   // retransmission arrives intact
+  b.acks(1'300'100, 3561);      // now everything acks through
+  auto rep = ReceiverAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.inferred_corrupt_packets, 1u);
+  EXPECT_EQ(rep.checksum_verified_corrupt, 0u);
+}
+
+TEST(ReceiverAnalyzerUnit, VerifiedChecksumShortCircuitsInference) {
+  ReceiverTraceBuilder b;
+  b.arrives(10'000, 1001).arrives(11'000, 1513).acks(11'100, 2025);
+  b.arrives(20'000, 2025, kMss, /*checksum_known=*/true, /*checksum_ok=*/false);
+  b.arrives(1'300'000, 2025).arrives(1'301'000, 2537);
+  b.acks(1'301'100, 3049);
+  auto rep = ReceiverAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(rep.checksum_verified_corrupt, 1u);
+  EXPECT_EQ(rep.inferred_corrupt_packets, 0u);
+}
+
+TEST(ReceiverAnalyzerUnit, PolicyViolationWhenDelayExceedsTimer) {
+  ReceiverTraceBuilder b;
+  b.arrives(10'000, 1001).acks(95'000, 1513);  // 85 ms delayed ack
+  auto solaris = ReceiverAnalyzer(*tcp::find_profile("Solaris 2.4")).analyze(b.build());
+  EXPECT_EQ(solaris.policy_violations, 1u);  // > 50 ms + slack
+  auto bsd = ReceiverAnalyzer(tcp::generic_reno()).analyze(b.build());
+  EXPECT_EQ(bsd.policy_violations, 0u);  // fine for a 200 ms heartbeat
+}
+
+}  // namespace
+}  // namespace tcpanaly::core
+
+namespace tcpanaly::core {
+namespace {
+
+TEST(InitialSsthreshInference, RecoversRouteCacheValue) {
+  // The experimental route-cache TCP (section 6.2) starts with ssthresh =
+  // 6 segments; the sweep must find it from the trace alone.
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::experimental_route_cache(6);
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.seed = 2;
+  auto r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  const std::uint32_t inferred =
+      infer_initial_ssthresh(r.sender_trace, tcp::experimental_route_cache(6));
+  EXPECT_EQ(inferred, 6u);
+}
+
+TEST(InitialSsthreshInference, DefaultStackInfersUnbounded) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.seed = 3;
+  auto r = tcp::run_session(cfg);
+  EXPECT_EQ(infer_initial_ssthresh(r.sender_trace, tcp::generic_reno()), 0u);
+}
+
+TEST(InitialSsthreshInference, RecoversSolarisEightSegments) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("Solaris 2.4");
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.seed = 4;
+  auto r = tcp::run_session(cfg);
+  EXPECT_EQ(infer_initial_ssthresh(r.sender_trace, *tcp::find_profile("Solaris 2.4")), 8u);
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

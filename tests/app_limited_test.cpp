@@ -1,0 +1,102 @@
+// Application-limited receiver: a finite app read rate makes the offered
+// window breathe, producing window-update acks. The transfer must still
+// complete, be rate-limited by the app, and the analyzer must handle the
+// shrinking/re-opening offered window without spurious findings.
+#include <gtest/gtest.h>
+
+#include "core/receiver_analyzer.hpp"
+#include "core/sender_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+namespace tcpanaly {
+namespace {
+
+tcp::SessionResult run_app_limited(double read_rate, std::uint64_t seed = 1,
+                                   double loss = 0.0) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.receiver.app_read_rate_bytes_per_sec = read_rate;
+  cfg.receiver.recv_buffer = 8 * 1024;
+  cfg.fwd_path.loss_prob = loss;
+  cfg.sender.transfer_bytes = 64 * 1024;
+  cfg.seed = seed;
+  cfg.time_limit = util::Duration::seconds(120.0);
+  return tcp::run_session(cfg);
+}
+
+TEST(AppLimited, TransferCompletesAtAppRate) {
+  // Link 1 MB/s, app 40 kB/s: 64 KB should take ~1.6 s, not ~0.06 s.
+  auto r = run_app_limited(40'000.0);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.receiver_stats.bytes_delivered, 64u * 1024u);
+  EXPECT_GT(r.elapsed.to_seconds(), 1.2);
+  EXPECT_LT(r.elapsed.to_seconds(), 4.0);
+}
+
+TEST(AppLimited, WindowUpdatesAppearInTrace) {
+  auto r = run_app_limited(40'000.0);
+  EXPECT_GT(r.receiver_stats.window_updates_sent, 5u);
+  // The sender trace must show varying offered windows.
+  std::uint32_t min_w = ~0u, max_w = 0;
+  for (const auto& rec : r.sender_trace.records()) {
+    if (r.sender_trace.is_from_local(rec) || !rec.tcp.flags.ack || rec.tcp.flags.syn)
+      continue;
+    min_w = std::min(min_w, rec.tcp.window);
+    max_w = std::max(max_w, rec.tcp.window);
+  }
+  EXPECT_LT(min_w, 4u * 1024u);
+  EXPECT_GT(max_w, 6u * 1024u);
+}
+
+TEST(AppLimited, SenderNeverExceedsOfferedWindow) {
+  auto r = run_app_limited(40'000.0, 2);
+  ASSERT_TRUE(r.completed);
+  // Replay: every data segment must fit within the latest offered window
+  // the sender could have seen (with slack for in-flight acks).
+  trace::SeqNum una = 0;
+  std::uint32_t win = 0;
+  bool have = false;
+  for (const auto& rec : r.sender_trace.records()) {
+    if (!r.sender_trace.is_from_local(rec)) {
+      if (rec.tcp.flags.ack && !rec.tcp.flags.syn) {
+        if (!have || trace::seq_ge(rec.tcp.ack, una)) {
+          una = rec.tcp.ack;
+          win = rec.tcp.window;
+          have = true;
+        }
+      }
+      continue;
+    }
+    if (!have || rec.tcp.payload_len == 0) continue;
+    // Slack: one window update may still be in flight (vantage).
+    EXPECT_LE(trace::seq_diff(rec.tcp.seq_end(), una + win), 2 * 512)
+        << rec.to_string();
+  }
+}
+
+TEST(AppLimited, AnalyzerStaysCleanOnBreathingWindow) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    auto r = run_app_limited(40'000.0, seed, /*loss=*/0.01);
+    ASSERT_TRUE(r.completed) << seed;
+    auto rep = core::SenderAnalyzer(tcp::generic_reno()).analyze(r.sender_trace);
+    EXPECT_TRUE(rep.violations.empty()) << "seed " << seed;
+    EXPECT_EQ(rep.unexplained_retransmissions, 0u) << "seed " << seed;
+    auto rcv = core::ReceiverAnalyzer(tcp::generic_reno()).analyze(r.receiver_trace);
+    EXPECT_EQ(rcv.gratuitous_acks, 0u) << "seed " << seed;
+    EXPECT_EQ(rcv.policy_violations, 0u) << "seed " << seed;
+  }
+}
+
+TEST(AppLimited, InstantAppKeepsWindowConstant) {
+  auto r = run_app_limited(0.0);
+  for (const auto& rec : r.sender_trace.records()) {
+    if (r.sender_trace.is_from_local(rec) || !rec.tcp.flags.ack || rec.tcp.flags.syn)
+      continue;
+    EXPECT_EQ(rec.tcp.window, 8u * 1024u);
+  }
+}
+
+}  // namespace
+}  // namespace tcpanaly

@@ -1,0 +1,319 @@
+// Unit tests for the calibration detectors (paper section 3) on
+// hand-built synthetic traces where each error's presence is exact.
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+using trace::Endpoint;
+using trace::PacketRecord;
+using trace::SeqNum;
+using trace::Trace;
+using util::TimePoint;
+
+constexpr Endpoint kLocal{0x0a000001, 1000};
+constexpr Endpoint kRemote{0x0a000002, 2000};
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(trace::LocalRole role = trace::LocalRole::kSender) {
+    tr_.meta().local = kLocal;
+    tr_.meta().remote = kRemote;
+    tr_.meta().role = role;
+  }
+
+  TraceBuilder& data(std::int64_t us, SeqNum seq, std::uint32_t len,
+                     bool from_local = true) {
+    PacketRecord rec;
+    rec.timestamp = TimePoint(us);
+    rec.src = from_local ? kLocal : kRemote;
+    rec.dst = from_local ? kRemote : kLocal;
+    rec.tcp.seq = seq;
+    rec.tcp.payload_len = len;
+    rec.tcp.flags.ack = true;
+    tr_.push_back(rec);
+    return *this;
+  }
+
+  TraceBuilder& ack(std::int64_t us, SeqNum ackno, std::uint32_t window = 8192,
+                    bool from_local = false) {
+    PacketRecord rec;
+    rec.timestamp = TimePoint(us);
+    rec.src = from_local ? kLocal : kRemote;
+    rec.dst = from_local ? kRemote : kLocal;
+    rec.tcp.flags.ack = true;
+    rec.tcp.ack = ackno;
+    rec.tcp.window = window;
+    tr_.push_back(rec);
+    return *this;
+  }
+
+  Trace build() { return tr_; }
+
+ private:
+  Trace tr_;
+};
+
+// ----------------------------------------------------------- time travel
+
+TEST(TimeTravel, DetectsBackwardStep) {
+  auto tr = TraceBuilder().data(1000, 1, 100).data(900, 101, 100).data(2000, 201, 100).build();
+  auto rep = detect_time_travel(tr);
+  ASSERT_EQ(rep.instances.size(), 1u);
+  EXPECT_EQ(rep.instances[0].record_index, 1u);
+  EXPECT_EQ(rep.instances[0].magnitude, util::Duration::micros(100));
+  EXPECT_TRUE(rep.clock_untrustworthy());
+}
+
+TEST(TimeTravel, MonotoneTraceClean) {
+  auto tr = TraceBuilder().data(1, 1, 10).data(1, 11, 10).data(2, 21, 10).build();
+  EXPECT_TRUE(detect_time_travel(tr).instances.empty());
+}
+
+// ------------------------------------------------------------- additions
+
+TEST(Duplication, DetectsSystematicDoubles) {
+  TraceBuilder b;
+  // 6 packets, each recorded twice: once at OS time, once ~500 us later.
+  for (int i = 0; i < 6; ++i) {
+    const std::int64_t t = 10'000 * i;
+    b.data(t, 1 + 512 * i, 512);
+    b.data(t + 500, 1 + 512 * i, 512);
+  }
+  auto rep = detect_measurement_duplicates(b.build());
+  EXPECT_EQ(rep.duplicate_indices.size(), 6u);
+  // The later copy of each pair is the one flagged (odd indices).
+  for (std::size_t i = 0; i < rep.duplicate_indices.size(); ++i)
+    EXPECT_EQ(rep.duplicate_indices[i] % 2, 1u);
+}
+
+TEST(Duplication, SparseRepeatsAreRetransmissionsNotDuplicates) {
+  TraceBuilder b;
+  for (int i = 0; i < 10; ++i) b.data(10'000 * i, 1 + 512 * i, 512);
+  b.data(200'000, 1, 512);  // one genuine retransmission, 200 ms later
+  auto rep = detect_measurement_duplicates(b.build());
+  EXPECT_TRUE(rep.duplicate_indices.empty());
+}
+
+TEST(Duplication, StripRemovesExactlyTheLaterCopies) {
+  TraceBuilder b;
+  for (int i = 0; i < 6; ++i) {
+    b.data(10'000 * i, 1 + 512 * i, 512);
+    b.data(10'000 * i + 400, 1 + 512 * i, 512);
+  }
+  Trace tr = b.build();
+  auto rep = detect_measurement_duplicates(tr);
+  Trace cleaned = strip_duplicates(tr, rep);
+  EXPECT_EQ(cleaned.size(), 6u);
+  EXPECT_TRUE(detect_measurement_duplicates(cleaned).duplicate_indices.empty());
+}
+
+TEST(Duplication, RecoversBothRates) {
+  TraceBuilder b;
+  // First copies 200 us apart (2.56 MB/s of 512-byte payloads), second
+  // copies 512 us apart (1 MB/s).
+  for (int i = 0; i < 20; ++i) b.data(200 * i, 1 + 512 * i, 512);
+  for (int i = 0; i < 20; ++i) b.data(10'000 + 512 * i, 1 + 512 * i, 512);
+  Trace tr = b.build();
+  tr.stable_sort_by_timestamp();
+  auto rep = detect_measurement_duplicates(tr);
+  ASSERT_EQ(rep.duplicate_indices.size(), 20u);
+  EXPECT_NEAR(rep.first_copy_rate, 512.0 / 200e-6, 512.0 / 200e-6 * 0.1);
+  EXPECT_NEAR(rep.second_copy_rate, 512.0 / 512e-6, 1e6 * 0.1);
+}
+
+// ---------------------------------------------------------- resequencing
+
+TEST(Resequencing, DetectsDataBeforeLiberatingAck) {
+  // The local host sends beyond the offered window; the explaining ack is
+  // recorded 400 us later: the filter displaced it.
+  auto tr = TraceBuilder()
+                .ack(0, 1, 1024)
+                .data(100, 1, 512)
+                .data(200, 513, 512)
+                .data(300'000, 1025, 512)  // beyond 1 + 1024
+                .ack(300'400, 1025, 1024)  // the late-recorded liberator
+                .build();
+  auto rep = detect_resequencing(tr);
+  ASSERT_FALSE(rep.instances.empty());
+  EXPECT_EQ(rep.instances[0].kind, ResequencingKind::kDataBeforeLiberatingAck);
+  EXPECT_EQ(rep.instances[0].record_index, 4u);
+}
+
+TEST(Resequencing, CleanTraceHasNoInstances) {
+  auto tr = TraceBuilder()
+                .ack(0, 1, 4096)
+                .data(100, 1, 512)
+                .data(200, 513, 512)
+                .ack(40'000, 1025, 4096)
+                .data(40'100, 1025, 512)
+                .build();
+  EXPECT_TRUE(detect_resequencing(tr).instances.empty());
+}
+
+TEST(Resequencing, ReceiverSideAckBeforeData) {
+  TraceBuilder b(trace::LocalRole::kReceiver);
+  b.data(0, 1, 512, /*from_local=*/false);
+  b.ack(100, 513, 8192, /*from_local=*/true);
+  // Local host acks 1025 although the covering data is recorded after.
+  b.ack(50'000, 1025, 8192, /*from_local=*/true);
+  b.data(50'300, 513, 512, /*from_local=*/false);
+  auto rep = detect_resequencing(b.build());
+  ASSERT_FALSE(rep.instances.empty());
+  EXPECT_EQ(rep.instances[0].kind, ResequencingKind::kAckForDataNotYetArrived);
+  EXPECT_EQ(rep.instances[0].record_index, 2u);
+}
+
+// ---------------------------------------------------------- filter drops
+
+TEST(FilterDrops, AckForUnseenData) {
+  auto tr = TraceBuilder()
+                .data(0, 1, 512)
+                .ack(40'000, 513)
+                .ack(80'000, 2049)  // acks 1536 bytes never recorded as sent
+                .build();
+  auto rep = detect_filter_drops(tr);
+  ASSERT_FALSE(rep.findings.empty());
+  EXPECT_EQ(rep.findings[0].check, DropCheck::kAckForUnseenData);
+  EXPECT_EQ(rep.inferred_missing_bytes, 1536u);
+}
+
+TEST(FilterDrops, AckedHoleNeverSent) {
+  auto tr = TraceBuilder()
+                .data(0, 1, 512)
+                .data(100, 1025, 512)  // 513..1024 never recorded
+                .ack(40'000, 1537)
+                .build();
+  auto rep = detect_filter_drops(tr);
+  ASSERT_FALSE(rep.findings.empty());
+  EXPECT_EQ(rep.findings[0].check, DropCheck::kAckedHoleNeverSent);
+  EXPECT_EQ(rep.inferred_missing_bytes, 512u);
+}
+
+TEST(FilterDrops, GenuineNetworkLossIsNotAFilterDrop) {
+  // Data sent, lost in the network, retransmitted, then acked: complete
+  // record, nothing for the filter to answer for.
+  auto tr = TraceBuilder()
+                .data(0, 1, 512)
+                .data(100, 513, 512)
+                .ack(40'000, 513)          // second packet lost in network
+                .data(1'200'000, 513, 512) // timeout retransmission
+                .ack(1'240'000, 1025)
+                .build();
+  auto rep = detect_filter_drops(tr);
+  EXPECT_TRUE(rep.findings.empty()) << static_cast<int>(rep.findings[0].check);
+}
+
+TEST(FilterDrops, ReceiverSideLocalAckForUnseenData) {
+  TraceBuilder b(trace::LocalRole::kReceiver);
+  b.data(0, 1, 512, false);
+  b.ack(100, 513, 8192, true);
+  b.ack(40'000, 1537, 8192, true);  // 513..1536 never recorded arriving
+  auto rep = detect_filter_drops(b.build());
+  ASSERT_FALSE(rep.findings.empty());
+  EXPECT_EQ(rep.findings[0].check, DropCheck::kLocalAckForUnseenData);
+  EXPECT_EQ(rep.inferred_missing_bytes, 1024u);
+}
+
+TEST(FilterDrops, ReceiverSideAckedHoleNeverArrived) {
+  TraceBuilder b(trace::LocalRole::kReceiver);
+  b.data(0, 1, 512, false);
+  b.data(100, 1025, 512, false);  // hole 513..1024 never recorded
+  b.ack(200, 1537, 8192, true);
+  auto rep = detect_filter_drops(b.build());
+  ASSERT_FALSE(rep.findings.empty());
+  EXPECT_EQ(rep.findings[0].check, DropCheck::kAckedHoleNeverArrived);
+}
+
+TEST(FilterDrops, OfferedWindowViolationFlagged) {
+  auto tr = TraceBuilder()
+                .ack(0, 1, 1024)
+                .data(100, 1, 512)
+                .data(200, 513, 512)
+                .data(300, 1025, 512)  // 512 bytes beyond the offered window
+                .build();
+  auto rep = detect_filter_drops(tr);
+  ASSERT_FALSE(rep.findings.empty());
+  EXPECT_EQ(rep.findings[0].check, DropCheck::kOfferedWindowViolation);
+}
+
+// ----------------------------------------------------------- aggregation
+
+TEST(Calibrate, CleanSyntheticTraceTrustworthy) {
+  auto tr = TraceBuilder()
+                .ack(0, 1, 8192)
+                .data(100, 1, 512)
+                .data(200, 513, 512)
+                .ack(40'000, 1025)
+                .build();
+  auto rep = calibrate(tr);
+  EXPECT_TRUE(rep.trustworthy());
+  EXPECT_NE(rep.summary().find("trustworthy"), std::string::npos);
+}
+
+TEST(Calibrate, DropAndOrderChecksRunOnDeduplicatedView) {
+  // Duplicated trace whose deduped view is clean: calibration must not
+  // report the duplicates as drops or resequencing.
+  TraceBuilder b;
+  b.ack(0, 1, 8192);
+  for (int i = 0; i < 6; ++i) {
+    b.data(1000 * i + 100, 1 + 512 * i, 512);
+    b.data(1000 * i + 600, 1 + 512 * i, 512);
+  }
+  b.ack(40'000, 1 + 512 * 6);
+  auto rep = calibrate(b.build());
+  EXPECT_FALSE(rep.duplication.duplicate_indices.empty());
+  EXPECT_TRUE(rep.drops.findings.empty());
+  EXPECT_TRUE(rep.resequencing.instances.empty());
+  EXPECT_FALSE(rep.trustworthy());  // duplication alone makes it suspect
+}
+
+}  // namespace
+}  // namespace tcpanaly::core
+
+// Re-open the namespaces for the checks added after the original suite.
+namespace tcpanaly::core {
+namespace {
+
+TEST(FilterDrops, DupAcksWithoutCause) {
+  TraceBuilder b(trace::LocalRole::kReceiver);
+  b.data(0, 1, 512, false);
+  b.ack(100, 513, 8192, true);
+  // Three dup acks with NO inbound data recorded in between: the
+  // out-of-order arrivals that elicited them were dropped by the filter.
+  b.ack(10'000, 513, 8192, true);
+  b.ack(11'000, 513, 8192, true);
+  b.ack(12'000, 513, 8192, true);
+  auto rep = detect_filter_drops(b.build());
+  bool found = false;
+  for (const auto& f : rep.findings)
+    if (f.check == DropCheck::kDupAcksWithoutCause) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(FilterDrops, DupAcksWithRecordedCauseAreFine) {
+  TraceBuilder b(trace::LocalRole::kReceiver);
+  b.data(0, 1, 512, false);
+  b.ack(100, 513, 8192, true);
+  // Each dup ack preceded by the out-of-order arrival that elicited it.
+  b.data(10'000, 1025, 512, false);
+  b.ack(10'100, 513, 8192, true);
+  b.data(11'000, 1537, 512, false);
+  b.ack(11'100, 513, 8192, true);
+  b.data(12'000, 2049, 512, false);
+  b.ack(12'100, 513, 8192, true);
+  auto rep = detect_filter_drops(b.build());
+  for (const auto& f : rep.findings)
+    EXPECT_NE(f.check, DropCheck::kDupAcksWithoutCause);
+}
+
+TEST(FilterDrops, DropCheckNamesAreStable) {
+  EXPECT_STREQ(to_string(DropCheck::kAckForUnseenData), "ack-for-unseen-data");
+  EXPECT_STREQ(to_string(DropCheck::kCongestionWindowViolation),
+               "congestion-window-violation");
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

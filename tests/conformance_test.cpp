@@ -1,0 +1,162 @@
+// Conformance checker tests: each implementation's known violations must
+// show up as FAILs under the conditions that exercise them, and compliant
+// stacks must pass cleanly.
+#include <gtest/gtest.h>
+
+#include "core/conformance.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+Verdict verdict_of(const ConformanceReport& rep, const std::string& needle) {
+  for (const auto& c : rep.checks)
+    if (c.requirement.find(needle) != std::string::npos) return c.verdict;
+  ADD_FAILURE() << "no check matching '" << needle << "'";
+  return Verdict::kNotExercised;
+}
+
+tcp::SessionResult run(const tcp::TcpProfile& impl,
+                       std::function<void(tcp::SessionConfig&)> mutate = {},
+                       std::uint64_t seed = 1) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = impl;
+  cfg.receiver_profile = impl;
+  cfg.seed = seed;
+  if (mutate) mutate(cfg);
+  return tcp::run_session(cfg);
+}
+
+TEST(Conformance, CleanRenoSenderPasses) {
+  auto r = run(tcp::generic_reno(), [](tcp::SessionConfig& c) {
+    c.fwd_path.loss_prob = 0.02;
+  });
+  auto rep = check_conformance(r.sender_trace);
+  EXPECT_EQ(rep.failures(), 0u) << rep.render();
+  EXPECT_EQ(verdict_of(rep, "slow start"), Verdict::kPass);
+  EXPECT_EQ(verdict_of(rep, "offered window"), Verdict::kPass);
+}
+
+TEST(Conformance, Net3BurstFailsSlowStart) {
+  auto r = run(*tcp::find_profile("BSDI"), [](tcp::SessionConfig& c) {
+    c.receiver.omit_mss_option = true;
+  });
+  auto rep = check_conformance(r.sender_trace);
+  EXPECT_EQ(verdict_of(rep, "slow start"), Verdict::kFail) << rep.render();
+}
+
+TEST(Conformance, TrumpetFailsSlowStart) {
+  auto r = run(*tcp::find_profile("Trumpet/Winsock"));
+  auto rep = check_conformance(r.sender_trace);
+  EXPECT_EQ(verdict_of(rep, "slow start"), Verdict::kFail) << rep.render();
+}
+
+TEST(Conformance, SolarisPrematureRetransmissionFails) {
+  auto r = run(*tcp::find_profile("Solaris 2.4"), [](tcp::SessionConfig& c) {
+    c.fwd_path.prop_delay = util::Duration::millis(340);
+    c.rev_path.prop_delay = util::Duration::millis(340);
+  });
+  auto rep = check_conformance(r.sender_trace);
+  EXPECT_EQ(verdict_of(rep, "premature"), Verdict::kFail) << rep.render();
+}
+
+TEST(Conformance, BsdTimerPassesPrematureCheckUnderLoss) {
+  auto r = run(tcp::generic_reno(),
+               [](tcp::SessionConfig& c) { c.fwd_path.loss_prob = 0.03; }, 7);
+  auto rep = check_conformance(r.sender_trace);
+  const Verdict v = verdict_of(rep, "premature");
+  EXPECT_NE(v, Verdict::kFail) << rep.render();
+}
+
+TEST(Conformance, LinuxStormFailsRestartFlight) {
+  auto r = run(*tcp::find_profile("Linux 1.0"), [](tcp::SessionConfig& c) {
+    c.fwd_path.loss_prob = 0.04;
+    c.fwd_path.prop_delay = util::Duration::millis(80);
+    c.rev_path.prop_delay = util::Duration::millis(80);
+  }, 3);
+  auto rep = check_conformance(r.sender_trace);
+  EXPECT_EQ(verdict_of(rep, "conservative restart"), Verdict::kFail) << rep.render();
+}
+
+TEST(Conformance, BackoffExercisedOnDeadPath) {
+  // Kill the forward path mid-transfer: repeated timeouts of one segment.
+  auto r = run(tcp::generic_reno(), [](tcp::SessionConfig& c) {
+    for (std::uint64_t n = 40; n < 400; ++n) c.fwd_path.drop_nth.push_back(n);
+    c.time_limit = util::Duration::seconds(120.0);
+  });
+  auto rep = check_conformance(r.sender_trace);
+  EXPECT_EQ(verdict_of(rep, "backs off"), Verdict::kPass) << rep.render();
+}
+
+TEST(Conformance, ReceiverPolicyChecks) {
+  auto bsd = run(tcp::generic_reno());
+  auto rep = check_conformance(bsd.receiver_trace);
+  EXPECT_EQ(rep.failures(), 0u) << rep.render();
+  EXPECT_EQ(verdict_of(rep, "ack delay"), Verdict::kPass);
+  EXPECT_EQ(verdict_of(rep, "every 2 full-sized"), Verdict::kPass);
+}
+
+TEST(Conformance, StretchAckBugFailsTwoSegmentRule) {
+  tcp::TcpProfile p = *tcp::find_profile("Solaris 2.3");
+  p.stretch_ack_every = 1;  // make the 2.3 bug fire constantly
+  auto r = run(p);
+  auto rep = check_conformance(r.receiver_trace);
+  EXPECT_EQ(verdict_of(rep, "every 2 full-sized"), Verdict::kFail) << rep.render();
+}
+
+TEST(Conformance, OutOfOrderDupAckCheckExercised) {
+  auto r = run(tcp::generic_reno(),
+               [](tcp::SessionConfig& c) { c.fwd_path.loss_prob = 0.03; }, 5);
+  auto rep = check_conformance(r.receiver_trace);
+  EXPECT_EQ(verdict_of(rep, "out-of-order"), Verdict::kPass) << rep.render();
+}
+
+TEST(Conformance, CleanShortTraceLeavesChecksUnexercised) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  auto r = tcp::run_session(cfg);
+  auto rep = check_conformance(r.sender_trace);
+  EXPECT_EQ(verdict_of(rep, "backs off"), Verdict::kNotExercised);
+  EXPECT_EQ(verdict_of(rep, "premature"), Verdict::kNotExercised);
+  EXPECT_EQ(rep.failures(), 0u) << rep.render();
+}
+
+TEST(Conformance, RenderIncludesVerdicts) {
+  auto r = run(tcp::generic_reno());
+  auto rep = check_conformance(r.sender_trace);
+  const std::string out = rep.render();
+  EXPECT_NE(out.find("PASS"), std::string::npos);
+  EXPECT_NE(out.find("slow start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcpanaly::core
+
+namespace tcpanaly::core {
+namespace {
+
+TEST(Conformance, RstOnAbandonChecked) {
+  auto dead_path = [](tcp::SessionConfig& c) {
+    for (std::uint64_t n = 40; n < 400; ++n) c.fwd_path.drop_nth.push_back(n);
+    c.sender.max_data_retries = 5;
+    c.time_limit = util::Duration::seconds(240.0);
+  };
+  auto bsd = run(tcp::generic_reno(), dead_path);
+  auto rep = check_conformance(bsd.sender_trace);
+  EXPECT_EQ(verdict_of(rep, "RST"), Verdict::kPass) << rep.render();
+
+  auto trumpet = run(*tcp::find_profile("Trumpet/Winsock"), dead_path);
+  auto trep = check_conformance(trumpet.sender_trace);
+  EXPECT_EQ(verdict_of(trep, "RST"), Verdict::kFail) << trep.render();
+}
+
+TEST(Conformance, RstCheckNotExercisedOnCleanTransfer) {
+  auto r = run(tcp::generic_reno());
+  auto rep = check_conformance(r.sender_trace);
+  EXPECT_EQ(verdict_of(rep, "RST"), Verdict::kNotExercised);
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

@@ -1,0 +1,93 @@
+// Heterogeneous endpoints: the paper's transfers ran between different
+// operating systems, so the analyzer must identify a sender regardless of
+// which stack acks it, and a receiver regardless of which stack feeds it.
+// Also sweeps MSS choices beyond the default 512.
+#include <gtest/gtest.h>
+
+#include "core/matcher.hpp"
+#include "core/receiver_analyzer.hpp"
+#include "core/sender_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+namespace tcpanaly {
+namespace {
+
+struct Pairing {
+  const char* sender;
+  const char* receiver;
+};
+
+class HeterogeneousPairs : public ::testing::TestWithParam<Pairing> {};
+
+TEST_P(HeterogeneousPairs, SenderIdentifiedRegardlessOfPeer) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile(GetParam().sender);
+  cfg.receiver_profile = *tcp::find_profile(GetParam().receiver);
+  cfg.fwd_path.loss_prob = 0.02;
+  cfg.seed = 17;
+  auto r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  auto rep = core::SenderAnalyzer(cfg.sender_profile).analyze(r.sender_trace);
+  EXPECT_TRUE(rep.violations.empty())
+      << GetParam().sender << " vs " << GetParam().receiver;
+  EXPECT_EQ(rep.unexplained_retransmissions, 0u);
+  auto match = core::match_implementations(r.sender_trace, tcp::all_profiles());
+  EXPECT_TRUE(match.identifies(GetParam().sender)) << match.render();
+}
+
+TEST_P(HeterogeneousPairs, ReceiverIdentifiedRegardlessOfPeer) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile(GetParam().sender);
+  cfg.receiver_profile = *tcp::find_profile(GetParam().receiver);
+  // Slow link so delayed-ack machinery is visible.
+  cfg.fwd_path.rate_bytes_per_sec = 9'000.0;
+  cfg.rev_path.rate_bytes_per_sec = 9'000.0;
+  cfg.sender.transfer_bytes = 24 * 1024;
+  cfg.receiver.heartbeat_phase = util::Duration::millis(70);
+  cfg.seed = 4;
+  cfg.time_limit = util::Duration::seconds(300.0);
+  auto r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  auto rep = core::ReceiverAnalyzer(cfg.receiver_profile).analyze(r.receiver_trace);
+  EXPECT_EQ(rep.policy_violations, 0u)
+      << GetParam().sender << " feeds " << GetParam().receiver;
+  EXPECT_FALSE(rep.distribution_mismatch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, HeterogeneousPairs,
+    ::testing::Values(Pairing{"Solaris 2.4", "BSDI"}, Pairing{"Linux 1.0", "Solaris 2.4"},
+                      Pairing{"BSDI", "Linux 1.0"}, Pairing{"SunOS 4.1", "Solaris 2.3"},
+                      Pairing{"HP/UX", "SunOS 4.1"}),
+    [](const ::testing::TestParamInfo<Pairing>& info) {
+      std::string name = std::string(info.param.sender) + "_to_" + info.param.receiver;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+class MssSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MssSweep, AnalysisHoldsAcrossSegmentSizes) {
+  const std::uint32_t mss = GetParam();
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.sender.offered_mss = mss;
+  cfg.receiver.mss_to_offer = static_cast<std::uint16_t>(mss);
+  cfg.fwd_path.loss_prob = 0.02;
+  cfg.seed = 6;
+  auto r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed) << mss;
+  EXPECT_EQ(r.receiver_stats.bytes_delivered, 100u * 1024u);
+  auto rep = core::SenderAnalyzer(tcp::generic_reno()).analyze(r.sender_trace);
+  EXPECT_EQ(rep.mss, mss);
+  EXPECT_TRUE(rep.violations.empty()) << "mss " << mss;
+  EXPECT_EQ(rep.unexplained_retransmissions, 0u) << "mss " << mss;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MssSweep, ::testing::Values(256u, 536u, 1024u, 1460u));
+
+}  // namespace
+}  // namespace tcpanaly

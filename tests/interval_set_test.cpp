@@ -1,0 +1,124 @@
+// Unit tests for the sequence-interval set used by calibration and
+// receiver analysis, including wrap-around behavior.
+#include <gtest/gtest.h>
+
+#include "core/interval_set.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+TEST(SeqIntervalSet, EmptyBasics) {
+  SeqIntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.covered_bytes(), 0u);
+  EXPECT_EQ(set.missing_in(10, 20), 10u);
+  EXPECT_FALSE(set.covers(10, 20));
+}
+
+TEST(SeqIntervalSet, InsertAndQuery) {
+  SeqIntervalSet set;
+  set.insert(100, 200);
+  EXPECT_EQ(set.covered_bytes(), 100u);
+  EXPECT_TRUE(set.covers(100, 200));
+  EXPECT_TRUE(set.covers(120, 180));
+  EXPECT_FALSE(set.covers(100, 201));
+  EXPECT_EQ(set.missing_in(50, 250), 100u);
+}
+
+TEST(SeqIntervalSet, MergesAdjacentAndOverlapping) {
+  SeqIntervalSet set;
+  set.insert(100, 200);
+  set.insert(200, 300);  // adjacent
+  set.insert(150, 250);  // overlapping
+  EXPECT_EQ(set.covered_bytes(), 200u);
+  EXPECT_TRUE(set.covers(100, 300));
+}
+
+TEST(SeqIntervalSet, DisjointIntervals) {
+  SeqIntervalSet set;
+  set.insert(100, 200);
+  set.insert(400, 500);
+  EXPECT_EQ(set.covered_bytes(), 200u);
+  EXPECT_EQ(set.missing_in(100, 500), 200u);
+  EXPECT_FALSE(set.covers(150, 450));
+}
+
+TEST(SeqIntervalSet, InsertSpanningManyIntervals) {
+  SeqIntervalSet set;
+  set.insert(10, 20);
+  set.insert(30, 40);
+  set.insert(50, 60);
+  set.insert(15, 55);
+  EXPECT_TRUE(set.covers(10, 60));
+  EXPECT_EQ(set.covered_bytes(), 50u);
+}
+
+TEST(SeqIntervalSet, EmptyInsertIgnored) {
+  SeqIntervalSet set;
+  set.insert(10, 10);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(SeqIntervalSet, WrapAroundSequenceSpace) {
+  SeqIntervalSet set;
+  const trace::SeqNum near_top = 0xfffffff0u;
+  set.insert(near_top, near_top + 0x20);  // wraps past zero
+  EXPECT_EQ(set.covered_bytes(), 0x20u);
+  EXPECT_TRUE(set.covers(near_top + 0x08, near_top + 0x18));
+  EXPECT_EQ(set.max_end(), near_top + 0x20);
+}
+
+TEST(SeqIntervalSet, EraseSplitsInterval) {
+  SeqIntervalSet set;
+  set.insert(100, 200);
+  set.erase(140, 160);
+  EXPECT_EQ(set.covered_bytes(), 80u);
+  EXPECT_TRUE(set.covers(100, 140));
+  EXPECT_TRUE(set.covers(160, 200));
+  EXPECT_FALSE(set.covers(139, 141));
+}
+
+TEST(SeqIntervalSet, EraseEdgesAndWholeIntervals) {
+  SeqIntervalSet set;
+  set.insert(100, 200);
+  set.insert(300, 400);
+  set.erase(150, 350);
+  EXPECT_TRUE(set.covers(100, 150));
+  EXPECT_TRUE(set.covers(350, 400));
+  EXPECT_EQ(set.covered_bytes(), 100u);
+  set.erase(0, 1000);
+  EXPECT_EQ(set.covered_bytes(), 0u);
+}
+
+TEST(SeqIntervalSet, ContiguousEnd) {
+  SeqIntervalSet set;
+  set.insert(100, 200);
+  set.insert(200, 250);
+  set.insert(300, 400);
+  EXPECT_EQ(set.contiguous_end(100), 250u);
+  EXPECT_EQ(set.contiguous_end(150), 250u);
+  EXPECT_EQ(set.contiguous_end(250), 250u);  // not covered: stays put
+  EXPECT_EQ(set.contiguous_end(260), 260u);
+  EXPECT_EQ(set.contiguous_end(300), 400u);
+}
+
+TEST(SeqIntervalSet, ContiguousEndAfterHoleFill) {
+  SeqIntervalSet set;
+  set.insert(100, 150);
+  set.insert(200, 250);
+  EXPECT_EQ(set.contiguous_end(100), 150u);
+  set.insert(150, 200);  // fill the hole
+  EXPECT_EQ(set.contiguous_end(100), 250u);
+}
+
+TEST(SeqIntervalSet, MissingInPartialOverlap) {
+  SeqIntervalSet set;
+  set.insert(100, 200);
+  EXPECT_EQ(set.missing_in(150, 250), 50u);
+  EXPECT_EQ(set.missing_in(50, 150), 50u);
+  EXPECT_EQ(set.missing_in(200, 300), 100u);
+  EXPECT_EQ(set.missing_in(150, 150), 0u);
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

@@ -1,0 +1,240 @@
+// Matcher + corpus integration: identification across path conditions,
+// fit-class semantics, pcap round-trip analysis, vantage-race robustness.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/analyze.hpp"
+#include "corpus/corpus.hpp"
+#include "tcp/profiles.hpp"
+#include "trace/pcap_io.hpp"
+
+namespace tcpanaly {
+namespace {
+
+using core::FitClass;
+
+TEST(Profiles, RegistryLookup) {
+  EXPECT_TRUE(tcp::find_profile("Solaris 2.4").has_value());
+  EXPECT_TRUE(tcp::find_profile("Generic Tahoe").has_value());
+  EXPECT_FALSE(tcp::find_profile("Windows 3.1").has_value());
+  EXPECT_EQ(tcp::main_study_profiles().size(), 9u);
+  EXPECT_EQ(tcp::all_profiles().size(), 14u);
+}
+
+TEST(Profiles, LineagesMatchTable1) {
+  EXPECT_EQ(tcp::find_profile("SunOS 4.1")->lineage, tcp::Lineage::kTahoe);
+  EXPECT_EQ(tcp::find_profile("BSDI")->lineage, tcp::Lineage::kReno);
+  EXPECT_EQ(tcp::find_profile("Linux 1.0")->lineage, tcp::Lineage::kIndependent);
+  EXPECT_EQ(tcp::find_profile("Solaris 2.3")->lineage, tcp::Lineage::kIndependent);
+}
+
+TEST(Corpus, SessionConfigWiresProfileAndPath) {
+  corpus::ScenarioParams p;
+  p.loss_prob = 0.05;
+  p.one_way_delay = util::Duration::millis(99);
+  p.rate_bytes_per_sec = 250'000.0;
+  p.seed = 7;
+  auto cfg = corpus::make_session(*tcp::find_profile("IRIX"), p);
+  EXPECT_EQ(cfg.sender_profile.name, "IRIX");
+  EXPECT_EQ(cfg.fwd_path.loss_prob, 0.05);
+  EXPECT_EQ(cfg.fwd_path.prop_delay, util::Duration::millis(99));
+  EXPECT_EQ(cfg.seed, 7u);
+}
+
+TEST(Corpus, GeneratesFullGrid) {
+  corpus::CorpusOptions opts;
+  opts.loss_probs = {0.0, 0.02};
+  opts.one_way_delays = {util::Duration::millis(20)};
+  opts.rates = {1'000'000.0};
+  opts.seeds_per_cell = 2;
+  auto entries = corpus::generate_corpus(tcp::generic_reno(), opts);
+  ASSERT_EQ(entries.size(), 4u);
+  for (const auto& e : entries) {
+    EXPECT_TRUE(e.result.completed) << e.params.label();
+    EXPECT_EQ(e.impl_name, "Generic Reno");
+  }
+  // Distinct seeds produce distinct traces.
+  EXPECT_NE(entries[0].result.sender_trace.size() +
+                entries[0].result.sender_trace[4].timestamp.count(),
+            entries[1].result.sender_trace.size() +
+                entries[1].result.sender_trace[4].timestamp.count());
+}
+
+TEST(Matcher, RendersAllCandidates) {
+  corpus::ScenarioParams p;
+  p.seed = 3;
+  auto r = tcp::run_session(corpus::make_session(tcp::generic_reno(), p));
+  auto match = core::match_implementations(r.sender_trace, tcp::all_profiles());
+  EXPECT_EQ(match.fits.size(), tcp::all_profiles().size());
+  const std::string out = match.render();
+  for (const auto& prof : tcp::all_profiles())
+    EXPECT_NE(out.find(prof.name), std::string::npos) << prof.name;
+  // Sorted: no fit may be better-classed than its predecessor.
+  for (std::size_t i = 1; i < match.fits.size(); ++i)
+    EXPECT_LE(static_cast<int>(match.fits[i - 1].fit),
+              static_cast<int>(match.fits[i].fit));
+}
+
+TEST(Matcher, ReceiverSideUsesAckPolicies) {
+  corpus::ScenarioParams p;
+  p.seed = 5;
+  p.rate_bytes_per_sec = 9'000.0;  // slow link: delayed acks aplenty
+  p.transfer_bytes = 24 * 1024;
+  auto r = tcp::run_session(corpus::make_session(*tcp::find_profile("Solaris 2.4"), p));
+  auto match = core::match_implementations(r.receiver_trace, tcp::all_profiles());
+  EXPECT_EQ(match.role, trace::LocalRole::kReceiver);
+  EXPECT_TRUE(match.identifies("Solaris 2.4")) << match.render();
+  // The BSD heartbeat family must NOT be a close fit for a 50 ms cluster.
+  for (const auto& fit : match.fits) {
+    if (fit.profile.name == "BSDI") {
+      EXPECT_NE(fit.fit, FitClass::kClose) << match.render();
+    }
+  }
+}
+
+TEST(Matcher, VantageRaceDoesNotBreakTrueProfile) {
+  // Sluggish host + loss: retransmission decisions race recorded acks.
+  // The true profile must stay violation-free; the single-state ablation
+  // must not (this is Figure 2's quantitative content).
+  std::size_t naive_violations = 0;
+  for (std::uint64_t seed : {6, 10, 35}) {
+    tcp::SessionConfig cfg = tcp::default_session();
+    cfg.sender_profile = tcp::generic_reno();
+    cfg.receiver_profile = cfg.sender_profile;
+    cfg.sender_proc_delay = util::Duration::millis(4);
+    cfg.fwd_path.loss_prob = 0.04;
+    cfg.seed = seed;
+    auto r = tcp::run_session(cfg);
+    ASSERT_TRUE(r.completed);
+    auto rep = core::SenderAnalyzer(tcp::generic_reno()).analyze(r.sender_trace);
+    EXPECT_TRUE(rep.violations.empty()) << "seed " << seed;
+
+    core::SenderAnalysisOptions naive;
+    naive.single_liberation = true;
+    naive.vantage_grace = util::Duration::zero();
+    naive_violations +=
+        core::SenderAnalyzer(tcp::generic_reno(), naive).analyze(r.sender_trace)
+            .violations.size();
+  }
+  EXPECT_GT(naive_violations, 0u);
+}
+
+TEST(Analyze, PcapRoundTripPreservesIdentification) {
+  corpus::ScenarioParams p;
+  p.loss_prob = 0.02;
+  p.seed = 9;
+  auto r = tcp::run_session(corpus::make_session(*tcp::find_profile("SunOS 4.1"), p));
+  std::stringstream buf;
+  trace::write_pcap(buf, r.sender_trace);
+  auto loaded = trace::read_pcap(buf, /*local_is_sender=*/true);
+  auto analysis = core::analyze_trace(loaded.trace);
+  EXPECT_TRUE(analysis.calibration.trustworthy());
+  EXPECT_TRUE(analysis.match.identifies("SunOS 4.1")) << analysis.match.render();
+}
+
+TEST(Analyze, DuplicatedTraceCleanedBeforeMatching) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("IRIX");
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.sender_filter.irix_double_copy = true;
+  cfg.fwd_path.loss_prob = 0.01;
+  cfg.seed = 12;
+  auto r = tcp::run_session(cfg);
+  auto analysis = core::analyze_trace(r.sender_trace);
+  EXPECT_FALSE(analysis.calibration.duplication.duplicate_indices.empty());
+  EXPECT_LT(analysis.cleaned.size(), r.sender_trace.size());
+  EXPECT_TRUE(analysis.match.identifies("IRIX")) << analysis.match.render();
+}
+
+TEST(Analyze, TraceWithFilterDropsStillMostlyAnalyzable) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.sender_filter.drop_prob = 0.03;
+  cfg.seed = 8;
+  auto r = tcp::run_session(cfg);
+  auto analysis = core::analyze_trace(r.sender_trace);
+  EXPECT_FALSE(analysis.calibration.trustworthy());
+  EXPECT_TRUE(analysis.calibration.drops.drops_detected());
+}
+
+}  // namespace
+}  // namespace tcpanaly
+
+namespace tcpanaly {
+namespace {
+
+TEST(ModelAwareDrops, AckDropsSurfaceAsCwndViolations) {
+  // Drop a couple of inbound ack records at the filter: the sender's
+  // subsequent (legitimate) sends exceed the window computable from the
+  // recorded acks, and the implementation-aware check blames the filter.
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.sender_filter.drop_prob = 0.06;
+  cfg.seed = 21;
+  auto r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.sender_filter_drops, 0u);
+  auto generic = core::detect_filter_drops(r.sender_trace);
+  auto model = core::infer_drops_from_model(r.sender_trace, tcp::generic_reno());
+  // Together the checks must notice the damaged measurement.
+  EXPECT_TRUE(generic.drops_detected() || model.drops_detected());
+}
+
+TEST(ModelAwareDrops, WrongModelStaysSilent) {
+  // A wrong candidate's violations say nothing about the filter: the
+  // check must refuse to blame the measurement.
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.seed = 22;
+  auto r = tcp::run_session(cfg);
+  auto model = core::infer_drops_from_model(r.sender_trace, *tcp::find_profile("Linux 1.0"));
+  EXPECT_FALSE(model.drops_detected());
+}
+
+TEST(ModelAwareDrops, CleanTraceYieldsNothing) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.seed = 23;
+  auto r = tcp::run_session(cfg);
+  auto model = core::infer_drops_from_model(r.sender_trace, tcp::generic_reno());
+  EXPECT_FALSE(model.drops_detected());
+}
+
+}  // namespace
+}  // namespace tcpanaly
+
+namespace tcpanaly {
+namespace {
+
+TEST(Profiles, RegistryInvariants) {
+  const auto all = tcp::all_profiles();
+  // Unique, non-empty names and versions; lookup round-trips.
+  std::set<std::string> names;
+  for (const auto& p : all) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.versions.empty());
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate: " << p.name;
+    auto found = tcp::find_profile(p.name);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, p);
+  }
+  // Main-study and follow-up sets are disjoint subsets of the registry.
+  for (const auto& p : tcp::main_study_profiles())
+    EXPECT_TRUE(names.count(p.name)) << p.name;
+  for (const auto& p : tcp::followup_profiles())
+    EXPECT_TRUE(names.count(p.name)) << p.name;
+}
+
+TEST(Profiles, ExperimentalRouteCacheParameterized) {
+  EXPECT_EQ(tcp::experimental_route_cache(4).initial_ssthresh_segments, 4u);
+  EXPECT_EQ(tcp::experimental_route_cache().initial_ssthresh_segments, 6u);
+}
+
+}  // namespace
+}  // namespace tcpanaly

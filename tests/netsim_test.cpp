@@ -1,0 +1,473 @@
+// Unit tests for the simulator substrate: event loop ordering and
+// cancellation, measurement clocks, path queueing/impairments, and the
+// packet-filter tap's error models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/clock.hpp"
+#include "netsim/event_loop.hpp"
+#include "netsim/path.hpp"
+#include "netsim/tap.hpp"
+
+namespace tcpanaly::sim {
+namespace {
+
+// ----------------------------------------------------------- event loop
+
+TEST(EventLoop, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(TimePoint(300), [&] { order.push_back(3); });
+  loop.schedule_at(TimePoint(100), [&] { order.push_back(1); });
+  loop.schedule_at(TimePoint(200), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), TimePoint(300));
+}
+
+TEST(EventLoop, FifoAmongEqualTimes) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    loop.schedule_at(TimePoint(50), [&order, i] { order.push_back(i); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  const EventId id = loop.schedule_at(TimePoint(10), [&] { ++fired; });
+  loop.schedule_at(TimePoint(20), [&] { ++fired; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // double cancel
+  loop.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, PastSchedulesClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(TimePoint(100), [] {});
+  loop.run();
+  TimePoint when;
+  loop.schedule_at(TimePoint(10), [&] { when = loop.now(); });
+  loop.run();
+  EXPECT_EQ(when, TimePoint(100));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(TimePoint(100), [&] { ++fired; });
+  loop.schedule_at(TimePoint(300), [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(TimePoint(200)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), TimePoint(200));
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(Duration::micros(10), recurse);
+  };
+  loop.schedule_at(TimePoint(0), recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), TimePoint(40));
+}
+
+TEST(EventLoop, RunRespectsLimit) {
+  EventLoop loop;
+  std::function<void()> forever = [&] { loop.schedule_after(Duration::micros(1), forever); };
+  loop.schedule_at(TimePoint(0), forever);
+  EXPECT_EQ(loop.run(100), 100u);
+}
+
+// ---------------------------------------------------------------- clock
+
+TEST(MeasurementClock, IdentityByDefault) {
+  MeasurementClock clock;
+  EXPECT_EQ(clock.read(TimePoint(123456)), TimePoint(123456));
+}
+
+TEST(MeasurementClock, OffsetAndSkew) {
+  MeasurementClock clock;
+  clock.set_offset(util::Duration::millis(5));
+  clock.set_skew_ppm(100.0);  // +100 us per second
+  EXPECT_EQ(clock.read(TimePoint(0)), TimePoint(5000));
+  EXPECT_EQ(clock.read(TimePoint(1'000'000)), TimePoint(1'005'100));
+}
+
+TEST(MeasurementClock, BackwardStepCausesTimeTravel) {
+  MeasurementClock clock;
+  clock.add_step(TimePoint(500), util::Duration::micros(-200));
+  const TimePoint before = clock.read(TimePoint(499));
+  const TimePoint after = clock.read(TimePoint(501));
+  EXPECT_GT(before, after);  // the clock jumped backwards
+  EXPECT_EQ(after, TimePoint(301));
+}
+
+TEST(MeasurementClock, StepsAccumulate) {
+  MeasurementClock clock;
+  clock.add_step(TimePoint(100), util::Duration::micros(10));
+  clock.add_step(TimePoint(200), util::Duration::micros(20));
+  EXPECT_EQ(clock.read(TimePoint(150)), TimePoint(160));
+  EXPECT_EQ(clock.read(TimePoint(250)), TimePoint(280));
+}
+
+// ----------------------------------------------------------------- path
+
+SimPacket packet(std::uint32_t len, std::uint64_t id = 1) {
+  SimPacket pkt;
+  pkt.src = {0x0a000001, 1};
+  pkt.dst = {0x0a000002, 2};
+  pkt.tcp.payload_len = len;
+  pkt.id = id;
+  return pkt;
+}
+
+TEST(Path, DeliversAfterSerializationAndPropagation) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.rate_bytes_per_sec = 54'000.0;  // 1 ms per 54-byte header-only frame
+  cfg.prop_delay = Duration::millis(10);
+  Path path(loop, cfg, util::Rng(1));
+  TimePoint arrival;
+  path.set_deliver([&](const SimPacket&, TimePoint at) { arrival = at; });
+  path.send(packet(0));  // 54-byte wire frame
+  loop.run();
+  EXPECT_EQ(arrival, TimePoint(11'000));
+  EXPECT_EQ(path.delivered_count(), 1u);
+}
+
+TEST(Path, BackToBackFramesQueueOnLink) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.rate_bytes_per_sec = 54'000.0;
+  cfg.prop_delay = Duration::zero();
+  Path path(loop, cfg, util::Rng(1));
+  std::vector<TimePoint> arrivals;
+  path.set_deliver([&](const SimPacket&, TimePoint at) { arrivals.push_back(at); });
+  path.send(packet(0, 1));
+  path.send(packet(0, 2));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], Duration::millis(1));
+}
+
+TEST(Path, TransmitObserverSeesHandoffAndDeparture) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.rate_bytes_per_sec = 54'000.0;
+  Path path(loop, cfg, util::Rng(1));
+  std::vector<TransmitEvent> events;
+  path.set_transmit_observer([&](const TransmitEvent& ev) { events.push_back(ev); });
+  path.send(packet(0, 1));
+  path.send(packet(0, 2));
+  loop.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].handoff, TimePoint(0));
+  EXPECT_EQ(events[0].wire_depart, TimePoint(1000));
+  EXPECT_EQ(events[1].handoff, TimePoint(0));
+  EXPECT_EQ(events[1].wire_depart, TimePoint(2000));
+}
+
+TEST(Path, ForcedDropsHitExactPackets) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.rate_bytes_per_sec = 0;
+  cfg.drop_nth = {1};
+  Path path(loop, cfg, util::Rng(1));
+  std::vector<std::uint64_t> ids;
+  path.set_deliver([&](const SimPacket& pkt, TimePoint) { ids.push_back(pkt.id); });
+  for (std::uint64_t i = 0; i < 3; ++i) path.send(packet(10, 100 + i));
+  loop.run();
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{100, 102}));
+  EXPECT_EQ(path.random_drops(), 1u);
+}
+
+TEST(Path, ForcedCorruptionMarksPacket) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.corrupt_nth = {0};
+  Path path(loop, cfg, util::Rng(1));
+  std::vector<bool> corrupt;
+  path.set_deliver([&](const SimPacket& pkt, TimePoint) { corrupt.push_back(pkt.corrupted); });
+  path.send(packet(10, 1));
+  path.send(packet(10, 2));
+  loop.run();
+  EXPECT_EQ(corrupt, (std::vector<bool>{true, false}));
+  EXPECT_EQ(path.corrupted_count(), 1u);
+}
+
+TEST(Path, RandomLossApproximatesRate) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.rate_bytes_per_sec = 0;
+  cfg.loss_prob = 0.2;
+  Path path(loop, cfg, util::Rng(99));
+  int delivered = 0;
+  path.set_deliver([&](const SimPacket&, TimePoint) { ++delivered; });
+  for (int i = 0; i < 2000; ++i) path.send(packet(10));
+  loop.run();
+  EXPECT_NEAR(delivered / 2000.0, 0.8, 0.03);
+}
+
+TEST(Path, DuplicationDeliversTwice) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.dup_prob = 1.0;
+  Path path(loop, cfg, util::Rng(1));
+  int delivered = 0;
+  path.set_deliver([&](const SimPacket&, TimePoint) { ++delivered; });
+  path.send(packet(10));
+  loop.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(path.duplicated_count(), 1u);
+}
+
+TEST(Path, BottleneckTailDropsWhenQueueFull) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.rate_bytes_per_sec = 0;  // hand-off straight to the bottleneck
+  cfg.bottleneck_rate_bytes_per_sec = 54'000.0;
+  cfg.bottleneck_queue_limit = 3;
+  cfg.prop_delay = Duration::zero();
+  Path path(loop, cfg, util::Rng(1));
+  int delivered = 0;
+  path.set_deliver([&](const SimPacket&, TimePoint) { ++delivered; });
+  for (int i = 0; i < 10; ++i) path.send(packet(0));
+  loop.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(path.queue_drops(), 7u);
+}
+
+TEST(Path, BottleneckDrainsOverTime) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.rate_bytes_per_sec = 0;
+  cfg.bottleneck_rate_bytes_per_sec = 54'000.0;
+  cfg.bottleneck_queue_limit = 3;
+  cfg.prop_delay = Duration::zero();
+  Path path(loop, cfg, util::Rng(1));
+  int delivered = 0;
+  path.set_deliver([&](const SimPacket&, TimePoint) { ++delivered; });
+  path.send(packet(0));
+  path.send(packet(0));
+  loop.run();
+  // Queue drained; further sends are accepted again.
+  loop.schedule_at(loop.now() + Duration::millis(10), [&] { path.send(packet(0)); });
+  loop.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(path.queue_drops(), 0u);
+}
+
+// ----------------------------------------------------------------- tap
+
+trace::Trace make_target() {
+  trace::Trace tr;
+  tr.meta().local = {0x0a000001, 1};
+  tr.meta().remote = {0x0a000002, 2};
+  return tr;
+}
+
+TEST(FilterTap, RecordsOutboundAtHandoff) {
+  EventLoop loop;
+  trace::Trace out = make_target();
+  FilterTap tap(loop, {}, util::Rng(1), &out);
+  TransmitEvent ev;
+  ev.packet = packet(100);
+  ev.handoff = TimePoint(1000);
+  ev.wire_depart = TimePoint(3000);
+  tap.observe_transmit(ev);
+  loop.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].timestamp, TimePoint(1000));  // BPF hooks before the queue
+  EXPECT_EQ(*out[0].truth_wire_time, TimePoint(3000));
+}
+
+TEST(FilterTap, IrixModeRecordsTwice) {
+  EventLoop loop;
+  trace::Trace out = make_target();
+  FilterConfig cfg;
+  cfg.irix_double_copy = true;
+  cfg.irix_os_rate_bytes_per_sec = 0;  // first copy exactly at hand-off
+  FilterTap tap(loop, cfg, util::Rng(1), &out);
+  TransmitEvent ev;
+  ev.packet = packet(100);
+  ev.handoff = TimePoint(1000);
+  ev.wire_depart = TimePoint(3000);
+  tap.observe_transmit(ev);
+  loop.run();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].timestamp, TimePoint(1000));
+  EXPECT_FALSE(out[0].truth_filter_duplicate);
+  EXPECT_EQ(out[1].timestamp, TimePoint(3000));
+  EXPECT_TRUE(out[1].truth_filter_duplicate);
+  EXPECT_EQ(tap.duplicates_recorded(), 1u);
+}
+
+TEST(FilterTap, DropNthSuppressesRecord) {
+  EventLoop loop;
+  trace::Trace out = make_target();
+  FilterConfig cfg;
+  cfg.drop_nth = {0, 2};
+  FilterTap tap(loop, cfg, util::Rng(1), &out);
+  for (std::uint64_t i = 0; i < 4; ++i) tap.observe_arrival(packet(10, i), TimePoint(i * 10));
+  loop.run();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(tap.filter_drops(), 2u);
+}
+
+TEST(FilterTap, ResequencingDelaysRecordAndTimestamp) {
+  EventLoop loop;
+  trace::Trace out = make_target();
+  FilterConfig cfg;
+  cfg.reseq_prob = 1.0;
+  cfg.reseq_delay = Duration::micros(500);
+  FilterTap tap(loop, cfg, util::Rng(1), &out);
+  tap.observe_arrival(packet(10, 1), TimePoint(1000));
+  // An outbound record in between: the delayed inbound must sort after it.
+  TransmitEvent ev;
+  ev.packet = packet(20, 2);
+  ev.handoff = TimePoint(1200);
+  ev.wire_depart = TimePoint(1200);
+  tap.observe_transmit(ev);
+  loop.run();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].tcp.payload_len, 20u);  // outbound recorded first
+  EXPECT_EQ(out[1].tcp.payload_len, 10u);  // inbound record displaced
+  EXPECT_EQ(out[1].timestamp, TimePoint(1500));
+  EXPECT_EQ(tap.resequenced(), 1u);
+}
+
+TEST(FilterTap, ClockShapesTimestamps) {
+  EventLoop loop;
+  trace::Trace out = make_target();
+  FilterConfig cfg;
+  cfg.clock.set_offset(Duration::millis(2));
+  FilterTap tap(loop, cfg, util::Rng(1), &out);
+  tap.observe_arrival(packet(10), TimePoint(1000));
+  loop.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].timestamp, TimePoint(3000));
+  EXPECT_EQ(*out[0].truth_wire_time, TimePoint(1000));  // truth unaffected
+}
+
+TEST(FilterTap, HeaderSnapLosesChecksums) {
+  EventLoop loop;
+  trace::Trace out = make_target();
+  FilterConfig cfg;
+  cfg.snap_headers_only = true;
+  FilterTap tap(loop, cfg, util::Rng(1), &out);
+  SimPacket pkt = packet(10);
+  pkt.corrupted = true;
+  tap.observe_arrival(pkt, TimePoint(1));
+  loop.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].checksum_known);
+  EXPECT_TRUE(out[0].truth_corrupted);
+}
+
+}  // namespace
+}  // namespace tcpanaly::sim
+
+namespace tcpanaly::sim {
+namespace {
+
+TEST(CrossTraffic, PerturbsQueueingDelay) {
+  // Mean delivery time of 200 under-capacity probes, with and without a
+  // Poisson competitor at the bottleneck.
+  auto mean_delivery = [](double intensity) {
+    EventLoop loop;
+    PathConfig cfg;
+    cfg.rate_bytes_per_sec = 0;
+    cfg.bottleneck_rate_bytes_per_sec = 60'000.0;
+    cfg.bottleneck_queue_limit = 40;
+    cfg.prop_delay = Duration::zero();
+    cfg.cross_traffic_intensity = intensity;
+    Path path(loop, cfg, util::Rng(7));
+    double sum = 0.0;
+    int n = 0;
+    path.set_deliver([&](const SimPacket&, TimePoint at) {
+      sum += at.to_seconds();
+      ++n;
+    });
+    for (int i = 0; i < 200; ++i) {
+      SimPacket pkt;
+      pkt.src = {1, 1};
+      pkt.dst = {2, 2};
+      pkt.tcp.payload_len = 512;
+      loop.schedule_at(TimePoint(50'000LL * i), [&path, pkt] { path.send(pkt); });
+    }
+    loop.run();
+    EXPECT_EQ(n, 200);
+    return sum / (n ? n : 1);
+  };
+  EXPECT_GT(mean_delivery(0.6), mean_delivery(0.0));
+}
+
+TEST(CrossTraffic, CanCrowdOutOfSmallQueue) {
+  EventLoop loop;
+  PathConfig cfg;
+  cfg.rate_bytes_per_sec = 0;
+  cfg.bottleneck_rate_bytes_per_sec = 20'000.0;
+  cfg.bottleneck_queue_limit = 3;
+  cfg.prop_delay = Duration::zero();
+  cfg.cross_traffic_intensity = 0.9;
+  Path path(loop, cfg, util::Rng(3));
+  int delivered = 0;
+  path.set_deliver([&](const SimPacket&, TimePoint) { ++delivered; });
+  for (int i = 0; i < 100; ++i) {
+    SimPacket pkt;
+    pkt.src = {1, 1};
+    pkt.dst = {2, 2};
+    pkt.tcp.payload_len = 512;
+    loop.schedule_at(TimePoint(30'000LL * i), [&path, pkt] { path.send(pkt); });
+  }
+  loop.run();
+  EXPECT_LT(delivered, 100);
+  EXPECT_GT(path.queue_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace tcpanaly::sim
+
+namespace tcpanaly::sim {
+namespace {
+
+TEST(FilterTap, DropReportModes) {
+  // Paper 3.1.1: the OS drop counter may be accurate, absent, stale, or a
+  // flat lie -- which is why tcpanaly infers drops from self-consistency.
+  EventLoop loop;
+  trace::Trace out;
+  out.meta().local = {1, 1};
+  out.meta().remote = {2, 2};
+  FilterConfig cfg;
+  cfg.drop_nth = {0, 1, 2};
+  auto run_with = [&](FilterConfig::DropReportMode mode) {
+    cfg.drop_report_mode = mode;
+    FilterTap tap(loop, cfg, util::Rng(1), &out);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      SimPacket pkt;
+      pkt.src = {2, 2};
+      pkt.dst = {1, 1};
+      pkt.tcp.payload_len = 10;
+      tap.observe_arrival(pkt, TimePoint(10 * i));
+    }
+    loop.run();  // drain record events while the tap is alive
+    return tap.reported_drops();
+  };
+  EXPECT_EQ(run_with(FilterConfig::DropReportMode::kAccurate), 3u);
+  EXPECT_EQ(run_with(FilterConfig::DropReportMode::kNotReported), std::nullopt);
+  EXPECT_EQ(run_with(FilterConfig::DropReportMode::kStuck), 62u);
+  EXPECT_EQ(run_with(FilterConfig::DropReportMode::kAlwaysZero), 0u);
+}
+
+}  // namespace
+}  // namespace tcpanaly::sim

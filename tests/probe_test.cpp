@@ -1,0 +1,120 @@
+// Active-probe suite tests: each implementation's probed characteristics
+// must match its profile's ground truth.
+#include <gtest/gtest.h>
+
+#include "probe/probe.hpp"
+#include "tcp/profiles.hpp"
+
+namespace tcpanaly::probe {
+namespace {
+
+ProbeReport probe(const char* name) {
+  return probe_implementation(*tcp::find_profile(name));
+}
+
+TEST(Probe, BsdTimerCharacteristics) {
+  auto rep = probe_implementation(tcp::generic_reno());
+  ASSERT_TRUE(rep.initial_rto.has_value());
+  EXPECT_NEAR(rep.initial_rto->to_seconds(), 3.0, 0.3);
+  ASSERT_TRUE(rep.backoff_factor.has_value());
+  EXPECT_NEAR(*rep.backoff_factor, 2.0, 0.2);
+  EXPECT_FALSE(rep.flight_retransmit_on_timeout);
+}
+
+TEST(Probe, SolarisTimerCharacteristics) {
+  auto rep = probe("Solaris 2.4");
+  ASSERT_TRUE(rep.initial_rto.has_value());
+  EXPECT_NEAR(rep.initial_rto->to_seconds(), 0.3, 0.05);
+  ASSERT_TRUE(rep.backoff_factor.has_value());
+  EXPECT_NEAR(*rep.backoff_factor, 2.0, 0.2);
+}
+
+TEST(Probe, LinuxTimerAndStorms) {
+  auto rep = probe("Linux 1.0");
+  ASSERT_TRUE(rep.initial_rto.has_value());
+  EXPECT_NEAR(rep.initial_rto->to_seconds(), 1.0, 0.2);
+  EXPECT_TRUE(rep.flight_retransmit_on_timeout);
+  EXPECT_TRUE(rep.flight_retransmit_on_dup);
+  EXPECT_FALSE(rep.fast_retransmit);
+  ASSERT_TRUE(rep.dup_ack_threshold.has_value());
+  EXPECT_LE(*rep.dup_ack_threshold, 2);  // storms on the first dup
+}
+
+TEST(Probe, RenoFastRetransmitAndRecovery) {
+  auto rep = probe_implementation(tcp::generic_reno());
+  EXPECT_TRUE(rep.fast_retransmit);
+  EXPECT_TRUE(rep.fast_recovery);
+  ASSERT_TRUE(rep.dup_ack_threshold.has_value());
+  EXPECT_GE(*rep.dup_ack_threshold, 3);
+  EXPECT_LE(*rep.dup_ack_threshold, 4);
+}
+
+TEST(Probe, TahoeHasFastRetransmitButNoRecovery) {
+  auto rep = probe_implementation(tcp::generic_tahoe());
+  EXPECT_TRUE(rep.fast_retransmit);
+  EXPECT_FALSE(rep.fast_recovery);
+}
+
+TEST(Probe, TrumpetTimeoutOnlyWithStorms) {
+  auto rep = probe("Trumpet/Winsock");
+  EXPECT_FALSE(rep.fast_retransmit);
+  EXPECT_TRUE(rep.flight_retransmit_on_timeout);
+  EXPECT_GE(rep.first_flight_segments, 16u);  // the whole offered window
+}
+
+TEST(Probe, InitialSsthreshRecovered) {
+  EXPECT_EQ(probe("Solaris 2.4").initial_ssthresh_segments.value_or(0), 8u);
+  EXPECT_EQ(probe("Linux 1.0").initial_ssthresh_segments.value_or(0), 1u);
+  EXPECT_FALSE(probe_implementation(tcp::generic_reno())
+                   .initial_ssthresh_segments.has_value());
+}
+
+TEST(Probe, Net3BugDetectedOnlyOnNet3Stacks) {
+  EXPECT_TRUE(probe("BSDI").net3_uninit_cwnd_bug);
+  EXPECT_TRUE(probe("NetBSD").net3_uninit_cwnd_bug);
+  EXPECT_FALSE(probe("HP/UX").net3_uninit_cwnd_bug);
+  EXPECT_FALSE(probe_implementation(tcp::generic_reno()).net3_uninit_cwnd_bug);
+}
+
+TEST(Probe, AckPolicyTimers) {
+  auto bsd = probe_implementation(tcp::generic_reno());
+  ASSERT_TRUE(bsd.delayed_ack_timer.has_value());
+  EXPECT_GT(bsd.delayed_ack_timer->to_millis(), 80.0);   // heartbeat spread
+  EXPECT_LE(bsd.delayed_ack_timer->to_millis(), 230.0);
+
+  auto solaris = probe("Solaris 2.4");
+  ASSERT_TRUE(solaris.delayed_ack_timer.has_value());
+  EXPECT_NEAR(solaris.delayed_ack_timer->to_millis(), 50.0, 10.0);
+
+  EXPECT_TRUE(probe("Linux 1.0").acks_every_packet);
+}
+
+TEST(Probe, ReportRendersEveryFinding) {
+  auto rep = probe("Solaris 2.4");
+  const std::string out = rep.render();
+  EXPECT_NE(out.find("initial RTO"), std::string::npos);
+  EXPECT_NE(out.find("initial ssthresh"), std::string::npos);
+  EXPECT_NE(out.find("receiver acking"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcpanaly::probe
+
+namespace tcpanaly::probe {
+namespace {
+
+TEST(Probe, GiveUpBehaviorMeasured) {
+  auto bsd = probe_implementation(tcp::generic_reno());
+  ASSERT_TRUE(bsd.gives_up_after.has_value());
+  EXPECT_GE(*bsd.gives_up_after, 4);
+  EXPECT_TRUE(bsd.sends_rst_on_give_up);
+
+  // The Trumpet reconstruction folds in Dawson et al.'s finding: no RST
+  // when the connection is abandoned.
+  auto trumpet = probe_implementation(*tcp::find_profile("Trumpet/Winsock"));
+  ASSERT_TRUE(trumpet.gives_up_after.has_value());
+  EXPECT_FALSE(trumpet.sends_rst_on_give_up);
+}
+
+}  // namespace
+}  // namespace tcpanaly::probe

@@ -1,0 +1,209 @@
+// Unit tests for the TcpReceiver endpoint: handshake, ack policies (paper
+// section 9.1), out-of-order handling, corruption discard, FIN teardown.
+// The receiver is driven directly with synthetic segments over an event
+// loop -- no network in between.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/event_loop.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/receiver.hpp"
+
+namespace tcpanaly::tcp {
+namespace {
+
+using trace::TcpSegment;
+using util::Duration;
+using util::TimePoint;
+
+struct Harness {
+  explicit Harness(const TcpProfile& profile, ReceiverConfig cfg = {}) {
+    cfg.local = {0x0a000002, 2000};
+    cfg.remote = {0x0a000001, 1000};
+    receiver = std::make_unique<TcpReceiver>(loop, profile, cfg,
+                                             [this](const TcpSegment& seg) {
+                                               sent_at.push_back(loop.now());
+                                               sent.push_back(seg);
+                                             });
+    // Handshake: SYN in, SYN-ack out, establishing ack in.
+    TcpSegment syn;
+    syn.seq = 1000;
+    syn.flags.syn = true;
+    syn.mss_option = 512;
+    deliver_at(TimePoint(0), syn);
+    TcpSegment est;
+    est.seq = 1001;
+    est.ack = sent.front().seq + 1;
+    est.flags.ack = true;
+    deliver_at(TimePoint(100), est);
+  }
+
+  void deliver_at(TimePoint at, TcpSegment seg, bool corrupted = false) {
+    loop.schedule_at(at, [this, seg, corrupted] { receiver->on_segment(seg, corrupted); });
+    // Bounded run: the BSD heartbeat free-runs forever, so never drain the
+    // whole queue.
+    loop.run_until(at);
+  }
+
+  void data_at(std::int64_t us, trace::SeqNum seq, std::uint32_t len,
+               bool corrupted = false) {
+    TcpSegment seg;
+    seg.seq = seq;
+    seg.ack = 50001;
+    seg.flags.ack = true;
+    seg.payload_len = len;
+    deliver_at(TimePoint(us), seg, corrupted);
+  }
+
+  /// Acks sent after the handshake SYN-ack.
+  std::vector<TcpSegment> acks() const {
+    return {sent.begin() + 1, sent.end()};
+  }
+  std::vector<TimePoint> ack_times() const { return {sent_at.begin() + 1, sent_at.end()}; }
+
+  sim::EventLoop loop;
+  std::unique_ptr<TcpReceiver> receiver;
+  std::vector<TcpSegment> sent;
+  std::vector<TimePoint> sent_at;
+};
+
+TEST(Receiver, SynAckCarriesMssUnlessSuppressed) {
+  Harness h(generic_reno());
+  ASSERT_FALSE(h.sent.empty());
+  EXPECT_TRUE(h.sent[0].flags.syn);
+  EXPECT_TRUE(h.sent[0].flags.ack);
+  EXPECT_TRUE(h.sent[0].mss_option.has_value());
+
+  ReceiverConfig cfg;
+  cfg.omit_mss_option = true;
+  Harness h2(generic_reno(), cfg);
+  EXPECT_FALSE(h2.sent[0].mss_option.has_value());
+}
+
+TEST(Receiver, AcksEveryTwoFullSegmentsImmediately) {
+  Harness h(generic_reno());
+  h.data_at(10'000, 1001, 512);
+  EXPECT_TRUE(h.acks().empty());  // one segment: delayed
+  h.data_at(11'000, 1513, 512);
+  ASSERT_EQ(h.acks().size(), 1u);
+  EXPECT_EQ(h.acks()[0].ack, 2025u);
+  EXPECT_EQ(h.ack_times()[0], TimePoint(11'000));
+}
+
+TEST(Receiver, BsdHeartbeatAcksSingleSegmentAtTick) {
+  ReceiverConfig cfg;
+  cfg.heartbeat_phase = Duration::millis(50);
+  Harness h(generic_reno(), cfg);
+  h.data_at(10'000, 1001, 512);
+  // Heartbeat ticks at 100us (establish) + 50ms + k*200ms.
+  h.loop.run_until(TimePoint(400'000));
+  ASSERT_EQ(h.acks().size(), 1u);
+  EXPECT_EQ(h.acks()[0].ack, 1513u);
+  EXPECT_EQ(h.ack_times()[0], TimePoint(250'100));
+}
+
+TEST(Receiver, SolarisTimerAcksAfter50ms) {
+  Harness h(*find_profile("Solaris 2.4"));
+  h.data_at(10'000, 1001, 512);
+  h.loop.run_until(TimePoint(400'000));
+  ASSERT_EQ(h.acks().size(), 1u);
+  EXPECT_EQ(h.ack_times()[0], TimePoint(60'000));
+}
+
+TEST(Receiver, LinuxAcksEveryPacketImmediately) {
+  Harness h(*find_profile("Linux 1.0"));
+  h.data_at(10'000, 1001, 512);
+  h.data_at(20'000, 1513, 512);
+  ASSERT_EQ(h.acks().size(), 2u);
+  EXPECT_EQ(h.ack_times()[0], TimePoint(10'000));
+  EXPECT_EQ(h.ack_times()[1], TimePoint(20'000));
+}
+
+TEST(Receiver, OutOfOrderDataTriggersImmediateDupAck) {
+  Harness h(generic_reno());
+  h.data_at(10'000, 1513, 512);  // hole at 1001
+  ASSERT_EQ(h.acks().size(), 1u);
+  EXPECT_EQ(h.acks()[0].ack, 1001u);
+  EXPECT_EQ(h.ack_times()[0], TimePoint(10'000));
+  EXPECT_EQ(h.receiver->stats().out_of_order_packets, 1u);
+}
+
+TEST(Receiver, HoleFillAcksImmediatelyAndJumps) {
+  Harness h(generic_reno());
+  h.data_at(10'000, 1513, 512);  // ooo
+  h.data_at(20'000, 1001, 512);  // fills the hole
+  ASSERT_EQ(h.acks().size(), 2u);
+  EXPECT_EQ(h.acks()[1].ack, 2025u);
+  EXPECT_EQ(h.ack_times()[1], TimePoint(20'000));
+}
+
+TEST(Receiver, WhollyOldDataGetsDupAck) {
+  Harness h(generic_reno());
+  h.data_at(10'000, 1001, 512);
+  h.data_at(11'000, 1513, 512);  // normal ack at 2025
+  h.data_at(30'000, 1001, 512);  // spurious retransmission
+  ASSERT_EQ(h.acks().size(), 2u);
+  EXPECT_EQ(h.acks()[1].ack, 2025u);
+  EXPECT_EQ(h.receiver->stats().duplicate_data_bytes, 512u);
+}
+
+TEST(Receiver, CorruptedSegmentSilentlyDiscarded) {
+  Harness h(generic_reno());
+  h.data_at(10'000, 1001, 512, /*corrupted=*/true);
+  h.loop.run_until(TimePoint(500'000));
+  EXPECT_TRUE(h.acks().empty());  // no ack obligation of any kind
+  EXPECT_EQ(h.receiver->stats().corrupted_discarded, 1u);
+  EXPECT_EQ(h.receiver->rcv_nxt(), 1001u);
+}
+
+TEST(Receiver, FinAckedImmediatelyAndCloses) {
+  Harness h(generic_reno());
+  h.data_at(10'000, 1001, 512);
+  TcpSegment fin;
+  fin.seq = 1513;
+  fin.flags.fin = true;
+  fin.flags.ack = true;
+  fin.ack = 50001;
+  h.deliver_at(TimePoint(20'000), fin);
+  ASSERT_FALSE(h.acks().empty());
+  EXPECT_EQ(h.acks().back().ack, 1514u);  // data + FIN octet
+  EXPECT_TRUE(h.receiver->finished());
+}
+
+TEST(Receiver, StretchAckBugBatchesFourSegments) {
+  // Solaris 2.3: every Nth ack waits for four segments.
+  TcpProfile p = *find_profile("Solaris 2.3");
+  p.stretch_ack_every = 1;  // force the bug on every opportunity
+  Harness h(p);
+  for (int i = 0; i < 4; ++i) h.data_at(10'000 + 1'000 * i, 1001 + 512 * i, 512);
+  ASSERT_EQ(h.acks().size(), 1u);
+  EXPECT_EQ(h.acks()[0].ack, 1001u + 4 * 512u);
+}
+
+TEST(Receiver, RetransmittedSynGetsFreshSynAck) {
+  Harness h(generic_reno());
+  TcpSegment syn;
+  syn.seq = 1000;
+  syn.flags.syn = true;
+  syn.mss_option = 512;
+  h.deliver_at(TimePoint(50'000), syn);
+  // Original SYN-ack plus the re-sent one.
+  int synacks = 0;
+  for (const auto& seg : h.sent)
+    if (seg.flags.syn && seg.flags.ack) ++synacks;
+  EXPECT_EQ(synacks, 2);
+}
+
+TEST(Receiver, OfferedWindowIsConstantBuffer) {
+  ReceiverConfig cfg;
+  cfg.recv_buffer = 4096;
+  Harness h(generic_reno(), cfg);
+  h.data_at(10'000, 1001, 512);
+  h.data_at(11'000, 1513, 512);
+  ASSERT_FALSE(h.acks().empty());
+  EXPECT_EQ(h.acks()[0].window, 4096u);
+}
+
+}  // namespace
+}  // namespace tcpanaly::tcp

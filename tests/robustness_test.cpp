@@ -1,0 +1,139 @@
+// Robustness: every analysis entry point must terminate without crashing
+// on arbitrary, adversarial, or mangled input -- truncated traces,
+// shuffled records, duplicated records, corrupted header fields, traces
+// with no handshake, and fully random record soup. Findings may be
+// arbitrary; termination and memory-safety are the contract.
+#include <gtest/gtest.h>
+
+#include "core/analyze.hpp"
+#include "core/clock_pair.hpp"
+#include "core/summary.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "util/rng.hpp"
+
+namespace tcpanaly {
+namespace {
+
+trace::Trace base_trace(std::uint64_t seed) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.fwd_path.loss_prob = 0.02;
+  cfg.sender.transfer_bytes = 24 * 1024;
+  cfg.seed = seed;
+  return tcp::run_session(cfg).sender_trace;
+}
+
+void analyze_everything(const trace::Trace& tr) {
+  (void)core::calibrate(tr);
+  (void)core::summarize(tr);
+  for (const auto& profile :
+       {tcp::generic_reno(), *tcp::find_profile("Linux 1.0"),
+        *tcp::find_profile("Solaris 2.4")}) {
+    (void)core::SenderAnalyzer(profile).analyze(tr);
+    (void)core::ReceiverAnalyzer(profile).analyze(tr);
+    (void)core::infer_drops_from_model(tr, profile);
+  }
+}
+
+class MangleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MangleSweep, TruncatedPrefixesAnalyzable) {
+  trace::Trace tr = base_trace(GetParam());
+  for (std::size_t keep : {0u, 1u, 2u, 5u, 17u}) {
+    trace::Trace cut(tr.meta());
+    for (std::size_t i = 0; i < std::min(keep, tr.size()); ++i) cut.push_back(tr[i]);
+    analyze_everything(cut);
+  }
+  SUCCEED();
+}
+
+TEST_P(MangleSweep, ShuffledRecordsTerminate) {
+  trace::Trace tr = base_trace(GetParam());
+  util::Rng rng(GetParam() * 7919 + 1);
+  // Fisher-Yates shuffle: destroys all causal order.
+  for (std::size_t i = tr.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(tr[i - 1], tr[j]);
+  }
+  analyze_everything(tr);
+  SUCCEED();
+}
+
+TEST_P(MangleSweep, FieldCorruptionTerminates) {
+  trace::Trace tr = base_trace(GetParam());
+  util::Rng rng(GetParam() * 104729 + 3);
+  for (int hits = 0; hits < 40; ++hits) {
+    auto& rec = tr[rng.next_below(tr.size())];
+    switch (rng.next_below(6)) {
+      case 0: rec.tcp.seq = static_cast<trace::SeqNum>(rng.next_u64()); break;
+      case 1: rec.tcp.ack = static_cast<trace::SeqNum>(rng.next_u64()); break;
+      case 2: rec.tcp.window = static_cast<std::uint32_t>(rng.next_below(1 << 20)); break;
+      case 3: rec.tcp.payload_len = static_cast<std::uint32_t>(rng.next_below(3000)); break;
+      case 4: rec.timestamp = util::TimePoint(
+                  static_cast<std::int64_t>(rng.next_below(10'000'000))); break;
+      case 5:
+        rec.tcp.flags.syn = rng.chance(0.5);
+        rec.tcp.flags.fin = rng.chance(0.5);
+        rec.tcp.flags.rst = rng.chance(0.5);
+        break;
+    }
+  }
+  analyze_everything(tr);
+  SUCCEED();
+}
+
+TEST_P(MangleSweep, RandomRecordSoupTerminates) {
+  util::Rng rng(GetParam() * 31 + 17);
+  trace::Trace tr;
+  tr.meta().local = {0x0a000001, 1000};
+  tr.meta().remote = {0x0a000002, 2000};
+  tr.meta().role = GetParam() % 2 ? trace::LocalRole::kSender : trace::LocalRole::kReceiver;
+  for (int i = 0; i < 300; ++i) {
+    trace::PacketRecord rec;
+    rec.timestamp = util::TimePoint(static_cast<std::int64_t>(rng.next_below(5'000'000)));
+    const bool from_local = rng.chance(0.5);
+    rec.src = from_local ? tr.meta().local : tr.meta().remote;
+    rec.dst = from_local ? tr.meta().remote : tr.meta().local;
+    rec.tcp.seq = static_cast<trace::SeqNum>(rng.next_u64());
+    rec.tcp.ack = static_cast<trace::SeqNum>(rng.next_u64());
+    rec.tcp.flags.ack = rng.chance(0.8);
+    rec.tcp.flags.syn = rng.chance(0.05);
+    rec.tcp.flags.fin = rng.chance(0.05);
+    rec.tcp.payload_len = static_cast<std::uint32_t>(rng.next_below(1500));
+    rec.tcp.window = static_cast<std::uint32_t>(rng.next_below(1 << 16));
+    tr.push_back(rec);
+  }
+  analyze_everything(tr);
+  SUCCEED();
+}
+
+TEST_P(MangleSweep, FullMatchOnMangledTraceTerminates) {
+  trace::Trace tr = base_trace(GetParam());
+  util::Rng rng(GetParam() + 5);
+  // Duplicate a slice and splice it back in, then sort by (corrupted)
+  // timestamps: plausible filter chaos.
+  const std::size_t n = tr.size();
+  for (std::size_t i = 0; i < n / 4; ++i) tr.push_back(tr[rng.next_below(n)]);
+  tr.stable_sort_by_timestamp();
+  auto analysis = core::analyze_trace(tr);
+  EXPECT_EQ(analysis.match.fits.size(), tcp::all_profiles().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MangleSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Robustness, ClockPairOnMismatchedTraces) {
+  // Two traces from DIFFERENT connections: pairing should find little and
+  // never crash.
+  auto a = base_trace(10);
+  auto b = base_trace(11);
+  trace::Trace receiver_like(b.meta());
+  receiver_like.meta().role = trace::LocalRole::kReceiver;
+  for (const auto& rec : b.records()) receiver_like.push_back(rec);
+  (void)core::compare_clocks(a, receiver_like);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tcpanaly

@@ -1,0 +1,169 @@
+// Unit tests for the three RTO estimators (paper sections 8.5/8.6):
+// BSD's fixed-point Jacobson/Karn on 500 ms ticks, the broken Solaris
+// timer, and the Linux 1.0 timer with irregular backoff.
+#include <gtest/gtest.h>
+
+#include "tcp/rto.hpp"
+
+namespace tcpanaly::tcp {
+namespace {
+
+using util::Duration;
+
+// ---------------------------------------------------------------- BSD
+
+TEST(BsdRto, DefaultBeforeAnySample) {
+  BsdRto rto;
+  EXPECT_EQ(rto.current(), Duration::seconds(3.0));
+}
+
+TEST(BsdRto, FirstSampleInitializesFixedPoint) {
+  BsdRto rto;
+  rto.on_rtt_sample(Duration::millis(800), false);  // 2 ticks
+  EXPECT_EQ(rto.srtt_scaled(), 2 << 3);
+  EXPECT_EQ(rto.rttvar_scaled(), 2 << 1);
+  // RTO = srtt + 4*rttvar = 2 + 4 ticks = 3 s
+  EXPECT_EQ(rto.current(), Duration::seconds(3.0));
+}
+
+TEST(BsdRto, NeverBelowOneSecondFloor) {
+  BsdRto rto;
+  for (int i = 0; i < 50; ++i) rto.on_rtt_sample(Duration::millis(10), false);
+  EXPECT_GE(rto.current(), Duration::seconds(1.0));
+}
+
+TEST(BsdRto, KarnDiscardsRetransmittedSamples) {
+  BsdRto rto;
+  rto.on_rtt_sample(Duration::millis(800), false);
+  const Duration before = rto.current();
+  rto.on_rtt_sample(Duration::seconds(30.0), /*of_retransmitted_segment=*/true);
+  EXPECT_EQ(rto.current(), before);
+}
+
+TEST(BsdRto, BackoffDoublesAndCaps) {
+  BsdRto rto;
+  rto.on_rtt_sample(Duration::millis(800), false);
+  const Duration base = rto.current();
+  rto.on_timeout();
+  EXPECT_EQ(rto.current(), base * 2);
+  rto.on_timeout();
+  EXPECT_EQ(rto.current(), base * 4);
+  for (int i = 0; i < 20; ++i) rto.on_timeout();
+  EXPECT_LE(rto.current(), Duration::seconds(64.0));
+}
+
+TEST(BsdRto, SampleClearsBackoff) {
+  BsdRto rto;
+  rto.on_rtt_sample(Duration::millis(800), false);
+  rto.on_timeout();
+  rto.on_timeout();
+  rto.on_rtt_sample(Duration::millis(800), false);
+  EXPECT_EQ(rto.backoff_shift(), 0);
+}
+
+TEST(BsdRto, AdaptsUpwardToLongRtts) {
+  BsdRto rto;
+  rto.on_rtt_sample(Duration::millis(500), false);
+  for (int i = 0; i < 20; ++i) rto.on_rtt_sample(Duration::seconds(4.0), false);
+  EXPECT_GE(rto.current(), Duration::seconds(4.0));
+}
+
+TEST(BsdRto, AckDoesNotResetBackoff) {
+  // BSD keeps its backoff until a fresh sample; merely acking
+  // retransmitted data must not collapse the timer (unlike Solaris).
+  BsdRto rto;
+  rto.on_rtt_sample(Duration::millis(800), false);
+  rto.on_timeout();
+  const Duration backed_off = rto.current();
+  rto.on_ack(/*covered_retransmitted_data=*/true);
+  EXPECT_EQ(rto.current(), backed_off);
+}
+
+// ------------------------------------------------------------- Solaris
+
+TEST(SolarisBrokenRto, StartsNear300ms) {
+  SolarisBrokenRto rto;
+  EXPECT_EQ(rto.current(), Duration::millis(300));
+}
+
+TEST(SolarisBrokenRto, AckOfRetransmittedDataResetsBackoff) {
+  SolarisBrokenRto rto;
+  rto.on_timeout();
+  rto.on_timeout();
+  EXPECT_EQ(rto.current(), Duration::millis(1200));
+  rto.on_ack(/*covered_retransmitted_data=*/true);
+  // "restored to its erroneously small value immediately"
+  EXPECT_EQ(rto.current(), Duration::millis(300));
+}
+
+TEST(SolarisBrokenRto, PlainAckKeepsBackoff) {
+  SolarisBrokenRto rto;
+  rto.on_timeout();
+  rto.on_ack(/*covered_retransmitted_data=*/false);
+  EXPECT_EQ(rto.current(), Duration::millis(600));
+}
+
+TEST(SolarisBrokenRto, AdaptsFarTooSlowly) {
+  SolarisBrokenRto rto;
+  // A correct estimator's RTO exceeds the RTT after ONE clean sample
+  // (srtt + 4*rttvar); Solaris' weak gains leave it premature for several.
+  for (int i = 0; i < 3; ++i) rto.on_rtt_sample(Duration::millis(680), false);
+  EXPECT_LT(rto.current(), Duration::millis(680));
+  // It does adapt eventually, far too late.
+  for (int i = 0; i < 200; ++i) rto.on_rtt_sample(Duration::millis(680), false);
+  EXPECT_GE(rto.current(), Duration::millis(680));
+}
+
+TEST(SolarisBrokenRto, GuaranteedPrematureOnLongRtt) {
+  // The paper's core claim: RTT above the initial RTO means the first
+  // packet is retransmitted whether needed or not, and Karn + the reset
+  // keep it that way.
+  SolarisBrokenRto rto;
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_LT(rto.current(), Duration::millis(680)) << "round " << round;
+    rto.on_timeout();                     // fires before the ack arrives
+    rto.on_rtt_sample(Duration::millis(680), true);  // Karn: discarded
+    rto.on_ack(true);                     // ack covers retransmitted data
+  }
+}
+
+// -------------------------------------------------------------- Linux
+
+TEST(Linux10Rto, BacksOffIrregularly) {
+  Linux10Rto rto;
+  const double base = rto.current().to_seconds();
+  rto.on_timeout();
+  const double after1 = rto.current().to_seconds();
+  rto.on_timeout();
+  const double after2 = rto.current().to_seconds();
+  EXPECT_NEAR(after1 / base, 2.0, 1e-9);
+  EXPECT_NEAR(after2 / after1, 1.5, 1e-9);  // "not fully doubling"
+}
+
+TEST(Linux10Rto, AnyAckResetsBackoff) {
+  Linux10Rto rto;
+  rto.on_timeout();
+  rto.on_timeout();
+  rto.on_ack(false);
+  EXPECT_EQ(rto.current(), Duration::seconds(1.0));
+}
+
+TEST(Linux10Rto, TracksSmoothedRttAggressively) {
+  Linux10Rto rto;
+  for (int i = 0; i < 50; ++i) rto.on_rtt_sample(Duration::seconds(2.0), false);
+  // Barely above the RTT: the early-firing behavior of section 8.5.
+  EXPECT_GE(rto.current(), Duration::seconds(2.0));
+  EXPECT_LT(rto.current(), Duration::seconds(2.5));
+}
+
+TEST(RtoEstimator, FactoryDispatch) {
+  EXPECT_NE(dynamic_cast<BsdRto*>(RtoEstimator::make(RtoScheme::kBsd).get()), nullptr);
+  EXPECT_NE(dynamic_cast<SolarisBrokenRto*>(
+                RtoEstimator::make(RtoScheme::kSolarisBroken).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<Linux10Rto*>(RtoEstimator::make(RtoScheme::kLinux10).get()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace tcpanaly::tcp

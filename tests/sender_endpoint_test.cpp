@@ -1,0 +1,407 @@
+// Unit tests for the TcpSender endpoint, driven directly with synthetic
+// acks over an event loop: handshake, slow start, fast retransmit /
+// recovery, timeouts (go-back-N), the Linux flight storms, the Solaris
+// beyond-ack quirk, source quench responses, and FIN handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "netsim/event_loop.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/sender.hpp"
+
+namespace tcpanaly::tcp {
+namespace {
+
+using trace::TcpSegment;
+using util::Duration;
+using util::TimePoint;
+
+struct Harness {
+  explicit Harness(const TcpProfile& profile, SenderConfig cfg = {}) {
+    cfg.local = {0x0a000001, 1000};
+    cfg.remote = {0x0a000002, 2000};
+    if (cfg.transfer_bytes == 100 * 1024) cfg.transfer_bytes = 16 * 1024;
+    config = cfg;
+    sender = std::make_unique<TcpSender>(loop, profile, cfg, [this](const TcpSegment& seg) {
+      sent_at.push_back(loop.now());
+      sent.push_back(seg);
+    });
+  }
+
+  /// Handshake up to ESTABLISHED; returns segments sent so far (SYN + ack).
+  void establish(std::uint32_t peer_window = 16384, bool synack_mss = true) {
+    sender->start();
+    TcpSegment synack;
+    synack.seq = 50'000;
+    synack.ack = config.initial_seq + 1;
+    synack.flags.syn = true;
+    synack.flags.ack = true;
+    synack.window = peer_window;
+    if (synack_mss) synack.mss_option = 512;
+    deliver_at(TimePoint(40'000), synack);
+  }
+
+  void deliver_at(TimePoint at, TcpSegment seg) {
+    loop.schedule_at(at, [this, seg] { sender->on_segment(seg); });
+    loop.run_until(at);
+  }
+
+  void ack_at(std::int64_t us, trace::SeqNum ackno, std::uint32_t window = 16384) {
+    TcpSegment ack;
+    ack.seq = 50'001;
+    ack.ack = ackno;
+    ack.flags.ack = true;
+    ack.window = window;
+    deliver_at(TimePoint(us), ack);
+  }
+
+  std::vector<TcpSegment> data_since(std::size_t from) const {
+    std::vector<TcpSegment> out;
+    for (std::size_t i = from; i < sent.size(); ++i)
+      if (sent[i].payload_len > 0) out.push_back(sent[i]);
+    return out;
+  }
+
+  sim::EventLoop loop;
+  SenderConfig config;
+  std::unique_ptr<TcpSender> sender;
+  std::vector<TcpSegment> sent;
+  std::vector<TimePoint> sent_at;
+};
+
+trace::SeqNum data_start() { return SenderConfig{}.initial_seq + 1; }
+
+TEST(Sender, HandshakeCarriesMssOption) {
+  Harness h(generic_reno());
+  h.establish();
+  ASSERT_GE(h.sent.size(), 2u);
+  EXPECT_TRUE(h.sent[0].flags.syn);
+  ASSERT_TRUE(h.sent[0].mss_option.has_value());
+  EXPECT_EQ(*h.sent[0].mss_option, 512);
+  EXPECT_TRUE(h.sent[1].is_pure_ack());
+  EXPECT_TRUE(h.sender->established());
+}
+
+TEST(Sender, InitialFlightIsOneSegment) {
+  Harness h(generic_reno());
+  h.establish();
+  auto data = h.data_since(0);
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_EQ(data[0].seq, data_start());
+  EXPECT_EQ(data[0].payload_len, 512u);
+}
+
+TEST(Sender, SlowStartDoublesPerRoundTrip) {
+  Harness h(generic_reno());
+  h.establish();
+  std::size_t mark = h.sent.size();
+  h.ack_at(80'000, data_start() + 512);  // 1 segment acked
+  EXPECT_EQ(h.data_since(mark).size(), 2u);  // cwnd 2
+  mark = h.sent.size();
+  h.ack_at(120'000, data_start() + 3 * 512);  // both acked
+  // One ack covering two segments grows cwnd by one MSS (per-ack growth):
+  // 1024 acked + 512 growth = 3 fresh segments.
+  EXPECT_EQ(h.data_since(mark).size(), 3u);
+}
+
+TEST(Sender, RespectsOfferedWindow) {
+  SenderConfig cfg;
+  cfg.transfer_bytes = 16 * 1024;
+  Harness h(generic_reno(), cfg);
+  h.establish(/*peer_window=*/1024);
+  // Even as acks open cwnd, never more than 1024 bytes in flight.
+  h.ack_at(80'000, data_start() + 512, /*window=*/1024);
+  h.ack_at(120'000, data_start() + 1024, /*window=*/1024);
+  trace::SeqNum max_end = 0;
+  for (const auto& seg : h.sent)
+    if (seg.payload_len > 0) max_end = trace::seq_max(max_end, seg.seq_end());
+  EXPECT_LE(trace::seq_diff(max_end, data_start() + 1024), 1024);
+}
+
+TEST(Sender, RespectsSendBuffer) {
+  SenderConfig cfg;
+  cfg.transfer_bytes = 16 * 1024;
+  cfg.send_buffer = 1024;
+  Harness h(generic_reno(), cfg);
+  h.establish();
+  struct AckPoint {
+    std::int64_t at;
+    trace::SeqNum ackno;
+  };
+  const AckPoint acks[] = {{80'000, data_start() + 512},
+                           {120'000, data_start() + 1024},
+                           {160'000, data_start() + 2048}};
+  for (const auto& a : acks) h.ack_at(a.at, a.ackno);
+  // At no point may unacked data exceed the 1 KB buffer: each segment's
+  // end stays within (latest ack delivered before it was sent) + buffer.
+  for (std::size_t i = 0; i < h.sent.size(); ++i) {
+    if (h.sent[i].payload_len == 0) continue;
+    trace::SeqNum una = data_start();
+    for (const auto& a : acks)
+      if (util::TimePoint(a.at) <= h.sent_at[i]) una = a.ackno;
+    EXPECT_LE(trace::seq_diff(h.sent[i].seq_end(), una), 1024)
+        << "segment " << i << " at " << h.sent_at[i].to_string();
+  }
+}
+
+TEST(Sender, FastRetransmitOnThirdDupAck) {
+  Harness h(generic_reno());
+  h.establish();
+  h.ack_at(80'000, data_start() + 512);   // 2 in flight now
+  h.ack_at(120'000, data_start() + 1536); // 4 in flight
+  const std::size_t mark = h.sent.size();
+  for (int i = 0; i < 3; ++i) h.ack_at(160'000 + i * 500, data_start() + 1536);
+  auto resent = h.data_since(mark);
+  ASSERT_FALSE(resent.empty());
+  EXPECT_EQ(resent[0].seq, data_start() + 1536);  // the ack-point segment
+  EXPECT_EQ(h.sender->stats().fast_retransmits, 1u);
+  EXPECT_EQ(h.sender->stats().retransmissions, 1u);
+}
+
+TEST(Sender, NoFastRetransmitWithoutTheKnob) {
+  Harness h(*find_profile("Linux 1.0"));
+  h.establish();
+  h.ack_at(80'000, data_start() + 512);
+  const std::size_t mark = h.sent.size();
+  // Linux 1.0 has no fast retransmit but DOES storm the flight on dup #1.
+  h.ack_at(120'000, data_start() + 512);
+  EXPECT_EQ(h.sender->stats().fast_retransmits, 0u);
+  EXPECT_EQ(h.sender->stats().flight_retransmit_bursts, 1u);
+  EXPECT_FALSE(h.data_since(mark).empty());
+}
+
+TEST(Sender, RenoSendsNewDataDuringRecovery) {
+  Harness h(generic_reno());
+  h.establish();
+  h.ack_at(80'000, data_start() + 512);
+  h.ack_at(120'000, data_start() + 1536);
+  for (int i = 0; i < 3; ++i) h.ack_at(160'000 + i * 500, data_start() + 1536);
+  const std::size_t mark = h.sent.size();
+  // Further dups inflate the window: new data beyond snd_max goes out.
+  for (int i = 0; i < 6; ++i) h.ack_at(170'000 + i * 500, data_start() + 1536);
+  bool sent_new = false;
+  for (const auto& seg : h.data_since(mark))
+    if (trace::seq_gt(seg.seq, data_start() + 3 * 512)) sent_new = true;
+  EXPECT_TRUE(sent_new);
+}
+
+TEST(Sender, TahoeStaysSilentDuringDupStorm) {
+  Harness h(generic_tahoe());
+  h.establish();
+  h.ack_at(80'000, data_start() + 512);
+  h.ack_at(120'000, data_start() + 1536);
+  for (int i = 0; i < 3; ++i) h.ack_at(160'000 + i * 500, data_start() + 1536);
+  const std::size_t mark = h.sent.size();
+  for (int i = 0; i < 6; ++i) h.ack_at(170'000 + i * 500, data_start() + 1536);
+  // No fast recovery: the collapsed window sends nothing on further dups.
+  EXPECT_TRUE(h.data_since(mark).empty());
+}
+
+TEST(Sender, TimeoutGoesBackN) {
+  Harness h(generic_reno());
+  h.establish();
+  h.ack_at(80'000, data_start() + 512);  // 2 segments now in flight
+  const std::size_t mark = h.sent.size();
+  // Nothing arrives; the retransmission timer fires (3 s default RTO).
+  h.loop.run_until(TimePoint(4'000'000));
+  auto resent = h.data_since(mark);
+  ASSERT_FALSE(resent.empty());
+  EXPECT_EQ(resent[0].seq, data_start() + 512);  // back to snd_una
+  EXPECT_EQ(h.sender->stats().timeouts, 1u);
+}
+
+TEST(Sender, LinuxTimeoutRetransmitsWholeFlight) {
+  Harness h(*find_profile("Linux 1.0"));
+  h.establish();
+  h.ack_at(80'000, data_start() + 512);  // cwnd opens; 2 in flight
+  const std::size_t before = h.sent.size();
+  h.loop.run_until(TimePoint(4'000'000));
+  auto resent = h.data_since(before);
+  // Both unacked segments re-sent in one burst.
+  ASSERT_GE(resent.size(), 2u);
+  EXPECT_EQ(resent[0].seq, data_start() + 512);
+  EXPECT_EQ(resent[1].seq, data_start() + 1024);
+  EXPECT_GE(h.sender->stats().flight_retransmit_bursts, 1u);
+}
+
+TEST(Sender, SolarisQuirkRetransmitsInsteadOfNewData) {
+  Harness h(*find_profile("Solaris 2.4"));
+  h.establish();
+  h.ack_at(80'000, data_start() + 512);  // two more segments go out
+  // A premature Solaris timeout (~300 ms after the ack restarted the
+  // timer) retransmits the first outstanding segment...
+  h.loop.run_until(TimePoint(500'000));
+  ASSERT_GE(h.sender->stats().timeouts, 1u);
+  const std::size_t mark = h.sent.size();
+  // ...then an ack covering the retransmitted data (with more data still
+  // outstanding) triggers the quirk: resend the packet just above the ack
+  // instead of liberated new data.
+  h.ack_at(600'000, data_start() + 1024);
+  auto sent = h.data_since(mark);
+  ASSERT_FALSE(sent.empty());
+  EXPECT_EQ(sent[0].seq, data_start() + 1024);
+  EXPECT_GE(h.sender->stats().beyond_ack_retransmits, 1u);
+}
+
+TEST(Sender, SourceQuenchCollapsesBsdWindow) {
+  Harness h(generic_reno());
+  h.establish();
+  h.ack_at(80'000, data_start() + 512);
+  h.ack_at(120'000, data_start() + 1536);
+  const std::uint32_t before = h.sender->window().cwnd();
+  h.loop.schedule_at(TimePoint(130'000), [&] { h.sender->on_source_quench(); });
+  h.loop.run_until(TimePoint(130'000));
+  EXPECT_LT(h.sender->window().cwnd(), before);
+  EXPECT_EQ(h.sender->window().cwnd(), 512u);
+  EXPECT_EQ(h.sender->stats().source_quenches, 1u);
+}
+
+TEST(Sender, Net3BugBlastsOfferedWindow) {
+  SenderConfig cfg;
+  cfg.transfer_bytes = 32 * 1024;
+  Harness h(*find_profile("BSDI"), cfg);
+  h.establish(/*peer_window=*/16384, /*synack_mss=*/false);
+  // cwnd uninitialized: the whole 16 KB offered window leaves at once,
+  // in default-MSS (536) segments.
+  auto data = h.data_since(0);
+  EXPECT_GE(data.size(), 16384u / 536u);
+  EXPECT_EQ(data[0].payload_len, 536u);
+}
+
+TEST(Sender, FinSentWhenAllDataAcked) {
+  SenderConfig cfg;
+  cfg.transfer_bytes = 1024;
+  Harness h(generic_reno(), cfg);
+  h.establish();
+  h.ack_at(80'000, data_start() + 512);
+  h.ack_at(120'000, data_start() + 1024);
+  ASSERT_FALSE(h.sent.empty());
+  EXPECT_TRUE(h.sent.back().flags.fin);
+  EXPECT_EQ(h.sent.back().seq, data_start() + 1024);
+  EXPECT_FALSE(h.sender->finished());
+  h.ack_at(160'000, data_start() + 1025);  // FIN acked
+  EXPECT_TRUE(h.sender->finished());
+}
+
+TEST(Sender, SynRetransmittedOnSeparateTimer) {
+  Harness h(generic_reno());
+  h.sender->start();
+  // No SYN-ack: the 6 s SYN timer fires and the SYN is re-sent.
+  h.loop.run_until(TimePoint(7'000'000));
+  int syns = 0;
+  for (const auto& seg : h.sent)
+    if (seg.flags.syn) ++syns;
+  EXPECT_EQ(syns, 2);
+  EXPECT_EQ(h.sender->stats().timeouts, 0u);  // data-timer stats untouched
+}
+
+TEST(Sender, GivesUpAfterMaxSynRetries) {
+  SenderConfig cfg;
+  cfg.max_syn_retries = 2;
+  Harness h(generic_reno(), cfg);
+  h.sender->start();
+  h.loop.run_until(TimePoint(60'000'000));
+  EXPECT_TRUE(h.sender->failed());
+}
+
+TEST(Sender, WindowUpdateUnblocksZeroWindowlessStall) {
+  SenderConfig cfg;
+  cfg.transfer_bytes = 4096;
+  Harness h(generic_reno(), cfg);
+  h.establish(/*peer_window=*/512);
+  std::size_t mark = h.sent.size();
+  h.ack_at(80'000, data_start() + 512, /*window=*/512);
+  EXPECT_EQ(h.data_since(mark).size(), 1u);  // window permits one segment
+  mark = h.sent.size();
+  // Pure window update (same ack number, bigger window) releases more.
+  h.ack_at(120'000, data_start() + 1024, /*window=*/4096);
+  EXPECT_GE(h.data_since(mark).size(), 2u);
+}
+
+class AllProfilesSender : public ::testing::TestWithParam<TcpProfile> {};
+
+TEST_P(AllProfilesSender, CompletesAgainstAnIdealAcker) {
+  // Drive each sender with an ideal receiver that immediately acks
+  // everything it has seen, in order; every profile must complete.
+  SenderConfig cfg;
+  cfg.transfer_bytes = 8 * 1024;
+  Harness h(GetParam(), cfg);
+  h.establish();
+  std::int64_t t = 100'000;
+  for (int round = 0; round < 200 && !h.sender->finished(); ++round) {
+    // Ack the highest in-order byte sent so far (+FIN octet if present).
+    trace::SeqNum hi = data_start();
+    bool fin = false;
+    for (const auto& seg : h.sent) {
+      if (seg.payload_len > 0 && seg.seq_end() == hi + seg.payload_len) hi = seg.seq_end();
+      if (seg.flags.fin) fin = true;
+    }
+    h.ack_at(t, fin && hi == data_start() + cfg.transfer_bytes ? hi + 1 : hi);
+    t += 40'000;
+  }
+  EXPECT_TRUE(h.sender->finished()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllProfilesSender,
+                         ::testing::ValuesIn(all_profiles()),
+                         [](const ::testing::TestParamInfo<TcpProfile>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace tcpanaly::tcp
+
+namespace tcpanaly::tcp {
+namespace {
+
+TEST(Sender, GivesUpWithRstAfterMaxRetries) {
+  SenderConfig cfg;
+  cfg.max_data_retries = 3;
+  Harness h(generic_reno(), cfg);
+  h.establish();
+  // Nothing ever acks the data: 3 retries, then abandonment with a RST.
+  h.loop.run_until(TimePoint(120'000'000));
+  EXPECT_TRUE(h.sender->failed());
+  EXPECT_TRUE(h.sender->stats().gave_up);
+  EXPECT_TRUE(h.sender->stats().sent_rst);
+  EXPECT_TRUE(h.sent.back().flags.rst);
+  EXPECT_EQ(h.sender->stats().timeouts, 4u);  // 3 retries + the fatal one
+}
+
+TEST(Sender, SilentGiveUpWithoutRstKnob) {
+  TcpProfile p = generic_reno();
+  p.rst_on_give_up = false;
+  SenderConfig cfg;
+  cfg.max_data_retries = 3;
+  Harness h(p, cfg);
+  h.establish();
+  h.loop.run_until(TimePoint(120'000'000));
+  EXPECT_TRUE(h.sender->failed());
+  EXPECT_TRUE(h.sender->stats().gave_up);
+  EXPECT_FALSE(h.sender->stats().sent_rst);
+  EXPECT_FALSE(h.sent.back().flags.rst);
+}
+
+TEST(Sender, ForwardProgressResetsGiveUpCounter) {
+  SenderConfig cfg;
+  cfg.max_data_retries = 3;
+  cfg.transfer_bytes = 4 * 1024;
+  Harness h(generic_reno(), cfg);
+  h.establish();
+  // Two timeouts, then an ack arrives; the counter must reset and the
+  // transfer continue rather than die on the next timeout.
+  h.loop.run_until(TimePoint(6'000'000));
+  EXPECT_GE(h.sender->stats().timeouts, 1u);
+  h.ack_at(7'000'000, data_start() + 512);
+  EXPECT_FALSE(h.sender->failed());
+  h.loop.run_until(TimePoint(11'000'000));
+  EXPECT_FALSE(h.sender->failed());  // fresh retries available
+}
+
+}  // namespace
+}  // namespace tcpanaly::tcp

@@ -1,0 +1,122 @@
+// Session-level conservation and consistency properties, swept over
+// profiles and path conditions: packets are never created or destroyed
+// except by the configured mechanisms, traces agree with endpoint
+// statistics, and completed transfers deliver exactly the payload.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+namespace tcpanaly {
+namespace {
+
+struct Cell {
+  tcp::TcpProfile profile;
+  double loss;
+  std::uint64_t seed;
+};
+
+std::vector<Cell> cells() {
+  std::vector<Cell> out;
+  for (const char* name : {"Generic Reno", "Generic Tahoe", "Linux 1.0", "Solaris 2.4",
+                           "BSDI", "Trumpet/Winsock"}) {
+    for (double loss : {0.0, 0.03}) {
+      out.push_back({*tcp::find_profile(name), loss, 7});
+    }
+  }
+  return out;
+}
+
+class SessionProperties : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(SessionProperties, ConservationAndConsistency) {
+  const Cell& cell = GetParam();
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = cell.profile;
+  cfg.receiver_profile = cell.profile;
+  cfg.fwd_path.loss_prob = cell.loss;
+  cfg.sender.transfer_bytes = 48 * 1024;
+  cfg.seed = cell.seed;
+  auto r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed) << cell.profile.name;
+
+  // 1. Exact delivery: the application got the payload, once.
+  EXPECT_EQ(r.receiver_stats.bytes_delivered, 48u * 1024u);
+  EXPECT_EQ(r.receiver_trace.unique_payload_bytes(trace::Direction::kToLocal),
+            48u * 1024u);
+
+  // 2. Trace/statistics agreement (clean filters): every data packet the
+  // sender counted appears in its trace exactly once.
+  std::size_t outbound_data = 0;
+  for (const auto& rec : r.sender_trace.records())
+    if (r.sender_trace.is_from_local(rec) && rec.tcp.payload_len > 0) ++outbound_data;
+  EXPECT_EQ(outbound_data, r.sender_stats.data_packets);
+
+  // 3. Conservation across the forward path: the receiver's trace shows
+  // exactly the packets that survived the network.
+  std::size_t arrived_data = 0;
+  for (const auto& rec : r.receiver_trace.records())
+    if (!r.receiver_trace.is_from_local(rec) && rec.tcp.payload_len > 0) ++arrived_data;
+  EXPECT_EQ(arrived_data + r.fwd_network_drops,
+            r.sender_stats.data_packets + /*SYN|handshake w/o payload*/ 0u)
+      << cell.profile.name;
+
+  // 4. Retransmission accounting: data bytes sent = payload + retransmitted.
+  std::uint64_t sent_bytes = 0;
+  for (const auto& rec : r.sender_trace.records())
+    if (r.sender_trace.is_from_local(rec)) sent_bytes += rec.tcp.payload_len;
+  EXPECT_GE(sent_bytes, 48u * 1024u);
+  EXPECT_EQ(r.sender_trace.unique_payload_bytes(trace::Direction::kFromLocal),
+            48u * 1024u);
+
+  // 5. No spontaneous duplication on a dup-free path: the receiver's
+  // duplicate bytes are bounded by what was retransmitted.
+  EXPECT_LE(r.receiver_stats.duplicate_data_bytes, sent_bytes - 48u * 1024u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SessionProperties, ::testing::ValuesIn(cells()),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      std::string name = info.param.profile.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name + (info.param.loss > 0 ? "_lossy" : "_clean");
+    });
+
+TEST(SessionProperties, TimestampsNonNegativeAndBounded) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.fwd_path.loss_prob = 0.05;
+  cfg.seed = 2;
+  auto r = tcp::run_session(cfg);
+  for (const auto* tr : {&r.sender_trace, &r.receiver_trace}) {
+    for (const auto& rec : tr->records()) {
+      EXPECT_GE(rec.timestamp.count(), 0);
+      EXPECT_LT(rec.timestamp.count(), cfg.time_limit.count());
+    }
+  }
+}
+
+TEST(SessionProperties, GroundTruthWireTimesPrecedeOrEqualRecords) {
+  // Outbound records are stamped at hand-off (<= wire time); inbound at
+  // arrival (== wire time). Clean clocks: record time <= truth for
+  // outbound, == for inbound.
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  auto r = tcp::run_session(cfg);
+  for (const auto& rec : r.sender_trace.records()) {
+    ASSERT_TRUE(rec.truth_wire_time.has_value());
+    if (r.sender_trace.is_from_local(rec)) {
+      EXPECT_LE(rec.timestamp, *rec.truth_wire_time);
+    } else {
+      EXPECT_EQ(rec.timestamp, *rec.truth_wire_time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcpanaly

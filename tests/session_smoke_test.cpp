@@ -1,0 +1,115 @@
+// End-to-end simulator smoke tests: every profile must complete a clean
+// bulk transfer, and the pathological profiles must show their signature
+// misbehavior.
+#include <gtest/gtest.h>
+
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+namespace tcpanaly {
+namespace {
+
+using tcp::SessionConfig;
+using tcp::SessionResult;
+
+class AllProfilesTransfer : public ::testing::TestWithParam<tcp::TcpProfile> {};
+
+TEST_P(AllProfilesTransfer, CompletesCleanTransfer) {
+  SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = GetParam();
+  cfg.sender.transfer_bytes = 100 * 1024;
+  SessionResult r = tcp::run_session(cfg);
+  EXPECT_TRUE(r.completed) << GetParam().name;
+  EXPECT_EQ(r.receiver_stats.bytes_delivered, 100u * 1024u) << GetParam().name;
+  EXPECT_GT(r.sender_trace.size(), 100u);
+  EXPECT_GT(r.receiver_trace.size(), 100u);
+  // Clean path + clean filter: sender trace delivers the full payload.
+  EXPECT_EQ(r.sender_trace.unique_payload_bytes(trace::Direction::kFromLocal),
+            100u * 1024u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllProfilesTransfer,
+                         ::testing::ValuesIn(tcp::all_profiles()),
+                         [](const ::testing::TestParamInfo<tcp::TcpProfile>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+TEST(SessionSmoke, LossyPathStillCompletes) {
+  SessionConfig cfg = tcp::default_session();
+  cfg.fwd_path.loss_prob = 0.02;
+  cfg.rev_path.loss_prob = 0.01;
+  cfg.seed = 7;
+  SessionResult r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.receiver_stats.bytes_delivered, 100u * 1024u);
+  EXPECT_GT(r.sender_stats.retransmissions, 0u);
+}
+
+TEST(SessionSmoke, TracesAreTimestampOrderedWithCleanFilters) {
+  SessionConfig cfg = tcp::default_session();
+  SessionResult r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  for (std::size_t i = 1; i < r.sender_trace.size(); ++i)
+    EXPECT_LE(r.sender_trace[i - 1].timestamp, r.sender_trace[i].timestamp) << i;
+}
+
+TEST(SessionSmoke, DeterministicForFixedSeed) {
+  SessionConfig cfg = tcp::default_session();
+  cfg.fwd_path.loss_prob = 0.03;
+  cfg.seed = 42;
+  SessionResult a = tcp::run_session(cfg);
+  SessionResult b = tcp::run_session(cfg);
+  ASSERT_EQ(a.sender_trace.size(), b.sender_trace.size());
+  for (std::size_t i = 0; i < a.sender_trace.size(); ++i) {
+    EXPECT_EQ(a.sender_trace[i].timestamp, b.sender_trace[i].timestamp);
+    EXPECT_EQ(a.sender_trace[i].tcp, b.sender_trace[i].tcp);
+  }
+}
+
+TEST(SessionSmoke, SolarisRetransmitsNeedlesslyOnLongRtt) {
+  SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("Solaris 2.4");
+  cfg.fwd_path.prop_delay = util::Duration::millis(340);  // RTT ~680 ms
+  cfg.rev_path.prop_delay = util::Duration::millis(340);
+  SessionResult r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  // No loss at all, yet a storm of retransmissions (Figure 5).
+  EXPECT_EQ(r.fwd_network_drops, 0u);
+  EXPECT_GT(r.sender_stats.retransmissions, r.sender_stats.data_packets / 4);
+}
+
+TEST(SessionSmoke, Linux10StormsUnderLoss) {
+  SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("Linux 1.0");
+  cfg.fwd_path.loss_prob = 0.05;
+  cfg.seed = 3;
+  SessionResult r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.sender_stats.flight_retransmit_bursts, 0u);
+  EXPECT_GT(r.sender_stats.retransmissions, r.sender_stats.data_packets / 5);
+}
+
+TEST(SessionSmoke, Net3BurstsWhenSynAckOmitsMss) {
+  SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("BSDI");
+  cfg.receiver.omit_mss_option = true;
+  cfg.receiver.recv_buffer = 16 * 1024;
+  SessionResult r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  // The first flight should slam out the whole offered window at once:
+  // count data packets sent before the first data-covering ack returns.
+  std::size_t first_flight = 0;
+  for (const auto& rec : r.sender_trace.records()) {
+    if (!r.sender_trace.is_from_local(rec) && rec.tcp.flags.ack &&
+        trace::seq_gt(rec.tcp.ack, cfg.sender.initial_seq + 1))
+      break;
+    if (r.sender_trace.is_from_local(rec) && rec.tcp.payload_len > 0) ++first_flight;
+  }
+  EXPECT_GE(first_flight, 25u);  // ~30 x 536-byte packets fill the 16 KB window
+}
+
+}  // namespace
+}  // namespace tcpanaly

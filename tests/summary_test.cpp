@@ -1,0 +1,91 @@
+// Tests for the per-connection summary statistics.
+#include <gtest/gtest.h>
+
+#include "core/summary.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+TEST(Summary, EmptyTraceSafe) {
+  trace::Trace empty;
+  auto s = summarize(empty);
+  EXPECT_EQ(s.data_packets, 0u);
+  EXPECT_EQ(s.duration, util::Duration::zero());
+  EXPECT_FALSE(s.render().empty());
+}
+
+TEST(Summary, CleanTransferAccounting) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  auto r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  auto s = summarize(r.sender_trace);
+  EXPECT_TRUE(s.saw_syn);
+  EXPECT_TRUE(s.saw_synack);
+  EXPECT_TRUE(s.saw_fin);
+  EXPECT_EQ(s.unique_bytes, 100u * 1024u);
+  EXPECT_EQ(s.data_bytes, 100u * 1024u);  // no loss: no retransmissions
+  EXPECT_EQ(s.retransmitted_packets, 0u);
+  EXPECT_EQ(s.data_packets, r.sender_stats.data_packets);
+  EXPECT_GT(s.goodput_bytes_per_sec, 50'000.0);
+  EXPECT_EQ(s.min_window_in, 16384u);
+}
+
+TEST(Summary, RetransmissionAccountingMatchesSender) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.fwd_path.loss_prob = 0.03;
+  cfg.seed = 4;
+  auto r = tcp::run_session(cfg);
+  ASSERT_TRUE(r.completed);
+  auto s = summarize(r.sender_trace);
+  EXPECT_EQ(s.retransmitted_packets, r.sender_stats.retransmissions);
+  EXPECT_EQ(s.unique_bytes, 100u * 1024u);
+  EXPECT_GT(s.retransmission_rate, 0.0);
+  EXPECT_GT(s.dup_acks_in, 0u);
+}
+
+TEST(Summary, RttSamplesBracketPathRtt) {
+  tcp::SessionConfig cfg = tcp::default_session();  // 40 ms RTT path
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  auto r = tcp::run_session(cfg);
+  auto s = summarize(r.sender_trace);
+  ASSERT_GT(s.rtt.count(), 20u);
+  EXPECT_GE(s.rtt.min(), util::Duration::millis(40));
+  // Delayed acks can stretch samples toward +200 ms, never below the path.
+  EXPECT_LE(s.rtt.min(), util::Duration::millis(60));
+}
+
+TEST(Summary, KarnRuleExcludesRetransmittedSegments) {
+  // At RTT 680 ms, the Solaris timer retransmits nearly everything;
+  // Karn-valid samples must never be contaminated below the path RTT.
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = *tcp::find_profile("Solaris 2.4");
+  cfg.receiver_profile = cfg.sender_profile;
+  cfg.fwd_path.prop_delay = util::Duration::millis(340);
+  cfg.rev_path.prop_delay = util::Duration::millis(340);
+  auto r = tcp::run_session(cfg);
+  auto s = summarize(r.sender_trace);
+  EXPECT_GT(s.retransmitted_packets, 50u);
+  if (!s.rtt.empty()) {
+    EXPECT_GE(s.rtt.min(), util::Duration::millis(680));
+  }
+}
+
+TEST(Summary, ReceiverSideTraceDescribesRemoteSender) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender_profile = tcp::generic_reno();
+  cfg.receiver_profile = cfg.sender_profile;
+  auto r = tcp::run_session(cfg);
+  auto s = summarize(r.receiver_trace);
+  EXPECT_EQ(s.unique_bytes, 100u * 1024u);
+  EXPECT_GT(s.acks_in, 0u);  // the local receiver's acks
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

@@ -1,0 +1,644 @@
+// Unit tests for the trace layer: sequence arithmetic, packet model,
+// trace container utilities, checksums, wire codec, pcap round trips,
+// sequence-plot extraction.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <span>
+#include <sstream>
+
+#include "trace/checksum.hpp"
+#include "trace/pcap_io.hpp"
+#include "trace/seq.hpp"
+#include "trace/trace.hpp"
+#include "trace/wire.hpp"
+#include "util/rng.hpp"
+
+namespace tcpanaly::trace {
+namespace {
+
+// ----------------------------------------------------------------- seq
+
+TEST(Seq, OrderingNearWrap) {
+  const SeqNum hi = 0xfffffff0u;
+  const SeqNum lo = 0x00000010u;  // logically AFTER hi (wrapped)
+  EXPECT_TRUE(seq_lt(hi, lo));
+  EXPECT_TRUE(seq_gt(lo, hi));
+  EXPECT_EQ(seq_diff(lo, hi), 0x20);
+  EXPECT_EQ(seq_diff(hi, lo), -0x20);
+}
+
+TEST(Seq, ReflexiveComparisons) {
+  EXPECT_TRUE(seq_le(5u, 5u));
+  EXPECT_TRUE(seq_ge(5u, 5u));
+  EXPECT_FALSE(seq_lt(5u, 5u));
+}
+
+TEST(Seq, MinMaxRespectWrap) {
+  const SeqNum a = 0xffffff00u, b = 0x100u;
+  EXPECT_EQ(seq_max(a, b), b);
+  EXPECT_EQ(seq_min(a, b), a);
+}
+
+TEST(Seq, WindowMembership) {
+  EXPECT_TRUE(seq_in_window(5u, 5u, 10u));
+  EXPECT_FALSE(seq_in_window(10u, 5u, 10u));
+  EXPECT_TRUE(seq_in_window(0x4u, 0xfffffffau, 0x10u));  // wrapped window
+}
+
+// -------------------------------------------------------------- packet
+
+TEST(TcpSegment, SeqLenCountsPhantomOctets) {
+  TcpSegment seg;
+  seg.seq = 100;
+  seg.payload_len = 10;
+  EXPECT_EQ(seg.seq_len(), 10u);
+  seg.flags.syn = true;
+  EXPECT_EQ(seg.seq_len(), 11u);
+  seg.flags.fin = true;
+  EXPECT_EQ(seg.seq_len(), 12u);
+  EXPECT_EQ(seg.seq_end(), 112u);
+}
+
+TEST(TcpSegment, PureAckDetection) {
+  TcpSegment seg;
+  seg.flags.ack = true;
+  EXPECT_TRUE(seg.is_pure_ack());
+  seg.payload_len = 1;
+  EXPECT_FALSE(seg.is_pure_ack());
+  seg.payload_len = 0;
+  seg.flags.fin = true;
+  EXPECT_FALSE(seg.is_pure_ack());
+}
+
+TEST(Endpoint, ToStringDottedQuad) {
+  Endpoint ep{0x0a000001, 4000};
+  EXPECT_EQ(ep.to_string(), "10.0.0.1:4000");
+}
+
+// --------------------------------------------------------------- trace
+
+Trace two_host_trace() {
+  Trace tr;
+  tr.meta().local = {0x0a000001, 1000};
+  tr.meta().remote = {0x0a000002, 2000};
+  tr.meta().role = LocalRole::kSender;
+  return tr;
+}
+
+PacketRecord data_rec(SeqNum seq, std::uint32_t len, std::int64_t at_us, bool from_local) {
+  PacketRecord rec;
+  rec.timestamp = util::TimePoint(at_us);
+  rec.src = from_local ? Endpoint{0x0a000001, 1000} : Endpoint{0x0a000002, 2000};
+  rec.dst = from_local ? Endpoint{0x0a000002, 2000} : Endpoint{0x0a000001, 1000};
+  rec.tcp.seq = seq;
+  rec.tcp.payload_len = len;
+  rec.tcp.flags.ack = true;
+  return rec;
+}
+
+TEST(Trace, DirectionBySource) {
+  Trace tr = two_host_trace();
+  tr.push_back(data_rec(1, 10, 0, true));
+  tr.push_back(data_rec(1, 0, 1, false));
+  EXPECT_TRUE(tr.is_from_local(tr[0]));
+  EXPECT_FALSE(tr.is_from_local(tr[1]));
+  EXPECT_EQ(tr.count(Direction::kFromLocal), 1u);
+  EXPECT_EQ(tr.count(Direction::kToLocal), 1u);
+}
+
+TEST(Trace, UniquePayloadMergesOverlapsAndRetransmissions) {
+  Trace tr = two_host_trace();
+  tr.push_back(data_rec(100, 50, 0, true));
+  tr.push_back(data_rec(150, 50, 1, true));
+  tr.push_back(data_rec(100, 50, 2, true));  // retransmission
+  tr.push_back(data_rec(125, 100, 3, true)); // overlapping
+  tr.push_back(data_rec(300, 10, 4, true));  // disjoint
+  EXPECT_EQ(tr.unique_payload_bytes(Direction::kFromLocal), 125u + 10u);
+}
+
+TEST(Trace, StableSortPreservesTieOrder) {
+  Trace tr = two_host_trace();
+  auto a = data_rec(1, 1, 5, true);
+  auto b = data_rec(2, 1, 5, true);
+  auto c = data_rec(3, 1, 4, true);
+  tr.push_back(a);
+  tr.push_back(b);
+  tr.push_back(c);
+  tr.stable_sort_by_timestamp();
+  EXPECT_EQ(tr[0].tcp.seq, 3u);
+  EXPECT_EQ(tr[1].tcp.seq, 1u);
+  EXPECT_EQ(tr[2].tcp.seq, 2u);
+}
+
+TEST(SeqPlot, MarksRetransmissions) {
+  Trace tr = two_host_trace();
+  tr.push_back(data_rec(100, 50, 0, true));
+  tr.push_back(data_rec(150, 50, 1, true));
+  tr.push_back(data_rec(100, 50, 2, true));  // retransmission
+  auto ack = data_rec(0, 0, 3, false);
+  ack.tcp.ack = 200;
+  tr.push_back(ack);
+  auto pts = extract_seqplot(tr);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_FALSE(pts[0].is_retransmit);
+  EXPECT_FALSE(pts[1].is_retransmit);
+  EXPECT_TRUE(pts[2].is_retransmit);
+  EXPECT_FALSE(pts[3].is_data);
+}
+
+TEST(SeqPlot, RenderIncludesLegend) {
+  Trace tr = two_host_trace();
+  tr.push_back(data_rec(100, 50, 0, true));
+  tr.push_back(data_rec(150, 50, 1000, true));
+  const std::string plot = render_seqplot(extract_seqplot(tr), 20, 5);
+  EXPECT_NE(plot.find("#=data"), std::string::npos);
+}
+
+TEST(SeqPlot, EmptyPlotSafe) {
+  EXPECT_EQ(render_seqplot({}, 10, 5), "(empty plot)\n");
+}
+
+// ------------------------------------------------------------ checksum
+
+TEST(Checksum, Rfc1071Example) {
+  // RFC 1071's canonical example bytes.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(checksum_accumulate(data), 0xddf2);
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::uint8_t data[] = {0x12, 0x34, 0x56};
+  EXPECT_EQ(checksum_accumulate(data), 0x1234 + 0x5600);
+}
+
+TEST(Checksum, TcpChecksumVerifiesOwnOutput) {
+  std::vector<std::uint8_t> seg(40, 0);
+  seg[0] = 0x12;  // arbitrary content
+  seg[13] = 0x10;
+  const std::uint16_t sum = tcp_checksum(0x0a000001, 0x0a000002, seg);
+  seg[16] = static_cast<std::uint8_t>(sum >> 8);
+  seg[17] = static_cast<std::uint8_t>(sum & 0xff);
+  EXPECT_TRUE(tcp_checksum_ok(0x0a000001, 0x0a000002, seg));
+  seg[20] ^= 0x01;
+  EXPECT_FALSE(tcp_checksum_ok(0x0a000001, 0x0a000002, seg));
+}
+
+// ---------------------------------------------------------------- wire
+
+PacketRecord sample_record() {
+  PacketRecord rec;
+  rec.timestamp = util::TimePoint(123456);
+  rec.src = {0xc0a80101, 12345};
+  rec.dst = {0x0a000002, 80};
+  rec.tcp.seq = 0xdeadbeef;
+  rec.tcp.ack = 0x01020304;
+  rec.tcp.flags.ack = true;
+  rec.tcp.flags.psh = true;
+  rec.tcp.window = 8760;
+  rec.tcp.payload_len = 100;
+  return rec;
+}
+
+TEST(Wire, EncodeDecodeRoundTrip) {
+  const PacketRecord rec = sample_record();
+  auto frame = encode_frame(rec);
+  EXPECT_EQ(frame.size(), kEthernetHeaderLen + kIpv4HeaderLen + kTcpBaseHeaderLen + 100);
+  auto decoded = decode_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->src, rec.src);
+  EXPECT_EQ(decoded->dst, rec.dst);
+  EXPECT_EQ(decoded->tcp, rec.tcp);
+  EXPECT_TRUE(decoded->checksum_known);
+  EXPECT_TRUE(decoded->checksum_ok);
+}
+
+TEST(Wire, MssOptionRoundTrip) {
+  PacketRecord rec = sample_record();
+  rec.tcp.payload_len = 0;
+  rec.tcp.flags = {};
+  rec.tcp.flags.syn = true;
+  rec.tcp.mss_option = 1460;
+  auto decoded = decode_frame(encode_frame(rec));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->tcp.mss_option.has_value());
+  EXPECT_EQ(*decoded->tcp.mss_option, 1460);
+  EXPECT_TRUE(decoded->tcp.flags.syn);
+}
+
+TEST(Wire, AllFlagsRoundTrip) {
+  PacketRecord rec = sample_record();
+  rec.tcp.payload_len = 0;
+  rec.tcp.flags.syn = true;
+  rec.tcp.flags.fin = true;
+  rec.tcp.flags.rst = true;
+  auto decoded = decode_frame(encode_frame(rec));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tcp.flags, rec.tcp.flags);
+}
+
+TEST(Wire, CorruptionFlagYieldsBadChecksum) {
+  PacketRecord rec = sample_record();
+  EncodeOptions opts;
+  opts.corrupt_tcp_payload = true;
+  auto decoded = decode_frame(encode_frame(rec, opts));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->checksum_known);
+  EXPECT_FALSE(decoded->checksum_ok);
+}
+
+TEST(Wire, RejectsNonIpv4AndShortFrames) {
+  std::vector<std::uint8_t> junk(10, 0);
+  EXPECT_FALSE(decode_frame(junk).has_value());
+  auto frame = encode_frame(sample_record());
+  frame[12] = 0x08;
+  frame[13] = 0x06;  // ARP ethertype
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+// ---------------------------------------------------------------- pcap
+
+Trace pcap_trace() {
+  Trace tr = two_host_trace();
+  for (int i = 0; i < 5; ++i) {
+    auto rec = data_rec(100 + 50 * i, 50, 1000 * i, true);
+    tr.push_back(rec);
+    auto ack = data_rec(1, 0, 1000 * i + 500, false);
+    ack.tcp.ack = 150 + 50 * i;
+    ack.tcp.window = 4096;
+    tr.push_back(ack);
+  }
+  return tr;
+}
+
+TEST(Pcap, RoundTripPreservesRecords) {
+  const Trace tr = pcap_trace();
+  std::stringstream buf;
+  write_pcap(buf, tr);
+  auto loaded = read_pcap(buf, /*local_is_sender=*/true);
+  ASSERT_EQ(loaded.trace.size(), tr.size());
+  EXPECT_EQ(loaded.skipped_frames, 0u);
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    EXPECT_EQ(loaded.trace[i].timestamp, tr[i].timestamp) << i;
+    EXPECT_EQ(loaded.trace[i].tcp, tr[i].tcp) << i;
+    EXPECT_EQ(loaded.trace[i].src, tr[i].src) << i;
+  }
+}
+
+TEST(Pcap, InfersEndpointsFromPayloadDirection) {
+  const Trace tr = pcap_trace();
+  std::stringstream buf;
+  write_pcap(buf, tr);
+  auto loaded = read_pcap(buf, /*local_is_sender=*/true);
+  EXPECT_EQ(loaded.trace.meta().local, tr.meta().local);
+  EXPECT_EQ(loaded.trace.meta().role, LocalRole::kSender);
+
+  std::stringstream buf2;
+  write_pcap(buf2, tr);
+  auto as_receiver = read_pcap(buf2, /*local_is_sender=*/false);
+  EXPECT_EQ(as_receiver.trace.meta().local, tr.meta().remote);
+  EXPECT_EQ(as_receiver.trace.meta().role, LocalRole::kReceiver);
+}
+
+TEST(Pcap, CorruptedRecordsRoundTripAsBadChecksums) {
+  Trace tr = pcap_trace();
+  tr[2].truth_corrupted = true;
+  std::stringstream buf;
+  write_pcap(buf, tr);
+  auto loaded = read_pcap(buf);
+  ASSERT_EQ(loaded.trace.size(), tr.size());
+  EXPECT_TRUE(loaded.trace[2].checksum_known);
+  EXPECT_FALSE(loaded.trace[2].checksum_ok);
+  EXPECT_TRUE(loaded.trace[3].checksum_ok);
+}
+
+TEST(Pcap, HeaderOnlySnaplenLosesChecksumKnowledge) {
+  const Trace tr = pcap_trace();
+  std::stringstream buf;
+  PcapWriteOptions opts;
+  opts.snaplen = 68;  // the classic tcpdump default
+  write_pcap(buf, tr, opts);
+  auto loaded = read_pcap(buf);
+  ASSERT_EQ(loaded.trace.size(), tr.size());
+  // Data packets were truncated: corruption can no longer be verified.
+  EXPECT_FALSE(loaded.trace[0].checksum_known);
+  // Pure acks fit within the snaplen and keep their checksums.
+  EXPECT_TRUE(loaded.trace[1].checksum_known);
+}
+
+TEST(Pcap, RejectsGarbage) {
+  std::stringstream buf("not a pcap file at all");
+  EXPECT_THROW(read_pcap(buf), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(read_pcap(empty), std::runtime_error);
+}
+
+TEST(Pcap, FileHelpersWork) {
+  const Trace tr = pcap_trace();
+  const std::string path = ::testing::TempDir() + "/tcpanaly_test.pcap";
+  write_pcap_file(path, tr);
+  auto loaded = read_pcap_file(path);
+  EXPECT_EQ(loaded.trace.size(), tr.size());
+  EXPECT_THROW(read_pcap_file(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tcpanaly::trace
+
+namespace tcpanaly::trace {
+namespace {
+
+TEST(Pcap, FuzzedInputNeverCrashes) {
+  // Random byte soup and truncations must either parse or throw -- never
+  // crash or hang.
+  util::Rng rng(0xfeedface);
+  for (int round = 0; round < 200; ++round) {
+    std::string blob;
+    const std::size_t len = rng.next_below(600);
+    for (std::size_t i = 0; i < len; ++i)
+      blob.push_back(static_cast<char>(rng.next_below(256)));
+    // Half the rounds: start from a valid magic so the parser goes deeper.
+    if (round % 2 == 0) {
+      const unsigned char magic[4] = {0xd4, 0xc3, 0xb2, 0xa1};
+      blob.replace(0, std::min<std::size_t>(4, blob.size()),
+                   reinterpret_cast<const char*>(magic),
+                   std::min<std::size_t>(4, blob.size()));
+    }
+    std::stringstream in(blob);
+    try {
+      auto result = read_pcap(in);
+      (void)result;
+    } catch (const std::runtime_error&) {
+      // acceptable
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Pcap, TruncatedValidFileThrowsOrParsesPrefix) {
+  Trace tr;
+  tr.meta().local = {0x0a000001, 1};
+  tr.meta().remote = {0x0a000002, 2};
+  PacketRecord rec;
+  rec.src = tr.meta().local;
+  rec.dst = tr.meta().remote;
+  rec.tcp.payload_len = 100;
+  rec.tcp.flags.ack = true;
+  for (int i = 0; i < 4; ++i) {
+    rec.timestamp = util::TimePoint(1000 * i);
+    rec.tcp.seq = 1 + 100 * i;
+    tr.push_back(rec);
+  }
+  std::stringstream full;
+  write_pcap(full, tr);
+  const std::string bytes = full.str();
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    std::stringstream in(bytes.substr(0, cut));
+    try {
+      auto result = read_pcap(in);
+      EXPECT_LE(result.trace.size(), 4u);
+    } catch (const std::runtime_error&) {
+      // acceptable for torn headers
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcpanaly::trace
+
+namespace tcpanaly::trace {
+namespace {
+
+TEST(Wire, VlanTaggedFrameDecodes) {
+  PacketRecord rec;
+  rec.src = {0x0a000001, 1234};
+  rec.dst = {0x0a000002, 80};
+  rec.tcp.seq = 42;
+  rec.tcp.flags.ack = true;
+  rec.tcp.ack = 7;
+  rec.tcp.payload_len = 20;
+  auto frame = encode_frame(rec);
+  // Splice a 802.1Q tag (TPID 0x8100, VID 5) after the MACs.
+  std::vector<std::uint8_t> tagged(frame.begin(), frame.begin() + 12);
+  tagged.push_back(0x81);
+  tagged.push_back(0x00);
+  tagged.push_back(0x00);
+  tagged.push_back(0x05);
+  tagged.insert(tagged.end(), frame.begin() + 12, frame.end());
+  auto decoded = decode_frame(tagged);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tcp.seq, 42u);
+  EXPECT_EQ(decoded->src.port, 1234);
+  EXPECT_TRUE(decoded->checksum_ok);
+}
+
+}  // namespace
+}  // namespace tcpanaly::trace
+
+namespace tcpanaly::trace {
+namespace {
+
+// Helpers building capture files byte-by-byte, independent of the writer
+// under test.
+void le16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(x & 0xff);
+  v.push_back((x >> 8) & 0xff);
+}
+void le32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  le16(v, static_cast<std::uint16_t>(x & 0xffff));
+  le16(v, static_cast<std::uint16_t>(x >> 16));
+}
+
+PacketRecord sample_record(std::uint32_t seq, std::uint32_t payload) {
+  PacketRecord rec;
+  rec.src = {0x0a000001, 4000};
+  rec.dst = {0x0a000002, 5000};
+  rec.tcp.seq = seq;
+  rec.tcp.flags.ack = true;
+  rec.tcp.ack = 1;
+  rec.tcp.payload_len = payload;
+  return rec;
+}
+
+TEST(Wire, LinuxSllFrameDecodes) {
+  auto eth = encode_frame(sample_record(100, 64));
+  // Replace the 14-byte Ethernet header with a 16-byte SLL header.
+  std::vector<std::uint8_t> sll(16, 0);
+  sll[14] = 0x08;  // protocol = IPv4, big-endian
+  sll[15] = 0x00;
+  sll.insert(sll.end(), eth.begin() + kEthernetHeaderLen, eth.end());
+  auto decoded = decode_frame(kLinktypeLinuxSll, sll);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tcp.seq, 100u);
+  EXPECT_EQ(decoded->tcp.payload_len, 64u);
+  EXPECT_TRUE(decoded->checksum_ok);
+}
+
+TEST(Wire, RawIpAndNullLinktypesDecode) {
+  auto eth = encode_frame(sample_record(7, 32));
+  std::vector<std::uint8_t> raw(eth.begin() + kEthernetHeaderLen, eth.end());
+  auto from_raw = decode_frame(kLinktypeRaw, raw);
+  ASSERT_TRUE(from_raw.has_value());
+  EXPECT_EQ(from_raw->tcp.seq, 7u);
+
+  std::vector<std::uint8_t> loop = {2, 0, 0, 0};  // AF_INET, little-endian host
+  loop.insert(loop.end(), raw.begin(), raw.end());
+  auto from_null = decode_frame(kLinktypeNull, loop);
+  ASSERT_TRUE(from_null.has_value());
+  EXPECT_EQ(from_null->tcp.seq, 7u);
+
+  EXPECT_FALSE(decode_frame(kLinktypeNull, raw).has_value());
+  EXPECT_FALSE(decode_frame(999, eth).has_value());
+  EXPECT_FALSE(linktype_supported(999));
+  EXPECT_TRUE(linktype_supported(kLinktypeLinuxSll));
+}
+
+TEST(PcapIo, NanosecondPcapReads) {
+  std::vector<std::uint8_t> file;
+  le32(file, 0xa1b23c4d);  // nanosecond magic
+  le16(file, 2);
+  le16(file, 4);
+  le32(file, 0);
+  le32(file, 0);
+  le32(file, 65535);
+  le32(file, 1);  // Ethernet
+  auto frame = encode_frame(sample_record(1, 100));
+  for (std::uint32_t nsec : {250'000'000u, 750'000'500u}) {
+    le32(file, 10);  // seconds
+    le32(file, nsec);
+    le32(file, static_cast<std::uint32_t>(frame.size()));
+    le32(file, static_cast<std::uint32_t>(frame.size()));
+    file.insert(file.end(), frame.begin(), frame.end());
+  }
+  std::stringstream in(std::string(file.begin(), file.end()));
+  auto result = read_pcap(in);
+  ASSERT_EQ(result.trace.size(), 2u);
+  // Timestamps are relative to the first packet, at microsecond precision.
+  EXPECT_EQ(result.trace.records()[0].timestamp.count(), 0);
+  EXPECT_EQ(result.trace.records()[1].timestamp.count(), 500'000);
+}
+
+// Build a minimal pcapng section: SHB + IDB (with optional if_tsresol) +
+// EPBs at the given tick timestamps.
+std::vector<std::uint8_t> build_pcapng(std::uint16_t linktype,
+                                       std::optional<std::uint8_t> tsresol,
+                                       const std::vector<std::uint64_t>& ticks,
+                                       std::span<const std::uint8_t> frame) {
+  std::vector<std::uint8_t> f;
+  // SHB: type, len, byte-order magic, version 1.0, section length -1.
+  le32(f, 0x0a0d0d0a);
+  le32(f, 28);
+  le32(f, 0x1a2b3c4d);
+  le16(f, 1);
+  le16(f, 0);
+  le32(f, 0xffffffff);
+  le32(f, 0xffffffff);
+  le32(f, 28);
+  // IDB.
+  std::vector<std::uint8_t> idb_body;
+  le16(idb_body, linktype);
+  le16(idb_body, 0);
+  le32(idb_body, 65535);  // snaplen
+  if (tsresol) {
+    le16(idb_body, 9);  // if_tsresol
+    le16(idb_body, 1);
+    idb_body.push_back(*tsresol);
+    idb_body.insert(idb_body.end(), 3, 0);  // pad
+    le16(idb_body, 0);                      // opt_endofopt
+    le16(idb_body, 0);
+  }
+  const std::uint32_t idb_len = 12 + static_cast<std::uint32_t>(idb_body.size());
+  le32(f, 1);
+  le32(f, idb_len);
+  f.insert(f.end(), idb_body.begin(), idb_body.end());
+  le32(f, idb_len);
+  // EPBs.
+  for (std::uint64_t t : ticks) {
+    const std::uint32_t cap = static_cast<std::uint32_t>(frame.size());
+    const std::uint32_t pad = (4 - cap % 4) % 4;
+    const std::uint32_t len = 32 + cap + pad;
+    le32(f, 6);
+    le32(f, len);
+    le32(f, 0);  // interface 0
+    le32(f, static_cast<std::uint32_t>(t >> 32));
+    le32(f, static_cast<std::uint32_t>(t & 0xffffffff));
+    le32(f, cap);
+    le32(f, cap);
+    f.insert(f.end(), frame.begin(), frame.end());
+    f.insert(f.end(), pad, 0);
+    le32(f, len);
+  }
+  return f;
+}
+
+TEST(PcapIo, PcapngEnhancedPacketsRead) {
+  auto frame = encode_frame(sample_record(1, 100));
+  auto file = build_pcapng(1, std::nullopt, {5'000'000, 5'040'000}, frame);
+  std::stringstream in(std::string(file.begin(), file.end()));
+  auto result = read_pcapng(in);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace.records()[0].timestamp.count(), 0);
+  EXPECT_EQ(result.trace.records()[1].timestamp.count(), 40'000);
+  EXPECT_EQ(result.skipped_frames, 0u);
+  EXPECT_TRUE(result.trace.records()[0].checksum_ok);
+}
+
+TEST(PcapIo, PcapngHonorsTsresol) {
+  auto frame = encode_frame(sample_record(1, 100));
+  // Nanosecond resolution (base-10 exponent 9).
+  auto file = build_pcapng(1, std::uint8_t{9}, {0, 250'000'000}, frame);
+  std::stringstream in(std::string(file.begin(), file.end()));
+  auto result = read_pcapng(in);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace.records()[1].timestamp.count(), 250'000);
+
+  // Base-2 resolution: 2^20 ticks per second.
+  auto file2 = build_pcapng(1, std::uint8_t{0x80 | 20}, {0, 1u << 19}, frame);
+  std::stringstream in2(std::string(file2.begin(), file2.end()));
+  auto result2 = read_pcapng(in2);
+  ASSERT_EQ(result2.trace.size(), 2u);
+  EXPECT_EQ(result2.trace.records()[1].timestamp.count(), 500'000);
+}
+
+TEST(PcapIo, PcapngRejectsMalformed) {
+  auto frame = encode_frame(sample_record(1, 100));
+  auto file = build_pcapng(1, std::nullopt, {0}, frame);
+  // Packet block before any SHB.
+  std::string no_shb(file.begin() + 28, file.end());
+  std::stringstream in(no_shb);
+  EXPECT_THROW(read_pcapng(in), std::runtime_error);
+  // EPB referencing an interface that was never described.
+  std::vector<std::uint8_t> shb_only(file.begin(), file.begin() + 28);
+  std::vector<std::uint8_t> epb(file.begin() + 28 + 20, file.end());
+  shb_only.insert(shb_only.end(), epb.begin(), epb.end());
+  std::stringstream in2(std::string(shb_only.begin(), shb_only.end()));
+  EXPECT_THROW(read_pcapng(in2), std::runtime_error);
+}
+
+TEST(PcapIo, CaptureFileSniffsFormat) {
+  auto frame = encode_frame(sample_record(1, 100));
+  auto ng = build_pcapng(1, std::nullopt, {0, 1'000}, frame);
+  const std::string dir = ::testing::TempDir();
+  const std::string ng_path = dir + "/sniff_test.pcapng";
+  {
+    std::ofstream f(ng_path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(ng.data()),
+            static_cast<std::streamsize>(ng.size()));
+  }
+  auto loaded = read_capture_file(ng_path);
+  EXPECT_EQ(loaded.trace.size(), 2u);
+
+  Trace t;
+  auto rec = sample_record(1, 100);
+  rec.timestamp = util::TimePoint(0);
+  t.push_back(rec);
+  const std::string pcap_path = dir + "/sniff_test.pcap";
+  write_pcap_file(pcap_path, t);
+  auto loaded2 = read_capture_file(pcap_path);
+  EXPECT_EQ(loaded2.trace.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tcpanaly::trace

@@ -1,0 +1,257 @@
+// Unit tests for the util layer: time arithmetic, RNG determinism and
+// distribution sanity, streaming statistics, histogram, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace tcpanaly::util {
+namespace {
+
+// ---------------------------------------------------------------- time
+
+TEST(Duration, FactoryEquivalences) {
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+  EXPECT_EQ(Duration::seconds(1.5), Duration::micros(1'500'000));
+  EXPECT_EQ(Duration::zero().count(), 0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(300);
+  const Duration b = Duration::millis(200);
+  EXPECT_EQ((a + b).count(), 500'000);
+  EXPECT_EQ((a - b).count(), 100'000);
+  EXPECT_EQ((a * 3).count(), 900'000);
+  EXPECT_EQ((a / 3).count(), 100'000);
+  EXPECT_EQ((-a).count(), -300'000);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GE(Duration::seconds(1.0), Duration::millis(1000));
+  EXPECT_LT(Duration::millis(-5), Duration::zero());
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).to_millis(), 2.5);
+}
+
+TEST(Duration, ToStringFormatsMicroseconds) {
+  EXPECT_EQ(Duration::micros(1'234'567).to_string(), "1.234567s");
+  EXPECT_EQ(Duration::micros(5).to_string(), "0.000005s");
+  EXPECT_EQ(Duration::micros(-1'500'000).to_string(), "-1.500000s");
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t = TimePoint::origin() + Duration::millis(10);
+  EXPECT_EQ(t.count(), 10'000);
+  EXPECT_EQ((t - Duration::millis(4)).count(), 6'000);
+  EXPECT_EQ((t - TimePoint::origin()), Duration::millis(10));
+}
+
+TEST(TimePoint, InfiniteOrdersAfterEverything) {
+  EXPECT_LT(TimePoint(1'000'000'000), TimePoint::infinite());
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20'000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 20'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) sum += rng.next_exponential(4.0);
+  EXPECT_NEAR(sum / 20'000.0, 4.0, 0.2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.split();
+  // The split stream must not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(OnlineStats, EmptyIsSafe) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(DurationStats, RoundTripsDurations) {
+  DurationStats s;
+  s.add(Duration::millis(10));
+  s.add(Duration::millis(30));
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.mean(), Duration::millis(20));
+  EXPECT_EQ(s.min(), Duration::millis(10));
+  EXPECT_EQ(s.max(), Duration::millis(30));
+}
+
+TEST(Quantile, EmptyAndBadArgs) {
+  EXPECT_FALSE(quantile({}, 0.5).has_value());
+  EXPECT_FALSE(quantile({1.0}, -0.1).has_value());
+  EXPECT_FALSE(quantile({1.0}, 1.1).has_value());
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(*quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(*quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(*quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(*quantile(v, 0.125), 1.5);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(50.0);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("1 |"), std::string::npos);
+  EXPECT_NE(out.find("2 |"), std::string::npos);
+}
+
+// --------------------------------------------------------------- table
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long header"});
+  t.add_row({"xx", "y"});
+  t.add_row({"1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a   long header"), std::string::npos);
+  EXPECT_NE(out.find("xx  y"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strf("%.2f", 1.5), "1.50");
+}
+
+}  // namespace
+}  // namespace tcpanaly::util

@@ -1,0 +1,320 @@
+// Unit and property tests for the shared congestion-window rules: the
+// profile knobs of paper sections 8.1-8.4, each pinned to a concrete
+// numeric behavior, plus invariants swept over every registry profile.
+#include <gtest/gtest.h>
+
+#include "tcp/profiles.hpp"
+#include "tcp/window_model.hpp"
+
+namespace tcpanaly::tcp {
+namespace {
+
+constexpr std::uint32_t kMss = 512;
+
+WindowModel established(const TcpProfile& p, bool synack_mss = true,
+                        std::uint32_t offered_mss = kMss) {
+  WindowModel m(p, kMss, 4);
+  m.on_connection_established(synack_mss, offered_mss);
+  return m;
+}
+
+// --------------------------------------------------- initial conditions
+
+TEST(WindowModel, InitialCwndOneSegment) {
+  auto m = established(generic_reno());
+  EXPECT_EQ(m.cwnd(), kMss);
+  EXPECT_EQ(m.ssthresh(), WindowModel::kHugeWindow);
+}
+
+TEST(WindowModel, SolarisInitialSsthreshEightSegments) {
+  auto m = established(*find_profile("Solaris 2.4"));
+  EXPECT_EQ(m.ssthresh(), 8 * kMss);
+}
+
+TEST(WindowModel, Linux10InitialSsthreshOneSegment) {
+  auto m = established(*find_profile("Linux 1.0"));
+  EXPECT_EQ(m.ssthresh(), kMss);
+  // With ssthresh = 1 MSS and the strict test, every ack lands in
+  // congestion avoidance; growth is crippled from the start. (The very
+  // first increment, MSS^2/cwnd with cwnd == MSS, coincidentally equals a
+  // slow-start step -- the sublinearity shows from the second ack on.)
+  EXPECT_FALSE(m.in_slow_start());
+  m.on_new_ack(kMss);
+  m.on_new_ack(kMss);
+  EXPECT_LT(m.cwnd(), 3 * kMss);
+}
+
+TEST(WindowModel, Net3BugWithoutMssOption) {
+  auto m = established(*find_profile("BSDI"), /*synack_mss=*/false);
+  EXPECT_EQ(m.cwnd(), WindowModel::kHugeWindow);
+  EXPECT_EQ(m.ssthresh(), WindowModel::kHugeWindow);
+}
+
+TEST(WindowModel, Net3BugRequiresMissingOption) {
+  auto m = established(*find_profile("BSDI"), /*synack_mss=*/true);
+  EXPECT_EQ(m.cwnd(), kMss);
+}
+
+TEST(WindowModel, NonNet3UnaffectedByMissingOption) {
+  auto m = established(*find_profile("HP/UX"), /*synack_mss=*/false);
+  EXPECT_LE(m.cwnd(), 2 * kMss);
+}
+
+TEST(WindowModel, OfferedMssInitialization) {
+  // HP/UX sizes the initial window from the MSS it offered, not the
+  // negotiated one.
+  auto m = established(*find_profile("HP/UX"), true, /*offered_mss=*/1460);
+  EXPECT_EQ(m.cwnd(), 1460u);
+  auto reno = established(generic_reno(), true, 1460);
+  EXPECT_EQ(reno.cwnd(), kMss);
+}
+
+TEST(WindowModel, MssConfusionInflatesAccounting) {
+  auto m = established(*find_profile("DEC OSF/1"));
+  EXPECT_EQ(m.accounting_mss(), kMss + 4);  // options folded in
+  EXPECT_EQ(established(generic_reno()).accounting_mss(), kMss);
+}
+
+// --------------------------------------------------------------- growth
+
+TEST(WindowModel, SlowStartAddsOneSegmentPerAck) {
+  auto m = established(generic_reno());
+  m.on_new_ack(kMss);
+  m.on_new_ack(kMss);
+  EXPECT_EQ(m.cwnd(), 3 * kMss);
+}
+
+TEST(WindowModel, Eqn1VsEqn2CongestionAvoidance) {
+  TcpProfile eqn1 = generic_tahoe();
+  TcpProfile eqn2 = generic_reno();
+  auto m1 = established(eqn1);
+  auto m2 = established(eqn2);
+  m1.on_timeout(8 * kMss);  // ssthresh 2048, cwnd 512
+  m2.on_timeout(8 * kMss);
+  // Climb out of slow start.
+  while (m1.in_slow_start()) m1.on_new_ack(kMss);
+  while (m2.in_slow_start()) m2.on_new_ack(kMss);
+  const std::uint32_t c1 = m1.cwnd(), c2 = m2.cwnd();
+  m1.on_new_ack(kMss);
+  m2.on_new_ack(kMss);
+  EXPECT_EQ(m1.cwnd() - c1, kMss * kMss / c1);             // pure Eqn 1
+  EXPECT_EQ(m2.cwnd() - c2, kMss * kMss / c2 + kMss / 8);  // +MSS/8 term
+}
+
+TEST(WindowModel, SlowStartBoundaryTest) {
+  for (auto test : {SlowStartTest::kLess, SlowStartTest::kLessEqual}) {
+    TcpProfile p = generic_reno();
+    p.ss_test = test;
+    auto m = established(p);
+    m.on_timeout(8 * kMss);
+    while (m.cwnd() < m.ssthresh()) m.on_new_ack(kMss);
+    ASSERT_EQ(m.cwnd(), m.ssthresh());
+    EXPECT_EQ(m.in_slow_start(), test == SlowStartTest::kLessEqual);
+  }
+}
+
+// ------------------------------------------------------------- cutting
+
+TEST(WindowModel, BsdSsthreshRoundsToSegmentMultiple) {
+  auto m = established(generic_reno());
+  m.on_timeout(5'000);  // half = 2500 -> 4 segments = 2048
+  EXPECT_EQ(m.ssthresh(), 2048u);
+  EXPECT_EQ(m.cwnd(), kMss);
+}
+
+TEST(WindowModel, SolarisSsthreshUnrounded) {
+  auto m = established(*find_profile("Solaris 2.4"));
+  m.on_timeout(5'000);
+  EXPECT_EQ(m.ssthresh(), 2500u);
+}
+
+TEST(WindowModel, TahoeMinimumClampOneSegment) {
+  auto m = established(generic_tahoe());
+  m.on_timeout(600);  // half = 300 < MSS
+  EXPECT_EQ(m.ssthresh(), kMss);
+}
+
+TEST(WindowModel, RenoMinimumClampTwoSegments) {
+  auto m = established(generic_reno());
+  m.on_timeout(600);
+  EXPECT_EQ(m.ssthresh(), 2 * kMss);
+}
+
+// ---------------------------------------------------------- fast recovery
+
+TEST(WindowModel, RenoInflatesOnFastRetransmit) {
+  auto m = established(generic_reno());
+  for (int i = 0; i < 15; ++i) m.on_new_ack(kMss);
+  m.on_fast_retransmit(8 * kMss);
+  EXPECT_EQ(m.cwnd(), m.ssthresh() + 3 * kMss);
+  m.on_dup_ack_in_recovery();
+  EXPECT_EQ(m.cwnd(), m.ssthresh() + 4 * kMss);
+}
+
+TEST(WindowModel, TahoeCollapsesOnFastRetransmit) {
+  auto m = established(generic_tahoe());
+  for (int i = 0; i < 15; ++i) m.on_new_ack(kMss);
+  m.on_fast_retransmit(8 * kMss);
+  EXPECT_EQ(m.cwnd(), kMss);
+  const std::uint32_t before = m.cwnd();
+  m.on_dup_ack_in_recovery();  // no fast recovery: inert
+  EXPECT_EQ(m.cwnd(), before);
+}
+
+TEST(WindowModel, CorrectRenoDeflatesOnExit) {
+  TcpProfile p = generic_reno();
+  p.deflate_cwnd_after_recovery = true;
+  p.fencepost_recovery_bug = false;
+  auto m = established(p);
+  for (int i = 0; i < 15; ++i) m.on_new_ack(kMss);
+  m.on_fast_retransmit(8 * kMss);
+  for (int i = 0; i < 5; ++i) m.on_dup_ack_in_recovery();
+  m.on_recovery_exit(/*via_header_prediction=*/true);
+  EXPECT_EQ(m.cwnd(), m.ssthresh());
+}
+
+TEST(WindowModel, HeaderPredictionBugSkipsDeflationOnFastPath) {
+  auto m = established(generic_reno());  // carries the bug
+  for (int i = 0; i < 15; ++i) m.on_new_ack(kMss);
+  m.on_fast_retransmit(8 * kMss);
+  for (int i = 0; i < 5; ++i) m.on_dup_ack_in_recovery();
+  const std::uint32_t inflated = m.cwnd();
+  m.on_recovery_exit(/*via_header_prediction=*/true);
+  EXPECT_EQ(m.cwnd(), inflated);  // forgot to shrink
+}
+
+TEST(WindowModel, FencepostBugBoundary) {
+  // The buggy post-recovery check shrinks only when cwnd is STRICTLY above
+  // ssthresh + MSS, so a window exactly one segment inflated stays
+  // inflated. Construct that state with a dup-ack threshold of 1: the
+  // fast-retransmit inflation is then ssthresh + 1 MSS exactly.
+  TcpProfile buggy = generic_reno();
+  buggy.deflate_cwnd_after_recovery = true;
+  buggy.fencepost_recovery_bug = true;
+  buggy.dup_ack_threshold = 1;
+  TcpProfile correct = buggy;
+  correct.fencepost_recovery_bug = false;
+
+  auto mb = established(buggy);
+  auto mc = established(correct);
+  for (int i = 0; i < 15; ++i) {
+    mb.on_new_ack(kMss);
+    mc.on_new_ack(kMss);
+  }
+  mb.on_fast_retransmit(8 * kMss);
+  mc.on_fast_retransmit(8 * kMss);
+  ASSERT_EQ(mb.cwnd(), mb.ssthresh() + kMss);
+  mb.on_recovery_exit(false);
+  mc.on_recovery_exit(false);
+  EXPECT_EQ(mb.cwnd(), mb.ssthresh() + kMss);  // the off-by-one survives
+  EXPECT_EQ(mc.cwnd(), mc.ssthresh());         // correct code shrinks
+}
+
+TEST(WindowModel, FencepostBugShrinksAboveBoundary) {
+  TcpProfile p = generic_reno();
+  p.deflate_cwnd_after_recovery = true;
+  p.fencepost_recovery_bug = true;
+  auto m = established(p);
+  for (int i = 0; i < 15; ++i) m.on_new_ack(kMss);
+  m.on_fast_retransmit(8 * kMss);  // inflation = 3 MSS > 1 MSS boundary
+  m.on_recovery_exit(false);
+  EXPECT_EQ(m.cwnd(), m.ssthresh());
+}
+
+// --------------------------------------------------------- source quench
+
+TEST(WindowModel, QuenchResponsesDiffer) {
+  auto bsd = established(generic_reno());
+  auto sol = established(*find_profile("Solaris 2.4"));
+  auto lin = established(*find_profile("Linux 1.0"));
+  for (auto* m : {&bsd, &sol, &lin})
+    for (int i = 0; i < 10; ++i) m->on_new_ack(kMss);
+  const std::uint32_t lin_before = lin.cwnd();
+  const std::uint32_t sol_ssthresh_before = sol.ssthresh();
+
+  bsd.on_source_quench(8 * kMss);
+  EXPECT_EQ(bsd.cwnd(), kMss);
+  EXPECT_EQ(bsd.ssthresh(), WindowModel::kHugeWindow);  // untouched
+
+  sol.on_source_quench(8 * kMss);
+  EXPECT_EQ(sol.cwnd(), kMss);
+  EXPECT_LT(sol.ssthresh(), sol_ssthresh_before);  // also cut
+
+  lin.on_source_quench(8 * kMss);
+  EXPECT_EQ(lin.cwnd(), lin_before - kMss);  // merely one segment less
+}
+
+TEST(WindowModel, TrumpetIgnoresEverything) {
+  auto m = established(*find_profile("Trumpet/Winsock"));
+  EXPECT_EQ(m.cwnd(), WindowModel::kHugeWindow);
+  m.on_timeout(8 * kMss);
+  EXPECT_EQ(m.cwnd(), WindowModel::kHugeWindow);
+  m.on_source_quench(8 * kMss);
+  EXPECT_EQ(m.cwnd(), WindowModel::kHugeWindow);
+}
+
+TEST(WindowModel, DupAckUpdatesCwndBug) {
+  auto irix = established(*find_profile("IRIX"));
+  auto reno = established(generic_reno());
+  const std::uint32_t i0 = irix.cwnd(), r0 = reno.cwnd();
+  irix.on_dup_ack_below_threshold();
+  reno.on_dup_ack_below_threshold();
+  EXPECT_GT(irix.cwnd(), i0);  // the bug: dups open the window
+  EXPECT_EQ(reno.cwnd(), r0);
+}
+
+// ---------------------------------------------------- property sweeps
+
+class AllProfilesWindow : public ::testing::TestWithParam<TcpProfile> {};
+
+TEST_P(AllProfilesWindow, CwndNeverZeroAndBounded) {
+  auto m = established(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    m.on_new_ack(kMss);
+    ASSERT_GE(m.cwnd(), 1u);
+    ASSERT_LE(m.cwnd(), WindowModel::kHugeWindow);
+  }
+  m.on_timeout(m.cwnd());
+  ASSERT_GE(m.cwnd(), 1u);
+  m.on_fast_retransmit(m.cwnd());
+  ASSERT_GE(m.cwnd(), 1u);
+}
+
+TEST_P(AllProfilesWindow, SsthreshRespectsMinimumClamp) {
+  const TcpProfile& p = GetParam();
+  if (p.no_congestion_control) GTEST_SKIP();
+  auto m = established(p);
+  m.on_timeout(1);  // pathologically small flight
+  EXPECT_GE(m.ssthresh(), p.min_ssthresh_segments * m.accounting_mss());
+}
+
+TEST_P(AllProfilesWindow, TimeoutAlwaysCollapsesToInitialWindow) {
+  const TcpProfile& p = GetParam();
+  if (p.no_congestion_control) GTEST_SKIP();
+  auto m = established(p);
+  for (int i = 0; i < 50; ++i) m.on_new_ack(kMss);
+  m.on_timeout(m.cwnd());
+  EXPECT_EQ(m.cwnd(), p.initial_cwnd_segments * m.accounting_mss());
+}
+
+TEST_P(AllProfilesWindow, GrowthIsMonotoneOnNewAcks) {
+  auto m = established(GetParam());
+  std::uint32_t prev = m.cwnd();
+  for (int i = 0; i < 100; ++i) {
+    m.on_new_ack(kMss);
+    ASSERT_GE(m.cwnd(), prev);
+    prev = m.cwnd();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllProfilesWindow,
+                         ::testing::ValuesIn(all_profiles()),
+                         [](const ::testing::TestParamInfo<TcpProfile>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace tcpanaly::tcp

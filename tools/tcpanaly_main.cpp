@@ -1,0 +1,287 @@
+// tcpanaly: command-line packet-trace analysis of TCP implementations.
+//
+// The tool the paper describes (and promised to release): point it at a
+// pcap capture of a TCP bulk transfer taken at or near one endpoint, and
+// it reports (a) whether the trace itself can be trusted -- packet-filter
+// drops, added duplicates, resequencing, time travel -- and (b) which TCP
+// implementations the endpoint's behavior is consistent with, and exactly
+// where it deviates from the rest.
+//
+// Usage:
+//   tcpanaly [options] <trace.pcap>
+//
+// Options:
+//   --receiver           the traced (local) host is the data RECEIVER
+//                        (default: sender)
+//   --candidates a,b,c   comma-separated implementation names to test
+//                        (default: all known; --list shows them)
+//   --summary            print per-connection statistics (tcptrace-style)
+//   --conformance        check RFC1122/[Ja88] requirements observable here
+//   --calibrate-only     stop after the measurement-error report
+//   --seqplot            print an ASCII time-sequence plot of the trace
+//   --report <name>      print the detailed report for one candidate
+//   --list               list known implementations and exit
+//   --strip-duplicates <out.pcap>
+//                        write the deduplicated trace to a new pcap file
+//   --pair <other.pcap>  the OTHER endpoint's trace of the same connection:
+//                        adds trace-pair clock calibration (relative skew,
+//                        step adjustments) per [Pa97b]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "core/calibration.hpp"
+#include "core/clock_pair.hpp"
+#include "core/path_metrics.hpp"
+#include "core/conformance.hpp"
+#include "core/summary.hpp"
+#include "core/receiver_analyzer.hpp"
+#include "core/sender_analyzer.hpp"
+#include "tcp/profiles.hpp"
+#include "trace/pcap_io.hpp"
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+int list_implementations() {
+  util::TextTable table({"name", "versions", "lineage"});
+  for (const auto& p : tcp::all_profiles()) {
+    const char* lineage = p.lineage == tcp::Lineage::kTahoe   ? "Tahoe"
+                          : p.lineage == tcp::Lineage::kReno ? "Reno"
+                                                             : "independent";
+    table.add_row({p.name, p.versions, lineage});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+std::vector<tcp::TcpProfile> parse_candidates(const std::string& arg, bool* ok) {
+  std::vector<tcp::TcpProfile> out;
+  *ok = true;
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string name =
+        arg.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!name.empty()) {
+      auto p = tcp::find_profile(name);
+      if (!p) {
+        std::fprintf(stderr, "unknown implementation: '%s' (try --list)\n", name.c_str());
+        *ok = false;
+        return {};
+      }
+      out.push_back(std::move(*p));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void print_sender_report(const core::SenderReport& rep) {
+  std::printf("  data packets:            %zu (%zu retransmissions)\n", rep.data_packets,
+              rep.retransmissions);
+  std::printf("  retransmission events:   %zu timeout, %zu fast-retransmit, "
+              "%zu flight-burst, %zu quirk\n",
+              rep.timeout_events, rep.fast_retransmit_events, rep.flight_burst_events,
+              rep.quirk_retransmissions);
+  std::printf("  unexplained retransmissions: %zu", rep.unexplained_retransmissions);
+  for (std::size_t idx : rep.unexplained_indices) std::printf("  [record %zu]", idx);
+  std::printf("\n");
+  std::printf("  window violations:       %zu\n", rep.violations.size());
+  for (const auto& v : rep.violations)
+    std::printf("    record %zu at %s: %llu byte(s) beyond the computed window\n",
+                v.record_index, v.when.to_string().c_str(),
+                static_cast<unsigned long long>(v.over_bytes));
+  if (!rep.response_delays.empty())
+    std::printf("  response delays:         mean %s, max %s over %zu liberations\n",
+                rep.response_delays.mean().to_string().c_str(),
+                rep.response_delays.max().to_string().c_str(),
+                rep.response_delays.count());
+  std::printf("  unexercised liberations: %zu\n", rep.lull_count);
+  std::printf("  inferred sender window:  %u bytes%s\n", rep.inferred_sender_window,
+              rep.sender_window_limited ? " (in force)" : " (never binding)");
+  if (!rep.inferred_quenches.empty()) {
+    std::printf("  inferred source quenches:");
+    for (std::size_t idx : rep.inferred_quenches) std::printf(" [record %zu]", idx);
+    std::printf("\n");
+  }
+}
+
+void print_receiver_report(const core::ReceiverReport& rep) {
+  std::printf("  data packets:      %zu\n", rep.data_packets);
+  std::printf("  acks:              %zu (%zu delayed, %zu normal, %zu stretch, "
+              "%zu dup, %zu window-update, %zu gratuitous)\n",
+              rep.acks, rep.delayed_acks, rep.normal_acks, rep.stretch_acks, rep.dup_acks,
+              rep.window_update_acks, rep.gratuitous_acks);
+  if (rep.delayed_ack_delays.count() > 0)
+    std::printf("  delayed-ack latency: mean %s, max %s\n",
+                rep.delayed_ack_delays.mean().to_string().c_str(),
+                rep.delayed_ack_delays.max().to_string().c_str());
+  std::printf("  policy violations: %zu%s\n", rep.policy_violations,
+              rep.distribution_mismatch ? "  [delay distribution mismatch]" : "");
+  std::printf("  mandatory acks missed: %zu\n", rep.mandatory_missed);
+  std::printf("  corrupted arrivals: %zu verified by checksum, %zu inferred\n",
+              rep.checksum_verified_corrupt, rep.inferred_corrupt_packets);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--receiver] [--candidates a,b,c] [--calibrate-only]\n"
+               "          [--summary]\n"
+               "          [--seqplot] [--report <impl>] [--strip-duplicates out.pcap]\n"
+               "          [--pair other.pcap] [--list] <trace.pcap>\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool receiver_side = false;
+  bool calibrate_only = false;
+  bool seqplot = false;
+  bool summary = false;
+  bool conformance = false;
+  std::string candidates_arg;
+  std::string report_name;
+  std::string strip_out;
+  std::string pair_path;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") return list_implementations();
+    if (arg == "--receiver") {
+      receiver_side = true;
+    } else if (arg == "--calibrate-only") {
+      calibrate_only = true;
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--conformance") {
+      conformance = true;
+    } else if (arg == "--seqplot") {
+      seqplot = true;
+    } else if (arg == "--candidates" && i + 1 < argc) {
+      candidates_arg = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_name = argv[++i];
+    } else if (arg == "--strip-duplicates" && i + 1 < argc) {
+      strip_out = argv[++i];
+    } else if (arg == "--pair" && i + 1 < argc) {
+      pair_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  trace::PcapReadResult loaded;
+  try {
+    loaded = trace::read_capture_file(path, /*local_is_sender=*/!receiver_side);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("%s: %zu TCP record(s), %zu non-TCP frame(s) skipped\n", path.c_str(),
+              loaded.trace.size(), loaded.skipped_frames);
+  std::printf("local endpoint %s (%s), remote %s\n\n",
+              loaded.trace.meta().local.to_string().c_str(),
+              receiver_side ? "receiver" : "sender",
+              loaded.trace.meta().remote.to_string().c_str());
+
+  std::vector<tcp::TcpProfile> candidates = tcp::all_profiles();
+  if (!candidates_arg.empty()) {
+    bool ok = false;
+    candidates = parse_candidates(candidates_arg, &ok);
+    if (!ok) return 1;
+  }
+
+  if (summary) {
+    std::printf("== summary ==\n%s\n", core::summarize(loaded.trace).render().c_str());
+  }
+
+  if (conformance) {
+    std::printf("== conformance ==\n%s\n",
+                core::check_conformance(loaded.trace).render().c_str());
+  }
+
+  if (seqplot) {
+    std::printf("%s\n", trace::render_seqplot(trace::extract_seqplot(loaded.trace), 76, 22)
+                            .c_str());
+  }
+
+  auto calibration = core::calibrate(loaded.trace);
+  std::printf("== calibration ==\n%s\n", calibration.summary().c_str());
+
+  if (!pair_path.empty()) {
+    try {
+      auto other = trace::read_capture_file(pair_path, /*local_is_sender=*/receiver_side);
+      const trace::Trace& snd = receiver_side ? other.trace : loaded.trace;
+      const trace::Trace& rcv = receiver_side ? loaded.trace : other.trace;
+      std::printf("== clock-pair calibration (vs %s) ==\n%s\n", pair_path.c_str(),
+                  core::compare_clocks(snd, rcv).summary().c_str());
+      const auto dyn = core::measure_path_dynamics(snd, rcv);
+      std::printf("== path dynamics (aligned pair) ==\n"
+                  "data copies: %llu sent, %llu arrived, %llu matched\n"
+                  "reordered arrivals: %llu (%.2f%% of matched)\n"
+                  "network replication: %llu, network loss: %llu (%.2f%% of sent)\n",
+                  (unsigned long long)dyn.sender_copies,
+                  (unsigned long long)dyn.receiver_copies,
+                  (unsigned long long)dyn.matched, (unsigned long long)dyn.reordered,
+                  100.0 * dyn.reorder_fraction(),
+                  (unsigned long long)dyn.network_duplicates,
+                  (unsigned long long)dyn.network_losses, 100.0 * dyn.loss_fraction());
+      const auto bottleneck = core::estimate_bottleneck(rcv);
+      if (bottleneck.samples > 0)
+        std::printf("bottleneck estimate: %.1f KB/s (%d samples, mode %.0f%%%s)\n\n",
+                    bottleneck.bytes_per_sec / 1000.0, bottleneck.samples,
+                    100.0 * bottleneck.mode_fraction,
+                    bottleneck.reliable ? "" : ", unreliable");
+      else
+        std::printf("bottleneck estimate: (insufficient arrival pairs)\n\n");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", pair_path.c_str(), e.what());
+      return 1;
+    }
+  }
+  if (!strip_out.empty()) {
+    trace::Trace cleaned = core::strip_duplicates(loaded.trace, calibration.duplication);
+    trace::write_pcap_file(strip_out, cleaned);
+    std::printf("wrote deduplicated trace (%zu records) to %s\n\n", cleaned.size(),
+                strip_out.c_str());
+  }
+  if (calibrate_only) return calibration.trustworthy() ? 0 : 3;
+
+  auto analysis = core::analyze_trace(loaded.trace, candidates);
+  std::printf("== implementation match ==\n%s\n", analysis.match.render().c_str());
+
+  if (!report_name.empty()) {
+    auto profile = tcp::find_profile(report_name);
+    if (!profile) {
+      std::fprintf(stderr, "unknown implementation: '%s' (try --list)\n",
+                   report_name.c_str());
+      return 1;
+    }
+    std::printf("== detailed report: %s ==\n", report_name.c_str());
+    if (receiver_side) {
+      print_receiver_report(
+          core::ReceiverAnalyzer(*profile).analyze(analysis.cleaned));
+    } else {
+      print_sender_report(core::SenderAnalyzer(*profile).analyze(analysis.cleaned));
+      const std::uint32_t ssthresh =
+          core::infer_initial_ssthresh(analysis.cleaned, *profile);
+      std::printf("  inferred initial ssthresh: %s\n",
+                  ssthresh == 0 ? "effectively unbounded"
+                                : (std::to_string(ssthresh) + " segment(s)").c_str());
+    }
+  }
+  return 0;
+}
