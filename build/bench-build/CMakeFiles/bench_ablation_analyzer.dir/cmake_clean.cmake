@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_analyzer"
+  "../bench/bench_ablation_analyzer.pdb"
+  "CMakeFiles/bench_ablation_analyzer.dir/bench_ablation_analyzer.cpp.o"
+  "CMakeFiles/bench_ablation_analyzer.dir/bench_ablation_analyzer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

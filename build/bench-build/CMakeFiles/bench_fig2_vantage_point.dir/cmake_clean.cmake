@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_vantage_point"
+  "../bench/bench_fig2_vantage_point.pdb"
+  "CMakeFiles/bench_fig2_vantage_point.dir/bench_fig2_vantage_point.cpp.o"
+  "CMakeFiles/bench_fig2_vantage_point.dir/bench_fig2_vantage_point.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_vantage_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

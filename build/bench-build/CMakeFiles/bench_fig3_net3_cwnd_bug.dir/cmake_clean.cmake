@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_net3_cwnd_bug"
+  "../bench/bench_fig3_net3_cwnd_bug.pdb"
+  "CMakeFiles/bench_fig3_net3_cwnd_bug.dir/bench_fig3_net3_cwnd_bug.cpp.o"
+  "CMakeFiles/bench_fig3_net3_cwnd_bug.dir/bench_fig3_net3_cwnd_bug.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_net3_cwnd_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

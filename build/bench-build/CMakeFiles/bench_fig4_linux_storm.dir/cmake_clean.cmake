@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_linux_storm"
+  "../bench/bench_fig4_linux_storm.pdb"
+  "CMakeFiles/bench_fig4_linux_storm.dir/bench_fig4_linux_storm.cpp.o"
+  "CMakeFiles/bench_fig4_linux_storm.dir/bench_fig4_linux_storm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_linux_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_solaris_rto"
+  "../bench/bench_fig5_solaris_rto.pdb"
+  "CMakeFiles/bench_fig5_solaris_rto.dir/bench_fig5_solaris_rto.cpp.o"
+  "CMakeFiles/bench_fig5_solaris_rto.dir/bench_fig5_solaris_rto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_solaris_rto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

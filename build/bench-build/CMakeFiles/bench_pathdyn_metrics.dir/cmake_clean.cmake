@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pathdyn_metrics"
+  "../bench/bench_pathdyn_metrics.pdb"
+  "CMakeFiles/bench_pathdyn_metrics.dir/bench_pathdyn_metrics.cpp.o"
+  "CMakeFiles/bench_pathdyn_metrics.dir/bench_pathdyn_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pathdyn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_analyzer"
+  "../bench/bench_perf_analyzer.pdb"
+  "CMakeFiles/bench_perf_analyzer.dir/bench_perf_analyzer.cpp.o"
+  "CMakeFiles/bench_perf_analyzer.dir/bench_perf_analyzer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

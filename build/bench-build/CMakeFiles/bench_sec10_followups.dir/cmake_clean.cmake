@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec10_followups"
+  "../bench/bench_sec10_followups.pdb"
+  "CMakeFiles/bench_sec10_followups.dir/bench_sec10_followups.cpp.o"
+  "CMakeFiles/bench_sec10_followups.dir/bench_sec10_followups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec10_followups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec11_conformance"
+  "../bench/bench_sec11_conformance.pdb"
+  "CMakeFiles/bench_sec11_conformance.dir/bench_sec11_conformance.cpp.o"
+  "CMakeFiles/bench_sec11_conformance.dir/bench_sec11_conformance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec11_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

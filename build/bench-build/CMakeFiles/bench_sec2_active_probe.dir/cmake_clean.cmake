@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec2_active_probe"
+  "../bench/bench_sec2_active_probe.pdb"
+  "CMakeFiles/bench_sec2_active_probe.dir/bench_sec2_active_probe.cpp.o"
+  "CMakeFiles/bench_sec2_active_probe.dir/bench_sec2_active_probe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_active_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

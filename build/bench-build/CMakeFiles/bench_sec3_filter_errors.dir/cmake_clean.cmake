@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec3_filter_errors"
+  "../bench/bench_sec3_filter_errors.pdb"
+  "CMakeFiles/bench_sec3_filter_errors.dir/bench_sec3_filter_errors.cpp.o"
+  "CMakeFiles/bench_sec3_filter_errors.dir/bench_sec3_filter_errors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_filter_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

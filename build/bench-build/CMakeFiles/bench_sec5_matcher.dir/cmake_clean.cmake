@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec5_matcher"
+  "../bench/bench_sec5_matcher.pdb"
+  "CMakeFiles/bench_sec5_matcher.dir/bench_sec5_matcher.cpp.o"
+  "CMakeFiles/bench_sec5_matcher.dir/bench_sec5_matcher.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec6_inference.cpp" "bench-build/CMakeFiles/bench_sec6_inference.dir/bench_sec6_inference.cpp.o" "gcc" "bench-build/CMakeFiles/bench_sec6_inference.dir/bench_sec6_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/probe/CMakeFiles/tcpanaly_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/tcpanaly_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcpanaly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tcpanaly_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tcpanaly_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tcpanaly_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcpanaly_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec6_inference"
+  "../bench/bench_sec6_inference.pdb"
+  "CMakeFiles/bench_sec6_inference.dir/bench_sec6_inference.cpp.o"
+  "CMakeFiles/bench_sec6_inference.dir/bench_sec6_inference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

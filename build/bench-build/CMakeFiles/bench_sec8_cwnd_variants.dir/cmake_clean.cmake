@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec8_cwnd_variants"
+  "../bench/bench_sec8_cwnd_variants.pdb"
+  "CMakeFiles/bench_sec8_cwnd_variants.dir/bench_sec8_cwnd_variants.cpp.o"
+  "CMakeFiles/bench_sec8_cwnd_variants.dir/bench_sec8_cwnd_variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_cwnd_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

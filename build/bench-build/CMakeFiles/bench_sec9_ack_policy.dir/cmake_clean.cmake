@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec9_ack_policy"
+  "../bench/bench_sec9_ack_policy.pdb"
+  "CMakeFiles/bench_sec9_ack_policy.dir/bench_sec9_ack_policy.cpp.o"
+  "CMakeFiles/bench_sec9_ack_policy.dir/bench_sec9_ack_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec9_ack_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

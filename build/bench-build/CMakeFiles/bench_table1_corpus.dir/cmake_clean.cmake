@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_corpus"
+  "../bench/bench_table1_corpus.pdb"
+  "CMakeFiles/bench_table1_corpus.dir/bench_table1_corpus.cpp.o"
+  "CMakeFiles/bench_table1_corpus.dir/bench_table1_corpus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_victim_throughput"
+  "../bench/bench_victim_throughput.pdb"
+  "CMakeFiles/bench_victim_throughput.dir/bench_victim_throughput.cpp.o"
+  "CMakeFiles/bench_victim_throughput.dir/bench_victim_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_victim_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

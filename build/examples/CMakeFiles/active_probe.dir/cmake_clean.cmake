@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_probe.dir/active_probe.cpp.o"
+  "CMakeFiles/active_probe.dir/active_probe.cpp.o.d"
+  "active_probe"
+  "active_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_error_audit.dir/filter_error_audit.cpp.o"
+  "CMakeFiles/filter_error_audit.dir/filter_error_audit.cpp.o.d"
+  "filter_error_audit"
+  "filter_error_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_error_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identify_implementation.dir/identify_implementation.cpp.o"
+  "CMakeFiles/identify_implementation.dir/identify_implementation.cpp.o.d"
+  "identify_implementation"
+  "identify_implementation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identify_implementation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathology_explorer.dir/pathology_explorer.cpp.o"
+  "CMakeFiles/pathology_explorer.dir/pathology_explorer.cpp.o.d"
+  "pathology_explorer"
+  "pathology_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathology_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

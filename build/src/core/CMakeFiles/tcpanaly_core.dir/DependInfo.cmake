@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyze.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/analyze.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/analyze.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/clock_pair.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/clock_pair.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/clock_pair.cpp.o.d"
+  "/root/repo/src/core/conformance.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/conformance.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/conformance.cpp.o.d"
+  "/root/repo/src/core/interval_set.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/interval_set.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/interval_set.cpp.o.d"
+  "/root/repo/src/core/matcher.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/matcher.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/matcher.cpp.o.d"
+  "/root/repo/src/core/path_metrics.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/path_metrics.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/path_metrics.cpp.o.d"
+  "/root/repo/src/core/receiver_analyzer.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/receiver_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/receiver_analyzer.cpp.o.d"
+  "/root/repo/src/core/sender_analyzer.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/sender_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/sender_analyzer.cpp.o.d"
+  "/root/repo/src/core/summary.cpp" "src/core/CMakeFiles/tcpanaly_core.dir/summary.cpp.o" "gcc" "src/core/CMakeFiles/tcpanaly_core.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/tcpanaly_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tcpanaly_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcpanaly_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tcpanaly_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

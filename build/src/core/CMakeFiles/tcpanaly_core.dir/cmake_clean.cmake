@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpanaly_core.dir/analyze.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/analyze.cpp.o.d"
+  "CMakeFiles/tcpanaly_core.dir/calibration.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/tcpanaly_core.dir/clock_pair.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/clock_pair.cpp.o.d"
+  "CMakeFiles/tcpanaly_core.dir/conformance.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/conformance.cpp.o.d"
+  "CMakeFiles/tcpanaly_core.dir/interval_set.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/interval_set.cpp.o.d"
+  "CMakeFiles/tcpanaly_core.dir/matcher.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/matcher.cpp.o.d"
+  "CMakeFiles/tcpanaly_core.dir/path_metrics.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/path_metrics.cpp.o.d"
+  "CMakeFiles/tcpanaly_core.dir/receiver_analyzer.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/receiver_analyzer.cpp.o.d"
+  "CMakeFiles/tcpanaly_core.dir/sender_analyzer.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/sender_analyzer.cpp.o.d"
+  "CMakeFiles/tcpanaly_core.dir/summary.cpp.o"
+  "CMakeFiles/tcpanaly_core.dir/summary.cpp.o.d"
+  "libtcpanaly_core.a"
+  "libtcpanaly_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpanaly_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpanaly_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/tcpanaly_corpus.dir/corpus.cpp.o.d"
+  "libtcpanaly_corpus.a"
+  "libtcpanaly_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpanaly_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

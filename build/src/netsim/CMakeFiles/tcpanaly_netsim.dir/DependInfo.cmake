@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/clock.cpp" "src/netsim/CMakeFiles/tcpanaly_netsim.dir/clock.cpp.o" "gcc" "src/netsim/CMakeFiles/tcpanaly_netsim.dir/clock.cpp.o.d"
+  "/root/repo/src/netsim/event_loop.cpp" "src/netsim/CMakeFiles/tcpanaly_netsim.dir/event_loop.cpp.o" "gcc" "src/netsim/CMakeFiles/tcpanaly_netsim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/netsim/path.cpp" "src/netsim/CMakeFiles/tcpanaly_netsim.dir/path.cpp.o" "gcc" "src/netsim/CMakeFiles/tcpanaly_netsim.dir/path.cpp.o.d"
+  "/root/repo/src/netsim/tap.cpp" "src/netsim/CMakeFiles/tcpanaly_netsim.dir/tap.cpp.o" "gcc" "src/netsim/CMakeFiles/tcpanaly_netsim.dir/tap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/tcpanaly_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcpanaly_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpanaly_netsim.dir/clock.cpp.o"
+  "CMakeFiles/tcpanaly_netsim.dir/clock.cpp.o.d"
+  "CMakeFiles/tcpanaly_netsim.dir/event_loop.cpp.o"
+  "CMakeFiles/tcpanaly_netsim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/tcpanaly_netsim.dir/path.cpp.o"
+  "CMakeFiles/tcpanaly_netsim.dir/path.cpp.o.d"
+  "CMakeFiles/tcpanaly_netsim.dir/tap.cpp.o"
+  "CMakeFiles/tcpanaly_netsim.dir/tap.cpp.o.d"
+  "libtcpanaly_netsim.a"
+  "libtcpanaly_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpanaly_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpanaly_probe.dir/probe.cpp.o"
+  "CMakeFiles/tcpanaly_probe.dir/probe.cpp.o.d"
+  "libtcpanaly_probe.a"
+  "libtcpanaly_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpanaly_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

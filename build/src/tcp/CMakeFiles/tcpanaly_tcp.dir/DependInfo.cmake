@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/profiles.cpp" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/profiles.cpp.o" "gcc" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/profiles.cpp.o.d"
+  "/root/repo/src/tcp/receiver.cpp" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/receiver.cpp.o" "gcc" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/receiver.cpp.o.d"
+  "/root/repo/src/tcp/rto.cpp" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/rto.cpp.o" "gcc" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/rto.cpp.o.d"
+  "/root/repo/src/tcp/sender.cpp" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/sender.cpp.o" "gcc" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/sender.cpp.o.d"
+  "/root/repo/src/tcp/session.cpp" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/session.cpp.o" "gcc" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/session.cpp.o.d"
+  "/root/repo/src/tcp/window_model.cpp" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/window_model.cpp.o" "gcc" "src/tcp/CMakeFiles/tcpanaly_tcp.dir/window_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/tcpanaly_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tcpanaly_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcpanaly_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

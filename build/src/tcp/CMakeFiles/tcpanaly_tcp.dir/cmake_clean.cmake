@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpanaly_tcp.dir/profiles.cpp.o"
+  "CMakeFiles/tcpanaly_tcp.dir/profiles.cpp.o.d"
+  "CMakeFiles/tcpanaly_tcp.dir/receiver.cpp.o"
+  "CMakeFiles/tcpanaly_tcp.dir/receiver.cpp.o.d"
+  "CMakeFiles/tcpanaly_tcp.dir/rto.cpp.o"
+  "CMakeFiles/tcpanaly_tcp.dir/rto.cpp.o.d"
+  "CMakeFiles/tcpanaly_tcp.dir/sender.cpp.o"
+  "CMakeFiles/tcpanaly_tcp.dir/sender.cpp.o.d"
+  "CMakeFiles/tcpanaly_tcp.dir/session.cpp.o"
+  "CMakeFiles/tcpanaly_tcp.dir/session.cpp.o.d"
+  "CMakeFiles/tcpanaly_tcp.dir/window_model.cpp.o"
+  "CMakeFiles/tcpanaly_tcp.dir/window_model.cpp.o.d"
+  "libtcpanaly_tcp.a"
+  "libtcpanaly_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpanaly_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

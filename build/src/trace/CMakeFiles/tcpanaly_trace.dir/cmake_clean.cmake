@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpanaly_trace.dir/checksum.cpp.o"
+  "CMakeFiles/tcpanaly_trace.dir/checksum.cpp.o.d"
+  "CMakeFiles/tcpanaly_trace.dir/pcap_io.cpp.o"
+  "CMakeFiles/tcpanaly_trace.dir/pcap_io.cpp.o.d"
+  "CMakeFiles/tcpanaly_trace.dir/trace.cpp.o"
+  "CMakeFiles/tcpanaly_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/tcpanaly_trace.dir/wire.cpp.o"
+  "CMakeFiles/tcpanaly_trace.dir/wire.cpp.o.d"
+  "libtcpanaly_trace.a"
+  "libtcpanaly_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpanaly_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpanaly_util.dir/rng.cpp.o"
+  "CMakeFiles/tcpanaly_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tcpanaly_util.dir/stats.cpp.o"
+  "CMakeFiles/tcpanaly_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tcpanaly_util.dir/table.cpp.o"
+  "CMakeFiles/tcpanaly_util.dir/table.cpp.o.d"
+  "CMakeFiles/tcpanaly_util.dir/time.cpp.o"
+  "CMakeFiles/tcpanaly_util.dir/time.cpp.o.d"
+  "libtcpanaly_util.a"
+  "libtcpanaly_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpanaly_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_unit_test.dir/analyzer_unit_test.cpp.o"
+  "CMakeFiles/analyzer_unit_test.dir/analyzer_unit_test.cpp.o.d"
+  "analyzer_unit_test"
+  "analyzer_unit_test.pdb"
+  "analyzer_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

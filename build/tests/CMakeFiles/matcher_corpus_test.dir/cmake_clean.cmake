@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_corpus_test.dir/matcher_corpus_test.cpp.o"
+  "CMakeFiles/matcher_corpus_test.dir/matcher_corpus_test.cpp.o.d"
+  "matcher_corpus_test"
+  "matcher_corpus_test.pdb"
+  "matcher_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_metrics_test.dir/path_metrics_test.cpp.o"
+  "CMakeFiles/path_metrics_test.dir/path_metrics_test.cpp.o.d"
+  "path_metrics_test"
+  "path_metrics_test.pdb"
+  "path_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_behavior_test.dir/profile_behavior_test.cpp.o"
+  "CMakeFiles/profile_behavior_test.dir/profile_behavior_test.cpp.o.d"
+  "profile_behavior_test"
+  "profile_behavior_test.pdb"
+  "profile_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receiver_endpoint_test.dir/receiver_endpoint_test.cpp.o"
+  "CMakeFiles/receiver_endpoint_test.dir/receiver_endpoint_test.cpp.o.d"
+  "receiver_endpoint_test"
+  "receiver_endpoint_test.pdb"
+  "receiver_endpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receiver_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

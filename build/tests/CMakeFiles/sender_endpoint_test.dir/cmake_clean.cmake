@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sender_endpoint_test.dir/sender_endpoint_test.cpp.o"
+  "CMakeFiles/sender_endpoint_test.dir/sender_endpoint_test.cpp.o.d"
+  "sender_endpoint_test"
+  "sender_endpoint_test.pdb"
+  "sender_endpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sender_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_smoke_test.dir/session_smoke_test.cpp.o"
+  "CMakeFiles/session_smoke_test.dir/session_smoke_test.cpp.o.d"
+  "session_smoke_test"
+  "session_smoke_test.pdb"
+  "session_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_model_test.dir/window_model_test.cpp.o"
+  "CMakeFiles/window_model_test.dir/window_model_test.cpp.o.d"
+  "window_model_test"
+  "window_model_test.pdb"
+  "window_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/session_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/analyzer_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/window_model_test[1]_include.cmake")
+include("/root/repo/build/tests/rto_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_set_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/receiver_endpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/analyzer_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/matcher_corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/clock_pair_test[1]_include.cmake")
+include("/root/repo/build/tests/sender_endpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/summary_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/app_limited_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/probe_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/session_property_test[1]_include.cmake")
+include("/root/repo/build/tests/heterogeneous_test[1]_include.cmake")
+include("/root/repo/build/tests/path_metrics_test[1]_include.cmake")

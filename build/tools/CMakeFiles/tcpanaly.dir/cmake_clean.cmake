@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpanaly.dir/tcpanaly_main.cpp.o"
+  "CMakeFiles/tcpanaly.dir/tcpanaly_main.cpp.o.d"
+  "tcpanaly"
+  "tcpanaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpanaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
