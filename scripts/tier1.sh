@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer build of the parallel execution layer so the thread pool
+# and its two production fan-outs (corpus generation, candidate matching)
+# stay race-free.
+#
+# Usage: scripts/tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+# TSan leg: the parallel tests only, in a separate build tree.
+TSAN_BUILD="${BUILD}-tsan"
+cmake -B "$TSAN_BUILD" -S . -DTCPANALY_SANITIZE=thread
+cmake --build "$TSAN_BUILD" -j --target parallel_test
+ctest --test-dir "$TSAN_BUILD" --output-on-failure -R '^Parallel' -j
+
+echo "tier-1 OK (including TSan parallel leg)"

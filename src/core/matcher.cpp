@@ -1,7 +1,9 @@
 #include "core/matcher.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace tcpanaly::core {
@@ -44,7 +46,7 @@ int fit_rank(FitClass fit) { return static_cast<int>(fit); }
 }  // namespace
 
 std::string CandidateFit::one_line() const {
-  if (sender.acks_seen > 0 || sender.data_packets > 0) {
+  if (role == trace::LocalRole::kSender) {
     return util::strf(
         "%-16s %-18s penalty=%9.1f viol=%zu unexpl=%zu lull=%zu resp(mean=%s max=%s)",
         profile.name.c_str(), to_string(fit), penalty, sender.violations.size(),
@@ -58,6 +60,12 @@ std::string CandidateFit::one_line() const {
       receiver.gratuitous_acks, receiver.mandatory_missed,
       receiver.distribution_mismatch ? "MISMATCH" : "ok",
       receiver.delayed_ack_delays.mean().to_string().c_str());
+}
+
+const CandidateFit& MatchResult::best() const {
+  if (fits.empty())
+    throw std::out_of_range("MatchResult::best(): no candidate fits");
+  return fits.front();
 }
 
 bool MatchResult::identifies(const std::string& name) const {
@@ -77,6 +85,10 @@ bool MatchResult::identifies(const std::string& name) const {
 std::string MatchResult::render() const {
   std::string out;
   out += role == trace::LocalRole::kSender ? "sender-side trace\n" : "receiver-side trace\n";
+  if (fits.empty()) {
+    out += "  (no candidate fits)\n";
+    return out;
+  }
   for (const auto& f : fits) {
     out += "  ";
     out += f.one_line();
@@ -88,23 +100,31 @@ std::string MatchResult::render() const {
 MatchResult match_implementations(const trace::Trace& trace,
                                   const std::vector<tcp::TcpProfile>& candidates,
                                   const MatchOptions& opts) {
+  if (candidates.empty())
+    throw std::invalid_argument(
+        "match_implementations: empty candidate list (nothing to match)");
   MatchResult result;
   result.role = trace.meta().role;
-  result.fits.reserve(candidates.size());
-  for (const auto& profile : candidates) {
-    CandidateFit fit;
-    fit.profile = profile;
-    if (result.role == trace::LocalRole::kSender) {
-      fit.sender = SenderAnalyzer(profile, opts.sender).analyze(trace);
-      fit.penalty = fit.sender.penalty();
-      fit.fit = classify_sender(fit.sender, opts);
-    } else {
-      fit.receiver = ReceiverAnalyzer(profile, opts.receiver).analyze(trace);
-      fit.penalty = fit.receiver.penalty();
-      fit.fit = classify_receiver(fit.receiver);
-    }
-    result.fits.push_back(std::move(fit));
-  }
+  // Candidates only read the shared trace; gather by input index so the
+  // pre-sort order (and thus the stable sort) matches the serial path.
+  result.fits = util::parallel_map(
+      candidates,
+      [&](const tcp::TcpProfile& profile) {
+        CandidateFit fit;
+        fit.profile = profile;
+        fit.role = result.role;
+        if (result.role == trace::LocalRole::kSender) {
+          fit.sender = SenderAnalyzer(profile, opts.sender).analyze(trace);
+          fit.penalty = fit.sender.penalty();
+          fit.fit = classify_sender(fit.sender, opts);
+        } else {
+          fit.receiver = ReceiverAnalyzer(profile, opts.receiver).analyze(trace);
+          fit.penalty = fit.receiver.penalty();
+          fit.fit = classify_receiver(fit.receiver);
+        }
+        return fit;
+      },
+      opts.jobs);
   std::stable_sort(result.fits.begin(), result.fits.end(),
                    [](const CandidateFit& a, const CandidateFit& b) {
                      if (fit_rank(a.fit) != fit_rank(b.fit))

@@ -23,6 +23,10 @@ const char* to_string(FitClass fit);
 
 struct CandidateFit {
   tcp::TcpProfile profile;
+  /// Which role the traced endpoint played -- copied from the trace's
+  /// meta, never inferred from packet counts (a zero-data sender trace is
+  /// still a sender trace).
+  trace::LocalRole role = trace::LocalRole::kSender;
   FitClass fit = FitClass::kClearlyIncorrect;
   double penalty = 0.0;
 
@@ -39,7 +43,9 @@ struct MatchResult {
   /// Sorted best-first (ascending penalty; ties broken toward closer fit).
   std::vector<CandidateFit> fits;
 
-  const CandidateFit& best() const { return fits.front(); }
+  /// The best-ranked fit. Throws std::out_of_range when `fits` is empty
+  /// rather than dereferencing past the end.
+  const CandidateFit& best() const;
   /// True if `name` is among the close fits sharing the best penalty
   /// (behaviorally identical profiles -- e.g. BSDI vs NetBSD -- tie).
   bool identifies(const std::string& name) const;
@@ -51,10 +57,14 @@ struct MatchOptions {
   ReceiverAnalysisOptions receiver;
   /// Sender-side close-fit bound on mean response delay.
   util::Duration close_mean_response = util::Duration::millis(50);
+  /// Worker threads for analyzing candidates; <= 0 uses hardware
+  /// concurrency, 1 runs serially. Output is identical either way.
+  int jobs = 0;
 };
 
 /// Run every candidate against the trace; the trace's meta role selects
-/// sender vs receiver analysis.
+/// sender vs receiver analysis. Throws std::invalid_argument on an empty
+/// candidate list -- there is nothing to match and no best() to report.
 MatchResult match_implementations(const trace::Trace& trace,
                                   const std::vector<tcp::TcpProfile>& candidates,
                                   const MatchOptions& opts = {});

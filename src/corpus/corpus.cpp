@@ -1,5 +1,6 @@
 #include "corpus/corpus.hpp"
 
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace tcpanaly::corpus {
@@ -31,7 +32,10 @@ tcp::SessionConfig make_session(const tcp::TcpProfile& impl, const ScenarioParam
 
 std::vector<CorpusEntry> generate_corpus(const tcp::TcpProfile& impl,
                                          const CorpusOptions& opts) {
-  std::vector<CorpusEntry> entries;
+  // Flatten the grid first (seed assignment follows sweep order), then fan
+  // the independent cells out across workers; gathering by input index
+  // keeps the entry order identical to the serial sweep.
+  std::vector<ScenarioParams> grid;
   std::uint64_t seed = opts.base_seed;
   for (double loss : opts.loss_probs) {
     for (util::Duration owd : opts.one_way_delays) {
@@ -43,16 +47,21 @@ std::vector<CorpusEntry> generate_corpus(const tcp::TcpProfile& impl,
           params.rate_bytes_per_sec = rate;
           params.transfer_bytes = opts.transfer_bytes;
           params.seed = ++seed;
-          CorpusEntry entry;
-          entry.impl_name = impl.name;
-          entry.params = params;
-          entry.result = tcp::run_session(make_session(impl, params));
-          entries.push_back(std::move(entry));
+          grid.push_back(params);
         }
       }
     }
   }
-  return entries;
+  return util::parallel_map(
+      grid,
+      [&impl](const ScenarioParams& params) {
+        CorpusEntry entry;
+        entry.impl_name = impl.name;
+        entry.params = params;
+        entry.result = tcp::run_session(make_session(impl, params));
+        return entry;
+      },
+      opts.jobs);
 }
 
 }  // namespace tcpanaly::corpus

@@ -42,6 +42,10 @@ struct CorpusOptions {
   int seeds_per_cell = 1;
   std::uint32_t transfer_bytes = 100 * 1024;
   std::uint64_t base_seed = 1000;
+  /// Worker threads for the sweep; <= 0 uses hardware concurrency, 1 runs
+  /// serially. Every cell owns a seed-derived RNG, so the parallel sweep
+  /// is bitwise-identical to the serial one.
+  int jobs = 0;
 };
 
 struct CorpusEntry {

@@ -1,0 +1,124 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+namespace tcpanaly::util {
+
+unsigned default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned resolve_jobs(int jobs) {
+  return jobs <= 0 ? default_jobs() : static_cast<unsigned>(jobs);
+}
+
+struct ThreadPool::State {
+  std::mutex mu;
+  std::condition_variable work_cv;  ///< workers wait here for tasks
+  std::condition_variable idle_cv;  ///< wait_idle / destructor wait here
+  std::deque<std::function<void()>> queue;
+  std::size_t in_flight = 0;
+  bool stopping = false;
+};
+
+ThreadPool::ThreadPool(unsigned threads) : state_(new State) {
+  if (threads == 0) threads = default_jobs();
+  workers_.reserve(threads);
+  State* st = state_.get();
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([st] {
+      std::unique_lock<std::mutex> lock(st->mu);
+      for (;;) {
+        st->work_cv.wait(lock, [st] { return st->stopping || !st->queue.empty(); });
+        if (st->queue.empty()) return;  // stopping and drained
+        std::function<void()> task = std::move(st->queue.front());
+        st->queue.pop_front();
+        ++st->in_flight;
+        lock.unlock();
+        task();
+        lock.lock();
+        --st->in_flight;
+        if (st->queue.empty() && st->in_flight == 0) st->idle_cv.notify_all();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stopping = true;
+  }
+  state_->work_cv.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->stopping)
+      throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    state_->queue.push_back(std::move(task));
+  }
+  state_->work_cv.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->idle_cv.wait(lock,
+                       [this] { return state_->queue.empty() && state_->in_flight == 0; });
+}
+
+namespace detail {
+
+void run_indexed(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+
+  // Each drainer chases the shared index counter; every index runs exactly
+  // once, on whichever worker claims it first.
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  {
+    ThreadPool pool(static_cast<unsigned>(std::min<std::size_t>(jobs, n)));
+    for (unsigned w = 0; w < pool.size(); ++w) pool.submit(drain);
+    pool.wait_idle();
+  }  // destructor joins the workers
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+}  // namespace tcpanaly::util

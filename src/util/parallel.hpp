@@ -1,0 +1,89 @@
+// Work-queue parallel execution: a small fixed-size thread pool plus
+// parallel_for_each / parallel_map helpers for the embarrassingly-parallel
+// hot paths (corpus generation, candidate matching, batch trace analysis).
+//
+// Determinism contract: results are gathered BY INPUT INDEX, so parallel
+// output is bitwise-identical to serial output whenever each work item is
+// itself deterministic (every corpus cell owns a seed-derived RNG, every
+// matcher candidate reads a shared immutable trace). Only the execution
+// interleaving varies with the worker count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tcpanaly::util {
+
+/// Hardware concurrency, never less than 1.
+unsigned default_jobs();
+
+/// Map a user-facing jobs knob onto a worker count: values <= 0 mean
+/// "use default_jobs()", anything else is taken literally.
+unsigned resolve_jobs(int jobs);
+
+/// A fixed-size pool of worker threads draining one FIFO task queue.
+/// Destruction drains the queue: every task submitted before the
+/// destructor runs is executed before the workers join.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = 0);  // 0 => default_jobs()
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue one task. Throws std::runtime_error once shutdown has begun.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no task is executing.
+  void wait_idle();
+
+ private:
+  struct State;  // mutex/cv/queue bundle (defined in parallel.cpp)
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> workers_;
+};
+
+namespace detail {
+/// Run fn(0), ..., fn(n-1) across `jobs` pool workers and block until all
+/// have finished. jobs <= 1 (or n <= 1) runs inline on the caller.
+///
+/// Exception contract: the exception rethrown to the caller is always the
+/// one from the LOWEST failing index, so the surfaced error does not
+/// depend on worker scheduling. (Serial execution stops at that index;
+/// parallel execution still attempts every index before rethrowing.)
+void run_indexed(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)>& fn);
+}  // namespace detail
+
+/// Call fn(i) for every index in [0, n). `jobs` <= 0 uses default_jobs().
+template <typename Fn>
+void parallel_for_index(std::size_t n, Fn&& fn, int jobs = 0) {
+  detail::run_indexed(n, resolve_jobs(jobs), std::forward<Fn>(fn));
+}
+
+/// Call fn(item) for every item; items may be mutated in place.
+template <typename In, typename Fn>
+void parallel_for_each(std::vector<In>& items, Fn&& fn, int jobs = 0) {
+  detail::run_indexed(items.size(), resolve_jobs(jobs),
+                      [&](std::size_t i) { fn(items[i]); });
+}
+
+/// Map items through fn; out[i] == fn(items[i]) regardless of worker count.
+template <typename In, typename Fn>
+auto parallel_map(const std::vector<In>& items, Fn&& fn, int jobs = 0)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const In&>>> {
+  std::vector<std::decay_t<std::invoke_result_t<Fn&, const In&>>> out(items.size());
+  detail::run_indexed(items.size(), resolve_jobs(jobs),
+                      [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+}  // namespace tcpanaly::util

@@ -4,6 +4,7 @@
 
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/analyze.hpp"
 #include "corpus/corpus.hpp"
@@ -234,6 +235,51 @@ TEST(Profiles, RegistryInvariants) {
 TEST(Profiles, ExperimentalRouteCacheParameterized) {
   EXPECT_EQ(tcp::experimental_route_cache(4).initial_ssthresh_segments, 4u);
   EXPECT_EQ(tcp::experimental_route_cache().initial_ssthresh_segments, 6u);
+}
+
+// -- matcher edge cases the batch path hits at scale --
+
+TEST(Matcher, EmptyCandidateListRejected) {
+  corpus::ScenarioParams p;
+  p.seed = 4;
+  auto r = tcp::run_session(corpus::make_session(tcp::generic_reno(), p));
+  EXPECT_THROW(core::match_implementations(r.sender_trace, {}), std::invalid_argument);
+}
+
+TEST(Matcher, EmptyFitsAreSafeToRenderAndQuery) {
+  core::MatchResult empty;
+  EXPECT_FALSE(empty.identifies("Generic Reno"));
+  EXPECT_THROW(empty.best(), std::out_of_range);
+  const std::string out = empty.render();
+  EXPECT_NE(out.find("no candidate fits"), std::string::npos);
+}
+
+TEST(Matcher, ZeroDataSenderTraceRendersAsSenderRow) {
+  // A degenerate sender-side trace -- the local sender never got a byte
+  // out (say, the capture started after the transfer stalled) -- must
+  // still render sender-style rows: the role comes from the trace meta,
+  // not from guessing via packet counts.
+  trace::TraceMeta meta;
+  meta.local = {0x0a000001, 1234};
+  meta.remote = {0x0a000002, 80};
+  meta.role = trace::LocalRole::kSender;
+  trace::Trace degenerate(meta);
+  trace::PacketRecord ack;  // one inbound pure ack, zero local data packets
+  ack.timestamp = util::TimePoint(1000);
+  ack.src = meta.remote;
+  ack.dst = meta.local;
+  ack.tcp.flags.ack = true;
+  ack.tcp.ack = 1;
+  ack.tcp.window = 8192;
+  degenerate.push_back(ack);
+
+  auto match = core::match_implementations(degenerate, {tcp::generic_reno()});
+  ASSERT_EQ(match.fits.size(), 1u);
+  EXPECT_EQ(match.role, trace::LocalRole::kSender);
+  EXPECT_EQ(match.fits[0].role, trace::LocalRole::kSender);
+  const std::string line = match.fits[0].one_line();
+  EXPECT_NE(line.find("viol="), std::string::npos) << line;
+  EXPECT_EQ(line.find("polviol="), std::string::npos) << line;  // not a receiver row
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+// The work-queue parallel execution layer: pool lifecycle, exception
+// propagation, ordering determinism, and -- the property the batch paths
+// rely on -- parallel corpus/match output being identical to serial.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/matcher.hpp"
+#include "corpus/corpus.hpp"
+#include "tcp/profiles.hpp"
+#include "trace/pcap_io.hpp"
+#include "util/parallel.hpp"
+
+namespace tcpanaly {
+namespace {
+
+TEST(Parallel, DefaultJobsIsPositive) {
+  EXPECT_GE(util::default_jobs(), 1u);
+  EXPECT_EQ(util::resolve_jobs(0), util::default_jobs());
+  EXPECT_EQ(util::resolve_jobs(-3), util::default_jobs());
+  EXPECT_EQ(util::resolve_jobs(6), 6u);
+}
+
+TEST(Parallel, PoolDrainsQueueOnShutdown) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    for (int i = 0; i < 200; ++i)
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }  // destructor must run every queued task before joining
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(Parallel, WaitIdleBlocksUntilQueueEmpty) {
+  std::atomic<int> ran{0};
+  util::ThreadPool pool(2);
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 50);
+  // The pool stays usable after wait_idle.
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 51);
+}
+
+TEST(Parallel, MapPreservesInputOrder) {
+  std::vector<int> in(1000);
+  for (int i = 0; i < 1000; ++i) in[i] = i;
+  const auto out = util::parallel_map(in, [](int v) { return v * v; }, /*jobs=*/8);
+  ASSERT_EQ(out.size(), in.size());
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, ForEachVisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(512);
+  util::parallel_for_index(
+      hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, /*jobs=*/7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, LowestFailingIndexWins) {
+  // Several indices throw; the rethrown exception must be index 3's no
+  // matter how the workers interleave.
+  for (int rep = 0; rep < 10; ++rep) {
+    try {
+      util::parallel_for_index(
+          100,
+          [](std::size_t i) {
+            if (i == 3 || i == 57 || i == 99)
+              throw std::runtime_error("boom " + std::to_string(i));
+          },
+          /*jobs=*/8);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 3");
+    }
+  }
+}
+
+TEST(Parallel, SerialPathPropagatesException) {
+  EXPECT_THROW(util::parallel_for_index(
+                   10, [](std::size_t i) { if (i == 4) throw std::logic_error("x"); },
+                   /*jobs=*/1),
+               std::logic_error);
+}
+
+// -- determinism of the production fan-outs --
+
+std::string corpus_digest(const std::vector<corpus::CorpusEntry>& entries) {
+  std::stringstream buf;
+  for (const auto& e : entries) {
+    buf << e.impl_name << '|' << e.params.label() << '|';
+    trace::write_pcap(buf, e.result.sender_trace);
+    trace::write_pcap(buf, e.result.receiver_trace);
+  }
+  return buf.str();
+}
+
+TEST(Parallel, GenerateCorpusMatchesSerialBitwise) {
+  corpus::CorpusOptions opts;
+  opts.loss_probs = {0.0, 0.02};
+  opts.one_way_delays = {util::Duration::millis(20)};
+  opts.rates = {1'000'000.0};
+  opts.seeds_per_cell = 2;
+
+  opts.jobs = 1;
+  const auto serial = corpus::generate_corpus(tcp::generic_reno(), opts);
+  opts.jobs = 4;
+  const auto parallel = corpus::generate_corpus(tcp::generic_reno(), opts);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(corpus_digest(serial), corpus_digest(parallel));
+}
+
+TEST(Parallel, MatchImplementationsMatchesSerial) {
+  corpus::ScenarioParams p;
+  p.loss_prob = 0.01;
+  p.seed = 11;
+  auto r = tcp::run_session(corpus::make_session(tcp::generic_reno(), p));
+
+  core::MatchOptions mopts;
+  mopts.jobs = 1;
+  const auto serial = core::match_implementations(r.sender_trace, tcp::all_profiles(), mopts);
+  mopts.jobs = 4;
+  const auto parallel =
+      core::match_implementations(r.sender_trace, tcp::all_profiles(), mopts);
+
+  EXPECT_EQ(serial.render(), parallel.render());
+  ASSERT_EQ(serial.fits.size(), parallel.fits.size());
+  for (std::size_t i = 0; i < serial.fits.size(); ++i) {
+    EXPECT_EQ(serial.fits[i].profile.name, parallel.fits[i].profile.name);
+    EXPECT_EQ(serial.fits[i].penalty, parallel.fits[i].penalty);
+    EXPECT_EQ(serial.fits[i].fit, parallel.fits[i].fit);
+  }
+}
+
+}  // namespace
+}  // namespace tcpanaly

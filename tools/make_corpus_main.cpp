@@ -8,6 +8,7 @@
 //
 // Usage:
 //   make_corpus <output-dir> [--impl <name>] [--seeds N] [--transfer BYTES]
+//               [--jobs N]
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -44,10 +45,12 @@ int main(int argc, char** argv) {
       opts.seeds_per_cell = std::atoi(argv[++i]);
     } else if (arg == "--transfer" && i + 1 < argc) {
       opts.transfer_bytes = static_cast<std::uint32_t>(std::atol(argv[++i]));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs = std::atoi(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <output-dir> [--impl <name>] [--seeds N] "
-                   "[--transfer BYTES]\n",
+                   "[--transfer BYTES] [--jobs N]\n",
                    argv[0]);
       return 2;
     } else {

@@ -9,10 +9,18 @@
 //
 // Usage:
 //   tcpanaly [options] <trace.pcap>
+//   tcpanaly --batch <dir> [--jobs N] [options]
 //
 // Options:
 //   --receiver           the traced (local) host is the data RECEIVER
 //                        (default: sender)
+//   --batch <dir>        analyze every pcap/pcapng in <dir> in parallel:
+//                        one summary row per trace plus aggregate
+//                        identification/confusion counts (ground truth is
+//                        taken from make_corpus-style file names when
+//                        present)
+//   --jobs N             worker threads for --batch (default: hardware
+//                        concurrency)
 //   --candidates a,b,c   comma-separated implementation names to test
 //                        (default: all known; --list shows them)
 //   --summary            print per-connection statistics (tcptrace-style)
@@ -26,8 +34,12 @@
 //   --pair <other.pcap>  the OTHER endpoint's trace of the same connection:
 //                        adds trace-pair clock calibration (relative skew,
 //                        step adjustments) per [Pa97b]
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -42,6 +54,7 @@
 #include "tcp/profiles.hpp"
 #include "trace/pcap_io.hpp"
 #include "trace/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace tcpanaly;
@@ -61,8 +74,11 @@ int list_implementations() {
 }
 
 std::vector<tcp::TcpProfile> parse_candidates(const std::string& arg, bool* ok) {
+  // Report EVERY unrecognized name (not just the first) before failing, so
+  // a typo-riddled list is fixable in one pass; an all-typos list must not
+  // silently fall back to the full registry.
   std::vector<tcp::TcpProfile> out;
-  *ok = true;
+  std::vector<std::string> unknown;
   std::size_t pos = 0;
   while (pos <= arg.size()) {
     const std::size_t comma = arg.find(',', pos);
@@ -71,16 +87,151 @@ std::vector<tcp::TcpProfile> parse_candidates(const std::string& arg, bool* ok) 
     if (!name.empty()) {
       auto p = tcp::find_profile(name);
       if (!p) {
-        std::fprintf(stderr, "unknown implementation: '%s' (try --list)\n", name.c_str());
-        *ok = false;
-        return {};
+        unknown.push_back(name);
+      } else {
+        out.push_back(std::move(*p));
       }
-      out.push_back(std::move(*p));
     }
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+  for (const auto& name : unknown)
+    std::fprintf(stderr, "unknown implementation: '%s' (try --list)\n", name.c_str());
+  if (out.empty() && unknown.empty())
+    std::fprintf(stderr, "--candidates: no implementation names given (try --list)\n");
+  *ok = unknown.empty() && !out.empty();
   return out;
+}
+
+// --batch: analyze every capture in a directory in parallel.
+
+std::string slug(const std::string& name) {
+  std::string out;
+  for (char c : name)
+    out += std::isalnum(static_cast<unsigned char>(c)) ? static_cast<char>(std::tolower(c))
+                                                       : '_';
+  return out;
+}
+
+struct BatchRow {
+  std::string file;       ///< file name within the batch directory
+  std::string truth;      ///< ground-truth implementation, if the file name encodes one
+  bool receiver_side = false;
+  bool load_failed = false;
+  std::string error;
+  std::size_t records = 0;
+  bool trustworthy = false;
+  std::string best_name;
+  std::string best_fit;
+  double best_penalty = 0.0;
+  bool identified = false;  ///< truth known and among the tied close fits
+};
+
+/// Ground truth from make_corpus-style names: "<slug(impl)>_<k>_{snd,rcv}.pcap".
+std::string truth_from_filename(const std::string& stem,
+                                const std::vector<tcp::TcpProfile>& registry) {
+  std::string best;
+  std::size_t best_len = 0;  // prefer the longest matching slug prefix
+  for (const auto& p : registry) {
+    const std::string s = slug(p.name) + "_";
+    if (stem.rfind(s, 0) == 0 && s.size() > best_len) {
+      best = p.name;
+      best_len = s.size();
+    }
+  }
+  return best;
+}
+
+int run_batch(const std::string& dir, bool receiver_flag,
+              const std::vector<tcp::TcpProfile>& candidates, int jobs) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".pcap" || ext == ".pcapng") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "--batch %s: %s\n", dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "--batch %s: no .pcap/.pcapng files found\n", dir.c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+
+  const auto registry = tcp::all_profiles();
+  // The file-level fan-out owns the parallelism; per-trace candidate
+  // matching runs serially inside each worker to avoid oversubscription.
+  core::MatchOptions mopts;
+  mopts.jobs = 1;
+  auto rows = util::parallel_map(
+      files,
+      [&](const fs::path& path) {
+        BatchRow row;
+        row.file = path.filename().string();
+        const std::string stem = path.stem().string();
+        row.truth = truth_from_filename(stem, registry);
+        // make_corpus encodes the vantage point in the file name; fall
+        // back to the --receiver flag for foreign captures.
+        row.receiver_side = stem.size() >= 4 && stem.compare(stem.size() - 4, 4, "_rcv") == 0
+                                ? true
+                            : stem.size() >= 4 && stem.compare(stem.size() - 4, 4, "_snd") == 0
+                                ? false
+                                : receiver_flag;
+        try {
+          auto loaded =
+              trace::read_capture_file(path.string(), /*local_is_sender=*/!row.receiver_side);
+          row.records = loaded.trace.size();
+          auto analysis = core::analyze_trace(loaded.trace, candidates, mopts);
+          row.trustworthy = analysis.calibration.trustworthy();
+          const auto& best = analysis.match.best();
+          row.best_name = best.profile.name;
+          row.best_fit = core::to_string(best.fit);
+          row.best_penalty = best.penalty;
+          row.identified = !row.truth.empty() && analysis.match.identifies(row.truth);
+        } catch (const std::exception& e) {
+          row.load_failed = true;
+          row.error = e.what();
+        }
+        return row;
+      },
+      jobs);
+
+  util::TextTable table({"file", "role", "records", "calibration", "best match", "fit",
+                         "penalty", "truth"});
+  std::size_t failed = 0, with_truth = 0, identified = 0, confused = 0;
+  for (const auto& row : rows) {
+    if (row.load_failed) {
+      ++failed;
+      table.add_row({row.file, row.receiver_side ? "rcv" : "snd", "-",
+                     "ERROR: " + row.error, "-", "-", "-", "-"});
+      continue;
+    }
+    std::string truth_cell = "-";
+    if (!row.truth.empty()) {
+      ++with_truth;
+      if (row.identified) {
+        ++identified;
+        truth_cell = row.truth + " OK";
+      } else {
+        ++confused;
+        truth_cell = row.truth + " CONFUSED";
+      }
+    }
+    table.add_row({row.file, row.receiver_side ? "rcv" : "snd",
+                   std::to_string(row.records), row.trustworthy ? "ok" : "untrustworthy",
+                   row.best_name, row.best_fit, util::strf("%.1f", row.best_penalty),
+                   truth_cell});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n%zu trace(s) analyzed with %u worker(s): %zu with ground truth, "
+              "%zu identified, %zu confused, %zu failed to load\n",
+              rows.size() - failed, util::resolve_jobs(jobs), with_truth, identified,
+              confused, failed);
+  return failed == 0 ? 0 : 1;
 }
 
 void print_sender_report(const core::SenderReport& rep) {
@@ -135,8 +286,9 @@ int usage(const char* argv0) {
                "usage: %s [--receiver] [--candidates a,b,c] [--calibrate-only]\n"
                "          [--summary]\n"
                "          [--seqplot] [--report <impl>] [--strip-duplicates out.pcap]\n"
-               "          [--pair other.pcap] [--list] <trace.pcap>\n",
-               argv0);
+               "          [--pair other.pcap] [--list] <trace.pcap>\n"
+               "       %s --batch <dir> [--jobs N] [--receiver] [--candidates a,b,c]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -152,6 +304,8 @@ int main(int argc, char** argv) {
   std::string report_name;
   std::string strip_out;
   std::string pair_path;
+  std::string batch_dir;
+  int jobs = 0;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -175,13 +329,26 @@ int main(int argc, char** argv) {
       strip_out = argv[++i];
     } else if (arg == "--pair" && i + 1 < argc) {
       pair_path = argv[++i];
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_dir = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else {
       path = arg;
     }
   }
-  if (path.empty()) return usage(argv[0]);
+  if (batch_dir.empty() && path.empty()) return usage(argv[0]);
+
+  std::vector<tcp::TcpProfile> candidates = tcp::all_profiles();
+  if (!candidates_arg.empty()) {
+    bool ok = false;
+    candidates = parse_candidates(candidates_arg, &ok);
+    if (!ok) return 1;
+  }
+
+  if (!batch_dir.empty()) return run_batch(batch_dir, receiver_side, candidates, jobs);
 
   trace::PcapReadResult loaded;
   try {
@@ -196,13 +363,6 @@ int main(int argc, char** argv) {
               loaded.trace.meta().local.to_string().c_str(),
               receiver_side ? "receiver" : "sender",
               loaded.trace.meta().remote.to_string().c_str());
-
-  std::vector<tcp::TcpProfile> candidates = tcp::all_profiles();
-  if (!candidates_arg.empty()) {
-    bool ok = false;
-    candidates = parse_candidates(candidates_arg, &ok);
-    if (!ok) return 1;
-  }
 
   if (summary) {
     std::printf("== summary ==\n%s\n", core::summarize(loaded.trace).render().c_str());
