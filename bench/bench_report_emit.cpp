@@ -1,0 +1,97 @@
+// Report-emission overhead: what adding --json costs per trace on top of
+// the analysis itself. Runs the full pipeline over a generated corpus and
+// splits the per-trace wall time into analyze (calibrate + summarize +
+// conformance + match), document build (struct -> Json tree), and the two
+// serializations (compact NDJSON row, pretty-printed file form), plus the
+// emitted sizes. The emission path has to stay noise next to the analysis
+// -- at the paper's 40k-trace scale a few ms per trace is an hour.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "report/report.hpp"
+#include "tcp/profiles.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== report emission: per-trace document build + serialize cost ==\n\n");
+
+  corpus::CorpusOptions copts;
+  copts.seeds_per_cell = 1;  // 3 loss x 3 delay x 2 rate = 18 sessions
+  copts.transfer_bytes = 50 * 1024;
+  const auto entries = corpus::generate_corpus(tcp::generic_reno(), copts);
+  const auto candidates = tcp::main_study_profiles();
+
+  std::vector<report::AnalysisReport> docs(entries.size());
+  double analyze_ms = 0.0;
+  std::size_t records = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const trace::Trace& tr = entries[i].result.sender_trace;
+    records += tr.size();
+    docs[i].trace.file = "bench_" + std::to_string(i);
+    docs[i].trace.records = tr.size();
+    docs[i].trace.truth = entries[i].impl_name;
+    analyze_ms += wall_ms([&] { report::run_analysis(docs[i], tr, candidates); });
+  }
+
+  std::vector<report::Json> trees(docs.size());
+  const double build_ms = wall_ms([&] {
+    for (std::size_t i = 0; i < docs.size(); ++i) trees[i] = docs[i].to_json();
+  });
+
+  std::size_t compact_bytes = 0;
+  const double compact_ms = wall_ms([&] {
+    for (const auto& t : trees) compact_bytes += t.dump().size();
+  });
+
+  std::size_t pretty_bytes = 0;
+  const double pretty_ms = wall_ms([&] {
+    for (const auto& t : trees) pretty_bytes += t.dump(2).size();
+  });
+
+  // Parse-back keeps the round-trip honest and prices the consumer side.
+  double parse_ms = wall_ms([&] {
+    for (const auto& t : trees) {
+      if (!(report::Json::parse(t.dump()) == t)) {
+        std::fprintf(stderr, "round-trip divergence\n");
+        std::exit(1);
+      }
+    }
+  });
+
+  const double n = static_cast<double>(docs.size());
+  util::TextTable table({"stage", "total ms", "per trace ms", "bytes/trace"});
+  table.add_row({"analyze (pipeline)", util::strf("%.1f", analyze_ms),
+                 util::strf("%.3f", analyze_ms / n), "-"});
+  table.add_row({"build Json tree", util::strf("%.1f", build_ms),
+                 util::strf("%.3f", build_ms / n), "-"});
+  table.add_row({"dump compact", util::strf("%.1f", compact_ms),
+                 util::strf("%.3f", compact_ms / n),
+                 util::strf("%zu", compact_bytes / docs.size())});
+  table.add_row({"dump pretty(2)", util::strf("%.1f", pretty_ms),
+                 util::strf("%.3f", pretty_ms / n),
+                 util::strf("%zu", pretty_bytes / docs.size())});
+  table.add_row({"parse back", util::strf("%.1f", parse_ms),
+                 util::strf("%.3f", parse_ms / n), "-"});
+  std::printf("%s\n", table.render().c_str());
+
+  const double emit_ms = build_ms + compact_ms;
+  std::printf("%zu traces, %zu records; emission (build+compact) is %.1f%% of analysis\n",
+              docs.size(), records, 100.0 * emit_ms / analyze_ms);
+  return 0;
+}

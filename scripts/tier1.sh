@@ -20,4 +20,31 @@ cmake -B "$TSAN_BUILD" -S . -DTCPANALY_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j --target parallel_test
 ctest --test-dir "$TSAN_BUILD" --output-on-failure -R '^Parallel' -j
 
+# JSON leg: every document the CLI emits must satisfy an independent
+# parser, not just our own. Uses python3's json.tool when available.
+if command -v python3 > /dev/null 2>&1; then
+  JSON_DIR="$(mktemp -d)"
+  trap 'rm -rf "$JSON_DIR"' EXIT
+
+  "$BUILD/tools/tcpanaly" --version
+
+  "$BUILD/tools/make_corpus" "$JSON_DIR/corpus" --impl "Linux 1.0" --transfer 20000
+  python3 -m json.tool "$JSON_DIR/corpus/manifest.json" > /dev/null
+
+  "$BUILD/tools/tcpanaly" --json "$JSON_DIR/corpus/linux_1_0_0_snd.pcap" \
+    | python3 -m json.tool > /dev/null
+
+  "$BUILD/tools/tcpanaly" --batch "$JSON_DIR/corpus" \
+    --candidates "Linux 1.0,Generic Reno,Generic Tahoe" --json \
+    > "$JSON_DIR/batch.ndjson"
+  lines=0
+  while IFS= read -r line; do
+    printf '%s\n' "$line" | python3 -m json.tool > /dev/null
+    lines=$((lines + 1))
+  done < "$JSON_DIR/batch.ndjson"
+  echo "JSON leg OK ($lines NDJSON lines validated)"
+else
+  echo "python3 not found; skipping external JSON validation leg"
+fi
+
 echo "tier-1 OK (including TSan parallel leg)"

@@ -4,14 +4,27 @@ namespace tcpanaly::core {
 
 TraceAnalysis analyze_trace(const trace::Trace& trace,
                             std::vector<tcp::TcpProfile> candidates,
-                            const MatchOptions& opts) {
+                            const MatchOptions& opts, util::StageTimer* timer) {
   if (candidates.empty()) candidates = tcp::all_profiles();
   TraceAnalysis analysis;
-  analysis.calibration = calibrate(trace);
-  analysis.cleaned = analysis.calibration.duplication.duplicate_indices.empty()
-                         ? trace
-                         : strip_duplicates(trace, analysis.calibration.duplication);
-  analysis.match = match_implementations(analysis.cleaned, candidates, opts);
+  {
+    auto scope = util::StageTimer::maybe(timer, "calibrate");
+    analysis.calibration = calibrate(trace);
+    analysis.cleaned = analysis.calibration.duplication.duplicate_indices.empty()
+                           ? trace
+                           : strip_duplicates(trace, analysis.calibration.duplication);
+    scope.counter("records", trace.size());
+    scope.counter("stripped_duplicates",
+                  analysis.calibration.duplication.duplicate_indices.size());
+  }
+  {
+    auto scope = util::StageTimer::maybe(timer, "match");
+    analysis.match = match_implementations(analysis.cleaned, candidates, opts);
+    scope.counter("candidates", candidates.size());
+  }
+  if (timer)
+    for (const auto& fit : analysis.match.fits)
+      timer->add("match:" + fit.profile.name, fit.analysis_wall);
   return analysis;
 }
 

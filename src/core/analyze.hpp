@@ -8,6 +8,7 @@
 
 #include "core/calibration.hpp"
 #include "core/matcher.hpp"
+#include "util/stage_timer.hpp"
 
 namespace tcpanaly::core {
 
@@ -21,9 +22,13 @@ struct TraceAnalysis {
 };
 
 /// Calibrate, clean, and match a trace against candidate implementations.
-/// With no candidates given, the full profile registry is used.
+/// With no candidates given, the full profile registry is used. A non-null
+/// `timer` records per-stage wall time: "calibrate", "match" (with a
+/// candidate-count counter), then one "match:<name>" stage per candidate
+/// in ranked order, measured inside the parallel workers.
 TraceAnalysis analyze_trace(const trace::Trace& trace,
                             std::vector<tcp::TcpProfile> candidates = {},
-                            const MatchOptions& opts = {});
+                            const MatchOptions& opts = {},
+                            util::StageTimer* timer = nullptr);
 
 }  // namespace tcpanaly::core

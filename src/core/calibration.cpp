@@ -195,6 +195,14 @@ ResequencingReport detect_resequencing(const Trace& trace,
 
 // ------------------------------------------------------------ filter drops
 
+const char* to_string(ResequencingKind kind) {
+  switch (kind) {
+    case ResequencingKind::kDataBeforeLiberatingAck: return "data-before-liberating-ack";
+    case ResequencingKind::kAckForDataNotYetArrived: return "ack-for-data-not-yet-arrived";
+  }
+  return "?";
+}
+
 const char* to_string(DropCheck check) {
   switch (check) {
     case DropCheck::kAckForUnseenData: return "ack-for-unseen-data";

@@ -78,6 +78,8 @@ enum class ResequencingKind {
   kAckForDataNotYetArrived,   ///< (iii): local ack precedes the data it covers
 };
 
+const char* to_string(ResequencingKind kind);
+
 struct ResequencingInstance {
   std::size_t record_index = 0;  ///< the misplaced record
   ResequencingKind kind;

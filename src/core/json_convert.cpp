@@ -1,0 +1,244 @@
+#include "core/json_convert.hpp"
+
+namespace tcpanaly::core {
+
+using report::Json;
+
+namespace {
+
+Json indices_json(const std::vector<std::size_t>& indices) {
+  Json arr = Json::array();
+  for (std::size_t i : indices) arr.push_back(i);
+  return arr;
+}
+
+}  // namespace
+
+Json to_json(const util::DurationStats& stats) {
+  Json j = Json::object();
+  j.set("count", stats.count());
+  j.set("mean_us", stats.mean().count());
+  j.set("min_us", stats.min().count());
+  j.set("max_us", stats.max().count());
+  return j;
+}
+
+Json to_json(const util::StageTimer& timer) {
+  Json stages = Json::array();
+  for (const auto& s : timer.stages()) {
+    Json stage = Json::object();
+    stage.set("name", s.name);
+    stage.set("wall_us", s.wall.count());
+    if (!s.counters.empty()) {
+      Json counters = Json::object();
+      for (const auto& [key, value] : s.counters) counters.set(key, value);
+      stage.set("counters", std::move(counters));
+    }
+    stages.push_back(std::move(stage));
+  }
+  Json j = Json::object();
+  j.set("total_us", timer.total().count());
+  j.set("stages", std::move(stages));
+  return j;
+}
+
+Json to_json(const TimeTravelReport& rep) {
+  Json instances = Json::array();
+  for (const auto& inst : rep.instances) {
+    Json e = Json::object();
+    e.set("record", inst.record_index);
+    e.set("magnitude_us", inst.magnitude.count());
+    instances.push_back(std::move(e));
+  }
+  Json j = Json::object();
+  j.set("clock_untrustworthy", rep.clock_untrustworthy());
+  j.set("instances", std::move(instances));
+  return j;
+}
+
+Json to_json(const DuplicationReport& rep) {
+  Json j = Json::object();
+  j.set("duplicate_records", indices_json(rep.duplicate_indices));
+  j.set("first_copy_rate_Bps", rep.first_copy_rate);
+  j.set("second_copy_rate_Bps", rep.second_copy_rate);
+  return j;
+}
+
+Json to_json(const ResequencingReport& rep) {
+  Json instances = Json::array();
+  for (const auto& inst : rep.instances) {
+    Json e = Json::object();
+    e.set("record", inst.record_index);
+    e.set("kind", to_string(inst.kind));
+    e.set("gap_us", inst.gap.count());
+    instances.push_back(std::move(e));
+  }
+  Json j = Json::object();
+  j.set("ordering_untrustworthy", rep.ordering_untrustworthy());
+  j.set("instances", std::move(instances));
+  return j;
+}
+
+Json to_json(const FilterDropReport& rep) {
+  Json findings = Json::array();
+  for (const auto& f : rep.findings) {
+    Json e = Json::object();
+    e.set("check", to_string(f.check));
+    e.set("record", f.record_index);
+    e.set("missing_bytes", f.missing_bytes);
+    findings.push_back(std::move(e));
+  }
+  Json j = Json::object();
+  j.set("drops_detected", rep.drops_detected());
+  j.set("inferred_missing_bytes", rep.inferred_missing_bytes);
+  j.set("findings", std::move(findings));
+  return j;
+}
+
+Json to_json(const CalibrationReport& rep) {
+  Json j = Json::object();
+  j.set("trustworthy", rep.trustworthy());
+  j.set("time_travel", to_json(rep.time_travel));
+  j.set("additions", to_json(rep.duplication));
+  j.set("resequencing", to_json(rep.resequencing));
+  j.set("filter_drops", to_json(rep.drops));
+  return j;
+}
+
+Json to_json(const TraceSummary& summary) {
+  Json j = Json::object();
+  j.set("saw_syn", summary.saw_syn);
+  j.set("saw_synack", summary.saw_synack);
+  j.set("saw_fin", summary.saw_fin);
+  j.set("duration_us", summary.duration.count());
+  j.set("data_packets", summary.data_packets);
+  j.set("data_bytes", summary.data_bytes);
+  j.set("unique_bytes", summary.unique_bytes);
+  j.set("retransmitted_packets", summary.retransmitted_packets);
+  j.set("retransmitted_bytes", summary.retransmitted_bytes);
+  j.set("pure_acks_out", summary.pure_acks_out);
+  j.set("acks_in", summary.acks_in);
+  j.set("dup_acks_in", summary.dup_acks_in);
+  j.set("window_updates_in", summary.window_updates_in);
+  j.set("min_window_in", summary.min_window_in);
+  j.set("max_window_in", summary.max_window_in);
+  j.set("goodput_Bps", summary.goodput_bytes_per_sec);
+  j.set("throughput_Bps", summary.throughput_bytes_per_sec);
+  j.set("retransmission_rate", summary.retransmission_rate);
+  j.set("rtt", to_json(summary.rtt));
+  j.set("max_idle_us", summary.max_idle.count());
+  return j;
+}
+
+Json to_json(const ConformanceReport& rep) {
+  Json checks = Json::array();
+  for (const auto& c : rep.checks) {
+    Json e = Json::object();
+    e.set("requirement", c.requirement);
+    e.set("reference", c.reference);
+    e.set("verdict", to_string(c.verdict));
+    e.set("evidence", c.evidence);
+    checks.push_back(std::move(e));
+  }
+  Json j = Json::object();
+  j.set("conformant", rep.conformant());
+  j.set("failures", rep.failures());
+  j.set("checks", std::move(checks));
+  return j;
+}
+
+Json to_json(const WindowViolation& v) {
+  Json j = Json::object();
+  j.set("record", v.record_index);
+  j.set("seq_end", v.seq_end);
+  j.set("over_bytes", v.over_bytes);
+  j.set("at_us", v.when.count());
+  return j;
+}
+
+Json to_json(const SenderReport& rep) {
+  Json violations = Json::array();
+  for (const auto& v : rep.violations) violations.push_back(to_json(v));
+  Json j = Json::object();
+  j.set("penalty", rep.penalty());
+  j.set("data_packets", rep.data_packets);
+  j.set("retransmissions", rep.retransmissions);
+  j.set("timeout_events", rep.timeout_events);
+  j.set("fast_retransmit_events", rep.fast_retransmit_events);
+  j.set("flight_burst_events", rep.flight_burst_events);
+  j.set("quirk_retransmissions", rep.quirk_retransmissions);
+  j.set("unexplained_retransmissions", rep.unexplained_retransmissions);
+  j.set("unexplained_records", indices_json(rep.unexplained_indices));
+  j.set("window_violations", std::move(violations));
+  j.set("response_delays", to_json(rep.response_delays));
+  j.set("unexercised_liberations", rep.lull_count);
+  j.set("acks_seen", rep.acks_seen);
+  j.set("dup_acks_seen", rep.dup_acks_seen);
+  j.set("sender_window_limited", rep.sender_window_limited);
+  j.set("inferred_sender_window", rep.inferred_sender_window);
+  j.set("inferred_quench_records", indices_json(rep.inferred_quenches));
+  j.set("mss", rep.mss);
+  j.set("handshake_seen", rep.handshake_seen);
+  return j;
+}
+
+Json to_json(const ReceiverReport& rep) {
+  Json j = Json::object();
+  j.set("penalty", rep.penalty());
+  j.set("data_packets", rep.data_packets);
+  j.set("acks", rep.acks);
+  j.set("delayed_acks", rep.delayed_acks);
+  j.set("normal_acks", rep.normal_acks);
+  j.set("stretch_acks", rep.stretch_acks);
+  j.set("dup_acks", rep.dup_acks);
+  j.set("window_update_acks", rep.window_update_acks);
+  j.set("gratuitous_acks", rep.gratuitous_acks);
+  j.set("delayed_ack_delays", to_json(rep.delayed_ack_delays));
+  j.set("normal_ack_delays", to_json(rep.normal_ack_delays));
+  j.set("policy_violations", rep.policy_violations);
+  j.set("mandatory_missed", rep.mandatory_missed);
+  j.set("distribution_mismatch", rep.distribution_mismatch);
+  j.set("inferred_corrupt_packets", rep.inferred_corrupt_packets);
+  j.set("checksum_verified_corrupt", rep.checksum_verified_corrupt);
+  j.set("mss", rep.mss);
+  return j;
+}
+
+Json to_json(const CandidateFit& fit) {
+  Json j = Json::object();
+  j.set("name", fit.profile.name);
+  j.set("versions", fit.profile.versions);
+  j.set("fit", to_string(fit.fit));
+  j.set("penalty", fit.penalty);
+  j.set("wall_us", fit.analysis_wall.count());
+  if (fit.role == trace::LocalRole::kSender) {
+    j.set("window_violations", fit.sender.violations.size());
+    j.set("unexplained_retransmissions", fit.sender.unexplained_retransmissions);
+    j.set("unexercised_liberations", fit.sender.lull_count);
+    j.set("response_mean_us", fit.sender.response_delays.mean().count());
+    j.set("response_max_us", fit.sender.response_delays.max().count());
+  } else {
+    j.set("policy_violations", fit.receiver.policy_violations);
+    j.set("gratuitous_acks", fit.receiver.gratuitous_acks);
+    j.set("mandatory_missed", fit.receiver.mandatory_missed);
+    j.set("distribution_mismatch", fit.receiver.distribution_mismatch);
+    j.set("delayed_mean_us", fit.receiver.delayed_ack_delays.mean().count());
+  }
+  return j;
+}
+
+Json to_json(const MatchResult& match) {
+  Json fits = Json::array();
+  for (const auto& f : match.fits) fits.push_back(to_json(f));
+  Json j = Json::object();
+  j.set("role", match.role == trace::LocalRole::kSender ? "sender" : "receiver");
+  if (!match.fits.empty()) {
+    j.set("best", match.fits.front().profile.name);
+    j.set("best_fit", to_string(match.fits.front().fit));
+    j.set("best_penalty", match.fits.front().penalty);
+  }
+  j.set("fits", std::move(fits));
+  return j;
+}
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,45 @@
+// Struct -> JSON converters, one per analyzer report type, so every result
+// the analyzer can compute has a machine-readable form. Conventions shared
+// by all converters (and promised by report::kSchemaVersion):
+//
+//   * durations/time points serialize as integer `*_us` fields -- exact,
+//     no float drift between runs;
+//   * record indices keep their in-trace numbering, matching what the
+//     text renderings print;
+//   * enum fields serialize as their to_string() spelling;
+//   * DurationStats serialize as {count, mean_us, min_us, max_us} and are
+//     omitted-as-empty by callers when count == 0 is meaningful.
+#pragma once
+
+#include "core/analyze.hpp"
+#include "core/conformance.hpp"
+#include "core/summary.hpp"
+#include "report/json.hpp"
+#include "util/stage_timer.hpp"
+#include "util/stats.hpp"
+
+namespace tcpanaly::core {
+
+report::Json to_json(const util::DurationStats& stats);
+report::Json to_json(const util::StageTimer& timer);
+
+report::Json to_json(const TimeTravelReport& rep);
+report::Json to_json(const DuplicationReport& rep);
+report::Json to_json(const ResequencingReport& rep);
+report::Json to_json(const FilterDropReport& rep);
+report::Json to_json(const CalibrationReport& rep);
+
+report::Json to_json(const TraceSummary& summary);
+report::Json to_json(const ConformanceReport& rep);
+
+report::Json to_json(const WindowViolation& v);
+report::Json to_json(const SenderReport& rep);
+report::Json to_json(const ReceiverReport& rep);
+
+/// Per-candidate row of the fit table: identity, fit class, penalty, wall
+/// time, and the role-specific headline metrics (NOT the full nested
+/// report -- that is emitted once, for the best fit).
+report::Json to_json(const CandidateFit& fit);
+report::Json to_json(const MatchResult& match);
+
+}  // namespace tcpanaly::core

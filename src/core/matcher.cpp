@@ -1,6 +1,7 @@
 #include "core/matcher.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
@@ -110,6 +111,7 @@ MatchResult match_implementations(const trace::Trace& trace,
   result.fits = util::parallel_map(
       candidates,
       [&](const tcp::TcpProfile& profile) {
+        const auto t0 = std::chrono::steady_clock::now();
         CandidateFit fit;
         fit.profile = profile;
         fit.role = result.role;
@@ -122,6 +124,10 @@ MatchResult match_implementations(const trace::Trace& trace,
           fit.penalty = fit.receiver.penalty();
           fit.fit = classify_receiver(fit.receiver);
         }
+        fit.analysis_wall = util::Duration::micros(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
         return fit;
       },
       opts.jobs);

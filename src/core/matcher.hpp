@@ -29,6 +29,10 @@ struct CandidateFit {
   trace::LocalRole role = trace::LocalRole::kSender;
   FitClass fit = FitClass::kClearlyIncorrect;
   double penalty = 0.0;
+  /// Wall time spent analyzing this candidate (measured inside the worker
+  /// even when candidates run in parallel; feeds the per-candidate match
+  /// stages of the report's timings section).
+  util::Duration analysis_wall;
 
   // Populated for sender-side traces.
   SenderReport sender;

@@ -1,0 +1,38 @@
+#include "corpus/naming.hpp"
+
+#include <cctype>
+
+namespace tcpanaly::corpus {
+
+std::string slug(const std::string& name) {
+  std::string out;
+  for (char c : name)
+    out += std::isalnum(static_cast<unsigned char>(c)) ? static_cast<char>(std::tolower(c))
+                                                       : '_';
+  return out;
+}
+
+std::string truth_from_filename(const std::string& stem,
+                                const std::vector<tcp::TcpProfile>& registry) {
+  std::string best;
+  std::size_t best_len = 0;  // prefer the longest matching slug prefix
+  for (const auto& p : registry) {
+    const std::string s = slug(p.name) + "_";
+    if (stem.rfind(s, 0) == 0 && s.size() > best_len) {
+      best = p.name;
+      best_len = s.size();
+    }
+  }
+  return best;
+}
+
+bool receiver_side_from_filename(const std::string& stem, bool fallback_receiver) {
+  if (stem.size() >= 4) {
+    const std::string suffix = stem.substr(stem.size() - 4);
+    if (suffix == "_rcv") return true;
+    if (suffix == "_snd") return false;
+  }
+  return fallback_receiver;
+}
+
+}  // namespace tcpanaly::corpus

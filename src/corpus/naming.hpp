@@ -1,0 +1,32 @@
+// Corpus file-naming convention, shared by make_corpus (which writes the
+// names) and tcpanaly --batch (which reads ground truth back out of them):
+//
+//   <slug(implementation)>_<k>_{snd,rcv}.pcap
+//
+// Lifted out of the two mains so the edge cases are testable: slugs that
+// are prefixes of one another must resolve to the LONGEST match, and stems
+// carrying neither vantage suffix fall back to the caller's --receiver
+// flag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcp/profiles.hpp"
+
+namespace tcpanaly::corpus {
+
+/// Lowercase, with every non-alphanumeric byte replaced by '_'.
+std::string slug(const std::string& name);
+
+/// Ground truth from a make_corpus-style stem (no extension). Returns the
+/// registry name whose slug prefix is the longest match, or "" when none
+/// matches.
+std::string truth_from_filename(const std::string& stem,
+                                const std::vector<tcp::TcpProfile>& registry);
+
+/// Vantage point from the stem's "_snd"/"_rcv" suffix; `fallback_receiver`
+/// when neither is present (foreign captures).
+bool receiver_side_from_filename(const std::string& stem, bool fallback_receiver);
+
+}  // namespace tcpanaly::corpus

@@ -1,0 +1,107 @@
+// Dependency-free JSON layer for the report subsystem: an ordered value
+// type, a writer (compact and indented, deterministic number formatting
+// via std::to_chars so golden files are byte-stable), and a strict
+// recursive-descent parser that round-trips everything the writer emits.
+//
+// Deliberately small: no SAX interface, no allocator knobs, no non-JSON
+// extensions (comments, trailing commas, NaN literals). Object members
+// keep insertion order, which is what makes emitted documents diff-able
+// and golden-testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tcpanaly::report {
+
+/// Thrown by Json::parse with the byte offset of the first offending
+/// character, so a bad NDJSON line can be pinpointed.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset);
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;  ///< null
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(long v) : type_(Type::kInt), int_(v) {}
+  Json(long long v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned long v) : Json(static_cast<unsigned long long>(v)) {}
+  Json(unsigned long long v);  ///< falls back to double above INT64_MAX
+  Json(double v) : type_(Type::kDouble), dbl_(v) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kInt || type_ == Type::kDouble; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors throw std::logic_error on a type mismatch -- a report
+  // consumer reading the wrong field should fail loudly, not read zeros.
+  bool as_bool() const;
+  std::int64_t as_int() const;  ///< kInt, or a kDouble with integral value
+  double as_double() const;     ///< any number
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;      ///< array elements
+  const std::vector<Member>& members() const;  ///< object members, insertion order
+
+  /// Append to an array (a null value silently becomes an empty array
+  /// first, so `doc["rows"].push_back(..)` works on a fresh key).
+  Json& push_back(Json v);
+  /// Object insert-or-assign; keeps the original position on overwrite.
+  /// A null value becomes an empty object first. Returns *this to chain.
+  Json& set(std::string key, Json v);
+  /// Object lookup; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  /// Erase a member; returns whether it was present. (The golden-file test
+  /// uses this to exclude the machine-dependent timings section.)
+  bool remove(const std::string& key);
+
+  /// Deep equality. Numbers compare by value: parse(dump(x)) == x even
+  /// when an integral double comes back as kInt.
+  friend bool operator==(const Json& a, const Json& b);
+
+  /// Serialize. indent < 0 gives the compact single-line form (NDJSON
+  /// rows); indent >= 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse exactly one document (leading/trailing whitespace allowed);
+  /// anything else throws JsonParseError.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<Member> obj_;
+};
+
+}  // namespace tcpanaly::report

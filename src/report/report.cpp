@@ -1,0 +1,133 @@
+#include "report/report.hpp"
+
+#include "core/json_convert.hpp"
+
+namespace tcpanaly::report {
+
+std::string version_line() {
+  return std::string(kToolName) + " " + kToolVersion + " (report schema " +
+         std::to_string(kSchemaVersion) + ")";
+}
+
+Json document_header(const char* type) {
+  Json tool = Json::object();
+  tool.set("name", kToolName);
+  tool.set("version", kToolVersion);
+  Json doc = Json::object();
+  doc.set("schema_version", kSchemaVersion);
+  doc.set("tool", std::move(tool));
+  doc.set("type", type);
+  return doc;
+}
+
+Json to_json(const TraceInfo& info) {
+  Json j = Json::object();
+  j.set("file", info.file);
+  j.set("role", info.receiver_side ? "receiver" : "sender");
+  j.set("records", info.records);
+  j.set("skipped_frames", info.skipped_frames);
+  if (!info.local.empty()) j.set("local", info.local);
+  if (!info.remote.empty()) j.set("remote", info.remote);
+  if (!info.truth.empty()) j.set("truth", info.truth);
+  return j;
+}
+
+Json AnalysisReport::to_json() const {
+  Json doc = document_header("analysis");
+  doc.set("trace", report::to_json(trace));
+  if (!error.empty()) doc.set("error", error);
+  if (calibration) doc.set("calibration", core::to_json(*calibration));
+  if (summary) doc.set("summary", core::to_json(*summary));
+  if (conformance) doc.set("conformance", core::to_json(*conformance));
+  if (match) {
+    doc.set("match", core::to_json(*match));
+    if (!match->fits.empty()) {
+      // The best fit's full report, under a role-named section; the fit
+      // table above carries only the headline metrics per candidate.
+      const core::CandidateFit& best = match->fits.front();
+      Json section = Json::object();
+      section.set("profile", best.profile.name);
+      const Json body = best.role == trace::LocalRole::kSender
+                            ? core::to_json(best.sender)
+                            : core::to_json(best.receiver);
+      for (const auto& m : body.members()) section.set(m.first, m.second);
+      doc.set(best.role == trace::LocalRole::kSender ? "sender_analysis"
+                                                     : "receiver_analysis",
+              std::move(section));
+    }
+  }
+  doc.set("timings", core::to_json(timings));
+  return doc;
+}
+
+trace::Trace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
+                          const std::vector<tcp::TcpProfile>& candidates,
+                          const core::MatchOptions& opts, bool run_match) {
+  trace::Trace cleaned;
+  {
+    auto scope = doc.timings.stage("calibrate");
+    doc.calibration = core::calibrate(trace);
+    cleaned = doc.calibration->duplication.duplicate_indices.empty()
+                  ? trace
+                  : core::strip_duplicates(trace, doc.calibration->duplication);
+    scope.counter("records", trace.size());
+    scope.counter("stripped_duplicates",
+                  doc.calibration->duplication.duplicate_indices.size());
+  }
+  {
+    auto scope = doc.timings.stage("summarize");
+    doc.summary = core::summarize(trace);
+  }
+  {
+    auto scope = doc.timings.stage("conformance");
+    doc.conformance = core::check_conformance(trace);
+    scope.counter("checks", doc.conformance->checks.size());
+  }
+  if (run_match) {
+    {
+      auto scope = doc.timings.stage("match");
+      doc.match = core::match_implementations(cleaned, candidates, opts);
+      scope.counter("candidates", candidates.size());
+    }
+    for (const auto& fit : doc.match->fits)
+      doc.timings.add("match:" + fit.profile.name, fit.analysis_wall);
+  }
+  return cleaned;
+}
+
+Json BatchTraceRecord::to_json() const {
+  Json doc = document_header("trace");
+  doc.set("file", trace.file);
+  doc.set("role", trace.receiver_side ? "receiver" : "sender");
+  if (!trace.truth.empty()) doc.set("truth", trace.truth);
+  if (!error.empty()) {
+    doc.set("error", error);
+  } else {
+    doc.set("records", trace.records);
+    if (!trace.local.empty()) doc.set("local", trace.local);
+    if (!trace.remote.empty()) doc.set("remote", trace.remote);
+    doc.set("trustworthy", trustworthy);
+    Json best = Json::object();
+    best.set("name", best_name);
+    best.set("fit", best_fit);
+    best.set("penalty", best_penalty);
+    doc.set("best", std::move(best));
+    if (!trace.truth.empty()) doc.set("identified", identified);
+  }
+  doc.set("timings", core::to_json(timings));
+  return doc;
+}
+
+Json BatchAggregate::to_json() const {
+  Json doc = document_header("aggregate");
+  doc.set("traces_analyzed", traces_analyzed);
+  doc.set("workers", workers);
+  doc.set("with_truth", with_truth);
+  doc.set("identified", identified);
+  doc.set("confused", confused);
+  doc.set("failed", failed);
+  doc.set("timings", core::to_json(timings));
+  return doc;
+}
+
+}  // namespace tcpanaly::report

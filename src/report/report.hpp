@@ -1,0 +1,109 @@
+// Versioned analysis documents: the machine-readable counterpart of every
+// render()/printf table the CLI prints. Three document types share one
+// header ({schema_version, tool, type}):
+//
+//   * "analysis"  -- the full single-trace report: trace metadata,
+//     calibration findings with per-check detail, TraceSummary,
+//     conformance results, the complete matcher fit table, the best fit's
+//     full sender/receiver report, and per-stage timings;
+//   * "trace"     -- one compact NDJSON row per trace in --batch mode;
+//   * "aggregate" -- the batch run's closing counts (identical, by
+//     construction, to the text table's summary line).
+//
+// Stability promise: within one kSchemaVersion, existing fields keep their
+// name, type, and meaning; new fields may appear. Removing or changing a
+// field bumps kSchemaVersion.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "core/conformance.hpp"
+#include "core/summary.hpp"
+#include "report/json.hpp"
+#include "util/stage_timer.hpp"
+
+namespace tcpanaly::report {
+
+inline constexpr int kSchemaVersion = 1;
+inline constexpr const char* kToolName = "tcpanaly";
+inline constexpr const char* kToolVersion = "0.2.0";
+
+/// What `tcpanaly --version` prints: "tcpanaly 0.2.0 (report schema 1)".
+std::string version_line();
+
+/// {schema_version, tool: {name, version}, type} -- the opening members of
+/// every document this subsystem emits.
+Json document_header(const char* type);
+
+/// Where the trace came from and how it was oriented.
+struct TraceInfo {
+  std::string file;
+  std::size_t records = 0;
+  std::size_t skipped_frames = 0;
+  std::string local;   ///< "ip:port", empty until a load succeeds
+  std::string remote;
+  bool receiver_side = false;
+  /// Ground-truth implementation when the file name encodes one
+  /// (make_corpus naming); empty otherwise.
+  std::string truth;
+};
+
+Json to_json(const TraceInfo& info);
+
+/// The complete result of analyzing one trace. Sections are optional so a
+/// failed load still yields a valid document carrying `error` plus the
+/// timings accumulated before the failure.
+struct AnalysisReport {
+  TraceInfo trace;
+  std::string error;  ///< non-empty => the pipeline stopped early
+  std::optional<core::CalibrationReport> calibration;
+  std::optional<core::TraceSummary> summary;
+  std::optional<core::ConformanceReport> conformance;
+  std::optional<core::MatchResult> match;
+  util::StageTimer timings;
+
+  Json to_json() const;
+};
+
+/// Run the single-trace pipeline (calibrate -> summarize -> conformance ->
+/// match) over an already-loaded trace, recording per-stage timings into
+/// `doc.timings` and the results into `doc`. Returns the cleaned trace the
+/// matcher actually analyzed (measurement duplicates stripped), which
+/// callers need for --strip-duplicates / --report follow-ups. Skips the
+/// matcher when `run_match` is false (--calibrate-only).
+trace::Trace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
+                          const std::vector<tcp::TcpProfile>& candidates,
+                          const core::MatchOptions& opts = {}, bool run_match = true);
+
+/// One NDJSON row of `--batch --json`.
+struct BatchTraceRecord {
+  TraceInfo trace;
+  std::string error;  ///< non-empty => load failed; analysis fields absent
+  bool trustworthy = false;
+  std::string best_name;
+  std::string best_fit;
+  double best_penalty = 0.0;
+  bool identified = false;  ///< meaningful only when trace.truth is set
+  util::StageTimer timings;
+
+  Json to_json() const;
+};
+
+/// The batch run's closing document.
+struct BatchAggregate {
+  std::size_t traces_analyzed = 0;
+  std::size_t with_truth = 0;
+  std::size_t identified = 0;
+  std::size_t confused = 0;
+  std::size_t failed = 0;
+  unsigned workers = 0;
+  util::StageTimer timings;
+
+  Json to_json() const;
+};
+
+}  // namespace tcpanaly::report

@@ -1,0 +1,60 @@
+#include "util/stage_timer.hpp"
+
+#include <chrono>
+
+namespace tcpanaly::util {
+
+std::int64_t StageTimer::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+StageTimer::Scope::Scope(StageTimer* owner, std::size_t index)
+    : owner_(owner), index_(index), start_ns_(owner ? now_ns() : 0),
+      running_(owner != nullptr) {}
+
+StageTimer::Scope::Scope(Scope&& o) noexcept
+    : owner_(o.owner_), index_(o.index_), start_ns_(o.start_ns_), running_(o.running_) {
+  o.owner_ = nullptr;
+  o.running_ = false;
+}
+
+StageTimer::Scope::~Scope() { stop(); }
+
+void StageTimer::Scope::stop() {
+  if (!running_) return;
+  running_ = false;
+  const std::int64_t ns = now_ns() - start_ns_;
+  // Round up to a whole microsecond so a recorded stage is never 0 us:
+  // "non-empty timings" must survive machines faster than the clock tick.
+  owner_->stages_[index_].wall = Duration::micros(ns / 1000 + (ns % 1000 ? 1 : 0));
+}
+
+void StageTimer::Scope::counter(std::string key, std::uint64_t value) {
+  if (!owner_) return;
+  owner_->stages_[index_].counters.emplace_back(std::move(key), value);
+}
+
+StageTimer::Scope StageTimer::stage(std::string name) {
+  stages_.push_back(Stage{std::move(name), Duration::zero(), {}});
+  return Scope(this, stages_.size() - 1);
+}
+
+StageTimer::Scope StageTimer::maybe(StageTimer* timer, std::string name) {
+  if (!timer) return Scope(nullptr, 0);
+  return timer->stage(std::move(name));
+}
+
+StageTimer::Stage& StageTimer::add(std::string name, Duration wall) {
+  stages_.push_back(Stage{std::move(name), wall, {}});
+  return stages_.back();
+}
+
+Duration StageTimer::total() const {
+  Duration sum = Duration::zero();
+  for (const auto& s : stages_) sum += s.wall;
+  return sum;
+}
+
+}  // namespace tcpanaly::util

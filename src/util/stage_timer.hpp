@@ -1,0 +1,75 @@
+// Pipeline observability: per-stage wall-clock time plus named counters,
+// recorded as the analysis runs (load, calibrate, summarize, per-candidate
+// match) and embedded in every JSON report's `timings` section.
+//
+// Not thread-safe by design -- one timer belongs to one pipeline run. The
+// batch engine gives each worker its own timer; the matcher's parallel
+// candidate fan-out measures inside each worker and the per-candidate
+// stages are appended afterwards from the gathered results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tcpanaly::util {
+
+class StageTimer {
+ public:
+  struct Stage {
+    std::string name;
+    Duration wall;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+  };
+
+  /// RAII handle for a running stage: the clock stops at destruction (or
+  /// an explicit stop()); counters attach to the owning stage. A scope
+  /// from maybe(nullptr, ..) is inert, so callers can thread an optional
+  /// timer without branching at every stage.
+  class Scope {
+   public:
+    Scope(Scope&& o) noexcept;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+    ~Scope();
+
+    void counter(std::string key, std::uint64_t value);
+    void stop();  ///< idempotent
+
+   private:
+    friend class StageTimer;
+    Scope(StageTimer* owner, std::size_t index);
+
+    StageTimer* owner_;  // nullptr => no-op scope
+    std::size_t index_ = 0;
+    std::int64_t start_ns_ = 0;
+    bool running_ = false;
+  };
+
+  /// Begin a stage; its wall time runs until the returned scope stops.
+  Scope stage(std::string name);
+
+  /// Like stage(), but records nothing when `timer` is null.
+  static Scope maybe(StageTimer* timer, std::string name);
+
+  /// Append a stage whose duration was measured elsewhere (e.g. inside a
+  /// parallel worker).
+  Stage& add(std::string name, Duration wall);
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  bool empty() const { return stages_.empty(); }
+  /// Sum of recorded stage walls (stages may overlap; this is a workload
+  /// measure, not elapsed time).
+  Duration total() const;
+
+ private:
+  static std::int64_t now_ns();
+
+  std::vector<Stage> stages_;
+};
+
+}  // namespace tcpanaly::util

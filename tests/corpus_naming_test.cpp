@@ -1,0 +1,71 @@
+// The corpus naming convention links make_corpus (which writes names) to
+// tcpanaly --batch (which reads ground truth back out of them); these are
+// the edge cases that earned the helpers their own translation unit.
+#include <gtest/gtest.h>
+
+#include "corpus/naming.hpp"
+#include "tcp/profiles.hpp"
+
+namespace tcpanaly {
+namespace {
+
+TEST(CorpusNamingTest, SlugLowercasesAndReplacesPunctuation) {
+  EXPECT_EQ(corpus::slug("Linux 1.0"), "linux_1_0");
+  EXPECT_EQ(corpus::slug("Solaris 2.5.1"), "solaris_2_5_1");
+  EXPECT_EQ(corpus::slug("Windows NT/95"), "windows_nt_95");
+  EXPECT_EQ(corpus::slug("reno"), "reno");
+  EXPECT_EQ(corpus::slug(""), "");
+}
+
+TEST(CorpusNamingTest, LongestSlugPrefixWins) {
+  // "Net" is a slug-prefix of "Net 3": the stem "net_3_0_snd" matches both
+  // ("net_" and "net_3_"), and the longer one must win regardless of
+  // registry order.
+  auto mk = [](const char* name) {
+    auto p = tcp::generic_reno();
+    p.name = name;
+    return p;
+  };
+  const std::vector<tcp::TcpProfile> fwd = {mk("Net"), mk("Net 3")};
+  const std::vector<tcp::TcpProfile> rev = {mk("Net 3"), mk("Net")};
+  for (const auto& registry : {fwd, rev}) {
+    EXPECT_EQ(corpus::truth_from_filename("net_3_0_snd", registry), "Net 3");
+    EXPECT_EQ(corpus::truth_from_filename("net_0_snd", registry), "Net");
+  }
+}
+
+TEST(CorpusNamingTest, RealRegistryRoundTrips) {
+  const auto registry = tcp::all_profiles();
+  // Every registered profile's own naming must resolve back to it.
+  for (const auto& p : registry) {
+    const std::string stem = corpus::slug(p.name) + "_7_rcv";
+    EXPECT_EQ(corpus::truth_from_filename(stem, registry), p.name) << stem;
+  }
+  // A multi-seed index keeps the prefix intact.
+  EXPECT_EQ(corpus::truth_from_filename("linux_1_0_5_snd", registry), "Linux 1.0");
+}
+
+TEST(CorpusNamingTest, NoMatchYieldsEmptyTruth) {
+  const auto registry = tcp::all_profiles();
+  EXPECT_EQ(corpus::truth_from_filename("mystery_capture_01", registry), "");
+  // The slug must be followed by '_': a mere substring is not a match.
+  EXPECT_EQ(corpus::truth_from_filename("linux_1_0x", registry), "");
+  EXPECT_EQ(corpus::truth_from_filename("", registry), "");
+}
+
+TEST(CorpusNamingTest, VantageSuffixOverridesFallback) {
+  EXPECT_TRUE(corpus::receiver_side_from_filename("linux_1_0_0_rcv", false));
+  EXPECT_FALSE(corpus::receiver_side_from_filename("linux_1_0_0_snd", true));
+}
+
+TEST(CorpusNamingTest, MissingVantageSuffixUsesFallback) {
+  for (bool fallback : {false, true}) {
+    EXPECT_EQ(corpus::receiver_side_from_filename("foreign_capture", fallback), fallback);
+    // Stems too short to carry a suffix fall back too.
+    EXPECT_EQ(corpus::receiver_side_from_filename("rcv", fallback), fallback);
+    EXPECT_EQ(corpus::receiver_side_from_filename("", fallback), fallback);
+  }
+}
+
+}  // namespace
+}  // namespace tcpanaly

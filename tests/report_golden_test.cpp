@@ -1,0 +1,179 @@
+// Golden-file test for the analysis document: a fixed seeded session run
+// through the full pipeline must serialize byte-for-byte like the
+// checked-in tests/golden/analysis_report.json, after scrubbing the two
+// machine-dependent elements (the timings section and per-candidate
+// wall_us). Everything else -- calibration detail, summary statistics,
+// conformance verdicts, the fit table, the best fit's full report -- is
+// deterministic by construction, and this test is what holds the schema
+// stability promise to account.
+//
+// Regenerating after an intentional schema change:
+//   TCPANALY_REGEN_GOLDEN=1 ./report_golden_test
+// then review the diff and bump report::kSchemaVersion if any existing
+// field changed shape or meaning.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "corpus/corpus.hpp"
+#include "report/report.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+#ifndef TCPANALY_GOLDEN_DIR
+#error "TCPANALY_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace tcpanaly {
+namespace {
+
+using report::Json;
+
+// Deep copy without the keys whose values depend on the machine's clock.
+Json scrub(const Json& j) {
+  if (j.is_object()) {
+    Json out = Json::object();
+    for (const auto& [key, value] : j.members())
+      if (key != "timings" && key != "wall_us") out.set(key, scrub(value));
+    return out;
+  }
+  if (j.is_array()) {
+    Json out = Json::array();
+    for (const auto& item : j.items()) out.push_back(scrub(item));
+    return out;
+  }
+  return j;
+}
+
+// The fixed scenario behind the golden file. Mild loss so the document
+// exercises retransmission, calibration, and penalty machinery rather
+// than an all-zeros happy path.
+tcp::SessionResult golden_session() {
+  corpus::ScenarioParams params;
+  params.loss_prob = 0.01;
+  params.one_way_delay = util::Duration::millis(20);
+  params.rate_bytes_per_sec = 1'000'000.0;
+  params.transfer_bytes = 30'000;
+  params.seed = 7;
+  auto reno = tcp::find_profile("Generic Reno");
+  EXPECT_TRUE(reno.has_value());
+  return tcp::run_session(corpus::make_session(*reno, params));
+}
+
+std::vector<tcp::TcpProfile> golden_candidates() {
+  return {*tcp::find_profile("Generic Reno"), *tcp::find_profile("Generic Tahoe"),
+          *tcp::find_profile("Linux 1.0")};
+}
+
+report::AnalysisReport analyze_golden_trace(const trace::Trace& trace,
+                                            const std::string& label) {
+  report::AnalysisReport doc;
+  doc.trace.file = label;
+  doc.trace.records = trace.size();
+  doc.trace.local = trace.meta().local.to_string();
+  doc.trace.remote = trace.meta().remote.to_string();
+  doc.trace.receiver_side = trace.meta().role == trace::LocalRole::kReceiver;
+  doc.trace.truth = "Generic Reno";
+  report::run_analysis(doc, trace, golden_candidates());
+  return doc;
+}
+
+TEST(ReportGoldenTest, AnalysisDocumentMatchesCheckedInGolden) {
+  const auto session = golden_session();
+  const auto doc = analyze_golden_trace(session.sender_trace, "golden/generic_reno_snd");
+
+  // Every emitted form must re-parse with the in-tree parser and compare
+  // equal -- pretty and compact alike.
+  Json emitted = doc.to_json();
+  EXPECT_EQ(Json::parse(emitted.dump(2)), emitted);
+  EXPECT_EQ(Json::parse(emitted.dump()), emitted);
+
+  // The timings section must be present and non-empty before scrubbing;
+  // "non-empty per-stage timings" is part of the schema contract.
+  const Json* timings = emitted.find("timings");
+  ASSERT_NE(timings, nullptr);
+  ASSERT_NE(timings->find("stages"), nullptr);
+  EXPECT_FALSE(timings->find("stages")->items().empty());
+  for (const auto& stage : timings->find("stages")->items())
+    EXPECT_GT(stage.find("wall_us")->as_int(), 0) << stage.dump();
+
+  const std::string actual = scrub(emitted).dump(2) + "\n";
+
+  const std::string golden_path = std::string(TCPANALY_GOLDEN_DIR) + "/analysis_report.json";
+  if (std::getenv("TCPANALY_REGEN_GOLDEN")) {
+    std::ofstream out(golden_path);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden_path;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << golden_path
+                         << " missing; run with TCPANALY_REGEN_GOLDEN=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string golden = buf.str();
+
+  // Byte-for-byte first (catches formatting drift), then structurally for
+  // a readable failure message.
+  EXPECT_EQ(Json::parse(actual), Json::parse(golden));
+  EXPECT_EQ(actual, golden);
+}
+
+TEST(ReportGoldenTest, ReceiverSideDocumentRoundTrips) {
+  // No golden file for the receiver side -- just the invariants: header,
+  // truth, non-empty timings, and parser round-trip at both indents.
+  const auto session = golden_session();
+  const auto doc = analyze_golden_trace(session.receiver_trace, "golden/generic_reno_rcv");
+  Json emitted = doc.to_json();
+  EXPECT_EQ(Json::parse(emitted.dump(2)), emitted);
+  EXPECT_EQ(Json::parse(emitted.dump()), emitted);
+  EXPECT_EQ(emitted.find("schema_version")->as_int(), report::kSchemaVersion);
+  EXPECT_EQ(emitted.find("type")->as_string(), "analysis");
+  ASSERT_NE(emitted.find("receiver_analysis"), nullptr);
+  EXPECT_EQ(emitted.find("sender_analysis"), nullptr);
+  EXPECT_FALSE(emitted.find("timings")->find("stages")->items().empty());
+}
+
+TEST(ReportGoldenTest, BatchDocumentsRoundTrip) {
+  report::BatchTraceRecord row;
+  row.trace.file = "x_snd.pcap";
+  row.trace.records = 12;
+  row.trace.truth = "Generic Reno";
+  row.trustworthy = true;
+  row.best_name = "Generic Reno";
+  row.best_fit = "close";
+  row.best_penalty = 0.25;
+  row.identified = true;
+  row.timings.add("load", util::Duration::micros(10));
+  Json row_json = row.to_json();
+  EXPECT_EQ(Json::parse(row_json.dump()), row_json);
+  EXPECT_EQ(row_json.find("type")->as_string(), "trace");
+  EXPECT_EQ(row_json.find("error"), nullptr);
+
+  report::BatchTraceRecord failed;
+  failed.trace.file = "bad.pcap";
+  failed.error = "not a pcap file";
+  Json failed_json = failed.to_json();
+  EXPECT_EQ(Json::parse(failed_json.dump()), failed_json);
+  EXPECT_EQ(failed_json.find("error")->as_string(), "not a pcap file");
+  EXPECT_EQ(failed_json.find("best"), nullptr);
+
+  report::BatchAggregate agg;
+  agg.traces_analyzed = 5;
+  agg.with_truth = 5;
+  agg.identified = 4;
+  agg.confused = 1;
+  agg.failed = 0;
+  agg.workers = 2;
+  agg.timings.add("scan", util::Duration::micros(3));
+  Json agg_json = agg.to_json();
+  EXPECT_EQ(Json::parse(agg_json.dump()), agg_json);
+  EXPECT_EQ(agg_json.find("type")->as_string(), "aggregate");
+  EXPECT_EQ(agg_json.find("identified")->as_int(), 4);
+}
+
+}  // namespace
+}  // namespace tcpanaly

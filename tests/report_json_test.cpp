@@ -1,0 +1,194 @@
+// The report subsystem's foundations: JSON round-trip (writer output is
+// re-parseable and equal), escaping, deterministic number formatting,
+// strict parse failures, and the StageTimer observability layer.
+#include <gtest/gtest.h>
+
+#include "report/json.hpp"
+#include "report/report.hpp"
+#include "util/stage_timer.hpp"
+
+namespace tcpanaly {
+namespace {
+
+using report::Json;
+using report::JsonParseError;
+
+TEST(JsonTest, RoundTripNestedDocument) {
+  Json doc = Json::object();
+  doc.set("name", "trace");
+  doc.set("count", 42);
+  doc.set("penalty", 12.5);
+  doc.set("flag", true);
+  doc.set("nothing", nullptr);
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(Json::object().set("k", -3));
+  doc.set("items", std::move(arr));
+
+  for (int indent : {-1, 0, 2, 4}) {
+    Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back, doc) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrderAndOverwritesInPlace) {
+  Json doc = Json::object();
+  doc.set("z", 1).set("a", 2).set("z", 3);
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[0].second.as_int(), 3);
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.dump(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(JsonTest, StringEscapingRoundTrips) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01 high\xc3\xa9";
+  Json doc = Json::object();
+  doc.set(nasty, nasty);
+  Json back = Json::parse(doc.dump());
+  ASSERT_EQ(back.members().size(), 1u);
+  EXPECT_EQ(back.members()[0].first, nasty);
+  EXPECT_EQ(back.members()[0].second.as_string(), nasty);
+  // Control characters must be escaped, not emitted raw.
+  EXPECT_EQ(doc.dump().find('\x01'), std::string::npos);
+  EXPECT_EQ(doc.dump().find('\n'), std::string::npos);
+}
+
+TEST(JsonTest, UnicodeEscapesDecode) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");          // é
+  EXPECT_EQ(Json::parse("\"\\uD83D\\uDE00\"").as_string(), "\xf0\x9f\x98\x80");  // 😀
+  EXPECT_THROW(Json::parse("\"\\uD83D\""), JsonParseError);  // unpaired surrogate
+}
+
+TEST(JsonTest, IntegersStayIntegral) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(std::uint64_t{9007199254740993ULL}).dump(), "9007199254740993");
+  EXPECT_TRUE(Json::parse("42").is_int());
+  EXPECT_EQ(Json::parse("9223372036854775807").as_int(), 9223372036854775807LL);
+  EXPECT_FALSE(Json::parse("42.0").is_int());
+  EXPECT_EQ(Json::parse("42.0").as_int(), 42);  // integral double converts
+}
+
+TEST(JsonTest, DoublesRoundTripExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-12, 6.02e23, -2.5, 12345.6789}) {
+    Json back = Json::parse(Json(v).dump());
+    EXPECT_EQ(back.as_double(), v);
+  }
+  // JSON has no NaN/Inf literal; the writer degrades them to null.
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "\"abc", "{\"a\":}", "[1 2]", "1 2", "{} {}",
+        "{'a':1}", "[01]x", "\"\x01\"", "{\"a\":1,}"}) {
+    EXPECT_THROW(Json::parse(bad), JsonParseError) << "input: " << bad;
+  }
+}
+
+TEST(JsonTest, ParseErrorCarriesOffset) {
+  try {
+    Json::parse("[1, 2, xyz]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 7u);
+  }
+}
+
+TEST(JsonTest, FindAndRemove) {
+  Json doc = Json::parse(R"({"a":1,"timings":{"total_us":5},"b":2})");
+  ASSERT_NE(doc.find("timings"), nullptr);
+  EXPECT_TRUE(doc.remove("timings"));
+  EXPECT_FALSE(doc.remove("timings"));
+  EXPECT_EQ(doc.find("timings"), nullptr);
+  EXPECT_EQ(doc.dump(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  EXPECT_THROW(Json(42).as_string(), std::logic_error);
+  EXPECT_THROW(Json("x").as_int(), std::logic_error);
+  EXPECT_THROW(Json(1.5).as_int(), std::logic_error);  // non-integral double
+  EXPECT_THROW(Json::array().members(), std::logic_error);
+}
+
+TEST(JsonTest, NdjsonLinesParseIndependently) {
+  Json row = Json::object();
+  row.set("file", "a.pcap");
+  row.set("penalty", 1.5);
+  const std::string ndjson = row.dump() + "\n" + row.dump() + "\n";
+  // Compact dumps are single-line by construction.
+  std::size_t lines = 0, start = 0;
+  while (true) {
+    std::size_t nl = ndjson.find('\n', start);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(Json::parse(ndjson.substr(start, nl - start)), row);
+    ++lines;
+    start = nl + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(JsonTest, DocumentHeaderCarriesSchemaVersion) {
+  Json doc = report::document_header("analysis");
+  ASSERT_NE(doc.find("schema_version"), nullptr);
+  EXPECT_EQ(doc.find("schema_version")->as_int(), report::kSchemaVersion);
+  EXPECT_EQ(doc.find("tool")->find("name")->as_string(), report::kToolName);
+  EXPECT_EQ(doc.find("type")->as_string(), "analysis");
+  EXPECT_NE(report::version_line().find(report::kToolVersion), std::string::npos);
+}
+
+TEST(StageTimerTest, RecordsStagesInOrderWithCounters) {
+  util::StageTimer timer;
+  {
+    auto scope = timer.stage("load");
+    scope.counter("records", 85);
+  }
+  {
+    auto scope = timer.stage("match");
+    scope.counter("candidates", 14);
+    scope.stop();
+    scope.stop();  // idempotent
+  }
+  timer.add("match:Generic Reno", util::Duration::micros(120));
+
+  ASSERT_EQ(timer.stages().size(), 3u);
+  EXPECT_EQ(timer.stages()[0].name, "load");
+  EXPECT_GT(timer.stages()[0].wall.count(), 0);  // never 0: rounded up to >= 1 us
+  ASSERT_EQ(timer.stages()[0].counters.size(), 1u);
+  EXPECT_EQ(timer.stages()[0].counters[0].first, "records");
+  EXPECT_EQ(timer.stages()[0].counters[0].second, 85u);
+  EXPECT_EQ(timer.stages()[1].name, "match");
+  EXPECT_EQ(timer.stages()[2].name, "match:Generic Reno");
+  EXPECT_EQ(timer.stages()[2].wall.count(), 120);
+  EXPECT_GE(timer.total().count(), 122);
+}
+
+TEST(StageTimerTest, MaybeOnNullTimerIsInert) {
+  auto scope = util::StageTimer::maybe(nullptr, "load");
+  scope.counter("records", 1);  // must not crash
+  scope.stop();
+
+  util::StageTimer timer;
+  { auto s = util::StageTimer::maybe(&timer, "real"); }
+  ASSERT_EQ(timer.stages().size(), 1u);
+  EXPECT_EQ(timer.stages()[0].name, "real");
+}
+
+TEST(StageTimerTest, NestedStagesSurviveVectorGrowth) {
+  // Scopes hold indices, not pointers: opening many stages while earlier
+  // scopes are still running must not invalidate them.
+  util::StageTimer timer;
+  auto outer = timer.stage("outer");
+  for (int i = 0; i < 100; ++i) timer.add("inner", util::Duration::micros(1));
+  outer.counter("inners", 100);
+  outer.stop();
+  ASSERT_EQ(timer.stages().size(), 101u);
+  EXPECT_EQ(timer.stages()[0].counters[0].second, 100u);
+}
+
+}  // namespace
+}  // namespace tcpanaly

@@ -3,8 +3,10 @@
 // The reproduction's stand-in for the paper's NPD-style measurement
 // campaign: a sweep of bulk transfers per implementation over a grid of
 // path conditions, each written out as sender-side and receiver-side pcap
-// files that tcpanaly (and tcpdump/wireshark) can open. A manifest.tsv
-// records the ground truth per file.
+// files that tcpanaly (and tcpdump/wireshark) can open. Ground truth per
+// file lands in two manifests: manifest.tsv (grep/awk-able) and
+// manifest.json (the report subsystem's schema, one entry per trace with
+// the full scenario parameters).
 //
 // Usage:
 //   make_corpus <output-dir> [--impl <name>] [--seeds N] [--transfer BYTES]
@@ -16,22 +18,12 @@
 #include <string>
 
 #include "corpus/corpus.hpp"
+#include "corpus/naming.hpp"
+#include "report/report.hpp"
 #include "tcp/profiles.hpp"
 #include "trace/pcap_io.hpp"
 
 using namespace tcpanaly;
-
-namespace {
-
-std::string slug(const std::string& name) {
-  std::string out;
-  for (char c : name)
-    out += std::isalnum(static_cast<unsigned char>(c)) ? static_cast<char>(std::tolower(c))
-                                                       : '_';
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   std::string out_dir;
@@ -65,6 +57,7 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(out_dir);
   std::ofstream manifest(out_dir + "/manifest.tsv");
   manifest << "file\trole\timplementation\tloss\towd_ms\trate_Bps\tseed\tcompleted\n";
+  report::Json traces = report::Json::array();
 
   std::vector<tcp::TcpProfile> impls;
   if (only_impl.empty()) {
@@ -83,7 +76,7 @@ int main(int argc, char** argv) {
     int k = 0;
     for (const auto& entry : corpus::generate_corpus(impl, opts)) {
       const std::string base =
-          out_dir + "/" + slug(impl.name) + "_" + std::to_string(k++);
+          out_dir + "/" + corpus::slug(impl.name) + "_" + std::to_string(k++);
       const auto& p = entry.params;
       auto emit = [&](const char* role, const trace::Trace& tr) {
         const std::string path = base + "_" + role + ".pcap";
@@ -92,12 +85,36 @@ int main(int argc, char** argv) {
                  << '\t' << p.one_way_delay.count() / 1000 << '\t'
                  << p.rate_bytes_per_sec << '\t' << p.seed << '\t'
                  << (entry.result.completed ? 1 : 0) << '\n';
+        report::Json scenario = report::Json::object();
+        scenario.set("loss_prob", p.loss_prob);
+        scenario.set("one_way_delay_us", p.one_way_delay.count());
+        scenario.set("rate_Bps", p.rate_bytes_per_sec);
+        scenario.set("transfer_bytes", p.transfer_bytes);
+        scenario.set("seed", p.seed);
+        report::Json e = report::Json::object();
+        e.set("file", path);
+        e.set("vantage", role);
+        e.set("implementation", impl.name);
+        e.set("scenario", std::move(scenario));
+        e.set("completed", entry.result.completed);
+        traces.push_back(std::move(e));
         ++files;
       };
       emit("snd", entry.result.sender_trace);
       emit("rcv", entry.result.receiver_trace);
     }
   }
-  std::printf("wrote %zu pcap files + manifest.tsv to %s\n", files, out_dir.c_str());
+
+  report::Json doc = report::document_header("corpus_manifest");
+  doc.set("traces", std::move(traces));
+  std::ofstream json_manifest(out_dir + "/manifest.json");
+  json_manifest << doc.dump(2) << '\n';
+  json_manifest.close();
+  if (!json_manifest) {
+    std::fprintf(stderr, "%s/manifest.json: write failed\n", out_dir.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu pcap files + manifest.tsv + manifest.json to %s\n", files,
+              out_dir.c_str());
   return 0;
 }

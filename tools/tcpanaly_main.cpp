@@ -21,6 +21,12 @@
 //                        present)
 //   --jobs N             worker threads for --batch (default: hardware
 //                        concurrency)
+//   --json[=FILE]        emit machine-readable reports (schema_version'd
+//                        JSON). Single-trace mode writes one document;
+//                        --batch writes NDJSON: one row per trace plus a
+//                        final aggregate document. Without =FILE the JSON
+//                        owns stdout and the human-readable output is
+//                        suppressed.
 //   --candidates a,b,c   comma-separated implementation names to test
 //                        (default: all known; --list shows them)
 //   --summary            print per-connection statistics (tcptrace-style)
@@ -29,37 +35,67 @@
 //   --seqplot            print an ASCII time-sequence plot of the trace
 //   --report <name>      print the detailed report for one candidate
 //   --list               list known implementations and exit
+//   --version            print tool version and report schema version
 //   --strip-duplicates <out.pcap>
 //                        write the deduplicated trace to a new pcap file
 //   --pair <other.pcap>  the OTHER endpoint's trace of the same connection:
 //                        adds trace-pair clock calibration (relative skew,
 //                        step adjustments) per [Pa97b]
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/analyze.hpp"
 #include "core/calibration.hpp"
 #include "core/clock_pair.hpp"
-#include "core/path_metrics.hpp"
 #include "core/conformance.hpp"
-#include "core/summary.hpp"
+#include "core/path_metrics.hpp"
 #include "core/receiver_analyzer.hpp"
 #include "core/sender_analyzer.hpp"
+#include "core/summary.hpp"
+#include "corpus/naming.hpp"
+#include "report/report.hpp"
 #include "tcp/profiles.hpp"
 #include "trace/pcap_io.hpp"
 #include "trace/trace.hpp"
 #include "util/parallel.hpp"
+#include "util/stage_timer.hpp"
 #include "util/table.hpp"
 
 using namespace tcpanaly;
 
 namespace {
+
+/// Where --json documents go: stdout (which then carries ONLY JSON) or a
+/// file (human-readable output stays on stdout).
+struct JsonSink {
+  bool enabled = false;
+  std::string path;  ///< empty => stdout
+
+  bool owns_stdout() const { return enabled && path.empty(); }
+};
+
+/// Write `text` to the sink. Returns false (with a message on stderr) when
+/// the file cannot be written.
+bool write_json(const JsonSink& sink, const std::string& text) {
+  if (sink.path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(sink.path);
+  out << text;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "--json=%s: cannot write file\n", sink.path.c_str());
+    return false;
+  }
+  return true;
+}
 
 int list_implementations() {
   util::TextTable table({"name", "versions", "lineage"});
@@ -105,14 +141,6 @@ std::vector<tcp::TcpProfile> parse_candidates(const std::string& arg, bool* ok) 
 
 // --batch: analyze every capture in a directory in parallel.
 
-std::string slug(const std::string& name) {
-  std::string out;
-  for (char c : name)
-    out += std::isalnum(static_cast<unsigned char>(c)) ? static_cast<char>(std::tolower(c))
-                                                       : '_';
-  return out;
-}
-
 struct BatchRow {
   std::string file;       ///< file name within the batch directory
   std::string truth;      ///< ground-truth implementation, if the file name encodes one
@@ -120,94 +148,117 @@ struct BatchRow {
   bool load_failed = false;
   std::string error;
   std::size_t records = 0;
+  std::string local, remote;
   bool trustworthy = false;
   std::string best_name;
   std::string best_fit;
   double best_penalty = 0.0;
   bool identified = false;  ///< truth known and among the tied close fits
+  util::StageTimer timings;
 };
 
-/// Ground truth from make_corpus-style names: "<slug(impl)>_<k>_{snd,rcv}.pcap".
-std::string truth_from_filename(const std::string& stem,
-                                const std::vector<tcp::TcpProfile>& registry) {
-  std::string best;
-  std::size_t best_len = 0;  // prefer the longest matching slug prefix
-  for (const auto& p : registry) {
-    const std::string s = slug(p.name) + "_";
-    if (stem.rfind(s, 0) == 0 && s.size() > best_len) {
-      best = p.name;
-      best_len = s.size();
-    }
-  }
-  return best;
+report::BatchTraceRecord to_record(const BatchRow& row) {
+  report::BatchTraceRecord rec;
+  rec.trace.file = row.file;
+  rec.trace.records = row.records;
+  rec.trace.local = row.local;
+  rec.trace.remote = row.remote;
+  rec.trace.receiver_side = row.receiver_side;
+  rec.trace.truth = row.truth;
+  rec.error = row.error;
+  rec.trustworthy = row.trustworthy;
+  rec.best_name = row.best_name;
+  rec.best_fit = row.best_fit;
+  rec.best_penalty = row.best_penalty;
+  rec.identified = row.identified;
+  rec.timings = row.timings;
+  return rec;
 }
 
 int run_batch(const std::string& dir, bool receiver_flag,
-              const std::vector<tcp::TcpProfile>& candidates, int jobs) {
+              const std::vector<tcp::TcpProfile>& candidates, int jobs,
+              const JsonSink& json) {
   namespace fs = std::filesystem;
+  report::BatchAggregate agg;
   std::vector<fs::path> files;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".pcap" || ext == ".pcapng") files.push_back(entry.path());
+  {
+    auto scope = agg.timings.stage("scan");
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".pcap" || ext == ".pcapng") files.push_back(entry.path());
+    }
+    if (ec) {
+      std::fprintf(stderr, "--batch %s: %s\n", dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    if (files.empty()) {
+      std::fprintf(stderr, "--batch %s: no .pcap/.pcapng files found\n", dir.c_str());
+      return 1;
+    }
+    std::sort(files.begin(), files.end());
+    scope.counter("files", files.size());
   }
-  if (ec) {
-    std::fprintf(stderr, "--batch %s: %s\n", dir.c_str(), ec.message().c_str());
-    return 1;
-  }
-  if (files.empty()) {
-    std::fprintf(stderr, "--batch %s: no .pcap/.pcapng files found\n", dir.c_str());
-    return 1;
-  }
-  std::sort(files.begin(), files.end());
 
   const auto registry = tcp::all_profiles();
   // The file-level fan-out owns the parallelism; per-trace candidate
   // matching runs serially inside each worker to avoid oversubscription.
   core::MatchOptions mopts;
   mopts.jobs = 1;
-  auto rows = util::parallel_map(
-      files,
-      [&](const fs::path& path) {
-        BatchRow row;
-        row.file = path.filename().string();
-        const std::string stem = path.stem().string();
-        row.truth = truth_from_filename(stem, registry);
-        // make_corpus encodes the vantage point in the file name; fall
-        // back to the --receiver flag for foreign captures.
-        row.receiver_side = stem.size() >= 4 && stem.compare(stem.size() - 4, 4, "_rcv") == 0
-                                ? true
-                            : stem.size() >= 4 && stem.compare(stem.size() - 4, 4, "_snd") == 0
-                                ? false
-                                : receiver_flag;
-        try {
-          auto loaded =
-              trace::read_capture_file(path.string(), /*local_is_sender=*/!row.receiver_side);
-          row.records = loaded.trace.size();
-          auto analysis = core::analyze_trace(loaded.trace, candidates, mopts);
-          row.trustworthy = analysis.calibration.trustworthy();
-          const auto& best = analysis.match.best();
-          row.best_name = best.profile.name;
-          row.best_fit = core::to_string(best.fit);
-          row.best_penalty = best.penalty;
-          row.identified = !row.truth.empty() && analysis.match.identifies(row.truth);
-        } catch (const std::exception& e) {
-          row.load_failed = true;
-          row.error = e.what();
-        }
-        return row;
-      },
-      jobs);
+  std::vector<BatchRow> rows;
+  {
+    auto scope = agg.timings.stage("analyze");
+    rows = util::parallel_map(
+        files,
+        [&](const fs::path& path) {
+          BatchRow row;
+          row.file = path.filename().string();
+          const std::string stem = path.stem().string();
+          row.truth = corpus::truth_from_filename(stem, registry);
+          // make_corpus encodes the vantage point in the file name; fall
+          // back to the --receiver flag for foreign captures.
+          row.receiver_side = corpus::receiver_side_from_filename(stem, receiver_flag);
+          try {
+            trace::PcapReadResult loaded;
+            {
+              auto load = row.timings.stage("load");
+              loaded = trace::read_capture_file(path.string(),
+                                                /*local_is_sender=*/!row.receiver_side);
+              load.counter("records", loaded.trace.size());
+              load.counter("skipped_frames", loaded.skipped_frames);
+            }
+            row.records = loaded.trace.size();
+            row.local = loaded.trace.meta().local.to_string();
+            row.remote = loaded.trace.meta().remote.to_string();
+            auto analysis =
+                core::analyze_trace(loaded.trace, candidates, mopts, &row.timings);
+            row.trustworthy = analysis.calibration.trustworthy();
+            const auto& best = analysis.match.best();
+            row.best_name = best.profile.name;
+            row.best_fit = core::to_string(best.fit);
+            row.best_penalty = best.penalty;
+            row.identified = !row.truth.empty() && analysis.match.identifies(row.truth);
+          } catch (const std::exception& e) {
+            row.load_failed = true;
+            row.error = e.what();
+          }
+          return row;
+        },
+        jobs);
+    scope.counter("traces", rows.size());
+  }
 
+  // Failed loads get a dedicated error column instead of masquerading as a
+  // calibration verdict; successful rows leave it empty.
   util::TextTable table({"file", "role", "records", "calibration", "best match", "fit",
-                         "penalty", "truth"});
+                         "penalty", "truth", "error"});
   std::size_t failed = 0, with_truth = 0, identified = 0, confused = 0;
   for (const auto& row : rows) {
     if (row.load_failed) {
       ++failed;
-      table.add_row({row.file, row.receiver_side ? "rcv" : "snd", "-",
-                     "ERROR: " + row.error, "-", "-", "-", "-"});
+      table.add_row({row.file, row.receiver_side ? "rcv" : "snd", "-", "-", "-", "-", "-",
+                     "-", row.error});
       continue;
     }
     std::string truth_cell = "-";
@@ -226,11 +277,34 @@ int run_batch(const std::string& dir, bool receiver_flag,
                    row.best_name, row.best_fit, util::strf("%.1f", row.best_penalty),
                    truth_cell});
   }
-  std::printf("%s", table.render().c_str());
-  std::printf("\n%zu trace(s) analyzed with %u worker(s): %zu with ground truth, "
-              "%zu identified, %zu confused, %zu failed to load\n",
-              rows.size() - failed, util::resolve_jobs(jobs), with_truth, identified,
-              confused, failed);
+  if (!json.owns_stdout()) {
+    std::printf("%s", table.render().c_str());
+    std::printf("\n%zu trace(s) analyzed with %u worker(s): %zu with ground truth, "
+                "%zu identified, %zu confused, %zu failed to load\n",
+                rows.size() - failed, util::resolve_jobs(jobs), with_truth, identified,
+                confused, failed);
+  }
+
+  if (json.enabled) {
+    // NDJSON: one compact row per trace, then the aggregate document. The
+    // aggregate's counts are the very size_t's the text summary printed.
+    agg.traces_analyzed = rows.size() - failed;
+    agg.workers = util::resolve_jobs(jobs);
+    agg.with_truth = with_truth;
+    agg.identified = identified;
+    agg.confused = confused;
+    agg.failed = failed;
+    std::string out;
+    {
+      auto scope = agg.timings.stage("emit");
+      scope.counter("rows", rows.size());
+      for (const auto& row : rows) out += to_record(row).to_json().dump() + "\n";
+      // The emit stage must be stopped before serializing agg itself, or
+      // the aggregate's own timings section would still be running.
+    }
+    out += agg.to_json().dump() + "\n";
+    if (!write_json(json, out)) return 1;
+  }
   return failed == 0 ? 0 : 1;
 }
 
@@ -284,109 +358,93 @@ void print_receiver_report(const core::ReceiverReport& rep) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--receiver] [--candidates a,b,c] [--calibrate-only]\n"
-               "          [--summary]\n"
+               "          [--summary] [--json[=FILE]]\n"
                "          [--seqplot] [--report <impl>] [--strip-duplicates out.pcap]\n"
-               "          [--pair other.pcap] [--list] <trace.pcap>\n"
-               "       %s --batch <dir> [--jobs N] [--receiver] [--candidates a,b,c]\n",
+               "          [--pair other.pcap] [--list] [--version] <trace.pcap>\n"
+               "       %s --batch <dir> [--jobs N] [--receiver] [--candidates a,b,c]\n"
+               "          [--json[=FILE]]\n",
                argv0, argv0);
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+struct CliOptions {
   bool receiver_side = false;
   bool calibrate_only = false;
   bool seqplot = false;
   bool summary = false;
   bool conformance = false;
-  std::string candidates_arg;
   std::string report_name;
   std::string strip_out;
   std::string pair_path;
-  std::string batch_dir;
-  int jobs = 0;
   std::string path;
+  JsonSink json;
+};
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--list") return list_implementations();
-    if (arg == "--receiver") {
-      receiver_side = true;
-    } else if (arg == "--calibrate-only") {
-      calibrate_only = true;
-    } else if (arg == "--summary") {
-      summary = true;
-    } else if (arg == "--conformance") {
-      conformance = true;
-    } else if (arg == "--seqplot") {
-      seqplot = true;
-    } else if (arg == "--candidates" && i + 1 < argc) {
-      candidates_arg = argv[++i];
-    } else if (arg == "--report" && i + 1 < argc) {
-      report_name = argv[++i];
-    } else if (arg == "--strip-duplicates" && i + 1 < argc) {
-      strip_out = argv[++i];
-    } else if (arg == "--pair" && i + 1 < argc) {
-      pair_path = argv[++i];
-    } else if (arg == "--batch" && i + 1 < argc) {
-      batch_dir = argv[++i];
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else if (!arg.empty() && arg[0] == '-') {
-      return usage(argv[0]);
-    } else {
-      path = arg;
-    }
-  }
-  if (batch_dir.empty() && path.empty()) return usage(argv[0]);
+int run_single(const CliOptions& o, const std::vector<tcp::TcpProfile>& candidates) {
+  // When the JSON document owns stdout, every human-readable print is
+  // suppressed so the output parses as exactly one document.
+  const bool quiet = o.json.owns_stdout();
+  report::AnalysisReport doc;
+  doc.trace.file = o.path;
+  doc.trace.receiver_side = o.receiver_side;
 
-  std::vector<tcp::TcpProfile> candidates = tcp::all_profiles();
-  if (!candidates_arg.empty()) {
-    bool ok = false;
-    candidates = parse_candidates(candidates_arg, &ok);
-    if (!ok) return 1;
-  }
-
-  if (!batch_dir.empty()) return run_batch(batch_dir, receiver_side, candidates, jobs);
+  auto emit = [&](int rc) {
+    if (!o.json.enabled) return rc;
+    if (!write_json(o.json, doc.to_json().dump(2) + "\n")) return 1;
+    return rc;
+  };
 
   trace::PcapReadResult loaded;
-  try {
-    loaded = trace::read_capture_file(path, /*local_is_sender=*/!receiver_side);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
-    return 1;
+  {
+    auto scope = doc.timings.stage("load");
+    try {
+      loaded = trace::read_capture_file(o.path, /*local_is_sender=*/!o.receiver_side);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", o.path.c_str(), e.what());
+      doc.error = e.what();
+      scope.stop();
+      return emit(1);
+    }
+    scope.counter("records", loaded.trace.size());
+    scope.counter("skipped_frames", loaded.skipped_frames);
   }
-  std::printf("%s: %zu TCP record(s), %zu non-TCP frame(s) skipped\n", path.c_str(),
-              loaded.trace.size(), loaded.skipped_frames);
-  std::printf("local endpoint %s (%s), remote %s\n\n",
-              loaded.trace.meta().local.to_string().c_str(),
-              receiver_side ? "receiver" : "sender",
-              loaded.trace.meta().remote.to_string().c_str());
+  doc.trace.records = loaded.trace.size();
+  doc.trace.skipped_frames = loaded.skipped_frames;
+  doc.trace.local = loaded.trace.meta().local.to_string();
+  doc.trace.remote = loaded.trace.meta().remote.to_string();
+  doc.trace.truth = corpus::truth_from_filename(
+      std::filesystem::path(o.path).stem().string(), tcp::all_profiles());
 
-  if (summary) {
-    std::printf("== summary ==\n%s\n", core::summarize(loaded.trace).render().c_str());
+  if (!quiet) {
+    std::printf("%s: %zu TCP record(s), %zu non-TCP frame(s) skipped\n", o.path.c_str(),
+                loaded.trace.size(), loaded.skipped_frames);
+    std::printf("local endpoint %s (%s), remote %s\n\n",
+                loaded.trace.meta().local.to_string().c_str(),
+                o.receiver_side ? "receiver" : "sender",
+                loaded.trace.meta().remote.to_string().c_str());
   }
 
-  if (conformance) {
-    std::printf("== conformance ==\n%s\n",
-                core::check_conformance(loaded.trace).render().c_str());
-  }
+  core::MatchOptions mopts;
+  trace::Trace cleaned =
+      report::run_analysis(doc, loaded.trace, candidates, mopts,
+                           /*run_match=*/!o.calibrate_only);
 
-  if (seqplot) {
+  if (o.summary && !quiet)
+    std::printf("== summary ==\n%s\n", doc.summary->render().c_str());
+  if (o.conformance && !quiet)
+    std::printf("== conformance ==\n%s\n", doc.conformance->render().c_str());
+  if (o.seqplot && !quiet)
     std::printf("%s\n", trace::render_seqplot(trace::extract_seqplot(loaded.trace), 76, 22)
                             .c_str());
-  }
+  if (!quiet) std::printf("== calibration ==\n%s\n", doc.calibration->summary().c_str());
 
-  auto calibration = core::calibrate(loaded.trace);
-  std::printf("== calibration ==\n%s\n", calibration.summary().c_str());
-
-  if (!pair_path.empty()) {
+  if (!o.pair_path.empty() && !quiet) {
     try {
-      auto other = trace::read_capture_file(pair_path, /*local_is_sender=*/receiver_side);
-      const trace::Trace& snd = receiver_side ? other.trace : loaded.trace;
-      const trace::Trace& rcv = receiver_side ? loaded.trace : other.trace;
-      std::printf("== clock-pair calibration (vs %s) ==\n%s\n", pair_path.c_str(),
+      auto other =
+          trace::read_capture_file(o.pair_path, /*local_is_sender=*/o.receiver_side);
+      const trace::Trace& snd = o.receiver_side ? other.trace : loaded.trace;
+      const trace::Trace& rcv = o.receiver_side ? loaded.trace : other.trace;
+      std::printf("== clock-pair calibration (vs %s) ==\n%s\n", o.pair_path.c_str(),
                   core::compare_clocks(snd, rcv).summary().c_str());
       const auto dyn = core::measure_path_dynamics(snd, rcv);
       std::printf("== path dynamics (aligned pair) ==\n"
@@ -408,40 +466,104 @@ int main(int argc, char** argv) {
       else
         std::printf("bottleneck estimate: (insufficient arrival pairs)\n\n");
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s: %s\n", pair_path.c_str(), e.what());
+      std::fprintf(stderr, "%s: %s\n", o.pair_path.c_str(), e.what());
       return 1;
     }
   }
-  if (!strip_out.empty()) {
-    trace::Trace cleaned = core::strip_duplicates(loaded.trace, calibration.duplication);
-    trace::write_pcap_file(strip_out, cleaned);
-    std::printf("wrote deduplicated trace (%zu records) to %s\n\n", cleaned.size(),
-                strip_out.c_str());
+  if (!o.strip_out.empty()) {
+    trace::Trace stripped =
+        core::strip_duplicates(loaded.trace, doc.calibration->duplication);
+    trace::write_pcap_file(o.strip_out, stripped);
+    if (!quiet)
+      std::printf("wrote deduplicated trace (%zu records) to %s\n\n", stripped.size(),
+                  o.strip_out.c_str());
   }
-  if (calibrate_only) return calibration.trustworthy() ? 0 : 3;
+  if (o.calibrate_only) return emit(doc.calibration->trustworthy() ? 0 : 3);
 
-  auto analysis = core::analyze_trace(loaded.trace, candidates);
-  std::printf("== implementation match ==\n%s\n", analysis.match.render().c_str());
+  if (!quiet) std::printf("== implementation match ==\n%s\n", doc.match->render().c_str());
 
-  if (!report_name.empty()) {
-    auto profile = tcp::find_profile(report_name);
+  if (!o.report_name.empty()) {
+    auto profile = tcp::find_profile(o.report_name);
     if (!profile) {
       std::fprintf(stderr, "unknown implementation: '%s' (try --list)\n",
-                   report_name.c_str());
+                   o.report_name.c_str());
       return 1;
     }
-    std::printf("== detailed report: %s ==\n", report_name.c_str());
-    if (receiver_side) {
-      print_receiver_report(
-          core::ReceiverAnalyzer(*profile).analyze(analysis.cleaned));
-    } else {
-      print_sender_report(core::SenderAnalyzer(*profile).analyze(analysis.cleaned));
-      const std::uint32_t ssthresh =
-          core::infer_initial_ssthresh(analysis.cleaned, *profile);
-      std::printf("  inferred initial ssthresh: %s\n",
-                  ssthresh == 0 ? "effectively unbounded"
-                                : (std::to_string(ssthresh) + " segment(s)").c_str());
+    if (!quiet) {
+      std::printf("== detailed report: %s ==\n", o.report_name.c_str());
+      if (o.receiver_side) {
+        print_receiver_report(core::ReceiverAnalyzer(*profile).analyze(cleaned));
+      } else {
+        print_sender_report(core::SenderAnalyzer(*profile).analyze(cleaned));
+        const std::uint32_t ssthresh = core::infer_initial_ssthresh(cleaned, *profile);
+        std::printf("  inferred initial ssthresh: %s\n",
+                    ssthresh == 0 ? "effectively unbounded"
+                                  : (std::to_string(ssthresh) + " segment(s)").c_str());
+      }
     }
   }
-  return 0;
+  return emit(0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions o;
+  std::string candidates_arg;
+  std::string batch_dir;
+  int jobs = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") return list_implementations();
+    if (arg == "--version") {
+      std::printf("%s\n", report::version_line().c_str());
+      return 0;
+    }
+    if (arg == "--receiver") {
+      o.receiver_side = true;
+    } else if (arg == "--calibrate-only") {
+      o.calibrate_only = true;
+    } else if (arg == "--summary") {
+      o.summary = true;
+    } else if (arg == "--conformance") {
+      o.conformance = true;
+    } else if (arg == "--seqplot") {
+      o.seqplot = true;
+    } else if (arg == "--json") {
+      o.json.enabled = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      o.json.enabled = true;
+      o.json.path = arg.substr(std::strlen("--json="));
+      if (o.json.path.empty()) return usage(argv[0]);
+    } else if (arg == "--candidates" && i + 1 < argc) {
+      candidates_arg = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      o.report_name = argv[++i];
+    } else if (arg == "--strip-duplicates" && i + 1 < argc) {
+      o.strip_out = argv[++i];
+    } else if (arg == "--pair" && i + 1 < argc) {
+      o.pair_path = argv[++i];
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_dir = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      o.path = arg;
+    }
+  }
+  if (batch_dir.empty() && o.path.empty()) return usage(argv[0]);
+
+  std::vector<tcp::TcpProfile> candidates = tcp::all_profiles();
+  if (!candidates_arg.empty()) {
+    bool ok = false;
+    candidates = parse_candidates(candidates_arg, &ok);
+    if (!ok) return 1;
+  }
+
+  if (!batch_dir.empty())
+    return run_batch(batch_dir, o.receiver_side, candidates, jobs, o.json);
+  return run_single(o, candidates);
 }
