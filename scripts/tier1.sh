@@ -2,7 +2,10 @@
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer build of the parallel execution layer so the thread pool
 # and its two production fan-outs (corpus generation, candidate matching)
-# stay race-free.
+# stay race-free, then an ASan+UBSan build of the trace-ingestion fuzz
+# harness: replay the checked-in regression corpus, run a seeded fuzz
+# budget over all three parsers, and assert the section-3 fault-injection
+# taxonomy still trips the calibration detectors.
 #
 # Usage: scripts/tier1.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -19,6 +22,20 @@ TSAN_BUILD="${BUILD}-tsan"
 cmake -B "$TSAN_BUILD" -S . -DTCPANALY_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j --target parallel_test
 ctest --test-dir "$TSAN_BUILD" --output-on-failure -R '^Parallel' -j
+
+# Fuzz leg: the ingestion robustness contract under ASan+UBSan. Any
+# mutated capture must parse or throw std::runtime_error -- never trip a
+# sanitizer, leak, or exhaust memory.
+ASAN_BUILD="${BUILD}-asan"
+cmake -B "$ASAN_BUILD" -S . -DTCPANALY_SANITIZE=address,undefined
+cmake --build "$ASAN_BUILD" -j --target capture_fuzz pcap_hardening_test \
+  fuzz_test fuzz_corpus_test
+ctest --test-dir "$ASAN_BUILD" --output-on-failure \
+  -R 'PcapHardening|Fuzz|Mutators|FaultInject' -j
+"$ASAN_BUILD/tools/capture_fuzz" --replay tests/fuzz_corpus
+"$ASAN_BUILD/tools/capture_fuzz" --iterations 1000 --seed 1
+"$ASAN_BUILD/tools/capture_fuzz" --fault-inject
+echo "fuzz leg OK (ASan+UBSan corpus replay, seeded budget, fault injection)"
 
 # JSON leg: every document the CLI emits must satisfy an independent
 # parser, not just our own. Uses python3's json.tool when available.
@@ -47,4 +64,4 @@ else
   echo "python3 not found; skipping external JSON validation leg"
 fi
 
-echo "tier-1 OK (including TSan parallel leg)"
+echo "tier-1 OK (including TSan parallel leg and ASan+UBSan fuzz leg)"

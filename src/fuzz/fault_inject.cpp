@@ -1,0 +1,229 @@
+#include "fuzz/fault_inject.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <span>
+#include <stdexcept>
+
+#include "trace/packet.hpp"
+#include "trace/seq.hpp"
+#include "trace/wire.hpp"
+
+namespace tcpanaly::fuzz {
+
+namespace {
+
+std::uint32_t get_le32(const Bytes& b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off + 3]) << 24) | (b[off + 2] << 16) |
+         (b[off + 1] << 8) | b[off];
+}
+
+void set_le32(Bytes& b, std::size_t off, std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v & 0xff);
+  b[off + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  b[off + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  b[off + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+std::uint64_t record_ts_us(const Bytes& pcap, const PcapRecordSpan& r) {
+  return static_cast<std::uint64_t>(get_le32(pcap, r.offset)) * 1'000'000 +
+         get_le32(pcap, r.offset + 4);
+}
+
+void set_record_ts_us(Bytes& pcap, std::size_t offset, std::uint64_t us) {
+  set_le32(pcap, offset, static_cast<std::uint32_t>(us / 1'000'000));
+  set_le32(pcap, offset + 4, static_cast<std::uint32_t>(us % 1'000'000));
+}
+
+void append_record(Bytes& out, const Bytes& pcap, const PcapRecordSpan& r) {
+  out.insert(out.end(), pcap.begin() + static_cast<std::ptrdiff_t>(r.offset),
+             pcap.begin() + static_cast<std::ptrdiff_t>(r.offset + r.length));
+}
+
+}  // namespace
+
+std::vector<PcapRecordSpan> pcap_records(const Bytes& pcap) {
+  if (pcap.size() < 24 || get_le32(pcap, 0) != 0xa1b2c3d4)
+    throw std::runtime_error("fault_inject: not a little-endian pcap file");
+  std::vector<PcapRecordSpan> records;
+  std::size_t off = 24;
+  while (off < pcap.size()) {
+    if (off + 16 > pcap.size())
+      throw std::runtime_error("fault_inject: torn record header");
+    const std::uint32_t cap = get_le32(pcap, off + 8);
+    if (cap > pcap.size() - off - 16)
+      throw std::runtime_error("fault_inject: torn frame");
+    records.push_back({off, 16 + cap});
+    off += 16 + cap;
+  }
+  return records;
+}
+
+Bytes inject_drops(const Bytes& pcap, double drop_prob, util::Rng& rng,
+                   FaultSummary* summary) {
+  const auto records = pcap_records(pcap);
+  Bytes out(pcap.begin(), pcap.begin() + 24);
+  std::size_t kept = 0, dropped = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    // Keep at least one record so the result is still a trace.
+    if (rng.chance(drop_prob) && !(kept == 0 && i + 1 == records.size())) {
+      ++dropped;
+      continue;
+    }
+    append_record(out, pcap, records[i]);
+    ++kept;
+  }
+  if (summary) summary->dropped += dropped;
+  return out;
+}
+
+Bytes inject_additions(const Bytes& pcap, std::size_t copies, util::Rng& rng,
+                       FaultSummary* summary) {
+  const auto records = pcap_records(pcap);
+  std::set<std::size_t> chosen;
+  if (copies >= records.size()) {
+    for (std::size_t i = 0; i < records.size(); ++i) chosen.insert(i);
+  } else {
+    while (chosen.size() < copies)
+      chosen.insert(static_cast<std::size_t>(rng.next_below(records.size())));
+  }
+  Bytes out(pcap.begin(), pcap.begin() + 24);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    append_record(out, pcap, records[i]);
+    if (chosen.count(i)) {
+      // The filter-added copy: identical frame, recorded ~0.5 ms later
+      // (local-link serialization, the Figure 1 spacing) -- but never past
+      // the midpoint to the next record, so timestamps stay monotone and
+      // the duplication artifact does not read as time travel.
+      const std::uint64_t ts = record_ts_us(pcap, records[i]);
+      std::uint64_t copy_ts = ts + 500;
+      if (i + 1 < records.size()) {
+        const std::uint64_t next = record_ts_us(pcap, records[i + 1]);
+        if (next > ts) copy_ts = std::min(copy_ts, ts + (next - ts) / 2);
+      }
+      const std::size_t copy_off = out.size();
+      append_record(out, pcap, records[i]);
+      set_record_ts_us(out, copy_off, copy_ts);
+    }
+  }
+  if (summary) summary->added += chosen.size();
+  return out;
+}
+
+Bytes inject_resequencing(const Bytes& pcap, std::size_t swaps, util::Rng& rng,
+                          FaultSummary* summary) {
+  const auto records = pcap_records(pcap);
+  const std::uint32_t linktype = get_le32(pcap, 20) & 0x0fffffff;
+
+  // Decode every record so candidate selection can mirror the detector.
+  std::vector<std::optional<trace::PacketRecord>> decoded(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto frame = std::span(pcap).subspan(records[i].offset + 16,
+                                               records[i].length - 16);
+    decoded[i] = trace::decode_frame(linktype, frame);
+  }
+  // Sender = the side sourcing the most payload; this matches the
+  // reader's endpoint inference, so directions here line up with what
+  // core::calibrate will see after the mangled capture is read back.
+  trace::Endpoint a{}, b{};
+  bool have_ep = false;
+  std::uint64_t bytes_a = 0, bytes_b = 0;
+  for (const auto& rec : decoded) {
+    if (!rec) continue;
+    if (!have_ep) {
+      a = rec->src;
+      b = rec->dst;
+      have_ep = true;
+    }
+    (rec->src == a ? bytes_a : bytes_b) += rec->tcp.payload_len;
+  }
+  const trace::Endpoint sender = bytes_a >= bytes_b ? a : b;
+
+  // A swapped (inbound ack, outbound data) pair only registers with the
+  // sender-side detector if, once the data precedes the ack, the data
+  // violates the offered window implied by the *previous* ack and the
+  // swapped ack repairs it -- i.e. the ack was genuinely liberating.
+  // Track the detector's (last_ack, last_win) state while scanning and
+  // keep exactly the pairs satisfying that predicate.
+  std::vector<std::size_t> qualifying, fallback;
+  bool have_ack = false;
+  trace::SeqNum last_ack = 0;
+  std::uint32_t last_win = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = decoded[i];
+    if (rec && i + 1 < records.size() && decoded[i + 1]) {
+      const auto& nxt = *decoded[i + 1];
+      const bool inbound_ack = !(rec->src == sender) && rec->tcp.is_pure_ack();
+      const bool outbound_data = nxt.src == sender && nxt.is_data();
+      const std::uint64_t gap =
+          record_ts_us(pcap, records[i + 1]) - record_ts_us(pcap, records[i]);
+      if (inbound_ack && outbound_data && gap < 1500) {
+        const bool violates =
+            have_ack && trace::seq_gt(nxt.tcp.seq_end(), last_ack + last_win);
+        const bool repairs =
+            trace::seq_le(nxt.tcp.seq_end(), rec->tcp.ack + rec->tcp.window);
+        (violates && repairs ? qualifying : fallback).push_back(i);
+      }
+    }
+    if (rec && !(rec->src == sender) && rec->tcp.flags.ack) {
+      have_ack = true;
+      last_ack = rec->tcp.ack;
+      last_win = rec->tcp.window;
+    }
+  }
+  // Pairs are (i, i+1) with i an ack and i+1 data, so two candidate
+  // indices can never be adjacent -- chosen swaps cannot overlap.
+  std::set<std::size_t> chosen;
+  while (chosen.size() < std::min(swaps, qualifying.size()))
+    chosen.insert(
+        qualifying[static_cast<std::size_t>(rng.next_below(qualifying.size()))]);
+  while (!fallback.empty() && chosen.size() < swaps &&
+         chosen.size() < qualifying.size() + fallback.size())
+    chosen.insert(
+        fallback[static_cast<std::size_t>(rng.next_below(fallback.size()))]);
+
+  Bytes out(pcap.begin(), pcap.begin() + 24);
+  std::size_t swapped = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (chosen.count(i) && i + 1 < records.size()) {
+      // Contents change places; timestamps stay where they were (the
+      // filter stamps at output time), so time stays monotone while
+      // cause-and-effect inverts.
+      const std::size_t first_off = out.size();
+      append_record(out, pcap, records[i + 1]);
+      set_record_ts_us(out, first_off, record_ts_us(pcap, records[i]));
+      const std::size_t second_off = out.size();
+      append_record(out, pcap, records[i]);
+      set_record_ts_us(out, second_off, record_ts_us(pcap, records[i + 1]));
+      ++swapped;
+      ++i;  // both records emitted
+      continue;
+    }
+    append_record(out, pcap, records[i]);
+  }
+  if (summary) summary->resequenced += swapped;
+  return out;
+}
+
+Bytes inject_time_travel(const Bytes& pcap, std::size_t jumps, util::Rng& rng,
+                         FaultSummary* summary) {
+  const auto records = pcap_records(pcap);
+  Bytes out = pcap;
+  std::size_t applied = 0;
+  if (records.size() >= 2) {
+    std::set<std::size_t> chosen;
+    while (chosen.size() < std::min(jumps, records.size() - 1))
+      chosen.insert(1 + static_cast<std::size_t>(rng.next_below(records.size() - 1)));
+    for (const std::size_t k : chosen) {
+      const std::uint64_t prev = record_ts_us(pcap, records[k - 1]);
+      const std::uint64_t back = 1000 + rng.next_below(50'000);  // 1-51 ms
+      set_record_ts_us(out, records[k].offset, prev > back ? prev - back : 0);
+      ++applied;
+    }
+  }
+  if (summary) summary->time_travel += applied;
+  return out;
+}
+
+}  // namespace tcpanaly::fuzz

@@ -1,0 +1,73 @@
+// Packet-filter fault injection at the pcap byte level.
+//
+// The paper's section 3 taxonomy of measurement errors -- drops (3.1.1),
+// additions (3.1.2), resequencing (3.1.3), and clock "time travel"
+// (3.1.4) -- applied directly to a written capture file, the way a buggy
+// filter would have produced it. This closes the loop between the fuzz
+// layer and calibration semantics: a capture mangled here must make the
+// corresponding core::calibrate detector fire when read back
+// (tools/capture_fuzz --fault-inject asserts exactly that).
+//
+// All functions take a well-formed little-endian classic pcap file and
+// throw std::runtime_error if it is not one. Injection is deterministic
+// given the Rng state.
+#pragma once
+
+#include <cstddef>
+
+#include "fuzz/mutators.hpp"
+#include "util/rng.hpp"
+
+namespace tcpanaly::fuzz {
+
+/// One record of a classic pcap file: header + captured frame.
+struct PcapRecordSpan {
+  std::size_t offset = 0;  ///< start of the 16-byte record header
+  std::size_t length = 0;  ///< header + frame bytes
+};
+
+/// Split a well-formed little-endian pcap file into its records.
+/// Throws std::runtime_error on a malformed file.
+std::vector<PcapRecordSpan> pcap_records(const Bytes& pcap);
+
+struct FaultSummary {
+  std::size_t dropped = 0;
+  std::size_t added = 0;
+  std::size_t resequenced = 0;
+  std::size_t time_travel = 0;
+};
+
+/// 3.1.1: the filter fails to record packets. Each record is independently
+/// dropped with probability `drop_prob` (at least one survivor is kept).
+Bytes inject_drops(const Bytes& pcap, double drop_prob, util::Rng& rng,
+                   FaultSummary* summary = nullptr);
+
+/// 3.1.2: the filter records extra copies. `copies` randomly chosen
+/// records are duplicated immediately after themselves, the copy stamped
+/// ~0.5 ms later -- the Figure 1 signature of the IRIX artifact, well
+/// inside the duplication detector's max_gap and far below any RTT.
+/// Passing copies >= the record count duplicates every record. Note the
+/// calibration detector deliberately requires *systematic* duplication
+/// (a majority of outbound data doubled) before flagging a trace, so to
+/// model the IRIX every-packet artifact pass the full record count, as
+/// `capture_fuzz --fault-inject` does.
+Bytes inject_additions(const Bytes& pcap, std::size_t copies, util::Rng& rng,
+                       FaultSummary* summary = nullptr);
+
+/// 3.1.3: the filter emits records out of order while stamping timestamps
+/// at output time, so timestamps stay monotone but causal order is wrong.
+/// Performs `swaps` exchanges of adjacent records (contents swap,
+/// timestamps stay in place), preferring inbound-ack/outbound-data pairs
+/// where the ack is genuinely liberating -- the data violates the
+/// previously offered window and the ack repairs it, the exact
+/// contradiction detect_resequencing keys on. Pairs that merely sit
+/// adjacent are used only when too few liberating pairs exist.
+Bytes inject_resequencing(const Bytes& pcap, std::size_t swaps, util::Rng& rng,
+                          FaultSummary* summary = nullptr);
+
+/// 3.1.4: the filter clock jumps backwards. `jumps` randomly chosen
+/// records get timestamps earlier than their predecessors.
+Bytes inject_time_travel(const Bytes& pcap, std::size_t jumps, util::Rng& rng,
+                         FaultSummary* summary = nullptr);
+
+}  // namespace tcpanaly::fuzz

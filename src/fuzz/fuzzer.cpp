@@ -1,0 +1,218 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "report/json.hpp"
+#include "tcp/session.hpp"
+#include "trace/pcap_io.hpp"
+
+namespace tcpanaly::fuzz {
+
+namespace {
+
+std::string to_string_bytes(const Bytes& data) {
+  return std::string(data.begin(), data.end());
+}
+
+trace::Trace session_trace(std::uint64_t seed, std::uint32_t transfer, double loss) {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender.transfer_bytes = transfer;
+  cfg.fwd_path.loss_prob = loss;
+  cfg.seed = seed;
+  return tcp::run_session(cfg).sender_trace;
+}
+
+Bytes write_pcap_bytes(const trace::Trace& tr, std::uint32_t snaplen) {
+  std::ostringstream out;
+  trace::PcapWriteOptions opts;
+  opts.snaplen = snaplen;
+  trace::write_pcap(out, tr, opts);
+  const std::string s = out.str();
+  return Bytes(s.begin(), s.end());
+}
+
+Bytes write_pcapng_bytes(const trace::Trace& tr, std::uint8_t tsresol_raw) {
+  std::ostringstream out;
+  trace::PcapngWriteOptions opts;
+  opts.tsresol_raw = tsresol_raw;
+  trace::write_pcapng(out, tr, opts);
+  const std::string s = out.str();
+  return Bytes(s.begin(), s.end());
+}
+
+Bytes json_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+}  // namespace
+
+ParseCheck check_parse(InputFormat fmt, const Bytes& data,
+                       const util::ParseLimits& limits) {
+  try {
+    switch (fmt) {
+      case InputFormat::kPcap: {
+        std::istringstream in(to_string_bytes(data));
+        (void)trace::read_pcap(in, true, limits);
+        break;
+      }
+      case InputFormat::kPcapng: {
+        std::istringstream in(to_string_bytes(data));
+        (void)trace::read_pcapng(in, true, limits);
+        break;
+      }
+      case InputFormat::kJson:
+        (void)report::Json::parse(to_string_bytes(data), limits);
+        break;
+    }
+    return {ParseOutcome::kAccepted, ""};
+  } catch (const std::runtime_error& e) {
+    return {ParseOutcome::kRejected, e.what()};
+  } catch (const std::exception& e) {
+    return {ParseOutcome::kContractViolation, e.what()};
+  } catch (...) {
+    return {ParseOutcome::kContractViolation, "non-std exception"};
+  }
+}
+
+std::vector<Bytes> seed_inputs(InputFormat fmt) {
+  std::vector<Bytes> seeds;
+  switch (fmt) {
+    case InputFormat::kPcap: {
+      const trace::Trace clean = session_trace(7, 8 * 1024, 0.0);
+      const trace::Trace lossy = session_trace(11, 12 * 1024, 0.02);
+      seeds.push_back(write_pcap_bytes(clean, 65535));
+      seeds.push_back(write_pcap_bytes(clean, 68));  // header-only capture
+      seeds.push_back(write_pcap_bytes(lossy, 65535));
+      break;
+    }
+    case InputFormat::kPcapng: {
+      const trace::Trace clean = session_trace(7, 8 * 1024, 0.0);
+      const trace::Trace lossy = session_trace(11, 12 * 1024, 0.02);
+      seeds.push_back(write_pcapng_bytes(clean, 6));     // microseconds
+      seeds.push_back(write_pcapng_bytes(clean, 9));     // nanoseconds
+      seeds.push_back(write_pcapng_bytes(lossy, 0x94));  // 2^-20 s
+      break;
+    }
+    case InputFormat::kJson: {
+      using report::Json;
+      Json doc = Json::object();
+      doc.set("schema_version", 1)
+          .set("tool", Json::object().set("name", "tcpanaly").set("version", "0.2.0"))
+          .set("counts", Json::array()
+                             .push_back(0)
+                             .push_back(-9223372036854775807LL)
+                             .push_back(3.14159)
+                             .push_back(6.02e23))
+          .set("label", "esc \"quotes\" \\ tab\t caf\xc3\xa9")
+          .set("flags", Json::array().push_back(true).push_back(false).push_back(nullptr));
+      Json rows = Json::array();
+      for (int i = 0; i < 20; ++i)
+        rows.push_back(Json::object().set("i", i).set("penalty", i * 0.125));
+      doc.set("rows", std::move(rows));
+      seeds.push_back(json_bytes(doc.dump()));
+      seeds.push_back(json_bytes(doc.dump(2)));
+
+      Json deep(42);
+      for (int i = 0; i < 40; ++i) {
+        Json wrap = Json::array();
+        wrap.push_back(std::move(deep));
+        deep = std::move(wrap);
+      }
+      seeds.push_back(json_bytes(deep.dump()));
+      break;
+    }
+  }
+  return seeds;
+}
+
+Bytes minimize(InputFormat fmt, Bytes repro, const util::ParseLimits& limits) {
+  auto violates = [&](const Bytes& b) {
+    return check_parse(fmt, b, limits).outcome == ParseOutcome::kContractViolation;
+  };
+  if (!violates(repro)) return repro;
+  // Greedy delta-debugging: try dropping ever-smaller chunks, restarting
+  // whenever something shrinks, bounded so minimization always terminates.
+  for (int pass = 0; pass < 8; ++pass) {
+    bool shrunk = false;
+    for (std::size_t chunk = std::max<std::size_t>(1, repro.size() / 2); chunk >= 1;
+         chunk /= 2) {
+      for (std::size_t off = 0; off + chunk <= repro.size();) {
+        Bytes candidate;
+        candidate.reserve(repro.size() - chunk);
+        candidate.insert(candidate.end(), repro.begin(),
+                         repro.begin() + static_cast<std::ptrdiff_t>(off));
+        candidate.insert(candidate.end(),
+                         repro.begin() + static_cast<std::ptrdiff_t>(off + chunk),
+                         repro.end());
+        if (violates(candidate)) {
+          repro = std::move(candidate);
+          shrunk = true;
+        } else {
+          off += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    if (!shrunk) break;
+  }
+  return repro;
+}
+
+FuzzStats fuzz_parser(InputFormat fmt, const FuzzOptions& opts) {
+  return fuzz_parser(fmt, seed_inputs(fmt), opts);
+}
+
+FuzzStats fuzz_parser(InputFormat fmt, const std::vector<Bytes>& seeds,
+                      const FuzzOptions& opts) {
+  if (seeds.empty()) throw std::invalid_argument("fuzz_parser: empty seed pool");
+  FuzzStats stats;
+  for (std::uint64_t iter = 0; iter < opts.iterations; ++iter) {
+    // Each iteration is self-contained: its Rng depends only on
+    // (seed, iteration), never on what earlier iterations did, so a
+    // failure replays without re-running the ones before it.
+    util::Rng rng(opts.seed ^ (iter * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull));
+    Bytes data = seeds[rng.next_below(seeds.size())];
+    std::string mutations;
+    const std::uint64_t stacked = 1 + rng.next_below(opts.max_stacked);
+    for (std::uint64_t s = 0; s < stacked; ++s) {
+      Mutation m = mutate(data, fmt, rng);
+      data = std::move(m.data);
+      if (s) mutations += " | ";
+      mutations += m.description;
+    }
+
+    const ParseCheck check = check_parse(fmt, data, opts.limits);
+    ++stats.iterations;
+    switch (check.outcome) {
+      case ParseOutcome::kAccepted:
+        ++stats.accepted;
+        break;
+      case ParseOutcome::kRejected:
+        ++stats.rejected;
+        break;
+      case ParseOutcome::kContractViolation: {
+        FuzzFailure failure;
+        failure.fmt = fmt;
+        failure.iteration = iter;
+        failure.mutations = mutations;
+        failure.error = check.error;
+        failure.reproducer = minimize(fmt, data, opts.limits);
+        if (!opts.corpus_dir.empty()) {
+          std::filesystem::create_directories(opts.corpus_dir);
+          failure.path = opts.corpus_dir + "/" + to_string(fmt) + "_seed" +
+                         std::to_string(opts.seed) + "_iter" + std::to_string(iter) +
+                         ".bin";
+          std::ofstream out(failure.path, std::ios::binary);
+          out.write(reinterpret_cast<const char*>(failure.reproducer.data()),
+                    static_cast<std::streamsize>(failure.reproducer.size()));
+        }
+        stats.failures.push_back(std::move(failure));
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace tcpanaly::fuzz

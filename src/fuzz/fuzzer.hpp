@@ -1,0 +1,85 @@
+// Seeded fuzzing engine for the byte-level ingestion parsers.
+//
+// The contract under test: arbitrary bytes fed to read_pcap, read_pcapng,
+// or Json::parse may produce a well-formed result or a std::runtime_error
+// -- nothing else. A std::bad_alloc (unbounded allocation), a
+// std::length_error / std::logic_error (an internal invariant broke), or
+// a crash/hang (caught by the sanitizer build, not by us) is a contract
+// violation. Every iteration derives from a (seed, iteration) pair, so
+// any failure replays bit-exactly; violations are greedily minimized and
+// written to a corpus directory as regression reproducers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutators.hpp"
+#include "util/parse_limits.hpp"
+
+namespace tcpanaly::fuzz {
+
+enum class ParseOutcome {
+  kAccepted,          ///< parsed to a result
+  kRejected,          ///< clean std::runtime_error
+  kContractViolation  ///< any other exception escaped the parser
+};
+
+struct ParseCheck {
+  ParseOutcome outcome = ParseOutcome::kAccepted;
+  std::string error;  ///< what() when not accepted
+};
+
+/// Feed `data` to the parser for `fmt` under `limits` and classify what
+/// came out.
+ParseCheck check_parse(InputFormat fmt, const Bytes& data,
+                       const util::ParseLimits& limits);
+
+/// Well-formed seed inputs for a format: simulated bulk-transfer sessions
+/// written as pcap (several snaplens) or pcapng (several timestamp
+/// resolutions), and representative nested JSON documents. Deterministic.
+std::vector<Bytes> seed_inputs(InputFormat fmt);
+
+/// Greedy chunk-removal minimizer: returns the smallest input it can find
+/// that still yields kContractViolation (the input itself when it does not
+/// violate the contract).
+Bytes minimize(InputFormat fmt, Bytes repro, const util::ParseLimits& limits);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 10'000;
+  /// Small ceilings by default so a mutated length field costs churn, not
+  /// gigabytes; see ParseLimits::fuzzing().
+  util::ParseLimits limits = util::ParseLimits::fuzzing();
+  /// When non-empty, minimized reproducers are written here as
+  /// <format>_seed<seed>_iter<N>.bin.
+  std::string corpus_dir;
+  /// Mutations stacked per iteration: 1 + next_below(max_stacked).
+  std::uint64_t max_stacked = 3;
+};
+
+struct FuzzFailure {
+  InputFormat fmt = InputFormat::kPcap;
+  std::uint64_t iteration = 0;
+  std::string mutations;  ///< the stacked mutation descriptions
+  std::string error;      ///< what() of the escaping exception
+  Bytes reproducer;       ///< minimized
+  std::string path;       ///< file under corpus_dir, empty if not written
+};
+
+struct FuzzStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::vector<FuzzFailure> failures;
+};
+
+/// Run `opts.iterations` seeded mutate-and-parse rounds against one
+/// parser, starting from seed_inputs(fmt).
+FuzzStats fuzz_parser(InputFormat fmt, const FuzzOptions& opts);
+
+/// Same, with an explicit seed-input pool (must be non-empty).
+FuzzStats fuzz_parser(InputFormat fmt, const std::vector<Bytes>& seeds,
+                      const FuzzOptions& opts);
+
+}  // namespace tcpanaly::fuzz

@@ -1,0 +1,254 @@
+#include "fuzz/mutators.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tcpanaly::fuzz {
+
+namespace {
+
+std::uint32_t get_le32(const Bytes& b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off + 3]) << 24) | (b[off + 2] << 16) |
+         (b[off + 1] << 8) | b[off];
+}
+
+std::uint32_t get_be32(const Bytes& b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) | (b[off + 1] << 16) |
+         (b[off + 2] << 8) | b[off + 3];
+}
+
+void set_le32(Bytes& b, std::size_t off, std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v & 0xff);
+  b[off + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  b[off + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  b[off + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+// A native (little-endian) pcap file begins d4 c3 b2 a1 (or 4d 3c b2 a1
+// for nanosecond stamps); a byte-swapped one begins a1 b2 ... .
+bool pcap_swapped(const Bytes& d) {
+  return d.size() >= 4 && d[0] == 0xa1 && (d[3] == 0xd4 || d[3] == 0x4d);
+}
+
+std::vector<std::size_t> pcap_boundaries(const Bytes& d) {
+  std::vector<std::size_t> out{0};
+  const bool be = pcap_swapped(d);
+  std::size_t off = 24;
+  while (off + 16 <= d.size()) {
+    out.push_back(off);
+    const std::uint32_t cap = be ? get_be32(d, off + 8) : get_le32(d, off + 8);
+    if (cap > d.size() - off - 16) break;
+    off += 16 + cap;
+  }
+  if (out.back() != d.size()) out.push_back(d.size());
+  return out;
+}
+
+std::vector<std::size_t> pcapng_boundaries(const Bytes& d) {
+  std::vector<std::size_t> out{0};
+  std::size_t off = 0;
+  while (off + 12 <= d.size()) {
+    if (off) out.push_back(off);
+    const std::uint32_t total = get_le32(d, off + 4);
+    if (total < 12 || total % 4 != 0 || total > d.size() - off) break;
+    off += total;
+  }
+  if (out.back() != d.size()) out.push_back(d.size());
+  return out;
+}
+
+std::vector<std::size_t> json_boundaries(const Bytes& d) {
+  std::vector<std::size_t> out{0};
+  for (std::size_t i = 0; i < d.size() && out.size() < 4096; ++i) {
+    switch (d[i]) {
+      case '{': case '}': case '[': case ']': case ',': case ':': case '"':
+        out.push_back(i);
+        break;
+      default:
+        break;
+    }
+  }
+  if (out.back() != d.size()) out.push_back(d.size());
+  return out;
+}
+
+std::size_t pick(util::Rng& rng, std::size_t n) {
+  return n ? static_cast<std::size_t>(rng.next_below(n)) : 0;
+}
+
+}  // namespace
+
+const char* to_string(InputFormat fmt) {
+  switch (fmt) {
+    case InputFormat::kPcap: return "pcap";
+    case InputFormat::kPcapng: return "pcapng";
+    case InputFormat::kJson: return "json";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> structural_boundaries(const Bytes& data, InputFormat fmt) {
+  switch (fmt) {
+    case InputFormat::kPcap: return pcap_boundaries(data);
+    case InputFormat::kPcapng: return pcapng_boundaries(data);
+    case InputFormat::kJson: return json_boundaries(data);
+  }
+  return {0, data.size()};
+}
+
+Mutation mutate(const Bytes& input, InputFormat fmt, util::Rng& rng) {
+  Mutation m;
+  m.data = input;
+  Bytes& d = m.data;
+
+  if (d.empty()) {
+    const std::size_t n = 1 + pick(rng, 16);
+    for (std::size_t i = 0; i < n; ++i)
+      d.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+    m.description = "seed-empty:insert" + std::to_string(n);
+    return m;
+  }
+
+  const auto bounds = structural_boundaries(d, fmt);
+  // Interior boundaries (segment starts), excluding the trailing size marker.
+  const std::size_t nseg = bounds.size() - 1;
+
+  switch (rng.next_below(12)) {
+    case 0: {  // truncate exactly at a structural boundary
+      const std::size_t at = bounds[pick(rng, bounds.size())];
+      d.resize(at);
+      m.description = "truncate@boundary:" + std::to_string(at);
+      break;
+    }
+    case 1: {  // truncate just off a boundary (torn header/record)
+      const std::size_t b = bounds[pick(rng, bounds.size())];
+      const std::size_t delta = pick(rng, 9);
+      const std::size_t at = std::min(d.size(), b + delta > 4 ? b + delta - 4 : 0);
+      d.resize(at);
+      m.description = "truncate@boundary+-:" + std::to_string(at);
+      break;
+    }
+    case 2: {  // truncate at an arbitrary byte
+      const std::size_t at = pick(rng, d.size() + 1);
+      d.resize(at);
+      m.description = "truncate@" + std::to_string(at);
+      break;
+    }
+    case 3: {  // length-field lie
+      static constexpr std::uint32_t kLies[] = {0,          1,          0x7fffffff,
+                                                0xfffffff0, 0xffffffff, 0x10000};
+      const std::uint32_t lie = kLies[pick(rng, std::size(kLies))];
+      std::size_t off = 0;
+      if (fmt == InputFormat::kPcap) {
+        const std::size_t b = bounds[pick(rng, nseg)];
+        off = b == 0 ? 16 : b + 8;  // header snaplen, or a record's cap_len
+      } else if (fmt == InputFormat::kPcapng) {
+        const std::size_t b = bounds[pick(rng, nseg)];
+        // A block's total_len, or (an EPB's) cap_len field.
+        off = rng.chance(0.5) ? b + 4 : b + 20;
+      } else {
+        off = pick(rng, d.size());  // stomp bytes mid-document
+      }
+      if (off + 4 <= d.size()) {
+        set_le32(d, off, lie);
+        m.description = "length-lie@" + std::to_string(off) + "=" + std::to_string(lie);
+      } else {
+        d.push_back(static_cast<std::uint8_t>(lie & 0xff));
+        m.description = "length-lie:tail-append";
+      }
+      break;
+    }
+    case 4: {  // duplicate a segment
+      const std::size_t i = pick(rng, nseg);
+      const Bytes seg(d.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
+                      d.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]));
+      d.insert(d.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]), seg.begin(),
+               seg.end());
+      m.description = "dup-segment:" + std::to_string(i);
+      break;
+    }
+    case 5: {  // remove a segment
+      const std::size_t i = pick(rng, nseg);
+      d.erase(d.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
+              d.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]));
+      m.description = "drop-segment:" + std::to_string(i);
+      break;
+    }
+    case 6: {  // swap two segments
+      std::size_t i = pick(rng, nseg), j = pick(rng, nseg);
+      if (i > j) std::swap(i, j);
+      if (i != j) {
+        Bytes rebuilt;
+        rebuilt.reserve(d.size());
+        auto seg = [&](std::size_t k) {
+          return std::pair(d.begin() + static_cast<std::ptrdiff_t>(bounds[k]),
+                           d.begin() + static_cast<std::ptrdiff_t>(bounds[k + 1]));
+        };
+        for (std::size_t k = 0; k < nseg; ++k) {
+          const std::size_t src = k == i ? j : k == j ? i : k;
+          auto [s, e] = seg(src);
+          rebuilt.insert(rebuilt.end(), s, e);
+        }
+        d = std::move(rebuilt);
+      }
+      m.description = "swap-segments:" + std::to_string(i) + "," + std::to_string(j);
+      break;
+    }
+    case 7: {  // timestamp reversal (captures) / digit stomp (json)
+      if (fmt == InputFormat::kPcap && nseg > 1) {
+        std::uint32_t sec = 0x40000000;
+        for (std::size_t k = 1; k < nseg; ++k)
+          if (bounds[k] + 4 <= d.size()) set_le32(d, bounds[k], sec -= 977);
+        m.description = "reverse-timestamps";
+      } else if (fmt == InputFormat::kPcapng && nseg > 1) {
+        std::uint32_t lo = 0x40000000;
+        for (std::size_t k = 1; k < nseg; ++k)
+          if (bounds[k] + 20 <= d.size() && get_le32(d, bounds[k]) == 6) {
+            set_le32(d, bounds[k] + 12, 0);        // ts_hi
+            set_le32(d, bounds[k] + 16, lo -= 977);  // ts_lo
+          }
+        m.description = "reverse-timestamps";
+      } else {
+        const std::size_t at = pick(rng, d.size());
+        d[at] = static_cast<std::uint8_t>('0' + pick(rng, 10));
+        m.description = "digit-stomp@" + std::to_string(at);
+      }
+      break;
+    }
+    case 8: {  // flip the magic / first word byte order
+      if (d.size() >= 4) std::reverse(d.begin(), d.begin() + 4);
+      m.description = "flip-magic";
+      break;
+    }
+    case 9: {  // random bit flips
+      const std::size_t n = 1 + pick(rng, 8);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t at = pick(rng, d.size());
+        d[at] ^= static_cast<std::uint8_t>(1u << pick(rng, 8));
+      }
+      m.description = "bit-flips:" + std::to_string(n);
+      break;
+    }
+    case 10: {  // insert random bytes
+      const std::size_t at = pick(rng, d.size() + 1);
+      const std::size_t n = 1 + pick(rng, 16);
+      Bytes junk(n);
+      for (auto& byte : junk) byte = static_cast<std::uint8_t>(rng.next_below(256));
+      d.insert(d.begin() + static_cast<std::ptrdiff_t>(at), junk.begin(), junk.end());
+      m.description = "insert@" + std::to_string(at) + ":" + std::to_string(n);
+      break;
+    }
+    default: {  // fill a range with 0x00 or 0xff
+      const std::size_t at = pick(rng, d.size());
+      const std::size_t n = std::min(d.size() - at, 1 + pick(rng, 64));
+      const std::uint8_t fill = rng.chance(0.5) ? 0x00 : 0xff;
+      std::fill(d.begin() + static_cast<std::ptrdiff_t>(at),
+                d.begin() + static_cast<std::ptrdiff_t>(at + n), fill);
+      m.description = "fill@" + std::to_string(at) + ":" + std::to_string(n);
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace tcpanaly::fuzz

@@ -1,0 +1,47 @@
+// Deterministic byte-level mutators over well-formed capture files and
+// JSON documents.
+//
+// The paper's calibration lesson is that the measurement pipeline itself
+// mangles its output; this library mangles deliberately, at the byte
+// level, so the ingestion parsers can be stressed with inputs one
+// mutation away from real ones (far deeper coverage than random soup).
+// Everything is seeded from util::Rng: the same (input, seed) pair always
+// produces the same mutation, so every fuzz failure replays exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tcpanaly::fuzz {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Which parser an input is destined for (mutators use this to find
+/// structural boundaries; the fuzz engine uses it to pick the parser).
+enum class InputFormat { kPcap, kPcapng, kJson };
+
+const char* to_string(InputFormat fmt);
+
+/// Offsets of structural boundaries in a well-formed input: pcap record
+/// starts, pcapng block starts, JSON structural tokens. Always contains 0
+/// and data.size(); malformed inputs yield a best-effort prefix. This is
+/// what makes "truncate at every structural boundary" and "lie in this
+/// record's length field" possible without a grammar.
+std::vector<std::size_t> structural_boundaries(const Bytes& data, InputFormat fmt);
+
+struct Mutation {
+  Bytes data;
+  std::string description;  ///< human-readable, carried into failure reports
+};
+
+/// Apply one randomly chosen mutation: truncation at (or just past) a
+/// structural boundary, a length-field lie, segment duplication/removal/
+/// reorder, timestamp reversal, magic/endianness flip, bit flips, byte
+/// insertion, or range fill. Deterministic given the Rng state.
+Mutation mutate(const Bytes& input, InputFormat fmt, util::Rng& rng);
+
+}  // namespace tcpanaly::fuzz

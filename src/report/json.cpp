@@ -246,7 +246,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
 
   Json parse_document() {
     skip_ws();
@@ -257,8 +258,6 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 200;
-
   [[noreturn]] void fail(const std::string& what) const {
     throw JsonParseError(what, pos_);
   }
@@ -289,7 +288,7 @@ class Parser {
   }
 
   Json parse_value(int depth) {
-    if (depth > kMaxDepth) fail("nesting too deep");
+    if (depth > max_depth_) fail("nesting too deep");
     if (eof()) fail("unexpected end of input");
     switch (peek()) {
       case '{':
@@ -483,11 +482,18 @@ class Parser {
   }
 
   const std::string& text_;
+  int max_depth_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-Json Json::parse(const std::string& text) { return Parser(text).parse_document(); }
+Json Json::parse(const std::string& text) { return parse(text, util::ParseLimits{}); }
+
+Json Json::parse(const std::string& text, const util::ParseLimits& limits) {
+  if (text.size() > limits.max_total_bytes)
+    throw JsonParseError("document exceeds size limit", 0);
+  return Parser(text, limits.max_depth).parse_document();
+}
 
 }  // namespace tcpanaly::report

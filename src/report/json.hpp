@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/parse_limits.hpp"
+
 namespace tcpanaly::report {
 
 /// Thrown by Json::parse with the byte offset of the first offending
@@ -89,8 +91,12 @@ class Json {
   std::string dump(int indent = -1) const;
 
   /// Parse exactly one document (leading/trailing whitespace allowed);
-  /// anything else throws JsonParseError.
+  /// anything else throws JsonParseError. The ParseLimits overload bounds
+  /// nesting depth (max_depth) and document size (max_total_bytes), so a
+  /// hostile document fails with a clean JsonParseError instead of deep
+  /// recursion; the default overload applies ParseLimits{}.
   static Json parse(const std::string& text);
+  static Json parse(const std::string& text, const util::ParseLimits& limits);
 
  private:
   void dump_to(std::string& out, int indent, int depth) const;

@@ -33,6 +33,25 @@ void put_le16(std::ostream& out, std::uint16_t v) {
   out.write(b, 2);
 }
 
+// Read exactly n bytes, growing the buffer in bounded steps so a lying
+// length field costs at most one 64 KiB chunk of allocation before the
+// stream runs dry -- never an up-front resize to whatever a crafted
+// 32-bit field claims.
+bool read_exact(std::istream& in, std::vector<std::uint8_t>& buf, std::size_t n) {
+  constexpr std::size_t kChunk = 64 * 1024;
+  buf.clear();
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t step = std::min(kChunk, n - got);
+    buf.resize(got + step);
+    if (!in.read(reinterpret_cast<char*>(buf.data() + got),
+                 static_cast<std::streamsize>(step)))
+      return false;
+    got += step;
+  }
+  return true;
+}
+
 class LeReader {
  public:
   explicit LeReader(std::istream& in) : in_(in) {}
@@ -54,9 +73,7 @@ class LeReader {
   }
 
   bool read_bytes(std::vector<std::uint8_t>& buf, std::size_t n) {
-    buf.resize(n);
-    return static_cast<bool>(in_.read(reinterpret_cast<char*>(buf.data()),
-                                      static_cast<std::streamsize>(n)));
+    return read_exact(in_, buf, n);
   }
 
  private:
@@ -125,7 +142,88 @@ void write_pcap_file(const std::string& path, const Trace& trace,
   write_pcap(f, trace, opts);
 }
 
-PcapReadResult read_pcap(std::istream& in, bool local_is_sender) {
+namespace {
+
+/// Ticks per second encoded by an if_tsresol option byte, or 0 when the
+/// resolution is outside the representable range (decimal exponents above
+/// 10^19 overflow 64 bits).
+std::uint64_t tsresol_ticks_per_sec(std::uint8_t raw) {
+  const unsigned exp = raw & 0x7f;
+  if (raw & 0x80) return exp <= 63 ? 1ULL << exp : 0;
+  if (exp > 19) return 0;
+  std::uint64_t tps = 1;
+  for (unsigned i = 0; i < exp; ++i) tps *= 10;
+  return tps;
+}
+
+}  // namespace
+
+void write_pcapng(std::ostream& out, const Trace& trace, const PcapngWriteOptions& opts) {
+  const std::uint64_t tps = tsresol_ticks_per_sec(opts.tsresol_raw);
+  if (tps == 0) throw std::runtime_error("pcapng: unrepresentable tsresol");
+
+  // Section Header Block.
+  put_le32(out, kPcapngShb);
+  put_le32(out, 28);          // total length
+  put_le32(out, 0x1a2b3c4d);  // byte-order magic
+  put_le16(out, 1);           // major
+  put_le16(out, 0);           // minor
+  put_le32(out, 0xffffffff);  // section length: unspecified
+  put_le32(out, 0xffffffff);
+  put_le32(out, 28);
+
+  // Interface Description Block with an if_tsresol option.
+  put_le32(out, 1);   // IDB
+  put_le32(out, 32);  // total length
+  put_le16(out, static_cast<std::uint16_t>(kLinkEthernet));
+  put_le16(out, 0);   // reserved
+  put_le32(out, opts.snaplen);
+  put_le16(out, 9);   // if_tsresol
+  put_le16(out, 1);   // option length
+  out.put(static_cast<char>(opts.tsresol_raw));
+  out.put(0).put(0).put(0);  // pad to 32 bits
+  put_le16(out, 0);   // opt_endofopt
+  put_le16(out, 0);
+  put_le32(out, 32);
+
+  for (const auto& rec : trace.records()) {
+    EncodeOptions enc = opts.encode;
+    enc.corrupt_tcp_payload = rec.truth_corrupted;
+    std::vector<std::uint8_t> frame = encode_frame(rec, enc);
+    const auto orig_len = static_cast<std::uint32_t>(frame.size());
+    const std::uint32_t cap_len = std::min(orig_len, opts.snaplen);
+    const std::uint32_t pad = (4 - cap_len % 4) % 4;
+    const std::uint32_t total = 32 + cap_len + pad;
+
+    const std::int64_t us = rec.timestamp.count();
+    if (us < 0) throw std::runtime_error("pcapng: negative-epoch timestamp");
+    const auto abs_us = opts.epoch_offset_us + static_cast<std::uint64_t>(us);
+    const auto ticks = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(abs_us) * tps / 1'000'000u);
+
+    put_le32(out, 6);  // EPB
+    put_le32(out, total);
+    put_le32(out, 0);  // interface id
+    put_le32(out, static_cast<std::uint32_t>(ticks >> 32));
+    put_le32(out, static_cast<std::uint32_t>(ticks & 0xffffffff));
+    put_le32(out, cap_len);
+    put_le32(out, orig_len);
+    out.write(reinterpret_cast<const char*>(frame.data()), cap_len);
+    for (std::uint32_t i = 0; i < pad; ++i) out.put(0);
+    put_le32(out, total);
+  }
+  if (!out) throw std::runtime_error("pcapng: write failure");
+}
+
+void write_pcapng_file(const std::string& path, const Trace& trace,
+                       const PcapngWriteOptions& opts) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("pcapng: cannot open for write: " + path);
+  write_pcapng(f, trace, opts);
+}
+
+PcapReadResult read_pcap(std::istream& in, bool local_is_sender,
+                         const util::ParseLimits& limits) {
   LeReader r(in);
   std::uint32_t magic = 0;
   if (!r.read_u32(magic)) throw std::runtime_error("pcap: empty file");
@@ -152,6 +250,8 @@ PcapReadResult read_pcap(std::istream& in, bool local_is_sender) {
   std::vector<std::uint8_t> frame;
   bool first = true;
   std::uint64_t epoch0_us = 0;
+  std::uint64_t records = 0;
+  std::uint64_t total_bytes = 0;
   for (;;) {
     std::uint32_t ts_sec = 0;
     if (!r.read_u32(ts_sec, swapped)) break;  // clean EOF
@@ -159,6 +259,19 @@ PcapReadResult read_pcap(std::istream& in, bool local_is_sender) {
     if (!r.read_u32(ts_usec, swapped) || !r.read_u32(cap_len, swapped) ||
         !r.read_u32(orig_len, swapped))
       throw std::runtime_error("pcap: truncated record header");
+    // A cap_len is attacker-controlled until proven otherwise: it must fit
+    // the declared snaplen (0 = unknown, some writers) and the parse
+    // limits before any buffer is sized from it.
+    if (cap_len > limits.max_record_bytes)
+      throw std::runtime_error("pcap: frame length " + std::to_string(cap_len) +
+                               " exceeds record-size limit");
+    if (snaplen != 0 && cap_len > snaplen)
+      throw std::runtime_error("pcap: frame length exceeds declared snaplen");
+    if (++records > limits.max_records)
+      throw std::runtime_error("pcap: record count exceeds limit");
+    total_bytes += cap_len;
+    if (total_bytes > limits.max_total_bytes)
+      throw std::runtime_error("pcap: capture exceeds total byte budget");
     if (!r.read_bytes(frame, cap_len)) throw std::runtime_error("pcap: truncated frame");
 
     auto decoded = decode_frame(linktype, frame);
@@ -184,10 +297,11 @@ PcapReadResult read_pcap(std::istream& in, bool local_is_sender) {
   return result;
 }
 
-PcapReadResult read_pcap_file(const std::string& path, bool local_is_sender) {
+PcapReadResult read_pcap_file(const std::string& path, bool local_is_sender,
+                              const util::ParseLimits& limits) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("pcap: cannot open for read: " + path);
-  return read_pcap(f, local_is_sender);
+  return read_pcap(f, local_is_sender, limits);
 }
 
 namespace {
@@ -235,24 +349,19 @@ std::uint64_t ticks_to_us(std::uint64_t ticks, std::uint64_t ticks_per_sec) {
 }
 
 // Walk an options list starting at `off`; returns if_tsresol ticks/sec if
-// present (option code 9), else the microsecond default.
+// present (option code 9) and representable, else the microsecond default.
+// Decimal exponents above 19 would overflow 64 bits (the old code silently
+// computed 10^19 for any of them); they fall back to the default.
 std::uint64_t parse_tsresol(const BlockView& v, std::size_t off) {
   while (off + 4 <= v.size()) {
     const std::uint16_t code = v.u16(off);
     const std::uint16_t len = v.u16(off + 2);
     off += 4;
     if (code == 0) break;  // opt_endofopt
-    if (off + len > v.size()) break;
+    if (len > v.size() || off > v.size() - len) break;
     if (code == 9 && len >= 1) {
-      const std::uint8_t raw = v.bytes(off, 1)[0];
-      const unsigned exp = raw & 0x7f;
-      if (exp > 63) break;  // nonsense resolution; keep default
-      std::uint64_t tps = 1;
-      if (raw & 0x80) {
-        tps = 1ULL << exp;
-      } else {
-        for (unsigned i = 0; i < exp && i < 19; ++i) tps *= 10;
-      }
+      const std::uint64_t tps = tsresol_ticks_per_sec(v.bytes(off, 1)[0]);
+      if (tps == 0) break;  // nonsense resolution; keep default
       return tps;
     }
     off += (len + 3u) & ~3u;  // options pad to 32 bits
@@ -262,7 +371,8 @@ std::uint64_t parse_tsresol(const BlockView& v, std::size_t off) {
 
 }  // namespace
 
-PcapReadResult read_pcapng(std::istream& in, bool local_is_sender) {
+PcapReadResult read_pcapng(std::istream& in, bool local_is_sender,
+                           const util::ParseLimits& limits) {
   constexpr std::uint32_t kByteOrderMagic = 0x1a2b3c4d;
   constexpr std::uint32_t kIdb = 1, kSpb = 3, kEpb = 6;
 
@@ -273,6 +383,8 @@ PcapReadResult read_pcapng(std::istream& in, bool local_is_sender) {
   bool first_packet = true;
   std::uint64_t epoch0_us = 0;
   util::TimePoint last_ts;
+  std::uint64_t blocks = 0;
+  std::uint64_t total_bytes = 0;
 
   std::vector<std::uint8_t> body;
   for (;;) {
@@ -289,6 +401,9 @@ PcapReadResult read_pcapng(std::istream& in, bool local_is_sender) {
     const bool is_shb = type == kPcapngShb;
     if (!is_shb && !in_section) throw std::runtime_error("pcapng: no section header");
 
+    if (++blocks > limits.max_records)
+      throw std::runtime_error("pcapng: block count exceeds limit");
+
     std::uint32_t total_len = raw_u32(hdr + 4, swapped);
     if (is_shb) {
       // Peek the byte-order magic to learn this section's endianness.
@@ -304,11 +419,13 @@ PcapReadResult read_pcapng(std::istream& in, bool local_is_sender) {
       total_len = raw_u32(hdr + 4, swapped);
       if (total_len < 16 || total_len % 4 != 0)
         throw std::runtime_error("pcapng: bad block length");
+      if (total_len - 16 > limits.max_record_bytes)
+        throw std::runtime_error("pcapng: block length exceeds limit");
+      total_bytes += total_len;
+      if (total_bytes > limits.max_total_bytes)
+        throw std::runtime_error("pcapng: capture exceeds total byte budget");
       // Consume the rest of the SHB body plus trailing length.
-      body.resize(total_len - 12 - 4);
-      if (!in.read(reinterpret_cast<char*>(body.data()),
-                   static_cast<std::streamsize>(body.size())) ||
-          !in.ignore(4))
+      if (!read_exact(in, body, total_len - 12 - 4) || !in.ignore(4))
         throw std::runtime_error("pcapng: truncated section header");
       in_section = true;
       interfaces.clear();  // interfaces are per-section
@@ -317,10 +434,12 @@ PcapReadResult read_pcapng(std::istream& in, bool local_is_sender) {
 
     if (total_len < 12 || total_len % 4 != 0)
       throw std::runtime_error("pcapng: bad block length");
-    body.resize(total_len - 12);
-    if (!in.read(reinterpret_cast<char*>(body.data()),
-                 static_cast<std::streamsize>(body.size())) ||
-        !in.ignore(4))
+    if (total_len - 12 > limits.max_record_bytes)
+      throw std::runtime_error("pcapng: block length exceeds limit");
+    total_bytes += total_len;
+    if (total_bytes > limits.max_total_bytes)
+      throw std::runtime_error("pcapng: capture exceeds total byte budget");
+    if (!read_exact(in, body, total_len - 12) || !in.ignore(4))
       throw std::runtime_error("pcapng: truncated block");
     BlockView v(body, swapped);
 
@@ -354,7 +473,11 @@ PcapReadResult read_pcapng(std::istream& in, bool local_is_sender) {
       const std::uint64_t ticks =
           (static_cast<std::uint64_t>(v.u32(4)) << 32) | v.u32(8);
       const std::uint32_t cap_len = v.u32(12);
-      if (v.size() < 20 + cap_len) throw std::runtime_error("pcapng: truncated packet data");
+      // Compare in size_t (v.size() >= 20 established above): the old
+      // `v.size() < 20 + cap_len` wrapped in 32-bit arithmetic for
+      // cap_len > 0xFFFFFFEB and admitted an out-of-range subspan.
+      if (cap_len > v.size() - 20)
+        throw std::runtime_error("pcapng: truncated packet data");
       const std::uint64_t abs_us = ticks_to_us(ticks, iface.ticks_per_sec);
       if (first_packet) {
         epoch0_us = abs_us;
@@ -380,13 +503,15 @@ PcapReadResult read_pcapng(std::istream& in, bool local_is_sender) {
   return result;
 }
 
-PcapReadResult read_pcapng_file(const std::string& path, bool local_is_sender) {
+PcapReadResult read_pcapng_file(const std::string& path, bool local_is_sender,
+                                const util::ParseLimits& limits) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("pcapng: cannot open for read: " + path);
-  return read_pcapng(f, local_is_sender);
+  return read_pcapng(f, local_is_sender, limits);
 }
 
-PcapReadResult read_capture_file(const std::string& path, bool local_is_sender) {
+PcapReadResult read_capture_file(const std::string& path, bool local_is_sender,
+                                 const util::ParseLimits& limits) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("capture: cannot open for read: " + path);
   std::uint8_t head[4] = {0, 0, 0, 0};
@@ -395,8 +520,8 @@ PcapReadResult read_capture_file(const std::string& path, bool local_is_sender) 
   f.seekg(0);
   const std::uint32_t first = (static_cast<std::uint32_t>(head[3]) << 24) |
                               (head[2] << 16) | (head[1] << 8) | head[0];
-  if (first == kPcapngShb) return read_pcapng(f, local_is_sender);
-  return read_pcap(f, local_is_sender);
+  if (first == kPcapngShb) return read_pcapng(f, local_is_sender, limits);
+  return read_pcap(f, local_is_sender, limits);
 }
 
 }  // namespace tcpanaly::trace

@@ -1,10 +1,17 @@
-// pcap file reader/writer (the classic libpcap savefile format,
-// magic 0xa1b2c3d4, microsecond timestamps, LINKTYPE_ETHERNET).
+// pcap/pcapng file reader/writer (the classic libpcap savefile format,
+// magic 0xa1b2c3d4, plus the pcapng block format Wireshark saves).
 //
-// Implemented from the format specification so the repository has no
+// Implemented from the format specifications so the repository has no
 // external capture-library dependency, yet its traces interoperate with
 // tcpdump/wireshark: a Trace written here opens in either tool, and a
 // tcpdump capture of a TCP bulk transfer loads here.
+//
+// Robustness contract: the readers treat every byte as untrusted. Any
+// input -- truncated, bit-flipped, length-field lies, wrapped 32-bit
+// sizes -- produces either a well-formed PcapReadResult or a
+// std::runtime_error, with allocation bounded by the ParseLimits argument
+// (never by a length field the file controls). tools/capture_fuzz and
+// tests/fuzz_corpus/ enforce this under ASan+UBSan.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 
 #include "trace/trace.hpp"
 #include "trace/wire.hpp"
+#include "util/parse_limits.hpp"
 
 namespace tcpanaly::trace {
 
@@ -36,6 +44,26 @@ void write_pcap(std::ostream& out, const Trace& trace, const PcapWriteOptions& o
 void write_pcap_file(const std::string& path, const Trace& trace,
                      const PcapWriteOptions& opts = {});
 
+struct PcapngWriteOptions {
+  std::uint32_t snaplen = 65535;
+  /// if_tsresol option byte: low 7 bits are the exponent, high bit set
+  /// means base 2 (e.g. 6 = microseconds, 9 = nanoseconds, 0x94 = 2^-20).
+  std::uint8_t tsresol_raw = 6;
+  /// Absolute-epoch anchor added to the trace's relative timestamps.
+  std::uint64_t epoch_offset_us = 800000000ull * 1'000'000;
+  EncodeOptions encode;
+};
+
+/// Write the trace as a pcapng file: one Section Header, one Interface
+/// Description carrying if_tsresol, and one Enhanced Packet Block per
+/// record. Gives the fuzzing layer a well-formed pcapng seed and makes
+/// pcapng captures round-trip testable. Throws std::runtime_error on I/O
+/// failure or an unrepresentable tsresol_raw.
+void write_pcapng(std::ostream& out, const Trace& trace,
+                  const PcapngWriteOptions& opts = {});
+void write_pcapng_file(const std::string& path, const Trace& trace,
+                       const PcapngWriteOptions& opts = {});
+
 struct PcapReadResult {
   Trace trace;
   std::size_t skipped_frames = 0;  ///< non-IPv4/TCP or undecodable frames
@@ -46,19 +74,27 @@ struct PcapReadResult {
 /// loopback link layers). Endpoint metadata (local/remote/role) is
 /// inferred: the endpoint sending the majority of payload bytes is the
 /// sender; `local_is_sender` picks which side counts as local.
-/// Throws std::runtime_error on malformed files.
-PcapReadResult read_pcap(std::istream& in, bool local_is_sender = true);
-PcapReadResult read_pcap_file(const std::string& path, bool local_is_sender = true);
+/// Throws std::runtime_error on malformed files or when `limits` is
+/// exceeded; allocation is bounded by `limits` regardless of what the
+/// file's length fields claim.
+PcapReadResult read_pcap(std::istream& in, bool local_is_sender = true,
+                         const util::ParseLimits& limits = {});
+PcapReadResult read_pcap_file(const std::string& path, bool local_is_sender = true,
+                              const util::ParseLimits& limits = {});
 
 /// Read a pcapng stream/file (the format Wireshark saves by default).
 /// Section Header, Interface Description, Enhanced Packet, and Simple
 /// Packet blocks are understood; other block types are skipped. Per-
-/// interface timestamp resolution (if_tsresol) is honored.
-PcapReadResult read_pcapng(std::istream& in, bool local_is_sender = true);
-PcapReadResult read_pcapng_file(const std::string& path, bool local_is_sender = true);
+/// interface timestamp resolution (if_tsresol) is honored; out-of-range
+/// resolutions fall back to the microsecond default.
+PcapReadResult read_pcapng(std::istream& in, bool local_is_sender = true,
+                           const util::ParseLimits& limits = {});
+PcapReadResult read_pcapng_file(const std::string& path, bool local_is_sender = true,
+                                const util::ParseLimits& limits = {});
 
 /// Sniff the first four bytes and dispatch to read_pcap or read_pcapng.
 /// This is what the CLI uses, so `tcpanaly foo.pcapng` just works.
-PcapReadResult read_capture_file(const std::string& path, bool local_is_sender = true);
+PcapReadResult read_capture_file(const std::string& path, bool local_is_sender = true,
+                                 const util::ParseLimits& limits = {});
 
 }  // namespace tcpanaly::trace

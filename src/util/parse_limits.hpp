@@ -1,0 +1,42 @@
+// Resource ceilings for byte-level input parsers.
+//
+// The paper's calibration chapter is one long argument that the
+// measurement apparatus lies; this struct is the same stance applied to
+// the files the apparatus produces. Every parser that consumes untrusted
+// bytes (trace/pcap_io, report/json) takes a ParseLimits and promises
+// that arbitrary input can only ever yield a std::runtime_error or a
+// bounded, well-formed result -- never unbounded allocation driven by a
+// length field the attacker controls, and never out-of-range access.
+#pragma once
+
+#include <cstdint>
+
+namespace tcpanaly::util {
+
+struct ParseLimits {
+  /// Largest single frame / pcapng block body accepted. A classic pcap
+  /// record larger than the link MTU is already suspect; 16 MiB leaves
+  /// generous headroom for jumbo frames and fat pcapng option lists while
+  /// keeping a lying 32-bit length field from forcing a ~4 GB resize.
+  std::uint64_t max_record_bytes = 16ull * 1024 * 1024;
+
+  /// Maximum records (pcap) or blocks (pcapng) in one capture.
+  std::uint64_t max_records = 50'000'000;
+
+  /// Budget for the sum of all frame/block bytes read from one capture,
+  /// and for the size of a JSON document. Bounds total memory even when
+  /// every individual record passes max_record_bytes.
+  std::uint64_t max_total_bytes = 4ull * 1024 * 1024 * 1024;
+
+  /// Maximum JSON nesting depth (arrays + objects).
+  int max_depth = 200;
+
+  /// Tight ceilings for fuzzing: small enough that a mutated length field
+  /// cannot slow an iteration down with megabytes of churn, large enough
+  /// that every well-formed seed input still parses.
+  static constexpr ParseLimits fuzzing() {
+    return ParseLimits{1024 * 1024, 1 << 16, 8ull * 1024 * 1024, 64};
+  }
+};
+
+}  // namespace tcpanaly::util

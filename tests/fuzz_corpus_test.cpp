@@ -1,0 +1,82 @@
+// Replays the checked-in fuzz regression corpus (tests/fuzz_corpus/)
+// through all three parsers under both limit profiles. Every file must
+// either parse or be rejected with std::runtime_error -- never anything
+// else. The three named regress_* files additionally pin down the
+// specific historical parser bugs they reproduce.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+#include "trace/pcap_io.hpp"
+#include "util/parse_limits.hpp"
+
+namespace tcpanaly::fuzz {
+namespace {
+
+const std::filesystem::path kCorpusDir = TCPANALY_FUZZ_CORPUS_DIR;
+
+Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+TEST(FuzzCorpus, EveryFileParsesOrRejectsCleanly) {
+  ASSERT_TRUE(std::filesystem::is_directory(kCorpusDir)) << kCorpusDir;
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(kCorpusDir)) {
+    if (!entry.is_regular_file()) continue;
+    const Bytes data = read_file(entry.path());
+    ++files;
+    for (const InputFormat fmt :
+         {InputFormat::kPcap, InputFormat::kPcapng, InputFormat::kJson}) {
+      for (const auto& limits :
+           {util::ParseLimits{}, util::ParseLimits::fuzzing()}) {
+        const ParseCheck check = check_parse(fmt, data, limits);
+        EXPECT_NE(check.outcome, ParseOutcome::kContractViolation)
+            << entry.path() << " via " << to_string(fmt) << ": " << check.error;
+      }
+    }
+  }
+  // The three named reproducers plus at least one mutant per format.
+  EXPECT_GE(files, 6u);
+}
+
+TEST(FuzzCorpus, CaplenLieReproducerStillRejected) {
+  const Bytes data = read_file(kCorpusDir / "regress_pcap_caplen_lie.pcap");
+  ASSERT_FALSE(data.empty());
+  const ParseCheck check = check_parse(InputFormat::kPcap, data, util::ParseLimits{});
+  EXPECT_EQ(check.outcome, ParseOutcome::kRejected);
+  EXPECT_NE(check.error.find("exceeds record-size limit"), std::string::npos)
+      << check.error;
+}
+
+TEST(FuzzCorpus, EpbWrapReproducerStillRejected) {
+  const Bytes data = read_file(kCorpusDir / "regress_pcapng_epb_wrap.pcapng");
+  ASSERT_FALSE(data.empty());
+  const ParseCheck check =
+      check_parse(InputFormat::kPcapng, data, util::ParseLimits{});
+  EXPECT_EQ(check.outcome, ParseOutcome::kRejected);
+}
+
+TEST(FuzzCorpus, Tsresol20ReproducerAcceptedWithFallback) {
+  const Bytes data = read_file(kCorpusDir / "regress_pcapng_tsresol20.pcapng");
+  ASSERT_FALSE(data.empty());
+  // The file itself is structurally valid; only its if_tsresol is absurd.
+  // The fixed parser accepts it under the microsecond fallback (its
+  // frames are undecodable padding, so the trace is empty but the parse
+  // must not throw).
+  std::istringstream in(std::string(data.begin(), data.end()));
+  trace::PcapReadResult result;
+  ASSERT_NO_THROW(result = trace::read_pcapng(in));
+  EXPECT_EQ(result.skipped_frames, 2u);
+}
+
+}  // namespace
+}  // namespace tcpanaly::fuzz

@@ -1,0 +1,177 @@
+// Tests for the fuzz layer: mutator determinism and structural boundary
+// detection, the fault-injection taxonomy against the calibration
+// detectors (paper section 3), and a short seeded fuzz run over all
+// three parsers that must complete without a contract violation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/calibration.hpp"
+#include "fuzz/fault_inject.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/mutators.hpp"
+#include "tcp/session.hpp"
+#include "trace/pcap_io.hpp"
+#include "util/rng.hpp"
+
+namespace tcpanaly::fuzz {
+namespace {
+
+// A clean, loss-free but *window-limited* session: the 4 KB offered
+// window sits far below the path's bandwidth-delay product, so every
+// window-update ack liberates data -- the precondition for the
+// resequencing contradiction.
+Bytes window_limited_pcap() {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender.transfer_bytes = 64 * 1024;
+  cfg.receiver.recv_buffer = 4 * 1024;
+  cfg.seed = 7;
+  std::ostringstream out;
+  trace::write_pcap(out, tcp::run_session(cfg).sender_trace);
+  const std::string s = out.str();
+  return Bytes(s.begin(), s.end());
+}
+
+trace::Trace read_back(const Bytes& bytes) {
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  return trace::read_pcap(in).trace;
+}
+
+// ------------------------------------------------------------- mutators
+
+TEST(Mutators, DeterministicGivenSeed) {
+  const auto seeds = seed_inputs(InputFormat::kPcap);
+  ASSERT_FALSE(seeds.empty());
+  util::Rng rng_a(99), rng_b(99);
+  for (int i = 0; i < 20; ++i) {
+    const Mutation a = mutate(seeds[0], InputFormat::kPcap, rng_a);
+    const Mutation b = mutate(seeds[0], InputFormat::kPcap, rng_b);
+    EXPECT_EQ(a.data, b.data) << "mutation " << i;
+    EXPECT_EQ(a.description, b.description) << "mutation " << i;
+  }
+}
+
+TEST(Mutators, PcapBoundariesAlignWithRecords) {
+  const Bytes pcap = window_limited_pcap();
+  const auto bounds = structural_boundaries(pcap, InputFormat::kPcap);
+  const auto records = pcap_records(pcap);
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 0u);  // start of the global header
+  // Every record start must be a known boundary.
+  std::size_t matched = 0;
+  for (const auto& r : records)
+    for (const std::size_t b : bounds)
+      if (b == r.offset) {
+        ++matched;
+        break;
+      }
+  EXPECT_EQ(matched, records.size());
+}
+
+TEST(Mutators, JsonBoundariesNonEmpty) {
+  const auto seeds = seed_inputs(InputFormat::kJson);
+  ASSERT_FALSE(seeds.empty());
+  const auto bounds = structural_boundaries(seeds[0], InputFormat::kJson);
+  EXPECT_FALSE(bounds.empty());
+  for (const std::size_t b : bounds) EXPECT_LE(b, seeds[0].size());
+}
+
+TEST(Mutators, SeedInputsAcceptedByParsers) {
+  for (const InputFormat fmt :
+       {InputFormat::kPcap, InputFormat::kPcapng, InputFormat::kJson}) {
+    for (const auto& seed : seed_inputs(fmt)) {
+      EXPECT_EQ(check_parse(fmt, seed, util::ParseLimits{}).outcome,
+                ParseOutcome::kAccepted)
+          << to_string(fmt);
+      EXPECT_EQ(check_parse(fmt, seed, util::ParseLimits::fuzzing()).outcome,
+                ParseOutcome::kAccepted)
+          << to_string(fmt);
+    }
+  }
+}
+
+// ------------------------------------------------------ fault injection
+
+TEST(FaultInject, CleanControlCalibratesTrustworthy) {
+  const auto cal = core::calibrate(read_back(window_limited_pcap()));
+  EXPECT_TRUE(cal.trustworthy());
+}
+
+TEST(FaultInject, DropsFireDropDetector) {
+  const Bytes base = window_limited_pcap();
+  util::Rng rng(1);
+  FaultSummary sum;
+  const Bytes mangled = inject_drops(base, 0.25, rng, &sum);
+  EXPECT_GT(sum.dropped, 0u);
+  const auto cal = core::calibrate(read_back(mangled));
+  EXPECT_TRUE(cal.drops.drops_detected());
+}
+
+TEST(FaultInject, SystematicAdditionsFireDuplicationDetector) {
+  const Bytes base = window_limited_pcap();
+  util::Rng rng(1);
+  FaultSummary sum;
+  const Bytes mangled =
+      inject_additions(base, pcap_records(base).size(), rng, &sum);
+  EXPECT_EQ(sum.added, pcap_records(base).size());
+  const auto cal = core::calibrate(read_back(mangled));
+  EXPECT_FALSE(cal.duplication.duplicate_indices.empty());
+}
+
+TEST(FaultInject, ResequencingFiresOrderingDetector) {
+  const Bytes base = window_limited_pcap();
+  util::Rng rng(1);
+  FaultSummary sum;
+  const Bytes mangled = inject_resequencing(base, 4, rng, &sum);
+  EXPECT_GT(sum.resequenced, 1u);
+  const auto cal = core::calibrate(read_back(mangled));
+  EXPECT_TRUE(cal.resequencing.ordering_untrustworthy());
+}
+
+TEST(FaultInject, TimeTravelFiresClockDetector) {
+  const Bytes base = window_limited_pcap();
+  util::Rng rng(1);
+  FaultSummary sum;
+  const Bytes mangled = inject_time_travel(base, 2, rng, &sum);
+  EXPECT_EQ(sum.time_travel, 2u);
+  const auto cal = core::calibrate(read_back(mangled));
+  EXPECT_TRUE(cal.time_travel.clock_untrustworthy());
+}
+
+TEST(FaultInject, InjectionsPreserveParsability) {
+  const Bytes base = window_limited_pcap();
+  util::Rng rng(5);
+  for (const Bytes& mangled :
+       {inject_drops(base, 0.3, rng), inject_additions(base, 10, rng),
+        inject_resequencing(base, 3, rng), inject_time_travel(base, 3, rng)}) {
+    EXPECT_EQ(check_parse(InputFormat::kPcap, mangled, util::ParseLimits{}).outcome,
+              ParseOutcome::kAccepted);
+  }
+}
+
+// ------------------------------------------------------------ fuzz loop
+
+TEST(Fuzzer, ShortSeededRunFindsNoContractViolations) {
+  for (const InputFormat fmt :
+       {InputFormat::kPcap, InputFormat::kPcapng, InputFormat::kJson}) {
+    FuzzOptions opts;
+    opts.seed = 42;
+    opts.iterations = 300;
+    const FuzzStats stats = fuzz_parser(fmt, opts);
+    EXPECT_EQ(stats.iterations, 300u);
+    EXPECT_EQ(stats.accepted + stats.rejected, 300u) << to_string(fmt);
+    for (const auto& f : stats.failures)
+      ADD_FAILURE() << to_string(fmt) << " iter " << f.iteration << " ["
+                    << f.mutations << "]: " << f.error;
+  }
+}
+
+TEST(Fuzzer, MinimizeIsIdentityWithoutViolation) {
+  const auto seeds = seed_inputs(InputFormat::kJson);
+  ASSERT_FALSE(seeds.empty());
+  EXPECT_EQ(minimize(InputFormat::kJson, seeds[0], util::ParseLimits{}), seeds[0]);
+}
+
+}  // namespace
+}  // namespace tcpanaly::fuzz

@@ -1,0 +1,320 @@
+// Regression tests for the trace-ingestion hardening: the three parser
+// bugs the fuzz harness was built around (cap_len-driven allocation, the
+// pcapng EPB 32-bit bound wrap, the tsresol decimal-exponent overflow),
+// the ParseLimits resource ceilings, and the pcapng writer round trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/json.hpp"
+#include "tcp/session.hpp"
+#include "trace/pcap_io.hpp"
+#include "util/parse_limits.hpp"
+
+namespace tcpanaly::trace {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+void put32(Bytes& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void put16(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+Bytes pcap_header(std::uint32_t snaplen) {
+  Bytes b;
+  put32(b, 0xa1b2c3d4);
+  put16(b, 2);
+  put16(b, 4);
+  put32(b, 0);
+  put32(b, 0);
+  put32(b, snaplen);
+  put32(b, 1);  // Ethernet
+  return b;
+}
+
+void pcapng_shb(Bytes& b) {
+  put32(b, 0x0a0d0d0a);
+  put32(b, 28);
+  put32(b, 0x1a2b3c4d);
+  put16(b, 1);
+  put16(b, 0);
+  put32(b, 0xffffffff);
+  put32(b, 0xffffffff);
+  put32(b, 28);
+}
+
+void pcapng_idb(Bytes& b, bool with_tsresol, std::uint8_t tsresol_raw) {
+  const std::uint32_t total = with_tsresol ? 32 : 24;
+  put32(b, 1);
+  put32(b, total);
+  put16(b, 1);  // Ethernet
+  put16(b, 0);
+  put32(b, 65535);
+  if (with_tsresol) {
+    put16(b, 9);  // if_tsresol
+    put16(b, 1);
+    b.push_back(tsresol_raw);
+    b.push_back(0);
+    b.push_back(0);
+    b.push_back(0);
+    put16(b, 0);  // opt_endofopt
+    put16(b, 0);
+  }
+  put32(b, total);
+}
+
+PcapReadResult parse_pcap(const Bytes& bytes,
+                          const util::ParseLimits& limits = {}) {
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  return read_pcap(in, true, limits);
+}
+
+PcapReadResult parse_pcapng(const Bytes& bytes,
+                            const util::ParseLimits& limits = {}) {
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  return read_pcapng(in, true, limits);
+}
+
+Trace session_trace() {
+  tcp::SessionConfig cfg = tcp::default_session();
+  cfg.sender.transfer_bytes = 4 * 1024;
+  cfg.seed = 3;
+  return tcp::run_session(cfg).sender_trace;
+}
+
+Bytes pcap_bytes(const Trace& tr) {
+  std::ostringstream out;
+  write_pcap(out, tr);
+  const std::string s = out.str();
+  return Bytes(s.begin(), s.end());
+}
+
+Bytes pcapng_bytes(const Trace& tr, std::uint8_t tsresol_raw) {
+  std::ostringstream out;
+  PcapngWriteOptions opts;
+  opts.tsresol_raw = tsresol_raw;
+  write_pcapng(out, tr, opts);
+  const std::string s = out.str();
+  return Bytes(s.begin(), s.end());
+}
+
+// ------------------------------------------- bug 1: cap_len-driven alloc
+
+// A record header claiming a ~4 GB frame must be rejected up front, not
+// handed to the buffer resize. (Before the fix, read_bytes resized to
+// whatever cap_len said.)
+TEST(PcapHardening, CaplenLieRejectedBeforeAllocation) {
+  Bytes b = pcap_header(65535);
+  put32(b, 800000000);   // ts_sec
+  put32(b, 0);           // ts_usec
+  put32(b, 0xffffffff);  // cap_len: the lie
+  put32(b, 0xffffffff);  // orig_len
+  try {
+    parse_pcap(b);
+    FAIL() << "cap_len lie accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds record-size limit"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// cap_len above the file's own declared snaplen is a lie even when it is
+// below the global record ceiling.
+TEST(PcapHardening, CaplenAboveSnaplenRejected) {
+  Bytes b = pcap_header(68);
+  put32(b, 800000000);
+  put32(b, 0);
+  put32(b, 1000);  // > snaplen 68, < any global limit
+  put32(b, 1000);
+  b.insert(b.end(), 1000, 0);
+  try {
+    parse_pcap(b);
+    FAIL() << "snaplen violation accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("snaplen"), std::string::npos)
+        << e.what();
+  }
+}
+
+// A large-but-legal cap_len on a file that ends early must fail with a
+// clean error from the chunked reader, not a 16 MB pre-allocation.
+TEST(PcapHardening, TruncatedFrameRejectedCleanly) {
+  Bytes b = pcap_header(0x1000000);
+  put32(b, 800000000);
+  put32(b, 0);
+  put32(b, 0x100000);  // claims 1 MB...
+  put32(b, 0x100000);
+  b.insert(b.end(), 64, 0xab);  // ...delivers 64 bytes
+  EXPECT_THROW(parse_pcap(b), std::runtime_error);
+}
+
+// ----------------------------------------- bug 2: pcapng EPB bound wrap
+
+// cap_len = 0xFFFFFFF0 made the old 32-bit check `v.size() < 20 + cap_len`
+// wrap to `v.size() < 4`, pass, and hand an out-of-range subspan to the
+// frame decoder (UB). The fixed check compares in size_t.
+TEST(PcapHardening, EpbCaplenWrapRejected) {
+  Bytes b;
+  pcapng_shb(b);
+  pcapng_idb(b, false, 0);
+  put32(b, 6);           // EPB
+  put32(b, 40);          // total length: 20-byte fixed part + 8 data bytes
+  put32(b, 0);           // interface
+  put32(b, 0);           // ts_hi
+  put32(b, 0);           // ts_lo
+  put32(b, 0xfffffff0);  // cap_len: wraps the 32-bit bound check
+  put32(b, 8);           // orig_len
+  for (int i = 0; i < 8; ++i) b.push_back(0x5a);
+  put32(b, 40);
+  EXPECT_THROW(parse_pcapng(b), std::runtime_error);
+}
+
+// The same wrap applied to values just past the block edge (no wrap, a
+// plain off-by-a-little lie) must also be caught.
+TEST(PcapHardening, EpbCaplenPastBlockEdgeRejected) {
+  Bytes b;
+  pcapng_shb(b);
+  pcapng_idb(b, false, 0);
+  put32(b, 6);
+  put32(b, 40);
+  put32(b, 0);
+  put32(b, 0);
+  put32(b, 0);
+  put32(b, 9);  // one byte more than the 8 the block carries
+  put32(b, 9);
+  for (int i = 0; i < 8; ++i) b.push_back(0x5a);
+  put32(b, 40);
+  EXPECT_THROW(parse_pcapng(b), std::runtime_error);
+}
+
+// --------------------------------------- bug 3: tsresol decimal overflow
+
+// A decimal exponent of 20 used to be accepted (the range check allowed
+// 20..63) and then silently computed as 10^19 ticks/sec. The fixed parser
+// rejects it and falls back to the microsecond default, so tick values
+// are interpreted as microseconds.
+TEST(PcapHardening, TsresolDecimal20FallsBackToMicroseconds) {
+  const Trace tr = session_trace();
+  const Bytes good = pcapng_bytes(tr, 6);  // explicit microseconds
+
+  // Patch the if_tsresol option payload (the byte after the 09 00 01 00
+  // option header) from 6 to 20.
+  Bytes patched = good;
+  bool found = false;
+  for (std::size_t i = 0; i + 4 < patched.size(); ++i) {
+    if (patched[i] == 0x09 && patched[i + 1] == 0x00 && patched[i + 2] == 0x01 &&
+        patched[i + 3] == 0x00 && patched[i + 4] == 6) {
+      patched[i + 4] = 20;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found) << "if_tsresol option not found in written pcapng";
+
+  const PcapReadResult a = parse_pcapng(good);
+  const PcapReadResult b = parse_pcapng(patched);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  ASSERT_GT(a.trace.size(), 0u);
+  for (std::size_t i = 0; i < a.trace.size(); ++i)
+    EXPECT_EQ(a.trace[i].timestamp, b.trace[i].timestamp) << "record " << i;
+}
+
+// Power-of-two resolutions (high bit set) must be honored, not rejected:
+// 2^-20 second ticks land within a microsecond of the original stamps.
+TEST(PcapHardening, TsresolPow2RoundTrips) {
+  const Trace tr = session_trace();
+  const PcapReadResult us = parse_pcapng(pcapng_bytes(tr, 6));
+  const PcapReadResult p2 = parse_pcapng(pcapng_bytes(tr, 0x94));
+  ASSERT_EQ(us.trace.size(), p2.trace.size());
+  ASSERT_GT(us.trace.size(), 0u);
+  for (std::size_t i = 0; i < us.trace.size(); ++i) {
+    const std::int64_t delta = (us.trace[i].timestamp - p2.trace[i].timestamp).count();
+    EXPECT_LE(delta < 0 ? -delta : delta, 2) << "record " << i;
+  }
+}
+
+// --------------------------------------------------- ParseLimits budgets
+
+TEST(PcapHardening, RecordCountLimitEnforced) {
+  const Bytes b = pcap_bytes(session_trace());
+  util::ParseLimits limits;
+  limits.max_records = 3;
+  try {
+    parse_pcap(b, limits);
+    FAIL() << "record count limit not enforced";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("record count"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PcapHardening, TotalByteBudgetEnforced) {
+  const Bytes b = pcap_bytes(session_trace());
+  util::ParseLimits limits;
+  limits.max_total_bytes = 512;
+  EXPECT_THROW(parse_pcap(b, limits), std::runtime_error);
+}
+
+TEST(PcapHardening, PcapngBlockBudgetsEnforced) {
+  const Bytes b = pcapng_bytes(session_trace(), 6);
+  util::ParseLimits count_limits;
+  count_limits.max_records = 3;
+  EXPECT_THROW(parse_pcapng(b, count_limits), std::runtime_error);
+  util::ParseLimits byte_limits;
+  byte_limits.max_total_bytes = 512;
+  EXPECT_THROW(parse_pcapng(b, byte_limits), std::runtime_error);
+}
+
+TEST(PcapHardening, JsonDepthLimitEnforced) {
+  std::string deep;
+  for (int i = 0; i < 50; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 50; ++i) deep += ']';
+  util::ParseLimits limits;
+  limits.max_depth = 16;
+  EXPECT_THROW(report::Json::parse(deep, limits), std::runtime_error);
+  // The default ceiling still admits it.
+  EXPECT_NO_THROW(report::Json::parse(deep));
+}
+
+TEST(PcapHardening, JsonSizeLimitEnforced) {
+  util::ParseLimits limits;
+  limits.max_total_bytes = 16;
+  EXPECT_THROW(report::Json::parse(std::string(64, ' ') + "1", limits),
+               std::runtime_error);
+}
+
+// -------------------------------------------------- pcapng writer round
+
+// The pcapng writer exists for the fuzz seeds; it must agree byte-for-
+// byte (at the record level) with what the classic pcap path produces.
+TEST(PcapHardening, PcapngWriterMatchesPcapPath) {
+  const Trace tr = session_trace();
+  const PcapReadResult from_pcap = parse_pcap(pcap_bytes(tr));
+  const PcapReadResult from_ng = parse_pcapng(pcapng_bytes(tr, 6));
+  ASSERT_EQ(from_pcap.trace.size(), from_ng.trace.size());
+  ASSERT_GT(from_pcap.trace.size(), 0u);
+  for (std::size_t i = 0; i < from_pcap.trace.size(); ++i) {
+    const auto& a = from_pcap.trace[i];
+    const auto& b = from_ng.trace[i];
+    EXPECT_EQ(a.timestamp, b.timestamp) << "record " << i;
+    EXPECT_EQ(a.src, b.src) << "record " << i;
+    EXPECT_EQ(a.dst, b.dst) << "record " << i;
+    EXPECT_EQ(a.tcp, b.tcp) << "record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tcpanaly::trace

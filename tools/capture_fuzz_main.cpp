@@ -1,0 +1,359 @@
+// capture_fuzz: seeded fuzzing and fault-injection driver for the three
+// byte-level ingestion parsers (pcap, pcapng, JSON reports).
+//
+//   capture_fuzz [--iterations N] [--seed S] [--parser pcap|pcapng|json|all]
+//                [--corpus DIR]
+//       Run N mutate-and-parse iterations per parser. Any contract
+//       violation (anything but success or std::runtime_error) is
+//       minimized and, with --corpus, written there as a reproducer.
+//       Exit 1 if any violation occurred.
+//
+//   capture_fuzz --replay DIR
+//       Feed every file in DIR to all three parsers under both default
+//       and fuzzing ParseLimits; exit 1 on any contract violation. This
+//       is the regression leg that runs over tests/fuzz_corpus/.
+//
+//   capture_fuzz --fault-inject [--seed S]
+//       Apply the paper's section 3 filter-error taxonomy (drops,
+//       additions, resequencing, time travel) to a written capture and
+//       assert the corresponding core::calibrate detector fires.
+//
+//   capture_fuzz --write-regressions DIR
+//       Emit the hand-built reproducers for the historical parser bugs
+//       plus a spread of deterministic mutants (used to generate
+//       tests/fuzz_corpus/).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "fuzz/fault_inject.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "tcp/session.hpp"
+#include "trace/pcap_io.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tcpanaly::fuzz::Bytes;
+using tcpanaly::fuzz::InputFormat;
+
+void put32(Bytes& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void put16(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+Bytes pcap_header(std::uint32_t snaplen = 65535) {
+  Bytes b;
+  put32(b, 0xa1b2c3d4);
+  put16(b, 2);
+  put16(b, 4);
+  put32(b, 0);
+  put32(b, 0);
+  put32(b, snaplen);
+  put32(b, 1);  // Ethernet
+  return b;
+}
+
+// The cap_len-lie reproducer: a record header claiming a ~4 GB frame.
+// Before the ParseLimits fix this forced read_bytes to resize its buffer
+// to whatever the file said.
+Bytes regress_pcap_caplen_lie() {
+  Bytes b = pcap_header();
+  put32(b, 800000000);  // ts_sec
+  put32(b, 0);          // ts_usec
+  put32(b, 0xffffffff); // cap_len: the lie
+  put32(b, 0xffffffff); // orig_len
+  return b;
+}
+
+void pcapng_shb(Bytes& b) {
+  put32(b, 0x0a0d0d0a);
+  put32(b, 28);
+  put32(b, 0x1a2b3c4d);
+  put16(b, 1);
+  put16(b, 0);
+  put32(b, 0xffffffff);
+  put32(b, 0xffffffff);
+  put32(b, 28);
+}
+
+void pcapng_idb(Bytes& b, bool with_tsresol, std::uint8_t tsresol_raw) {
+  const std::uint32_t total = with_tsresol ? 32 : 24;
+  put32(b, 1);
+  put32(b, total);
+  put16(b, 1);  // Ethernet
+  put16(b, 0);
+  put32(b, 65535);
+  if (with_tsresol) {
+    put16(b, 9);  // if_tsresol
+    put16(b, 1);
+    b.push_back(tsresol_raw);
+    b.push_back(0);
+    b.push_back(0);
+    b.push_back(0);
+    put16(b, 0);  // opt_endofopt
+    put16(b, 0);
+  }
+  put32(b, total);
+}
+
+// The EPB wrap reproducer: cap_len = 0xFFFFFFF0, so the old 32-bit check
+// `v.size() < 20 + cap_len` wrapped to `v.size() < 4`, passed, and handed
+// an out-of-range subspan to the frame decoder.
+Bytes regress_pcapng_epb_wrap() {
+  Bytes b;
+  pcapng_shb(b);
+  pcapng_idb(b, false, 0);
+  put32(b, 6);           // EPB
+  put32(b, 40);          // total length: 20-byte fixed part + 8 data bytes
+  put32(b, 0);           // interface
+  put32(b, 0);           // ts_hi
+  put32(b, 0);           // ts_lo
+  put32(b, 0xfffffff0);  // cap_len: wraps the 32-bit bound check
+  put32(b, 8);           // orig_len
+  for (int i = 0; i < 8; ++i) b.push_back(0x5a);
+  put32(b, 40);
+  return b;
+}
+
+// The tsresol reproducer: a decimal exponent of 20, which the old parser
+// accepted (its range check allowed 20..63) and then silently computed as
+// 10^19 ticks/sec, scaling every timestamp to garbage. The fixed parser
+// falls back to the microsecond default.
+Bytes regress_pcapng_tsresol20() {
+  Bytes b;
+  pcapng_shb(b);
+  pcapng_idb(b, true, 20);
+  for (std::uint32_t ts : {1000u, 2000u}) {
+    put32(b, 6);
+    put32(b, 36);  // 20-byte fixed part + 4 data bytes
+    put32(b, 0);
+    put32(b, 0);
+    put32(b, ts);
+    put32(b, 4);
+    put32(b, 4);
+    for (int i = 0; i < 4; ++i) b.push_back(0);
+    put32(b, 36);
+  }
+  return b;
+}
+
+void write_file(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw std::runtime_error("cannot write " + path);
+  std::printf("  wrote %s (%zu bytes)\n", path.c_str(), data.size());
+}
+
+int write_regressions(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::printf("writing regression corpus to %s\n", dir.c_str());
+  write_file(dir + "/regress_pcap_caplen_lie.pcap", regress_pcap_caplen_lie());
+  write_file(dir + "/regress_pcapng_epb_wrap.pcapng", regress_pcapng_epb_wrap());
+  write_file(dir + "/regress_pcapng_tsresol20.pcapng", regress_pcapng_tsresol20());
+  // A deterministic spread of mutants per format, so the corpus also
+  // covers the mutation classes themselves.
+  for (const InputFormat fmt :
+       {InputFormat::kPcap, InputFormat::kPcapng, InputFormat::kJson}) {
+    const auto seeds = tcpanaly::fuzz::seed_inputs(fmt);
+    for (std::uint64_t k = 0; k < 4; ++k) {
+      tcpanaly::util::Rng rng(0xC0FFEE00 + k);
+      Bytes data = seeds[k % seeds.size()];
+      for (int s = 0; s < 2; ++s)
+        data = tcpanaly::fuzz::mutate(data, fmt, rng).data;
+      write_file(dir + "/mutant_" + tcpanaly::fuzz::to_string(fmt) + "_" +
+                     std::to_string(k) + ".bin",
+                 data);
+    }
+  }
+  return 0;
+}
+
+int replay_dir(const std::string& dir) {
+  std::size_t files = 0, violations = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    ++files;
+    for (const InputFormat fmt :
+         {InputFormat::kPcap, InputFormat::kPcapng, InputFormat::kJson}) {
+      for (const auto& limits : {tcpanaly::util::ParseLimits{},
+                                 tcpanaly::util::ParseLimits::fuzzing()}) {
+        const auto check = tcpanaly::fuzz::check_parse(fmt, data, limits);
+        if (check.outcome == tcpanaly::fuzz::ParseOutcome::kContractViolation) {
+          ++violations;
+          std::printf("VIOLATION %s via %s: %s\n", entry.path().c_str(),
+                      tcpanaly::fuzz::to_string(fmt), check.error.c_str());
+        }
+      }
+    }
+  }
+  std::printf("replay: %zu files x 3 parsers x 2 limit profiles, %zu violations\n",
+              files, violations);
+  if (files == 0) {
+    std::printf("replay: no files found in %s\n", dir.c_str());
+    return 1;
+  }
+  return violations ? 1 : 0;
+}
+
+int fault_inject(std::uint64_t seed) {
+  using tcpanaly::core::calibrate;
+  int failures = 0;
+  // A clean, loss-free but *window-limited* session: the offered window
+  // (4 KB) is far below the path's bandwidth-delay product, so the sender
+  // stalls on the window and every window-update ack liberates data --
+  // the situation where filter resequencing produces the paper's
+  // data-before-liberating-ack contradiction.
+  tcpanaly::tcp::SessionConfig cfg = tcpanaly::tcp::default_session();
+  cfg.sender.transfer_bytes = 64 * 1024;
+  cfg.receiver.recv_buffer = 4 * 1024;
+  cfg.seed = 7;
+  std::ostringstream capture;
+  tcpanaly::trace::write_pcap(capture,
+                              tcpanaly::tcp::run_session(cfg).sender_trace);
+  const std::string capture_str = capture.str();
+  const Bytes base(capture_str.begin(), capture_str.end());
+
+  auto read_back = [](const Bytes& bytes) {
+    std::istringstream in(std::string(bytes.begin(), bytes.end()));
+    return tcpanaly::trace::read_pcap(in).trace;
+  };
+  auto report = [&](const char* name, bool fired, const char* detail) {
+    std::printf("  %-14s %s  (%s)\n", name, fired ? "DETECTED" : "MISSED", detail);
+    if (!fired) ++failures;
+  };
+
+  std::printf("fault injection (paper sec. 3 taxonomy, seed %llu):\n",
+              static_cast<unsigned long long>(seed));
+  tcpanaly::util::Rng rng(seed);
+  tcpanaly::fuzz::FaultSummary sum;
+
+  const auto dropped = tcpanaly::fuzz::inject_drops(base, 0.25, rng, &sum);
+  const auto drop_cal = calibrate(read_back(dropped));
+  report("drops", drop_cal.drops.drops_detected(),
+         (std::to_string(sum.dropped) + " records dropped, " +
+          std::to_string(drop_cal.drops.findings.size()) + " findings")
+             .c_str());
+
+  // The duplication detector demands *systematic* doubling (the IRIX
+  // artifact duplicates everything), so duplicate every record.
+  const auto added = tcpanaly::fuzz::inject_additions(
+      base, tcpanaly::fuzz::pcap_records(base).size(), rng, &sum);
+  const auto add_cal = calibrate(read_back(added));
+  report("additions", !add_cal.duplication.duplicate_indices.empty(),
+         (std::to_string(sum.added) + " copies added, " +
+          std::to_string(add_cal.duplication.duplicate_indices.size()) + " flagged")
+             .c_str());
+
+  const auto reseq = tcpanaly::fuzz::inject_resequencing(base, 4, rng, &sum);
+  const auto reseq_cal = calibrate(read_back(reseq));
+  report("resequencing", reseq_cal.resequencing.ordering_untrustworthy(),
+         (std::to_string(sum.resequenced) + " swaps, " +
+          std::to_string(reseq_cal.resequencing.instances.size()) + " instances")
+             .c_str());
+
+  const auto warped = tcpanaly::fuzz::inject_time_travel(base, 2, rng, &sum);
+  const auto warp_cal = calibrate(read_back(warped));
+  report("time-travel", warp_cal.time_travel.clock_untrustworthy(),
+         (std::to_string(sum.time_travel) + " jumps, " +
+          std::to_string(warp_cal.time_travel.instances.size()) + " instances")
+             .c_str());
+
+  // Control: the unmangled capture must calibrate clean, or the positives
+  // above mean nothing.
+  const auto clean_cal = calibrate(read_back(base));
+  report("control-clean", clean_cal.trustworthy(), "unmangled capture trustworthy");
+
+  return failures ? 1 : 0;
+}
+
+int run_fuzz(std::uint64_t iterations, std::uint64_t seed, const std::string& parser,
+             const std::string& corpus_dir) {
+  int rc = 0;
+  for (const InputFormat fmt :
+       {InputFormat::kPcap, InputFormat::kPcapng, InputFormat::kJson}) {
+    if (parser != "all" && parser != tcpanaly::fuzz::to_string(fmt)) continue;
+    tcpanaly::fuzz::FuzzOptions opts;
+    opts.seed = seed;
+    opts.iterations = iterations;
+    opts.corpus_dir = corpus_dir;
+    const auto stats = tcpanaly::fuzz::fuzz_parser(fmt, opts);
+    std::printf("%-7s %llu iterations: %llu accepted, %llu rejected, %zu violations\n",
+                tcpanaly::fuzz::to_string(fmt),
+                static_cast<unsigned long long>(stats.iterations),
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.rejected),
+                stats.failures.size());
+    for (const auto& f : stats.failures) {
+      std::printf("  VIOLATION iter %llu [%s]: %s (%zu-byte repro%s%s)\n",
+                  static_cast<unsigned long long>(f.iteration), f.mutations.c_str(),
+                  f.error.c_str(), f.reproducer.size(), f.path.empty() ? "" : " -> ",
+                  f.path.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iterations = 10'000;
+  std::uint64_t seed = 1;
+  std::string parser = "all";
+  std::string corpus_dir;
+  std::string replay;
+  std::string regressions;
+  bool do_fault_inject = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--iterations") iterations = std::stoull(value());
+    else if (arg == "--seed") seed = std::stoull(value());
+    else if (arg == "--parser") parser = value();
+    else if (arg == "--corpus") corpus_dir = value();
+    else if (arg == "--replay") replay = value();
+    else if (arg == "--write-regressions") regressions = value();
+    else if (arg == "--fault-inject") do_fault_inject = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: capture_fuzz [--iterations N] [--seed S] "
+                   "[--parser pcap|pcapng|json|all] [--corpus DIR] | --replay DIR | "
+                   "--fault-inject | --write-regressions DIR\n");
+      return 2;
+    }
+  }
+
+  try {
+    if (!regressions.empty()) return write_regressions(regressions);
+    if (!replay.empty()) return replay_dir(replay);
+    if (do_fault_inject) return fault_inject(seed);
+    return run_fuzz(iterations, seed, parser, corpus_dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "capture_fuzz: %s\n", e.what());
+    return 1;
+  }
+}
