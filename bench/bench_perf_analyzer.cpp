@@ -2,12 +2,23 @@
 // tcpanaly stage. Not a paper artifact -- tcpanaly was envisioned as a
 // possible real-time monitor ("watch an Internet link in real-time"), so
 // the analysis cost per packet matters.
+//
+// With --json=FILE (consumed before google-benchmark sees the arguments),
+// every benchmark's timings and counters are additionally emitted as one
+// machine-readable report::Json document, so the bench trajectory can be
+// recorded across revisions alongside bench_sec5_matcher's.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "core/analyze.hpp"
+#include "core/annotations.hpp"
 #include "core/calibration.hpp"
 #include "core/receiver_analyzer.hpp"
 #include "core/sender_analyzer.hpp"
+#include "report/report.hpp"
 #include "tcp/profiles.hpp"
 #include "tcp/session.hpp"
 
@@ -27,6 +38,17 @@ const tcp::SessionResult& shared_session() {
   return r;
 }
 
+void BM_Annotate(benchmark::State& state) {
+  const auto& r = shared_session();
+  const core::SenderAnalysisOptions opts;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::AnnotatedTrace(r.sender_trace, {opts.vantage_grace}));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.sender_trace.size()));
+}
+BENCHMARK(BM_Annotate);
+
 void BM_Calibrate(benchmark::State& state) {
   const auto& r = shared_session();
   for (auto _ : state) benchmark::DoNotOptimize(core::calibrate(r.sender_trace));
@@ -43,6 +65,17 @@ void BM_SenderAnalyze(benchmark::State& state) {
                           static_cast<std::int64_t>(r.sender_trace.size()));
 }
 BENCHMARK(BM_SenderAnalyze);
+
+void BM_SenderAnalyzeSharedAnnotation(benchmark::State& state) {
+  const auto& r = shared_session();
+  const core::SenderAnalysisOptions opts;
+  const core::AnnotatedTrace ann(r.sender_trace, {opts.vantage_grace});
+  core::SenderAnalyzer analyzer(tcp::generic_reno(), opts);
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(ann));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.sender_trace.size()));
+}
+BENCHMARK(BM_SenderAnalyzeSharedAnnotation);
 
 void BM_ReceiverAnalyze(benchmark::State& state) {
   const auto& r = shared_session();
@@ -63,6 +96,18 @@ void BM_MatchAllImplementations(benchmark::State& state) {
 }
 BENCHMARK(BM_MatchAllImplementations);
 
+void BM_MatchAllSharedAnnotation(benchmark::State& state) {
+  const auto& r = shared_session();
+  const auto candidates = tcp::all_profiles();
+  const core::MatchOptions mopts;
+  const core::AnnotatedTrace ann(r.sender_trace, {mopts.sender.vantage_grace});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::match_implementations(ann, candidates, mopts));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.sender_trace.size()));
+}
+BENCHMARK(BM_MatchAllSharedAnnotation);
+
 void BM_SimulateSession(benchmark::State& state) {
   tcp::SessionConfig cfg = tcp::default_session();
   cfg.sender_profile = tcp::generic_reno();
@@ -76,6 +121,63 @@ void BM_SimulateSession(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateSession);
 
+/// Console output as usual, plus every finished run captured for the JSON
+/// document.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      report::Json row = report::Json::object();
+      row.set("name", run.benchmark_name());
+      row.set("iterations", static_cast<std::size_t>(run.iterations));
+      row.set("real_time_ns", run.GetAdjustedRealTime());
+      row.set("cpu_time_ns", run.GetAdjustedCPUTime());
+      for (const auto& [name, counter] : run.counters)
+        row.set(name.c_str(), static_cast<double>(counter));
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  report::Json& rows() { return rows_; }
+
+ private:
+  report::Json rows_ = report::Json::array();
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!json_path.empty()) {
+    report::Json doc = report::document_header("bench");
+    doc.set("bench", "perf_analyzer");
+    doc.set("benchmarks", std::move(reporter.rows()));
+    std::ofstream out(json_path);
+    out << doc.dump(2) << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote bench JSON to %s\n", json_path.c_str());
+  }
+  return 0;
+}

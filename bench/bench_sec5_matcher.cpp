@@ -5,10 +5,24 @@
 // is printed -- response-delay statistics and window violations are the
 // discriminators, exactly as tcpanaly uses them to pick a base class when
 // adding a new implementation.
+//
+// The binary also prices the match stage itself: the wall time of
+// match_implementations over 8 candidates (one shared trace annotation)
+// against a per-candidate loop in which every candidate re-derives the
+// trace-dependent facts for itself -- the shape of the pre-annotation
+// pipeline. With --json=FILE the rankings, the confusion sweep, and the
+// match-stage timings are emitted as one machine-readable document so the
+// bench trajectory can be recorded across revisions.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/matcher.hpp"
+#include "core/sender_analyzer.hpp"
 #include "corpus/corpus.hpp"
+#include "report/report.hpp"
 #include "tcp/profiles.hpp"
 #include "util/table.hpp"
 
@@ -16,35 +30,121 @@ using namespace tcpanaly;
 
 namespace {
 
-void show_ranking(const char* impl_name, const corpus::ScenarioParams& params) {
+using report::Json;
+
+void show_ranking(const char* impl_name, const corpus::ScenarioParams& params,
+                  Json& rankings) {
   auto impl = *tcp::find_profile(impl_name);
   auto r = tcp::run_session(corpus::make_session(impl, params));
   auto match = core::match_implementations(r.sender_trace, tcp::all_profiles());
   std::printf("--- true sender: %s (%s) ---\n%s\n", impl_name, params.label().c_str(),
               match.render().c_str());
+  Json row = Json::object();
+  row.set("true_impl", impl_name);
+  row.set("scenario", params.label());
+  row.set("best", match.best().profile.name);
+  row.set("best_fit", core::to_string(match.best().fit));
+  row.set("identified", match.identifies(impl_name));
+  rankings.push_back(std::move(row));
+}
+
+/// Minimum wall time (microseconds) of `fn` over `reps` runs.
+template <typename Fn>
+double min_wall_us(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0)
+            .count();
+    if (i == 0 || us < best) best = us;
+  }
+  return best;
+}
+
+/// The match stage at 8 candidates, serial, on one mildly lossy trace:
+/// match_implementations (which derives the trace-dependent facts once and
+/// shares them) vs a per-candidate analyzer loop (each candidate deriving
+/// them afresh -- ~2 full-trace window-cap scans per candidate).
+Json time_match_stage() {
+  corpus::ScenarioParams params;
+  params.loss_prob = 0.01;
+  params.one_way_delay = util::Duration::millis(20);
+  params.transfer_bytes = 256 * 1024;
+  params.seed = 5;
+  auto reno = *tcp::find_profile("Generic Reno");
+  auto r = tcp::run_session(corpus::make_session(reno, params));
+  const trace::Trace& trace = r.sender_trace;
+
+  auto all = tcp::all_profiles();
+  const std::vector<tcp::TcpProfile> candidates(all.begin(), all.begin() + 8);
+  core::MatchOptions mopts;
+  mopts.jobs = 1;  // algorithmic comparison: keep parallelism out of it
+
+  constexpr int kReps = 5;
+  const double match_us = min_wall_us(kReps, [&] {
+    core::match_implementations(trace, candidates, mopts);
+  });
+  const double per_candidate_us = min_wall_us(kReps, [&] {
+    for (const auto& c : candidates)
+      core::SenderAnalyzer(c, mopts.sender).analyze(trace);
+  });
+
+  std::printf("--- match-stage wall time (%zu candidates, %zu records, serial) ---\n",
+              candidates.size(), trace.size());
+  std::printf("match_implementations (shared trace facts): %10.1f us\n", match_us);
+  std::printf("per-candidate loop (facts re-derived each):  %10.1f us\n", per_candidate_us);
+  std::printf("speedup vs per-candidate: %.2fx\n\n", per_candidate_us / match_us);
+
+  Json j = Json::object();
+  j.set("records", trace.size());
+  j.set("candidates", candidates.size());
+  j.set("reps", kReps);
+  j.set("jobs", 1);
+  j.set("match_us", match_us);
+  j.set("per_candidate_us", per_candidate_us);
+  j.set("speedup_vs_per_candidate", per_candidate_us / match_us);
+  return j;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("== Sections 5/6.1: candidate-implementation ranking ==\n\n");
 
+  Json rankings = Json::array();
   corpus::ScenarioParams lossy;
   lossy.loss_prob = 0.02;
   lossy.seed = 17;
-  show_ranking("Generic Reno", lossy);
-  show_ranking("Linux 1.0", lossy);
+  show_ranking("Generic Reno", lossy, rankings);
+  show_ranking("Linux 1.0", lossy, rankings);
 
   corpus::ScenarioParams long_rtt;
   long_rtt.one_way_delay = util::Duration::millis(340);
   long_rtt.seed = 9;
-  show_ranking("Solaris 2.4", long_rtt);
+  show_ranking("Solaris 2.4", long_rtt, rankings);
 
   // Aggregate confusion behavior: how often is each candidate class
   // assigned when matching every implementation's traces?
   std::printf("--- fit-class distribution over one sweep per implementation ---\n");
   util::TextTable table({"true impl", "close", "imperfect", "clearly-incorrect",
                          "true-impl fit"});
+  Json confusion = Json::array();
   corpus::CorpusOptions copts;
   copts.seeds_per_cell = 1;
   copts.loss_probs = {0.02};
@@ -66,13 +166,38 @@ int main() {
     }
     table.add_row({impl.name, util::strf("%d", close), util::strf("%d", imperfect),
                    util::strf("%d", incorrect), true_fit});
+    Json row = Json::object();
+    row.set("true_impl", impl.name);
+    row.set("close", close);
+    row.set("imperfect", imperfect);
+    row.set("clearly_incorrect", incorrect);
+    row.set("true_impl_fit", true_fit);
+    confusion.push_back(std::move(row));
   }
   std::printf("%s\n", table.render().c_str());
+
+  Json match_stage = time_match_stage();
+
   std::printf(
       "paper: correct candidates show small response times and no window\n"
       "violations; incorrect candidates show increased response times or\n"
       "violations, letting tcpanaly sort them into close, imperfect, and\n"
       "clearly-incorrect fits (section 6.1). Behavioral twins (e.g.\n"
       "BSDI/NetBSD) legitimately tie as close fits.\n");
+
+  if (!json_path.empty()) {
+    Json doc = report::document_header("bench");
+    doc.set("bench", "sec5_matcher");
+    doc.set("rankings", std::move(rankings));
+    doc.set("confusion", std::move(confusion));
+    doc.set("match_stage", std::move(match_stage));
+    std::ofstream out(json_path);
+    out << doc.dump(2) << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote bench JSON to %s\n", json_path.c_str());
+  }
   return 0;
 }

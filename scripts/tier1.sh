@@ -60,8 +60,37 @@ if command -v python3 > /dev/null 2>&1; then
     lines=$((lines + 1))
   done < "$JSON_DIR/batch.ndjson"
   echo "JSON leg OK ($lines NDJSON lines validated)"
+
+  # Bench-JSON smoke leg: the matcher bench must run end to end and emit a
+  # well-formed document carrying the match-stage timings that evidence
+  # the two-layer pipeline's speedup.
+  "$BUILD/bench/bench_sec5_matcher" --json "$JSON_DIR/sec5_matcher.json" > /dev/null
+  python3 - "$JSON_DIR/sec5_matcher.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["type"] == "bench" and doc["bench"] == "sec5_matcher", doc.get("bench")
+ms = doc["match_stage"]
+for key in ("records", "candidates", "match_us", "per_candidate_us",
+            "speedup_vs_per_candidate"):
+    assert key in ms, f"match_stage missing {key}"
+assert ms["match_us"] > 0 and ms["candidates"] == 8
+assert isinstance(doc["rankings"], list) and doc["rankings"]
+assert isinstance(doc["confusion"], list) and doc["confusion"]
+PYEOF
+  echo "bench-JSON leg OK (sec5_matcher document validated)"
 else
   echo "python3 not found; skipping external JSON validation leg"
+fi
+
+# Lint leg (opt-in: TCPANALY_LINT=1): clang-tidy over the refactored core
+# layer. Skipped gracefully where clang-tidy is not installed.
+if [ "${TCPANALY_LINT:-0}" = "1" ]; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    clang-tidy src/core/*.cpp -- -std=c++20 -Isrc
+    echo "lint leg OK (clang-tidy over src/core)"
+  else
+    echo "TCPANALY_LINT=1 but clang-tidy not found; skipping lint leg"
+  fi
 fi
 
 echo "tier-1 OK (including TSan parallel leg and ASan+UBSan fuzz leg)"

@@ -2,30 +2,72 @@
 
 namespace tcpanaly::core {
 
+const trace::Trace& CleanedTrace::empty_trace() {
+  static const trace::Trace empty;
+  return empty;
+}
+
 TraceAnalysis analyze_trace(const trace::Trace& trace,
                             std::vector<tcp::TcpProfile> candidates,
-                            const MatchOptions& opts, util::StageTimer* timer) {
+                            const AnalyzeOptions& opts, util::StageTimer* timer) {
   if (candidates.empty()) candidates = tcp::all_profiles();
   TraceAnalysis analysis;
+
+  // Layer 1: one pass over the raw trace. Every consumer below -- the
+  // calibration detectors and all candidate replays -- reads this shared,
+  // immutable annotation instead of re-deriving the trace facts.
+  {
+    auto scope = util::StageTimer::maybe(timer, "annotate");
+    analysis.annotation = std::make_shared<const AnnotatedTrace>(
+        trace, std::vector<Duration>{opts.match.sender.vantage_grace});
+    scope.counter("records", trace.size());
+  }
+
   {
     auto scope = util::StageTimer::maybe(timer, "calibrate");
-    analysis.calibration = calibrate(trace);
-    analysis.cleaned = analysis.calibration.duplication.duplicate_indices.empty()
-                           ? trace
-                           : strip_duplicates(trace, analysis.calibration.duplication);
+    analysis.calibration.time_travel = detect_time_travel(trace);
+    analysis.calibration.duplication =
+        detect_measurement_duplicates(*analysis.annotation);
+    if (analysis.calibration.duplication.duplicate_indices.empty()) {
+      analysis.cleaned = CleanedTrace::aliasing(trace);
+    } else {
+      // Ordering and drop checks run on the duplicate-stripped view, as
+      // tcpanaly does after discarding later copies -- which invalidates
+      // the raw annotation's record indexing, so (only) this rare path
+      // re-annotates.
+      analysis.cleaned = CleanedTrace::owning(
+          strip_duplicates(trace, analysis.calibration.duplication));
+      analysis.annotation = std::make_shared<const AnnotatedTrace>(
+          analysis.cleaned.get(),
+          std::vector<Duration>{opts.match.sender.vantage_grace});
+      scope.counter("reannotated", analysis.cleaned.size());
+    }
+    analysis.calibration.resequencing = detect_resequencing(*analysis.annotation);
+    analysis.calibration.drops = detect_filter_drops(*analysis.annotation);
     scope.counter("records", trace.size());
     scope.counter("stripped_duplicates",
                   analysis.calibration.duplication.duplicate_indices.size());
   }
-  {
-    auto scope = util::StageTimer::maybe(timer, "match");
-    analysis.match = match_implementations(analysis.cleaned, candidates, opts);
-    scope.counter("candidates", candidates.size());
+
+  if (opts.run_match) {
+    {
+      auto scope = util::StageTimer::maybe(timer, "match");
+      analysis.match = match_implementations(*analysis.annotation, candidates, opts.match);
+      scope.counter("candidates", candidates.size());
+    }
+    if (timer)
+      for (const auto& fit : analysis.match.fits)
+        timer->add("match:" + fit.profile.name, fit.analysis_wall);
   }
-  if (timer)
-    for (const auto& fit : analysis.match.fits)
-      timer->add("match:" + fit.profile.name, fit.analysis_wall);
   return analysis;
+}
+
+TraceAnalysis analyze_trace(const trace::Trace& trace,
+                            std::vector<tcp::TcpProfile> candidates,
+                            const MatchOptions& opts, util::StageTimer* timer) {
+  AnalyzeOptions aopts;
+  aopts.match = opts;
+  return analyze_trace(trace, std::move(candidates), aopts, timer);
 }
 
 std::string TraceAnalysis::render() const {

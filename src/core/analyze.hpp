@@ -1,31 +1,94 @@
 // Top-level facade: what running "tcpanaly" on one trace produces --
-// calibration first (is the trace trustworthy? strip measurement
-// duplicates), then per-implementation matching on the cleaned trace.
+// annotate once (layer 1), calibrate on the shared annotation (is the
+// trace trustworthy? strip measurement duplicates), then per-
+// implementation matching replaying candidates against the same
+// annotation (layer 2).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/calibration.hpp"
 #include "core/matcher.hpp"
 #include "util/stage_timer.hpp"
 
 namespace tcpanaly::core {
 
+/// The trace the analyzers actually consumed. When calibration found no
+/// measurement duplicates there is nothing to strip, so this merely
+/// aliases the input trace (no deep copy); only a duplicated trace pays
+/// for an owned stripped copy (copy-on-strip). The owned copy sits behind
+/// a shared_ptr so the view -- and any annotation pointing into it --
+/// stays valid when the enclosing TraceAnalysis is moved.
+class CleanedTrace {
+ public:
+  /// An empty-trace view (useful as a default; never dangles).
+  CleanedTrace() : alias_(&empty_trace()) {}
+
+  static CleanedTrace aliasing(const trace::Trace& t) {
+    CleanedTrace c;
+    c.alias_ = &t;
+    return c;
+  }
+  static CleanedTrace owning(trace::Trace t) {
+    CleanedTrace c;
+    c.owned_ = std::make_shared<const trace::Trace>(std::move(t));
+    c.alias_ = c.owned_.get();
+    return c;
+  }
+
+  const trace::Trace& get() const { return *alias_; }
+  operator const trace::Trace&() const { return *alias_; }
+  std::size_t size() const { return alias_->size(); }
+  /// True when calibration stripped duplicates (the view owns a copy);
+  /// false when it aliases the caller's input, which must then outlive it.
+  bool owns_copy() const { return owned_ != nullptr; }
+
+ private:
+  static const trace::Trace& empty_trace();
+
+  const trace::Trace* alias_;
+  std::shared_ptr<const trace::Trace> owned_;
+};
+
 struct TraceAnalysis {
   CalibrationReport calibration;
-  /// The trace actually analyzed (measurement duplicates stripped).
-  trace::Trace cleaned;
+  /// The trace actually analyzed (aliases the input unless measurement
+  /// duplicates were stripped -- see CleanedTrace).
+  CleanedTrace cleaned;
+  /// The shared layer-1 annotation of `cleaned` that calibration's
+  /// detectors and every candidate replay consumed. Kept for callers that
+  /// want to run further analyses without re-deriving the trace facts.
+  std::shared_ptr<const AnnotatedTrace> annotation;
   MatchResult match;
 
   std::string render() const;
 };
 
-/// Calibrate, clean, and match a trace against candidate implementations.
-/// With no candidates given, the full profile registry is used. A non-null
-/// `timer` records per-stage wall time: "calibrate", "match" (with a
-/// candidate-count counter), then one "match:<name>" stage per candidate
-/// in ranked order, measured inside the parallel workers.
+struct AnalyzeOptions {
+  MatchOptions match;
+  /// Skip the matching stage (calibrate-only runs still get the cleaned
+  /// view and the annotation).
+  bool run_match = true;
+};
+
+/// Annotate, calibrate, clean, and match a trace against candidate
+/// implementations. With no candidates given, the full profile registry is
+/// used. A non-null `timer` records per-stage wall time: "annotate" (the
+/// single layer-1 pass; rare duplicate-stripped traces re-annotate inside
+/// "calibrate", counted there as "reannotated"), "calibrate", "match"
+/// (with a candidate-count counter), then one "match:<name>" stage per
+/// candidate in ranked order, measured inside the parallel workers.
+/// The input trace must outlive the returned analysis unless duplicates
+/// were stripped (see CleanedTrace::owns_copy).
+TraceAnalysis analyze_trace(const trace::Trace& trace,
+                            std::vector<tcp::TcpProfile> candidates,
+                            const AnalyzeOptions& opts,
+                            util::StageTimer* timer = nullptr);
+
+/// Convenience overload keeping the original signature.
 TraceAnalysis analyze_trace(const trace::Trace& trace,
                             std::vector<tcp::TcpProfile> candidates = {},
                             const MatchOptions& opts = {},

@@ -1,0 +1,190 @@
+#include "core/annotations.hpp"
+
+#include <algorithm>
+
+namespace tcpanaly::core {
+
+using trace::PacketRecord;
+using trace::seq_diff;
+using trace::seq_ge;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::seq_lt;
+
+const char* to_string(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kHandshakeSyn: return "syn";
+    case RecordKind::kSynAck: return "syn-ack";
+    case RecordKind::kNewData: return "new-data";
+    case RecordKind::kRetransmission: return "retransmission";
+    case RecordKind::kNewAck: return "new-ack";
+    case RecordKind::kDupAck: return "dup-ack";
+    case RecordKind::kUpdateAck: return "update-ack";
+    case RecordKind::kIgnored: return "ignored";
+  }
+  return "?";
+}
+
+AnnotatedTrace::AnnotatedTrace(const Trace& trace, std::vector<Duration> cap_graces)
+    : trace_(&trace) {
+  notes_.reserve(trace.size());
+
+  // Classification cursor (mirrors the sender replay's trace-dependent
+  // bookkeeping exactly -- same conditions, same order).
+  bool established = false;
+  bool have_data = false;
+  bool synack_had_mss = false;
+  SeqNum iss = 0;
+  SeqNum snd_una = 0;
+  SeqNum snd_max = 0;
+  std::uint32_t mss = 536;
+  std::uint32_t offered_mss = 536;
+  std::uint32_t offered_window = 0;
+
+  // Window-cap index cursor (mirrors the section 6.2 flight scan's
+  // admission rules; independent of the classification cursor above, as
+  // the original scan predated the handshake gating).
+  bool cap_have_send = false;
+  SeqNum cap_smax = 0;
+  bool cap_have_ack = false;
+  SeqNum cap_highest_ack = 0;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const PacketRecord& rec = trace[i];
+    RecordNote n;
+    n.from_local = trace.is_from_local(rec);
+
+    if (n.from_local) {
+      if (rec.tcp.flags.syn) {
+        iss = rec.tcp.seq;
+        if (rec.tcp.mss_option) offered_mss = *rec.tcp.mss_option;
+        n.kind = RecordKind::kHandshakeSyn;
+      } else if (!established || rec.tcp.payload_len == 0) {
+        n.kind = RecordKind::kIgnored;
+      } else {
+        if (!have_data) {
+          have_data = true;
+          snd_max = rec.tcp.seq;  // the new-data test below extends it
+        }
+        if (seq_ge(rec.tcp.seq, snd_max)) {
+          n.kind = RecordKind::kNewData;
+          snd_max = rec.tcp.seq_end();
+        } else {
+          n.kind = RecordKind::kRetransmission;
+        }
+      }
+      // Cap index: payload, SYN, or FIN records are send events.
+      if (rec.tcp.payload_len > 0 || rec.tcp.flags.syn || rec.tcp.flags.fin) {
+        const SeqNum end = rec.tcp.seq_end();
+        if (!cap_have_send) {
+          cap_smax = end;
+          cap_have_send = true;
+        } else if (seq_gt(end, cap_smax)) {
+          cap_smax = end;
+        }
+        sends_.push_back({rec.timestamp, i, rec.tcp.seq, end});
+      }
+    } else {
+      if (rec.tcp.flags.syn && rec.tcp.flags.ack) {
+        synack_had_mss = rec.tcp.mss_option.has_value();
+        mss = rec.tcp.mss_option
+                  ? std::min<std::uint32_t>(*rec.tcp.mss_option, offered_mss)
+                  : 536;
+        offered_window = rec.tcp.window;
+        snd_una = iss + 1;
+        snd_max = snd_una;
+        established = true;
+        n.kind = RecordKind::kSynAck;
+        handshake_.handshake_seen = true;
+        handshake_.synack_had_mss = synack_had_mss;
+        handshake_.iss = iss;
+        handshake_.mss = mss;
+        handshake_.offered_mss = offered_mss;
+        handshake_.initial_offered_window = offered_window;
+      } else if (!established || !rec.tcp.flags.ack) {
+        n.kind = RecordKind::kIgnored;
+      } else if (seq_gt(rec.tcp.ack, snd_una)) {
+        n.kind = RecordKind::kNewAck;
+        snd_una = rec.tcp.ack;
+        offered_window = rec.tcp.window;
+      } else {
+        const bool outstanding = seq_lt(snd_una, snd_max);
+        if (rec.tcp.ack == snd_una && rec.tcp.payload_len == 0 &&
+            rec.tcp.window == offered_window && outstanding && !rec.tcp.flags.fin) {
+          n.kind = RecordKind::kDupAck;
+        } else {
+          n.kind = RecordKind::kUpdateAck;
+          offered_window = rec.tcp.window;
+        }
+      }
+      // Cap index: admit strictly-advancing acks at or below the send
+      // frontier recorded so far.
+      if (rec.tcp.flags.ack && cap_have_send &&
+          (!cap_have_ack || seq_gt(rec.tcp.ack, cap_highest_ack)) &&
+          seq_le(rec.tcp.ack, cap_smax)) {
+        cap_highest_ack = rec.tcp.ack;
+        cap_have_ack = true;
+        acks_.push_back({rec.timestamp, i, rec.tcp.ack});
+      }
+    }
+
+    n.established = established;
+    n.have_data = have_data;
+    n.synack_had_mss = synack_had_mss;
+    n.snd_una = snd_una;
+    n.snd_max = snd_max;
+    n.offered_window = offered_window;
+    n.mss = mss;
+    n.offered_mss = offered_mss;
+    notes_.push_back(n);
+  }
+
+  // Precompute the requested caps plus the zero grace (the tight estimate
+  // every analysis reports).
+  cap_graces.push_back(Duration::zero());
+  for (Duration grace : cap_graces) {
+    bool seen = false;
+    for (const auto& [g, cap] : caps_)
+      if (g == grace) {
+        seen = true;
+        break;
+      }
+    if (!seen) caps_.emplace_back(grace, compute_cap(grace));
+  }
+}
+
+std::uint32_t AnnotatedTrace::sender_window_cap(Duration grace) const {
+  for (const auto& [g, cap] : caps_)
+    if (g == grace) return cap;
+  return compute_cap(grace);
+}
+
+std::uint32_t AnnotatedTrace::compute_cap(Duration grace) const {
+  // Replays the retired per-candidate flight scan over the event index.
+  // The ack an earlier send could consult is one recorded BEFORE that send
+  // (record order, not timestamp order -- time travel makes these differ),
+  // hence the record-index guard on the lag pointer.
+  bool have = false;
+  SeqNum smax = 0;
+  SeqNum una_lagged = 0;
+  std::uint32_t peak = 0;
+  std::size_t lag = 0;
+  for (const SendEvent& s : sends_) {
+    if (!have) {
+      smax = s.end;
+      una_lagged = s.seq;
+      have = true;
+    } else if (seq_gt(s.end, smax)) {
+      smax = s.end;
+    }
+    while (lag < acks_.size() && acks_[lag].record_index < s.record_index &&
+           acks_[lag].when + grace <= s.when) {
+      una_lagged = seq_gt(acks_[lag].ack, una_lagged) ? acks_[lag].ack : una_lagged;
+      ++lag;
+    }
+    peak = std::max(peak, static_cast<std::uint32_t>(seq_diff(smax, una_lagged)));
+  }
+  return peak;
+}
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,150 @@
+// Layer 1 of the two-layer analysis pipeline: everything about a trace
+// that does NOT depend on which candidate implementation is being tested,
+// computed in a single pass and shared read-only across candidates.
+//
+// The sender replay (layer 2) evolves two kinds of state. The trace-
+// dependent kind -- which records are SYNs/SYN-ACKs/new data/
+// retransmission instances/duplicate acks, the handshake's negotiated MSS,
+// the running ack frontier (snd_una), the send frontier (snd_max), the
+// peer's offered window -- is a pure function of the packet stream: the
+// candidate's window model never feeds back into it. The candidate-
+// dependent kind (congestion window, liberations, retransmission-event
+// classification, penalties) does depend on the profile. AnnotatedTrace
+// precomputes the former, per record, so match_implementations can run N
+// candidates against one annotation instead of N full re-derivations.
+//
+// The annotation also owns the section 6.2 sender-window inference: the
+// send/ack-frontier event index is extracted once and the O(sends + acks)
+// cap replay runs per grace value, instead of the O(n * w) scan the
+// replayer used to run twice per candidate.
+//
+// Equivalence guarantee: every value here reproduces the pre-refactor
+// replay's bookkeeping bit-for-bit (same gating conditions in the same
+// order), so analyzers consuming an AnnotatedTrace emit byte-identical
+// reports to the retired per-candidate walks. pipeline_equivalence_test
+// holds this to account against a retained legacy reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace tcpanaly::core {
+
+using trace::SeqNum;
+using trace::Trace;
+using util::Duration;
+using util::TimePoint;
+
+/// Profile-independent classification of one record, as the sender replay
+/// sees it (the receiver walk is profile-dependent almost throughout and
+/// consumes only the direction bit).
+enum class RecordKind : std::uint8_t {
+  kHandshakeSyn,    ///< outbound SYN: carries ISS and the offered MSS
+  kSynAck,          ///< inbound SYN-ACK: completes the handshake
+  kNewData,         ///< outbound payload advancing the send frontier
+  kRetransmission,  ///< outbound payload at or below the send frontier
+  kNewAck,          ///< inbound ack advancing the ack frontier
+  kDupAck,          ///< strict duplicate ack (same ack, no payload, same
+                    ///  window, data outstanding, no FIN)
+  kUpdateAck,       ///< inbound ack, no advance, not a strict duplicate
+                    ///  (window update / stale ack)
+  kIgnored,         ///< nothing the sender replay acts on
+};
+
+const char* to_string(RecordKind kind);
+
+/// Per-record note: the classification plus the running profile-independent
+/// cursor values AFTER this record has been applied. The value BEFORE
+/// record i is note(i - 1) (or the initial note for i == 0) -- see
+/// AnnotatedTrace::note_before.
+struct RecordNote {
+  RecordKind kind = RecordKind::kIgnored;
+  bool from_local = false;
+  bool established = false;     ///< handshake completed at/before this record
+  bool have_data = false;       ///< some outbound payload already replayed
+  bool synack_had_mss = false;  ///< the (latest) SYN-ACK carried an MSS option
+  SeqNum snd_una = 0;           ///< ack frontier (highest cumulative ack)
+  SeqNum snd_max = 0;           ///< send frontier (highest outbound seq_end)
+  std::uint32_t offered_window = 0;  ///< peer's receive window in force
+  std::uint32_t mss = 536;           ///< negotiated MSS in force
+  std::uint32_t offered_mss = 536;   ///< MSS we offered in our SYN
+};
+
+/// Handshake facts after the full pass (reflects the last SYN-ACK seen).
+struct HandshakeFacts {
+  bool handshake_seen = false;
+  bool synack_had_mss = false;
+  SeqNum iss = 0;
+  std::uint32_t mss = 536;
+  std::uint32_t offered_mss = 536;
+  std::uint32_t initial_offered_window = 0;
+};
+
+/// One qualifying outbound send in the window-cap index (payload, SYN, or
+/// FIN -- the events the section 6.2 flight scan charges).
+struct SendEvent {
+  TimePoint when;
+  std::size_t record_index = 0;
+  SeqNum seq = 0;
+  SeqNum end = 0;
+};
+
+/// One admitted ack-frontier advance in the window-cap index: inbound acks
+/// that strictly raised the highest ack while staying at or below the send
+/// frontier recorded so far.
+struct AckEvent {
+  TimePoint when;
+  std::size_t record_index = 0;
+  SeqNum ack = 0;
+};
+
+class AnnotatedTrace {
+ public:
+  /// Build the annotation in one pass over `trace`. Sender-window caps are
+  /// precomputed for each grace in `cap_graces` plus the zero grace (the
+  /// reported tight estimate); other graces are computed on demand.
+  /// Holds a pointer to `trace`, which must outlive the annotation.
+  explicit AnnotatedTrace(const Trace& trace, std::vector<Duration> cap_graces = {});
+
+  const Trace& trace() const { return *trace_; }
+  std::size_t size() const { return notes_.size(); }
+
+  /// Profile-independent cursor state AFTER record i.
+  const RecordNote& note(std::size_t i) const { return notes_[i]; }
+  /// Cursor state BEFORE record i (the initial note for i == 0). This is
+  /// what a replay branching from "just before record i" must see.
+  const RecordNote& note_before(std::size_t i) const {
+    return i == 0 ? initial_note_ : notes_[i - 1];
+  }
+
+  const HandshakeFacts& handshake() const { return handshake_; }
+
+  /// The largest amount of data ever observed in flight, with acks charged
+  /// only once at least `grace` older than the send (paper section 6.2;
+  /// grace zero is the tight estimate). Precomputed values are returned
+  /// directly; an unlisted grace is recomputed from the event index --
+  /// still O(sends + acks), still thread-safe (no memoization).
+  std::uint32_t sender_window_cap(Duration grace) const;
+
+  /// The seq-space send index and ack-frontier history behind the cap.
+  const std::vector<SendEvent>& send_events() const { return sends_; }
+  const std::vector<AckEvent>& ack_frontier() const { return acks_; }
+
+ private:
+  std::uint32_t compute_cap(Duration grace) const;
+
+  const Trace* trace_;
+  std::vector<RecordNote> notes_;
+  RecordNote initial_note_;
+  HandshakeFacts handshake_;
+  std::vector<SendEvent> sends_;
+  std::vector<AckEvent> acks_;
+  /// (grace, cap) pairs precomputed at construction; zero grace always
+  /// present.
+  std::vector<std::pair<Duration, std::uint32_t>> caps_;
+};
+
+}  // namespace tcpanaly::core

@@ -34,6 +34,18 @@ TimeTravelReport detect_time_travel(const Trace& trace) {
 
 namespace {
 
+/// Direction lookup shared by the detectors: per-record notes from a
+/// prebuilt annotation when one is available, the endpoint comparison
+/// otherwise. Lets every detector run off the same single-pass facts the
+/// analyzers consume.
+struct DirView {
+  const Trace& trace;
+  const AnnotatedTrace* ann = nullptr;
+  bool from_local(std::size_t i) const {
+    return ann ? ann->note(i).from_local : trace.is_from_local(trace[i]);
+  }
+};
+
 /// Content identity for duplicate matching: everything a filter-copied
 /// record shares with its twin.
 using SegKey = std::tuple<SeqNum, SeqNum, std::uint32_t, std::uint32_t, bool, bool, bool>;
@@ -58,10 +70,9 @@ double burst_rate(const std::vector<std::pair<TimePoint, std::uint32_t>>& pts) {
   return secs > 0.0 ? bytes / secs : 0.0;
 }
 
-}  // namespace
-
-DuplicationReport detect_measurement_duplicates(const Trace& trace,
-                                                const DuplicationOptions& opts) {
+DuplicationReport detect_measurement_duplicates_impl(const DirView& view,
+                                                     const DuplicationOptions& opts) {
+  const Trace& trace = view.trace;
   DuplicationReport report;
   // Unmatched earlier copies by content; a later identical record within
   // max_gap pairs with the earliest pending twin.
@@ -73,7 +84,7 @@ DuplicationReport detect_measurement_duplicates(const Trace& trace,
 
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const auto& rec = trace[i];
-    if (!trace.is_from_local(rec)) continue;
+    if (!view.from_local(i)) continue;
     if (rec.tcp.payload_len > 0) ++outbound_data;
     const SegKey key = seg_key(rec);
     auto it = pending.find(key);
@@ -101,8 +112,25 @@ DuplicationReport detect_measurement_duplicates(const Trace& trace,
   return report;
 }
 
+ResequencingReport detect_resequencing_impl(const DirView& view,
+                                            const ResequencingOptions& opts);
+FilterDropReport detect_filter_drops_impl(const DirView& view);
+
+}  // namespace
+
+DuplicationReport detect_measurement_duplicates(const Trace& trace,
+                                                const DuplicationOptions& opts) {
+  return detect_measurement_duplicates_impl({trace, nullptr}, opts);
+}
+
+DuplicationReport detect_measurement_duplicates(const AnnotatedTrace& ann,
+                                                const DuplicationOptions& opts) {
+  return detect_measurement_duplicates_impl({ann.trace(), &ann}, opts);
+}
+
 Trace strip_duplicates(const Trace& trace, const DuplicationReport& report) {
   Trace cleaned(trace.meta());
+  cleaned.reserve(trace.size() - report.duplicate_indices.size());
   std::size_t next = 0;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     if (next < report.duplicate_indices.size() && report.duplicate_indices[next] == i) {
@@ -116,8 +144,11 @@ Trace strip_duplicates(const Trace& trace, const DuplicationReport& report) {
 
 // ------------------------------------------------------------ resequencing
 
-ResequencingReport detect_resequencing(const Trace& trace,
-                                       const ResequencingOptions& opts) {
+namespace {
+
+ResequencingReport detect_resequencing_impl(const DirView& view,
+                                            const ResequencingOptions& opts) {
+  const Trace& trace = view.trace;
   ResequencingReport report;
   const bool sender_side = trace.meta().role == trace::LocalRole::kSender;
 
@@ -131,7 +162,7 @@ ResequencingReport detect_resequencing(const Trace& trace,
     std::optional<TimePoint> last_outbound_data;
     for (std::size_t i = 0; i < trace.size(); ++i) {
       const auto& rec = trace[i];
-      if (trace.is_from_local(rec)) {
+      if (view.from_local(i)) {
         if (rec.tcp.payload_len == 0) continue;
         const bool violates =
             have_ack && seq_gt(rec.tcp.seq_end(), last_ack + last_win);
@@ -143,7 +174,7 @@ ResequencingReport detect_resequencing(const Trace& trace,
         for (std::size_t j = i + 1; j < trace.size(); ++j) {
           const auto& nxt = trace[j];
           if (nxt.timestamp - rec.timestamp > opts.epsilon) break;
-          if (trace.is_from_local(nxt) || !nxt.tcp.flags.ack) continue;
+          if (view.from_local(j) || !nxt.tcp.flags.ack) continue;
           const bool repairs =
               seq_le(rec.tcp.seq_end(), nxt.tcp.ack + nxt.tcp.window);
           const bool advances = !have_ack || seq_gt(nxt.tcp.ack, last_ack);
@@ -167,7 +198,7 @@ ResequencingReport detect_resequencing(const Trace& trace,
     SeqNum max_arrived = 0;
     for (std::size_t i = 0; i < trace.size(); ++i) {
       const auto& rec = trace[i];
-      if (!trace.is_from_local(rec)) {
+      if (!view.from_local(i)) {
         if (rec.tcp.payload_len > 0 || rec.tcp.flags.syn) {
           const SeqNum end = rec.tcp.seq_end();
           if (!have_data || seq_gt(end, max_arrived)) max_arrived = end;
@@ -180,7 +211,7 @@ ResequencingReport detect_resequencing(const Trace& trace,
       for (std::size_t j = i + 1; j < trace.size(); ++j) {
         const auto& nxt = trace[j];
         if (nxt.timestamp - rec.timestamp > opts.epsilon) break;
-        if (trace.is_from_local(nxt) || nxt.tcp.payload_len == 0) continue;
+        if (view.from_local(j) || nxt.tcp.payload_len == 0) continue;
         if (!seq_gt(rec.tcp.ack, nxt.tcp.seq_end())) {
           report.instances.push_back(
               {i, ResequencingKind::kAckForDataNotYetArrived,
@@ -191,6 +222,18 @@ ResequencingReport detect_resequencing(const Trace& trace,
     }
   }
   return report;
+}
+
+}  // namespace
+
+ResequencingReport detect_resequencing(const Trace& trace,
+                                       const ResequencingOptions& opts) {
+  return detect_resequencing_impl({trace, nullptr}, opts);
+}
+
+ResequencingReport detect_resequencing(const AnnotatedTrace& ann,
+                                       const ResequencingOptions& opts) {
+  return detect_resequencing_impl({ann.trace(), &ann}, opts);
 }
 
 // ------------------------------------------------------------ filter drops
@@ -216,13 +259,16 @@ const char* to_string(DropCheck check) {
   return "?";
 }
 
-FilterDropReport detect_filter_drops(const Trace& trace) {
+namespace {
+
+FilterDropReport detect_filter_drops_impl(const DirView& view) {
+  const Trace& trace = view.trace;
   FilterDropReport report;
   const bool sender_side = trace.meta().role == trace::LocalRole::kSender;
 
   // To avoid double-counting resequencing as drops, pre-compute the
   // resequenced record set and skip window checks near those records.
-  auto reseq = detect_resequencing(trace);
+  auto reseq = detect_resequencing_impl(view, ResequencingOptions{});
 
   if (sender_side) {
     SeqIntervalSet sent;
@@ -236,7 +282,7 @@ FilterDropReport detect_filter_drops(const Trace& trace) {
 
     for (std::size_t i = 0; i < trace.size(); ++i) {
       const auto& rec = trace[i];
-      if (trace.is_from_local(rec)) {
+      if (view.from_local(i)) {
         const SeqNum begin = rec.tcp.seq;
         const SeqNum end = rec.tcp.seq_end();
         if (end != begin) {
@@ -308,7 +354,7 @@ FilterDropReport detect_filter_drops(const Trace& trace) {
 
     for (std::size_t i = 0; i < trace.size(); ++i) {
       const auto& rec = trace[i];
-      if (!trace.is_from_local(rec)) {
+      if (!view.from_local(i)) {
         if (rec.tcp.payload_len > 0) uncaused_dups = 0;
         const SeqNum begin = rec.tcp.seq;
         const SeqNum end = rec.tcp.seq_end();
@@ -355,6 +401,16 @@ FilterDropReport detect_filter_drops(const Trace& trace) {
     }
   }
   return report;
+}
+
+}  // namespace
+
+FilterDropReport detect_filter_drops(const Trace& trace) {
+  return detect_filter_drops_impl({trace, nullptr});
+}
+
+FilterDropReport detect_filter_drops(const AnnotatedTrace& ann) {
+  return detect_filter_drops_impl({ann.trace(), &ann});
 }
 
 FilterDropReport infer_drops_from_model(const Trace& trace,

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "tcp/profile.hpp"
 #include "trace/trace.hpp"
 
@@ -66,6 +67,11 @@ struct DuplicationOptions {
 DuplicationReport detect_measurement_duplicates(const Trace& trace,
                                                 const DuplicationOptions& opts = {});
 
+/// Same detector over a prebuilt annotation (record directions are read
+/// from the shared per-record notes instead of re-derived).
+DuplicationReport detect_measurement_duplicates(const AnnotatedTrace& ann,
+                                                const DuplicationOptions& opts = {});
+
 /// Remove the later copy of each duplicated record ("tcpanaly copes with
 /// measurement duplicates by discarding the later copy").
 Trace strip_duplicates(const Trace& trace, const DuplicationReport& report);
@@ -98,6 +104,8 @@ struct ResequencingReport {
 };
 
 ResequencingReport detect_resequencing(const Trace& trace,
+                                       const ResequencingOptions& opts = {});
+ResequencingReport detect_resequencing(const AnnotatedTrace& ann,
                                        const ResequencingOptions& opts = {});
 
 // ------------------------------------------------------------ filter drops
@@ -132,6 +140,7 @@ struct FilterDropReport {
 };
 
 FilterDropReport detect_filter_drops(const Trace& trace);
+FilterDropReport detect_filter_drops(const AnnotatedTrace& ann);
 
 /// The implementation-aware drop check (paper 3.1.1 / section 6): when a
 /// sender-side trace otherwise matches `profile` closely, its window

@@ -101,11 +101,18 @@ std::string MatchResult::render() const {
 MatchResult match_implementations(const trace::Trace& trace,
                                   const std::vector<tcp::TcpProfile>& candidates,
                                   const MatchOptions& opts) {
+  const AnnotatedTrace ann(trace, {opts.sender.vantage_grace});
+  return match_implementations(ann, candidates, opts);
+}
+
+MatchResult match_implementations(const AnnotatedTrace& ann,
+                                  const std::vector<tcp::TcpProfile>& candidates,
+                                  const MatchOptions& opts) {
   if (candidates.empty())
     throw std::invalid_argument(
         "match_implementations: empty candidate list (nothing to match)");
   MatchResult result;
-  result.role = trace.meta().role;
+  result.role = ann.trace().meta().role;
   // Candidates only read the shared trace; gather by input index so the
   // pre-sort order (and thus the stable sort) matches the serial path.
   result.fits = util::parallel_map(
@@ -116,11 +123,11 @@ MatchResult match_implementations(const trace::Trace& trace,
         fit.profile = profile;
         fit.role = result.role;
         if (result.role == trace::LocalRole::kSender) {
-          fit.sender = SenderAnalyzer(profile, opts.sender).analyze(trace);
+          fit.sender = SenderAnalyzer(profile, opts.sender).analyze(ann);
           fit.penalty = fit.sender.penalty();
           fit.fit = classify_sender(fit.sender, opts);
         } else {
-          fit.receiver = ReceiverAnalyzer(profile, opts.receiver).analyze(trace);
+          fit.receiver = ReceiverAnalyzer(profile, opts.receiver).analyze(ann);
           fit.penalty = fit.receiver.penalty();
           fit.fit = classify_receiver(fit.receiver);
         }

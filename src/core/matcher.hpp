@@ -69,7 +69,16 @@ struct MatchOptions {
 /// Run every candidate against the trace; the trace's meta role selects
 /// sender vs receiver analysis. Throws std::invalid_argument on an empty
 /// candidate list -- there is nothing to match and no best() to report.
+/// Builds one AnnotatedTrace internally and shares it across candidates.
 MatchResult match_implementations(const trace::Trace& trace,
+                                  const std::vector<tcp::TcpProfile>& candidates,
+                                  const MatchOptions& opts = {});
+
+/// Layer-2 matcher: run every candidate against a prebuilt annotation,
+/// shared read-only across the parallel candidate workers. `ann` should
+/// have been built with opts.sender.vantage_grace among its cap graces
+/// (any grace still works -- unlisted values are recomputed on demand).
+MatchResult match_implementations(const AnnotatedTrace& ann,
                                   const std::vector<tcp::TcpProfile>& candidates,
                                   const MatchOptions& opts = {});
 

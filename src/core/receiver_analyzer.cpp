@@ -42,6 +42,14 @@ ReceiverAnalyzer::ReceiverAnalyzer(tcp::TcpProfile profile, ReceiverAnalysisOpti
     : profile_(std::move(profile)), opts_(opts) {}
 
 ReceiverReport ReceiverAnalyzer::analyze(const Trace& trace) const {
+  return run(trace, nullptr);
+}
+
+ReceiverReport ReceiverAnalyzer::analyze(const AnnotatedTrace& ann) const {
+  return run(ann.trace(), &ann);
+}
+
+ReceiverReport ReceiverAnalyzer::run(const Trace& trace, const AnnotatedTrace* ann) const {
   ReceiverReport report;
 
   bool established = false;
@@ -72,7 +80,8 @@ ReceiverReport ReceiverAnalyzer::analyze(const Trace& trace) const {
 
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const PacketRecord& rec = trace[i];
-    if (!trace.is_from_local(rec)) {
+    const bool from_local = ann ? ann->note(i).from_local : trace.is_from_local(rec);
+    if (!from_local) {
       // ---- inbound: data from the remote sender ----
       if (rec.tcp.flags.syn) {
         if (rec.tcp.mss_option) mss = *rec.tcp.mss_option;

@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "tcp/profile.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
@@ -91,7 +92,15 @@ class ReceiverAnalyzer {
 
   ReceiverReport analyze(const Trace& trace) const;
 
+  /// Replay against a shared annotation. The receiver walk is profile-
+  /// dependent almost throughout (obligations hinge on the candidate ack
+  /// policy), so only the precomputed direction bits are reused -- but the
+  /// overload lets the matcher hand every worker the same object.
+  ReceiverReport analyze(const AnnotatedTrace& ann) const;
+
  private:
+  ReceiverReport run(const Trace& trace, const AnnotatedTrace* ann) const;
+
   tcp::TcpProfile profile_;
   ReceiverAnalysisOptions opts_;
 };

@@ -1,10 +1,8 @@
 #include "core/sender_analyzer.hpp"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 
 #include "tcp/window_model.hpp"
 
@@ -45,26 +43,18 @@ struct Liberation {
   TimePoint expires = TimePoint::infinite();
 };
 
-/// The complete, copyable replay state: branch probing (source-quench
-/// inference) snapshots this and runs both branches forward.
+/// Candidate-specific replay state -- everything that depends on the
+/// profile's window model. The trace-dependent cursor (handshake facts,
+/// snd_una/snd_max, offered window, record classification) lives in the
+/// shared AnnotatedTrace and is looked up by record index, so this struct
+/// stays small and cheap to copy: branch probing (source-quench inference)
+/// snapshots it and runs both branches forward.
 struct ReplayState {
   std::optional<tcp::WindowModel> model;
-  bool synack_had_mss = false;
-  bool established = false;
-  std::uint32_t mss = 536;
-  std::uint32_t offered_mss = 536;
-  std::uint32_t offered_window = 0;
-  std::uint32_t sender_window_cap = 0;  ///< 0 = uncapped (pass 1 fills this)
-
-  bool have_data = false;
-  SeqNum iss = 0;
-  SeqNum snd_una = 0;
-  SeqNum snd_max = 0;
 
   int dup_acks = 0;
   bool in_recovery = false;
   bool expect_fast_retx = false;  ///< dup-ack threshold hit; resend imminent
-  SeqNum recover = 0;
 
   /// Go-back-N refill epoch after a timeout or recovery-less fast
   /// retransmit: retransmissions riding new-ack liberations are expected.
@@ -72,8 +62,9 @@ struct ReplayState {
   SeqNum refill_until = 0;
 
   std::vector<Liberation> libs;
-  std::map<SeqNum, TimePoint> last_tx;  ///< per-segment last transmission
-  std::set<SeqNum> retransmitted;       ///< unacked retransmitted segment starts
+  /// Unacked retransmitted segment starts, kept sorted (flat set: the
+  /// population is window-bounded and snapshot copies dominate).
+  std::vector<SeqNum> retransmitted;
   bool last_ack_covered_retx = false;
   TimePoint last_new_ack_time = TimePoint::origin();
   bool saw_new_ack = false;
@@ -103,96 +94,60 @@ struct ReplayState {
 class Replayer {
  public:
   Replayer(const tcp::TcpProfile& profile, const SenderAnalysisOptions& opts,
-           const Trace& trace)
-      : profile_(profile), opts_(opts), trace_(trace) {}
+           const AnnotatedTrace& ann)
+      : profile_(profile),
+        opts_(opts),
+        ann_(ann),
+        may_probe_(opts.infer_source_quench && opts.max_quench_probes > 0 &&
+                   (profile.quench == tcp::QuenchResponse::kSlowStart ||
+                    profile.quench == tcp::QuenchResponse::kSlowStartCutSsthresh)) {}
 
   SenderReport run() {
     ReplayState state;
-    state.sender_window_cap =
-        opts_.infer_sender_window ? infer_sender_window_cap(opts_.vantage_grace) : 0;
+    sender_window_cap_ =
+        opts_.infer_sender_window ? ann_.sender_window_cap(opts_.vantage_grace) : 0;
     // The grace-lagged cap above bounds the liberation ceiling; the
     // *reported* inferred window uses the plain trace-order flight, which
     // is the tighter estimate of the actual buffer limit (and drives the
     // underuse detector).
     state.report.inferred_sender_window =
-        opts_.infer_sender_window ? infer_sender_window_cap(Duration::zero()) : 0;
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
+        opts_.infer_sender_window ? ann_.sender_window_cap(Duration::zero()) : 0;
+    // Reusable pre-record copy for the quench branch point: only profiles
+    // that respond to a quench with slow start can ever probe, and only
+    // while probes remain -- everyone else skips the copy entirely.
+    ReplayState scratch;
+    for (std::size_t i = 0; i < ann_.size(); ++i) {
       // If an underuse period starts at this record, the quench (if one
       // explains it) happened just BEFORE it -- keep the pre-record state
       // as the branch point for the probe.
-      const bool maybe_onset = !state.underuse_timing;
-      std::unique_ptr<ReplayState> prev;
-      if (maybe_onset) prev = std::make_unique<ReplayState>(state);
+      const bool maybe_onset = may_probe_ && !state.underuse_timing &&
+                               state.quench_probes < opts_.max_quench_probes;
+      if (maybe_onset) scratch = state;  // capacity-reusing copy
       step(state, i, /*probing=*/false);
       if (maybe_onset && state.underuse_timing) {
-        snapshot_ = std::move(prev);
+        snapshot_ = std::make_unique<ReplayState>(std::move(scratch));
         snapshot_index_ = i;
       }
     }
-    finalize(state);
     return std::move(state.report);
   }
 
  private:
-  /// Pass 1: the largest amount of data ever observed in flight. Used as
-  /// the sender-window cap in pass 2 (paper section 6.2).
-  ///
-  /// Vantage caveat: an ack record can precede sends the TCP released
-  /// before processing that ack, so charging flight against the newest
-  /// recorded ack UNDERstates the peak. Flight is therefore measured
-  /// against the newest ack at least a vantage-grace older than the send.
-  std::uint32_t infer_sender_window_cap(Duration grace) const {
-    bool have = false;
-    SeqNum smax = 0;
-    std::uint32_t peak = 0;
-    std::vector<std::pair<TimePoint, SeqNum>> acks;  // new-ack frontier history
-    SeqNum highest_ack = 0;
-    bool have_ack = false;
-    std::size_t lag = 0;  // index of first ack NOT yet safely processed
-    SeqNum una_lagged = 0;
-    for (const auto& rec : trace_.records()) {
-      if (trace_.is_from_local(rec)) {
-        const SeqNum end = rec.tcp.seq_end();
-        if (rec.tcp.payload_len == 0 && !rec.tcp.flags.syn && !rec.tcp.flags.fin) continue;
-        if (!have) {
-          smax = end;
-          una_lagged = rec.tcp.seq;
-          have = true;
-        } else if (seq_gt(end, smax)) {
-          smax = end;
-        }
-        while (lag < acks.size() &&
-               acks[lag].first + grace <= rec.timestamp) {
-          una_lagged = seq_gt(acks[lag].second, una_lagged) ? acks[lag].second : una_lagged;
-          ++lag;
-        }
-        peak = std::max(peak, static_cast<std::uint32_t>(seq_diff(smax, una_lagged)));
-      } else if (rec.tcp.flags.ack && have &&
-                 (!have_ack || seq_gt(rec.tcp.ack, highest_ack)) &&
-                 seq_le(rec.tcp.ack, smax)) {
-        highest_ack = rec.tcp.ack;
-        have_ack = true;
-        acks.emplace_back(rec.timestamp, rec.tcp.ack);
-      }
-    }
-    return peak;
-  }
-
-  std::uint32_t effective_window(const ReplayState& s) const {
-    std::uint32_t w = std::min(s.model->cwnd(), s.offered_window);
-    if (s.sender_window_cap > 0) w = std::min(w, s.sender_window_cap);
+  std::uint32_t effective_window(const ReplayState& s, const RecordNote& c) const {
+    std::uint32_t w = std::min(s.model->cwnd(), c.offered_window);
+    if (sender_window_cap_ > 0) w = std::min(w, sender_window_cap_);
     return w;
   }
 
-  void push_liberation(ReplayState& s, TimePoint when) {
+  void push_liberation(ReplayState& s, TimePoint when, const RecordNote& c) {
     // Sender-window inference (6.2): the cap is "in effect" if the
     // congestion and offered windows would have allowed at least a full
     // segment more than the peak in-flight the trace ever shows.
     if (s.report.inferred_sender_window > 0 && s.model &&
-        std::min(s.model->cwnd(), s.offered_window) >=
-            s.report.inferred_sender_window + s.mss)
+        std::min(s.model->cwnd(), c.offered_window) >=
+            s.report.inferred_sender_window + c.mss)
       s.report.sender_window_limited = true;
-    const SeqNum ceiling = s.snd_una + effective_window(s);
+    const SeqNum ceiling = c.snd_una + effective_window(s, c);
     // Prune liberations that have fully expired.
     std::erase_if(s.libs, [&](const Liberation& l) { return l.expires < when; });
     // When the ceiling drops (recovery exit, timeout, quench, shrunken
@@ -207,55 +162,48 @@ class Replayer {
     s.libs.push_back({when, ceiling, TimePoint::infinite()});
   }
 
-  void reset_liberations(ReplayState& s, TimePoint when) { push_liberation(s, when); }
+  void reset_liberations(ReplayState& s, TimePoint when, const RecordNote& c) {
+    push_liberation(s, when, c);
+  }
 
   void step(ReplayState& s, std::size_t index, bool probing) {
-    const PacketRecord& rec = trace_[index];
-    if (trace_.is_from_local(rec))
+    const PacketRecord& rec = ann_.trace()[index];
+    if (ann_.note(index).from_local)
       on_outbound(s, rec, index, probing);
     else
-      on_inbound(s, rec, index, probing);
+      on_inbound(s, rec, index);
   }
 
   void on_outbound(ReplayState& s, const PacketRecord& rec, std::size_t index,
                    bool probing) {
-    if (rec.tcp.flags.syn) {
-      s.iss = rec.tcp.seq;
-      if (rec.tcp.mss_option) s.offered_mss = *rec.tcp.mss_option;
+    const RecordNote& c = ann_.note(index);
+    // Handshake facts (ISS, offered MSS) and the established/payload
+    // gating were applied when the annotation was built.
+    if (c.kind != RecordKind::kNewData && c.kind != RecordKind::kRetransmission)
       return;
-    }
-    if (!s.established || rec.tcp.payload_len == 0) return;
-
-    const SeqNum end = rec.tcp.seq_end();
-    if (!s.have_data) {
-      s.have_data = true;
-      s.snd_max = rec.tcp.seq;  // new-data test below will extend it
-    }
 
     if (!s.timer_running) {
       s.timer_base = rec.timestamp;  // send into an empty pipe arms the timer
       s.timer_running = true;
     }
-    if (seq_ge(rec.tcp.seq, s.snd_max)) {
+    if (c.kind == RecordKind::kNewData) {
       if (s.underuse_pending) {
         // A sustained stretch where the model says several segments were
         // sendable but none went out. Either an unseen source quench (test
         // it) or an imperfect understanding of the TCP (penalize it).
         s.underuse_pending = false;
         ++s.report.lull_count;
-        if (!probing) maybe_probe_quench(s, rec, end, index);
+        if (!probing) maybe_probe_quench(s, index);
       }
-      on_new_data(s, rec, end, index);
-      s.snd_max = end;
+      on_new_data(s, rec, rec.tcp.seq_end(), c);
     } else {
-      on_retransmission(s, rec, index, probing);
+      on_retransmission(s, rec, index, c);
     }
-    s.last_tx[rec.tcp.seq] = rec.timestamp;
-    update_headroom(s, rec.timestamp, index, probing);
+    update_headroom(s, rec.timestamp, c);
   }
 
   void on_new_data(ReplayState& s, const PacketRecord& rec, SeqNum end,
-                   std::size_t index) {
+                   const RecordNote& c) {
     ++s.report.data_packets;
     // Find the earliest liberation whose ceiling covers this send. In the
     // single-liberation ablation (the paper's abandoned one-pass design),
@@ -278,14 +226,15 @@ class Replayer {
       // two), not a behavioral violation -- those show up at MSS scale.
       const SeqNum cur = s.libs.back().ceiling;
       if (seq_gt(end, cur) &&
-          static_cast<std::uint32_t>(seq_diff(end, cur)) < s.mss / 4) {
+          static_cast<std::uint32_t>(seq_diff(end, cur)) < c.mss / 4) {
         lib = &s.libs.back();
       }
     }
     if (lib == nullptr) {
-      const SeqNum cur = s.libs.empty() ? s.snd_una : s.libs.back().ceiling;
+      const SeqNum cur = s.libs.empty() ? c.snd_una : s.libs.back().ceiling;
       s.report.violations.push_back(
-          {index, end, static_cast<std::uint64_t>(std::max<std::int64_t>(0, seq_diff(end, cur))),
+          {ann_index_of(rec), end,
+           static_cast<std::uint64_t>(std::max<std::int64_t>(0, seq_diff(end, cur))),
            rec.timestamp});
       return;
     }
@@ -298,7 +247,7 @@ class Replayer {
   }
 
   void on_retransmission(ReplayState& s, const PacketRecord& rec, std::size_t index,
-                         bool probing) {
+                         const RecordNote& c) {
     ++s.report.data_packets;
     ++s.report.retransmissions;
 
@@ -312,10 +261,10 @@ class Replayer {
     // Fast retransmit: the window cut was already applied when the third
     // dup ack arrived (where the sender acts); the resend of the ack-point
     // segment is its visible signature.
-    if (s.expect_fast_retx && rec.tcp.seq == s.snd_una) {
+    if (s.expect_fast_retx && rec.tcp.seq == c.snd_una) {
       s.expect_fast_retx = false;
       ++s.report.fast_retransmit_events;
-      s.retransmitted.insert(rec.tcp.seq);
+      mark_retransmitted(s, rec.tcp.seq);
       return;
     }
 
@@ -330,7 +279,7 @@ class Replayer {
       ++s.report.flight_burst_events;
       s.burst_open = true;
       s.last_burst_time = rec.timestamp;
-      s.retransmitted.insert(rec.tcp.seq);
+      mark_retransmitted(s, rec.tcp.seq);
       s.dup_acks = 0;
       return;
     }
@@ -340,18 +289,18 @@ class Replayer {
 
     // Solaris quirk: resend of the packet just above a fresh ack that
     // covered retransmitted data; window state untouched.
-    if (profile_.solaris_retx_beyond_ack && rec.tcp.seq == s.snd_una && after_ack &&
+    if (profile_.solaris_retx_beyond_ack && rec.tcp.seq == c.snd_una && after_ack &&
         s.last_ack_covered_retx) {
       ++s.report.quirk_retransmissions;
-      s.retransmitted.insert(rec.tcp.seq);
+      mark_retransmitted(s, rec.tcp.seq);
       return;
     }
 
     // Go-back-N refill: inside a timeout epoch, resends ride liberations.
-    if (s.refill_epoch && after_ack && seq_ge(rec.tcp.seq, s.snd_una) &&
-        seq_le(rec.tcp.seq_end(), s.snd_una + effective_window(s))) {
+    if (s.refill_epoch && after_ack && seq_ge(rec.tcp.seq, c.snd_una) &&
+        seq_le(rec.tcp.seq_end(), c.snd_una + effective_window(s, c))) {
       s.report.response_delays.add(rec.timestamp - s.last_new_ack_time);
-      s.retransmitted.insert(rec.tcp.seq);
+      mark_retransmitted(s, rec.tcp.seq);
       return;
     }
 
@@ -368,39 +317,36 @@ class Replayer {
     ++s.report.timeout_events;
     s.timer_base = rec.timestamp;  // the timeout re-arms with backoff
     s.timer_running = true;
-    s.model->on_timeout(flight(s));
+    s.model->on_timeout(flight(s, c));
     if (profile_.clear_dupacks_on_timeout) s.dup_acks = 0;
     s.in_recovery = false;
     s.refill_epoch = true;
-    s.refill_until = s.snd_max;
-    s.retransmitted.insert(rec.tcp.seq);
+    s.refill_until = c.snd_max;
+    mark_retransmitted(s, rec.tcp.seq);
     if (profile_.retransmit_flight_on_rto) {
       s.burst_open = true;
       s.last_burst_time = rec.timestamp;
     }
-    reset_liberations(s, rec.timestamp);
-    (void)probing;
+    reset_liberations(s, rec.timestamp, c);
   }
 
-  void update_headroom(ReplayState& s, TimePoint now, std::size_t index, bool probing) {
-    if (!s.established || !s.have_data) return;
+  void update_headroom(ReplayState& s, TimePoint now, const RecordNote& c) {
+    if (!c.established || !c.have_data) return;
     // The TIGHT sender-window estimate applies here (the loose grace-lagged
     // cap exists to avoid false violations; for underuse it would leave a
     // phantom two-segment headroom on buffer-capped flows).
-    std::uint32_t w = std::min(s.model->cwnd(), s.offered_window);
+    std::uint32_t w = std::min(s.model->cwnd(), c.offered_window);
     if (s.report.inferred_sender_window > 0)
       w = std::min(w, s.report.inferred_sender_window);
-    const std::int64_t headroom = seq_diff(s.snd_una + w, s.snd_max);
+    const std::int64_t headroom = seq_diff(c.snd_una + w, c.snd_max);
     if (s.in_recovery || s.refill_epoch ||
-        headroom < 2 * static_cast<std::int64_t>(s.mss)) {
+        headroom < 2 * static_cast<std::int64_t>(c.mss)) {
       s.underuse_timing = false;
       return;
     }
     if (!s.underuse_timing) {
       s.underuse_timing = true;
       s.underuse_start = now;
-      (void)index;
-      (void)probing;
       return;
     }
     if (now - s.underuse_start >= opts_.underuse_threshold) {
@@ -409,102 +355,97 @@ class Replayer {
     }
   }
 
-  std::uint32_t flight(const ReplayState& s) const {
-    return std::min(s.model->cwnd(), s.offered_window);
+  std::uint32_t flight(const ReplayState& s, const RecordNote& c) const {
+    return std::min(s.model->cwnd(), c.offered_window);
   }
 
-  void on_inbound(ReplayState& s, const PacketRecord& rec, std::size_t index,
-                  bool probing) {
-    if (rec.tcp.flags.syn && rec.tcp.flags.ack) {
-      s.synack_had_mss = rec.tcp.mss_option.has_value();
-      s.mss = rec.tcp.mss_option
-                  ? std::min<std::uint32_t>(*rec.tcp.mss_option, s.offered_mss)
-                  : 536;
-      s.model.emplace(profile_, s.mss, kMssOptionBytes);
-      s.model->on_connection_established(s.synack_had_mss, s.offered_mss);
-      s.offered_window = rec.tcp.window;
-      s.snd_una = s.iss + 1;
-      s.snd_max = s.snd_una;
-      s.established = true;
+  void on_inbound(ReplayState& s, const PacketRecord& rec, std::size_t index) {
+    const RecordNote& c = ann_.note(index);
+    if (c.kind == RecordKind::kSynAck) {
+      s.model.emplace(profile_, c.mss, kMssOptionBytes);
+      s.model->on_connection_established(c.synack_had_mss, c.offered_mss);
       s.report.handshake_seen = true;
-      s.report.mss = s.mss;
-      push_liberation(s, rec.timestamp);
+      s.report.mss = c.mss;
+      push_liberation(s, rec.timestamp, c);
       return;
     }
-    if (!s.established || !rec.tcp.flags.ack) return;
+    if (c.kind == RecordKind::kIgnored) return;
     ++s.report.acks_seen;
     s.saw_any_ack = true;
     s.last_any_ack_time = rec.timestamp;
 
-    if (seq_gt(rec.tcp.ack, s.snd_una)) {
-      // New ack.
-      s.last_ack_covered_retx = covers_retransmitted(s, s.snd_una, rec.tcp.ack);
+    if (c.kind == RecordKind::kNewAck) {
+      const SeqNum prev_una = ann_.note_before(index).snd_una;
+      s.last_ack_covered_retx = covers_retransmitted(s, prev_una, rec.tcp.ack);
       if (s.in_recovery) {
-        s.model->on_recovery_exit(rec.tcp.ack == s.snd_max);
+        s.model->on_recovery_exit(rec.tcp.ack == c.snd_max);
         s.in_recovery = false;
       }
       s.dup_acks = 0;
       s.expect_fast_retx = false;
-      s.model->on_new_ack(static_cast<std::uint32_t>(seq_diff(rec.tcp.ack, s.snd_una)));
-      for (auto it = s.retransmitted.begin(); it != s.retransmitted.end();)
-        it = seq_lt(*it, rec.tcp.ack) ? s.retransmitted.erase(it) : std::next(it);
-      // Prune bookkeeping that can no longer matter, so the state stays
-      // small (it is snapshot-copied for underuse branch points):
-      // per-segment transmission times below the ack, and liberations whose
-      // ceiling can never cover a future send.
-      for (auto it = s.last_tx.begin(); it != s.last_tx.end();)
-        it = seq_lt(it->first, rec.tcp.ack) ? s.last_tx.erase(it) : std::next(it);
+      s.model->on_new_ack(static_cast<std::uint32_t>(seq_diff(rec.tcp.ack, prev_una)));
+      std::erase_if(s.retransmitted,
+                    [&](SeqNum r) { return seq_lt(r, rec.tcp.ack); });
+      // Prune liberations whose ceiling can no longer cover a future send,
+      // so the state stays small (it is snapshot-copied for underuse
+      // branch points).
       while (!s.libs.empty() && seq_le(s.libs.front().ceiling, rec.tcp.ack))
         s.libs.erase(s.libs.begin());
-      s.snd_una = rec.tcp.ack;
-      if (s.refill_epoch && seq_ge(s.snd_una, s.refill_until)) s.refill_epoch = false;
-      s.offered_window = rec.tcp.window;
+      if (s.refill_epoch && seq_ge(c.snd_una, s.refill_until)) s.refill_epoch = false;
       s.saw_new_ack = true;
       s.last_new_ack_time = rec.timestamp;
       s.timer_base = rec.timestamp;  // a new ack restarts the timer
-      s.timer_running = seq_lt(s.snd_una, s.snd_max);
-      push_liberation(s, rec.timestamp);
-      update_headroom(s, rec.timestamp, index, probing);
+      s.timer_running = seq_lt(c.snd_una, c.snd_max);
+      push_liberation(s, rec.timestamp, c);
+      update_headroom(s, rec.timestamp, c);
       return;
     }
-    const bool outstanding = seq_lt(s.snd_una, s.snd_max);
-    if (rec.tcp.ack == s.snd_una && rec.tcp.payload_len == 0 &&
-        rec.tcp.window == s.offered_window && outstanding && !rec.tcp.flags.fin) {
-      // Duplicate ack.
+    if (c.kind == RecordKind::kDupAck) {
       ++s.report.dup_acks_seen;
       ++s.dup_acks;
       if (profile_.has_fast_retransmit && s.dup_acks == profile_.dup_ack_threshold) {
         // The sender acts here: cut the window, retransmit the ack-point
         // segment (whose record we expect shortly), and enter recovery
         // (Reno) or refill (Tahoe lineage).
-        s.model->on_fast_retransmit(flight(s));
+        s.model->on_fast_retransmit(flight(s, c));
         s.expect_fast_retx = true;
         if (profile_.has_fast_recovery) {
           s.in_recovery = true;
-          s.recover = s.snd_max;
         } else {
           s.refill_epoch = true;
-          s.refill_until = s.snd_max;
+          s.refill_until = c.snd_max;
         }
-        reset_liberations(s, rec.timestamp);
+        reset_liberations(s, rec.timestamp, c);
       } else if (s.in_recovery && s.dup_acks > profile_.dup_ack_threshold) {
         s.model->on_dup_ack_in_recovery();
-        push_liberation(s, rec.timestamp);
+        push_liberation(s, rec.timestamp, c);
       } else {
         s.model->on_dup_ack_below_threshold();
-        if (profile_.dupack_updates_cwnd) push_liberation(s, rec.timestamp);
+        if (profile_.dupack_updates_cwnd) push_liberation(s, rec.timestamp, c);
       }
       return;
     }
-    // Window update / stale ack.
-    s.offered_window = rec.tcp.window;
-    push_liberation(s, rec.timestamp);
+    // Window update / stale ack (the annotation's cursor tracks the new
+    // offered window).
+    push_liberation(s, rec.timestamp, c);
+  }
+
+  static void mark_retransmitted(ReplayState& s, SeqNum seq) {
+    auto it = std::lower_bound(s.retransmitted.begin(), s.retransmitted.end(), seq);
+    if (it == s.retransmitted.end() || *it != seq) s.retransmitted.insert(it, seq);
   }
 
   bool covers_retransmitted(const ReplayState& s, SeqNum from, SeqNum to) const {
     for (SeqNum r : s.retransmitted)
       if (seq_ge(r, from) && seq_lt(r, to)) return true;
     return false;
+  }
+
+  /// The record index a violation reports. on_new_data receives the record
+  /// by reference from the shared trace, so the index is recoverable by
+  /// pointer arithmetic against the records array.
+  std::size_t ann_index_of(const PacketRecord& rec) const {
+    return static_cast<std::size_t>(&rec - ann_.trace().records().data());
   }
 
   /// Source-quench inference (6.2): a sustained stretch of unexercised
@@ -514,27 +455,24 @@ class Replayer {
   /// between the ack and the data packet, then the trace is consistent
   /// with an unseen source quench". The analysis does not work for Linux
   /// 1.0, which merely decrements cwnd (also the paper's caveat).
-  void maybe_probe_quench(ReplayState& s, const PacketRecord& rec, SeqNum end,
-                          std::size_t index) {
-    if (!opts_.infer_source_quench) return;
-    if (profile_.quench != tcp::QuenchResponse::kSlowStart &&
-        profile_.quench != tcp::QuenchResponse::kSlowStartCutSsthresh)
-      return;
+  void maybe_probe_quench(ReplayState& s, std::size_t index) {
+    if (!may_probe_) return;
     if (s.quench_probes >= opts_.max_quench_probes) return;
     if (!snapshot_ || snapshot_index_ > index) return;
-    (void)end;
-    (void)rec;
     ++s.quench_probes;
 
     const double p0 = snapshot_->report.penalty();
     ReplayState branch = *snapshot_;
-    branch.model->on_source_quench(flight(branch));
-    reset_liberations(branch, branch.libs.empty() ? trace_[snapshot_index_].timestamp
-                                                   : branch.libs.back().when);
+    const RecordNote& at_branch = ann_.note_before(snapshot_index_);
+    branch.model->on_source_quench(flight(branch, at_branch));
+    reset_liberations(branch,
+                      branch.libs.empty() ? ann_.trace()[snapshot_index_].timestamp
+                                          : branch.libs.back().when,
+                      at_branch);
     for (std::size_t i = snapshot_index_; i < index; ++i) step(branch, i, /*probing=*/true);
     ReplayState branch_at_index = branch;
 
-    const std::size_t horizon = std::min(trace_.size(), index + opts_.probe_horizon);
+    const std::size_t horizon = std::min(ann_.size(), index + opts_.probe_horizon);
     for (std::size_t i = index; i < horizon; ++i) step(branch, i, /*probing=*/true);
     const double branch_pen = branch.report.penalty() - p0;
 
@@ -551,13 +489,15 @@ class Replayer {
     }
   }
 
-
-
-  void finalize(ReplayState& /*s*/) {}
-
   tcp::TcpProfile profile_;
   SenderAnalysisOptions opts_;
-  const Trace& trace_;
+  const AnnotatedTrace& ann_;
+  /// Grace-lagged sender-window cap bounding liberation ceilings; constant
+  /// through the replay (from the shared annotation), so not ReplayState.
+  std::uint32_t sender_window_cap_ = 0;
+  /// Whether this profile/options combination can ever branch-probe a
+  /// source quench; when false, no pre-record snapshots are kept at all.
+  const bool may_probe_;
   /// Snapshot of the replay state at the onset of the current underuse
   /// period (quench-probe branch point).
   std::unique_ptr<ReplayState> snapshot_;
@@ -573,7 +513,7 @@ double SenderReport::penalty() const {
          10.0 * response_delays.raw().sum();
 }
 
-std::uint32_t infer_initial_ssthresh(const Trace& trace, tcp::TcpProfile base,
+std::uint32_t infer_initial_ssthresh(const AnnotatedTrace& ann, tcp::TcpProfile base,
                                      const SenderAnalysisOptions& opts) {
   // Candidate initial ssthresh values, in segments (0 = unbounded). The
   // replay penalty is sharply better at the true value: too low predicts
@@ -587,7 +527,7 @@ std::uint32_t infer_initial_ssthresh(const Trace& trace, tcp::TcpProfile base,
   bool first = true;
   for (std::uint32_t segments : kCandidates) {
     base.initial_ssthresh_segments = segments;
-    SenderReport rep = SenderAnalyzer(base, sweep_opts).analyze(trace);
+    SenderReport rep = SenderAnalyzer(base, sweep_opts).analyze(ann);
     const double penalty = rep.penalty();
     if (first || penalty < best_penalty - 1e-9) {
       best_penalty = penalty;
@@ -598,11 +538,22 @@ std::uint32_t infer_initial_ssthresh(const Trace& trace, tcp::TcpProfile base,
   return best;
 }
 
+std::uint32_t infer_initial_ssthresh(const Trace& trace, tcp::TcpProfile base,
+                                     const SenderAnalysisOptions& opts) {
+  const AnnotatedTrace ann(trace, {opts.vantage_grace});
+  return infer_initial_ssthresh(ann, std::move(base), opts);
+}
+
 SenderAnalyzer::SenderAnalyzer(tcp::TcpProfile profile, SenderAnalysisOptions opts)
     : profile_(std::move(profile)), opts_(opts) {}
 
 SenderReport SenderAnalyzer::analyze(const Trace& trace) const {
-  Replayer replayer(profile_, opts_, trace);
+  const AnnotatedTrace ann(trace, {opts_.vantage_grace});
+  return analyze(ann);
+}
+
+SenderReport SenderAnalyzer::analyze(const AnnotatedTrace& ann) const {
+  Replayer replayer(profile_, opts_, ann);
   return replayer.run();
 }
 

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "tcp/profile.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
@@ -119,12 +120,23 @@ struct SenderReport {
 std::uint32_t infer_initial_ssthresh(const Trace& trace, tcp::TcpProfile base,
                                      const SenderAnalysisOptions& opts = {});
 
+/// As above, but over a prebuilt annotation (the sweep replays the trace
+/// once per candidate ssthresh; the trace-dependent facts are shared).
+std::uint32_t infer_initial_ssthresh(const AnnotatedTrace& ann, tcp::TcpProfile base,
+                                     const SenderAnalysisOptions& opts = {});
+
 class SenderAnalyzer {
  public:
   explicit SenderAnalyzer(tcp::TcpProfile profile, SenderAnalysisOptions opts = {});
 
   /// Analyze a sender-side trace against this analyzer's profile.
+  /// Builds a throwaway annotation; callers replaying several candidates
+  /// should build one AnnotatedTrace and use the overload below.
   SenderReport analyze(const Trace& trace) const;
+
+  /// Layer-2 entry point: replay against a shared, read-only annotation.
+  /// Thread-safe with respect to `ann` (const access only).
+  SenderReport analyze(const AnnotatedTrace& ann) const;
 
  private:
   tcp::TcpProfile profile_;

@@ -60,20 +60,18 @@ Json AnalysisReport::to_json() const {
   return doc;
 }
 
-trace::Trace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
-                          const std::vector<tcp::TcpProfile>& candidates,
-                          const core::MatchOptions& opts, bool run_match) {
-  trace::Trace cleaned;
-  {
-    auto scope = doc.timings.stage("calibrate");
-    doc.calibration = core::calibrate(trace);
-    cleaned = doc.calibration->duplication.duplicate_indices.empty()
-                  ? trace
-                  : core::strip_duplicates(trace, doc.calibration->duplication);
-    scope.counter("records", trace.size());
-    scope.counter("stripped_duplicates",
-                  doc.calibration->duplication.duplicate_indices.size());
-  }
+core::CleanedTrace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
+                                const std::vector<tcp::TcpProfile>& candidates,
+                                const core::MatchOptions& opts, bool run_match) {
+  // Annotate + calibrate through the core facade (one shared layer-1
+  // annotation); matching is deferred below so the summarize/conformance
+  // stages keep their place in the timing sequence.
+  core::AnalyzeOptions aopts;
+  aopts.match = opts;
+  aopts.run_match = false;
+  core::TraceAnalysis analysis =
+      core::analyze_trace(trace, candidates, aopts, &doc.timings);
+  doc.calibration = std::move(analysis.calibration);
   {
     auto scope = doc.timings.stage("summarize");
     doc.summary = core::summarize(trace);
@@ -86,13 +84,14 @@ trace::Trace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
   if (run_match) {
     {
       auto scope = doc.timings.stage("match");
-      doc.match = core::match_implementations(cleaned, candidates, opts);
+      doc.match =
+          core::match_implementations(*analysis.annotation, candidates, opts);
       scope.counter("candidates", candidates.size());
     }
     for (const auto& fit : doc.match->fits)
       doc.timings.add("match:" + fit.profile.name, fit.analysis_wall);
   }
-  return cleaned;
+  return analysis.cleaned;
 }
 
 Json BatchTraceRecord::to_json() const {

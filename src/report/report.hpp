@@ -28,11 +28,11 @@
 
 namespace tcpanaly::report {
 
-inline constexpr int kSchemaVersion = 1;
+inline constexpr int kSchemaVersion = 2;
 inline constexpr const char* kToolName = "tcpanaly";
-inline constexpr const char* kToolVersion = "0.2.0";
+inline constexpr const char* kToolVersion = "0.3.0";
 
-/// What `tcpanaly --version` prints: "tcpanaly 0.2.0 (report schema 1)".
+/// What `tcpanaly --version` prints: "tcpanaly 0.3.0 (report schema 2)".
 std::string version_line();
 
 /// {schema_version, tool: {name, version}, type} -- the opening members of
@@ -69,15 +69,17 @@ struct AnalysisReport {
   Json to_json() const;
 };
 
-/// Run the single-trace pipeline (calibrate -> summarize -> conformance ->
-/// match) over an already-loaded trace, recording per-stage timings into
-/// `doc.timings` and the results into `doc`. Returns the cleaned trace the
-/// matcher actually analyzed (measurement duplicates stripped), which
+/// Run the single-trace pipeline (annotate -> calibrate -> summarize ->
+/// conformance -> match) over an already-loaded trace, recording per-stage
+/// timings into `doc.timings` and the results into `doc`. Returns the
+/// cleaned view the matcher actually analyzed (aliasing `trace` unless
+/// measurement duplicates were stripped -- `trace` must outlive it), which
 /// callers need for --strip-duplicates / --report follow-ups. Skips the
 /// matcher when `run_match` is false (--calibrate-only).
-trace::Trace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
-                          const std::vector<tcp::TcpProfile>& candidates,
-                          const core::MatchOptions& opts = {}, bool run_match = true);
+core::CleanedTrace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
+                                const std::vector<tcp::TcpProfile>& candidates,
+                                const core::MatchOptions& opts = {},
+                                bool run_match = true);
 
 /// One NDJSON row of `--batch --json`.
 struct BatchTraceRecord {

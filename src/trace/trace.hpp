@@ -36,6 +36,7 @@ class Trace {
   TraceMeta& meta() { return meta_; }
 
   void push_back(PacketRecord rec) { records_.push_back(std::move(rec)); }
+  void reserve(std::size_t n) { records_.reserve(n); }
 
   const std::vector<PacketRecord>& records() const { return records_; }
   std::vector<PacketRecord>& records() { return records_; }

@@ -1,0 +1,253 @@
+// Two-layer pipeline equivalence (the refactor's hard guarantee): the
+// shared-annotation path must reproduce the legacy per-candidate path
+// bit-for-bit. Digests retained from the pre-refactor pipeline:
+//
+//   * the O(n*w) sender-window-cap scan the replayer used to run twice
+//     per candidate, copied here verbatim as the reference;
+//   * per-candidate analyzers fed the raw Trace (each building its own
+//     throwaway annotation), compared against the matcher's shared one;
+//   * calibrate(Trace), compared against analyze_trace's detector runs
+//     over the shared annotation.
+//
+// Everything is compared through the report JSON (full field-by-field
+// digests), not just penalties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "core/annotations.hpp"
+#include "core/json_convert.hpp"
+#include "core/matcher.hpp"
+#include "corpus/corpus.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+using trace::seq_diff;
+using trace::seq_gt;
+using trace::seq_le;
+using trace::SeqNum;
+using trace::Trace;
+using util::Duration;
+using util::TimePoint;
+
+/// The pre-refactor Replayer::infer_sender_window_cap, verbatim: for each
+/// qualifying send, the newest ack at least `grace` older than the send is
+/// found by walking the ack-frontier history collected so far.
+std::uint32_t legacy_window_cap(const Trace& trace, Duration grace) {
+  bool have = false;
+  SeqNum smax = 0;
+  std::uint32_t peak = 0;
+  std::vector<std::pair<TimePoint, SeqNum>> acks;  // new-ack frontier history
+  SeqNum highest_ack = 0;
+  bool have_ack = false;
+  std::size_t lag = 0;  // index of first ack NOT yet safely processed
+  SeqNum una_lagged = 0;
+  for (const auto& rec : trace.records()) {
+    if (trace.is_from_local(rec)) {
+      const SeqNum end = rec.tcp.seq_end();
+      if (rec.tcp.payload_len == 0 && !rec.tcp.flags.syn && !rec.tcp.flags.fin) continue;
+      if (!have) {
+        smax = end;
+        una_lagged = rec.tcp.seq;
+        have = true;
+      } else if (seq_gt(end, smax)) {
+        smax = end;
+      }
+      while (lag < acks.size() && acks[lag].first + grace <= rec.timestamp) {
+        una_lagged = seq_gt(acks[lag].second, una_lagged) ? acks[lag].second : una_lagged;
+        ++lag;
+      }
+      peak = std::max(peak, static_cast<std::uint32_t>(seq_diff(smax, una_lagged)));
+    } else if (rec.tcp.flags.ack && have &&
+               (!have_ack || seq_gt(rec.tcp.ack, highest_ack)) &&
+               seq_le(rec.tcp.ack, smax)) {
+      highest_ack = rec.tcp.ack;
+      have_ack = true;
+      acks.emplace_back(rec.timestamp, rec.tcp.ack);
+    }
+  }
+  return peak;
+}
+
+tcp::SessionResult scenario(const char* impl, double loss, std::int64_t delay_ms,
+                            std::uint64_t seed, std::size_t bytes = 64 * 1024) {
+  corpus::ScenarioParams p;
+  p.loss_prob = loss;
+  p.one_way_delay = Duration::millis(delay_ms);
+  p.transfer_bytes = bytes;
+  p.seed = seed;
+  return tcp::run_session(corpus::make_session(*tcp::find_profile(impl), p));
+}
+
+std::string dump(const report::Json& j) { return j.dump(); }
+
+TEST(PipelineEquivalence, AnnotationCapMatchesLegacyScanAcrossGraces) {
+  const tcp::SessionResult runs[] = {
+      scenario("Generic Reno", 0.02, 20, 17),
+      scenario("Linux 1.0", 0.02, 20, 17),
+      scenario("Solaris 2.4", 0.0, 340, 9),
+      scenario("Generic Tahoe", 0.05, 60, 3),
+  };
+  const Duration graces[] = {Duration::zero(), Duration::millis(5),
+                             Duration::millis(30), Duration::millis(800)};
+  for (const auto& r : runs) {
+    const AnnotatedTrace ann(r.sender_trace, {Duration::millis(30)});
+    for (Duration g : graces) {
+      EXPECT_EQ(ann.sender_window_cap(g), legacy_window_cap(r.sender_trace, g));
+    }
+  }
+}
+
+TEST(PipelineEquivalence, SharedAnnotationFitsMatchPerCandidateReplays) {
+  auto r = scenario("Generic Reno", 0.02, 20, 17, 128 * 1024);
+  const auto candidates = tcp::all_profiles();
+  MatchOptions mopts;
+  mopts.jobs = 1;
+
+  const AnnotatedTrace ann(r.sender_trace, {mopts.sender.vantage_grace});
+  const MatchResult shared = match_implementations(ann, candidates, mopts);
+  ASSERT_EQ(shared.fits.size(), candidates.size());
+  for (const auto& fit : shared.fits) {
+    // Legacy path: the candidate re-derives every trace fact for itself.
+    SenderReport fresh =
+        SenderAnalyzer(fit.profile, mopts.sender).analyze(r.sender_trace);
+    EXPECT_EQ(dump(to_json(fit.sender)), dump(to_json(fresh)))
+        << "candidate " << fit.profile.name;
+    EXPECT_DOUBLE_EQ(fit.penalty, fresh.penalty());
+  }
+}
+
+TEST(PipelineEquivalence, ReceiverSideSharedAnnotationMatches) {
+  auto r = scenario("Solaris 2.4", 0.02, 20, 11);
+  const auto candidates = tcp::all_profiles();
+  MatchOptions mopts;
+  mopts.jobs = 1;
+  const AnnotatedTrace ann(r.receiver_trace, {mopts.sender.vantage_grace});
+  const MatchResult shared = match_implementations(ann, candidates, mopts);
+  for (const auto& fit : shared.fits) {
+    ReceiverReport fresh =
+        ReceiverAnalyzer(fit.profile, mopts.receiver).analyze(r.receiver_trace);
+    EXPECT_EQ(dump(to_json(fit.receiver)), dump(to_json(fresh)))
+        << "candidate " << fit.profile.name;
+  }
+}
+
+TEST(PipelineEquivalence, SerialAndParallelMatchingIdentical) {
+  auto r = scenario("Generic Reno", 0.02, 20, 5);
+  MatchOptions serial, parallel;
+  serial.jobs = 1;
+  parallel.jobs = 4;
+  const MatchResult a = match_implementations(r.sender_trace, tcp::all_profiles(), serial);
+  const MatchResult b =
+      match_implementations(r.sender_trace, tcp::all_profiles(), parallel);
+  ASSERT_EQ(a.fits.size(), b.fits.size());
+  for (std::size_t i = 0; i < a.fits.size(); ++i) {
+    EXPECT_EQ(a.fits[i].profile.name, b.fits[i].profile.name);
+    EXPECT_EQ(a.fits[i].fit, b.fits[i].fit);
+    // analysis_wall legitimately differs; the reports may not.
+    EXPECT_EQ(dump(to_json(a.fits[i].sender)), dump(to_json(b.fits[i].sender)));
+  }
+}
+
+TEST(PipelineEquivalence, CorpusFitsAndCalibrationMatchLegacyPath) {
+  corpus::CorpusOptions copts;
+  copts.seeds_per_cell = 1;
+  copts.loss_probs = {0.0, 0.02};
+  copts.one_way_delays = {Duration::millis(20)};
+  MatchOptions mopts;
+  mopts.jobs = 1;
+  for (const char* impl : {"Generic Reno", "Linux 1.0"}) {
+    for (const auto& entry :
+         corpus::generate_corpus(*tcp::find_profile(impl), copts)) {
+      if (!entry.result.completed) continue;
+      const Trace& tr = entry.result.sender_trace;
+      TraceAnalysis analysis = analyze_trace(tr, tcp::all_profiles(), mopts);
+
+      // Calibration: identical to the retained legacy aggregate.
+      CalibrationReport legacy = calibrate(tr);
+      EXPECT_EQ(analysis.calibration.summary(), legacy.summary());
+      EXPECT_EQ(dump(to_json(analysis.calibration)), dump(to_json(legacy)));
+
+      // Matching: identical to the legacy clean-then-match sequence.
+      const MatchResult legacy_match = match_implementations(
+          legacy.duplication.duplicate_indices.empty()
+              ? tr
+              : strip_duplicates(tr, legacy.duplication),
+          tcp::all_profiles(), mopts);
+      ASSERT_EQ(analysis.match.fits.size(), legacy_match.fits.size());
+      for (std::size_t i = 0; i < analysis.match.fits.size(); ++i) {
+        EXPECT_EQ(analysis.match.fits[i].profile.name,
+                  legacy_match.fits[i].profile.name);
+        EXPECT_DOUBLE_EQ(analysis.match.fits[i].penalty,
+                         legacy_match.fits[i].penalty);
+        EXPECT_EQ(analysis.match.fits[i].fit, legacy_match.fits[i].fit);
+      }
+    }
+  }
+}
+
+TEST(PipelineEquivalence, AnnotateStageAppearsExactlyOnce) {
+  auto r = scenario("Generic Reno", 0.01, 20, 7);
+  util::StageTimer timer;
+  analyze_trace(r.sender_trace, tcp::all_profiles(), MatchOptions{}, &timer);
+  std::size_t annotate_stages = 0;
+  for (const auto& stage : timer.stages())
+    if (stage.name == "annotate") ++annotate_stages;
+  EXPECT_EQ(annotate_stages, 1u);
+}
+
+TEST(PipelineEquivalence, CleanedTraceAliasesInputWhenNothingStripped) {
+  auto r = scenario("Generic Reno", 0.01, 20, 7);
+  TraceAnalysis analysis = analyze_trace(r.sender_trace);
+  EXPECT_FALSE(analysis.cleaned.owns_copy());
+  EXPECT_EQ(&analysis.cleaned.get(), &r.sender_trace);
+  EXPECT_EQ(analysis.cleaned.size(), r.sender_trace.size());
+}
+
+TEST(PipelineEquivalence, DuplicatedTraceStripsOnceAndMatchesLegacyPath) {
+  // Double every outbound record (filter-added later copy at the same
+  // timestamp), as the IRIX artifact does. Loss-free so content pairs are
+  // unambiguous.
+  auto r = scenario("Generic Reno", 0.0, 20, 7);
+  Trace doubled(r.sender_trace.meta());
+  for (std::size_t i = 0; i < r.sender_trace.size(); ++i) {
+    const auto& rec = r.sender_trace[i];
+    doubled.push_back(rec);
+    if (r.sender_trace.is_from_local(rec)) doubled.push_back(rec);
+  }
+
+  MatchOptions mopts;
+  mopts.jobs = 1;
+  TraceAnalysis analysis = analyze_trace(doubled, tcp::all_profiles(), mopts);
+  ASSERT_FALSE(analysis.calibration.duplication.duplicate_indices.empty());
+  EXPECT_TRUE(analysis.cleaned.owns_copy());
+  EXPECT_LT(analysis.cleaned.size(), doubled.size());
+
+  CalibrationReport legacy = calibrate(doubled);
+  EXPECT_EQ(analysis.calibration.summary(), legacy.summary());
+  Trace stripped = strip_duplicates(doubled, legacy.duplication);
+  EXPECT_EQ(analysis.cleaned.size(), stripped.size());
+  const MatchResult legacy_match =
+      match_implementations(stripped, tcp::all_profiles(), mopts);
+  ASSERT_EQ(analysis.match.fits.size(), legacy_match.fits.size());
+  for (std::size_t i = 0; i < analysis.match.fits.size(); ++i) {
+    EXPECT_EQ(analysis.match.fits[i].profile.name, legacy_match.fits[i].profile.name);
+    EXPECT_DOUBLE_EQ(analysis.match.fits[i].penalty, legacy_match.fits[i].penalty);
+  }
+}
+
+TEST(PipelineEquivalence, SsthreshInferenceMatchesAcrossOverloads) {
+  auto r = scenario("Generic Reno", 0.02, 20, 17);
+  auto profile = *tcp::find_profile("Generic Reno");
+  SenderAnalysisOptions opts;
+  const AnnotatedTrace ann(r.sender_trace, {opts.vantage_grace});
+  EXPECT_EQ(infer_initial_ssthresh(r.sender_trace, profile, opts),
+            infer_initial_ssthresh(ann, profile, opts));
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

@@ -425,7 +425,7 @@ int run_single(const CliOptions& o, const std::vector<tcp::TcpProfile>& candidat
   }
 
   core::MatchOptions mopts;
-  trace::Trace cleaned =
+  core::CleanedTrace cleaned =
       report::run_analysis(doc, loaded.trace, candidates, mopts,
                            /*run_match=*/!o.calibrate_only);
 
@@ -471,11 +471,12 @@ int run_single(const CliOptions& o, const std::vector<tcp::TcpProfile>& candidat
     }
   }
   if (!o.strip_out.empty()) {
-    trace::Trace stripped =
-        core::strip_duplicates(loaded.trace, doc.calibration->duplication);
-    trace::write_pcap_file(o.strip_out, stripped);
+    // The analyze layer already stripped duplicates into `cleaned` (which
+    // merely aliases the input when there were none) -- write that view
+    // instead of re-running the strip here.
+    trace::write_pcap_file(o.strip_out, cleaned.get());
     if (!quiet)
-      std::printf("wrote deduplicated trace (%zu records) to %s\n\n", stripped.size(),
+      std::printf("wrote deduplicated trace (%zu records) to %s\n\n", cleaned.size(),
                   o.strip_out.c_str());
   }
   if (o.calibrate_only) return emit(doc.calibration->trustworthy() ? 0 : 3);
@@ -492,10 +493,11 @@ int run_single(const CliOptions& o, const std::vector<tcp::TcpProfile>& candidat
     if (!quiet) {
       std::printf("== detailed report: %s ==\n", o.report_name.c_str());
       if (o.receiver_side) {
-        print_receiver_report(core::ReceiverAnalyzer(*profile).analyze(cleaned));
+        print_receiver_report(core::ReceiverAnalyzer(*profile).analyze(cleaned.get()));
       } else {
-        print_sender_report(core::SenderAnalyzer(*profile).analyze(cleaned));
-        const std::uint32_t ssthresh = core::infer_initial_ssthresh(cleaned, *profile);
+        print_sender_report(core::SenderAnalyzer(*profile).analyze(cleaned.get()));
+        const std::uint32_t ssthresh =
+            core::infer_initial_ssthresh(cleaned.get(), *profile);
         std::printf("  inferred initial ssthresh: %s\n",
                     ssthresh == 0 ? "effectively unbounded"
                                   : (std::to_string(ssthresh) + " segment(s)").c_str());
