@@ -1,0 +1,241 @@
+// Streaming vs materialized ingestion: the bounded-memory claim, measured.
+//
+// A large retransmission-free bulk transfer is written to a pcap file,
+// then analyzed two ways:
+//
+//   * materialized: read_pcap_file builds the whole record vector, then
+//     the offline pipeline (AnnotatedTrace + the section-3 calibration
+//     detectors) runs over it -- peak logical footprint grows with the
+//     trace;
+//   * streaming: open_capture_source feeds a kBounded AnnotationBuilder
+//     record by record -- nothing per-record is retained, so the peak is
+//     set by the epsilon-scale detector windows, not the trace length.
+//
+// Both paths must reach identical conclusions (diff_stream_summary is the
+// oracle); given that, the interesting numbers are wall clock and peak
+// logical bytes at 1 worker and at 8 concurrent workers (the batch
+// engine's shape). scripts/tier1.sh gates on the streaming path keeping a
+// >= 4x peak-footprint reduction; bench/results/stream_ingest.json keeps
+// the reference numbers.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "core/calibration.hpp"
+#include "core/stream_analysis.hpp"
+#include "corpus/corpus.hpp"
+#include "report/report.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "trace/pcap_io.hpp"
+#include "trace/record_source.hpp"
+#include "util/mem_tracker.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+using report::Json;
+
+namespace {
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Logical bytes the materialized pipeline holds at its peak: the full
+/// record vector plus the annotation's per-record note and its cap-event
+/// index. Counted the same way the builder's MemTracker counts itself.
+std::uint64_t materialized_bytes(const trace::Trace& tr, const core::AnnotatedTrace& ann) {
+  return tr.size() * sizeof(trace::PacketRecord) +
+         ann.size() * sizeof(core::RecordNote) +
+         ann.send_events().size() * sizeof(core::SendEvent) +
+         ann.ack_frontier().size() * sizeof(core::AckEvent);
+}
+
+struct Leg {
+  double wall_ms = 0.0;
+  std::uint64_t peak_bytes = 0;
+};
+
+/// `jobs` concurrent materialized analyses of the same file; a shared
+/// tracker sees every worker's footprint so the peak reflects what a batch
+/// run at this width would actually hold at once.
+Leg run_materialized(const std::string& path, int jobs) {
+  util::MemTracker mem;
+  std::vector<int> lanes(static_cast<std::size_t>(jobs));
+  Leg leg;
+  leg.wall_ms = wall_ms([&] {
+    util::parallel_map(
+        lanes,
+        [&](int) {
+          const trace::PcapReadResult loaded = trace::read_pcap_file(path);
+          const core::AnnotatedTrace ann(loaded.trace, {util::Duration::millis(30)});
+          mem.add(materialized_bytes(loaded.trace, ann));
+          (void)core::detect_time_travel(loaded.trace);
+          (void)core::detect_measurement_duplicates(ann);
+          (void)core::detect_resequencing(ann);
+          (void)core::detect_filter_drops(ann);
+          mem.sub(materialized_bytes(loaded.trace, ann));
+          return 0;
+        },
+        jobs);
+  });
+  leg.peak_bytes = mem.peak();
+  return leg;
+}
+
+/// Same shape, streaming: every worker pulls the file through a kBounded
+/// builder reporting into the shared tracker.
+Leg run_streaming(const std::string& path, int jobs) {
+  util::MemTracker mem;
+  std::vector<int> lanes(static_cast<std::size_t>(jobs));
+  Leg leg;
+  leg.wall_ms = wall_ms([&] {
+    util::parallel_map(
+        lanes,
+        [&](int) {
+          std::ifstream f(path, std::ios::binary);
+          auto source = trace::open_capture_source(f);
+          core::AnnotationBuilder::Options bopts;
+          bopts.mode = core::AnnotationBuilder::Mode::kBounded;
+          bopts.cap_graces = {util::Duration::millis(30)};
+          bopts.mem = &mem;
+          core::AnnotationBuilder builder(std::move(bopts));
+          while (auto rec = source->next()) builder.add(*rec);
+          (void)builder.finish_summary();
+          return 0;
+        },
+        jobs);
+  });
+  leg.peak_bytes = mem.peak();
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::uint32_t transfer = 4 * 1024 * 1024;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--transfer" && i + 1 < argc) {
+      transfer = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE] [--transfer BYTES]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== streaming vs materialized ingestion ==\n\n");
+
+  // A loss-free bulk transfer: every byte sent once, so the record count
+  // (and with it the materialized footprint) scales directly with size.
+  corpus::ScenarioParams p;
+  p.loss_prob = 0.0;
+  p.transfer_bytes = transfer;
+  p.rate_bytes_per_sec = 8'000'000.0;
+  p.seed = 7;
+  const tcp::SessionResult session =
+      tcp::run_session(corpus::make_session(*tcp::find_profile("Generic Reno"), p));
+  const trace::Trace& tr = session.sender_trace;
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tcpanaly_stream_ingest.pcap").string();
+  trace::write_pcap_file(path, tr);
+  const std::uint64_t file_bytes = std::filesystem::file_size(path);
+  std::printf("trace: %zu records, %.1f MiB on disk\n\n", tr.size(),
+              static_cast<double>(file_bytes) / (1024.0 * 1024.0));
+
+  // Equivalence first: the comparison is only meaningful if the streaming
+  // pass reaches exactly the offline pipeline's conclusions.
+  std::string divergence;
+  {
+    const trace::PcapReadResult loaded = trace::read_pcap_file(path);
+    std::ifstream f(path, std::ios::binary);
+    auto source = trace::open_capture_source(f);
+    core::AnnotationBuilder::Options bopts;
+    bopts.mode = core::AnnotationBuilder::Mode::kBounded;
+    core::AnnotationBuilder builder(std::move(bopts));
+    while (auto rec = source->next()) builder.add(*rec);
+    divergence = core::diff_stream_summary(builder.finish_summary(), loaded.trace);
+  }
+  if (!divergence.empty()) {
+    std::fprintf(stderr, "streaming pass DIVERGES from offline pipeline: %s\n",
+                 divergence.c_str());
+    std::filesystem::remove(path);
+    return 1;
+  }
+  std::printf("streaming summary identical to offline pipeline: yes\n\n");
+
+  util::TextTable table({"mode", "jobs", "wall ms", "peak logical", "reduction"});
+  Json legs = Json::array();
+  double reduction_min = 1e18;
+  double wall_ratio_max = 0.0;
+  for (const int jobs : {1, 8}) {
+    // Warm the page cache so neither leg pays the first cold read.
+    Leg mat = run_materialized(path, jobs);
+    mat = run_materialized(path, jobs);
+    Leg str = run_streaming(path, jobs);
+    str = run_streaming(path, jobs);
+    const double reduction = static_cast<double>(mat.peak_bytes) /
+                             static_cast<double>(std::max<std::uint64_t>(str.peak_bytes, 1));
+    const double wall_ratio = str.wall_ms / mat.wall_ms;
+    reduction_min = std::min(reduction_min, reduction);
+    wall_ratio_max = std::max(wall_ratio_max, wall_ratio);
+    table.add_row({"materialized", std::to_string(jobs), util::strf("%.1f", mat.wall_ms),
+                   util::strf("%llu", static_cast<unsigned long long>(mat.peak_bytes)),
+                   "1.00x"});
+    table.add_row({"streaming", std::to_string(jobs), util::strf("%.1f", str.wall_ms),
+                   util::strf("%llu", static_cast<unsigned long long>(str.peak_bytes)),
+                   util::strf("%.2fx", reduction)});
+    for (const char* mode : {"materialized", "streaming"}) {
+      const Leg& leg = std::strcmp(mode, "streaming") == 0 ? str : mat;
+      Json row = Json::object();
+      row.set("mode", mode);
+      row.set("jobs", jobs);
+      row.set("wall_ms", leg.wall_ms);
+      row.set("peak_logical_bytes", leg.peak_bytes);
+      legs.push_back(std::move(row));
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("minimum peak-footprint reduction: %.2fx (gate: >= 4x)\n", reduction_min);
+  std::printf("worst streaming/materialized wall ratio: %.2f\n", wall_ratio_max);
+  std::printf("process peak RSS: %.1f MiB (informational; monotonic)\n\n",
+              static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0));
+
+  std::filesystem::remove(path);
+
+  if (!json_path.empty()) {
+    Json doc = report::document_header("bench");
+    doc.set("bench", "stream_ingest");
+    doc.set("records", tr.size());
+    doc.set("file_bytes", file_bytes);
+    doc.set("equivalent", true);
+    doc.set("legs", std::move(legs));
+    doc.set("reduction_min", reduction_min);
+    doc.set("wall_ratio_max", wall_ratio_max);
+    std::ofstream out(json_path);
+    out << doc.dump(2) << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote bench JSON to %s\n", json_path.c_str());
+  }
+  return reduction_min >= 4.0 ? 0 : 1;
+}

@@ -78,6 +78,24 @@ assert isinstance(doc["rankings"], list) and doc["rankings"]
 assert isinstance(doc["confusion"], list) and doc["confusion"]
 PYEOF
   echo "bench-JSON leg OK (sec5_matcher document validated)"
+
+  # Memory-regression leg: the streaming ingestion path must keep reaching
+  # the offline pipeline's exact conclusions while holding a bounded
+  # footprint -- at least 4x below the materialized path at 1 and 8
+  # workers (the reference numbers live in bench/results/stream_ingest.json).
+  # The bench exits nonzero itself if the reduction gate fails.
+  "$BUILD/bench/bench_stream_ingest" --json "$JSON_DIR/stream_ingest.json" > /dev/null
+  python3 - "$JSON_DIR/stream_ingest.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["type"] == "bench" and doc["bench"] == "stream_ingest", doc.get("bench")
+assert doc["equivalent"] is True, "streaming summary diverged from offline pipeline"
+assert doc["reduction_min"] >= 4.0, f"peak-footprint reduction {doc['reduction_min']:.2f}x < 4x"
+# Wall clock gets a generous CI bound; the checked-in reference shows ~1.1.
+assert doc["wall_ratio_max"] <= 1.5, f"streaming wall ratio {doc['wall_ratio_max']:.2f} > 1.5"
+assert len(doc["legs"]) == 4
+PYEOF
+  echo "memory-regression leg OK (streaming ingest bounded and equivalent)"
 else
   echo "python3 not found; skipping external JSON validation leg"
 fi

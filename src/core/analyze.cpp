@@ -10,7 +10,6 @@ const trace::Trace& CleanedTrace::empty_trace() {
 TraceAnalysis analyze_trace(const trace::Trace& trace,
                             std::vector<tcp::TcpProfile> candidates,
                             const AnalyzeOptions& opts, util::StageTimer* timer) {
-  if (candidates.empty()) candidates = tcp::all_profiles();
   TraceAnalysis analysis;
 
   // Layer 1: one pass over the raw trace. Every consumer below -- the
@@ -22,6 +21,15 @@ TraceAnalysis analyze_trace(const trace::Trace& trace,
         trace, std::vector<Duration>{opts.match.sender.vantage_grace});
     scope.counter("records", trace.size());
   }
+
+  calibrate_and_match(analysis, trace, std::move(candidates), opts, timer);
+  return analysis;
+}
+
+void calibrate_and_match(TraceAnalysis& analysis, const trace::Trace& trace,
+                         std::vector<tcp::TcpProfile> candidates,
+                         const AnalyzeOptions& opts, util::StageTimer* timer) {
+  if (candidates.empty()) candidates = tcp::all_profiles();
 
   {
     auto scope = util::StageTimer::maybe(timer, "calibrate");
@@ -59,7 +67,6 @@ TraceAnalysis analyze_trace(const trace::Trace& trace,
       for (const auto& fit : analysis.match.fits)
         timer->add("match:" + fit.profile.name, fit.analysis_wall);
   }
-  return analysis;
 }
 
 TraceAnalysis analyze_trace(const trace::Trace& trace,

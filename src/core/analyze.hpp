@@ -94,4 +94,14 @@ TraceAnalysis analyze_trace(const trace::Trace& trace,
                             const MatchOptions& opts = {},
                             util::StageTimer* timer = nullptr);
 
+/// The back half of analyze_trace -- "calibrate" and "match" stages on a
+/// prebuilt layer-1 annotation. `analysis.annotation` must already be set
+/// and must annotate `trace`; on return calibration, the cleaned view, and
+/// (unless opts.run_match is false) the match are filled in. Shared with
+/// the streaming front end (core/stream_analysis.hpp), which builds the
+/// annotation incrementally instead of in one pass.
+void calibrate_and_match(TraceAnalysis& analysis, const trace::Trace& trace,
+                         std::vector<tcp::TcpProfile> candidates,
+                         const AnalyzeOptions& opts, util::StageTimer* timer);
+
 }  // namespace tcpanaly::core

@@ -25,120 +25,138 @@ const char* to_string(RecordKind kind) {
   return "?";
 }
 
+RecordNote RecordClassifier::step(const PacketRecord& rec, bool from_local) {
+  RecordNote n;
+  n.from_local = from_local;
+
+  if (from_local) {
+    if (rec.tcp.flags.syn) {
+      iss_ = rec.tcp.seq;
+      if (rec.tcp.mss_option) offered_mss_ = *rec.tcp.mss_option;
+      n.kind = RecordKind::kHandshakeSyn;
+    } else if (!established_ || rec.tcp.payload_len == 0) {
+      n.kind = RecordKind::kIgnored;
+    } else {
+      if (!have_data_) {
+        have_data_ = true;
+        snd_max_ = rec.tcp.seq;  // the new-data test below extends it
+      }
+      if (seq_ge(rec.tcp.seq, snd_max_)) {
+        n.kind = RecordKind::kNewData;
+        snd_max_ = rec.tcp.seq_end();
+      } else {
+        n.kind = RecordKind::kRetransmission;
+      }
+    }
+  } else {
+    if (rec.tcp.flags.syn && rec.tcp.flags.ack) {
+      synack_had_mss_ = rec.tcp.mss_option.has_value();
+      mss_ = rec.tcp.mss_option
+                 ? std::min<std::uint32_t>(*rec.tcp.mss_option, offered_mss_)
+                 : 536;
+      offered_window_ = rec.tcp.window;
+      snd_una_ = iss_ + 1;
+      snd_max_ = snd_una_;
+      established_ = true;
+      n.kind = RecordKind::kSynAck;
+      handshake_.handshake_seen = true;
+      handshake_.synack_had_mss = synack_had_mss_;
+      handshake_.iss = iss_;
+      handshake_.mss = mss_;
+      handshake_.offered_mss = offered_mss_;
+      handshake_.initial_offered_window = offered_window_;
+    } else if (!established_ || !rec.tcp.flags.ack) {
+      n.kind = RecordKind::kIgnored;
+    } else if (seq_gt(rec.tcp.ack, snd_una_)) {
+      n.kind = RecordKind::kNewAck;
+      snd_una_ = rec.tcp.ack;
+      offered_window_ = rec.tcp.window;
+    } else {
+      const bool outstanding = seq_lt(snd_una_, snd_max_);
+      if (rec.tcp.ack == snd_una_ && rec.tcp.payload_len == 0 &&
+          rec.tcp.window == offered_window_ && outstanding && !rec.tcp.flags.fin) {
+        n.kind = RecordKind::kDupAck;
+      } else {
+        n.kind = RecordKind::kUpdateAck;
+        offered_window_ = rec.tcp.window;
+      }
+    }
+  }
+
+  n.established = established_;
+  n.have_data = have_data_;
+  n.synack_had_mss = synack_had_mss_;
+  n.snd_una = snd_una_;
+  n.snd_max = snd_max_;
+  n.offered_window = offered_window_;
+  n.mss = mss_;
+  n.offered_mss = offered_mss_;
+  return n;
+}
+
+bool CapIndexCursor::admit_send(const PacketRecord& rec) {
+  // Payload, SYN, or FIN records are send events.
+  if (!(rec.tcp.payload_len > 0 || rec.tcp.flags.syn || rec.tcp.flags.fin)) return false;
+  const SeqNum end = rec.tcp.seq_end();
+  if (!have_send_) {
+    smax_ = end;
+    have_send_ = true;
+  } else if (seq_gt(end, smax_)) {
+    smax_ = end;
+  }
+  return true;
+}
+
+bool CapIndexCursor::admit_ack(const PacketRecord& rec) {
+  // Admit strictly-advancing acks at or below the send frontier recorded
+  // so far.
+  if (!(rec.tcp.flags.ack && have_send_ &&
+        (!have_ack_ || seq_gt(rec.tcp.ack, highest_ack_)) &&
+        seq_le(rec.tcp.ack, smax_)))
+    return false;
+  highest_ack_ = rec.tcp.ack;
+  have_ack_ = true;
+  return true;
+}
+
 AnnotatedTrace::AnnotatedTrace(const Trace& trace, std::vector<Duration> cap_graces)
     : trace_(&trace) {
   notes_.reserve(trace.size());
 
-  // Classification cursor (mirrors the sender replay's trace-dependent
-  // bookkeeping exactly -- same conditions, same order).
-  bool established = false;
-  bool have_data = false;
-  bool synack_had_mss = false;
-  SeqNum iss = 0;
-  SeqNum snd_una = 0;
-  SeqNum snd_max = 0;
-  std::uint32_t mss = 536;
-  std::uint32_t offered_mss = 536;
-  std::uint32_t offered_window = 0;
-
-  // Window-cap index cursor (mirrors the section 6.2 flight scan's
-  // admission rules; independent of the classification cursor above, as
-  // the original scan predated the handshake gating).
-  bool cap_have_send = false;
-  SeqNum cap_smax = 0;
-  bool cap_have_ack = false;
-  SeqNum cap_highest_ack = 0;
+  // Classification and cap-admission cursors (the latter is independent of
+  // the former, as the original flight scan predated the handshake gating).
+  RecordClassifier classifier;
+  CapIndexCursor cap;
 
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const PacketRecord& rec = trace[i];
-    RecordNote n;
-    n.from_local = trace.is_from_local(rec);
-
-    if (n.from_local) {
-      if (rec.tcp.flags.syn) {
-        iss = rec.tcp.seq;
-        if (rec.tcp.mss_option) offered_mss = *rec.tcp.mss_option;
-        n.kind = RecordKind::kHandshakeSyn;
-      } else if (!established || rec.tcp.payload_len == 0) {
-        n.kind = RecordKind::kIgnored;
-      } else {
-        if (!have_data) {
-          have_data = true;
-          snd_max = rec.tcp.seq;  // the new-data test below extends it
-        }
-        if (seq_ge(rec.tcp.seq, snd_max)) {
-          n.kind = RecordKind::kNewData;
-          snd_max = rec.tcp.seq_end();
-        } else {
-          n.kind = RecordKind::kRetransmission;
-        }
-      }
-      // Cap index: payload, SYN, or FIN records are send events.
-      if (rec.tcp.payload_len > 0 || rec.tcp.flags.syn || rec.tcp.flags.fin) {
-        const SeqNum end = rec.tcp.seq_end();
-        if (!cap_have_send) {
-          cap_smax = end;
-          cap_have_send = true;
-        } else if (seq_gt(end, cap_smax)) {
-          cap_smax = end;
-        }
-        sends_.push_back({rec.timestamp, i, rec.tcp.seq, end});
-      }
-    } else {
-      if (rec.tcp.flags.syn && rec.tcp.flags.ack) {
-        synack_had_mss = rec.tcp.mss_option.has_value();
-        mss = rec.tcp.mss_option
-                  ? std::min<std::uint32_t>(*rec.tcp.mss_option, offered_mss)
-                  : 536;
-        offered_window = rec.tcp.window;
-        snd_una = iss + 1;
-        snd_max = snd_una;
-        established = true;
-        n.kind = RecordKind::kSynAck;
-        handshake_.handshake_seen = true;
-        handshake_.synack_had_mss = synack_had_mss;
-        handshake_.iss = iss;
-        handshake_.mss = mss;
-        handshake_.offered_mss = offered_mss;
-        handshake_.initial_offered_window = offered_window;
-      } else if (!established || !rec.tcp.flags.ack) {
-        n.kind = RecordKind::kIgnored;
-      } else if (seq_gt(rec.tcp.ack, snd_una)) {
-        n.kind = RecordKind::kNewAck;
-        snd_una = rec.tcp.ack;
-        offered_window = rec.tcp.window;
-      } else {
-        const bool outstanding = seq_lt(snd_una, snd_max);
-        if (rec.tcp.ack == snd_una && rec.tcp.payload_len == 0 &&
-            rec.tcp.window == offered_window && outstanding && !rec.tcp.flags.fin) {
-          n.kind = RecordKind::kDupAck;
-        } else {
-          n.kind = RecordKind::kUpdateAck;
-          offered_window = rec.tcp.window;
-        }
-      }
-      // Cap index: admit strictly-advancing acks at or below the send
-      // frontier recorded so far.
-      if (rec.tcp.flags.ack && cap_have_send &&
-          (!cap_have_ack || seq_gt(rec.tcp.ack, cap_highest_ack)) &&
-          seq_le(rec.tcp.ack, cap_smax)) {
-        cap_highest_ack = rec.tcp.ack;
-        cap_have_ack = true;
-        acks_.push_back({rec.timestamp, i, rec.tcp.ack});
-      }
+    const bool from_local = trace.is_from_local(rec);
+    notes_.push_back(classifier.step(rec, from_local));
+    if (from_local) {
+      if (cap.admit_send(rec))
+        sends_.push_back({rec.timestamp, i, rec.tcp.seq, rec.tcp.seq_end()});
+    } else if (cap.admit_ack(rec)) {
+      acks_.push_back({rec.timestamp, i, rec.tcp.ack});
     }
-
-    n.established = established;
-    n.have_data = have_data;
-    n.synack_had_mss = synack_had_mss;
-    n.snd_una = snd_una;
-    n.snd_max = snd_max;
-    n.offered_window = offered_window;
-    n.mss = mss;
-    n.offered_mss = offered_mss;
-    notes_.push_back(n);
   }
+  handshake_ = classifier.handshake();
 
+  precompute_caps(std::move(cap_graces));
+}
+
+AnnotatedTrace::AnnotatedTrace(const Trace& trace, std::vector<RecordNote> notes,
+                               HandshakeFacts handshake, std::vector<SendEvent> sends,
+                               std::vector<AckEvent> acks,
+                               std::vector<Duration> cap_graces)
+    : trace_(&trace),
+      notes_(std::move(notes)),
+      handshake_(handshake),
+      sends_(std::move(sends)),
+      acks_(std::move(acks)) {
+  precompute_caps(std::move(cap_graces));
+}
+
+void AnnotatedTrace::precompute_caps(std::vector<Duration> cap_graces) {
   // Precompute the requested caps plus the zero grace (the tight estimate
   // every analysis reports).
   cap_graces.push_back(Duration::zero());

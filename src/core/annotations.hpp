@@ -101,6 +101,47 @@ struct AckEvent {
   SeqNum ack = 0;
 };
 
+/// The classification cursor behind AnnotatedTrace, extracted so the
+/// streaming AnnotationBuilder can run it record-at-a-time (once per
+/// direction hypothesis while endpoints are still unknown). step() applies
+/// exactly the bookkeeping of the original construction loop -- same
+/// conditions, same order -- and returns the note AFTER the record.
+class RecordClassifier {
+ public:
+  RecordNote step(const trace::PacketRecord& rec, bool from_local);
+
+  /// Handshake facts accumulated so far (final after the last step).
+  const HandshakeFacts& handshake() const { return handshake_; }
+
+ private:
+  bool established_ = false;
+  bool have_data_ = false;
+  bool synack_had_mss_ = false;
+  SeqNum iss_ = 0;
+  SeqNum snd_una_ = 0;
+  SeqNum snd_max_ = 0;
+  std::uint32_t mss_ = 536;
+  std::uint32_t offered_mss_ = 536;
+  std::uint32_t offered_window_ = 0;
+  HandshakeFacts handshake_;
+};
+
+/// The admission cursor of the section 6.2 window-cap event index,
+/// likewise extracted for incremental use. Feed outbound records to
+/// admit_send and inbound records to admit_ack; a true return means the
+/// record is a cap event (the caller records a SendEvent/AckEvent).
+class CapIndexCursor {
+ public:
+  bool admit_send(const trace::PacketRecord& rec);
+  bool admit_ack(const trace::PacketRecord& rec);
+
+ private:
+  bool have_send_ = false;
+  SeqNum smax_ = 0;
+  bool have_ack_ = false;
+  SeqNum highest_ack_ = 0;
+};
+
 class AnnotatedTrace {
  public:
   /// Build the annotation in one pass over `trace`. Sender-window caps are
@@ -108,6 +149,15 @@ class AnnotatedTrace {
   /// reported tight estimate); other graces are computed on demand.
   /// Holds a pointer to `trace`, which must outlive the annotation.
   explicit AnnotatedTrace(const Trace& trace, std::vector<Duration> cap_graces = {});
+
+  /// Assemble from parts a streaming builder produced incrementally (the
+  /// notes, handshake facts, and cap-event index it accumulated while
+  /// records flowed by). The parts must equal what the one-pass
+  /// constructor would derive from `trace`; given that, the result is
+  /// bit-identical to it. Caps are precomputed as above.
+  AnnotatedTrace(const Trace& trace, std::vector<RecordNote> notes,
+                 HandshakeFacts handshake, std::vector<SendEvent> sends,
+                 std::vector<AckEvent> acks, std::vector<Duration> cap_graces = {});
 
   const Trace& trace() const { return *trace_; }
   std::size_t size() const { return notes_.size(); }
@@ -135,6 +185,7 @@ class AnnotatedTrace {
 
  private:
   std::uint32_t compute_cap(Duration grace) const;
+  void precompute_caps(std::vector<Duration> cap_graces);
 
   const Trace* trace_;
   std::vector<RecordNote> notes_;

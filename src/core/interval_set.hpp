@@ -18,6 +18,9 @@ class SeqIntervalSet {
 
   bool empty() const { return intervals_.empty(); }
 
+  /// Number of disjoint intervals held (for memory accounting).
+  std::size_t interval_count() const { return intervals_.size(); }
+
   /// Total bytes covered.
   std::uint64_t covered_bytes() const;
 

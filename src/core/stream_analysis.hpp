@@ -1,0 +1,167 @@
+// Incremental annotation and bounded-memory streaming analysis.
+//
+// AnnotationBuilder consumes PacketRecords one at a time from any
+// trace::RecordSource and reproduces, online, what the materialize-then-
+// analyze stack derives from a whole trace:
+//
+//   * per-record RecordNote classification and handshake facts,
+//   * the section 6.2 send/ack cap index and sender-window caps,
+//   * the section 3 calibration self-consistency detectors (time travel,
+//     measurement duplicates, resequencing, filter drops),
+//
+// while the endpoints are still unknown. The classic readers only learn
+// which host is local at end-of-stream (payload-byte majority), so the
+// builder runs every direction-dependent cursor under BOTH hypotheses --
+// "local is the first record's source" and "local is its destination" --
+// and keeps the winner at finish(). Everything direction-independent
+// (time travel) runs once.
+//
+// Two modes:
+//   * kFull: records are retained and finish_full() assembles an
+//     AnnotatedTrace bit-identical to `AnnotatedTrace(trace)` on the
+//     drained trace (the equivalence test pins this). This powers
+//     analyze_capture_stream / `tcpanaly --batch`: one pass over the
+//     input, no separate read-then-annotate walk.
+//   * kBounded: nothing per-record is retained. The calibration detectors
+//     run as online state machines (armed-entry lookahead windows, a
+//     compact open-addressing duplicate table, a short delayed queue for
+//     the receiver-side drop checks) whose state is bounded by the
+//     trace's epsilon-scale reordering windows, not its length. finish()
+//     yields a StreamSummary; diff_stream_summary() is the differential
+//     oracle proving it equal to the offline pipeline, record for record.
+//
+// Exactness note for kBounded: when measurement duplicates are found, the
+// offline `calibrate` re-runs resequencing/drops on the duplicate-stripped
+// trace -- which an online pass cannot do. The summary then carries the
+// unstripped detector results plus `needs_materialized_rerun = true`; the
+// caller decides whether to pay for a second, materialized pass (batch
+// analysis does).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "core/annotations.hpp"
+#include "core/calibration.hpp"
+#include "trace/record_source.hpp"
+#include "util/mem_tracker.hpp"
+
+namespace tcpanaly::core {
+
+/// What a bounded-memory pass knows about a capture at end-of-stream.
+struct StreamSummary {
+  trace::TraceMeta meta;  ///< endpoints/role as the classic readers infer them
+  std::uint64_t records_streamed = 0;
+  HandshakeFacts handshake;
+  /// Count of records per RecordKind (indexed by the enum's value) under
+  /// the winning direction hypothesis.
+  std::array<std::uint64_t, 8> kind_counts{};
+  /// (grace, cap) pairs: the section 6.2 sender-window cap per requested
+  /// grace (zero grace always present).
+  std::vector<std::pair<Duration, std::uint32_t>> caps;
+  CalibrationReport calibration;
+  /// The duplication detector's pending-twin table evicts entries that
+  /// have aged out of the match window, which is exact unless the stream's
+  /// timestamps later regress below their running max, or span more than
+  /// the int64 range (the wrap-defined gap test could then have reached an
+  /// evicted entry). False flags those cases: the duplication report above
+  /// is best-effort and a materialized pass is needed for the exact answer.
+  bool duplication_is_exact = true;
+  /// True when duplicates were found (resequencing/drops above are from
+  /// the unstripped stream, where offline `calibrate` would strip first)
+  /// or when `duplication_is_exact` is false.
+  bool needs_materialized_rerun = false;
+  /// High-water logical bytes the builder held (see util::MemTracker).
+  std::uint64_t peak_bytes = 0;
+};
+
+/// finish_full()'s product: the materialized trace plus its annotation,
+/// heap-owned so analyses can outlive the builder.
+struct BuiltAnnotation {
+  std::shared_ptr<const trace::Trace> trace;
+  std::shared_ptr<const AnnotatedTrace> annotation;
+  std::uint64_t records_streamed = 0;
+  std::uint64_t peak_bytes = 0;
+};
+
+class AnnotationBuilder {
+ public:
+  enum class Mode { kFull, kBounded };
+
+  struct Options {
+    Mode mode = Mode::kFull;
+    /// Which side counts as local once endpoints resolve (the readers'
+    /// local_is_sender flag).
+    bool local_is_sender = true;
+    /// Extra cap graces to precompute (zero grace always included).
+    std::vector<Duration> cap_graces;
+    /// Optional shared tracker: the builder's footprint deltas are
+    /// forwarded here as well as to its own internal meter, so concurrent
+    /// builders can be summed (batch / bench accounting).
+    util::MemTracker* mem = nullptr;
+  };
+
+  explicit AnnotationBuilder(Options opts);
+  ~AnnotationBuilder();
+  AnnotationBuilder(const AnnotationBuilder&) = delete;
+  AnnotationBuilder& operator=(const AnnotationBuilder&) = delete;
+
+  /// Consume the next record of the stream.
+  void add(const trace::PacketRecord& rec);
+
+  /// kFull only: resolve endpoints, pick the winning hypothesis, and
+  /// assemble the annotated trace. The builder is spent afterwards.
+  BuiltAnnotation finish_full();
+
+  /// kBounded (also valid after kFull adds, before finish_full): resolve
+  /// endpoints and report everything the online detectors concluded. The
+  /// builder is spent afterwards.
+  StreamSummary finish_summary();
+
+  std::uint64_t records_streamed() const;
+  /// High-water logical footprint so far (final after finish).
+  std::uint64_t peak_bytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Differential oracle: re-derive everything a StreamSummary claims from
+/// the materialized trace through the offline pipeline (AnnotatedTrace +
+/// the section 3 detectors) and describe the first disagreement. Returns
+/// an empty string when the summary is exactly equivalent. Used by
+/// stream_equivalence_test and by the capture fuzzer, which replays every
+/// accepted input through both paths under ASan/UBSan.
+std::string diff_stream_summary(const StreamSummary& summary, const trace::Trace& trace);
+
+/// A streamed trace analysis: the classic TraceAnalysis plus ownership of
+/// the trace it was computed from (CleanedTrace aliases it) and the
+/// streaming counters.
+struct StreamedTraceAnalysis {
+  TraceAnalysis analysis;
+  std::shared_ptr<const trace::Trace> trace;
+  std::uint64_t records_streamed = 0;
+  std::size_t skipped_frames = 0;
+  std::uint64_t peak_bytes = 0;
+};
+
+/// The streaming front end of analyze_trace: pull every record out of
+/// `source` through a kFull AnnotationBuilder (annotation built as records
+/// arrive -- one pass over the input, no separate load stage), then run
+/// the shared calibration + matching back half on the result. Timer stages
+/// match analyze_trace, with the "annotate" stage gaining
+/// `records_streamed` and `peak_bytes` counters.
+StreamedTraceAnalysis analyze_capture_stream(trace::RecordSource& source,
+                                             bool local_is_sender,
+                                             std::vector<tcp::TcpProfile> candidates,
+                                             const AnalyzeOptions& opts,
+                                             util::StageTimer* timer = nullptr,
+                                             util::MemTracker* mem = nullptr);
+
+}  // namespace tcpanaly::core

@@ -1,0 +1,43 @@
+#include "corpus/scan.hpp"
+
+#include <algorithm>
+
+namespace tcpanaly::corpus {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_capture(const fs::directory_entry& entry) {
+  if (!entry.is_regular_file()) return false;
+  const std::string ext = entry.path().extension().string();
+  return ext == ".pcap" || ext == ".pcapng";
+}
+
+}  // namespace
+
+std::vector<fs::path> list_capture_files(const fs::path& dir, bool recursive,
+                                         std::error_code& ec) {
+  std::vector<fs::path> files;
+  ec.clear();
+  if (recursive) {
+    // Skip unreadable subtrees instead of aborting the whole scan.
+    fs::recursive_directory_iterator it(
+        dir, fs::directory_options::skip_permission_denied, ec);
+    for (const auto end = fs::recursive_directory_iterator(); !ec && it != end;
+         it.increment(ec)) {
+      if (is_capture(*it)) files.push_back(it->path());
+    }
+  } else {
+    fs::directory_iterator it(dir, ec);
+    for (const auto end = fs::directory_iterator(); !ec && it != end; it.increment(ec)) {
+      if (is_capture(*it)) files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end(), [](const fs::path& a, const fs::path& b) {
+    return a.generic_string() < b.generic_string();
+  });
+  return files;
+}
+
+}  // namespace tcpanaly::corpus

@@ -1,0 +1,22 @@
+// Capture-file discovery for batch analysis: one place that decides what
+// counts as an analyzable capture (.pcap / .pcapng) and in what order a
+// batch run visits them, so the CLI, tests, and benches agree.
+#pragma once
+
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+namespace tcpanaly::corpus {
+
+/// All regular .pcap/.pcapng files under `dir` -- direct children only, or
+/// the whole tree when `recursive` is set. The result is sorted by
+/// generic (forward-slash) path string, so batch rows come out in one
+/// deterministic order on every platform regardless of directory
+/// enumeration order. Enumeration errors land in `ec` (the partial list
+/// gathered so far is returned); unreadable subdirectories are skipped.
+std::vector<std::filesystem::path> list_capture_files(const std::filesystem::path& dir,
+                                                      bool recursive,
+                                                      std::error_code& ec);
+
+}  // namespace tcpanaly::corpus

@@ -5,9 +5,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/stream_analysis.hpp"
 #include "report/json.hpp"
 #include "tcp/session.hpp"
 #include "trace/pcap_io.hpp"
+#include "trace/record_source.hpp"
 
 namespace tcpanaly::fuzz {
 
@@ -45,6 +47,22 @@ Bytes write_pcapng_bytes(const trace::Trace& tr, std::uint8_t tsresol_raw) {
 
 Bytes json_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
 
+/// Differential leg for accepted captures: replay the same bytes through a
+/// bounded-memory streaming pass and demand it reach exactly the offline
+/// pipeline's conclusions. A divergence is a contract violation even though
+/// no exception escaped -- the two paths must be indistinguishable on every
+/// input the parsers accept.
+std::string stream_divergence(const Bytes& data, const trace::Trace& parsed,
+                              const util::ParseLimits& limits) {
+  std::istringstream in(to_string_bytes(data));
+  auto source = trace::open_capture_source(in, limits);
+  core::AnnotationBuilder::Options bopts;
+  bopts.mode = core::AnnotationBuilder::Mode::kBounded;
+  core::AnnotationBuilder builder(std::move(bopts));
+  while (auto rec = source->next()) builder.add(*rec);
+  return core::diff_stream_summary(builder.finish_summary(), parsed);
+}
+
 }  // namespace
 
 ParseCheck check_parse(InputFormat fmt, const Bytes& data,
@@ -53,12 +71,18 @@ ParseCheck check_parse(InputFormat fmt, const Bytes& data,
     switch (fmt) {
       case InputFormat::kPcap: {
         std::istringstream in(to_string_bytes(data));
-        (void)trace::read_pcap(in, true, limits);
+        const trace::PcapReadResult result = trace::read_pcap(in, true, limits);
+        const std::string diff = stream_divergence(data, result.trace, limits);
+        if (!diff.empty())
+          return {ParseOutcome::kContractViolation, "stream divergence: " + diff};
         break;
       }
       case InputFormat::kPcapng: {
         std::istringstream in(to_string_bytes(data));
-        (void)trace::read_pcapng(in, true, limits);
+        const trace::PcapReadResult result = trace::read_pcapng(in, true, limits);
+        const std::string diff = stream_divergence(data, result.trace, limits);
+        if (!diff.empty())
+          return {ParseOutcome::kContractViolation, "stream divergence: " + diff};
         break;
       }
       case InputFormat::kJson:

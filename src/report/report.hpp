@@ -28,11 +28,14 @@
 
 namespace tcpanaly::report {
 
-inline constexpr int kSchemaVersion = 2;
+// Schema 3: batch rows stream through the incremental annotation builder;
+// the "annotate" timing stage gains records_streamed/peak_bytes counters and
+// the batch "analyze" stage gains peak_stream_bytes/peak_rss_bytes.
+inline constexpr int kSchemaVersion = 3;
 inline constexpr const char* kToolName = "tcpanaly";
-inline constexpr const char* kToolVersion = "0.3.0";
+inline constexpr const char* kToolVersion = "0.4.0";
 
-/// What `tcpanaly --version` prints: "tcpanaly 0.3.0 (report schema 2)".
+/// What `tcpanaly --version` prints: "tcpanaly 0.4.0 (report schema 3)".
 std::string version_line();
 
 /// {schema_version, tool: {name, version}, type} -- the opening members of

@@ -1,0 +1,85 @@
+// Byte-level helpers shared by the capture writers (pcap_io.cpp) and the
+// pull-based readers (record_source.cpp): bounded chunked reads, the
+// little-endian field reader, and the pcap/pcapng magic constants.
+// Internal to src/trace -- not part of the public trace API.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <vector>
+
+namespace tcpanaly::trace::detail {
+
+inline constexpr std::uint32_t kMagicLE = 0xa1b2c3d4;  // little-endian, usec ts
+inline constexpr std::uint32_t kMagicSwapped = 0xd4c3b2a1;
+inline constexpr std::uint32_t kMagicNsLE = 0xa1b23c4d;  // nanosecond variant
+inline constexpr std::uint32_t kMagicNsSwapped = 0x4d3cb2a1;
+inline constexpr std::uint32_t kPcapngShb = 0x0a0d0d0a;  // pcapng Section Header
+
+/// The unified zero-length-input diagnostic: every capture entry point
+/// (read_pcap, read_pcapng, read_capture_file, and the sources behind
+/// them) throws a std::runtime_error with exactly this message when handed
+/// an empty stream, so callers and fuzz replays see one wording.
+inline constexpr const char* kEmptyCaptureMsg = "capture: empty input";
+
+/// Read exactly n bytes, growing the buffer in bounded steps so a lying
+/// length field costs at most one 64 KiB chunk of allocation before the
+/// stream runs dry -- never an up-front resize to whatever a crafted
+/// 32-bit field claims.
+inline bool read_exact(std::istream& in, std::vector<std::uint8_t>& buf, std::size_t n) {
+  constexpr std::size_t kChunk = 64 * 1024;
+  buf.clear();
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t step = std::min(kChunk, n - got);
+    buf.resize(got + step);
+    if (!in.read(reinterpret_cast<char*>(buf.data() + got),
+                 static_cast<std::streamsize>(step)))
+      return false;
+    got += step;
+  }
+  return true;
+}
+
+class LeReader {
+ public:
+  explicit LeReader(std::istream& in) : in_(in) {}
+
+  bool read_u32(std::uint32_t& v, bool swapped = false) {
+    std::uint8_t b[4];
+    if (!in_.read(reinterpret_cast<char*>(b), 4)) return false;
+    v = swapped ? (static_cast<std::uint32_t>(b[0]) << 24) | (b[1] << 16) | (b[2] << 8) | b[3]
+                : (static_cast<std::uint32_t>(b[3]) << 24) | (b[2] << 16) | (b[1] << 8) | b[0];
+    return true;
+  }
+
+  bool read_u16(std::uint16_t& v, bool swapped = false) {
+    std::uint8_t b[2];
+    if (!in_.read(reinterpret_cast<char*>(b), 2)) return false;
+    v = swapped ? static_cast<std::uint16_t>((b[0] << 8) | b[1])
+                : static_cast<std::uint16_t>((b[1] << 8) | b[0]);
+    return true;
+  }
+
+  bool read_bytes(std::vector<std::uint8_t>& buf, std::size_t n) {
+    return read_exact(in_, buf, n);
+  }
+
+ private:
+  std::istream& in_;
+};
+
+/// Ticks per second encoded by an if_tsresol option byte, or 0 when the
+/// resolution is outside the representable range (decimal exponents above
+/// 10^19 overflow 64 bits).
+inline std::uint64_t tsresol_ticks_per_sec(std::uint8_t raw) {
+  const unsigned exp = raw & 0x7f;
+  if (raw & 0x80) return exp <= 63 ? 1ULL << exp : 0;
+  if (exp > 19) return 0;
+  std::uint64_t tps = 1;
+  for (unsigned i = 0; i < exp; ++i) tps *= 10;
+  return tps;
+}
+
+}  // namespace tcpanaly::trace::detail

@@ -1,23 +1,19 @@
 #include "trace/pcap_io.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <fstream>
-#include <span>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
 
+#include "trace/pcap_detail.hpp"
+#include "trace/record_source.hpp"
+
 namespace tcpanaly::trace {
 
 namespace {
 
-constexpr std::uint32_t kMagicLE = 0xa1b2c3d4;  // written little-endian, usec ts
-constexpr std::uint32_t kMagicSwapped = 0xd4c3b2a1;
-constexpr std::uint32_t kMagicNsLE = 0xa1b23c4d;  // nanosecond variant
-constexpr std::uint32_t kMagicNsSwapped = 0x4d3cb2a1;
-constexpr std::uint32_t kPcapngShb = 0x0a0d0d0a;  // pcapng Section Header
 constexpr std::uint16_t kVersionMajor = 2;
 constexpr std::uint16_t kVersionMinor = 4;
 constexpr std::uint32_t kLinkEthernet = 1;
@@ -33,83 +29,25 @@ void put_le16(std::ostream& out, std::uint16_t v) {
   out.write(b, 2);
 }
 
-// Read exactly n bytes, growing the buffer in bounded steps so a lying
-// length field costs at most one 64 KiB chunk of allocation before the
-// stream runs dry -- never an up-front resize to whatever a crafted
-// 32-bit field claims.
-bool read_exact(std::istream& in, std::vector<std::uint8_t>& buf, std::size_t n) {
-  constexpr std::size_t kChunk = 64 * 1024;
-  buf.clear();
-  std::size_t got = 0;
-  while (got < n) {
-    const std::size_t step = std::min(kChunk, n - got);
-    buf.resize(got + step);
-    if (!in.read(reinterpret_cast<char*>(buf.data() + got),
-                 static_cast<std::streamsize>(step)))
-      return false;
-    got += step;
+// Pull every record out of a source into a materialized PcapReadResult and
+// run the sender-majority endpoint inference -- the legacy read_* contract,
+// now expressed as "drain a RecordSource".
+PcapReadResult drain_source(RecordSource& src, bool local_is_sender) {
+  PcapReadResult result;
+  EndpointTally tally;
+  while (auto rec = src.next()) {
+    tally.add(*rec);
+    result.trace.push_back(std::move(*rec));
   }
-  return true;
-}
-
-class LeReader {
- public:
-  explicit LeReader(std::istream& in) : in_(in) {}
-
-  bool read_u32(std::uint32_t& v, bool swapped = false) {
-    std::uint8_t b[4];
-    if (!in_.read(reinterpret_cast<char*>(b), 4)) return false;
-    v = swapped ? (static_cast<std::uint32_t>(b[0]) << 24) | (b[1] << 16) | (b[2] << 8) | b[3]
-                : (static_cast<std::uint32_t>(b[3]) << 24) | (b[2] << 16) | (b[1] << 8) | b[0];
-    return true;
-  }
-
-  bool read_u16(std::uint16_t& v, bool swapped = false) {
-    std::uint8_t b[2];
-    if (!in_.read(reinterpret_cast<char*>(b), 2)) return false;
-    v = swapped ? static_cast<std::uint16_t>((b[0] << 8) | b[1])
-                : static_cast<std::uint16_t>((b[1] << 8) | b[0]);
-    return true;
-  }
-
-  bool read_bytes(std::vector<std::uint8_t>& buf, std::size_t n) {
-    return read_exact(in_, buf, n);
-  }
-
- private:
-  std::istream& in_;
-};
-
-// The side sourcing the most payload bytes is the sender (the paper's
-// traces are unidirectional bulk transfers, so this is unambiguous).
-void infer_endpoints(Trace& trace, bool local_is_sender) {
-  Endpoint a, b;
-  bool have = false;
-  std::uint64_t bytes_a = 0, bytes_b = 0;
-  for (const auto& rec : trace.records()) {
-    if (!have) {
-      a = rec.src;
-      b = rec.dst;
-      have = true;
-    }
-    if (rec.src == a)
-      bytes_a += rec.tcp.payload_len;
-    else
-      bytes_b += rec.tcp.payload_len;
-  }
-  if (!have) return;
-  const Endpoint& sender = bytes_a >= bytes_b ? a : b;
-  const Endpoint& receiver = bytes_a >= bytes_b ? b : a;
-  auto& meta = trace.meta();
-  meta.local = local_is_sender ? sender : receiver;
-  meta.remote = local_is_sender ? receiver : sender;
-  meta.role = local_is_sender ? LocalRole::kSender : LocalRole::kReceiver;
+  result.skipped_frames = src.skipped_frames();
+  tally.resolve(result.trace.meta(), local_is_sender);
+  return result;
 }
 
 }  // namespace
 
 void write_pcap(std::ostream& out, const Trace& trace, const PcapWriteOptions& opts) {
-  put_le32(out, kMagicLE);
+  put_le32(out, detail::kMagicLE);
   put_le16(out, kVersionMajor);
   put_le16(out, kVersionMinor);
   put_le32(out, 0);  // thiszone
@@ -142,28 +80,12 @@ void write_pcap_file(const std::string& path, const Trace& trace,
   write_pcap(f, trace, opts);
 }
 
-namespace {
-
-/// Ticks per second encoded by an if_tsresol option byte, or 0 when the
-/// resolution is outside the representable range (decimal exponents above
-/// 10^19 overflow 64 bits).
-std::uint64_t tsresol_ticks_per_sec(std::uint8_t raw) {
-  const unsigned exp = raw & 0x7f;
-  if (raw & 0x80) return exp <= 63 ? 1ULL << exp : 0;
-  if (exp > 19) return 0;
-  std::uint64_t tps = 1;
-  for (unsigned i = 0; i < exp; ++i) tps *= 10;
-  return tps;
-}
-
-}  // namespace
-
 void write_pcapng(std::ostream& out, const Trace& trace, const PcapngWriteOptions& opts) {
-  const std::uint64_t tps = tsresol_ticks_per_sec(opts.tsresol_raw);
+  const std::uint64_t tps = detail::tsresol_ticks_per_sec(opts.tsresol_raw);
   if (tps == 0) throw std::runtime_error("pcapng: unrepresentable tsresol");
 
   // Section Header Block.
-  put_le32(out, kPcapngShb);
+  put_le32(out, detail::kPcapngShb);
   put_le32(out, 28);          // total length
   put_le32(out, 0x1a2b3c4d);  // byte-order magic
   put_le16(out, 1);           // major
@@ -224,77 +146,8 @@ void write_pcapng_file(const std::string& path, const Trace& trace,
 
 PcapReadResult read_pcap(std::istream& in, bool local_is_sender,
                          const util::ParseLimits& limits) {
-  LeReader r(in);
-  std::uint32_t magic = 0;
-  if (!r.read_u32(magic)) throw std::runtime_error("pcap: empty file");
-  bool swapped = false;
-  bool nanos = false;
-  if (magic == kMagicSwapped || magic == kMagicNsSwapped) {
-    swapped = true;
-    nanos = magic == kMagicNsSwapped;
-  } else if (magic == kMagicLE || magic == kMagicNsLE) {
-    nanos = magic == kMagicNsLE;
-  } else {
-    throw std::runtime_error("pcap: bad magic");
-  }
-  std::uint16_t vmaj = 0, vmin = 0;
-  std::uint32_t zone = 0, sigfigs = 0, snaplen = 0, linktype = 0;
-  if (!r.read_u16(vmaj, swapped) || !r.read_u16(vmin, swapped) || !r.read_u32(zone, swapped) ||
-      !r.read_u32(sigfigs, swapped) || !r.read_u32(snaplen, swapped) ||
-      !r.read_u32(linktype, swapped))
-    throw std::runtime_error("pcap: truncated global header");
-  linktype &= 0x0fffffff;  // high bits may carry FCS metadata
-  if (!linktype_supported(linktype)) throw std::runtime_error("pcap: unsupported linktype");
-
-  PcapReadResult result;
-  std::vector<std::uint8_t> frame;
-  bool first = true;
-  std::uint64_t epoch0_us = 0;
-  std::uint64_t records = 0;
-  std::uint64_t total_bytes = 0;
-  for (;;) {
-    std::uint32_t ts_sec = 0;
-    if (!r.read_u32(ts_sec, swapped)) break;  // clean EOF
-    std::uint32_t ts_usec = 0, cap_len = 0, orig_len = 0;
-    if (!r.read_u32(ts_usec, swapped) || !r.read_u32(cap_len, swapped) ||
-        !r.read_u32(orig_len, swapped))
-      throw std::runtime_error("pcap: truncated record header");
-    // A cap_len is attacker-controlled until proven otherwise: it must fit
-    // the declared snaplen (0 = unknown, some writers) and the parse
-    // limits before any buffer is sized from it.
-    if (cap_len > limits.max_record_bytes)
-      throw std::runtime_error("pcap: frame length " + std::to_string(cap_len) +
-                               " exceeds record-size limit");
-    if (snaplen != 0 && cap_len > snaplen)
-      throw std::runtime_error("pcap: frame length exceeds declared snaplen");
-    if (++records > limits.max_records)
-      throw std::runtime_error("pcap: record count exceeds limit");
-    total_bytes += cap_len;
-    if (total_bytes > limits.max_total_bytes)
-      throw std::runtime_error("pcap: capture exceeds total byte budget");
-    if (!r.read_bytes(frame, cap_len)) throw std::runtime_error("pcap: truncated frame");
-
-    auto decoded = decode_frame(linktype, frame);
-    if (!decoded) {
-      ++result.skipped_frames;
-      continue;
-    }
-    const std::uint64_t abs_us = static_cast<std::uint64_t>(ts_sec) * 1000000ULL +
-                                 (nanos ? ts_usec / 1000 : ts_usec);
-    if (first) {
-      epoch0_us = abs_us;
-      first = false;
-    }
-    decoded->timestamp =
-        util::TimePoint(static_cast<std::int64_t>(abs_us - epoch0_us));
-    // decode_frame already downgraded checksum_known when the captured
-    // slice was shorter than the TCP segment (header-only snaplens).
-    (void)orig_len;
-    result.trace.push_back(std::move(*decoded));
-  }
-
-  infer_endpoints(result.trace, local_is_sender);
-  return result;
+  PcapSource src(in, limits);
+  return drain_source(src, local_is_sender);
 }
 
 PcapReadResult read_pcap_file(const std::string& path, bool local_is_sender,
@@ -304,203 +157,10 @@ PcapReadResult read_pcap_file(const std::string& path, bool local_is_sender,
   return read_pcap(f, local_is_sender, limits);
 }
 
-namespace {
-
-// In-memory parser for one pcapng block body, honoring section byte order.
-class BlockView {
- public:
-  BlockView(const std::vector<std::uint8_t>& body, bool swapped)
-      : body_(body), swapped_(swapped) {}
-
-  std::size_t size() const { return body_.size(); }
-
-  std::uint16_t u16(std::size_t off) const {
-    return swapped_ ? static_cast<std::uint16_t>((body_[off] << 8) | body_[off + 1])
-                    : static_cast<std::uint16_t>((body_[off + 1] << 8) | body_[off]);
-  }
-
-  std::uint32_t u32(std::size_t off) const {
-    return swapped_ ? (static_cast<std::uint32_t>(body_[off]) << 24) |
-                          (body_[off + 1] << 16) | (body_[off + 2] << 8) | body_[off + 3]
-                    : (static_cast<std::uint32_t>(body_[off + 3]) << 24) |
-                          (body_[off + 2] << 16) | (body_[off + 1] << 8) | body_[off];
-  }
-
-  std::span<const std::uint8_t> bytes(std::size_t off, std::size_t n) const {
-    return std::span(body_).subspan(off, n);
-  }
-
- private:
-  const std::vector<std::uint8_t>& body_;
-  bool swapped_;
-};
-
-struct PcapngInterface {
-  std::uint32_t linktype = kLinktypeEthernet;
-  // Timestamp units per second (default: microseconds).
-  std::uint64_t ticks_per_sec = 1'000'000;
-};
-
-// Convert an interface-resolution tick count to microseconds.
-std::uint64_t ticks_to_us(std::uint64_t ticks, std::uint64_t ticks_per_sec) {
-  if (ticks_per_sec == 1'000'000) return ticks;
-  const auto wide = static_cast<unsigned __int128>(ticks) * 1'000'000u;
-  return static_cast<std::uint64_t>(wide / ticks_per_sec);
-}
-
-// Walk an options list starting at `off`; returns if_tsresol ticks/sec if
-// present (option code 9) and representable, else the microsecond default.
-// Decimal exponents above 19 would overflow 64 bits (the old code silently
-// computed 10^19 for any of them); they fall back to the default.
-std::uint64_t parse_tsresol(const BlockView& v, std::size_t off) {
-  while (off + 4 <= v.size()) {
-    const std::uint16_t code = v.u16(off);
-    const std::uint16_t len = v.u16(off + 2);
-    off += 4;
-    if (code == 0) break;  // opt_endofopt
-    if (len > v.size() || off > v.size() - len) break;
-    if (code == 9 && len >= 1) {
-      const std::uint64_t tps = tsresol_ticks_per_sec(v.bytes(off, 1)[0]);
-      if (tps == 0) break;  // nonsense resolution; keep default
-      return tps;
-    }
-    off += (len + 3u) & ~3u;  // options pad to 32 bits
-  }
-  return 1'000'000;
-}
-
-}  // namespace
-
 PcapReadResult read_pcapng(std::istream& in, bool local_is_sender,
                            const util::ParseLimits& limits) {
-  constexpr std::uint32_t kByteOrderMagic = 0x1a2b3c4d;
-  constexpr std::uint32_t kIdb = 1, kSpb = 3, kEpb = 6;
-
-  PcapReadResult result;
-  std::vector<PcapngInterface> interfaces;
-  bool swapped = false;
-  bool in_section = false;
-  bool first_packet = true;
-  std::uint64_t epoch0_us = 0;
-  util::TimePoint last_ts;
-  std::uint64_t blocks = 0;
-  std::uint64_t total_bytes = 0;
-
-  std::vector<std::uint8_t> body;
-  for (;;) {
-    // Block header: type + total length, in the CURRENT section's order --
-    // except the SHB, whose byte-order magic defines the order; so read
-    // type raw and handle SHB specially.
-    std::uint8_t hdr[8];
-    if (!in.read(reinterpret_cast<char*>(hdr), 8)) break;  // clean EOF
-    auto raw_u32 = [&](const std::uint8_t* p, bool swap) {
-      return swap ? (static_cast<std::uint32_t>(p[0]) << 24) | (p[1] << 16) | (p[2] << 8) | p[3]
-                  : (static_cast<std::uint32_t>(p[3]) << 24) | (p[2] << 16) | (p[1] << 8) | p[0];
-    };
-    const std::uint32_t type = raw_u32(hdr, false);  // SHB magic is palindromic
-    const bool is_shb = type == kPcapngShb;
-    if (!is_shb && !in_section) throw std::runtime_error("pcapng: no section header");
-
-    if (++blocks > limits.max_records)
-      throw std::runtime_error("pcapng: block count exceeds limit");
-
-    std::uint32_t total_len = raw_u32(hdr + 4, swapped);
-    if (is_shb) {
-      // Peek the byte-order magic to learn this section's endianness.
-      std::uint8_t bom[4];
-      if (!in.read(reinterpret_cast<char*>(bom), 4))
-        throw std::runtime_error("pcapng: truncated section header");
-      if (raw_u32(bom, false) == kByteOrderMagic)
-        swapped = false;
-      else if (raw_u32(bom, true) == kByteOrderMagic)
-        swapped = true;
-      else
-        throw std::runtime_error("pcapng: bad byte-order magic");
-      total_len = raw_u32(hdr + 4, swapped);
-      if (total_len < 16 || total_len % 4 != 0)
-        throw std::runtime_error("pcapng: bad block length");
-      if (total_len - 16 > limits.max_record_bytes)
-        throw std::runtime_error("pcapng: block length exceeds limit");
-      total_bytes += total_len;
-      if (total_bytes > limits.max_total_bytes)
-        throw std::runtime_error("pcapng: capture exceeds total byte budget");
-      // Consume the rest of the SHB body plus trailing length.
-      if (!read_exact(in, body, total_len - 12 - 4) || !in.ignore(4))
-        throw std::runtime_error("pcapng: truncated section header");
-      in_section = true;
-      interfaces.clear();  // interfaces are per-section
-      continue;
-    }
-
-    if (total_len < 12 || total_len % 4 != 0)
-      throw std::runtime_error("pcapng: bad block length");
-    if (total_len - 12 > limits.max_record_bytes)
-      throw std::runtime_error("pcapng: block length exceeds limit");
-    total_bytes += total_len;
-    if (total_bytes > limits.max_total_bytes)
-      throw std::runtime_error("pcapng: capture exceeds total byte budget");
-    if (!read_exact(in, body, total_len - 12) || !in.ignore(4))
-      throw std::runtime_error("pcapng: truncated block");
-    BlockView v(body, swapped);
-
-    if (type == kIdb) {
-      if (v.size() < 8) throw std::runtime_error("pcapng: short interface block");
-      PcapngInterface iface;
-      iface.linktype = v.u16(0);
-      iface.ticks_per_sec = parse_tsresol(v, 8);
-      interfaces.push_back(iface);
-      continue;
-    }
-
-    auto decode_one = [&](std::uint32_t linktype, std::span<const std::uint8_t> frame,
-                          util::TimePoint ts) {
-      auto decoded = decode_frame(linktype, frame);
-      if (!decoded) {
-        ++result.skipped_frames;
-        return;
-      }
-      decoded->timestamp = ts;
-      last_ts = ts;
-      result.trace.push_back(std::move(*decoded));
-    };
-
-    if (type == kEpb) {
-      if (v.size() < 20) throw std::runtime_error("pcapng: short packet block");
-      const std::uint32_t iface_id = v.u32(0);
-      if (iface_id >= interfaces.size())
-        throw std::runtime_error("pcapng: packet references unknown interface");
-      const PcapngInterface& iface = interfaces[iface_id];
-      const std::uint64_t ticks =
-          (static_cast<std::uint64_t>(v.u32(4)) << 32) | v.u32(8);
-      const std::uint32_t cap_len = v.u32(12);
-      // Compare in size_t (v.size() >= 20 established above): the old
-      // `v.size() < 20 + cap_len` wrapped in 32-bit arithmetic for
-      // cap_len > 0xFFFFFFEB and admitted an out-of-range subspan.
-      if (cap_len > v.size() - 20)
-        throw std::runtime_error("pcapng: truncated packet data");
-      const std::uint64_t abs_us = ticks_to_us(ticks, iface.ticks_per_sec);
-      if (first_packet) {
-        epoch0_us = abs_us;
-        first_packet = false;
-      }
-      decode_one(iface.linktype, v.bytes(20, cap_len),
-                 util::TimePoint(static_cast<std::int64_t>(abs_us - epoch0_us)));
-    } else if (type == kSpb) {
-      // Simple Packet Block: no timestamp; reuse the previous packet's so
-      // ordering survives (analysis of such captures is degraded anyway).
-      if (interfaces.empty())
-        throw std::runtime_error("pcapng: simple packet without interface");
-      if (v.size() < 4) throw std::runtime_error("pcapng: short packet block");
-      const std::uint32_t orig_len = v.u32(0);
-      const std::uint32_t cap_len =
-          std::min<std::uint32_t>(orig_len, static_cast<std::uint32_t>(v.size() - 4));
-      decode_one(interfaces[0].linktype, v.bytes(4, cap_len), last_ts);
-    }
-    // All other block types (name resolution, statistics, custom) skipped.
-  }
-
-  infer_endpoints(result.trace, local_is_sender);
-  return result;
+  PcapngSource src(in, limits);
+  return drain_source(src, local_is_sender);
 }
 
 PcapReadResult read_pcapng_file(const std::string& path, bool local_is_sender,
@@ -514,14 +174,8 @@ PcapReadResult read_capture_file(const std::string& path, bool local_is_sender,
                                  const util::ParseLimits& limits) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("capture: cannot open for read: " + path);
-  std::uint8_t head[4] = {0, 0, 0, 0};
-  f.read(reinterpret_cast<char*>(head), 4);
-  f.clear();
-  f.seekg(0);
-  const std::uint32_t first = (static_cast<std::uint32_t>(head[3]) << 24) |
-                              (head[2] << 16) | (head[1] << 8) | head[0];
-  if (first == kPcapngShb) return read_pcapng(f, local_is_sender, limits);
-  return read_pcap(f, local_is_sender, limits);
+  auto src = open_capture_source(f, limits);
+  return drain_source(*src, local_is_sender);
 }
 
 }  // namespace tcpanaly::trace

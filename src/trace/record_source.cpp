@@ -1,0 +1,310 @@
+#include "trace/record_source.hpp"
+
+#include <cstring>
+#include <istream>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "trace/pcap_detail.hpp"
+
+namespace tcpanaly::trace {
+
+namespace {
+
+// In-memory parser for one pcapng block body, honoring section byte order.
+class BlockView {
+ public:
+  BlockView(const std::vector<std::uint8_t>& body, bool swapped)
+      : body_(body), swapped_(swapped) {}
+
+  std::size_t size() const { return body_.size(); }
+
+  std::uint16_t u16(std::size_t off) const {
+    return swapped_ ? static_cast<std::uint16_t>((body_[off] << 8) | body_[off + 1])
+                    : static_cast<std::uint16_t>((body_[off + 1] << 8) | body_[off]);
+  }
+
+  std::uint32_t u32(std::size_t off) const {
+    return swapped_ ? (static_cast<std::uint32_t>(body_[off]) << 24) |
+                          (body_[off + 1] << 16) | (body_[off + 2] << 8) | body_[off + 3]
+                    : (static_cast<std::uint32_t>(body_[off + 3]) << 24) |
+                          (body_[off + 2] << 16) | (body_[off + 1] << 8) | body_[off];
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t off, std::size_t n) const {
+    return std::span(body_).subspan(off, n);
+  }
+
+ private:
+  const std::vector<std::uint8_t>& body_;
+  bool swapped_;
+};
+
+// Convert an interface-resolution tick count to microseconds.
+std::uint64_t ticks_to_us(std::uint64_t ticks, std::uint64_t ticks_per_sec) {
+  if (ticks_per_sec == 1'000'000) return ticks;
+  const auto wide = static_cast<unsigned __int128>(ticks) * 1'000'000u;
+  return static_cast<std::uint64_t>(wide / ticks_per_sec);
+}
+
+// Walk an options list starting at `off`; returns if_tsresol ticks/sec if
+// present (option code 9) and representable, else the microsecond default.
+// Decimal exponents above 19 would overflow 64 bits (the old code silently
+// computed 10^19 for any of them); they fall back to the default.
+std::uint64_t parse_tsresol(const BlockView& v, std::size_t off) {
+  while (off + 4 <= v.size()) {
+    const std::uint16_t code = v.u16(off);
+    const std::uint16_t len = v.u16(off + 2);
+    off += 4;
+    if (code == 0) break;  // opt_endofopt
+    if (len > v.size() || off > v.size() - len) break;
+    if (code == 9 && len >= 1) {
+      const std::uint64_t tps = detail::tsresol_ticks_per_sec(v.bytes(off, 1)[0]);
+      if (tps == 0) break;  // nonsense resolution; keep default
+      return tps;
+    }
+    off += (len + 3u) & ~3u;  // options pad to 32 bits
+  }
+  return 1'000'000;
+}
+
+std::uint32_t raw_u32(const std::uint8_t* p, bool swap) {
+  return swap ? (static_cast<std::uint32_t>(p[0]) << 24) | (p[1] << 16) | (p[2] << 8) | p[3]
+              : (static_cast<std::uint32_t>(p[3]) << 24) | (p[2] << 16) | (p[1] << 8) | p[0];
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- PcapSource
+
+PcapSource::PcapSource(std::istream& in, const util::ParseLimits& limits)
+    : in_(in), limits_(limits) {
+  // The magic read distinguishes a genuinely empty stream (the unified
+  // empty-input diagnostic) from one that died mid-field.
+  std::uint8_t b[4];
+  if (!in_.read(reinterpret_cast<char*>(b), 4)) {
+    if (in_.gcount() == 0) throw std::runtime_error(detail::kEmptyCaptureMsg);
+    throw std::runtime_error("pcap: truncated magic");
+  }
+  const std::uint32_t magic = raw_u32(b, false);
+  if (magic == detail::kMagicSwapped || magic == detail::kMagicNsSwapped) {
+    swapped_ = true;
+    nanos_ = magic == detail::kMagicNsSwapped;
+  } else if (magic == detail::kMagicLE || magic == detail::kMagicNsLE) {
+    nanos_ = magic == detail::kMagicNsLE;
+  } else {
+    throw std::runtime_error("pcap: bad magic");
+  }
+  detail::LeReader r(in_);
+  std::uint16_t vmaj = 0, vmin = 0;
+  std::uint32_t zone = 0, sigfigs = 0;
+  if (!r.read_u16(vmaj, swapped_) || !r.read_u16(vmin, swapped_) ||
+      !r.read_u32(zone, swapped_) || !r.read_u32(sigfigs, swapped_) ||
+      !r.read_u32(snaplen_, swapped_) || !r.read_u32(linktype_, swapped_))
+    throw std::runtime_error("pcap: truncated global header");
+  linktype_ &= 0x0fffffff;  // high bits may carry FCS metadata
+  if (!linktype_supported(linktype_)) throw std::runtime_error("pcap: unsupported linktype");
+}
+
+std::optional<PacketRecord> PcapSource::next() {
+  detail::LeReader r(in_);
+  for (;;) {
+    std::uint32_t ts_sec = 0;
+    if (!r.read_u32(ts_sec, swapped_)) return std::nullopt;  // clean EOF
+    std::uint32_t ts_usec = 0, cap_len = 0, orig_len = 0;
+    if (!r.read_u32(ts_usec, swapped_) || !r.read_u32(cap_len, swapped_) ||
+        !r.read_u32(orig_len, swapped_))
+      throw std::runtime_error("pcap: truncated record header");
+    // A cap_len is attacker-controlled until proven otherwise: it must fit
+    // the declared snaplen (0 = unknown, some writers) and the parse
+    // limits before any buffer is sized from it.
+    if (cap_len > limits_.max_record_bytes)
+      throw std::runtime_error("pcap: frame length " + std::to_string(cap_len) +
+                               " exceeds record-size limit");
+    if (snaplen_ != 0 && cap_len > snaplen_)
+      throw std::runtime_error("pcap: frame length exceeds declared snaplen");
+    if (++records_ > limits_.max_records)
+      throw std::runtime_error("pcap: record count exceeds limit");
+    total_bytes_ += cap_len;
+    if (total_bytes_ > limits_.max_total_bytes)
+      throw std::runtime_error("pcap: capture exceeds total byte budget");
+    if (!r.read_bytes(frame_, cap_len)) throw std::runtime_error("pcap: truncated frame");
+
+    auto decoded = decode_frame(linktype_, frame_);
+    if (!decoded) {
+      ++skipped_;
+      continue;
+    }
+    const std::uint64_t abs_us = static_cast<std::uint64_t>(ts_sec) * 1000000ULL +
+                                 (nanos_ ? ts_usec / 1000 : ts_usec);
+    if (first_) {
+      epoch0_us_ = abs_us;
+      first_ = false;
+    }
+    decoded->timestamp =
+        util::TimePoint(static_cast<std::int64_t>(abs_us - epoch0_us_));
+    // decode_frame already downgraded checksum_known when the captured
+    // slice was shorter than the TCP segment (header-only snaplens).
+    (void)orig_len;
+    return decoded;
+  }
+}
+
+// ----------------------------------------------------------- PcapngSource
+
+PcapngSource::PcapngSource(std::istream& in, const util::ParseLimits& limits)
+    : in_(in), limits_(limits) {}
+
+std::optional<PacketRecord> PcapngSource::next() {
+  constexpr std::uint32_t kByteOrderMagic = 0x1a2b3c4d;
+  constexpr std::uint32_t kIdb = 1, kSpb = 3, kEpb = 6;
+
+  for (;;) {
+    // Block header: type + total length, in the CURRENT section's order --
+    // except the SHB, whose byte-order magic defines the order; so read
+    // type raw and handle SHB specially.
+    std::uint8_t hdr[8];
+    if (!in_.read(reinterpret_cast<char*>(hdr), 8)) {
+      // A stream with no bytes at all is the unified empty-input error;
+      // a short trailing header is the historical clean EOF.
+      if (blocks_ == 0 && in_.gcount() == 0)
+        throw std::runtime_error(detail::kEmptyCaptureMsg);
+      return std::nullopt;
+    }
+    const std::uint32_t type = raw_u32(hdr, false);  // SHB magic is palindromic
+    const bool is_shb = type == detail::kPcapngShb;
+    if (!is_shb && !in_section_) throw std::runtime_error("pcapng: no section header");
+
+    if (++blocks_ > limits_.max_records)
+      throw std::runtime_error("pcapng: block count exceeds limit");
+
+    std::uint32_t total_len = raw_u32(hdr + 4, swapped_);
+    if (is_shb) {
+      // Peek the byte-order magic to learn this section's endianness.
+      std::uint8_t bom[4];
+      if (!in_.read(reinterpret_cast<char*>(bom), 4))
+        throw std::runtime_error("pcapng: truncated section header");
+      if (raw_u32(bom, false) == kByteOrderMagic)
+        swapped_ = false;
+      else if (raw_u32(bom, true) == kByteOrderMagic)
+        swapped_ = true;
+      else
+        throw std::runtime_error("pcapng: bad byte-order magic");
+      total_len = raw_u32(hdr + 4, swapped_);
+      if (total_len < 16 || total_len % 4 != 0)
+        throw std::runtime_error("pcapng: bad block length");
+      if (total_len - 16 > limits_.max_record_bytes)
+        throw std::runtime_error("pcapng: block length exceeds limit");
+      total_bytes_ += total_len;
+      if (total_bytes_ > limits_.max_total_bytes)
+        throw std::runtime_error("pcapng: capture exceeds total byte budget");
+      // Consume the rest of the SHB body plus trailing length.
+      if (!detail::read_exact(in_, body_, total_len - 12 - 4) || !in_.ignore(4))
+        throw std::runtime_error("pcapng: truncated section header");
+      in_section_ = true;
+      interfaces_.clear();  // interfaces are per-section
+      continue;
+    }
+
+    if (total_len < 12 || total_len % 4 != 0)
+      throw std::runtime_error("pcapng: bad block length");
+    if (total_len - 12 > limits_.max_record_bytes)
+      throw std::runtime_error("pcapng: block length exceeds limit");
+    total_bytes_ += total_len;
+    if (total_bytes_ > limits_.max_total_bytes)
+      throw std::runtime_error("pcapng: capture exceeds total byte budget");
+    if (!detail::read_exact(in_, body_, total_len - 12) || !in_.ignore(4))
+      throw std::runtime_error("pcapng: truncated block");
+    BlockView v(body_, swapped_);
+
+    if (type == kIdb) {
+      if (v.size() < 8) throw std::runtime_error("pcapng: short interface block");
+      Interface iface;
+      iface.linktype = v.u16(0);
+      iface.ticks_per_sec = parse_tsresol(v, 8);
+      interfaces_.push_back(iface);
+      continue;
+    }
+
+    auto decode_one = [&](std::uint32_t linktype, std::span<const std::uint8_t> frame,
+                          util::TimePoint ts) -> std::optional<PacketRecord> {
+      auto decoded = decode_frame(linktype, frame);
+      if (!decoded) {
+        ++skipped_;
+        return std::nullopt;
+      }
+      decoded->timestamp = ts;
+      last_ts_ = ts;
+      return decoded;
+    };
+
+    if (type == kEpb) {
+      if (v.size() < 20) throw std::runtime_error("pcapng: short packet block");
+      const std::uint32_t iface_id = v.u32(0);
+      if (iface_id >= interfaces_.size())
+        throw std::runtime_error("pcapng: packet references unknown interface");
+      const Interface& iface = interfaces_[iface_id];
+      const std::uint64_t ticks =
+          (static_cast<std::uint64_t>(v.u32(4)) << 32) | v.u32(8);
+      const std::uint32_t cap_len = v.u32(12);
+      // Compare in size_t (v.size() >= 20 established above): the old
+      // `v.size() < 20 + cap_len` wrapped in 32-bit arithmetic for
+      // cap_len > 0xFFFFFFEB and admitted an out-of-range subspan.
+      if (cap_len > v.size() - 20)
+        throw std::runtime_error("pcapng: truncated packet data");
+      const std::uint64_t abs_us = ticks_to_us(ticks, iface.ticks_per_sec);
+      if (first_packet_) {
+        epoch0_us_ = abs_us;
+        first_packet_ = false;
+      }
+      if (auto rec = decode_one(iface.linktype, v.bytes(20, cap_len),
+                                util::TimePoint(static_cast<std::int64_t>(abs_us - epoch0_us_))))
+        return rec;
+    } else if (type == kSpb) {
+      // Simple Packet Block: no timestamp; reuse the previous packet's so
+      // ordering survives (analysis of such captures is degraded anyway).
+      if (interfaces_.empty())
+        throw std::runtime_error("pcapng: simple packet without interface");
+      if (v.size() < 4) throw std::runtime_error("pcapng: short packet block");
+      const std::uint32_t orig_len = v.u32(0);
+      const std::uint32_t cap_len =
+          std::min<std::uint32_t>(orig_len, static_cast<std::uint32_t>(v.size() - 4));
+      if (auto rec = decode_one(interfaces_[0].linktype, v.bytes(4, cap_len), last_ts_))
+        return rec;
+    }
+    // All other block types (name resolution, statistics, custom) skipped.
+  }
+}
+
+// ---------------------------------------------------------- EndpointTally
+
+void EndpointTally::resolve(TraceMeta& meta, bool local_is_sender) const {
+  if (!have_) return;
+  const Endpoint& sender = bytes_a_ >= bytes_b_ ? a_ : b_;
+  const Endpoint& receiver = bytes_a_ >= bytes_b_ ? b_ : a_;
+  meta.local = local_is_sender ? sender : receiver;
+  meta.remote = local_is_sender ? receiver : sender;
+  meta.role = local_is_sender ? LocalRole::kSender : LocalRole::kReceiver;
+}
+
+// ---------------------------------------------------- open_capture_source
+
+std::unique_ptr<RecordSource> open_capture_source(std::istream& in,
+                                                  const util::ParseLimits& limits) {
+  // The sniff is itself a parse of untrusted input, so it honors the
+  // total-byte budget: a budget that cannot even cover the magic rejects
+  // the capture before any dispatch.
+  if (limits.max_total_bytes < 4)
+    throw std::runtime_error("capture: total byte budget below magic size");
+  std::uint8_t head[4] = {0, 0, 0, 0};
+  in.read(reinterpret_cast<char*>(head), 4);
+  if (in.gcount() == 0) throw std::runtime_error(detail::kEmptyCaptureMsg);
+  in.clear();
+  in.seekg(0);
+  if (raw_u32(head, false) == detail::kPcapngShb)
+    return std::make_unique<PcapngSource>(in, limits);
+  return std::make_unique<PcapSource>(in, limits);
+}
+
+}  // namespace tcpanaly::trace

@@ -1,0 +1,52 @@
+#include "util/mem_tracker.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace tcpanaly::util {
+
+namespace {
+
+/// Read a "Vm...:  <n> kB" line from /proc/self/status. Returns 0 when the
+/// file or field is unavailable (non-Linux).
+std::uint64_t proc_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      unsigned long long v = 0;
+      if (std::sscanf(line + field_len + 1, "%llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+std::uint64_t peak_rss_bytes() {
+  if (const std::uint64_t kb = proc_status_kb("VmHWM")) return kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace tcpanaly::util

@@ -1,0 +1,93 @@
+// Memory accounting for the streaming pipeline.
+//
+// MemTracker is a thread-safe logical-byte meter: components report how
+// many bytes of state they hold (as capacity deltas), and the tracker
+// maintains the concurrent total and its high-water mark. "Logical" means
+// it counts what the components themselves account for -- container
+// capacities, table slots -- not allocator overhead, so the numbers are
+// deterministic across runs and usable as CI regression budgets (process
+// RSS is not: it depends on allocator, libc, and what else the binary
+// did first).
+//
+// MemGate is the soft ceiling behind `tcpanaly --batch --max-rss-mb`: it
+// admits work items against a byte budget, blocking new admissions while
+// the in-flight estimate would exceed the ceiling. It always admits when
+// nothing is in flight, so a single oversized trace degrades to serial
+// processing instead of deadlocking.
+//
+// current_rss_bytes()/peak_rss_bytes() read the process's actual resident
+// set (VmRSS/VmHWM) for operator-facing reporting.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace tcpanaly::util {
+
+class MemTracker {
+ public:
+  void add(std::uint64_t bytes) {
+    const std::uint64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t seen = peak_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::uint64_t bytes) { current_.fetch_sub(bytes, std::memory_order_relaxed); }
+
+  std::uint64_t current() const { return current_.load(std::memory_order_relaxed); }
+  std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// Soft admission ceiling for concurrent work, keyed on caller-supplied
+/// byte estimates (for batch analysis: the capture's file size, a
+/// conservative stand-in for its decoded footprint).
+class MemGate {
+ public:
+  /// limit_bytes == 0 means unlimited (acquire never blocks).
+  explicit MemGate(std::uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+  /// Block until `estimate` fits under the ceiling alongside the work
+  /// already admitted. Always admits immediately when nothing is in
+  /// flight: one trace larger than the whole budget still gets analyzed,
+  /// just with nothing running beside it.
+  void acquire(std::uint64_t estimate) {
+    if (limit_ == 0) return;
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return in_flight_ == 0 || in_use_ + estimate <= limit_; });
+    in_use_ += estimate;
+    ++in_flight_;
+  }
+
+  void release(std::uint64_t estimate) {
+    if (limit_ == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      in_use_ -= estimate;
+      --in_flight_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::uint64_t limit_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::uint64_t in_use_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+/// Resident-set size of this process right now, in bytes (0 if the
+/// platform offers no way to read it).
+std::uint64_t current_rss_bytes();
+
+/// High-water resident-set size of this process, in bytes.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace tcpanaly::util

@@ -14,6 +14,20 @@
 
 namespace tcpanaly::util {
 
+namespace time_detail {
+// Analyzer time values come from untrusted capture timestamps, so +/-
+// must stay defined at the int64 edges: wrap (two's complement), not UB.
+// Identical to plain arithmetic whenever the result is representable.
+constexpr std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+constexpr std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+}  // namespace time_detail
+
 /// A span of time, in microseconds. Value type; arithmetic is exact.
 class Duration {
  public:
@@ -38,13 +52,23 @@ class Duration {
 
   constexpr auto operator<=>(const Duration&) const = default;
 
-  constexpr Duration operator+(Duration o) const { return Duration(micros_ + o.micros_); }
-  constexpr Duration operator-(Duration o) const { return Duration(micros_ - o.micros_); }
+  constexpr Duration operator+(Duration o) const {
+    return Duration(time_detail::wrap_add(micros_, o.micros_));
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(time_detail::wrap_sub(micros_, o.micros_));
+  }
   constexpr Duration operator*(std::int64_t k) const { return Duration(micros_ * k); }
   constexpr Duration operator/(std::int64_t k) const { return Duration(micros_ / k); }
-  constexpr Duration& operator+=(Duration o) { micros_ += o.micros_; return *this; }
-  constexpr Duration& operator-=(Duration o) { micros_ -= o.micros_; return *this; }
-  constexpr Duration operator-() const { return Duration(-micros_); }
+  constexpr Duration& operator+=(Duration o) {
+    micros_ = time_detail::wrap_add(micros_, o.micros_);
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    micros_ = time_detail::wrap_sub(micros_, o.micros_);
+    return *this;
+  }
+  constexpr Duration operator-() const { return Duration(time_detail::wrap_sub(0, micros_)); }
 
   /// Rendered as seconds with microsecond precision, e.g. "1.234567s".
   std::string to_string() const;
@@ -70,10 +94,19 @@ class TimePoint {
 
   constexpr auto operator<=>(const TimePoint&) const = default;
 
-  constexpr TimePoint operator+(Duration d) const { return TimePoint(micros_ + d.count()); }
-  constexpr TimePoint operator-(Duration d) const { return TimePoint(micros_ - d.count()); }
-  constexpr Duration operator-(TimePoint o) const { return Duration(micros_ - o.micros_); }
-  constexpr TimePoint& operator+=(Duration d) { micros_ += d.count(); return *this; }
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(time_detail::wrap_add(micros_, d.count()));
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(time_detail::wrap_sub(micros_, d.count()));
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration(time_detail::wrap_sub(micros_, o.micros_));
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    micros_ = time_detail::wrap_add(micros_, d.count());
+    return *this;
+  }
 
   std::string to_string() const;
 

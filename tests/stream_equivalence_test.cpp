@@ -1,0 +1,368 @@
+// Streaming pipeline equivalence (the refactor's hard guarantee, layer by
+// layer):
+//
+//   * Layer 1: draining open_capture_source() by hand reproduces the
+//     classic readers record-for-record -- including their rejections,
+//     byte-for-byte on the error message.
+//   * Layer 2, kFull: the incremental AnnotationBuilder's finish_full()
+//     assembles an AnnotatedTrace bit-identical to the one-pass
+//     constructor on the drained trace (notes, handshake, cap-event
+//     index, precomputed caps).
+//   * Layer 2, kBounded: finish_summary() agrees with the offline
+//     pipeline via diff_stream_summary, the same oracle the capture
+//     fuzzer replays on every accepted input.
+//   * Layer 3: analyze_capture_stream() reaches analyze_trace()'s exact
+//     calibration and match results.
+//
+// Inputs: a grid of simulated sessions (loss/delay/duplication variety,
+// both vantage points) plus every file in the checked-in fuzz regression
+// corpus that any capture parser accepts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "core/annotations.hpp"
+#include "core/calibration.hpp"
+#include "core/json_convert.hpp"
+#include "core/stream_analysis.hpp"
+#include "corpus/corpus.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "trace/pcap_io.hpp"
+#include "trace/record_source.hpp"
+#include "util/mem_tracker.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+using trace::Trace;
+using util::Duration;
+
+const std::filesystem::path kCorpusDir = TCPANALY_FUZZ_CORPUS_DIR;
+
+tcp::SessionResult scenario(const char* impl, double loss, std::int64_t delay_ms,
+                            std::uint64_t seed, std::uint32_t bytes = 64 * 1024) {
+  corpus::ScenarioParams p;
+  p.loss_prob = loss;
+  p.one_way_delay = Duration::millis(delay_ms);
+  p.transfer_bytes = bytes;
+  p.seed = seed;
+  return tcp::run_session(corpus::make_session(*tcp::find_profile(impl), p));
+}
+
+/// Every (trace, vantage) pair the suite sweeps: a spread of loss rates,
+/// delays, and implementations, plus an IRIX-style filter-duplication
+/// artifact (every outbound record doubled) so the needs_materialized_rerun
+/// path is exercised too.
+std::vector<std::pair<Trace, bool>> grid() {
+  std::vector<std::pair<Trace, bool>> out;
+  const struct {
+    const char* impl;
+    double loss;
+    std::int64_t delay_ms;
+    std::uint64_t seed;
+  } cells[] = {
+      {"Generic Reno", 0.0, 20, 7},  {"Generic Reno", 0.02, 20, 17},
+      {"Generic Tahoe", 0.05, 60, 3}, {"Linux 1.0", 0.02, 20, 17},
+      {"Solaris 2.4", 0.0, 340, 9},   {"Windows 95", 0.03, 200, 5},
+  };
+  for (const auto& c : cells) {
+    auto r = scenario(c.impl, c.loss, c.delay_ms, c.seed);
+    out.emplace_back(r.sender_trace, true);
+    out.emplace_back(r.receiver_trace, false);
+  }
+  // Filter-added duplicates: later copy at the same timestamp.
+  auto r = scenario("Generic Reno", 0.0, 20, 7);
+  Trace doubled(r.sender_trace.meta());
+  for (std::size_t i = 0; i < r.sender_trace.size(); ++i) {
+    const auto& rec = r.sender_trace[i];
+    doubled.push_back(rec);
+    if (r.sender_trace.is_from_local(rec)) doubled.push_back(rec);
+  }
+  out.emplace_back(std::move(doubled), true);
+  // An empty trace: endpoints never resolve, every detector sees nothing.
+  // Default meta, as the readers leave it when a capture holds no records.
+  out.emplace_back(Trace(trace::TraceMeta{}), true);
+  return out;
+}
+
+std::string pcap_bytes(const Trace& tr) {
+  std::ostringstream out;
+  trace::write_pcap(out, tr);
+  return out.str();
+}
+
+std::string pcapng_bytes(const Trace& tr) {
+  std::ostringstream out;
+  trace::write_pcapng(out, tr);
+  return out.str();
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void expect_same_records(const Trace& a, const Trace& b, const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  EXPECT_EQ(a.meta().local.to_string(), b.meta().local.to_string()) << label;
+  EXPECT_EQ(a.meta().remote.to_string(), b.meta().remote.to_string()) << label;
+  EXPECT_EQ(static_cast<int>(a.meta().role), static_cast<int>(b.meta().role)) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    ASSERT_EQ(x.timestamp.count(), y.timestamp.count()) << label << " record " << i;
+    ASSERT_EQ(x.src.to_string(), y.src.to_string()) << label << " record " << i;
+    ASSERT_EQ(x.dst.to_string(), y.dst.to_string()) << label << " record " << i;
+    ASSERT_EQ(x.tcp.seq, y.tcp.seq) << label << " record " << i;
+    ASSERT_EQ(x.tcp.ack, y.tcp.ack) << label << " record " << i;
+    ASSERT_EQ(x.tcp.window, y.tcp.window) << label << " record " << i;
+    ASSERT_EQ(x.tcp.payload_len, y.tcp.payload_len) << label << " record " << i;
+    ASSERT_EQ(x.tcp.flags.syn, y.tcp.flags.syn) << label << " record " << i;
+    ASSERT_EQ(x.tcp.flags.fin, y.tcp.flags.fin) << label << " record " << i;
+    ASSERT_EQ(x.tcp.flags.ack, y.tcp.flags.ack) << label << " record " << i;
+    ASSERT_EQ(x.tcp.flags.rst, y.tcp.flags.rst) << label << " record " << i;
+  }
+}
+
+/// Drain a capture byte stream through open_capture_source into a Trace
+/// with EndpointTally resolution -- the streaming consumer's view of what
+/// the classic reader materializes.
+struct DrainResult {
+  Trace trace{trace::TraceMeta{}};
+  std::size_t skipped_frames = 0;
+};
+
+DrainResult drain(const std::string& bytes, bool local_is_sender) {
+  std::istringstream in(bytes);
+  auto source = trace::open_capture_source(in);
+  DrainResult out;
+  trace::EndpointTally tally;
+  while (auto rec = source->next()) {
+    tally.add(*rec);
+    out.trace.push_back(*rec);
+  }
+  out.skipped_frames = source->skipped_frames();
+  tally.resolve(out.trace.meta(), local_is_sender);
+  return out;
+}
+
+TEST(StreamEquivalence, SourceDrainMatchesClassicReaders) {
+  for (const auto& [tr, local_is_sender] : grid()) {
+    if (tr.size() == 0) continue;  // zero-record pcap: covered below
+    {
+      const std::string bytes = pcap_bytes(tr);
+      std::istringstream in(bytes);
+      const trace::PcapReadResult classic = trace::read_pcap(in, local_is_sender);
+      const DrainResult streamed = drain(bytes, local_is_sender);
+      EXPECT_EQ(classic.skipped_frames, streamed.skipped_frames);
+      expect_same_records(classic.trace, streamed.trace, "pcap");
+    }
+    {
+      const std::string bytes = pcapng_bytes(tr);
+      std::istringstream in(bytes);
+      const trace::PcapReadResult classic = trace::read_pcapng(in, local_is_sender);
+      const DrainResult streamed = drain(bytes, local_is_sender);
+      EXPECT_EQ(classic.skipped_frames, streamed.skipped_frames);
+      expect_same_records(classic.trace, streamed.trace, "pcapng");
+    }
+  }
+}
+
+TEST(StreamEquivalence, RejectionsMatchByteForByte) {
+  // Truncations of a valid capture at awkward offsets: both paths must
+  // agree on accept-vs-reject, and rejected inputs must carry the classic
+  // reader's exact diagnostic.
+  const auto r = scenario("Generic Reno", 0.02, 20, 17, 16 * 1024);
+  for (const std::string& whole : {pcap_bytes(r.sender_trace), pcapng_bytes(r.sender_trace)}) {
+    const bool is_pcapng = whole.compare(0, 4, "\x0a\x0d\x0d\x0a", 4) == 0;
+    for (const std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{17},
+                                  std::size_t{40}, whole.size() / 2, whole.size() - 3}) {
+      const std::string bytes = whole.substr(0, cut);
+      std::string classic_err;
+      bool classic_ok = true;
+      try {
+        std::istringstream in(bytes);
+        if (is_pcapng)
+          (void)trace::read_pcapng(in);
+        else
+          (void)trace::read_pcap(in);
+      } catch (const std::runtime_error& e) {
+        classic_ok = false;
+        classic_err = e.what();
+      }
+      std::string stream_err;
+      bool stream_ok = true;
+      try {
+        std::istringstream in(bytes);
+        auto source = is_pcapng
+                          ? std::unique_ptr<trace::RecordSource>(
+                                new trace::PcapngSource(in))
+                          : std::unique_ptr<trace::RecordSource>(new trace::PcapSource(in));
+        while (source->next()) {
+        }
+      } catch (const std::runtime_error& e) {
+        stream_ok = false;
+        stream_err = e.what();
+      }
+      EXPECT_EQ(classic_ok, stream_ok) << "cut=" << cut;
+      EXPECT_EQ(classic_err, stream_err) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(StreamEquivalence, FullModeBuildsBitIdenticalAnnotation) {
+  const std::vector<Duration> graces = {Duration::millis(30), Duration::millis(5)};
+  for (const auto& [tr, local_is_sender] : grid()) {
+    AnnotationBuilder::Options bopts;
+    bopts.mode = AnnotationBuilder::Mode::kFull;
+    bopts.local_is_sender = local_is_sender;
+    bopts.cap_graces = graces;
+    AnnotationBuilder builder(std::move(bopts));
+    trace::InMemorySource source(tr);
+    while (auto rec = source.next()) builder.add(*rec);
+    const BuiltAnnotation built = builder.finish_full();
+    ASSERT_TRUE(built.trace);
+    ASSERT_TRUE(built.annotation);
+    EXPECT_EQ(built.records_streamed, tr.size());
+    expect_same_records(*built.trace, tr, "materialized");
+
+    const AnnotatedTrace offline(*built.trace, graces);
+    const AnnotatedTrace& streamed = *built.annotation;
+    ASSERT_EQ(streamed.size(), offline.size());
+    for (std::size_t i = 0; i < offline.size(); ++i) {
+      const RecordNote& a = streamed.note(i);
+      const RecordNote& b = offline.note(i);
+      ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind)) << "record " << i;
+      ASSERT_EQ(a.from_local, b.from_local) << "record " << i;
+      ASSERT_EQ(a.established, b.established) << "record " << i;
+      ASSERT_EQ(a.have_data, b.have_data) << "record " << i;
+      ASSERT_EQ(a.snd_una, b.snd_una) << "record " << i;
+      ASSERT_EQ(a.snd_max, b.snd_max) << "record " << i;
+      ASSERT_EQ(a.offered_window, b.offered_window) << "record " << i;
+      ASSERT_EQ(a.mss, b.mss) << "record " << i;
+      ASSERT_EQ(a.offered_mss, b.offered_mss) << "record " << i;
+    }
+    EXPECT_EQ(streamed.handshake().handshake_seen, offline.handshake().handshake_seen);
+    EXPECT_EQ(streamed.handshake().synack_had_mss, offline.handshake().synack_had_mss);
+    EXPECT_EQ(streamed.handshake().iss, offline.handshake().iss);
+    EXPECT_EQ(streamed.handshake().mss, offline.handshake().mss);
+    EXPECT_EQ(streamed.handshake().offered_mss, offline.handshake().offered_mss);
+    EXPECT_EQ(streamed.handshake().initial_offered_window,
+              offline.handshake().initial_offered_window);
+    ASSERT_EQ(streamed.send_events().size(), offline.send_events().size());
+    for (std::size_t i = 0; i < offline.send_events().size(); ++i) {
+      EXPECT_EQ(streamed.send_events()[i].record_index,
+                offline.send_events()[i].record_index);
+      EXPECT_EQ(streamed.send_events()[i].seq, offline.send_events()[i].seq);
+      EXPECT_EQ(streamed.send_events()[i].end, offline.send_events()[i].end);
+    }
+    ASSERT_EQ(streamed.ack_frontier().size(), offline.ack_frontier().size());
+    for (std::size_t i = 0; i < offline.ack_frontier().size(); ++i) {
+      EXPECT_EQ(streamed.ack_frontier()[i].record_index,
+                offline.ack_frontier()[i].record_index);
+      EXPECT_EQ(streamed.ack_frontier()[i].ack, offline.ack_frontier()[i].ack);
+    }
+    for (Duration g : {Duration::zero(), Duration::millis(5), Duration::millis(30),
+                       Duration::millis(800)}) {
+      EXPECT_EQ(streamed.sender_window_cap(g), offline.sender_window_cap(g));
+    }
+  }
+}
+
+TEST(StreamEquivalence, BoundedSummaryMatchesOfflinePipeline) {
+  for (const auto& [tr, local_is_sender] : grid()) {
+    AnnotationBuilder::Options bopts;
+    bopts.mode = AnnotationBuilder::Mode::kBounded;
+    bopts.local_is_sender = local_is_sender;
+    bopts.cap_graces = {Duration::millis(30)};
+    AnnotationBuilder builder(std::move(bopts));
+    trace::InMemorySource source(tr);
+    while (auto rec = source.next()) builder.add(*rec);
+    const StreamSummary summary = builder.finish_summary();
+    EXPECT_EQ(summary.records_streamed, tr.size());
+    EXPECT_EQ(diff_stream_summary(summary, tr), "") << "records=" << tr.size();
+  }
+}
+
+TEST(StreamEquivalence, BoundedSummaryMatchesOnFuzzCorpusAcceptedFiles) {
+  ASSERT_TRUE(std::filesystem::is_directory(kCorpusDir)) << kCorpusDir;
+  std::size_t accepted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(kCorpusDir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string bytes = read_file(entry.path());
+    // Whichever classic parser accepts the bytes defines the expectation.
+    trace::PcapReadResult classic;
+    bool ok = false;
+    try {
+      std::istringstream in(bytes);
+      classic = trace::read_pcap(in);
+      ok = true;
+    } catch (const std::runtime_error&) {
+    }
+    if (!ok) {
+      try {
+        std::istringstream in(bytes);
+        classic = trace::read_pcapng(in);
+        ok = true;
+      } catch (const std::runtime_error&) {
+      }
+    }
+    if (!ok) continue;
+    ++accepted;
+    std::istringstream in(bytes);
+    auto source = trace::open_capture_source(in);
+    AnnotationBuilder::Options bopts;
+    bopts.mode = AnnotationBuilder::Mode::kBounded;
+    AnnotationBuilder builder(std::move(bopts));
+    while (auto rec = source->next()) builder.add(*rec);
+    EXPECT_EQ(diff_stream_summary(builder.finish_summary(), classic.trace), "")
+        << entry.path();
+  }
+  EXPECT_GE(accepted, 1u);  // the corpus keeps at least one accepted capture
+}
+
+TEST(StreamEquivalence, AnalyzeCaptureStreamMatchesAnalyzeTrace) {
+  for (const auto& [tr, local_is_sender] : grid()) {
+    if (tr.size() == 0) continue;  // analyze_trace requires a nonempty trace
+    const std::string bytes = pcap_bytes(tr);
+    std::istringstream classic_in(bytes);
+    const trace::PcapReadResult classic = trace::read_pcap(classic_in, local_is_sender);
+    MatchOptions mopts;
+    mopts.jobs = 1;
+    const TraceAnalysis offline = analyze_trace(classic.trace, tcp::all_profiles(), mopts);
+
+    std::istringstream stream_in(bytes);
+    auto source = trace::open_capture_source(stream_in);
+    AnalyzeOptions aopts;
+    aopts.match = mopts;
+    util::MemTracker mem;
+    const StreamedTraceAnalysis streamed = analyze_capture_stream(
+        *source, local_is_sender, tcp::all_profiles(), aopts, nullptr, &mem);
+    EXPECT_EQ(streamed.records_streamed, classic.trace.size());
+    EXPECT_GT(streamed.peak_bytes, 0u);
+    EXPECT_GE(mem.peak(), streamed.peak_bytes);
+
+    EXPECT_EQ(to_json(streamed.analysis.calibration).dump(),
+              to_json(offline.calibration).dump());
+    ASSERT_EQ(streamed.analysis.match.fits.size(), offline.match.fits.size());
+    for (std::size_t i = 0; i < offline.match.fits.size(); ++i) {
+      EXPECT_EQ(streamed.analysis.match.fits[i].profile.name,
+                offline.match.fits[i].profile.name);
+      EXPECT_DOUBLE_EQ(streamed.analysis.match.fits[i].penalty,
+                       offline.match.fits[i].penalty);
+      EXPECT_EQ(streamed.analysis.match.fits[i].fit, offline.match.fits[i].fit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

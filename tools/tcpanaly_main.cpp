@@ -18,9 +18,17 @@
 //                        one summary row per trace plus aggregate
 //                        identification/confusion counts (ground truth is
 //                        taken from make_corpus-style file names when
-//                        present)
+//                        present). Each trace is STREAMED through the
+//                        incremental annotation builder -- records are
+//                        annotated as they decode, never loaded first.
+//   --recursive          with --batch: descend into subdirectories; rows
+//                        are keyed by the path relative to <dir>
 //   --jobs N             worker threads for --batch (default: hardware
 //                        concurrency)
+//   --max-rss-mb N       with --batch: soft memory ceiling. New traces are
+//                        admitted only while the in-flight estimate (sum
+//                        of admitted file sizes) stays under N MiB; one
+//                        oversized trace still runs, alone.
 //   --json[=FILE]        emit machine-readable reports (schema_version'd
 //                        JSON). Single-trace mode writes one document;
 //                        --batch writes NDJSON: one row per trace plus a
@@ -42,6 +50,7 @@
 //                        adds trace-pair clock calibration (relative skew,
 //                        step adjustments) per [Pa97b]
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +61,7 @@
 
 #include "core/analyze.hpp"
 #include "core/calibration.hpp"
+#include "core/stream_analysis.hpp"
 #include "core/clock_pair.hpp"
 #include "core/conformance.hpp"
 #include "core/path_metrics.hpp"
@@ -59,10 +69,12 @@
 #include "core/sender_analyzer.hpp"
 #include "core/summary.hpp"
 #include "corpus/naming.hpp"
+#include "corpus/scan.hpp"
 #include "report/report.hpp"
 #include "tcp/profiles.hpp"
 #include "trace/pcap_io.hpp"
 #include "trace/trace.hpp"
+#include "util/mem_tracker.hpp"
 #include "util/parallel.hpp"
 #include "util/stage_timer.hpp"
 #include "util/table.hpp"
@@ -142,12 +154,13 @@ std::vector<tcp::TcpProfile> parse_candidates(const std::string& arg, bool* ok) 
 // --batch: analyze every capture in a directory in parallel.
 
 struct BatchRow {
-  std::string file;       ///< file name within the batch directory
+  std::string file;       ///< file name (or --recursive relative path) within the batch directory
   std::string truth;      ///< ground-truth implementation, if the file name encodes one
   bool receiver_side = false;
   bool load_failed = false;
   std::string error;
   std::size_t records = 0;
+  std::size_t skipped_frames = 0;
   std::string local, remote;
   bool trustworthy = false;
   std::string best_name;
@@ -161,6 +174,7 @@ report::BatchTraceRecord to_record(const BatchRow& row) {
   report::BatchTraceRecord rec;
   rec.trace.file = row.file;
   rec.trace.records = row.records;
+  rec.trace.skipped_frames = row.skipped_frames;
   rec.trace.local = row.local;
   rec.trace.remote = row.remote;
   rec.trace.receiver_side = row.receiver_side;
@@ -176,28 +190,24 @@ report::BatchTraceRecord to_record(const BatchRow& row) {
 }
 
 int run_batch(const std::string& dir, bool receiver_flag,
-              const std::vector<tcp::TcpProfile>& candidates, int jobs,
-              const JsonSink& json) {
+              const std::vector<tcp::TcpProfile>& candidates, int jobs, bool recursive,
+              std::uint64_t max_rss_mb, const JsonSink& json) {
   namespace fs = std::filesystem;
   report::BatchAggregate agg;
   std::vector<fs::path> files;
   {
     auto scope = agg.timings.stage("scan");
     std::error_code ec;
-    for (const auto& entry : fs::directory_iterator(dir, ec)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".pcap" || ext == ".pcapng") files.push_back(entry.path());
-    }
+    files = corpus::list_capture_files(dir, recursive, ec);
     if (ec) {
       std::fprintf(stderr, "--batch %s: %s\n", dir.c_str(), ec.message().c_str());
       return 1;
     }
     if (files.empty()) {
-      std::fprintf(stderr, "--batch %s: no .pcap/.pcapng files found\n", dir.c_str());
+      std::fprintf(stderr, "--batch %s: no .pcap/.pcapng files found%s\n", dir.c_str(),
+                   recursive ? "" : " (subdirectories need --recursive)");
       return 1;
     }
-    std::sort(files.begin(), files.end());
     scope.counter("files", files.size());
   }
 
@@ -206,6 +216,13 @@ int run_batch(const std::string& dir, bool receiver_flag,
   // matching runs serially inside each worker to avoid oversubscription.
   core::MatchOptions mopts;
   mopts.jobs = 1;
+  core::AnalyzeOptions aopts;
+  aopts.match = mopts;
+  // Soft memory ceiling: traces are admitted against their file size (a
+  // conservative stand-in for the decoded footprint) and the streaming
+  // builders report their actual logical bytes into the shared tracker.
+  util::MemGate gate(max_rss_mb * (1024ull * 1024ull));
+  util::MemTracker stream_mem;
   std::vector<BatchRow> rows;
   {
     auto scope = agg.timings.stage("analyze");
@@ -213,40 +230,50 @@ int run_batch(const std::string& dir, bool receiver_flag,
         files,
         [&](const fs::path& path) {
           BatchRow row;
-          row.file = path.filename().string();
+          row.file = recursive ? path.lexically_relative(dir).generic_string()
+                               : path.filename().string();
           const std::string stem = path.stem().string();
           row.truth = corpus::truth_from_filename(stem, registry);
           // make_corpus encodes the vantage point in the file name; fall
           // back to the --receiver flag for foreign captures.
           row.receiver_side = corpus::receiver_side_from_filename(stem, receiver_flag);
+          std::error_code size_ec;
+          const std::uint64_t size = fs::file_size(path, size_ec);
+          const std::uint64_t admitted = size_ec ? 0 : size;
+          gate.acquire(admitted);
           try {
-            trace::PcapReadResult loaded;
-            {
-              auto load = row.timings.stage("load");
-              loaded = trace::read_capture_file(path.string(),
-                                                /*local_is_sender=*/!row.receiver_side);
-              load.counter("records", loaded.trace.size());
-              load.counter("skipped_frames", loaded.skipped_frames);
-            }
-            row.records = loaded.trace.size();
-            row.local = loaded.trace.meta().local.to_string();
-            row.remote = loaded.trace.meta().remote.to_string();
-            auto analysis =
-                core::analyze_trace(loaded.trace, candidates, mopts, &row.timings);
-            row.trustworthy = analysis.calibration.trustworthy();
-            const auto& best = analysis.match.best();
+            // One pass: records are pulled out of the capture and fed to
+            // the incremental annotation builder as they decode; the
+            // "annotate" stage carries records_streamed/peak_bytes.
+            std::ifstream f(path, std::ios::binary);
+            if (!f)
+              throw std::runtime_error("capture: cannot open for read: " + path.string());
+            auto source = trace::open_capture_source(f);
+            auto streamed = core::analyze_capture_stream(
+                *source, /*local_is_sender=*/!row.receiver_side, candidates, aopts,
+                &row.timings, &stream_mem);
+            row.records = streamed.trace->size();
+            row.skipped_frames = streamed.skipped_frames;
+            row.local = streamed.trace->meta().local.to_string();
+            row.remote = streamed.trace->meta().remote.to_string();
+            row.trustworthy = streamed.analysis.calibration.trustworthy();
+            const auto& best = streamed.analysis.match.best();
             row.best_name = best.profile.name;
             row.best_fit = core::to_string(best.fit);
             row.best_penalty = best.penalty;
-            row.identified = !row.truth.empty() && analysis.match.identifies(row.truth);
+            row.identified =
+                !row.truth.empty() && streamed.analysis.match.identifies(row.truth);
           } catch (const std::exception& e) {
             row.load_failed = true;
             row.error = e.what();
           }
+          gate.release(admitted);
           return row;
         },
         jobs);
     scope.counter("traces", rows.size());
+    scope.counter("peak_stream_bytes", stream_mem.peak());
+    scope.counter("peak_rss_bytes", util::peak_rss_bytes());
   }
 
   // Failed loads get a dedicated error column instead of masquerading as a
@@ -361,8 +388,8 @@ int usage(const char* argv0) {
                "          [--summary] [--json[=FILE]]\n"
                "          [--seqplot] [--report <impl>] [--strip-duplicates out.pcap]\n"
                "          [--pair other.pcap] [--list] [--version] <trace.pcap>\n"
-               "       %s --batch <dir> [--jobs N] [--receiver] [--candidates a,b,c]\n"
-               "          [--json[=FILE]]\n",
+               "       %s --batch <dir> [--jobs N] [--recursive] [--max-rss-mb N]\n"
+               "          [--receiver] [--candidates a,b,c] [--json[=FILE]]\n",
                argv0, argv0);
   return 2;
 }
@@ -514,6 +541,8 @@ int main(int argc, char** argv) {
   std::string candidates_arg;
   std::string batch_dir;
   int jobs = 0;
+  bool recursive = false;
+  std::uint64_t max_rss_mb = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -550,6 +579,12 @@ int main(int argc, char** argv) {
       batch_dir = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
+    } else if (arg == "--recursive") {
+      recursive = true;
+    } else if (arg == "--max-rss-mb" && i + 1 < argc) {
+      const long long mb = std::atoll(argv[++i]);
+      if (mb < 0) return usage(argv[0]);
+      max_rss_mb = static_cast<std::uint64_t>(mb);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -566,6 +601,7 @@ int main(int argc, char** argv) {
   }
 
   if (!batch_dir.empty())
-    return run_batch(batch_dir, o.receiver_side, candidates, jobs, o.json);
+    return run_batch(batch_dir, o.receiver_side, candidates, jobs, recursive, max_rss_mb,
+                     o.json);
   return run_single(o, candidates);
 }
