@@ -1,0 +1,245 @@
+// Multi-connection demultiplexing: per-flow fidelity and bounded footprint,
+// measured.
+//
+// A netsim-interleaved capture of N concurrent connections (distinct
+// client endpoints onto one server, staggered starts, mixed loss/delay
+// cells) is pushed through the flow demux two ways:
+//
+//   * fidelity: every per-flow analysis the demux emits must be
+//     bit-identical (calibration JSON + full fit table) to analyzing that
+//     flow's records in isolation -- the per-flow NDJSON row claim;
+//   * boundedness: the demux's peak logical footprint is set by CONCURRENT
+//     flows (flow lifetime / start spacing), not by how many flows the
+//     capture holds in total. Running the same traffic shape at 4x the
+//     flow count must not grow the peak by more than 2x, and the peak must
+//     sit well below the sum of the individual flows' builder peaks (what
+//     holding every flow to EOF would cost).
+//
+// scripts/tier1.sh reuses this binary's --write-capture mode to generate
+// the 1000-flow capture it feeds through `tcpanaly --batch --max-rss-mb`;
+// bench/results/flow_demux.json keeps the reference numbers.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flow_demux.hpp"
+#include "core/json_convert.hpp"
+#include "core/stream_analysis.hpp"
+#include "corpus/corpus.hpp"
+#include "netsim/mix.hpp"
+#include "report/report.hpp"
+#include "tcp/profiles.hpp"
+#include "trace/pcap_io.hpp"
+#include "trace/record_source.hpp"
+#include "util/mem_tracker.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+using report::Json;
+
+namespace {
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+std::vector<tcp::TcpProfile> candidates() {
+  return {*tcp::find_profile("Generic Reno"), *tcp::find_profile("Generic Tahoe"),
+          *tcp::find_profile("Linux 1.0")};
+}
+
+core::FlowDemuxOptions demux_options() {
+  core::FlowDemuxOptions opts;
+  opts.analyze.match.jobs = 1;  // per-flow determinism; parallelism is across flows
+  opts.candidates = candidates();
+  return opts;
+}
+
+/// One string that pins everything a per-flow NDJSON row reports: the full
+/// calibration document plus every candidate's (name, penalty, fit class).
+std::string analysis_signature(const core::TraceAnalysis& a) {
+  std::string sig = core::to_json(a.calibration).dump();
+  for (const core::CandidateFit& fit : a.match.fits)
+    sig += "|" + fit.profile.name + util::strf(":%.17g:%d", fit.penalty,
+                                               static_cast<int>(fit.fit));
+  return sig;
+}
+
+struct Leg {
+  std::size_t flows = 0;
+  std::uint64_t records = 0;
+  double wall_ms = 0.0;
+  core::FlowDemuxStats stats;
+  std::uint64_t sum_flow_peaks = 0;  ///< what holding every flow at once would cost
+};
+
+/// Run the capture through the demux, render-and-drop like the batch
+/// engine does; per-flow signatures land in `out_sigs` keyed by client
+/// endpoint when requested.
+Leg run_demux(const trace::Trace& capture, std::size_t flows,
+              std::unordered_map<std::string, std::string>* out_sigs) {
+  Leg leg;
+  leg.flows = flows;
+  leg.records = capture.size();
+  core::FlowDemux demux(demux_options(), [&](core::FlowResult r) {
+    leg.sum_flow_peaks += r.peak_bytes;
+    if (out_sigs && r.cls == core::FlowClass::kAnalyzable)
+      (*out_sigs)[r.first_src.to_string()] = analysis_signature(r.analysis);
+  });
+  leg.wall_ms = wall_ms([&] {
+    trace::InMemorySource source(capture);
+    while (auto rec = source.next()) demux.add(*rec);
+    demux.finish();
+  });
+  leg.stats = demux.stats();
+  return leg;
+}
+
+corpus::FlowMix make_mix(std::size_t flows) {
+  corpus::FlowMixOptions mopts;
+  mopts.flows = flows;
+  return corpus::make_flow_mix(*tcp::find_profile("Generic Reno"), mopts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string capture_path;
+  std::size_t flows = 100;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--flows" && i + 1 < argc) {
+      flows = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--write-capture" && i + 1 < argc) {
+      capture_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json FILE] [--flows N] [--write-capture FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (!capture_path.empty()) {
+    // Generator mode for tier-1: just emit the interleaved capture.
+    const corpus::FlowMix mix = make_mix(flows);
+    trace::write_pcap_file(capture_path, mix.capture);
+    std::printf("wrote %zu-flow capture (%zu records) to %s\n", flows,
+                mix.capture.size(), capture_path.c_str());
+    return 0;
+  }
+
+  std::printf("== flow demux: fidelity and bounded footprint ==\n\n");
+
+  // --- fidelity at the base flow count -------------------------------
+  const corpus::FlowMix mix = make_mix(flows);
+  std::printf("capture: %zu flows interleaved into %zu records\n", flows,
+              mix.capture.size());
+
+  // Reference: each flow's records analyzed alone, exactly the
+  // analyze_capture_stream path a single-connection capture gets.
+  std::vector<std::string> ref_sigs(flows);
+  const double ref_wall = wall_ms([&] {
+    std::vector<std::size_t> idx(flows);
+    std::iota(idx.begin(), idx.end(), 0);
+    util::parallel_map(
+        idx,
+        [&](std::size_t i) {
+          trace::InMemorySource source(mix.isolated[i]);
+          core::AnalyzeOptions aopts;
+          aopts.match.jobs = 1;
+          ref_sigs[i] = analysis_signature(
+              core::analyze_capture_stream(source, true, candidates(), aopts).analysis);
+          return 0;
+        },
+        0);
+  });
+
+  std::unordered_map<std::string, std::string> demux_sigs;
+  const Leg base = run_demux(mix.capture, flows, &demux_sigs);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < flows; ++i) {
+    const std::string client =
+        sim::flow_endpoints(static_cast<std::uint32_t>(i)).local.to_string();
+    const auto it = demux_sigs.find(client);
+    if (it == demux_sigs.end() || it->second != ref_sigs[i]) ++mismatches;
+  }
+  const bool equivalent = mismatches == 0 && base.stats.flows_analyzed == flows;
+  std::printf("per-flow results identical to isolated runs: %s (%zu/%zu flows)\n\n",
+              equivalent ? "yes" : "NO", flows - mismatches, flows);
+
+  // --- boundedness at 4x the flow count ------------------------------
+  const corpus::FlowMix big_mix = make_mix(flows * 4);
+  const Leg big = run_demux(big_mix.capture, flows * 4, nullptr);
+
+  const double peak_ratio = static_cast<double>(big.stats.peak_bytes) /
+                            static_cast<double>(std::max<std::uint64_t>(base.stats.peak_bytes, 1));
+  const double materialize_factor =
+      static_cast<double>(big.sum_flow_peaks) /
+      static_cast<double>(std::max<std::uint64_t>(big.stats.peak_bytes, 1));
+
+  util::TextTable table(
+      {"flows", "records", "wall ms", "peak logical", "closed", "eof", "sum flow peaks"});
+  Json legs = Json::array();
+  for (const Leg* leg : {&base, &big}) {
+    table.add_row({std::to_string(leg->flows), std::to_string(leg->records),
+                   util::strf("%.1f", leg->wall_ms),
+                   util::strf("%llu", static_cast<unsigned long long>(leg->stats.peak_bytes)),
+                   util::strf("%llu", static_cast<unsigned long long>(leg->stats.closed)),
+                   util::strf("%llu", static_cast<unsigned long long>(leg->stats.at_eof)),
+                   util::strf("%llu", static_cast<unsigned long long>(leg->sum_flow_peaks))});
+    Json row = Json::object();
+    row.set("flows", leg->flows);
+    row.set("records", leg->records);
+    row.set("wall_ms", leg->wall_ms);
+    row.set("peak_logical_bytes", leg->stats.peak_bytes);
+    row.set("sum_flow_peak_bytes", leg->sum_flow_peaks);
+    row.set("flows_analyzed", leg->stats.flows_analyzed);
+    row.set("closed", leg->stats.closed);
+    row.set("at_eof", leg->stats.at_eof);
+    legs.push_back(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("isolated reference wall: %.1f ms (parallel)\n", ref_wall);
+  std::printf("peak growth at 4x flows: %.2fx (gate: <= 2x)\n", peak_ratio);
+  std::printf("hold-everything cost / demux peak at 4x: %.2fx (gate: >= 2x)\n",
+              materialize_factor);
+  std::printf("process peak RSS: %.1f MiB (informational; monotonic)\n\n",
+              static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0));
+
+  if (!json_path.empty()) {
+    Json doc = report::document_header("bench");
+    doc.set("bench", "flow_demux");
+    doc.set("flows", flows);
+    doc.set("equivalent", equivalent);
+    doc.set("mismatches", mismatches);
+    doc.set("legs", std::move(legs));
+    doc.set("peak_ratio_4x", peak_ratio);
+    doc.set("materialize_factor", materialize_factor);
+    std::ofstream out(json_path);
+    out << doc.dump(2) << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote bench JSON to %s\n", json_path.c_str());
+  }
+  return equivalent && peak_ratio <= 2.0 && materialize_factor >= 2.0 ? 0 : 1;
+}

@@ -96,6 +96,54 @@ assert doc["wall_ratio_max"] <= 1.5, f"streaming wall ratio {doc['wall_ratio_max
 assert len(doc["legs"]) == 4
 PYEOF
   echo "memory-regression leg OK (streaming ingest bounded and equivalent)"
+
+  # Demux leg, part 1: per-flow fidelity and bounded footprint at the
+  # library layer. The bench exits nonzero itself if any of the 100
+  # interleaved flows diverges from its isolated analysis, if the peak
+  # grows more than 2x at 4x the flow count, or if the demux peak is not
+  # at least 2x below the hold-every-flow-to-EOF cost (reference numbers
+  # live in bench/results/flow_demux.json).
+  "$BUILD/bench/bench_flow_demux" --json "$JSON_DIR/flow_demux.json" > /dev/null
+  python3 - "$JSON_DIR/flow_demux.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["type"] == "bench" and doc["bench"] == "flow_demux", doc.get("bench")
+assert doc["equivalent"] is True, "per-flow results diverged from isolated runs"
+assert doc["mismatches"] == 0
+assert doc["peak_ratio_4x"] <= 2.0, f"peak grew {doc['peak_ratio_4x']:.2f}x at 4x flows"
+assert doc["materialize_factor"] >= 2.0, \
+    f"demux peak only {doc['materialize_factor']:.2f}x below hold-everything"
+PYEOF
+
+  # Demux leg, part 2: the production batch path on a 1000-flow
+  # interleaved capture under a soft memory ceiling. Every flow the demux
+  # saw must land in exactly one per-flow NDJSON row
+  # (seen == analyzed + unanalyzable == rows emitted) and the process's
+  # peak RSS must stay under the ceiling it was given.
+  mkdir "$JSON_DIR/flows"
+  "$BUILD/bench/bench_flow_demux" --flows 1000 \
+    --write-capture "$JSON_DIR/flows/mix1000.pcap" > /dev/null
+  "$BUILD/tools/tcpanaly" --batch "$JSON_DIR/flows" \
+    --candidates "Generic Reno,Generic Tahoe" --max-rss-mb 512 --json \
+    > "$JSON_DIR/flows.ndjson"
+  python3 - "$JSON_DIR/flows.ndjson" <<'PYEOF'
+import json, sys
+docs = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+flows = [d for d in docs if d["type"] == "flow"]
+traces = [d for d in docs if d["type"] == "trace"]
+agg = [d for d in docs if d["type"] == "aggregate"][-1]
+f = agg["flows"]
+assert f["seen"] >= 1000, f"expected >= 1000 flows, saw {f['seen']}"
+assert f["seen"] == f["analyzed"] + f["unanalyzable"], f
+assert len(flows) == f["seen"], f"{len(flows)} flow rows != {f['seen']} flows seen"
+assert len(traces) == 1 and "error" not in traces[0]
+assert len({d["key"] for d in flows}) == len(flows), "duplicate flow row keys"
+counters = {k: v for stage in agg["timings"]["stages"]
+            for k, v in stage.get("counters", {}).items()}
+rss = counters["peak_rss_bytes"]
+assert rss <= 512 * 1024 * 1024, f"peak RSS {rss} over the 512 MiB ceiling"
+PYEOF
+  echo "demux leg OK (per-flow fidelity, 1000-flow accounting, bounded RSS)"
 else
   echo "python3 not found; skipping external JSON validation leg"
 fi

@@ -1,0 +1,317 @@
+#include "core/flow_demux.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "trace/seq.hpp"
+
+namespace tcpanaly::core {
+
+using trace::FlowKey;
+using trace::PacketRecord;
+
+const char* to_string(FlowClass cls) {
+  switch (cls) {
+    case FlowClass::kAnalyzable: return "analyzable";
+    case FlowClass::kSynScan: return "syn_scan";
+    case FlowClass::kNoPayload: return "no_payload";
+    case FlowClass::kMidStream: return "mid_stream";
+    case FlowClass::kDegenerate: return "degenerate";
+  }
+  return "?";
+}
+
+const char* to_string(FlowFinalize why) {
+  switch (why) {
+    case FlowFinalize::kClosed: return "closed";
+    case FlowFinalize::kIdle: return "idle";
+    case FlowFinalize::kCapacity: return "capacity";
+    case FlowFinalize::kEof: return "eof";
+  }
+  return "?";
+}
+
+struct FlowDemux::Impl {
+  struct FlowState {
+    FlowKey key;
+    std::uint64_t serial = 0;
+    trace::Endpoint first_src, first_dst;
+    util::TimePoint first_ts, last_ts;
+    std::uint64_t records = 0;
+    std::uint64_t payload_bytes = 0;
+    bool all_syn = true;  ///< every record so far is a payload-less SYN
+    /// Preclassified unanalyzable kinds are fixed at creation; analyzable
+    /// candidates resolve at finalize (payload seen or not).
+    FlowClass cls = FlowClass::kAnalyzable;
+    std::unique_ptr<AnnotationBuilder> builder;
+    // Close tracking, indexed by direction (0 = first_src -> first_dst).
+    bool fin_seen[2] = {false, false};
+    bool fin_acked[2] = {false, false};
+    trace::SeqNum fin_end[2] = {0, 0};
+    bool closed = false;  ///< close detected; linger entry already queued
+  };
+
+  using Lru = std::list<FlowState>;
+
+  /// Logical per-flow bookkeeping overhead: the FlowState itself plus the
+  /// table slot and list node. Builder state is metered by the builders.
+  static constexpr std::uint64_t kFlowOverheadBytes = sizeof(FlowState) + 96;
+
+  FlowDemuxOptions opts;
+  Sink sink;
+  Lru lru_;  ///< front = most recently touched
+  std::unordered_map<FlowKey, Lru::iterator, trace::FlowKeyHash> table_;
+  /// Closed flows awaiting their linger deadline, approximately FIFO by
+  /// deadline (initial entries are queued in watermark order; re-enqueued
+  /// activity extensions may land slightly out of order, which only delays
+  /// a finalization, never fires one early). The serial guards against a
+  /// deadline firing on a later incarnation of the key.
+  std::deque<std::pair<std::uint64_t, util::TimePoint>> close_queue_;
+  std::unordered_map<std::uint64_t, FlowKey> close_keys_;
+  util::TimePoint watermark_;
+  bool have_watermark_ = false;
+  std::uint64_t next_serial_ = 0;
+  FlowDemuxStats stats_;
+  util::MemTracker own_;
+  std::uint64_t mirrored_ = 0;  ///< bytes last reported to opts.mem
+
+  Impl(FlowDemuxOptions o, Sink s) : opts(std::move(o)), sink(std::move(s)) {}
+
+  ~Impl() {
+    // Abandoned without finish(): release the shared-tracker mirror the
+    // way the builders release theirs.
+    own_.sub(kFlowOverheadBytes * lru_.size());
+    lru_.clear();
+    table_.clear();
+    mirror();
+  }
+
+  /// Forward the demux's net footprint change to the caller's shared
+  /// tracker (the builders write only to `own_`, so one component -- this
+  /// mirror -- owns all deltas the outside world sees).
+  void mirror() {
+    if (!opts.mem) return;
+    const std::uint64_t cur = own_.current();
+    if (cur > mirrored_)
+      opts.mem->add(cur - mirrored_);
+    else if (cur < mirrored_)
+      opts.mem->sub(mirrored_ - cur);
+    mirrored_ = cur;
+  }
+
+  void add(const PacketRecord& rec) {
+    ++stats_.records;
+    if (!have_watermark_ || rec.timestamp > watermark_) watermark_ = rec.timestamp;
+    have_watermark_ = true;
+
+    drain_close_queue();
+    sweep_idle();
+
+    const FlowKey key = FlowKey::of(rec);
+    auto it = table_.find(key);
+    if (it == table_.end()) {
+      if (table_.size() >= std::max<std::size_t>(1, opts.max_flows)) evict_lru();
+      it = create_flow(key, rec);
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    }
+    feed(*it->second, rec);
+    mirror();
+  }
+
+  std::unordered_map<FlowKey, Lru::iterator, trace::FlowKeyHash>::iterator create_flow(
+      const FlowKey& key, const PacketRecord& rec) {
+    FlowState st;
+    st.key = key;
+    st.serial = next_serial_++;
+    st.first_src = rec.src;
+    st.first_dst = rec.dst;
+    st.first_ts = st.last_ts = rec.timestamp;
+    if (key.degenerate()) {
+      st.cls = FlowClass::kDegenerate;
+    } else if (!rec.tcp.flags.syn) {
+      // Mid-stream start: no handshake was observed, so the initial
+      // sequence state and the direction roles are unknowable -- classify,
+      // don't guess.
+      st.cls = FlowClass::kMidStream;
+    } else {
+      AnnotationBuilder::Options bopts;
+      bopts.mode = AnnotationBuilder::Mode::kFull;
+      bopts.local_is_sender = opts.local_is_sender;
+      bopts.cap_graces = {opts.analyze.match.sender.vantage_grace};
+      bopts.mem = &own_;
+      st.builder = std::make_unique<AnnotationBuilder>(std::move(bopts));
+    }
+    lru_.push_front(std::move(st));
+    own_.add(kFlowOverheadBytes);
+    ++stats_.flows_seen;
+    return table_.emplace(key, lru_.begin()).first;
+  }
+
+  void feed(FlowState& st, const PacketRecord& rec) {
+    ++st.records;
+    st.payload_bytes += rec.tcp.payload_len;
+    if (rec.timestamp > st.last_ts) st.last_ts = rec.timestamp;
+    st.all_syn = st.all_syn && rec.tcp.flags.syn && rec.tcp.payload_len == 0;
+    if (st.builder) st.builder->add(rec);
+    track_close(st, rec);
+  }
+
+  void track_close(FlowState& st, const PacketRecord& rec) {
+    if (st.closed || st.key.degenerate()) return;
+    bool close_now = rec.tcp.flags.rst;
+    if (!close_now) {
+      const int dir = rec.src == st.first_src ? 0 : 1;
+      if (rec.tcp.flags.fin) {
+        st.fin_seen[dir] = true;
+        st.fin_end[dir] = rec.tcp.seq_end();
+      }
+      const int peer = 1 - dir;
+      if (rec.tcp.flags.ack && st.fin_seen[peer] &&
+          trace::seq_le(st.fin_end[peer], rec.tcp.ack))
+        st.fin_acked[peer] = true;
+      // One acked FIN is enough to arm the linger: one-sided closes are the
+      // norm in real captures (bulk transfers where only the sender's FIN
+      // is recorded). The drain re-checks activity before finalizing, so a
+      // half-closed flow still carrying reverse data keeps living.
+      close_now = st.fin_acked[0] || st.fin_acked[1];
+    }
+    if (close_now) {
+      st.closed = true;
+      close_queue_.emplace_back(st.serial, watermark_ + opts.close_linger);
+      close_keys_.emplace(st.serial, st.key);
+    }
+  }
+
+  void drain_close_queue() {
+    while (!close_queue_.empty() && close_queue_.front().second <= watermark_) {
+      const std::uint64_t serial = close_queue_.front().first;
+      close_queue_.pop_front();
+      auto kit = close_keys_.find(serial);
+      const FlowKey key = kit->second;
+      close_keys_.erase(kit);
+      auto it = table_.find(key);
+      if (it == table_.end() || it->second->serial != serial) continue;
+      if (it->second->last_ts + opts.close_linger > watermark_) {
+        // Activity since the close marker (trailing ACKs, reverse data on a
+        // half-closed pair): push the deadline out past the latest activity
+        // instead of cutting the flow mid-conversation. Re-enqueued
+        // deadlines can land slightly out of FIFO order; that only delays a
+        // finalization by at most one linger, never fires it early.
+        close_queue_.emplace_back(serial, it->second->last_ts + opts.close_linger);
+        close_keys_.emplace(serial, key);
+        continue;
+      }
+      finalize(it->second, FlowFinalize::kClosed);
+    }
+  }
+
+  void sweep_idle() {
+    // LRU order is touch order, so the tail is the longest-untouched flow;
+    // stop at the first live one.
+    while (!lru_.empty()) {
+      auto tail = std::prev(lru_.end());
+      if (tail->last_ts + opts.idle_timeout >= watermark_) break;
+      finalize(tail, FlowFinalize::kIdle);
+    }
+  }
+
+  void evict_lru() {
+    if (!lru_.empty()) finalize(std::prev(lru_.end()), FlowFinalize::kCapacity);
+  }
+
+  void finalize(Lru::iterator it, FlowFinalize why) {
+    FlowState st = std::move(*it);
+    table_.erase(st.key);
+    lru_.erase(it);
+
+    FlowResult r;
+    r.key = st.key;
+    r.first_src = st.first_src;
+    r.first_dst = st.first_dst;
+    r.serial = st.serial;
+    r.finalized_by = why;
+    r.records = st.records;
+    r.payload_bytes = st.payload_bytes;
+    r.first_ts = st.first_ts;
+    r.last_ts = st.last_ts;
+
+    r.cls = st.cls;
+    if (r.cls == FlowClass::kAnalyzable && st.payload_bytes == 0)
+      r.cls = st.all_syn ? FlowClass::kSynScan : FlowClass::kNoPayload;
+
+    if (r.cls == FlowClass::kAnalyzable) {
+      BuiltAnnotation built = st.builder->finish_full();
+      r.trace = built.trace;
+      r.analysis.annotation = built.annotation;
+      r.peak_bytes = built.peak_bytes;
+      calibrate_and_match(r.analysis, *r.trace, opts.candidates, opts.analyze, nullptr);
+      ++stats_.flows_analyzed;
+    } else {
+      // A classified-unanalyzable flow's builder (if any) is simply
+      // dropped: its destructor releases the metered footprint.
+      ++stats_.flows_unanalyzable;
+      switch (r.cls) {
+        case FlowClass::kSynScan: ++stats_.syn_scan; break;
+        case FlowClass::kNoPayload: ++stats_.no_payload; break;
+        case FlowClass::kMidStream: ++stats_.mid_stream; break;
+        case FlowClass::kDegenerate: ++stats_.degenerate; break;
+        case FlowClass::kAnalyzable: break;
+      }
+    }
+    st.builder.reset();
+
+    switch (why) {
+      case FlowFinalize::kClosed: ++stats_.closed; break;
+      case FlowFinalize::kIdle: ++stats_.evicted_idle; break;
+      case FlowFinalize::kCapacity: ++stats_.evicted_capacity; break;
+      case FlowFinalize::kEof: ++stats_.at_eof; break;
+    }
+
+    own_.sub(kFlowOverheadBytes);
+    mirror();
+    if (sink) sink(std::move(r));
+  }
+
+  void finish() {
+    // Deterministic EOF order: creation (serial) order, regardless of the
+    // LRU permutation the traffic left behind.
+    std::vector<Lru::iterator> live;
+    live.reserve(lru_.size());
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) live.push_back(it);
+    std::sort(live.begin(), live.end(),
+              [](const Lru::iterator& a, const Lru::iterator& b) {
+                return a->serial < b->serial;
+              });
+    for (auto it : live) finalize(it, FlowFinalize::kEof);
+    close_queue_.clear();
+    close_keys_.clear();
+    stats_.peak_bytes = own_.peak();
+    mirror();
+  }
+};
+
+FlowDemux::FlowDemux(FlowDemuxOptions opts, Sink sink)
+    : impl_(std::make_unique<Impl>(std::move(opts), std::move(sink))) {}
+FlowDemux::~FlowDemux() = default;
+
+void FlowDemux::add(const trace::PacketRecord& rec) { impl_->add(rec); }
+void FlowDemux::finish() { impl_->finish(); }
+const FlowDemuxStats& FlowDemux::stats() const { return impl_->stats_; }
+
+CaptureFlowAnalysis analyze_capture_flows(trace::RecordSource& source,
+                                          FlowDemuxOptions opts) {
+  CaptureFlowAnalysis out;
+  FlowDemux demux(std::move(opts),
+                  [&out](FlowResult r) { out.flows.push_back(std::move(r)); });
+  while (auto rec = source.next()) demux.add(*rec);
+  out.skipped_frames = source.skipped_frames();
+  demux.finish();
+  out.stats = demux.stats();
+  return out;
+}
+
+}  // namespace tcpanaly::core

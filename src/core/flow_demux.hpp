@@ -1,0 +1,169 @@
+// Flow demultiplexing: per-connection analysis of multi-connection
+// captures.
+//
+// Paxson's analyzer assumes one bulk transfer per trace; a capture from a
+// busy link interleaves many. FlowDemux keys every record on the canonical
+// 4-tuple (trace::FlowKey) and fans the capture out into one incremental
+// AnnotationBuilder per connection, so each flow gets exactly the analysis
+// a single-connection capture of it would get -- the demux equivalence
+// test pins this bit-for-bit.
+//
+// State stays proportional to CONCURRENT flows, not total flows, through
+// three finalization triggers (mirroring the bounded duplication table's
+// watermark discipline; the watermark is the running max timestamp, so
+// regressing timestamps in hostile captures cannot reopen time):
+//   * close  -- a FIN acknowledged in either direction, or a RST. One
+//               acked FIN suffices because one-sided closes dominate real
+//               captures (the receiver's FIN often goes unrecorded). The
+//               flow then lingers until `close_linger` of capture time has
+//               passed since its LAST activity -- trailing segments (the
+//               ack-of-FIN exchange, reverse data on a half-closed pair)
+//               still join it and push the deadline out -- then finalizes.
+//   * idle   -- no record for `idle_timeout` of capture time; swept from
+//               the LRU tail, so the sweep stops at the first live flow.
+//   * capacity -- the table would exceed `max_flows`; the least-recently-
+//               touched flow is finalized to make room.
+// Whatever remains at end-of-stream finalizes then. A 4-tuple reappearing
+// after its flow finalized opens a NEW flow (fresh serial) -- two result
+// rows, never one corrupted builder.
+//
+// Non-connection traffic is classified instead of analyzed: a flow whose
+// first record lacks SYN (mid-stream start: no handshake, unknowable
+// initial sequence state), a SYN-scan flow (every record a payload-less
+// SYN), a connection that never carried payload (nothing for the
+// payload-byte direction vote or the bulk-transfer detectors to work
+// with), and a degenerate self-connection (src == dst: direction is
+// unobservable from headers) all count as unanalyzable. The accounting
+// invariant flows_seen == flows_analyzed + flows_unanalyzable is
+// structural and checked by the fuzzer and the tier-1 demux leg.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/stream_analysis.hpp"
+#include "trace/flow.hpp"
+
+namespace tcpanaly::core {
+
+/// What kind of traffic a finalized flow turned out to be.
+enum class FlowClass {
+  kAnalyzable,   ///< SYN-started connection with payload: fully analyzed
+  kSynScan,      ///< every record a payload-less SYN (scan probe)
+  kNoPayload,    ///< handshake but no data: nothing to analyze
+  kMidStream,    ///< first observed record mid-connection (no handshake)
+  kDegenerate,   ///< src == dst: direction unobservable
+};
+
+const char* to_string(FlowClass cls);
+
+/// Why a flow was finalized.
+enum class FlowFinalize { kClosed, kIdle, kCapacity, kEof };
+
+const char* to_string(FlowFinalize why);
+
+/// One finalized flow, emitted to the sink the moment it finalizes.
+struct FlowResult {
+  trace::FlowKey key;
+  /// The first record's orientation -- row keys render src-dst in this
+  /// order, so "who spoke first" is preserved even though the key is
+  /// canonical.
+  trace::Endpoint first_src, first_dst;
+  /// Capture-unique creation ordinal. A reappearing 4-tuple gets a fresh
+  /// serial, so (key, serial) names a flow incarnation without the demux
+  /// having to remember finalized keys.
+  std::uint64_t serial = 0;
+  FlowClass cls = FlowClass::kAnalyzable;
+  FlowFinalize finalized_by = FlowFinalize::kEof;
+  std::uint64_t records = 0;
+  std::uint64_t payload_bytes = 0;  ///< total payload octets, both directions
+  util::TimePoint first_ts, last_ts;
+
+  // Present iff cls == kAnalyzable; dropped by bounded-memory sinks once
+  // they have rendered their row.
+  TraceAnalysis analysis;
+  std::shared_ptr<const trace::Trace> trace;
+  std::uint64_t peak_bytes = 0;  ///< this flow's builder high-water mark
+};
+
+struct FlowDemuxStats {
+  std::uint64_t records = 0;
+  std::uint64_t flows_seen = 0;  ///< flow incarnations created
+  std::uint64_t flows_analyzed = 0;
+  std::uint64_t flows_unanalyzable = 0;
+  // Unanalyzable breakdown (sums to flows_unanalyzable).
+  std::uint64_t syn_scan = 0;
+  std::uint64_t no_payload = 0;
+  std::uint64_t mid_stream = 0;
+  std::uint64_t degenerate = 0;
+  // Finalization trigger counts (sum to flows_seen after finish()).
+  std::uint64_t closed = 0;
+  std::uint64_t evicted_idle = 0;
+  std::uint64_t evicted_capacity = 0;
+  std::uint64_t at_eof = 0;
+  /// High-water logical bytes across all concurrently-live builders --
+  /// the "footprint bounded by concurrent flows" number.
+  std::uint64_t peak_bytes = 0;
+};
+
+struct FlowDemuxOptions {
+  /// Max concurrently-tracked flows; beyond this the LRU flow finalizes.
+  std::size_t max_flows = 4096;
+  /// Capture time with no record after which a flow is swept as idle.
+  util::Duration idle_timeout = util::Duration::seconds(60.0);
+  /// Capture time a closed (FIN-acked in either direction / RST) flow must
+  /// stay quiet before finalizing; activity restarts the linger.
+  util::Duration close_linger = util::Duration::seconds(2.0);
+  /// Passed through to every per-flow builder and analysis; identical to
+  /// what analyze_capture_stream uses, which is what makes the single-flow
+  /// path bit-identical.
+  bool local_is_sender = true;
+  AnalyzeOptions analyze;
+  std::vector<tcp::TcpProfile> candidates;
+  /// Optional shared tracker; per-flow builder deltas are forwarded here
+  /// in addition to the demux's own meter.
+  util::MemTracker* mem = nullptr;
+};
+
+class FlowDemux {
+ public:
+  using Sink = std::function<void(FlowResult)>;
+
+  FlowDemux(FlowDemuxOptions opts, Sink sink);
+  ~FlowDemux();
+  FlowDemux(const FlowDemux&) = delete;
+  FlowDemux& operator=(const FlowDemux&) = delete;
+
+  /// Route one record to its flow (creating it if new), then run the
+  /// close / idle / capacity finalization sweeps against the advanced
+  /// watermark. May invoke the sink zero or more times.
+  void add(const trace::PacketRecord& rec);
+
+  /// Finalize every live flow in creation (serial) order. The demux is
+  /// spent afterwards; stats() is final.
+  void finish();
+
+  const FlowDemuxStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The multi-connection analogue of analyze_capture_stream: drain `source`
+/// through a FlowDemux and collect every per-flow result. Convenience for
+/// tests and small captures -- bounded-memory consumers (batch) drive
+/// FlowDemux directly with a sink that drops each result's trace and
+/// annotation after rendering its row.
+struct CaptureFlowAnalysis {
+  std::vector<FlowResult> flows;  ///< in finalization order
+  FlowDemuxStats stats;
+  std::size_t skipped_frames = 0;
+};
+
+CaptureFlowAnalysis analyze_capture_flows(trace::RecordSource& source,
+                                          FlowDemuxOptions opts);
+
+}  // namespace tcpanaly::core

@@ -1,5 +1,9 @@
 #include "corpus/corpus.hpp"
 
+#include <cstddef>
+#include <numeric>
+
+#include "netsim/mix.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -62,6 +66,47 @@ std::vector<CorpusEntry> generate_corpus(const tcp::TcpProfile& impl,
         return entry;
       },
       opts.jobs);
+}
+
+FlowMix make_flow_mix(const tcp::TcpProfile& impl, const FlowMixOptions& opts) {
+  // Run the per-flow sessions independently (seed-derived parameters, so
+  // the parallel sweep is bitwise-identical to a serial one), then rewrite
+  // each onto its own endpoint pair and merge.
+  std::vector<std::size_t> indices(opts.flows);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  std::vector<tcp::SessionResult> sessions = util::parallel_map(
+      indices,
+      [&impl, &opts](std::size_t i) {
+        ScenarioParams params;
+        params.seed = opts.base_seed + i;
+        params.transfer_bytes = opts.transfer_bytes;
+        // Seed-derived path diversity: loss in {0, 1%, 3%}, delay in
+        // {20, 60, 200} ms -- the corpus sweep's grid, sampled per flow.
+        static constexpr double kLoss[] = {0.0, 0.01, 0.03};
+        static constexpr std::int64_t kOwdMs[] = {20, 60, 200};
+        params.loss_prob = kLoss[params.seed % 3];
+        params.one_way_delay = util::Duration::millis(kOwdMs[(params.seed / 3) % 3]);
+        return tcp::run_session(make_session(impl, params));
+      },
+      opts.jobs);
+
+  std::vector<sim::FlowSlice> slices(opts.flows);
+  for (std::size_t i = 0; i < opts.flows; ++i) {
+    const sim::FlowEndpoints eps = sim::flow_endpoints(static_cast<std::uint32_t>(i));
+    slices[i].trace = &sessions[i].sender_trace;
+    slices[i].local = eps.local;
+    slices[i].remote = eps.remote;
+    slices[i].start_offset = opts.spacing * static_cast<std::int64_t>(i);
+  }
+
+  FlowMix mix;
+  mix.capture = sim::interleave_flows(slices);
+  mix.isolated.reserve(opts.flows);
+  // A one-slice interleave applies the identical rewrite + shift, so each
+  // isolated trace is exactly that flow's slice of the capture.
+  for (std::size_t i = 0; i < opts.flows; ++i)
+    mix.isolated.push_back(sim::interleave_flows({slices[i]}));
+  return mix;
 }
 
 }  // namespace tcpanaly::corpus

@@ -58,4 +58,35 @@ struct CorpusEntry {
 std::vector<CorpusEntry> generate_corpus(const tcp::TcpProfile& impl,
                                          const CorpusOptions& opts = {});
 
+// ---- Multi-connection capture generation (flow-demux testing) ----
+
+struct FlowMixOptions {
+  /// Number of connections in the mixed capture.
+  std::size_t flows = 100;
+  /// Stagger between consecutive connection starts. Small relative to a
+  /// connection's duration -> many concurrent flows; large -> the capture
+  /// is long but concurrency (and demux footprint) stays low.
+  util::Duration spacing = util::Duration::millis(50);
+  /// Per-connection transfer size (short flows keep big mixes cheap).
+  std::uint32_t transfer_bytes = 16 * 1024;
+  std::uint64_t base_seed = 7000;
+  /// Worker threads for the per-flow sessions (see CorpusOptions::jobs).
+  int jobs = 0;
+};
+
+struct FlowMix {
+  /// The interleaved multi-connection capture (sender-side vantage).
+  trace::Trace capture;
+  /// Each flow's records in isolation, with the SAME endpoint rewrite and
+  /// start offset as in `capture` -- analyzing isolated[i] must match the
+  /// demux's result for that flow bit-for-bit.
+  std::vector<trace::Trace> isolated;
+};
+
+/// Interleave `opts.flows` independent sessions of `impl` into one capture.
+/// Flow i gets sim::flow_endpoints(i) (unique client, shared server) and
+/// starts at i * spacing; path conditions vary seed-derived per flow so the
+/// mix is not `flows` copies of one trace. Deterministic for fixed options.
+FlowMix make_flow_mix(const tcp::TcpProfile& impl, const FlowMixOptions& opts = {});
+
 }  // namespace tcpanaly::corpus

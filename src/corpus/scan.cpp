@@ -1,6 +1,8 @@
 #include "corpus/scan.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <unordered_map>
 
 namespace tcpanaly::corpus {
 
@@ -38,6 +40,51 @@ std::vector<fs::path> list_capture_files(const fs::path& dir, bool recursive,
     return a.generic_string() < b.generic_string();
   });
   return files;
+}
+
+namespace {
+
+std::string fold_ascii(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+ScanResult scan_capture_files(const fs::path& dir, bool recursive, std::error_code& ec) {
+  ScanResult out;
+  const std::vector<fs::path> files = list_capture_files(dir, recursive, ec);
+
+  // Identity dedupe first (the same bytes reached through a symlink must
+  // not be analyzed twice under two keys), then key-fold dedupe (two
+  // distinct files whose keys differ only by case would collapse onto one
+  // row for any case-insensitive consumer). Sorted visit order makes the
+  // survivor deterministic.
+  std::unordered_map<std::string, std::size_t> by_identity;  // canonical path -> index
+  std::unordered_map<std::string, std::size_t> by_key;       // folded key -> index
+  for (const auto& path : files) {
+    std::string key = recursive ? path.lexically_relative(dir).generic_string()
+                                : path.filename().string();
+    std::error_code canon_ec;
+    std::string identity = fs::weakly_canonical(path, canon_ec).generic_string();
+    if (canon_ec) identity = path.generic_string();
+
+    if (auto it = by_identity.find(identity); it != by_identity.end()) {
+      out.collisions.push_back({out.keys[it->second], out.files[it->second], path});
+      continue;
+    }
+    if (auto it = by_key.find(fold_ascii(key)); it != by_key.end()) {
+      out.collisions.push_back({out.keys[it->second], out.files[it->second], path});
+      continue;
+    }
+    by_identity.emplace(std::move(identity), out.files.size());
+    by_key.emplace(fold_ascii(key), out.files.size());
+    out.files.push_back(path);
+    out.keys.push_back(std::move(key));
+  }
+  return out;
 }
 
 }  // namespace tcpanaly::corpus

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <filesystem>
+#include <string>
 #include <system_error>
 #include <vector>
 
@@ -18,5 +19,31 @@ namespace tcpanaly::corpus {
 std::vector<std::filesystem::path> list_capture_files(const std::filesystem::path& dir,
                                                       bool recursive,
                                                       std::error_code& ec);
+
+/// Two scanned files that would have shared one batch row key. `kept` is
+/// the file whose row survives; `dropped` is skipped entirely.
+struct ScanCollision {
+  std::string key;
+  std::filesystem::path kept;
+  std::filesystem::path dropped;
+};
+
+/// list_capture_files plus the batch row key per file, deduplicated: a
+/// row key must name exactly one file. Keys are the path relative to `dir`
+/// (generic, forward-slash form) when recursive, the bare filename
+/// otherwise. Two files collide when they are the same underlying file
+/// reached twice (symlinks -- compared by weakly-canonical path) or when
+/// their keys differ only by ASCII case (one row key on a case-insensitive
+/// consumer). Dedup is deterministic: files are visited in sorted order
+/// and the first file with a given identity/folded key wins; later ones
+/// are dropped and reported in `collisions`.
+struct ScanResult {
+  std::vector<std::filesystem::path> files;
+  std::vector<std::string> keys;  ///< parallel to files
+  std::vector<ScanCollision> collisions;
+};
+
+ScanResult scan_capture_files(const std::filesystem::path& dir, bool recursive,
+                              std::error_code& ec);
 
 }  // namespace tcpanaly::corpus

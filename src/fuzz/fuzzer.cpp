@@ -5,11 +5,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/flow_demux.hpp"
 #include "core/stream_analysis.hpp"
+#include "netsim/mix.hpp"
 #include "report/json.hpp"
 #include "tcp/session.hpp"
 #include "trace/pcap_io.hpp"
 #include "trace/record_source.hpp"
+#include "util/mem_tracker.hpp"
 
 namespace tcpanaly::fuzz {
 
@@ -25,6 +28,23 @@ trace::Trace session_trace(std::uint64_t seed, std::uint32_t transfer, double lo
   cfg.fwd_path.loss_prob = loss;
   cfg.seed = seed;
   return tcp::run_session(cfg).sender_trace;
+}
+
+/// Three connections on distinct 4-tuples interleaved into one capture, so
+/// mutated bytes exercise the flow table's routing and eviction paths, not
+/// just single-connection parsing.
+trace::Trace multi_flow_trace() {
+  const trace::Trace a = session_trace(7, 6 * 1024, 0.0);
+  const trace::Trace b = session_trace(11, 8 * 1024, 0.02);
+  const trace::Trace c = session_trace(13, 4 * 1024, 0.0);
+  std::vector<sim::FlowSlice> slices;
+  const trace::Trace* traces[] = {&a, &b, &c};
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const sim::FlowEndpoints eps = sim::flow_endpoints(i);
+    slices.push_back({traces[i], eps.local, eps.remote,
+                      util::Duration::millis(static_cast<std::int64_t>(i) * 40)});
+  }
+  return sim::interleave_flows(slices);
 }
 
 Bytes write_pcap_bytes(const trace::Trace& tr, std::uint32_t snaplen) {
@@ -63,6 +83,49 @@ std::string stream_divergence(const Bytes& data, const trace::Trace& parsed,
   return core::diff_stream_summary(builder.finish_summary(), parsed);
 }
 
+/// Structural-invariant leg for accepted captures: route every parsed
+/// record through a flow demux squeezed hard enough (tiny table, short
+/// timeouts) that arbitrary accepted inputs hit the capacity, idle, and
+/// close triggers. No candidates are matched -- the point is that the
+/// table's accounting stays consistent and its metered footprint settles
+/// to zero on ANY record sequence the parsers accept, not that the
+/// analyses mean anything.
+std::string demux_violation(const trace::Trace& parsed) {
+  util::MemTracker mem;
+  std::uint64_t emitted = 0;
+  core::FlowDemuxStats stats;
+  {
+    core::FlowDemuxOptions dopts;
+    dopts.max_flows = 4;
+    dopts.idle_timeout = util::Duration::millis(50);
+    dopts.close_linger = util::Duration::millis(10);
+    dopts.mem = &mem;
+    core::FlowDemux demux(std::move(dopts), [&](core::FlowResult) { ++emitted; });
+    for (const trace::PacketRecord& rec : parsed.records()) demux.add(rec);
+    demux.finish();
+    stats = demux.stats();
+  }
+  if (stats.records != parsed.size())
+    return "demux records " + std::to_string(stats.records) + " != input " +
+           std::to_string(parsed.size());
+  if (stats.flows_seen != stats.flows_analyzed + stats.flows_unanalyzable)
+    return "flows_seen " + std::to_string(stats.flows_seen) + " != analyzed " +
+           std::to_string(stats.flows_analyzed) + " + unanalyzable " +
+           std::to_string(stats.flows_unanalyzable);
+  if (stats.flows_unanalyzable !=
+      stats.syn_scan + stats.no_payload + stats.mid_stream + stats.degenerate)
+    return "unanalyzable class counters do not sum";
+  if (stats.flows_seen !=
+      stats.closed + stats.evicted_idle + stats.evicted_capacity + stats.at_eof)
+    return "finalization trigger counters do not sum";
+  if (emitted != stats.flows_seen)
+    return "sink saw " + std::to_string(emitted) + " flows, stats " +
+           std::to_string(stats.flows_seen);
+  if (mem.current() != 0)
+    return "demux left " + std::to_string(mem.current()) + " metered bytes behind";
+  return "";
+}
+
 }  // namespace
 
 ParseCheck check_parse(InputFormat fmt, const Bytes& data,
@@ -75,6 +138,9 @@ ParseCheck check_parse(InputFormat fmt, const Bytes& data,
         const std::string diff = stream_divergence(data, result.trace, limits);
         if (!diff.empty())
           return {ParseOutcome::kContractViolation, "stream divergence: " + diff};
+        const std::string demux = demux_violation(result.trace);
+        if (!demux.empty())
+          return {ParseOutcome::kContractViolation, "demux invariant: " + demux};
         break;
       }
       case InputFormat::kPcapng: {
@@ -83,6 +149,9 @@ ParseCheck check_parse(InputFormat fmt, const Bytes& data,
         const std::string diff = stream_divergence(data, result.trace, limits);
         if (!diff.empty())
           return {ParseOutcome::kContractViolation, "stream divergence: " + diff};
+        const std::string demux = demux_violation(result.trace);
+        if (!demux.empty())
+          return {ParseOutcome::kContractViolation, "demux invariant: " + demux};
         break;
       }
       case InputFormat::kJson:
@@ -108,6 +177,7 @@ std::vector<Bytes> seed_inputs(InputFormat fmt) {
       seeds.push_back(write_pcap_bytes(clean, 65535));
       seeds.push_back(write_pcap_bytes(clean, 68));  // header-only capture
       seeds.push_back(write_pcap_bytes(lossy, 65535));
+      seeds.push_back(write_pcap_bytes(multi_flow_trace(), 65535));
       break;
     }
     case InputFormat::kPcapng: {
@@ -116,6 +186,7 @@ std::vector<Bytes> seed_inputs(InputFormat fmt) {
       seeds.push_back(write_pcapng_bytes(clean, 6));     // microseconds
       seeds.push_back(write_pcapng_bytes(clean, 9));     // nanoseconds
       seeds.push_back(write_pcapng_bytes(lossy, 0x94));  // 2^-20 s
+      seeds.push_back(write_pcapng_bytes(multi_flow_trace(), 6));
       break;
     }
     case InputFormat::kJson: {

@@ -1,0 +1,57 @@
+#include "netsim/mix.hpp"
+
+#include <algorithm>
+
+namespace tcpanaly::sim {
+
+FlowEndpoints flow_endpoints(std::uint32_t flow_index) {
+  // Clients: 10.1.x.y, one address per flow (supports ~64k flows before
+  // the subnet wraps), ephemeral ports cycling through 49152..65535 so
+  // consecutive flows differ in both fields. Server: one shared endpoint.
+  FlowEndpoints eps;
+  eps.local.ip = 0x0a010000u + 1 + (flow_index & 0xffffu);
+  eps.local.port = static_cast<std::uint16_t>(49152u + (flow_index * 7919u) % 16384u);
+  eps.remote.ip = 0x0a630001u;  // 10.99.0.1
+  eps.remote.port = 80;
+  return eps;
+}
+
+trace::Trace interleave_flows(const std::vector<FlowSlice>& slices) {
+  trace::TraceMeta meta;
+  meta.label = "mixed";
+  if (!slices.empty()) {
+    meta.local = slices.front().local;
+    meta.remote = slices.front().remote;
+    meta.role = slices.front().trace->meta().role;
+  }
+  trace::Trace out(meta);
+
+  std::size_t total = 0;
+  for (const auto& s : slices) total += s.trace->size();
+  out.reserve(total);
+
+  // Concatenate in (slice, record) order, rewriting endpoints and shifting
+  // timestamps; the stable sort then orders by timestamp alone, so equal
+  // timestamps keep the concatenation order -- the documented tie-break.
+  for (const auto& s : slices) {
+    const trace::TraceMeta& src_meta = s.trace->meta();
+    for (const auto& rec : s.trace->records()) {
+      trace::PacketRecord r = rec;
+      if (r.src == src_meta.local)
+        r.src = s.local;
+      else if (r.src == src_meta.remote)
+        r.src = s.remote;
+      if (r.dst == src_meta.local)
+        r.dst = s.local;
+      else if (r.dst == src_meta.remote)
+        r.dst = s.remote;
+      r.timestamp += s.start_offset;
+      if (r.truth_wire_time) *r.truth_wire_time += s.start_offset;
+      out.push_back(std::move(r));
+    }
+  }
+  out.stable_sort_by_timestamp();
+  return out;
+}
+
+}  // namespace tcpanaly::sim

@@ -1,0 +1,54 @@
+// Capture mixing: splice single-connection traces into one multi-connection
+// capture, the netsim-side generator for the flow-demultiplexing tests.
+//
+// The simulator produces one Trace per connection (session.hpp); a busy
+// link's capture interleaves many. interleave_flows rewrites each source
+// trace onto its own endpoint pair, shifts it to a start offset, and merges
+// all records into a single timestamp-ordered trace -- purely trace
+// surgery, so it lives in netsim (which cannot link the tcp layer) and any
+// session-driven generator composes on top (corpus::make_flow_mix).
+//
+// Determinism contract: the merge is a stable sort keyed on timestamp with
+// ties broken by (flow index, record index), so the same inputs always
+// yield byte-identical captures -- the demux equivalence tests rely on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tcpanaly::sim {
+
+/// One connection's contribution to a mixed capture.
+struct FlowSlice {
+  /// Single-connection source trace; must outlive the interleave call.
+  const trace::Trace* trace = nullptr;
+  /// Endpoint rewrite: records sourced by the trace's meta().local become
+  /// sourced by `local`, and symmetrically for remote. Distinct slices
+  /// should be given distinct endpoint PAIRS (flow_endpoints below).
+  trace::Endpoint local;
+  trace::Endpoint remote;
+  /// Added to every record timestamp (source traces are connection-origin
+  /// relative; offsets stagger the connections across the capture).
+  util::Duration start_offset = util::Duration::zero();
+};
+
+/// Deterministic endpoint pair for the i-th flow of a mix: a unique client
+/// (distinct ip per flow, ephemeral-range port) talking to one shared
+/// server -- the many-clients-one-server shape of a real busy link, which
+/// exercises canonical keying harder than fully disjoint pairs would.
+struct FlowEndpoints {
+  trace::Endpoint local;   ///< client ("local" in the source trace sense)
+  trace::Endpoint remote;  ///< server, shared across all flows
+};
+FlowEndpoints flow_endpoints(std::uint32_t flow_index);
+
+/// Merge the slices into one capture. Records keep their per-slice order
+/// under equal timestamps (earlier slice first), mirroring how a filter
+/// would serialize simultaneous arrivals deterministically. The result's
+/// meta is taken from the first slice (label "mixed"); multi-flow consumers
+/// re-derive per-flow orientation themselves.
+trace::Trace interleave_flows(const std::vector<FlowSlice>& slices);
+
+}  // namespace tcpanaly::sim

@@ -94,6 +94,41 @@ core::CleanedTrace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
   return analysis.cleaned;
 }
 
+Json to_json(const FlowCounts& counts) {
+  Json j = Json::object();
+  j.set("seen", counts.seen);
+  j.set("analyzed", counts.analyzed);
+  j.set("unanalyzable", counts.unanalyzable);
+  j.set("syn_scan", counts.syn_scan);
+  j.set("no_payload", counts.no_payload);
+  j.set("mid_stream", counts.mid_stream);
+  j.set("degenerate", counts.degenerate);
+  return j;
+}
+
+Json BatchFlowRecord::to_json() const {
+  Json doc = document_header("flow");
+  doc.set("key", key());
+  doc.set("file", file);
+  doc.set("src", src);
+  doc.set("dst", dst);
+  doc.set("serial", serial);
+  doc.set("class", cls);
+  doc.set("finalized_by", finalized_by);
+  doc.set("records", records);
+  doc.set("payload_bytes", payload_bytes);
+  doc.set("duration_s", duration_s);
+  if (cls == "analyzable") {
+    doc.set("trustworthy", trustworthy);
+    Json best = Json::object();
+    best.set("name", best_name);
+    best.set("fit", best_fit);
+    best.set("penalty", best_penalty);
+    doc.set("best", std::move(best));
+  }
+  return doc;
+}
+
 Json BatchTraceRecord::to_json() const {
   Json doc = document_header("trace");
   doc.set("file", trace.file);
@@ -105,13 +140,18 @@ Json BatchTraceRecord::to_json() const {
     doc.set("records", trace.records);
     if (!trace.local.empty()) doc.set("local", trace.local);
     if (!trace.remote.empty()) doc.set("remote", trace.remote);
-    doc.set("trustworthy", trustworthy);
-    Json best = Json::object();
-    best.set("name", best_name);
-    best.set("fit", best_fit);
-    best.set("penalty", best_penalty);
-    doc.set("best", std::move(best));
-    if (!trace.truth.empty()) doc.set("identified", identified);
+    if (flows) doc.set("flows", report::to_json(*flows));
+    // best/trustworthy keep their historical single-connection meaning;
+    // multi-flow captures carry verdicts on their per-flow rows instead.
+    if (!flows || flows->analyzed == 1) {
+      doc.set("trustworthy", trustworthy);
+      Json best = Json::object();
+      best.set("name", best_name);
+      best.set("fit", best_fit);
+      best.set("penalty", best_penalty);
+      doc.set("best", std::move(best));
+      if (!trace.truth.empty()) doc.set("identified", identified);
+    }
   }
   doc.set("timings", core::to_json(timings));
   return doc;
@@ -125,6 +165,8 @@ Json BatchAggregate::to_json() const {
   doc.set("identified", identified);
   doc.set("confused", confused);
   doc.set("failed", failed);
+  doc.set("flows", report::to_json(flows));
+  doc.set("key_collisions", key_collisions);
   doc.set("timings", core::to_json(timings));
   return doc;
 }

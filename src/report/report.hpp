@@ -28,12 +28,16 @@
 
 namespace tcpanaly::report {
 
-// Schema 3: batch rows stream through the incremental annotation builder;
-// the "annotate" timing stage gains records_streamed/peak_bytes counters and
-// the batch "analyze" stage gains peak_stream_bytes/peak_rss_bytes.
-inline constexpr int kSchemaVersion = 3;
+// Schema 4: batch captures are flow-demultiplexed. A new "flow" document
+// type carries one NDJSON row per finalized connection (keyed
+// "path#src:port-dst:port"); "trace" rows gain a `flows` counts object and
+// carry `best`/`trustworthy` only when the capture held exactly one
+// analyzable flow (for which they mean what they always did); "aggregate"
+// gains corpus-wide flow counts and the recursive-scan `key_collisions`
+// counter.
+inline constexpr int kSchemaVersion = 4;
 inline constexpr const char* kToolName = "tcpanaly";
-inline constexpr const char* kToolVersion = "0.4.0";
+inline constexpr const char* kToolVersion = "0.5.0";
 
 /// What `tcpanaly --version` prints: "tcpanaly 0.4.0 (report schema 3)".
 std::string version_line();
@@ -84,10 +88,54 @@ core::CleanedTrace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
                                 const core::MatchOptions& opts = {},
                                 bool run_match = true);
 
-/// One NDJSON row of `--batch --json`.
+/// Flow accounting for one capture or a whole batch. Invariant (checked by
+/// the fuzzer and the tier-1 demux leg): seen == analyzed + unanalyzable,
+/// and the four class counters sum to unanalyzable.
+struct FlowCounts {
+  std::uint64_t seen = 0;
+  std::uint64_t analyzed = 0;
+  std::uint64_t unanalyzable = 0;
+  std::uint64_t syn_scan = 0;
+  std::uint64_t no_payload = 0;
+  std::uint64_t mid_stream = 0;
+  std::uint64_t degenerate = 0;
+};
+
+Json to_json(const FlowCounts& counts);
+
+/// One per-flow NDJSON row of `--batch --json` (type "flow"), keyed
+/// "path#src:port-dst:port" in the flow's first-seen orientation. A
+/// 4-tuple that reappears after its flow finalized yields a second row
+/// with the same key and a higher `serial`.
+struct BatchFlowRecord {
+  std::string file;
+  std::string src;  ///< first record's source, "ip:port"
+  std::string dst;
+  std::uint64_t serial = 0;
+  std::string cls;           ///< "analyzable" / "syn_scan" / ...
+  std::string finalized_by;  ///< "closed" / "idle" / "capacity" / "eof"
+  std::uint64_t records = 0;
+  std::uint64_t payload_bytes = 0;
+  double duration_s = 0.0;
+  // Present iff cls == "analyzable".
+  bool trustworthy = false;
+  std::string best_name;
+  std::string best_fit;
+  double best_penalty = 0.0;
+
+  std::string key() const { return file + "#" + src + "-" + dst; }
+  Json to_json() const;
+};
+
+/// One per-capture NDJSON row of `--batch --json`.
 struct BatchTraceRecord {
   TraceInfo trace;
   std::string error;  ///< non-empty => load failed; analysis fields absent
+  /// Per-capture flow accounting (absent only on load failure).
+  std::optional<FlowCounts> flows;
+  /// The single analyzable flow's verdict; meaningful (and emitted) only
+  /// when flows.analyzed == 1, which keeps single-connection corpus runs
+  /// reading exactly as before the demux.
   bool trustworthy = false;
   std::string best_name;
   std::string best_fit;
@@ -105,6 +153,10 @@ struct BatchAggregate {
   std::size_t identified = 0;
   std::size_t confused = 0;
   std::size_t failed = 0;
+  FlowCounts flows;
+  /// Recursive scans that resolved two files to one row key (deduped;
+  /// see corpus::scan_capture_files).
+  std::size_t key_collisions = 0;
   unsigned workers = 0;
   util::StageTimer timings;
 

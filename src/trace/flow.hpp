@@ -1,0 +1,76 @@
+// Flow identity: the canonical 4-tuple key that demultiplexes a
+// multi-connection capture.
+//
+// A TCP connection is named by its unordered pair of endpoints; packets of
+// the two directions carry the pair in opposite order, so the key sorts the
+// endpoint PAIR into a canonical orientation before hashing. Sorting the
+// pair (lexicographically by (ip, port)) rather than the ips and ports
+// independently is what keeps distinct connections distinct: the flows
+// (ip1:p1 <-> ip2:p2) and (ip1:p2 <-> ip2:p1) share both ip and both port
+// multisets yet are different connections, and a field-wise sort would
+// collapse them onto one key.
+//
+// Edge cases the key is defined for:
+//   * loopback captures (both endpoints share an ip): ordering falls
+//     through to the port comparison, so the two directions still
+//     canonicalize identically;
+//   * symmetric ports (both endpoints share a port, ips differ): ordering
+//     is decided by the ip comparison;
+//   * a self-connection (src == dst, TCP simultaneous self-connect): both
+//     halves of the key are equal -- degenerate() flags it, because record
+//     direction within such a flow is genuinely unobservable from the
+//     header alone and the demux classifies the flow unanalyzable instead
+//     of guessing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "trace/packet.hpp"
+
+namespace tcpanaly::trace {
+
+/// Canonicalized connection identity: lo <= hi by (ip, port).
+struct FlowKey {
+  Endpoint lo;
+  Endpoint hi;
+
+  /// The key of the connection between `a` and `b`; both argument orders
+  /// produce the same key.
+  static FlowKey of(const Endpoint& a, const Endpoint& b) {
+    const bool a_first = a.ip < b.ip || (a.ip == b.ip && a.port <= b.port);
+    return a_first ? FlowKey{a, b} : FlowKey{b, a};
+  }
+  static FlowKey of(const PacketRecord& rec) { return of(rec.src, rec.dst); }
+
+  /// True for a self-connection (both endpoints identical): packet
+  /// direction cannot be resolved from headers.
+  bool degenerate() const { return lo == hi; }
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// Canonical "lo-hi" rendering (row keys use the first-seen record's
+  /// src-dst orientation instead; see core::FlowResult).
+  std::string to_string() const;
+};
+
+/// splitmix-style hash over the canonical tuple, usable as the Hash
+/// parameter of an unordered container keyed on FlowKey.
+struct FlowKeyHash {
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+  std::size_t operator()(const FlowKey& k) const {
+    const std::uint64_t a = (static_cast<std::uint64_t>(k.lo.ip) << 32) | k.lo.port;
+    const std::uint64_t b = (static_cast<std::uint64_t>(k.hi.ip) << 32) | k.hi.port;
+    return static_cast<std::size_t>(mix(mix(a) ^ b));
+  }
+};
+
+}  // namespace tcpanaly::trace

@@ -140,9 +140,18 @@ class EndpointTally {
       b_ = rec.dst;
       have_ = true;
     }
-    if (rec.src == a_)
+    // Only records between the connection's two endpoints vote. The
+    // comparison is on the full (ip, port) endpoint in both positions, so
+    // loopback flows (shared ip, distinct ports) and symmetric-port flows
+    // (shared port, distinct ips) resolve like any other; stray records
+    // between OTHER endpoints -- which used to be silently credited to
+    // `b` because they failed the src==a test -- no longer skew the vote.
+    // A degenerate self-connection (a == b) deterministically credits `a`;
+    // direction within such a flow is unobservable and the flow layer
+    // classifies it unanalyzable rather than trusting this tally.
+    if (rec.src == a_ && rec.dst == b_)
       bytes_a_ += rec.tcp.payload_len;
-    else
+    else if (rec.src == b_ && rec.dst == a_)
       bytes_b_ += rec.tcp.payload_len;
   }
 

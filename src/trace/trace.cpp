@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <map>
 
+#include "trace/flow.hpp"
+
 namespace tcpanaly::trace {
 
 std::string Endpoint::to_string() const {
@@ -11,6 +13,10 @@ std::string Endpoint::to_string() const {
   std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
                 (ip >> 8) & 0xff, ip & 0xff, port);
   return buf;
+}
+
+std::string FlowKey::to_string() const {
+  return lo.to_string() + "-" + hi.to_string();
 }
 
 std::string TcpFlags::to_string() const {

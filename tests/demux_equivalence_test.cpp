@@ -1,0 +1,433 @@
+// Flow-demultiplexing equivalence and edge cases:
+//
+//   * a single-flow capture routed through FlowDemux reaches
+//     analyze_capture_stream's exact calibration and match results (the
+//     demux changes nothing for the traces the paper's pipeline was built
+//     for);
+//   * an interleaved N-flow capture yields per-flow analyses identical to
+//     analyzing each flow's records in isolation;
+//   * a 4-tuple that reappears after its flow finalized (idle eviction)
+//     produces two flow results, each matching its isolated analysis;
+//   * FlowKey canonicalization handles loopback (shared ip), symmetric
+//     ports, the pair-sort distinctness property, and self-connections;
+//   * EndpointTally's direction vote is robust to loopback endpoints and
+//     stray third-party records;
+//   * non-connection traffic (SYN scans, payload-less handshakes,
+//     mid-stream starts, degenerate flows) is classified unanalyzable,
+//     with the accounting invariant flows_seen == analyzed + unanalyzable;
+//   * scan_capture_files dedupes symlinked / case-folded row-key
+//     collisions deterministically.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/flow_demux.hpp"
+#include "core/json_convert.hpp"
+#include "core/stream_analysis.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/scan.hpp"
+#include "netsim/mix.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "trace/flow.hpp"
+#include "trace/record_source.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+using trace::Endpoint;
+using trace::FlowKey;
+using trace::PacketRecord;
+using trace::Trace;
+using util::Duration;
+using util::TimePoint;
+
+std::vector<tcp::TcpProfile> candidates() {
+  return {*tcp::find_profile("Generic Reno"), *tcp::find_profile("Generic Tahoe"),
+          *tcp::find_profile("Linux 1.0")};
+}
+
+FlowDemuxOptions demux_options(bool local_is_sender = true) {
+  FlowDemuxOptions opts;
+  opts.local_is_sender = local_is_sender;
+  opts.analyze.match.jobs = 1;
+  opts.candidates = candidates();
+  return opts;
+}
+
+StreamedTraceAnalysis stream_analyze(const Trace& tr, bool local_is_sender) {
+  trace::InMemorySource source(tr);
+  AnalyzeOptions aopts;
+  aopts.match.jobs = 1;
+  return analyze_capture_stream(source, local_is_sender, candidates(), aopts);
+}
+
+void expect_same_analysis(const TraceAnalysis& a, const TraceAnalysis& b,
+                          const std::string& label) {
+  EXPECT_EQ(to_json(a.calibration).dump(), to_json(b.calibration).dump()) << label;
+  ASSERT_EQ(a.match.fits.size(), b.match.fits.size()) << label;
+  for (std::size_t i = 0; i < b.match.fits.size(); ++i) {
+    EXPECT_EQ(a.match.fits[i].profile.name, b.match.fits[i].profile.name)
+        << label << " fit " << i;
+    EXPECT_DOUBLE_EQ(a.match.fits[i].penalty, b.match.fits[i].penalty)
+        << label << " fit " << i;
+    EXPECT_EQ(a.match.fits[i].fit, b.match.fits[i].fit) << label << " fit " << i;
+  }
+}
+
+tcp::SessionResult scenario(const char* impl, double loss, std::int64_t delay_ms,
+                            std::uint64_t seed, std::uint32_t bytes = 48 * 1024) {
+  corpus::ScenarioParams p;
+  p.loss_prob = loss;
+  p.one_way_delay = Duration::millis(delay_ms);
+  p.transfer_bytes = bytes;
+  p.seed = seed;
+  return tcp::run_session(corpus::make_session(*tcp::find_profile(impl), p));
+}
+
+PacketRecord make_record(std::int64_t t_us, Endpoint src, Endpoint dst, bool syn,
+                         bool ack_flag, std::uint32_t seq, std::uint32_t ack,
+                         std::uint32_t payload) {
+  PacketRecord rec;
+  rec.timestamp = TimePoint(t_us);
+  rec.src = src;
+  rec.dst = dst;
+  rec.tcp.flags.syn = syn;
+  rec.tcp.flags.ack = ack_flag;
+  rec.tcp.seq = seq;
+  rec.tcp.ack = ack;
+  rec.tcp.payload_len = payload;
+  rec.tcp.window = 8192;
+  return rec;
+}
+
+// ------------------------------------------------------------ tentpole (a)
+
+TEST(DemuxEquivalence, SingleFlowCaptureMatchesAnalyzeCaptureStream) {
+  const struct {
+    const char* impl;
+    double loss;
+    std::int64_t delay_ms;
+    std::uint64_t seed;
+  } cells[] = {
+      {"Generic Reno", 0.0, 20, 7},
+      {"Generic Reno", 0.02, 20, 17},
+      {"Generic Tahoe", 0.05, 60, 3},
+      {"Linux 1.0", 0.02, 20, 17},
+  };
+  for (const auto& c : cells) {
+    const auto session = scenario(c.impl, c.loss, c.delay_ms, c.seed);
+    for (const bool local_is_sender : {true, false}) {
+      const Trace& tr = local_is_sender ? session.sender_trace : session.receiver_trace;
+      const StreamedTraceAnalysis reference = stream_analyze(tr, local_is_sender);
+
+      trace::InMemorySource source(tr);
+      const CaptureFlowAnalysis demuxed =
+          analyze_capture_flows(source, demux_options(local_is_sender));
+
+      const std::string label = std::string(c.impl) +
+                                (local_is_sender ? " snd" : " rcv") +
+                                " seed=" + std::to_string(c.seed);
+      ASSERT_EQ(demuxed.flows.size(), 1u) << label;
+      const FlowResult& flow = demuxed.flows.front();
+      EXPECT_EQ(flow.cls, FlowClass::kAnalyzable) << label;
+      EXPECT_EQ(flow.records, tr.size()) << label;
+      ASSERT_TRUE(flow.trace) << label;
+      EXPECT_EQ(flow.trace->size(), reference.trace->size()) << label;
+      EXPECT_EQ(flow.trace->meta().local.to_string(),
+                reference.trace->meta().local.to_string())
+          << label;
+      EXPECT_EQ(flow.trace->meta().remote.to_string(),
+                reference.trace->meta().remote.to_string())
+          << label;
+      expect_same_analysis(flow.analysis, reference.analysis, label);
+
+      EXPECT_EQ(demuxed.stats.flows_seen, 1u) << label;
+      EXPECT_EQ(demuxed.stats.flows_analyzed, 1u) << label;
+      EXPECT_EQ(demuxed.stats.flows_unanalyzable, 0u) << label;
+    }
+  }
+}
+
+// ------------------------------------------------------------ tentpole (b)
+
+TEST(DemuxEquivalence, InterleavedFlowsMatchIsolatedAnalyses) {
+  corpus::FlowMixOptions mopts;
+  mopts.flows = 8;
+  mopts.spacing = Duration::millis(40);
+  mopts.transfer_bytes = 12 * 1024;
+  const corpus::FlowMix mix =
+      corpus::make_flow_mix(*tcp::find_profile("Generic Reno"), mopts);
+  ASSERT_EQ(mix.isolated.size(), mopts.flows);
+  ASSERT_GT(mix.capture.size(), 0u);
+
+  trace::InMemorySource source(mix.capture);
+  const CaptureFlowAnalysis demuxed = analyze_capture_flows(source, demux_options());
+  ASSERT_EQ(demuxed.flows.size(), mopts.flows);
+  EXPECT_EQ(demuxed.stats.flows_seen, mopts.flows);
+  EXPECT_EQ(demuxed.stats.flows_analyzed, mopts.flows);
+  EXPECT_EQ(demuxed.stats.flows_unanalyzable, 0u);
+  EXPECT_EQ(demuxed.stats.records, mix.capture.size());
+
+  // Flow results come out in finalization order; the unique client
+  // endpoint maps each back to its slice.
+  for (const FlowResult& flow : demuxed.flows) {
+    std::size_t idx = mopts.flows;
+    for (std::size_t i = 0; i < mopts.flows; ++i) {
+      if (sim::flow_endpoints(static_cast<std::uint32_t>(i)).local == flow.first_src) {
+        idx = i;
+        break;
+      }
+    }
+    ASSERT_LT(idx, mopts.flows) << "unknown client " << flow.first_src.to_string();
+    const Trace& isolated = mix.isolated[idx];
+    const std::string label = "flow " + std::to_string(idx);
+    EXPECT_EQ(flow.cls, FlowClass::kAnalyzable) << label;
+    EXPECT_EQ(flow.records, isolated.size()) << label;
+    const StreamedTraceAnalysis reference = stream_analyze(isolated, true);
+    expect_same_analysis(flow.analysis, reference.analysis, label);
+  }
+}
+
+// ------------------------------------------------------------ tentpole (c)
+
+/// A copy of `tr` with every FIN-bearing record removed, so the demux
+/// never sees a close and the flow can only finalize via idle sweep / EOF.
+Trace without_fins(const Trace& tr) {
+  Trace out{tr.meta()};
+  for (const PacketRecord& rec : tr.records())
+    if (!rec.tcp.flags.fin) out.push_back(rec);
+  return out;
+}
+
+TEST(DemuxEquivalence, EvictionThenReappearanceYieldsTwoFlows) {
+  // The same 4-tuple carries two connections separated by an idle gap
+  // longer than the demux's idle timeout: the first must be swept and the
+  // second must start a FRESH flow, each analyzed as if alone. FINs are
+  // stripped so the close trigger stays out of the picture.
+  const Trace t1 = without_fins(scenario("Generic Reno", 0.0, 20, 7, 12 * 1024).sender_trace);
+  const Trace t2 = without_fins(scenario("Generic Tahoe", 0.01, 20, 11, 12 * 1024).sender_trace);
+  const sim::FlowEndpoints eps = sim::flow_endpoints(0);
+
+  sim::FlowSlice first{&t1, eps.local, eps.remote, Duration::zero()};
+  sim::FlowSlice second{&t2, eps.local, eps.remote, Duration::seconds(400.0)};
+  const Trace capture = sim::interleave_flows({first, second});
+  const Trace iso1 = sim::interleave_flows({first});
+  const Trace iso2 = sim::interleave_flows({second});
+
+  FlowDemuxOptions opts = demux_options();
+  opts.idle_timeout = Duration::seconds(60.0);
+  trace::InMemorySource source(capture);
+  const CaptureFlowAnalysis demuxed = analyze_capture_flows(source, std::move(opts));
+
+  ASSERT_EQ(demuxed.flows.size(), 2u);
+  EXPECT_EQ(demuxed.stats.flows_seen, 2u);
+  EXPECT_EQ(demuxed.stats.flows_analyzed, 2u);
+  EXPECT_EQ(demuxed.stats.evicted_idle, 1u);
+
+  const FlowResult& flow1 = demuxed.flows[0];
+  const FlowResult& flow2 = demuxed.flows[1];
+  EXPECT_EQ(flow1.serial, 0u);
+  EXPECT_EQ(flow2.serial, 1u);
+  EXPECT_EQ(flow1.key.to_string(), flow2.key.to_string());
+  EXPECT_EQ(flow1.finalized_by, FlowFinalize::kIdle);
+  EXPECT_EQ(flow1.records, iso1.size());
+  EXPECT_EQ(flow2.records, iso2.size());
+  expect_same_analysis(flow1.analysis, stream_analyze(iso1, true).analysis, "first");
+  expect_same_analysis(flow2.analysis, stream_analyze(iso2, true).analysis, "second");
+}
+
+TEST(DemuxEquivalence, HalfClosedFlowFinalizesAfterLinger) {
+  // The receiver's FIN is never recorded in these captures (one-sided
+  // close); the sender's acked FIN alone must finalize the flow once it
+  // has been quiet for close_linger, without waiting for EOF -- this is
+  // what keeps state proportional to concurrent flows on real captures.
+  const auto s1 = scenario("Generic Reno", 0.0, 20, 7, 12 * 1024);
+  const auto s2 = scenario("Generic Reno", 0.0, 20, 13, 12 * 1024);
+  sim::FlowSlice a{&s1.sender_trace, sim::flow_endpoints(0).local,
+                   sim::flow_endpoints(0).remote, Duration::zero()};
+  sim::FlowSlice b{&s2.sender_trace, sim::flow_endpoints(1).local,
+                   sim::flow_endpoints(1).remote, Duration::seconds(30.0)};
+  const Trace capture = sim::interleave_flows({a, b});
+  const Trace iso_a = sim::interleave_flows({a});
+
+  // Flow A ends (FIN acked) well before flow B starts; B's records carry
+  // the watermark past A's linger deadline but nowhere near the 60 s idle
+  // timeout, so only the close trigger can explain an early finalization.
+  trace::InMemorySource source(capture);
+  const CaptureFlowAnalysis demuxed = analyze_capture_flows(source, demux_options());
+  ASSERT_EQ(demuxed.flows.size(), 2u);
+  EXPECT_EQ(demuxed.stats.closed, 1u);
+  EXPECT_EQ(demuxed.stats.evicted_idle, 0u);
+  const FlowResult& flow_a = demuxed.flows[0];
+  EXPECT_EQ(flow_a.serial, 0u);
+  EXPECT_EQ(flow_a.finalized_by, FlowFinalize::kClosed);
+  EXPECT_EQ(flow_a.records, iso_a.size());
+  expect_same_analysis(flow_a.analysis, stream_analyze(iso_a, true).analysis, "half-closed");
+}
+
+// --------------------------------------------------- flow key edge cases
+
+TEST(FlowKey, CanonicalizesBothDirections) {
+  const Endpoint a{0x0a000001, 4000};
+  const Endpoint b{0x0a000002, 5000};
+  EXPECT_EQ(FlowKey::of(a, b), FlowKey::of(b, a));
+  EXPECT_EQ(trace::FlowKeyHash{}(FlowKey::of(a, b)),
+            trace::FlowKeyHash{}(FlowKey::of(b, a)));
+}
+
+TEST(FlowKey, LoopbackSharedIpOrdersByPort) {
+  const Endpoint a{0x7f000001, 6000};
+  const Endpoint b{0x7f000001, 7000};
+  const FlowKey k = FlowKey::of(b, a);
+  EXPECT_EQ(k, FlowKey::of(a, b));
+  EXPECT_EQ(k.lo.port, 6000);
+  EXPECT_EQ(k.hi.port, 7000);
+  EXPECT_FALSE(k.degenerate());
+}
+
+TEST(FlowKey, SymmetricPortsOrderByIp) {
+  const Endpoint a{0x0a000002, 179};
+  const Endpoint b{0x0a000001, 179};
+  const FlowKey k = FlowKey::of(a, b);
+  EXPECT_EQ(k, FlowKey::of(b, a));
+  EXPECT_EQ(k.lo.ip, 0x0a000001u);
+  EXPECT_FALSE(k.degenerate());
+}
+
+TEST(FlowKey, PairSortKeepsCrossedConnectionsDistinct) {
+  // (ip1:p1 <-> ip2:p2) and (ip1:p2 <-> ip2:p1) share both the ip multiset
+  // and the port multiset; a field-wise sort would collapse them.
+  const FlowKey straight = FlowKey::of({0x0a000001, 1111}, {0x0a000002, 2222});
+  const FlowKey crossed = FlowKey::of({0x0a000001, 2222}, {0x0a000002, 1111});
+  EXPECT_FALSE(straight == crossed);
+}
+
+TEST(FlowKey, SelfConnectionIsDegenerate) {
+  const Endpoint a{0x7f000001, 8080};
+  EXPECT_TRUE(FlowKey::of(a, a).degenerate());
+}
+
+// ------------------------------------------------- direction resolution
+
+TEST(EndpointTally, LoopbackEndpointsResolveByPort) {
+  const Endpoint a{0x7f000001, 6000};
+  const Endpoint b{0x7f000001, 7000};
+  trace::EndpointTally tally;
+  tally.add(make_record(0, a, b, true, false, 0, 0, 0));
+  tally.add(make_record(10, b, a, true, true, 0, 1, 0));
+  // Bulk data flows b -> a, so b is the sender even though it was not the
+  // first-seen source and shares a's address.
+  tally.add(make_record(20, b, a, false, true, 1, 1, 4000));
+  tally.add(make_record(30, b, a, false, true, 4001, 1, 4000));
+  EXPECT_FALSE(tally.local_is_first_src(/*local_is_sender=*/true));
+  EXPECT_TRUE(tally.local_is_first_src(/*local_is_sender=*/false));
+}
+
+TEST(EndpointTally, StrayThirdPartyRecordsDoNotVote) {
+  const Endpoint a{0x0a000001, 4000};
+  const Endpoint b{0x0a000002, 5000};
+  const Endpoint c{0x0a000003, 6000};
+  trace::EndpointTally tally;
+  tally.add(make_record(0, a, b, false, true, 0, 0, 1000));
+  // A burst of unrelated traffic used to be credited wholesale to `b`
+  // (anything whose src != a), flipping the direction vote.
+  for (int i = 0; i < 50; ++i)
+    tally.add(make_record(10 + i, c, b, false, true, 0, 0, 1400));
+  tally.add(make_record(100, b, a, false, true, 0, 1000, 0));
+  EXPECT_TRUE(tally.local_is_first_src(/*local_is_sender=*/true));
+}
+
+// --------------------------------------------- non-connection traffic
+
+TEST(DemuxClassification, NonConnectionTrafficIsCountedNotAnalyzed) {
+  const Endpoint scanner{0x0a000009, 40000};
+  const Endpoint client{0x0a000001, 4000};
+  const Endpoint server{0x0a000002, 5000};
+  const Endpoint self{0x7f000001, 8080};
+
+  Trace tr{trace::TraceMeta{}};
+  // SYN scan: two probes to different ports, no payload ever.
+  tr.push_back(make_record(0, scanner, {0x0a000002, 22}, true, false, 0, 0, 0));
+  tr.push_back(make_record(10, scanner, {0x0a000002, 23}, true, false, 0, 0, 0));
+  // Mid-stream: first observed record carries payload but no SYN.
+  tr.push_back(make_record(20, client, server, false, true, 9000, 100, 1400));
+  tr.push_back(make_record(30, server, client, false, true, 100, 10400, 0));
+  // Payload-less handshake on a separate port: SYN, SYN-ACK, ACK only.
+  const Endpoint idle_client{0x0a000001, 4100};
+  tr.push_back(make_record(40, idle_client, server, true, false, 0, 0, 0));
+  tr.push_back(make_record(50, server, idle_client, true, true, 0, 1, 0));
+  tr.push_back(make_record(60, idle_client, server, false, true, 1, 1, 0));
+  // Degenerate self-connection.
+  tr.push_back(make_record(70, self, self, true, false, 0, 0, 0));
+
+  trace::InMemorySource source(tr);
+  const CaptureFlowAnalysis demuxed = analyze_capture_flows(source, demux_options());
+
+  EXPECT_EQ(demuxed.stats.records, tr.size());
+  EXPECT_EQ(demuxed.stats.flows_seen, 5u);  // 2 scan probes + 3 others
+  EXPECT_EQ(demuxed.stats.flows_analyzed, 0u);
+  EXPECT_EQ(demuxed.stats.flows_unanalyzable, 5u);
+  EXPECT_EQ(demuxed.stats.syn_scan, 2u);
+  EXPECT_EQ(demuxed.stats.mid_stream, 1u);
+  EXPECT_EQ(demuxed.stats.no_payload, 1u);
+  EXPECT_EQ(demuxed.stats.degenerate, 1u);
+  EXPECT_EQ(demuxed.stats.flows_seen,
+            demuxed.stats.flows_analyzed + demuxed.stats.flows_unanalyzable);
+  for (const FlowResult& flow : demuxed.flows) {
+    EXPECT_NE(flow.cls, FlowClass::kAnalyzable) << to_string(flow.cls);
+    EXPECT_FALSE(flow.trace) << "unanalyzable flows must not carry an analysis";
+  }
+}
+
+// --------------------------------------------------------- scan dedupe
+
+TEST(ScanDedupe, SymlinkedDuplicateIsDroppedAndReported) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "tcpanaly_scan_dedupe_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir / "real.pcap") << "not-a-real-capture";
+  std::error_code link_ec;
+  fs::create_symlink(dir / "real.pcap", dir / "alias.pcap", link_ec);
+  if (link_ec) GTEST_SKIP() << "symlinks unsupported here: " << link_ec.message();
+
+  std::error_code ec;
+  const corpus::ScanResult scan = corpus::scan_capture_files(dir, false, ec);
+  ASSERT_FALSE(ec) << ec.message();
+  ASSERT_EQ(scan.files.size(), 1u);
+  ASSERT_EQ(scan.collisions.size(), 1u);
+  // Sorted order makes the survivor deterministic: "alias.pcap" sorts
+  // before "real.pcap".
+  EXPECT_EQ(scan.keys[0], "alias.pcap");
+  EXPECT_EQ(scan.collisions[0].kept.filename().string(), "alias.pcap");
+  EXPECT_EQ(scan.collisions[0].dropped.filename().string(), "real.pcap");
+  fs::remove_all(dir);
+}
+
+TEST(ScanDedupe, CaseFoldedKeyCollisionIsDroppedAndReported) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "tcpanaly_scan_casefold_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir / "Trace.pcap") << "a";
+  std::ofstream(dir / "trace.pcap") << "b";
+  if (!fs::exists(dir / "Trace.pcap") || !fs::exists(dir / "trace.pcap") ||
+      fs::equivalent(dir / "Trace.pcap", dir / "trace.pcap"))
+    GTEST_SKIP() << "filesystem is case-insensitive";
+
+  std::error_code ec;
+  const corpus::ScanResult scan = corpus::scan_capture_files(dir, false, ec);
+  ASSERT_FALSE(ec) << ec.message();
+  ASSERT_EQ(scan.files.size(), 1u);
+  ASSERT_EQ(scan.collisions.size(), 1u);
+  EXPECT_EQ(scan.keys[0], "Trace.pcap");  // "Trace.pcap" < "trace.pcap"
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

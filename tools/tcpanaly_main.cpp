@@ -18,9 +18,12 @@
 //                        one summary row per trace plus aggregate
 //                        identification/confusion counts (ground truth is
 //                        taken from make_corpus-style file names when
-//                        present). Each trace is STREAMED through the
-//                        incremental annotation builder -- records are
-//                        annotated as they decode, never loaded first.
+//                        present). Each capture is STREAMED through the
+//                        flow demultiplexer: records route to a per-
+//                        connection incremental builder as they decode,
+//                        and every connection gets its own analysis --
+//                        multi-connection captures yield one "flow" JSON
+//                        row per connection.
 //   --recursive          with --batch: descend into subdirectories; rows
 //                        are keyed by the path relative to <dir>
 //   --jobs N             worker threads for --batch (default: hardware
@@ -61,6 +64,7 @@
 
 #include "core/analyze.hpp"
 #include "core/calibration.hpp"
+#include "core/flow_demux.hpp"
 #include "core/stream_analysis.hpp"
 #include "core/clock_pair.hpp"
 #include "core/conformance.hpp"
@@ -151,7 +155,9 @@ std::vector<tcp::TcpProfile> parse_candidates(const std::string& arg, bool* ok) 
   return out;
 }
 
-// --batch: analyze every capture in a directory in parallel.
+// --batch: analyze every capture in a directory in parallel. Each capture
+// runs through the flow demultiplexer, so multi-connection captures yield
+// one "flow" NDJSON row per connection plus the per-capture "trace" row.
 
 struct BatchRow {
   std::string file;       ///< file name (or --recursive relative path) within the batch directory
@@ -162,6 +168,8 @@ struct BatchRow {
   std::size_t records = 0;
   std::size_t skipped_frames = 0;
   std::string local, remote;
+  report::FlowCounts flows;
+  std::vector<report::BatchFlowRecord> flow_rows;  ///< finalization order
   bool trustworthy = false;
   std::string best_name;
   std::string best_fit;
@@ -180,6 +188,7 @@ report::BatchTraceRecord to_record(const BatchRow& row) {
   rec.trace.receiver_side = row.receiver_side;
   rec.trace.truth = row.truth;
   rec.error = row.error;
+  if (!row.load_failed) rec.flows = row.flows;
   rec.trustworthy = row.trustworthy;
   rec.best_name = row.best_name;
   rec.best_fit = row.best_fit;
@@ -189,27 +198,48 @@ report::BatchTraceRecord to_record(const BatchRow& row) {
   return rec;
 }
 
+report::FlowCounts to_counts(const core::FlowDemuxStats& stats) {
+  report::FlowCounts c;
+  c.seen = stats.flows_seen;
+  c.analyzed = stats.flows_analyzed;
+  c.unanalyzable = stats.flows_unanalyzable;
+  c.syn_scan = stats.syn_scan;
+  c.no_payload = stats.no_payload;
+  c.mid_stream = stats.mid_stream;
+  c.degenerate = stats.degenerate;
+  return c;
+}
+
 int run_batch(const std::string& dir, bool receiver_flag,
               const std::vector<tcp::TcpProfile>& candidates, int jobs, bool recursive,
               std::uint64_t max_rss_mb, const JsonSink& json) {
   namespace fs = std::filesystem;
   report::BatchAggregate agg;
-  std::vector<fs::path> files;
+  corpus::ScanResult scan;
   {
     auto scope = agg.timings.stage("scan");
     std::error_code ec;
-    files = corpus::list_capture_files(dir, recursive, ec);
+    scan = corpus::scan_capture_files(dir, recursive, ec);
     if (ec) {
       std::fprintf(stderr, "--batch %s: %s\n", dir.c_str(), ec.message().c_str());
       return 1;
     }
-    if (files.empty()) {
+    if (scan.files.empty()) {
       std::fprintf(stderr, "--batch %s: no .pcap/.pcapng files found%s\n", dir.c_str(),
                    recursive ? "" : " (subdirectories need --recursive)");
       return 1;
     }
-    scope.counter("files", files.size());
+    // A row key must name exactly one file: duplicates (symlinked copies,
+    // case-folded key clashes) were dropped deterministically -- say so
+    // instead of silently emitting two rows under one key.
+    for (const auto& c : scan.collisions)
+      std::fprintf(stderr, "--batch: key '%s': keeping %s, dropping duplicate %s\n",
+                   c.key.c_str(), c.kept.string().c_str(), c.dropped.string().c_str());
+    scope.counter("files", scan.files.size());
+    scope.counter("key_collisions", scan.collisions.size());
   }
+  std::vector<std::size_t> order(scan.files.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   const auto registry = tcp::all_profiles();
   // The file-level fan-out owns the parallelism; per-trace candidate
@@ -227,11 +257,11 @@ int run_batch(const std::string& dir, bool receiver_flag,
   {
     auto scope = agg.timings.stage("analyze");
     rows = util::parallel_map(
-        files,
-        [&](const fs::path& path) {
+        order,
+        [&](std::size_t file_idx) {
+          const fs::path& path = scan.files[file_idx];
           BatchRow row;
-          row.file = recursive ? path.lexically_relative(dir).generic_string()
-                               : path.filename().string();
+          row.file = scan.keys[file_idx];
           const std::string stem = path.stem().string();
           row.truth = corpus::truth_from_filename(stem, registry);
           // make_corpus encodes the vantage point in the file name; fall
@@ -242,27 +272,73 @@ int run_batch(const std::string& dir, bool receiver_flag,
           const std::uint64_t admitted = size_ec ? 0 : size;
           gate.acquire(admitted);
           try {
-            // One pass: records are pulled out of the capture and fed to
-            // the incremental annotation builder as they decode; the
-            // "annotate" stage carries records_streamed/peak_bytes.
+            // One pass: records are pulled out of the capture and routed
+            // to their flow's incremental builder as they decode. Each
+            // finalized flow is rendered to its row immediately and its
+            // analysis dropped, so the worker's footprint follows the
+            // capture's CONCURRENT flows, not its total.
             std::ifstream f(path, std::ios::binary);
             if (!f)
               throw std::runtime_error("capture: cannot open for read: " + path.string());
             auto source = trace::open_capture_source(f);
-            auto streamed = core::analyze_capture_stream(
-                *source, /*local_is_sender=*/!row.receiver_side, candidates, aopts,
-                &row.timings, &stream_mem);
-            row.records = streamed.trace->size();
-            row.skipped_frames = streamed.skipped_frames;
-            row.local = streamed.trace->meta().local.to_string();
-            row.remote = streamed.trace->meta().remote.to_string();
-            row.trustworthy = streamed.analysis.calibration.trustworthy();
-            const auto& best = streamed.analysis.match.best();
-            row.best_name = best.profile.name;
-            row.best_fit = core::to_string(best.fit);
-            row.best_penalty = best.penalty;
-            row.identified =
-                !row.truth.empty() && streamed.analysis.match.identifies(row.truth);
+
+            core::FlowDemuxOptions dopts;
+            dopts.local_is_sender = !row.receiver_side;
+            dopts.analyze = aopts;
+            dopts.candidates = candidates;
+            dopts.mem = &stream_mem;
+            // The sole analyzable flow, retained so single-connection
+            // captures report best/trustworthy exactly as before the
+            // demux; reset the moment a second one finalizes.
+            std::optional<core::FlowResult> single;
+            std::uint64_t analyzed = 0;
+            core::FlowDemux demux(
+                std::move(dopts), [&](core::FlowResult r) {
+                  report::BatchFlowRecord fr;
+                  fr.file = row.file;
+                  fr.src = r.first_src.to_string();
+                  fr.dst = r.first_dst.to_string();
+                  fr.serial = r.serial;
+                  fr.cls = core::to_string(r.cls);
+                  fr.finalized_by = core::to_string(r.finalized_by);
+                  fr.records = r.records;
+                  fr.payload_bytes = r.payload_bytes;
+                  fr.duration_s = (r.last_ts - r.first_ts).to_seconds();
+                  if (r.cls == core::FlowClass::kAnalyzable) {
+                    fr.trustworthy = r.analysis.calibration.trustworthy();
+                    const auto& best = r.analysis.match.best();
+                    fr.best_name = best.profile.name;
+                    fr.best_fit = core::to_string(best.fit);
+                    fr.best_penalty = best.penalty;
+                    if (++analyzed == 1)
+                      single = std::move(r);
+                    else
+                      single.reset();
+                  }
+                  row.flow_rows.push_back(std::move(fr));
+                });
+            {
+              auto demux_scope = row.timings.stage("demux");
+              while (auto rec = source->next()) demux.add(*rec);
+              row.skipped_frames = source->skipped_frames();
+              demux.finish();
+              row.records = demux.stats().records;
+              row.flows = to_counts(demux.stats());
+              demux_scope.counter("records", row.records);
+              demux_scope.counter("flows", demux.stats().flows_seen);
+              demux_scope.counter("peak_bytes", demux.stats().peak_bytes);
+            }
+            if (single) {
+              row.local = single->trace->meta().local.to_string();
+              row.remote = single->trace->meta().remote.to_string();
+              row.trustworthy = single->analysis.calibration.trustworthy();
+              const auto& best = single->analysis.match.best();
+              row.best_name = best.profile.name;
+              row.best_fit = core::to_string(best.fit);
+              row.best_penalty = best.penalty;
+              row.identified =
+                  !row.truth.empty() && single->analysis.match.identifies(row.truth);
+            }
           } catch (const std::exception& e) {
             row.load_failed = true;
             row.error = e.what();
@@ -277,17 +353,27 @@ int run_batch(const std::string& dir, bool receiver_flag,
   }
 
   // Failed loads get a dedicated error column instead of masquerading as a
-  // calibration verdict; successful rows leave it empty.
-  util::TextTable table({"file", "role", "records", "calibration", "best match", "fit",
-                         "penalty", "truth", "error"});
+  // calibration verdict; successful rows leave it empty. The best/fit
+  // columns carry the single analyzable flow's verdict; multi-flow
+  // captures show their flow accounting and defer verdicts to the per-flow
+  // JSON rows.
+  util::TextTable table({"file", "role", "records", "flows", "calibration", "best match",
+                         "fit", "penalty", "truth", "error"});
   std::size_t failed = 0, with_truth = 0, identified = 0, confused = 0;
   for (const auto& row : rows) {
     if (row.load_failed) {
       ++failed;
       table.add_row({row.file, row.receiver_side ? "rcv" : "snd", "-", "-", "-", "-", "-",
-                     "-", row.error});
+                     "-", "-", row.error});
       continue;
     }
+    agg.flows.seen += row.flows.seen;
+    agg.flows.analyzed += row.flows.analyzed;
+    agg.flows.unanalyzable += row.flows.unanalyzable;
+    agg.flows.syn_scan += row.flows.syn_scan;
+    agg.flows.no_payload += row.flows.no_payload;
+    agg.flows.mid_stream += row.flows.mid_stream;
+    agg.flows.degenerate += row.flows.degenerate;
     std::string truth_cell = "-";
     if (!row.truth.empty()) {
       ++with_truth;
@@ -299,10 +385,15 @@ int run_batch(const std::string& dir, bool receiver_flag,
         truth_cell = row.truth + " CONFUSED";
       }
     }
+    const std::string flows_cell = util::strf(
+        "%llu/%llu", static_cast<unsigned long long>(row.flows.analyzed),
+        static_cast<unsigned long long>(row.flows.seen));
+    const bool single = row.flows.analyzed == 1;
     table.add_row({row.file, row.receiver_side ? "rcv" : "snd",
-                   std::to_string(row.records), row.trustworthy ? "ok" : "untrustworthy",
-                   row.best_name, row.best_fit, util::strf("%.1f", row.best_penalty),
-                   truth_cell});
+                   std::to_string(row.records), flows_cell,
+                   single ? (row.trustworthy ? "ok" : "untrustworthy") : "-",
+                   single ? row.best_name : "-", single ? row.best_fit : "-",
+                   single ? util::strf("%.1f", row.best_penalty) : "-", truth_cell});
   }
   if (!json.owns_stdout()) {
     std::printf("%s", table.render().c_str());
@@ -310,22 +401,38 @@ int run_batch(const std::string& dir, bool receiver_flag,
                 "%zu identified, %zu confused, %zu failed to load\n",
                 rows.size() - failed, util::resolve_jobs(jobs), with_truth, identified,
                 confused, failed);
+    std::printf("%llu flow(s) seen: %llu analyzed, %llu unanalyzable "
+                "(%llu syn-scan, %llu no-payload, %llu mid-stream, %llu degenerate)\n",
+                (unsigned long long)agg.flows.seen, (unsigned long long)agg.flows.analyzed,
+                (unsigned long long)agg.flows.unanalyzable,
+                (unsigned long long)agg.flows.syn_scan,
+                (unsigned long long)agg.flows.no_payload,
+                (unsigned long long)agg.flows.mid_stream,
+                (unsigned long long)agg.flows.degenerate);
   }
 
   if (json.enabled) {
-    // NDJSON: one compact row per trace, then the aggregate document. The
-    // aggregate's counts are the very size_t's the text summary printed.
+    // NDJSON: per file, one compact "flow" row per finalized connection
+    // followed by the capture's "trace" row; then the aggregate document.
+    // The aggregate's counts are the very size_t's the text summary
+    // printed.
     agg.traces_analyzed = rows.size() - failed;
     agg.workers = util::resolve_jobs(jobs);
     agg.with_truth = with_truth;
     agg.identified = identified;
     agg.confused = confused;
     agg.failed = failed;
+    agg.key_collisions = scan.collisions.size();
     std::string out;
     {
       auto scope = agg.timings.stage("emit");
-      scope.counter("rows", rows.size());
-      for (const auto& row : rows) out += to_record(row).to_json().dump() + "\n";
+      std::size_t emitted = 0;
+      for (const auto& row : rows) {
+        for (const auto& fr : row.flow_rows) out += fr.to_json().dump() + "\n";
+        out += to_record(row).to_json().dump() + "\n";
+        emitted += 1 + row.flow_rows.size();
+      }
+      scope.counter("rows", emitted);
       // The emit stage must be stopped before serializing agg itself, or
       // the aggregate's own timings section would still be running.
     }
