@@ -17,11 +17,13 @@ cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j
 
-# TSan leg: the parallel tests only, in a separate build tree.
+# TSan leg: the parallel/scheduler tests only, in a separate build tree.
+# Covers the work-stealing task system, its parallel_map client, and the
+# spool's racing claim-by-rename scanners.
 TSAN_BUILD="${BUILD}-tsan"
 cmake -B "$TSAN_BUILD" -S . -DTCPANALY_SANITIZE=thread
-cmake --build "$TSAN_BUILD" -j --target parallel_test
-ctest --test-dir "$TSAN_BUILD" --output-on-failure -R '^Parallel' -j
+cmake --build "$TSAN_BUILD" -j --target parallel_test scheduler_test
+ctest --test-dir "$TSAN_BUILD" --output-on-failure -R '^Parallel|^Scheduler|^Spool' -j
 
 # Fuzz leg: the ingestion robustness contract under ASan+UBSan. Any
 # mutated capture must parse or throw std::runtime_error -- never trip a
@@ -144,6 +146,74 @@ rss = counters["peak_rss_bytes"]
 assert rss <= 512 * 1024 * 1024, f"peak RSS {rss} over the 512 MiB ceiling"
 PYEOF
   echo "demux leg OK (per-flow fidelity, 1000-flow accounting, bounded RSS)"
+
+  # Daemon leg: tcpanalyd drains a 200-capture spool under the admission
+  # gate, answers its control socket, and its NDJSON stream must account
+  # for every capture (one trace row each, flow rows matching the flow
+  # counts, at least one daemon_stats heartbeat, peak RSS under the gate).
+  mkdir "$JSON_DIR/daemon" "$JSON_DIR/daemon/spool"
+  "$BUILD/bench/bench_flow_demux" --flows 5 \
+    --write-capture "$JSON_DIR/daemon/mix.pcap" > /dev/null
+  for i in $(seq 1 200); do
+    cp "$JSON_DIR/daemon/mix.pcap" "$JSON_DIR/daemon/spool/cap$i.pcap"
+  done
+  "$BUILD/tools/tcpanalyd" --spool "$JSON_DIR/daemon/spool" \
+    --socket "$JSON_DIR/daemon/ctl.sock" --out "$JSON_DIR/daemon/out.ndjson" \
+    --candidates "Generic Reno,Generic Tahoe" --jobs 4 --max-rss-mb 512 \
+    --poll-ms 50 --stats-interval-s 1 &
+  DAEMON_PID=$!
+  # STATUS round-trips once the socket is up; poll until the spool drains.
+  for _ in $(seq 1 600); do
+    if status=$("$BUILD/tools/tcpanalyd" --client "$JSON_DIR/daemon/ctl.sock" \
+        STATUS 2> /dev/null); then
+      done_count=$(printf '%s' "$status" | python3 -c \
+        'import json,sys; print(json.load(sys.stdin)["captures_done"])')
+      [ "$done_count" -eq 200 ] && break
+    fi
+    sleep 0.2
+  done
+  "$BUILD/tools/tcpanalyd" --client "$JSON_DIR/daemon/ctl.sock" DRAIN > /dev/null
+  "$BUILD/tools/tcpanalyd" --client "$JSON_DIR/daemon/ctl.sock" SHUTDOWN > /dev/null
+  wait "$DAEMON_PID"
+  [ -z "$(ls "$JSON_DIR/daemon/spool/"*.pcap 2> /dev/null)" ] \
+    || { echo "daemon leg FAILED: spool not drained"; exit 1; }
+  [ "$(ls "$JSON_DIR/daemon/spool/done" | wc -l)" -eq 200 ] \
+    || { echo "daemon leg FAILED: done/ incomplete"; exit 1; }
+  python3 - "$JSON_DIR/daemon/out.ndjson" <<'PYEOF'
+import json, sys
+docs = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+flows = [d for d in docs if d["type"] == "flow"]
+traces = [d for d in docs if d["type"] == "trace"]
+stats = [d for d in docs if d["type"] == "daemon_stats"]
+assert len(traces) == 200, f"{len(traces)} trace rows != 200 captures"
+assert not any("error" in t for t in traces), "a capture failed"
+seen = sum(t["flows"]["seen"] for t in traces)
+assert len(flows) == seen, f"{len(flows)} flow rows != {seen} flows seen"
+assert stats, "no daemon_stats heartbeat rows"
+last = stats[-1]
+assert last["captures_done"] == 200 and last["captures_failed"] == 0, last
+assert last["mem_gate"]["admitted"] == 200, last["mem_gate"]
+assert last["peak_rss_bytes"] <= 512 * 1024 * 1024, last["peak_rss_bytes"]
+assert last["workers"] == 4 and last["tasks_executed"] == 200
+PYEOF
+  echo "daemon leg OK (200-capture spool drained, socket round-trip, bounded RSS)"
+
+  # Daemon-throughput leg: the daemon's rows must be identical to a bare
+  # serial loop over the same capture jobs at every worker count, and the
+  # bench gates its own scaling/overhead ratios (hardware-conditionally)
+  # in its exit code. Reference numbers from a 1000-capture run live in
+  # bench/results/daemon_throughput.json.
+  "$BUILD/bench/bench_daemon_throughput" --captures 50 \
+    --json "$JSON_DIR/daemon_throughput.json" > /dev/null
+  python3 - "$JSON_DIR/daemon_throughput.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["type"] == "bench" and doc["bench"] == "daemon_throughput", doc.get("bench")
+assert doc["identical"] is True, "daemon rows diverged from serial baseline"
+assert len(doc["legs"]) == 4
+assert all(leg["identical"] for leg in doc["legs"])
+PYEOF
+  echo "daemon-throughput leg OK (rows identical to serial at 1/2/4/8 workers)"
 else
   echo "python3 not found; skipping external JSON validation leg"
 fi

@@ -1,0 +1,130 @@
+#include "daemon/capture_job.hpp"
+
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/flow_demux.hpp"
+#include "corpus/naming.hpp"
+#include "tcp/profiles.hpp"
+#include "trace/record_source.hpp"
+#include "trace/trace.hpp"
+
+namespace tcpanaly::daemon {
+
+namespace {
+
+report::FlowCounts to_counts(const core::FlowDemuxStats& stats) {
+  report::FlowCounts c;
+  c.seen = stats.flows_seen;
+  c.analyzed = stats.flows_analyzed;
+  c.unanalyzable = stats.flows_unanalyzable;
+  c.syn_scan = stats.syn_scan;
+  c.no_payload = stats.no_payload;
+  c.mid_stream = stats.mid_stream;
+  c.degenerate = stats.degenerate;
+  return c;
+}
+
+}  // namespace
+
+CaptureJobResult run_capture_job(const CaptureJob& job,
+                                 const CaptureJobOptions& opts) {
+  namespace fs = std::filesystem;
+  CaptureJobResult res;
+  report::BatchTraceRecord& rec = res.trace;
+  rec.trace.file = job.key;
+  const std::string stem = job.path.stem().string();
+  rec.trace.truth = corpus::truth_from_filename(stem, tcp::all_profiles());
+  // make_corpus encodes the vantage point in the file name; fall back to
+  // the caller's flag for foreign captures.
+  rec.trace.receiver_side =
+      corpus::receiver_side_from_filename(stem, opts.receiver_fallback);
+
+  // Admission: the file size is a conservative stand-in for the decoded
+  // footprint. Acquired BEFORE the capture is opened, released on every
+  // exit path, so the gate's in-flight estimate brackets all allocation.
+  std::error_code size_ec;
+  const std::uint64_t size = fs::file_size(job.path, size_ec);
+  const std::uint64_t admitted = size_ec ? 0 : size;
+  if (opts.gate) opts.gate->acquire(admitted);
+  report::FlowCounts flows;
+  bool load_failed = false;
+  try {
+    // One pass: records are pulled out of the capture and routed to their
+    // flow's incremental builder as they decode. Each finalized flow is
+    // rendered to its row immediately and its analysis dropped, so the
+    // worker's footprint follows the capture's CONCURRENT flows, not its
+    // total.
+    std::ifstream f(job.path, std::ios::binary);
+    if (!f)
+      throw std::runtime_error("capture: cannot open for read: " + job.path.string());
+    auto source = trace::open_capture_source(f);
+
+    core::FlowDemuxOptions dopts;
+    dopts.local_is_sender = !rec.trace.receiver_side;
+    dopts.analyze = opts.analyze;
+    dopts.candidates = opts.candidates;
+    dopts.mem = opts.stream_mem;
+    // The sole analyzable flow, retained so single-connection captures
+    // report best/trustworthy exactly as before the demux; reset the
+    // moment a second one finalizes.
+    std::optional<core::FlowResult> single;
+    std::uint64_t analyzed = 0;
+    core::FlowDemux demux(std::move(dopts), [&](core::FlowResult r) {
+      report::BatchFlowRecord fr;
+      fr.file = rec.trace.file;
+      fr.src = r.first_src.to_string();
+      fr.dst = r.first_dst.to_string();
+      fr.serial = r.serial;
+      fr.cls = core::to_string(r.cls);
+      fr.finalized_by = core::to_string(r.finalized_by);
+      fr.records = r.records;
+      fr.payload_bytes = r.payload_bytes;
+      fr.duration_s = (r.last_ts - r.first_ts).to_seconds();
+      if (r.cls == core::FlowClass::kAnalyzable) {
+        fr.trustworthy = r.analysis.calibration.trustworthy();
+        const auto& best = r.analysis.match.best();
+        fr.best_name = best.profile.name;
+        fr.best_fit = core::to_string(best.fit);
+        fr.best_penalty = best.penalty;
+        if (++analyzed == 1)
+          single = std::move(r);
+        else
+          single.reset();
+      }
+      res.flow_rows.push_back(std::move(fr));
+    });
+    {
+      auto demux_scope = rec.timings.stage("demux");
+      while (auto r = source->next()) demux.add(*r);
+      rec.trace.skipped_frames = source->skipped_frames();
+      demux.finish();
+      rec.trace.records = demux.stats().records;
+      flows = to_counts(demux.stats());
+      demux_scope.counter("records", rec.trace.records);
+      demux_scope.counter("flows", demux.stats().flows_seen);
+      demux_scope.counter("peak_bytes", demux.stats().peak_bytes);
+    }
+    if (single) {
+      rec.trace.local = single->trace->meta().local.to_string();
+      rec.trace.remote = single->trace->meta().remote.to_string();
+      rec.trustworthy = single->analysis.calibration.trustworthy();
+      const auto& best = single->analysis.match.best();
+      rec.best_name = best.profile.name;
+      rec.best_fit = core::to_string(best.fit);
+      rec.best_penalty = best.penalty;
+      rec.identified = !rec.trace.truth.empty() &&
+                       single->analysis.match.identifies(rec.trace.truth);
+    }
+  } catch (const std::exception& e) {
+    load_failed = true;
+    rec.error = e.what();
+  }
+  if (opts.gate) opts.gate->release(admitted);
+  if (!load_failed) rec.flows = flows;
+  return res;
+}
+
+}  // namespace tcpanaly::daemon

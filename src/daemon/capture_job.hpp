@@ -1,0 +1,60 @@
+// The unit of work both `tcpanaly --batch` and tcpanalyd schedule: stream
+// one capture file through the flow demultiplexer and render its NDJSON
+// rows. Extracted from the batch CLI so the daemon, the batch mode, the
+// throughput bench, and the tests all run the EXACT same per-capture
+// pipeline -- which is what makes "daemon output identical to a serial
+// --batch run" a checkable property rather than an aspiration.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "report/report.hpp"
+#include "tcp/profile.hpp"
+#include "util/mem_tracker.hpp"
+
+namespace tcpanaly::daemon {
+
+/// Everything a capture job needs besides the file itself. One instance is
+/// shared (read-only, plus the thread-safe gate/tracker) by every job in a
+/// batch run or daemon.
+struct CaptureJobOptions {
+  std::vector<tcp::TcpProfile> candidates;
+  /// Vantage fallback for files whose name does not encode it
+  /// (corpus::receiver_side_from_filename).
+  bool receiver_fallback = false;
+  /// Per-flow analysis options; match.jobs should stay 1 -- the job-level
+  /// fan-out owns the parallelism.
+  core::AnalyzeOptions analyze;
+  /// Global admission gate (may be null). The job acquires its file size
+  /// before opening the capture and releases it when done, so captures
+  /// across ALL workers -- spool, socket, batch -- share one ceiling.
+  util::MemGate* gate = nullptr;
+  /// Shared logical-footprint meter for the streaming builders (may be
+  /// null).
+  util::MemTracker* stream_mem = nullptr;
+};
+
+/// One scheduled capture analysis: the file plus the row key its records
+/// are reported under (--batch uses the scan key; the daemon uses the
+/// spool file name or the ANALYZE argument verbatim).
+struct CaptureJob {
+  std::filesystem::path path;
+  std::string key;
+};
+
+struct CaptureJobResult {
+  report::BatchTraceRecord trace;                ///< the per-capture row
+  std::vector<report::BatchFlowRecord> flow_rows;  ///< finalization order
+  bool failed() const { return !trace.error.empty(); }
+};
+
+/// Run one capture job to completion. Never throws: load/parse failures
+/// land in the trace row's `error` field, exactly as --batch has always
+/// reported them.
+CaptureJobResult run_capture_job(const CaptureJob& job,
+                                 const CaptureJobOptions& opts);
+
+}  // namespace tcpanaly::daemon

@@ -1,0 +1,304 @@
+#include "daemon/daemon.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "daemon/capture_job.hpp"
+#include "daemon/ndjson_writer.hpp"
+#include "daemon/server.hpp"
+#include "daemon/spool.hpp"
+#include "util/mem_tracker.hpp"
+#include "util/parallel.hpp"
+#include "util/scheduler.hpp"
+
+namespace tcpanaly::daemon {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+struct Daemon::Impl {
+  explicit Impl(DaemonOptions o)
+      : opts(std::move(o)),
+        writer(opts.out_path, opts.rotate_bytes),
+        gate(opts.max_rss_mb * (1024ull * 1024ull)),
+        sched(util::resolve_jobs(opts.jobs)) {
+    for (const auto& dir : opts.spool_dirs) spools.emplace_back(dir);
+    job_opts.candidates = opts.candidates;
+    job_opts.receiver_fallback = opts.receiver_fallback;
+    job_opts.analyze = opts.analyze;
+    // The capture fan-out owns the parallelism; per-flow candidate
+    // matching runs serially inside each worker (same rule as --batch).
+    job_opts.analyze.match.jobs = 1;
+    job_opts.gate = &gate;
+    job_opts.stream_mem = &stream_mem;
+  }
+
+  DaemonOptions opts;
+  NdjsonWriter writer;
+  util::MemGate gate;
+  util::MemTracker stream_mem;
+  util::Scheduler sched;
+  std::vector<Spool> spools;
+  CaptureJobOptions job_opts;
+  std::unique_ptr<SocketServer> server;
+  const Clock::time_point started = Clock::now();
+
+  std::mutex mu;
+  std::condition_variable cv;  ///< pending drops to 0, or stop requested
+  std::size_t pending = 0;     ///< submitted, not yet finished
+  bool stop = false;
+  bool draining = false;  ///< DRAIN in progress: no new spool claims
+  std::uint64_t captures_done = 0;
+  std::uint64_t captures_failed = 0;
+  std::uint64_t spool_claimed = 0;
+  std::uint64_t socket_accepted = 0;
+  report::FlowCounts flows;
+  /// Cumulative per-stage walls across every finished capture.
+  std::map<std::string, report::DaemonStageTotal> stage_totals;
+
+  void account(const CaptureJobResult& res) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++captures_done;
+    if (res.failed()) ++captures_failed;
+    if (res.trace.flows) {
+      const report::FlowCounts& f = *res.trace.flows;
+      flows.seen += f.seen;
+      flows.analyzed += f.analyzed;
+      flows.unanalyzable += f.unanalyzable;
+      flows.syn_scan += f.syn_scan;
+      flows.no_payload += f.no_payload;
+      flows.mid_stream += f.mid_stream;
+      flows.degenerate += f.degenerate;
+    }
+    for (const auto& stage : res.trace.timings.stages()) {
+      auto& total = stage_totals[stage.name];
+      total.name = stage.name;
+      total.wall = total.wall + stage.wall;
+      ++total.count;
+    }
+  }
+
+  /// Schedule one capture. `claimed` carries the spool bookkeeping for
+  /// files that came from a spool; socket ANALYZE paths pass nullopt.
+  void submit(std::optional<std::pair<std::size_t, ClaimedCapture>> claimed,
+              std::filesystem::path path, std::string key,
+              util::TaskPriority priority) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++pending;
+      if (claimed)
+        ++spool_claimed;
+      else
+        ++socket_accepted;
+    }
+    try {
+      sched.submit(
+          [this, claimed = std::move(claimed), path = std::move(path),
+           key = std::move(key)] {
+            const CaptureJobResult res = run_capture_job({path, key}, job_opts);
+            for (const auto& fr : res.flow_rows) writer.write_row(fr.to_json().dump());
+            writer.write_row(res.trace.to_json().dump());
+            account(res);
+            if (claimed) spools[claimed->first].complete(claimed->second, !res.failed());
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              --pending;
+            }
+            cv.notify_all();
+          },
+          priority);
+    } catch (...) {
+      // Scheduler already shutting down: undo the reservation and rethrow
+      // so the caller (the ANALYZE handler) can report it.
+      std::lock_guard<std::mutex> lock(mu);
+      --pending;
+      if (claimed)
+        --spool_claimed;
+      else
+        --socket_accepted;
+      throw;
+    }
+  }
+
+  report::DaemonStatsRecord snapshot() {
+    report::DaemonStatsRecord rec;
+    const util::Scheduler::Stats ss = sched.stats();
+    const util::MemGate::Stats gs = gate.stats();
+    rec.uptime_s = std::chrono::duration<double>(Clock::now() - started).count();
+    rec.workers = ss.workers;
+    rec.queued = ss.queued;
+    rec.running = ss.running;
+    rec.tasks_executed = ss.executed;
+    rec.tasks_stolen = ss.stolen;
+    rec.peak_stream_bytes = stream_mem.peak();
+    rec.peak_rss_bytes = util::peak_rss_bytes();
+    rec.mem_gate.limit_bytes = gate.limit_bytes();
+    rec.mem_gate.admitted = gs.admitted;
+    rec.mem_gate.deferred = gs.deferred;
+    rec.mem_gate.oversized = gs.oversized;
+    rec.rows_written = writer.rows();
+    rec.output_rotations = writer.rotations();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      rec.captures_done = captures_done;
+      rec.captures_failed = captures_failed;
+      rec.spool_claimed = spool_claimed;
+      rec.socket_accepted = socket_accepted;
+      rec.flows = flows;
+      for (const auto& [name, total] : stage_totals) rec.stage_totals.push_back(total);
+    }
+    if (rec.uptime_s > 0.0) {
+      rec.captures_per_sec = static_cast<double>(rec.captures_done) / rec.uptime_s;
+      rec.flows_per_sec = static_cast<double>(rec.flows.seen) / rec.uptime_s;
+    }
+    return rec;
+  }
+
+  std::string handle(const Command& cmd) {
+    switch (cmd.type) {
+      case CommandType::kStatus:
+        return snapshot().to_json().dump();
+      case CommandType::kAnalyze: {
+        std::error_code ec;
+        if (!std::filesystem::is_regular_file(cmd.arg, ec))
+          return "ERR no such capture: " + cmd.arg;
+        try {
+          submit(std::nullopt, cmd.arg, cmd.arg, util::TaskPriority::kHigh);
+        } catch (const std::exception&) {
+          return "ERR shutting down";
+        }
+        return "OK queued " + cmd.arg;
+      }
+      case CommandType::kDrain: {
+        // Pause spool claims, let everything in flight finish, resume.
+        std::unique_lock<std::mutex> lock(mu);
+        draining = true;
+        cv.wait(lock, [&] { return pending == 0 || stop; });
+        draining = false;
+        return "OK drained";
+      }
+      case CommandType::kShutdown:
+        request_stop();
+        return "OK shutting down";
+      case CommandType::kInvalid:
+        break;
+    }
+    return "ERR " + cmd.error;
+  }
+
+  void request_stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+  }
+};
+
+Daemon::Daemon(DaemonOptions opts) : impl_(new Impl(std::move(opts))) {}
+
+Daemon::~Daemon() = default;
+
+void Daemon::request_stop() { impl_->request_stop(); }
+
+report::DaemonStatsRecord Daemon::snapshot() { return impl_->snapshot(); }
+
+int Daemon::run() {
+  Impl& d = *impl_;
+  // Re-queue captures stranded in work/ by a previous crashed run: they
+  // are already claimed, so they go straight onto the scheduler.
+  for (std::size_t s = 0; s < d.spools.size(); ++s)
+    for (auto& orphan : d.spools[s].orphans()) {
+      const std::filesystem::path path = orphan.work_path;
+      const std::string key = orphan.name;
+      d.submit(std::make_pair(s, std::move(orphan)), path, key,
+               util::TaskPriority::kNormal);
+    }
+
+  if (!d.opts.socket_path.empty())
+    d.server = std::make_unique<SocketServer>(
+        d.opts.socket_path, [&d](const Command& cmd) { return d.handle(cmd); });
+
+  auto next_stats = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(
+                                           d.opts.stats_interval_s));
+  // Claim throttle: keep at most 2x the worker count in flight so the
+  // spool stays an honest backlog meter and shutdown stays bounded.
+  const std::size_t target = 2 * static_cast<std::size_t>(d.sched.size());
+  // Whether the last scan suggested the spools still hold work: true =>
+  // refill the moment a slot frees (worker completions notify cv); false
+  // => only rescan on the poll timer.
+  bool backlog = true;
+  for (;;) {
+    bool stopping, draining;
+    std::size_t pending;
+    {
+      std::lock_guard<std::mutex> lock(d.mu);
+      stopping = d.stop;
+      draining = d.draining;
+      pending = d.pending;
+    }
+    if (stopping) break;
+
+    if (!draining && pending < target) {
+      std::size_t want = target - pending;
+      std::size_t got = 0;
+      for (std::size_t s = 0; s < d.spools.size() && got < want; ++s)
+        for (auto& claimed : d.spools[s].claim(want - got)) {
+          const std::filesystem::path path = claimed.work_path;
+          const std::string key = claimed.name;
+          d.submit(std::make_pair(s, std::move(claimed)), path, key,
+                   util::TaskPriority::kNormal);
+          ++got;
+        }
+      // A short claim means the spools are (momentarily) empty; a full one
+      // means there is probably more behind it.
+      backlog = got == want;
+    }
+
+    if (d.opts.stats_interval_s > 0 && Clock::now() >= next_stats) {
+      d.writer.write_row(d.snapshot().to_json().dump());
+      next_stats = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          d.opts.stats_interval_s));
+    }
+
+    if (d.opts.exit_when_drained && pending == 0) {
+      bool empty = true;
+      for (auto& spool : d.spools)
+        if (spool.pending() > 0) {
+          empty = false;
+          break;
+        }
+      if (empty) {
+        std::lock_guard<std::mutex> lock(d.mu);
+        if (d.pending == 0) break;  // nothing snuck in while we checked
+      }
+    }
+
+    std::unique_lock<std::mutex> lock(d.mu);
+    d.cv.wait_for(lock, std::chrono::milliseconds(d.opts.poll_ms), [&] {
+      return d.stop || (d.opts.exit_when_drained && d.pending == 0) ||
+             (backlog && !d.draining && d.pending < target);
+    });
+  }
+
+  // Teardown order matters: the socket goes first (no new ANALYZE
+  // submissions), then the scheduler drains every claimed capture (no
+  // files stranded in work/), then the closing heartbeat summarizes the
+  // whole run.
+  if (d.server) d.server->stop();
+  d.sched.shutdown(util::Scheduler::ShutdownMode::kDrain);
+  if (d.opts.stats_interval_s > 0 || d.opts.exit_when_drained)
+    d.writer.write_row(d.snapshot().to_json().dump());
+
+  std::lock_guard<std::mutex> lock(d.mu);
+  return d.opts.exit_when_drained && d.captures_failed > 0 ? 1 : 0;
+}
+
+}  // namespace tcpanaly::daemon

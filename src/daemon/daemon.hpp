@@ -1,0 +1,80 @@
+// tcpanalyd: the long-running analysis service. Wraps the streaming
+// flow-demux pipeline in a persistent engine:
+//
+//   * a util::Scheduler worker pool (work-stealing, priority-tiered) runs
+//     one capture job per task; spool backlog enters at kNormal, socket
+//     ANALYZE requests at kHigh so interactive work jumps a deep backlog;
+//   * one or more Spool directories are polled, files claimed atomically
+//     by rename (two daemons can share a spool), and moved to done/ or
+//     failed/ after their rows are written;
+//   * a unix-domain control socket accepts ANALYZE / STATUS / DRAIN /
+//     SHUTDOWN (daemon/protocol.hpp);
+//   * one util::MemGate spans every in-flight capture regardless of
+//     origin, so a million-file backlog drains at full parallelism with
+//     bounded admission and an oversized capture runs solo instead of
+//     OOMing the process;
+//   * results stream continuously as schema-5 NDJSON (flow + trace rows,
+//     identical to `tcpanaly --batch --json`) to a rotating output file,
+//     with a periodic "daemon_stats" heartbeat row.
+//
+// The claim throttle doubles as backpressure: at most 2x the worker count
+// of captures are claimed-but-unfinished at any moment, so SHUTDOWN (which
+// drains claimed work) is bounded, the spool root remains an honest
+// backlog meter, and admission blocking happens in workers, not scanners.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "report/report.hpp"
+#include "tcp/profile.hpp"
+
+namespace tcpanaly::daemon {
+
+struct DaemonOptions {
+  std::vector<std::filesystem::path> spool_dirs;
+  std::string socket_path;  ///< empty => no control socket
+  std::string out_path;     ///< NDJSON destination; empty => stdout
+  std::uint64_t rotate_bytes = 0;  ///< 0 => never rotate
+  int jobs = 0;                    ///< <= 0 => hardware concurrency
+  std::uint64_t max_rss_mb = 0;    ///< 0 => unlimited admission
+  int poll_ms = 200;               ///< spool scan interval
+  double stats_interval_s = 10.0;  ///< heartbeat period; 0 => none
+  /// One-shot mode (--once): exit as soon as every spool is empty and all
+  /// claimed work has finished. The tier-1 harness and the throughput
+  /// bench run the daemon this way.
+  bool exit_when_drained = false;
+  std::vector<tcp::TcpProfile> candidates;
+  bool receiver_fallback = false;
+  core::AnalyzeOptions analyze;  ///< match.jobs is forced to 1 per flow
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions opts);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Run until SHUTDOWN / request_stop() (or, with exit_when_drained,
+  /// until the backlog is gone). Returns the process exit code: non-zero
+  /// only in exit_when_drained mode when any capture failed.
+  int run();
+
+  /// Ask a running run() to stop; safe from any thread.
+  void request_stop();
+
+  /// Point-in-time heartbeat document (what STATUS returns).
+  report::DaemonStatsRecord snapshot();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tcpanaly::daemon

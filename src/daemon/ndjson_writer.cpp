@@ -1,0 +1,62 @@
+#include "daemon/ndjson_writer.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace tcpanaly::daemon {
+
+NdjsonWriter::NdjsonWriter(std::string path, std::uint64_t rotate_bytes)
+    : path_(std::move(path)), rotate_bytes_(rotate_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_segment();
+}
+
+NdjsonWriter::~NdjsonWriter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ && out_ != stdout) std::fclose(out_);
+}
+
+void NdjsonWriter::open_segment() {
+  if (path_.empty()) {
+    out_ = stdout;
+    return;
+  }
+  out_ = std::fopen(path_.c_str(), "a");
+  if (!out_) throw std::runtime_error("ndjson: cannot open for append: " + path_);
+  // Appending to a pre-existing file: rotation must count its bytes too.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  segment_bytes_ = ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+void NdjsonWriter::write_row(const std::string& json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rotate_bytes_ != 0 && out_ != stdout && segment_bytes_ >= rotate_bytes_) {
+    std::fclose(out_);
+    out_ = nullptr;
+    ++rotations_;
+    std::error_code ec;
+    std::filesystem::rename(path_, path_ + "." + std::to_string(rotations_), ec);
+    // A failed rename (exotic filesystem) keeps appending to the same
+    // file: rows are never dropped for the sake of rotation.
+    open_segment();
+  }
+  std::fwrite(json.data(), 1, json.size(), out_);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+  segment_bytes_ += json.size() + 1;
+  ++rows_;
+}
+
+std::uint64_t NdjsonWriter::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+std::uint64_t NdjsonWriter::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+}  // namespace tcpanaly::daemon

@@ -1,0 +1,45 @@
+// Continuous NDJSON result stream with size-based rotation: the daemon
+// appends one line per row (flow / trace / daemon_stats) and, when the
+// file crosses the rotation threshold, renames it to `<path>.<n>` and
+// starts a fresh `<path>` -- so a consumer tailing `<path>` always reads
+// whole lines and rotated segments are never rewritten. Thread-safe: the
+// worker pool, the heartbeat, and the socket handler all write rows.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace tcpanaly::daemon {
+
+class NdjsonWriter {
+ public:
+  /// Empty path => stdout (no rotation). rotate_bytes == 0 => never
+  /// rotate. Throws std::runtime_error when the file cannot be opened.
+  explicit NdjsonWriter(std::string path, std::uint64_t rotate_bytes = 0);
+  ~NdjsonWriter();
+
+  NdjsonWriter(const NdjsonWriter&) = delete;
+  NdjsonWriter& operator=(const NdjsonWriter&) = delete;
+
+  /// Append one row (a complete JSON document, no trailing newline) and
+  /// flush, rotating first if the current segment is over the threshold.
+  void write_row(const std::string& json);
+
+  std::uint64_t rows() const;
+  std::uint64_t rotations() const;
+
+ private:
+  void open_segment();  // caller holds mu_
+
+  const std::string path_;
+  const std::uint64_t rotate_bytes_;
+  mutable std::mutex mu_;
+  std::FILE* out_ = nullptr;  ///< owned unless stdout
+  std::uint64_t segment_bytes_ = 0;
+  std::uint64_t rows_ = 0;
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace tcpanaly::daemon

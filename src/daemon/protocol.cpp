@@ -1,0 +1,57 @@
+#include "daemon/protocol.hpp"
+
+namespace tcpanaly::daemon {
+
+Command parse_command(std::string_view line) {
+  // Trim the CR a telnet-ish client appends and any outer whitespace.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.remove_suffix(1);
+  while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+
+  Command cmd;
+  if (line.empty()) {
+    cmd.error = "empty command";
+    return cmd;
+  }
+  const std::size_t space = line.find(' ');
+  const std::string_view verb = line.substr(0, space);
+  std::string_view rest =
+      space == std::string_view::npos ? std::string_view{} : line.substr(space + 1);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+
+  if (verb == "ANALYZE") {
+    if (rest.empty()) {
+      cmd.error = "ANALYZE needs a capture path";
+      return cmd;
+    }
+    cmd.type = CommandType::kAnalyze;
+    cmd.arg = std::string(rest);
+    return cmd;
+  }
+  if (!rest.empty()) {
+    cmd.error = std::string(verb) + " takes no argument";
+    return cmd;
+  }
+  if (verb == "STATUS") {
+    cmd.type = CommandType::kStatus;
+  } else if (verb == "DRAIN") {
+    cmd.type = CommandType::kDrain;
+  } else if (verb == "SHUTDOWN") {
+    cmd.type = CommandType::kShutdown;
+  } else {
+    cmd.error = "unknown command: " + std::string(verb);
+  }
+  return cmd;
+}
+
+const char* to_string(CommandType type) {
+  switch (type) {
+    case CommandType::kAnalyze: return "ANALYZE";
+    case CommandType::kStatus: return "STATUS";
+    case CommandType::kDrain: return "DRAIN";
+    case CommandType::kShutdown: return "SHUTDOWN";
+    case CommandType::kInvalid: break;
+  }
+  return "INVALID";
+}
+
+}  // namespace tcpanaly::daemon

@@ -1,0 +1,43 @@
+// tcpanalyd's control protocol: newline-delimited text over a unix-domain
+// socket. Kept transport-independent (parse/render pure functions) so the
+// tests cover every command without a socket in sight.
+//
+//   request                response
+//   ---------------------  ----------------------------------------------
+//   ANALYZE <path>         "OK queued <path>" | "ERR <reason>"
+//   STATUS                 one-line "daemon_stats" JSON document
+//   DRAIN                  "OK drained" once nothing is queued or running
+//   SHUTDOWN               "OK shutting down", then the daemon exits
+//   anything else          "ERR unknown command: <verb>"
+//
+// One request per line; a connection may issue several. Responses are one
+// line each (the STATUS JSON is compact-dumped onto a single line).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tcpanaly::daemon {
+
+enum class CommandType {
+  kAnalyze,
+  kStatus,
+  kDrain,
+  kShutdown,
+  kInvalid,
+};
+
+struct Command {
+  CommandType type = CommandType::kInvalid;
+  std::string arg;    ///< ANALYZE's path operand
+  std::string error;  ///< why parsing failed (kInvalid only)
+};
+
+/// Parse one request line (without its trailing newline; a stray '\r' from
+/// chatty clients is tolerated). Verbs are case-sensitive by design --
+/// this is a machine protocol, not a shell.
+Command parse_command(std::string_view line);
+
+const char* to_string(CommandType type);
+
+}  // namespace tcpanaly::daemon

@@ -1,0 +1,159 @@
+#include "daemon/server.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace tcpanaly::daemon {
+
+namespace {
+
+/// poll() for readability so the accept/read loops can notice stop_ (and
+/// the client can time out) instead of blocking forever.
+bool wait_readable(int fd, int timeout_ms) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long (" +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " byte max): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away mid-response; nothing to salvage
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+struct SocketServer::Impl {
+  std::string path;
+  Handler handler;
+  int listen_fd = -1;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  void serve_connection(int fd) {
+    std::string buf;
+    char chunk[4096];
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Split out complete lines first; read more only when none remain.
+      const std::size_t nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        const Command cmd = parse_command(std::string_view(buf).substr(0, nl));
+        buf.erase(0, nl + 1);
+        const std::string response =
+            cmd.type == CommandType::kInvalid ? "ERR " + cmd.error : handler(cmd);
+        write_all(fd, response + "\n");
+        // SHUTDOWN's response is the last thing this connection gets; the
+        // daemon is about to stop and so is this server.
+        if (cmd.type == CommandType::kShutdown) return;
+        continue;
+      }
+      if (!wait_readable(fd, 250)) continue;
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) return;  // EOF or error: client done
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void accept_loop() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!wait_readable(listen_fd, 250)) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      serve_connection(fd);
+      ::close(fd);
+    }
+  }
+};
+
+SocketServer::SocketServer(std::string socket_path, Handler handler)
+    : impl_(new Impl) {
+  impl_->path = std::move(socket_path);
+  impl_->handler = std::move(handler);
+  const sockaddr_un addr = make_addr(impl_->path);
+
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0)
+    throw std::runtime_error("socket(AF_UNIX): " + std::string(std::strerror(errno)));
+  // A stale socket file from a dead daemon would make bind fail; a LIVE
+  // daemon on the same path loses its socket to us -- running two daemons
+  // on one socket path is operator error either way.
+  ::unlink(impl_->path.c_str());
+  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(impl_->listen_fd, 8) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(impl_->listen_fd);
+    throw std::runtime_error("bind/listen " + impl_->path + ": " + err);
+  }
+  impl_->thread = std::thread([this] { impl_->accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::stop() {
+  if (!impl_->thread.joinable()) return;
+  impl_->stop.store(true, std::memory_order_relaxed);
+  impl_->thread.join();
+  ::close(impl_->listen_fd);
+  ::unlink(impl_->path.c_str());
+}
+
+std::string request(const std::string& socket_path, const std::string& line,
+                    int timeout_ms) {
+  const sockaddr_un addr = make_addr(socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error("socket(AF_UNIX): " + std::string(std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("connect " + socket_path + ": " + err);
+  }
+  write_all(fd, line + "\n");
+  std::string buf;
+  char chunk[4096];
+  while (buf.find('\n') == std::string::npos) {
+    if (!wait_readable(fd, timeout_ms)) {
+      ::close(fd);
+      throw std::runtime_error("timeout waiting for response to: " + line);
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      ::close(fd);
+      throw std::runtime_error("connection closed before response to: " + line);
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return buf.substr(0, buf.find('\n'));
+}
+
+}  // namespace tcpanaly::daemon

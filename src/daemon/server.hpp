@@ -1,0 +1,49 @@
+// Unix-domain control socket for tcpanalyd: a listener thread accepts
+// connections and feeds each newline-delimited request line through the
+// daemon's command handler, writing the one-line response back. Requests
+// are handled sequentially (one connection at a time): the control plane
+// is human/tooling-rate, and sequential handling means a DRAIN observes a
+// quiescent daemon without racing other commands.
+//
+// request(path, line) is the matching client: connect, one line out, one
+// line back. tcpanalyd --client and the tier-1 harness use it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "daemon/protocol.hpp"
+
+namespace tcpanaly::daemon {
+
+class SocketServer {
+ public:
+  /// Returns the single response line for one parsed command (no newline).
+  using Handler = std::function<std::string(const Command&)>;
+
+  /// Binds and listens immediately; throws std::runtime_error on bind
+  /// failure (stale socket files are unlinked first). The handler runs on
+  /// the server's own thread.
+  SocketServer(std::string socket_path, Handler handler);
+  ~SocketServer();  // stop()
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Stop accepting, join the listener thread, unlink the socket file.
+  /// Idempotent.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot client: send `line`, return the first response line (without
+/// its newline). Throws std::runtime_error on connect/io failure or when
+/// no response arrives within `timeout_ms`.
+std::string request(const std::string& socket_path, const std::string& line,
+                    int timeout_ms = 10'000);
+
+}  // namespace tcpanaly::daemon

@@ -1,0 +1,91 @@
+#include "daemon/spool.hpp"
+
+#include <system_error>
+
+#include "corpus/scan.hpp"
+
+namespace tcpanaly::daemon {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void ensure_dir(const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw std::system_error(ec, "spool: cannot create " + dir.string());
+}
+
+}  // namespace
+
+Spool::Spool(fs::path root) : root_(std::move(root)) {
+  ensure_dir(root_ / "work");
+  ensure_dir(root_ / "done");
+  ensure_dir(root_ / "failed");
+}
+
+bool Spool::refill() const {
+  backlog_pos_ = 0;
+  std::error_code ec;
+  // Non-recursive scan: work/done/failed are subdirectories, so only the
+  // pending backlog is visible. Scan errors (spool unlinked underneath
+  // us) yield an empty cache; the next poll retries.
+  corpus::ScanResult scan = corpus::scan_capture_files(root_, false, ec);
+  backlog_files_ = std::move(scan.files);
+  backlog_keys_ = std::move(scan.keys);
+  return !backlog_files_.empty();
+}
+
+std::vector<ClaimedCapture> Spool::claim(std::size_t max) {
+  std::vector<ClaimedCapture> claimed;
+  while (claimed.size() < max) {
+    if (backlog_pos_ >= backlog_files_.size() && !refill()) break;
+    for (; backlog_pos_ < backlog_files_.size() && claimed.size() < max;
+         ++backlog_pos_) {
+      const fs::path& src = backlog_files_[backlog_pos_];
+      const fs::path target = root_ / "work" / src.filename();
+      std::error_code rename_ec;
+      fs::rename(src, target, rename_ec);
+      // ENOENT here means a competing scanner renamed it first: exactly the
+      // claim-race resolution the layout is designed around. Any other
+      // error (EXDEV, permissions) also just leaves the file pending.
+      if (rename_ec) continue;
+      claimed.push_back({target, backlog_keys_[backlog_pos_]});
+    }
+    // An exhausted cache loops back to refill(); a competitor that beat
+    // us to every cached file has moved them out of the root, so the
+    // rescan shrinks and the loop terminates.
+  }
+  return claimed;
+}
+
+std::size_t Spool::pending() const {
+  if (backlog_pos_ < backlog_files_.size()) return backlog_files_.size() - backlog_pos_;
+  refill();
+  return backlog_files_.size();
+}
+
+void Spool::complete(const ClaimedCapture& claimed, bool ok) {
+  const fs::path dest = root_ / (ok ? "done" : "failed") / claimed.name;
+  std::error_code ec;
+  fs::rename(claimed.work_path, dest, ec);
+  if (ec) {
+    // Rename across a mount boundary (or a collision some filesystems
+    // refuse): fall back to copy+remove so work/ never accumulates.
+    fs::copy_file(claimed.work_path, dest, fs::copy_options::overwrite_existing, ec);
+    fs::remove(claimed.work_path, ec);
+  }
+}
+
+std::vector<ClaimedCapture> Spool::orphans() const {
+  std::vector<ClaimedCapture> out;
+  std::error_code ec;
+  const corpus::ScanResult scan =
+      corpus::scan_capture_files(root_ / "work", false, ec);
+  out.reserve(scan.files.size());
+  for (std::size_t i = 0; i < scan.files.size(); ++i)
+    out.push_back({scan.files[i], scan.keys[i]});
+  return out;
+}
+
+}  // namespace tcpanaly::daemon

@@ -1,0 +1,80 @@
+// Spool-directory ingestion: drop capture files into a watched directory
+// and tcpanalyd picks them up. Claiming is ATOMIC-BY-RENAME: a scanner
+// moves a pending file into the spool's work/ subdirectory before
+// analyzing it, and because rename(2) within one filesystem is atomic,
+// two scanners (two daemons, or a daemon racing a stray batch run) can
+// watch the same spool and every file is claimed by exactly one of them -- the
+// loser's rename fails with ENOENT and it simply moves on. Processed files
+// land in done/ or failed/, so the spool root itself always holds exactly
+// the pending backlog.
+//
+// Layout (subdirectories are created on construction):
+//   <root>/            pending captures (producers write here; writers
+//                      should write to a dotfile/temp name and rename in,
+//                      the same atomicity discipline)
+//   <root>/work/       claimed, analysis in progress
+//   <root>/done/       analyzed, row(s) emitted
+//   <root>/failed/     analysis errored (row carries the error)
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+namespace tcpanaly::daemon {
+
+/// One pending capture claimed out of the spool root into work/.
+struct ClaimedCapture {
+  std::filesystem::path work_path;  ///< where the file lives while running
+  std::string name;                 ///< original file name == row key
+};
+
+class Spool {
+ public:
+  /// Creates work/, done/ and failed/ under `root` (root itself must
+  /// exist). Throws std::system_error when a directory cannot be created.
+  explicit Spool(std::filesystem::path root);
+
+  const std::filesystem::path& root() const { return root_; }
+
+  /// Claim up to `max` pending captures by renaming them into work/.
+  /// Candidates come from a cached directory listing
+  /// (corpus::scan_capture_files, non-recursive -- the state
+  /// subdirectories are invisible to it) that is refilled only when
+  /// exhausted, so draining an N-file backlog costs O(N) directory
+  /// entries scanned, not O(N^2). Files that vanish between scan and
+  /// rename were claimed by a competing scanner and are skipped
+  /// silently; that is the mechanism, not an error. claim() and
+  /// pending() share the cache and must be called from one thread
+  /// (competing scanners use separate Spool instances).
+  std::vector<ClaimedCapture> claim(std::size_t max);
+
+  /// Count of pending (unclaimed) captures: the cached backlog when one
+  /// is in hand (an overestimate if a competitor is racing us -- the
+  /// next claim() corrects it), a fresh scan otherwise.
+  std::size_t pending() const;
+
+  /// Move a claimed capture to done/ (ok) or failed/. A same-named file
+  /// already there (a re-submitted capture) is overwritten: the NDJSON
+  /// stream, not the directory, is the durable record.
+  void complete(const ClaimedCapture& claimed, bool ok);
+
+  /// Captures stranded in work/ by a previous crashed run. The daemon
+  /// re-queues these at startup; they are already claimed by definition.
+  std::vector<ClaimedCapture> orphans() const;
+
+ private:
+  /// Rescan the spool root into the backlog cache; true if non-empty.
+  bool refill() const;
+
+  std::filesystem::path root_;
+  // Cached pending listing, consumed front-to-back by claim(). Mutable
+  // because pending() (logically const) refreshes an exhausted cache.
+  mutable std::vector<std::filesystem::path> backlog_files_;
+  mutable std::vector<std::string> backlog_keys_;  ///< parallel to files
+  mutable std::size_t backlog_pos_ = 0;
+};
+
+}  // namespace tcpanaly::daemon

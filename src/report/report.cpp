@@ -157,6 +157,15 @@ Json BatchTraceRecord::to_json() const {
   return doc;
 }
 
+Json to_json(const GateCounts& gate) {
+  Json j = Json::object();
+  j.set("limit_bytes", gate.limit_bytes);
+  j.set("admitted", gate.admitted);
+  j.set("deferred", gate.deferred);
+  j.set("oversized", gate.oversized);
+  return j;
+}
+
 Json BatchAggregate::to_json() const {
   Json doc = document_header("aggregate");
   doc.set("traces_analyzed", traces_analyzed);
@@ -167,7 +176,40 @@ Json BatchAggregate::to_json() const {
   doc.set("failed", failed);
   doc.set("flows", report::to_json(flows));
   doc.set("key_collisions", key_collisions);
+  doc.set("mem_gate", report::to_json(mem_gate));
   doc.set("timings", core::to_json(timings));
+  return doc;
+}
+
+Json DaemonStatsRecord::to_json() const {
+  Json doc = document_header("daemon_stats");
+  doc.set("uptime_s", uptime_s);
+  doc.set("workers", workers);
+  doc.set("queued", queued);
+  doc.set("running", running);
+  doc.set("tasks_executed", tasks_executed);
+  doc.set("tasks_stolen", tasks_stolen);
+  doc.set("captures_done", captures_done);
+  doc.set("captures_failed", captures_failed);
+  doc.set("spool_claimed", spool_claimed);
+  doc.set("socket_accepted", socket_accepted);
+  doc.set("flows", report::to_json(flows));
+  doc.set("captures_per_sec", captures_per_sec);
+  doc.set("flows_per_sec", flows_per_sec);
+  doc.set("peak_stream_bytes", peak_stream_bytes);
+  doc.set("peak_rss_bytes", peak_rss_bytes);
+  doc.set("mem_gate", report::to_json(mem_gate));
+  doc.set("rows_written", rows_written);
+  doc.set("output_rotations", output_rotations);
+  Json stages = Json::array();
+  for (const auto& s : stage_totals) {
+    Json row = Json::object();
+    row.set("name", s.name);
+    row.set("wall_us", s.wall.count());
+    row.set("count", s.count);
+    stages.push_back(std::move(row));
+  }
+  doc.set("stage_totals", std::move(stages));
   return doc;
 }
 

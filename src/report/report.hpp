@@ -35,9 +35,16 @@ namespace tcpanaly::report {
 // analyzable flow (for which they mean what they always did); "aggregate"
 // gains corpus-wide flow counts and the recursive-scan `key_collisions`
 // counter.
-inline constexpr int kSchemaVersion = 4;
+//
+// Schema 5: the analysis engine runs as a service (tcpanalyd). A new
+// "daemon_stats" document type is the daemon's periodic heartbeat row
+// (queue depth, throughput, memory high-water marks, admission decisions,
+// cumulative per-stage timings); "aggregate" gains a `mem_gate` object
+// making --max-rss-mb admission decisions visible. "flow"/"trace" rows are
+// unchanged, so schema-4 consumers of those rows keep working.
+inline constexpr int kSchemaVersion = 5;
 inline constexpr const char* kToolName = "tcpanaly";
-inline constexpr const char* kToolVersion = "0.5.0";
+inline constexpr const char* kToolVersion = "0.6.0";
 
 /// What `tcpanaly --version` prints: "tcpanaly 0.4.0 (report schema 3)".
 std::string version_line();
@@ -146,6 +153,19 @@ struct BatchTraceRecord {
   Json to_json() const;
 };
 
+/// util::MemGate admission decisions, surfaced so --max-rss-mb runs (and
+/// the daemon) show how often the ceiling actually bit: `deferred` counts
+/// captures that had to wait for admission, `oversized` captures bigger
+/// than the whole budget that ran solo instead of OOMing.
+struct GateCounts {
+  std::uint64_t limit_bytes = 0;  ///< 0 => the gate was unlimited
+  std::uint64_t admitted = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t oversized = 0;
+};
+
+Json to_json(const GateCounts& gate);
+
 /// The batch run's closing document.
 struct BatchAggregate {
   std::size_t traces_analyzed = 0;
@@ -158,7 +178,49 @@ struct BatchAggregate {
   /// see corpus::scan_capture_files).
   std::size_t key_collisions = 0;
   unsigned workers = 0;
+  GateCounts mem_gate;
   util::StageTimer timings;
+
+  Json to_json() const;
+};
+
+/// Cumulative wall time spent in one named pipeline stage across every
+/// capture the daemon has processed (the per-capture StageTimer stages,
+/// summed), plus how many captures contributed.
+struct DaemonStageTotal {
+  std::string name;
+  util::Duration wall;
+  std::uint64_t count = 0;
+};
+
+/// tcpanalyd's periodic heartbeat NDJSON row (type "daemon_stats"), also
+/// returned verbatim as the STATUS response on the control socket.
+struct DaemonStatsRecord {
+  double uptime_s = 0.0;
+  unsigned workers = 0;
+  // Scheduler view: what is waiting and what is running right now.
+  std::uint64_t queued = 0;
+  std::uint64_t running = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_stolen = 0;
+  // Capture accounting since startup.
+  std::uint64_t captures_done = 0;    ///< jobs finished (ok or failed)
+  std::uint64_t captures_failed = 0;  ///< jobs whose row carries an error
+  std::uint64_t spool_claimed = 0;    ///< jobs that came from a spool
+  std::uint64_t socket_accepted = 0;  ///< jobs that came over ANALYZE
+  FlowCounts flows;
+  // Throughput over the whole uptime (captures_done / uptime).
+  double captures_per_sec = 0.0;
+  double flows_per_sec = 0.0;
+  // Memory: logical streaming footprint + process high-water mark, and
+  // the admission gate's decisions.
+  std::uint64_t peak_stream_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;
+  GateCounts mem_gate;
+  // Result stream accounting.
+  std::uint64_t rows_written = 0;
+  std::uint64_t output_rotations = 0;
+  std::vector<DaemonStageTotal> stage_totals;
 
   Json to_json() const;
 };

@@ -47,26 +47,49 @@ class MemTracker {
 
 /// Soft admission ceiling for concurrent work, keyed on caller-supplied
 /// byte estimates (for batch analysis: the capture's file size, a
-/// conservative stand-in for its decoded footprint).
+/// conservative stand-in for its decoded footprint). One gate instance
+/// spans ALL in-flight work sharing it -- `tcpanaly --batch` and tcpanalyd
+/// both hand a single gate to every capture job, so admission is global
+/// across the run/daemon, not per-file.
 class MemGate {
  public:
+  /// Admission decisions, so operators can see the gate working: every
+  /// deferral is a capture that would have pushed the in-flight estimate
+  /// over the ceiling, every oversized admission a capture bigger than the
+  /// whole budget that ran solo instead of OOMing the process.
+  struct Stats {
+    std::uint64_t admitted = 0;   ///< acquires that completed
+    std::uint64_t deferred = 0;   ///< acquires that had to wait first
+    std::uint64_t oversized = 0;  ///< estimate alone exceeded the limit
+    std::uint64_t in_use = 0;     ///< bytes admitted right now
+    std::uint64_t in_flight = 0;  ///< acquisitions outstanding right now
+  };
+
   /// limit_bytes == 0 means unlimited (acquire never blocks).
   explicit MemGate(std::uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+  std::uint64_t limit_bytes() const { return limit_; }
 
   /// Block until `estimate` fits under the ceiling alongside the work
   /// already admitted. Always admits immediately when nothing is in
   /// flight: one trace larger than the whole budget still gets analyzed,
   /// just with nothing running beside it.
   void acquire(std::uint64_t estimate) {
-    if (limit_ == 0) return;
     std::unique_lock<std::mutex> lock(m_);
-    cv_.wait(lock, [&] { return in_flight_ == 0 || in_use_ + estimate <= limit_; });
+    if (limit_ != 0) {
+      if (estimate > limit_) ++stats_.oversized;
+      if (!(in_flight_ == 0 || in_use_ + estimate <= limit_)) {
+        ++stats_.deferred;
+        cv_.wait(lock,
+                 [&] { return in_flight_ == 0 || in_use_ + estimate <= limit_; });
+      }
+    }
     in_use_ += estimate;
     ++in_flight_;
+    ++stats_.admitted;
   }
 
   void release(std::uint64_t estimate) {
-    if (limit_ == 0) return;
     {
       std::lock_guard<std::mutex> lock(m_);
       in_use_ -= estimate;
@@ -75,12 +98,21 @@ class MemGate {
     cv_.notify_all();
   }
 
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(m_);
+    Stats s = stats_;
+    s.in_use = in_use_;
+    s.in_flight = in_flight_;
+    return s;
+  }
+
  private:
   std::uint64_t limit_;
-  std::mutex m_;
+  mutable std::mutex m_;
   std::condition_variable cv_;
   std::uint64_t in_use_ = 0;
   std::size_t in_flight_ = 0;
+  Stats stats_;
 };
 
 /// Resident-set size of this process right now, in bytes (0 if the

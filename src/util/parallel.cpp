@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <exception>
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace tcpanaly::util {
 
@@ -20,64 +20,71 @@ unsigned resolve_jobs(int jobs) {
   return jobs <= 0 ? default_jobs() : static_cast<unsigned>(jobs);
 }
 
-struct ThreadPool::State {
+namespace detail {
+
+namespace {
+
+/// Shared by both run_indexed flavors: `chasers` drain tasks race down one
+/// atomic index counter, a latch-style completion count wakes the caller,
+/// and the error slot keeps the exception from the LOWEST failing index.
+struct IndexedRun {
+  explicit IndexedRun(std::size_t n) : n(n) {}
+
+  const std::size_t n;
+  std::atomic<std::size_t> next{0};
+
   std::mutex mu;
-  std::condition_variable work_cv;  ///< workers wait here for tasks
-  std::condition_variable idle_cv;  ///< wait_idle / destructor wait here
-  std::deque<std::function<void()>> queue;
-  std::size_t in_flight = 0;
-  bool stopping = false;
+  std::condition_variable done_cv;
+  std::size_t chasers_done = 0;
+
+  std::exception_ptr first_error;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+
+  void chase(const std::function<void(std::size_t)>& fn) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+    {
+      // Notify UNDER the lock: the moment the increment is visible, the
+      // waiter may wake, see the predicate satisfied and destroy this
+      // stack-local object -- a notify after unlock would touch a dead
+      // condition_variable. Held-lock notify keeps the waiter blocked on
+      // the mutex until this chaser is done with every member.
+      std::lock_guard<std::mutex> lock(mu);
+      ++chasers_done;
+      done_cv.notify_all();
+    }
+  }
+
+  void wait(std::size_t chasers) {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return chasers_done == chasers; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
 };
 
-ThreadPool::ThreadPool(unsigned threads) : state_(new State) {
-  if (threads == 0) threads = default_jobs();
-  workers_.reserve(threads);
-  State* st = state_.get();
-  for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([st] {
-      std::unique_lock<std::mutex> lock(st->mu);
-      for (;;) {
-        st->work_cv.wait(lock, [st] { return st->stopping || !st->queue.empty(); });
-        if (st->queue.empty()) return;  // stopping and drained
-        std::function<void()> task = std::move(st->queue.front());
-        st->queue.pop_front();
-        ++st->in_flight;
-        lock.unlock();
-        task();
-        lock.lock();
-        --st->in_flight;
-        if (st->queue.empty() && st->in_flight == 0) st->idle_cv.notify_all();
-      }
-    });
-  }
+void run_on_scheduler(Scheduler& sched, std::size_t n,
+                      const std::function<void(std::size_t)>& fn) {
+  // One chaser per worker (capped at n): every worker participates, and
+  // whichever finishes its share first just runs out of indices.
+  IndexedRun run(n);
+  const std::size_t chasers = std::min<std::size_t>(sched.size(), n);
+  for (std::size_t c = 0; c < chasers; ++c)
+    sched.submit([&run, &fn] { run.chase(fn); });
+  run.wait(chasers);
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    state_->stopping = true;
-  }
-  state_->work_cv.notify_all();
-  for (auto& w : workers_) w.join();
-}
-
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    if (state_->stopping)
-      throw std::runtime_error("ThreadPool::submit: pool is shutting down");
-    state_->queue.push_back(std::move(task));
-  }
-  state_->work_cv.notify_one();
-}
-
-void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->idle_cv.wait(lock,
-                       [this] { return state_->queue.empty() && state_->in_flight == 0; });
-}
-
-namespace detail {
+}  // namespace
 
 void run_indexed(std::size_t n, unsigned jobs,
                  const std::function<void(std::size_t)>& fn) {
@@ -86,37 +93,20 @@ void run_indexed(std::size_t n, unsigned jobs,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  Scheduler sched(static_cast<unsigned>(std::min<std::size_t>(jobs, n)));
+  run_on_scheduler(sched, n, fn);
+}
 
-  std::atomic<std::size_t> next{0};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
-
-  // Each drainer chases the shared index counter; every index runs exactly
-  // once, on whichever worker claims it first.
-  auto drain = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (i < first_error_index) {
-          first_error_index = i;
-          first_error = std::current_exception();
-        }
-      }
-    }
-  };
-
-  {
-    ThreadPool pool(static_cast<unsigned>(std::min<std::size_t>(jobs, n)));
-    for (unsigned w = 0; w < pool.size(); ++w) pool.submit(drain);
-    pool.wait_idle();
-  }  // destructor joins the workers
-
-  if (first_error) std::rethrow_exception(first_error);
+void run_indexed_on(Scheduler& sched, std::size_t n,
+                    const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (sched.size() <= 1 || n == 1) {
+    // A 1-worker scheduler gains nothing from queueing; match the serial
+    // exception contract (stop at the first failing index) exactly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  run_on_scheduler(sched, n, fn);
 }
 
 }  // namespace detail

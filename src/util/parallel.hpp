@@ -1,6 +1,12 @@
-// Work-queue parallel execution: a small fixed-size thread pool plus
-// parallel_for_each / parallel_map helpers for the embarrassingly-parallel
-// hot paths (corpus generation, candidate matching, batch trace analysis).
+// One-shot parallel helpers: parallel_for_each / parallel_map for the
+// embarrassingly-parallel hot paths (corpus generation, candidate
+// matching, batch trace analysis).
+//
+// These are thin clients of util::Scheduler (util/scheduler.hpp), the
+// persistent work-stealing task system: each call stands up a Scheduler
+// scoped to the call (or borrows a caller-provided one via the *_on
+// overloads, which is how `tcpanaly --batch` and tcpanalyd share a single
+// long-lived worker set).
 //
 // Determinism contract: results are gathered BY INPUT INDEX, so parallel
 // output is bitwise-identical to serial output whenever each work item is
@@ -11,11 +17,11 @@
 
 #include <cstddef>
 #include <functional>
-#include <memory>
-#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/scheduler.hpp"
 
 namespace tcpanaly::util {
 
@@ -26,29 +32,26 @@ unsigned default_jobs();
 /// "use default_jobs()", anything else is taken literally.
 unsigned resolve_jobs(int jobs);
 
-/// A fixed-size pool of worker threads draining one FIFO task queue.
+/// The original fixed-size pool interface, now a veneer over Scheduler.
 /// Destruction drains the queue: every task submitted before the
 /// destructor runs is executed before the workers join.
 class ThreadPool {
  public:
-  explicit ThreadPool(unsigned threads = 0);  // 0 => default_jobs()
-  ~ThreadPool();
+  explicit ThreadPool(unsigned threads = 0) : sched_(threads) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+  unsigned size() const { return sched_.size(); }
 
   /// Enqueue one task. Throws std::runtime_error once shutdown has begun.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) { sched_.submit(std::move(task)); }
 
   /// Block until the queue is empty and no task is executing.
-  void wait_idle();
+  void wait_idle() { sched_.drain(); }
 
  private:
-  struct State;  // mutex/cv/queue bundle (defined in parallel.cpp)
-  std::unique_ptr<State> state_;
-  std::vector<std::thread> workers_;
+  Scheduler sched_;
 };
 
 namespace detail {
@@ -61,6 +64,11 @@ namespace detail {
 /// parallel execution still attempts every index before rethrowing.)
 void run_indexed(std::size_t n, unsigned jobs,
                  const std::function<void(std::size_t)>& fn);
+
+/// Same, but on a caller-owned Scheduler (its worker count decides the
+/// parallelism). Must not be called from one of `sched`'s own workers.
+void run_indexed_on(Scheduler& sched, std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
 }  // namespace detail
 
 /// Call fn(i) for every index in [0, n). `jobs` <= 0 uses default_jobs().
@@ -83,6 +91,16 @@ auto parallel_map(const std::vector<In>& items, Fn&& fn, int jobs = 0)
   std::vector<std::decay_t<std::invoke_result_t<Fn&, const In&>>> out(items.size());
   detail::run_indexed(items.size(), resolve_jobs(jobs),
                       [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+/// parallel_map on a caller-owned (persistent) Scheduler.
+template <typename In, typename Fn>
+auto parallel_map_on(Scheduler& sched, const std::vector<In>& items, Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const In&>>> {
+  std::vector<std::decay_t<std::invoke_result_t<Fn&, const In&>>> out(items.size());
+  detail::run_indexed_on(sched, items.size(),
+                         [&](std::size_t i) { out[i] = fn(items[i]); });
   return out;
 }
 

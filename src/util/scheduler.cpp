@@ -1,0 +1,154 @@
+#include "util/scheduler.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "util/parallel.hpp"  // default_jobs()
+
+namespace tcpanaly::util {
+
+struct Scheduler::State {
+  std::mutex mu;
+  std::condition_variable work_cv;  ///< workers wait here for tasks
+  std::condition_variable idle_cv;  ///< drain() waits here
+
+  std::deque<std::function<void()>> high;  ///< global, before local deques
+  std::deque<std::function<void()>> low;   ///< global, after steal attempts
+  std::vector<std::deque<std::function<void()>>> local;  ///< one per worker
+  std::size_t round_robin = 0;  ///< next local deque for a normal submit
+
+  std::size_t queued = 0;   ///< sum over all tiers
+  std::size_t running = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t discarded = 0;
+  bool stopping = false;
+};
+
+Scheduler::Scheduler(unsigned threads) : state_(new State) {
+  if (threads == 0) threads = default_jobs();
+  state_->local.resize(threads);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Scheduler::~Scheduler() { shutdown(ShutdownMode::kDrain); }
+
+void Scheduler::submit(std::function<void()> task, TaskPriority priority) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->stopping)
+      throw std::runtime_error("Scheduler::submit: scheduler is shutting down");
+    switch (priority) {
+      case TaskPriority::kHigh:
+        state_->high.push_back(std::move(task));
+        break;
+      case TaskPriority::kNormal:
+        state_->local[state_->round_robin].push_back(std::move(task));
+        state_->round_robin = (state_->round_robin + 1) % state_->local.size();
+        break;
+      case TaskPriority::kLow:
+        state_->low.push_back(std::move(task));
+        break;
+    }
+    ++state_->queued;
+    ++state_->submitted;
+  }
+  state_->work_cv.notify_one();
+}
+
+void Scheduler::worker_loop(unsigned self) {
+  State& st = *state_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  for (;;) {
+    st.work_cv.wait(lock, [&] { return st.stopping || st.queued > 0; });
+    if (st.queued == 0) return;  // stopping, and nothing left to run
+
+    // Claim order: global high tier, own deque (front: submission order),
+    // steal from a sibling (back: the work its owner would reach last, so
+    // thief and owner approach from opposite ends), global low tier.
+    std::function<void()> task;
+    bool was_steal = false;
+    if (!st.high.empty()) {
+      task = std::move(st.high.front());
+      st.high.pop_front();
+    } else if (!st.local[self].empty()) {
+      task = std::move(st.local[self].front());
+      st.local[self].pop_front();
+    } else {
+      const std::size_t n = st.local.size();
+      for (std::size_t k = 1; k < n && !task; ++k) {
+        auto& victim = st.local[(self + k) % n];
+        if (!victim.empty()) {
+          task = std::move(victim.back());
+          victim.pop_back();
+          was_steal = true;
+        }
+      }
+      if (!task && !st.low.empty()) {
+        task = std::move(st.low.front());
+        st.low.pop_front();
+      }
+    }
+
+    --st.queued;
+    ++st.running;
+    if (was_steal) ++st.stolen;
+    lock.unlock();
+    task();
+    task = nullptr;  // release captures before taking the lock back
+    lock.lock();
+    --st.running;
+    ++st.executed;
+    if (st.queued == 0 && st.running == 0) st.idle_cv.notify_all();
+  }
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->idle_cv.wait(lock,
+                       [&] { return state_->queued == 0 && state_->running == 0; });
+}
+
+std::size_t Scheduler::shutdown(ShutdownMode mode) {
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (mode == ShutdownMode::kDiscard) {
+      dropped = state_->high.size() + state_->low.size();
+      state_->high.clear();
+      state_->low.clear();
+      for (auto& deque : state_->local) {
+        dropped += deque.size();
+        deque.clear();
+      }
+      state_->queued = 0;
+      state_->discarded += dropped;
+    }
+    state_->stopping = true;
+  }
+  state_->work_cv.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  return dropped;
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  Stats s;
+  s.workers = static_cast<unsigned>(workers_.size());
+  s.submitted = state_->submitted;
+  s.executed = state_->executed;
+  s.stolen = state_->stolen;
+  s.discarded = state_->discarded;
+  s.queued = state_->queued;
+  s.running = state_->running;
+  return s;
+}
+
+}  // namespace tcpanaly::util

@@ -1,0 +1,99 @@
+// Persistent task system: the engine behind both the one-shot
+// parallel_map fan-outs and the long-running tcpanalyd daemon.
+//
+// A Scheduler owns a fixed set of worker threads for its whole lifetime
+// (unlike the original ThreadPool-per-call design, whose threads died with
+// each parallel_map). Work placement is sharded: normal-priority tasks are
+// distributed round-robin across per-worker deques, each worker drains its
+// own deque front-first, and a worker whose deque runs dry STEALS from the
+// back of a sibling's deque -- so an imbalanced backlog (one huge capture
+// queued next to many small ones) still keeps every core busy. Two global
+// queues bracket the sharded tier: kHigh tasks (interactive ANALYZE
+// requests over the daemon socket) are taken by any worker before its own
+// deque, kLow tasks (housekeeping) only when nothing else exists anywhere.
+//
+// Queue discipline is guarded by one scheduler-wide mutex. Tasks here are
+// macroscopic -- a full per-capture analysis, a corpus cell simulation,
+// milliseconds to seconds each -- so the lock is micro-contended and the
+// simplicity buys exactness: the stats(), drain() and shutdown() snapshots
+// are precise, and the whole structure is trivially clean under TSan.
+// Chase-Lev lock-free deques are a later optimization, not a semantic
+// change.
+//
+// Determinism contract (inherited by parallel_map): the scheduler never
+// reorders RESULTS, because clients gather by input index; only execution
+// interleaving varies with worker count and steal pattern.
+//
+// Lifecycle:
+//   drain()               -- block until every submitted task has run;
+//                            the scheduler stays usable afterwards.
+//   shutdown(kDrain)      -- stop accepting, run everything queued, join.
+//   shutdown(kDiscard)    -- stop accepting, DROP queued tasks (returning
+//                            how many), finish only in-flight ones, join.
+//   ~Scheduler()          -- shutdown(kDrain).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace tcpanaly::util {
+
+enum class TaskPriority {
+  kHigh,    ///< global FIFO, taken before any worker's own deque
+  kNormal,  ///< sharded round-robin across per-worker deques, stealable
+  kLow,     ///< global FIFO, taken only when every other queue is empty
+};
+
+class Scheduler {
+ public:
+  enum class ShutdownMode {
+    kDrain,    ///< run every queued task before joining
+    kDiscard,  ///< drop queued tasks, finish only in-flight ones
+  };
+
+  struct Stats {
+    unsigned workers = 0;
+    std::uint64_t submitted = 0;  ///< tasks ever accepted
+    std::uint64_t executed = 0;   ///< tasks completed
+    std::uint64_t stolen = 0;     ///< normal tasks run off a sibling's deque
+    std::uint64_t discarded = 0;  ///< dropped by shutdown(kDiscard)
+    std::size_t queued = 0;       ///< waiting right now (all tiers)
+    std::size_t running = 0;      ///< executing right now
+  };
+
+  /// threads == 0 => default_jobs() (declared in util/parallel.hpp).
+  explicit Scheduler(unsigned threads = 0);
+  ~Scheduler();  // shutdown(kDrain)
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue one task. Throws std::runtime_error once shutdown has begun.
+  void submit(std::function<void()> task,
+              TaskPriority priority = TaskPriority::kNormal);
+
+  /// Block until no task is queued or running. The scheduler stays usable;
+  /// tasks submitted by OTHER threads while drain() waits extend the wait.
+  void drain();
+
+  /// Stop accepting work and join the workers. Idempotent; returns the
+  /// number of queued tasks discarded (always 0 in kDrain mode).
+  std::size_t shutdown(ShutdownMode mode);
+
+  Stats stats() const;
+
+ private:
+  struct State;  // queue tiers + mutex/cv bundle (scheduler.cpp)
+  void worker_loop(unsigned self);
+
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tcpanaly::util

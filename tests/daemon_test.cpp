@@ -1,0 +1,274 @@
+// tcpanalyd end to end, without a process boundary: protocol parsing, the
+// rotating NDJSON writer, and an in-process Daemon draining a spool and
+// answering its control socket.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "daemon/capture_job.hpp"
+#include "daemon/daemon.hpp"
+#include "daemon/ndjson_writer.hpp"
+#include "daemon/protocol.hpp"
+#include "daemon/server.hpp"
+#include "report/json.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "trace/pcap_io.hpp"
+
+namespace tcpanaly {
+namespace {
+
+namespace fs = std::filesystem;
+
+// -- protocol --
+
+TEST(DaemonProtocol, ParsesEveryCommand) {
+  EXPECT_EQ(daemon::parse_command("STATUS").type, daemon::CommandType::kStatus);
+  EXPECT_EQ(daemon::parse_command("DRAIN").type, daemon::CommandType::kDrain);
+  EXPECT_EQ(daemon::parse_command("SHUTDOWN").type, daemon::CommandType::kShutdown);
+  const auto analyze = daemon::parse_command("ANALYZE /tmp/x.pcap");
+  EXPECT_EQ(analyze.type, daemon::CommandType::kAnalyze);
+  EXPECT_EQ(analyze.arg, "/tmp/x.pcap");
+}
+
+TEST(DaemonProtocol, ToleratesCarriageReturnAndPadding) {
+  const auto cmd = daemon::parse_command("ANALYZE  /a b.pcap \r");
+  EXPECT_EQ(cmd.type, daemon::CommandType::kAnalyze);
+  EXPECT_EQ(cmd.arg, "/a b.pcap");
+  EXPECT_EQ(daemon::parse_command("STATUS\r").type, daemon::CommandType::kStatus);
+}
+
+TEST(DaemonProtocol, RejectsMalformedRequests) {
+  EXPECT_EQ(daemon::parse_command("").type, daemon::CommandType::kInvalid);
+  EXPECT_EQ(daemon::parse_command("FROBNICATE").type, daemon::CommandType::kInvalid);
+  // ANALYZE without a path, and argument-less verbs WITH one, are errors:
+  // silently ignoring operands would mask client bugs.
+  EXPECT_EQ(daemon::parse_command("ANALYZE").type, daemon::CommandType::kInvalid);
+  EXPECT_EQ(daemon::parse_command("ANALYZE ").type, daemon::CommandType::kInvalid);
+  EXPECT_EQ(daemon::parse_command("STATUS now").type, daemon::CommandType::kInvalid);
+  EXPECT_EQ(daemon::parse_command("analyze /x").type, daemon::CommandType::kInvalid);
+  EXPECT_FALSE(daemon::parse_command("FROBNICATE").error.empty());
+}
+
+// -- ndjson writer --
+
+std::vector<std::string> read_lines(const fs::path& p) {
+  std::vector<std::string> lines;
+  std::ifstream in(p);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(DaemonNdjson, RotatesAtThresholdWithoutLosingRows) {
+  const fs::path dir = fs::temp_directory_path() / "tcpanaly_ndjson_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path out = dir / "results.ndjson";
+
+  const std::string row = R"({"n":1234567890})";  // 17 bytes + newline
+  {
+    daemon::NdjsonWriter writer(out.string(), /*rotate_bytes=*/64);
+    for (int i = 0; i < 10; ++i) writer.write_row(row);
+    EXPECT_EQ(writer.rows(), 10u);
+    // 18 bytes/row, 64-byte threshold: segments rotate after 4 rows.
+    EXPECT_GE(writer.rotations(), 2u);
+  }
+  std::size_t total = read_lines(out).size();
+  for (std::uint64_t n = 1;; ++n) {
+    const fs::path seg = out.string() + "." + std::to_string(n);
+    if (!fs::exists(seg)) break;
+    for (const auto& line : read_lines(seg)) {
+      EXPECT_EQ(line, row);  // rotation never splits a line
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 10u);
+  fs::remove_all(dir);
+}
+
+TEST(DaemonNdjson, AppendsToExistingFileAndCountsItsBytes) {
+  const fs::path dir = fs::temp_directory_path() / "tcpanaly_ndjson_append_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path out = dir / "results.ndjson";
+  std::ofstream(out) << std::string(100, 'x') << "\n";
+
+  // The pre-existing 101 bytes already exceed the threshold, so the FIRST
+  // write must rotate instead of growing the old segment forever.
+  daemon::NdjsonWriter writer(out.string(), /*rotate_bytes=*/64);
+  writer.write_row("{}");
+  EXPECT_EQ(writer.rotations(), 1u);
+  EXPECT_TRUE(fs::exists(out.string() + ".1"));
+  EXPECT_EQ(read_lines(out), std::vector<std::string>{"{}"});
+  fs::remove_all(dir);
+}
+
+// -- the daemon end to end --
+
+/// A small two-profile candidate set keeps per-flow matching fast; the
+/// full registry is exercised by the batch/corpus tests.
+std::vector<tcp::TcpProfile> quick_candidates() {
+  return {tcp::generic_tahoe(), tcp::generic_reno()};
+}
+
+/// Write one simulated single-connection sender capture.
+void write_capture(const fs::path& path) {
+  corpus::ScenarioParams p;
+  p.loss_prob = 0.01;
+  p.seed = 7;
+  const auto session = tcp::run_session(corpus::make_session(tcp::generic_reno(), p));
+  trace::write_pcap_file(path.string(), session.sender_trace);
+}
+
+TEST(DaemonEndToEnd, DrainsSpoolAndReportsEveryCapture) {
+  const fs::path dir = fs::temp_directory_path() / "tcpanaly_daemon_e2e_test";
+  fs::remove_all(dir);
+  const fs::path spool = dir / "spool";
+  fs::create_directories(spool);
+  const fs::path seed = dir / "seed.pcap";
+  write_capture(seed);
+  constexpr int kCaptures = 6;
+  for (int i = 0; i < kCaptures; ++i)
+    fs::copy_file(seed, spool / ("cap" + std::to_string(i) + ".pcap"));
+
+  daemon::DaemonOptions opts;
+  opts.spool_dirs = {spool};
+  opts.out_path = (dir / "out.ndjson").string();
+  opts.jobs = 2;
+  opts.max_rss_mb = 256;
+  opts.poll_ms = 20;
+  opts.stats_interval_s = 0;  // only the closing heartbeat
+  opts.exit_when_drained = true;
+  opts.candidates = quick_candidates();
+  daemon::Daemon d(std::move(opts));
+  EXPECT_EQ(d.run(), 0);
+
+  const auto snap = d.snapshot();
+  EXPECT_EQ(snap.captures_done, static_cast<std::uint64_t>(kCaptures));
+  EXPECT_EQ(snap.captures_failed, 0u);
+  EXPECT_EQ(snap.spool_claimed, static_cast<std::uint64_t>(kCaptures));
+  EXPECT_EQ(snap.flows.seen, static_cast<std::uint64_t>(kCaptures));
+  EXPECT_EQ(snap.mem_gate.admitted, static_cast<std::uint64_t>(kCaptures));
+
+  // Every capture moved to done/; one flow + one trace row each, plus the
+  // closing daemon_stats row.
+  std::size_t done = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(spool / "done")) ++done;
+  EXPECT_EQ(done, static_cast<std::size_t>(kCaptures));
+  std::size_t flows = 0, traces = 0, stats = 0;
+  for (const auto& line : read_lines(dir / "out.ndjson")) {
+    const auto doc = report::Json::parse(line);
+    ASSERT_NE(doc.find("type"), nullptr);
+    const std::string& type = doc.find("type")->as_string();
+    flows += type == "flow";
+    traces += type == "trace";
+    stats += type == "daemon_stats";
+  }
+  EXPECT_EQ(flows, static_cast<std::size_t>(kCaptures));
+  EXPECT_EQ(traces, static_cast<std::size_t>(kCaptures));
+  EXPECT_EQ(stats, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(DaemonEndToEnd, OnceModeExitsNonZeroWhenACaptureFails) {
+  const fs::path dir = fs::temp_directory_path() / "tcpanaly_daemon_fail_test";
+  fs::remove_all(dir);
+  const fs::path spool = dir / "spool";
+  fs::create_directories(spool);
+  write_capture(spool / "good.pcap");
+  std::ofstream(spool / "bad.pcap") << "this is not a capture";
+
+  daemon::DaemonOptions opts;
+  opts.spool_dirs = {spool};
+  opts.out_path = (dir / "out.ndjson").string();
+  opts.jobs = 2;
+  opts.poll_ms = 20;
+  opts.stats_interval_s = 0;
+  opts.exit_when_drained = true;
+  opts.candidates = quick_candidates();
+  daemon::Daemon d(std::move(opts));
+  EXPECT_EQ(d.run(), 1);
+  EXPECT_EQ(d.snapshot().captures_failed, 1u);
+  EXPECT_TRUE(fs::exists(spool / "done" / "good.pcap"));
+  EXPECT_TRUE(fs::exists(spool / "failed" / "bad.pcap"));
+  fs::remove_all(dir);
+}
+
+TEST(DaemonEndToEnd, ControlSocketAnalyzeStatusDrainShutdown) {
+  const fs::path dir = fs::temp_directory_path() / "tcpanaly_daemon_sock_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path capture = dir / "one.pcap";
+  write_capture(capture);
+  const std::string sock = (dir / "ctl.sock").string();
+
+  daemon::DaemonOptions opts;
+  opts.socket_path = sock;
+  opts.out_path = (dir / "out.ndjson").string();
+  opts.jobs = 2;
+  opts.poll_ms = 20;
+  opts.stats_interval_s = 0;
+  opts.candidates = quick_candidates();
+  daemon::Daemon d(std::move(opts));
+  std::thread runner([&d] { EXPECT_EQ(d.run(), 0); });
+
+  // The daemon binds the socket before entering its loop, so the first
+  // request only needs to out-wait thread startup.
+  std::string response;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      response = daemon::request(sock, "ANALYZE " + capture.string());
+      break;
+    } catch (const std::exception&) {
+      ASSERT_LT(attempt, 100) << "daemon socket never came up";
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_EQ(response, "OK queued " + capture.string());
+  EXPECT_EQ(daemon::request(sock, "ANALYZE " + (dir / "missing.pcap").string()),
+            "ERR no such capture: " + (dir / "missing.pcap").string());
+  EXPECT_EQ(daemon::request(sock, "BOGUS"), "ERR unknown command: BOGUS");
+  EXPECT_EQ(daemon::request(sock, "DRAIN"), "OK drained");
+
+  const auto status = report::Json::parse(daemon::request(sock, "STATUS"));
+  ASSERT_NE(status.find("type"), nullptr);
+  EXPECT_EQ(status.find("type")->as_string(), "daemon_stats");
+  EXPECT_EQ(status.find("captures_done")->as_int(), 1);
+  EXPECT_EQ(status.find("socket_accepted")->as_int(), 1);
+
+  EXPECT_EQ(daemon::request(sock, "SHUTDOWN"), "OK shutting down");
+  runner.join();
+  EXPECT_FALSE(fs::exists(sock));  // unlinked on the way out
+  fs::remove_all(dir);
+}
+
+// run_capture_job is the shared unit under both --batch and the daemon:
+// its rows must not depend on which engine scheduled it.
+TEST(DaemonEndToEnd, CaptureJobRowsAreDeterministic) {
+  const fs::path dir = fs::temp_directory_path() / "tcpanaly_capture_job_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path capture = dir / "one.pcap";
+  write_capture(capture);
+
+  daemon::CaptureJobOptions jopts;
+  jopts.candidates = quick_candidates();
+  const auto a = daemon::run_capture_job({capture, "one.pcap"}, jopts);
+  const auto b = daemon::run_capture_job({capture, "one.pcap"}, jopts);
+  ASSERT_FALSE(a.failed());
+  ASSERT_EQ(a.flow_rows.size(), 1u);
+  EXPECT_EQ(a.flow_rows[0].to_json().dump(), b.flow_rows[0].to_json().dump());
+  EXPECT_EQ(a.trace.trace.file, "one.pcap");
+  EXPECT_TRUE(a.trace.flows.has_value());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tcpanaly

@@ -1,0 +1,241 @@
+// The persistent work-stealing task system under tcpanalyd and the
+// parallel helpers: priority ordering, stealing, drain-vs-shutdown
+// semantics, the parallel_map_on determinism contract, and the spool's
+// atomic claim-by-rename protocol under racing scanners.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/spool.hpp"
+#include "util/parallel.hpp"
+#include "util/scheduler.hpp"
+
+namespace tcpanaly {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+/// Spin until pred() holds (the scheduler has no "wait until running"
+/// hook; these are sub-millisecond state transitions).
+template <typename Pred>
+void spin_until(Pred pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "condition never held";
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+TEST(Scheduler, RunsSubmittedTasksAndCountsThem) {
+  util::Scheduler sched(3);
+  EXPECT_EQ(sched.size(), 3u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i)
+    sched.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  sched.drain();
+  EXPECT_EQ(ran.load(), 100);
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.submitted, 100u);
+  EXPECT_EQ(stats.executed, 100u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  // drain() leaves the scheduler usable.
+  sched.submit([&ran] { ran.fetch_add(1); });
+  sched.drain();
+  EXPECT_EQ(ran.load(), 101);
+}
+
+TEST(Scheduler, ShutdownDrainRunsEverythingQueued) {
+  std::atomic<int> ran{0};
+  util::Scheduler sched(2);
+  for (int i = 0; i < 200; ++i) sched.submit([&ran] { ran.fetch_add(1); });
+  const std::size_t discarded = sched.shutdown(util::Scheduler::ShutdownMode::kDrain);
+  EXPECT_EQ(discarded, 0u);
+  EXPECT_EQ(ran.load(), 200);
+  // Submitting after shutdown is a caller error, reported loudly.
+  EXPECT_THROW(sched.submit([] {}), std::runtime_error);
+}
+
+TEST(Scheduler, ShutdownDiscardDropsQueuedWorkAndCountsIt) {
+  std::atomic<int> ran{0};
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  util::Scheduler sched(1);
+  // Block the only worker, then queue work behind it: kDiscard must drop
+  // exactly the queued tasks (the running blocker still completes).
+  sched.submit([released, &ran] {
+    released.wait();
+    ran.fetch_add(1);
+  });
+  spin_until([&] { return sched.stats().running == 1; });
+  for (int i = 0; i < 50; ++i) sched.submit([&ran] { ran.fetch_add(1); });
+  release.set_value();
+  const std::size_t discarded = sched.shutdown(util::Scheduler::ShutdownMode::kDiscard);
+  // The blocker ran; of the 50 queued tasks, every one the workers had not
+  // yet claimed was dropped, and discarded counts exactly those.
+  EXPECT_EQ(static_cast<std::size_t>(ran.load()) + discarded, 51u);
+  EXPECT_EQ(sched.stats().discarded, discarded);
+}
+
+TEST(Scheduler, PriorityTiersExecuteHighBeforeNormalBeforeLow) {
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  util::Scheduler sched(1);
+  sched.submit([released] { released.wait(); });
+  spin_until([&] { return sched.stats().running == 1; });
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto note = [&](std::string tag) {
+    return [&order, &mu, tag = std::move(tag)] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(tag);
+    };
+  };
+  // Submitted in deliberately scrambled priority order while the sole
+  // worker is blocked; execution must follow tier then FIFO-within-tier.
+  sched.submit(note("L1"), util::TaskPriority::kLow);
+  sched.submit(note("N1"), util::TaskPriority::kNormal);
+  sched.submit(note("H1"), util::TaskPriority::kHigh);
+  sched.submit(note("L2"), util::TaskPriority::kLow);
+  sched.submit(note("N2"), util::TaskPriority::kNormal);
+  sched.submit(note("H2"), util::TaskPriority::kHigh);
+  release.set_value();
+  sched.drain();
+  EXPECT_EQ(order, (std::vector<std::string>{"H1", "H2", "N1", "N2", "L1", "L2"}));
+}
+
+TEST(Scheduler, IdleWorkerStealsBlockedWorkersBacklog) {
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  util::Scheduler sched(2);
+  sched.submit([released] { released.wait(); });
+  spin_until([&] { return sched.stats().running == 1; });
+
+  // Ten quick tasks round-robin across both workers' deques -- five land
+  // with the blocked worker and can ONLY complete by being stolen. All
+  // ten must finish while the blocker still holds its worker.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) sched.submit([&ran] { ran.fetch_add(1); });
+  spin_until([&] { return ran.load() == 10; });
+  EXPECT_EQ(sched.stats().running, 1u);       // blocker still in place
+  EXPECT_GE(sched.stats().stolen, 5u);        // the blocked deque's share
+  release.set_value();
+  sched.drain();
+  EXPECT_EQ(sched.stats().executed, 11u);
+}
+
+// -- parallel_map as a thin client of a persistent scheduler --
+
+TEST(Scheduler, ParallelMapOnMatchesSerialForAnyWorkerCount) {
+  std::vector<int> in(997);  // odd size: uneven final round-robin round
+  for (int i = 0; i < 997; ++i) in[i] = i;
+  const auto serial = util::parallel_map(in, [](int v) { return v * 3 + 1; }, 1);
+  for (unsigned workers : {1u, 2u, 3u, 8u}) {
+    util::Scheduler sched(workers);
+    const auto out = util::parallel_map_on(sched, in, [](int v) { return v * 3 + 1; });
+    EXPECT_EQ(out, serial) << "workers=" << workers;
+    // The scheduler survives the map and can host another.
+    const auto again = util::parallel_map_on(sched, in, [](int v) { return v - 7; });
+    ASSERT_EQ(again.size(), in.size());
+    EXPECT_EQ(again[996], 996 - 7);
+  }
+}
+
+TEST(Scheduler, ParallelMapOnRethrowsLowestFailingIndex) {
+  util::Scheduler sched(4);
+  std::vector<int> in(100);
+  for (int rep = 0; rep < 10; ++rep) {
+    try {
+      util::parallel_map_on(sched, in, [&](const int& v) {
+        const std::size_t i = static_cast<std::size_t>(&v - in.data());
+        if (i == 5 || i == 60 || i == 99)
+          throw std::runtime_error("boom " + std::to_string(i));
+        return 0;
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 5");
+    }
+    // The error must not poison the scheduler for the next map.
+    const auto ok = util::parallel_map_on(sched, in, [](const int&) { return 1; });
+    EXPECT_EQ(ok.size(), in.size());
+  }
+}
+
+// -- spool claim-by-rename under racing scanners --
+
+TEST(SpoolClaim, TwoRacingScannersClaimEveryFileExactlyOnce) {
+  const fs::path root =
+      fs::temp_directory_path() / "tcpanaly_spool_race_test";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  constexpr int kFiles = 100;
+  for (int i = 0; i < kFiles; ++i) {
+    std::ofstream(root / ("cap" + std::to_string(i) + ".pcap")) << "x";
+  }
+
+  // Two Spool instances on the SAME root, each hammered by its own thread:
+  // the rename(2) race decides ownership, and the union of both claim sets
+  // must be exactly the 100 files with no duplicates.
+  daemon::Spool a(root), b(root);
+  std::vector<daemon::ClaimedCapture> got_a, got_b;
+  auto scanner = [](daemon::Spool& spool, std::vector<daemon::ClaimedCapture>& got) {
+    while (true) {
+      auto claimed = spool.claim(7);
+      if (claimed.empty() && spool.pending() == 0) break;
+      for (auto& c : claimed) got.push_back(std::move(c));
+    }
+  };
+  std::thread ta(scanner, std::ref(a), std::ref(got_a));
+  std::thread tb(scanner, std::ref(b), std::ref(got_b));
+  ta.join();
+  tb.join();
+
+  std::set<std::string> names;
+  for (const auto& c : got_a) names.insert(c.name);
+  for (const auto& c : got_b) names.insert(c.name);
+  EXPECT_EQ(got_a.size() + got_b.size(), static_cast<std::size_t>(kFiles))
+      << "a file was claimed twice (or lost)";
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kFiles));
+  // Every claimed file actually lives in work/ now; the root holds none.
+  EXPECT_EQ(a.pending(), 0u);
+  for (const auto& c : got_a) EXPECT_TRUE(fs::exists(c.work_path));
+  fs::remove_all(root);
+}
+
+TEST(SpoolClaim, CompleteRoutesToDoneAndFailedAndOrphansRecover) {
+  const fs::path root = fs::temp_directory_path() / "tcpanaly_spool_state_test";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  std::ofstream(root / "good.pcap") << "g";
+  std::ofstream(root / "bad.pcap") << "b";
+
+  daemon::Spool spool(root);
+  auto claimed = spool.claim(10);
+  ASSERT_EQ(claimed.size(), 2u);
+  // A second Spool on the same root sees the claimed files as orphans --
+  // exactly what a daemon restarted after a crash must re-queue.
+  EXPECT_EQ(daemon::Spool(root).orphans().size(), 2u);
+
+  for (auto& c : claimed) spool.complete(c, /*ok=*/c.name == "good.pcap");
+  EXPECT_TRUE(fs::exists(root / "done" / "good.pcap"));
+  EXPECT_TRUE(fs::exists(root / "failed" / "bad.pcap"));
+  EXPECT_TRUE(spool.orphans().empty());
+  EXPECT_EQ(spool.pending(), 0u);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace tcpanaly

@@ -4,7 +4,9 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
 
+#include "util/mem_tracker.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -251,6 +253,51 @@ TEST(TextTable, AlignsColumns) {
 TEST(Strf, FormatsLikePrintf) {
   EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(strf("%.2f", 1.5), "1.50");
+}
+
+// ------------------------------------------------------------- mem gate
+
+TEST(MemGate, UnlimitedGateCountsAdmissionsButNeverDefers) {
+  MemGate gate(0);
+  gate.acquire(1ull << 40);
+  gate.acquire(1ull << 40);
+  const auto s = gate.stats();
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.deferred, 0u);
+  EXPECT_EQ(s.oversized, 0u);
+  EXPECT_EQ(s.in_flight, 2u);
+  gate.release(1ull << 40);
+  gate.release(1ull << 40);
+  EXPECT_EQ(gate.stats().in_flight, 0u);
+}
+
+TEST(MemGate, OversizedEstimateAdmittedSoloAndCounted) {
+  MemGate gate(100);
+  gate.acquire(500);  // bigger than the whole budget: runs alone
+  const auto s = gate.stats();
+  EXPECT_EQ(s.oversized, 1u);
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.in_use, 500u);
+  gate.release(500);
+}
+
+TEST(MemGate, SecondAcquireDefersUntilReleaseAndCountsIt) {
+  MemGate gate(100);
+  gate.acquire(80);
+  // 80 + 40 > 100: this acquire must block until the first releases, and
+  // the deferral must be visible in the stats afterwards.
+  std::thread blocked([&gate] {
+    gate.acquire(40);
+    gate.release(40);
+  });
+  while (gate.stats().deferred == 0) std::this_thread::yield();
+  gate.release(80);
+  blocked.join();
+  const auto s = gate.stats();
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.deferred, 1u);
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_EQ(s.in_use, 0u);
 }
 
 }  // namespace

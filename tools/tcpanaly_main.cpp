@@ -32,6 +32,10 @@
 //                        admitted only while the in-flight estimate (sum
 //                        of admitted file sizes) stays under N MiB; one
 //                        oversized trace still runs, alone.
+//   --keep-going         with --batch: exit 0 even when some captures
+//                        failed to load (their rows still carry the
+//                        error). Default: any failed capture fails the
+//                        run with exit 1.
 //   --json[=FILE]        emit machine-readable reports (schema_version'd
 //                        JSON). Single-trace mode writes one document;
 //                        --batch writes NDJSON: one row per trace plus a
@@ -64,7 +68,6 @@
 
 #include "core/analyze.hpp"
 #include "core/calibration.hpp"
-#include "core/flow_demux.hpp"
 #include "core/stream_analysis.hpp"
 #include "core/clock_pair.hpp"
 #include "core/conformance.hpp"
@@ -74,6 +77,7 @@
 #include "core/summary.hpp"
 #include "corpus/naming.hpp"
 #include "corpus/scan.hpp"
+#include "daemon/capture_job.hpp"
 #include "report/report.hpp"
 #include "tcp/profiles.hpp"
 #include "trace/pcap_io.hpp"
@@ -158,61 +162,14 @@ std::vector<tcp::TcpProfile> parse_candidates(const std::string& arg, bool* ok) 
 // --batch: analyze every capture in a directory in parallel. Each capture
 // runs through the flow demultiplexer, so multi-connection captures yield
 // one "flow" NDJSON row per connection plus the per-capture "trace" row.
-
-struct BatchRow {
-  std::string file;       ///< file name (or --recursive relative path) within the batch directory
-  std::string truth;      ///< ground-truth implementation, if the file name encodes one
-  bool receiver_side = false;
-  bool load_failed = false;
-  std::string error;
-  std::size_t records = 0;
-  std::size_t skipped_frames = 0;
-  std::string local, remote;
-  report::FlowCounts flows;
-  std::vector<report::BatchFlowRecord> flow_rows;  ///< finalization order
-  bool trustworthy = false;
-  std::string best_name;
-  std::string best_fit;
-  double best_penalty = 0.0;
-  bool identified = false;  ///< truth known and among the tied close fits
-  util::StageTimer timings;
-};
-
-report::BatchTraceRecord to_record(const BatchRow& row) {
-  report::BatchTraceRecord rec;
-  rec.trace.file = row.file;
-  rec.trace.records = row.records;
-  rec.trace.skipped_frames = row.skipped_frames;
-  rec.trace.local = row.local;
-  rec.trace.remote = row.remote;
-  rec.trace.receiver_side = row.receiver_side;
-  rec.trace.truth = row.truth;
-  rec.error = row.error;
-  if (!row.load_failed) rec.flows = row.flows;
-  rec.trustworthy = row.trustworthy;
-  rec.best_name = row.best_name;
-  rec.best_fit = row.best_fit;
-  rec.best_penalty = row.best_penalty;
-  rec.identified = row.identified;
-  rec.timings = row.timings;
-  return rec;
-}
-
-report::FlowCounts to_counts(const core::FlowDemuxStats& stats) {
-  report::FlowCounts c;
-  c.seen = stats.flows_seen;
-  c.analyzed = stats.flows_analyzed;
-  c.unanalyzable = stats.flows_unanalyzable;
-  c.syn_scan = stats.syn_scan;
-  c.no_payload = stats.no_payload;
-  c.mid_stream = stats.mid_stream;
-  c.degenerate = stats.degenerate;
-  return c;
-}
+//
+// The per-capture work is daemon::run_capture_job -- the exact pipeline
+// tcpanalyd schedules -- fanned out over a util::Scheduler, so --batch is
+// a thin one-shot client of the daemon's engine.
 
 int run_batch(const std::string& dir, bool receiver_flag,
               const std::vector<tcp::TcpProfile>& candidates, int jobs, bool recursive,
-              std::uint64_t max_rss_mb, const JsonSink& json) {
+              std::uint64_t max_rss_mb, bool keep_going, const JsonSink& json) {
   namespace fs = std::filesystem;
   report::BatchAggregate agg;
   corpus::ScanResult scan;
@@ -241,115 +198,37 @@ int run_batch(const std::string& dir, bool receiver_flag,
   std::vector<std::size_t> order(scan.files.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
-  const auto registry = tcp::all_profiles();
   // The file-level fan-out owns the parallelism; per-trace candidate
   // matching runs serially inside each worker to avoid oversubscription.
-  core::MatchOptions mopts;
-  mopts.jobs = 1;
-  core::AnalyzeOptions aopts;
-  aopts.match = mopts;
-  // Soft memory ceiling: traces are admitted against their file size (a
-  // conservative stand-in for the decoded footprint) and the streaming
-  // builders report their actual logical bytes into the shared tracker.
+  // Soft memory ceiling: one MemGate admits captures against their file
+  // size (a conservative stand-in for the decoded footprint) across ALL
+  // workers, and the streaming builders report their actual logical bytes
+  // into the shared tracker.
+  daemon::CaptureJobOptions jopts;
+  jopts.candidates = candidates;
+  jopts.receiver_fallback = receiver_flag;
+  jopts.analyze.match.jobs = 1;
   util::MemGate gate(max_rss_mb * (1024ull * 1024ull));
   util::MemTracker stream_mem;
-  std::vector<BatchRow> rows;
+  jopts.gate = &gate;
+  jopts.stream_mem = &stream_mem;
+  std::vector<daemon::CaptureJobResult> rows;
   {
     auto scope = agg.timings.stage("analyze");
-    rows = util::parallel_map(
-        order,
-        [&](std::size_t file_idx) {
-          const fs::path& path = scan.files[file_idx];
-          BatchRow row;
-          row.file = scan.keys[file_idx];
-          const std::string stem = path.stem().string();
-          row.truth = corpus::truth_from_filename(stem, registry);
-          // make_corpus encodes the vantage point in the file name; fall
-          // back to the --receiver flag for foreign captures.
-          row.receiver_side = corpus::receiver_side_from_filename(stem, receiver_flag);
-          std::error_code size_ec;
-          const std::uint64_t size = fs::file_size(path, size_ec);
-          const std::uint64_t admitted = size_ec ? 0 : size;
-          gate.acquire(admitted);
-          try {
-            // One pass: records are pulled out of the capture and routed
-            // to their flow's incremental builder as they decode. Each
-            // finalized flow is rendered to its row immediately and its
-            // analysis dropped, so the worker's footprint follows the
-            // capture's CONCURRENT flows, not its total.
-            std::ifstream f(path, std::ios::binary);
-            if (!f)
-              throw std::runtime_error("capture: cannot open for read: " + path.string());
-            auto source = trace::open_capture_source(f);
-
-            core::FlowDemuxOptions dopts;
-            dopts.local_is_sender = !row.receiver_side;
-            dopts.analyze = aopts;
-            dopts.candidates = candidates;
-            dopts.mem = &stream_mem;
-            // The sole analyzable flow, retained so single-connection
-            // captures report best/trustworthy exactly as before the
-            // demux; reset the moment a second one finalizes.
-            std::optional<core::FlowResult> single;
-            std::uint64_t analyzed = 0;
-            core::FlowDemux demux(
-                std::move(dopts), [&](core::FlowResult r) {
-                  report::BatchFlowRecord fr;
-                  fr.file = row.file;
-                  fr.src = r.first_src.to_string();
-                  fr.dst = r.first_dst.to_string();
-                  fr.serial = r.serial;
-                  fr.cls = core::to_string(r.cls);
-                  fr.finalized_by = core::to_string(r.finalized_by);
-                  fr.records = r.records;
-                  fr.payload_bytes = r.payload_bytes;
-                  fr.duration_s = (r.last_ts - r.first_ts).to_seconds();
-                  if (r.cls == core::FlowClass::kAnalyzable) {
-                    fr.trustworthy = r.analysis.calibration.trustworthy();
-                    const auto& best = r.analysis.match.best();
-                    fr.best_name = best.profile.name;
-                    fr.best_fit = core::to_string(best.fit);
-                    fr.best_penalty = best.penalty;
-                    if (++analyzed == 1)
-                      single = std::move(r);
-                    else
-                      single.reset();
-                  }
-                  row.flow_rows.push_back(std::move(fr));
-                });
-            {
-              auto demux_scope = row.timings.stage("demux");
-              while (auto rec = source->next()) demux.add(*rec);
-              row.skipped_frames = source->skipped_frames();
-              demux.finish();
-              row.records = demux.stats().records;
-              row.flows = to_counts(demux.stats());
-              demux_scope.counter("records", row.records);
-              demux_scope.counter("flows", demux.stats().flows_seen);
-              demux_scope.counter("peak_bytes", demux.stats().peak_bytes);
-            }
-            if (single) {
-              row.local = single->trace->meta().local.to_string();
-              row.remote = single->trace->meta().remote.to_string();
-              row.trustworthy = single->analysis.calibration.trustworthy();
-              const auto& best = single->analysis.match.best();
-              row.best_name = best.profile.name;
-              row.best_fit = core::to_string(best.fit);
-              row.best_penalty = best.penalty;
-              row.identified =
-                  !row.truth.empty() && single->analysis.match.identifies(row.truth);
-            }
-          } catch (const std::exception& e) {
-            row.load_failed = true;
-            row.error = e.what();
-          }
-          gate.release(admitted);
-          return row;
-        },
-        jobs);
+    util::Scheduler sched(util::resolve_jobs(jobs));
+    rows = util::parallel_map_on(sched, order, [&](std::size_t file_idx) {
+      return daemon::run_capture_job({scan.files[file_idx], scan.keys[file_idx]}, jopts);
+    });
     scope.counter("traces", rows.size());
     scope.counter("peak_stream_bytes", stream_mem.peak());
     scope.counter("peak_rss_bytes", util::peak_rss_bytes());
+  }
+  {
+    const util::MemGate::Stats gs = gate.stats();
+    agg.mem_gate.limit_bytes = gate.limit_bytes();
+    agg.mem_gate.admitted = gs.admitted;
+    agg.mem_gate.deferred = gs.deferred;
+    agg.mem_gate.oversized = gs.oversized;
   }
 
   // Failed loads get a dedicated error column instead of masquerading as a
@@ -361,39 +240,41 @@ int run_batch(const std::string& dir, bool receiver_flag,
                          "fit", "penalty", "truth", "error"});
   std::size_t failed = 0, with_truth = 0, identified = 0, confused = 0;
   for (const auto& row : rows) {
-    if (row.load_failed) {
+    const report::BatchTraceRecord& rec = row.trace;
+    if (row.failed()) {
       ++failed;
-      table.add_row({row.file, row.receiver_side ? "rcv" : "snd", "-", "-", "-", "-", "-",
-                     "-", "-", row.error});
+      table.add_row({rec.trace.file, rec.trace.receiver_side ? "rcv" : "snd", "-", "-",
+                     "-", "-", "-", "-", "-", rec.error});
       continue;
     }
-    agg.flows.seen += row.flows.seen;
-    agg.flows.analyzed += row.flows.analyzed;
-    agg.flows.unanalyzable += row.flows.unanalyzable;
-    agg.flows.syn_scan += row.flows.syn_scan;
-    agg.flows.no_payload += row.flows.no_payload;
-    agg.flows.mid_stream += row.flows.mid_stream;
-    agg.flows.degenerate += row.flows.degenerate;
+    const report::FlowCounts& flows = *rec.flows;
+    agg.flows.seen += flows.seen;
+    agg.flows.analyzed += flows.analyzed;
+    agg.flows.unanalyzable += flows.unanalyzable;
+    agg.flows.syn_scan += flows.syn_scan;
+    agg.flows.no_payload += flows.no_payload;
+    agg.flows.mid_stream += flows.mid_stream;
+    agg.flows.degenerate += flows.degenerate;
     std::string truth_cell = "-";
-    if (!row.truth.empty()) {
+    if (!rec.trace.truth.empty()) {
       ++with_truth;
-      if (row.identified) {
+      if (rec.identified) {
         ++identified;
-        truth_cell = row.truth + " OK";
+        truth_cell = rec.trace.truth + " OK";
       } else {
         ++confused;
-        truth_cell = row.truth + " CONFUSED";
+        truth_cell = rec.trace.truth + " CONFUSED";
       }
     }
     const std::string flows_cell = util::strf(
-        "%llu/%llu", static_cast<unsigned long long>(row.flows.analyzed),
-        static_cast<unsigned long long>(row.flows.seen));
-    const bool single = row.flows.analyzed == 1;
-    table.add_row({row.file, row.receiver_side ? "rcv" : "snd",
-                   std::to_string(row.records), flows_cell,
-                   single ? (row.trustworthy ? "ok" : "untrustworthy") : "-",
-                   single ? row.best_name : "-", single ? row.best_fit : "-",
-                   single ? util::strf("%.1f", row.best_penalty) : "-", truth_cell});
+        "%llu/%llu", static_cast<unsigned long long>(flows.analyzed),
+        static_cast<unsigned long long>(flows.seen));
+    const bool single = flows.analyzed == 1;
+    table.add_row({rec.trace.file, rec.trace.receiver_side ? "rcv" : "snd",
+                   std::to_string(rec.trace.records), flows_cell,
+                   single ? (rec.trustworthy ? "ok" : "untrustworthy") : "-",
+                   single ? rec.best_name : "-", single ? rec.best_fit : "-",
+                   single ? util::strf("%.1f", rec.best_penalty) : "-", truth_cell});
   }
   if (!json.owns_stdout()) {
     std::printf("%s", table.render().c_str());
@@ -429,7 +310,7 @@ int run_batch(const std::string& dir, bool receiver_flag,
       std::size_t emitted = 0;
       for (const auto& row : rows) {
         for (const auto& fr : row.flow_rows) out += fr.to_json().dump() + "\n";
-        out += to_record(row).to_json().dump() + "\n";
+        out += row.trace.to_json().dump() + "\n";
         emitted += 1 + row.flow_rows.size();
       }
       scope.counter("rows", emitted);
@@ -439,7 +320,9 @@ int run_batch(const std::string& dir, bool receiver_flag,
     out += agg.to_json().dump() + "\n";
     if (!write_json(json, out)) return 1;
   }
-  return failed == 0 ? 0 : 1;
+  // Any capture that failed to load fails the run -- CI must notice a
+  // corrupt corpus -- unless --keep-going says partial results are fine.
+  return failed == 0 || keep_going ? 0 : 1;
 }
 
 void print_sender_report(const core::SenderReport& rep) {
@@ -496,7 +379,7 @@ int usage(const char* argv0) {
                "          [--seqplot] [--report <impl>] [--strip-duplicates out.pcap]\n"
                "          [--pair other.pcap] [--list] [--version] <trace.pcap>\n"
                "       %s --batch <dir> [--jobs N] [--recursive] [--max-rss-mb N]\n"
-               "          [--receiver] [--candidates a,b,c] [--json[=FILE]]\n",
+               "          [--keep-going] [--receiver] [--candidates a,b,c] [--json[=FILE]]\n",
                argv0, argv0);
   return 2;
 }
@@ -649,6 +532,7 @@ int main(int argc, char** argv) {
   std::string batch_dir;
   int jobs = 0;
   bool recursive = false;
+  bool keep_going = false;
   std::uint64_t max_rss_mb = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -688,6 +572,8 @@ int main(int argc, char** argv) {
       jobs = std::atoi(argv[++i]);
     } else if (arg == "--recursive") {
       recursive = true;
+    } else if (arg == "--keep-going") {
+      keep_going = true;
     } else if (arg == "--max-rss-mb" && i + 1 < argc) {
       const long long mb = std::atoll(argv[++i]);
       if (mb < 0) return usage(argv[0]);
@@ -709,6 +595,6 @@ int main(int argc, char** argv) {
 
   if (!batch_dir.empty())
     return run_batch(batch_dir, o.receiver_side, candidates, jobs, recursive, max_rss_mb,
-                     o.json);
+                     keep_going, o.json);
   return run_single(o, candidates);
 }

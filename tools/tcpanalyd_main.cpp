@@ -1,0 +1,195 @@
+// tcpanalyd: the long-running analysis daemon. Point it at one or more
+// spool directories and/or a unix-domain control socket and it streams
+// NDJSON analysis rows continuously: drop capture files into a spool (or
+// send ANALYZE over the socket) and per-flow "flow" rows plus per-capture
+// "trace" rows appear on the output stream, punctuated by periodic
+// "daemon_stats" heartbeat rows.
+//
+// Usage:
+//   tcpanalyd [--spool DIR]... [--socket PATH] [--out FILE] [options]
+//   tcpanalyd --client PATH COMMAND [ARG]
+//
+// Options:
+//   --spool DIR          watch DIR for capture files (repeatable). Files
+//                        are claimed atomically by rename into DIR/work/
+//                        and moved to DIR/done/ or DIR/failed/ when their
+//                        rows have been written, so two daemons can share
+//                        one spool safely.
+//   --socket PATH        unix-domain control socket. Line protocol:
+//                          ANALYZE <path>  queue one capture (high
+//                                          priority; jumps the backlog)
+//                          STATUS          one-line daemon_stats JSON
+//                          DRAIN           block until in-flight work is
+//                                          done, then "OK drained"
+//                          SHUTDOWN        finish claimed work and exit
+//   --out FILE           append NDJSON rows to FILE (default: stdout)
+//   --rotate-mb N        rotate --out at N MiB: the current file moves to
+//                        FILE.<n> and a fresh segment starts
+//   --jobs N             worker threads (default: hardware concurrency)
+//   --max-rss-mb N       global admission ceiling across ALL in-flight
+//                        captures (same gate as tcpanaly --batch)
+//   --poll-ms N          spool scan interval (default 200)
+//   --stats-interval-s S heartbeat period for daemon_stats rows
+//                        (default 10; 0 disables)
+//   --once               drain the spools and exit (non-zero when any
+//                        capture failed) instead of running forever
+//   --candidates a,b,c   implementation names to test (default: all)
+//   --receiver           vantage fallback for files whose name does not
+//                        encode it: local host is the data RECEIVER
+//   --client PATH CMD    act as a client: send one command line to the
+//                        daemon at PATH, print the response, exit 0 on an
+//                        "OK"/JSON response and 1 on "ERR".
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "daemon/daemon.hpp"
+#include "daemon/server.hpp"
+#include "report/report.hpp"
+#include "tcp/profiles.hpp"
+
+using namespace tcpanaly;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--spool DIR]... [--socket PATH] [--out FILE]\n"
+               "          [--rotate-mb N] [--jobs N] [--max-rss-mb N] [--poll-ms N]\n"
+               "          [--stats-interval-s S] [--once] [--candidates a,b,c]\n"
+               "          [--receiver] [--version]\n"
+               "       %s --client SOCKET COMMAND [ARG]\n",
+               argv0, argv0);
+  return 2;
+}
+
+std::vector<tcp::TcpProfile> parse_candidates(const std::string& arg, bool* ok) {
+  std::vector<tcp::TcpProfile> out;
+  std::vector<std::string> unknown;
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string name =
+        arg.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!name.empty()) {
+      auto p = tcp::find_profile(name);
+      if (!p)
+        unknown.push_back(name);
+      else
+        out.push_back(std::move(*p));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  for (const auto& name : unknown)
+    std::fprintf(stderr, "unknown implementation: '%s'\n", name.c_str());
+  if (out.empty() && unknown.empty())
+    std::fprintf(stderr, "--candidates: no implementation names given\n");
+  *ok = unknown.empty() && !out.empty();
+  return out;
+}
+
+/// --client: one command line out, one response line back.
+int run_client(const std::string& socket_path, const std::vector<std::string>& words) {
+  std::string line;
+  for (const auto& w : words) {
+    if (!line.empty()) line += ' ';
+    line += w;
+  }
+  try {
+    const std::string response = daemon::request(socket_path, line);
+    std::printf("%s\n", response.c_str());
+    return response.rfind("ERR", 0) == 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+// SIGINT/SIGTERM ask the running daemon to stop; the handler may only
+// touch the flag-like request_stop (mutex + cv notify), which is not
+// strictly async-signal-safe but is the pragmatic daemon idiom short of a
+// self-pipe -- the alternative (losing claimed work to a hard kill) is
+// strictly worse.
+daemon::Daemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon) g_daemon->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  daemon::DaemonOptions opts;
+  std::string candidates_arg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--version") {
+      std::printf("%s\n", report::version_line().c_str());
+      return 0;
+    }
+    if (arg == "--client" && i + 2 < argc) {
+      const std::string socket_path = argv[++i];
+      std::vector<std::string> words;
+      while (++i < argc) words.push_back(argv[i]);
+      return run_client(socket_path, words);
+    }
+    if (arg == "--spool" && i + 1 < argc) {
+      opts.spool_dirs.push_back(argv[++i]);
+    } else if (arg == "--socket" && i + 1 < argc) {
+      opts.socket_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      opts.out_path = argv[++i];
+    } else if (arg == "--rotate-mb" && i + 1 < argc) {
+      const long long mb = std::atoll(argv[++i]);
+      if (mb < 0) return usage(argv[0]);
+      opts.rotate_bytes = static_cast<std::uint64_t>(mb) * (1024ull * 1024ull);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--max-rss-mb" && i + 1 < argc) {
+      const long long mb = std::atoll(argv[++i]);
+      if (mb < 0) return usage(argv[0]);
+      opts.max_rss_mb = static_cast<std::uint64_t>(mb);
+    } else if (arg == "--poll-ms" && i + 1 < argc) {
+      opts.poll_ms = std::atoi(argv[++i]);
+      if (opts.poll_ms <= 0) return usage(argv[0]);
+    } else if (arg == "--stats-interval-s" && i + 1 < argc) {
+      opts.stats_interval_s = std::atof(argv[++i]);
+      if (opts.stats_interval_s < 0) return usage(argv[0]);
+    } else if (arg == "--once") {
+      opts.exit_when_drained = true;
+    } else if (arg == "--candidates" && i + 1 < argc) {
+      candidates_arg = argv[++i];
+    } else if (arg == "--receiver") {
+      opts.receiver_fallback = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  // A daemon with no spool and no socket has no way to ever receive work.
+  if (opts.spool_dirs.empty() && opts.socket_path.empty()) return usage(argv[0]);
+
+  opts.candidates = tcp::all_profiles();
+  if (!candidates_arg.empty()) {
+    bool ok = false;
+    opts.candidates = parse_candidates(candidates_arg, &ok);
+    if (!ok) return 1;
+  }
+
+  try {
+    daemon::Daemon d(std::move(opts));
+    g_daemon = &d;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    const int rc = d.run();
+    g_daemon = nullptr;
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tcpanalyd: %s\n", e.what());
+    return 1;
+  }
+}
