@@ -27,13 +27,16 @@ ctest --test-dir "$TSAN_BUILD" --output-on-failure -R '^Parallel|^Scheduler|^Spo
 
 # Fuzz leg: the ingestion robustness contract under ASan+UBSan. Any
 # mutated capture must parse or throw std::runtime_error -- never trip a
-# sanitizer, leak, or exhaust memory.
+# sanitizer, leak, or exhaust memory. The real-capture decode reproducers
+# (fragments, TSO, SLL/SLL2 bounds) and the mmap/stream differential suite
+# run under the same sanitizers: the zero-copy parsers index straight into
+# the mapping, so any bound they get wrong is a sanitizer trip here.
 ASAN_BUILD="${BUILD}-asan"
 cmake -B "$ASAN_BUILD" -S . -DTCPANALY_SANITIZE=address,undefined
 cmake --build "$ASAN_BUILD" -j --target capture_fuzz pcap_hardening_test \
-  fuzz_test fuzz_corpus_test
+  fuzz_test fuzz_corpus_test wire_decode_test mmap_equivalence_test
 ctest --test-dir "$ASAN_BUILD" --output-on-failure \
-  -R 'PcapHardening|Fuzz|Mutators|FaultInject' -j
+  -R 'PcapHardening|Fuzz|Mutators|FaultInject|WireDecode|MmapEquivalence' -j
 "$ASAN_BUILD/tools/capture_fuzz" --replay tests/fuzz_corpus
 "$ASAN_BUILD/tools/capture_fuzz" --iterations 1000 --seed 1
 "$ASAN_BUILD/tools/capture_fuzz" --fault-inject
@@ -85,10 +88,12 @@ PYEOF
   # the offline pipeline's exact conclusions while holding a bounded
   # footprint -- at least 4x below the materialized path at 1 and 8
   # workers (the reference numbers live in bench/results/stream_ingest.json).
-  # The bench exits nonzero itself if the reduction gate fails.
+  # The bench exits nonzero itself if the reduction gate fails, and if the
+  # three ingest-throughput legs (istream / mmap / batched mmap) do not
+  # decode identical record sequences.
   "$BUILD/bench/bench_stream_ingest" --json "$JSON_DIR/stream_ingest.json" > /dev/null
   python3 - "$JSON_DIR/stream_ingest.json" <<'PYEOF'
-import json, sys
+import json, os, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["type"] == "bench" and doc["bench"] == "stream_ingest", doc.get("bench")
 assert doc["equivalent"] is True, "streaming summary diverged from offline pipeline"
@@ -96,8 +101,23 @@ assert doc["reduction_min"] >= 4.0, f"peak-footprint reduction {doc['reduction_m
 # Wall clock gets a generous CI bound; the checked-in reference shows ~1.1.
 assert doc["wall_ratio_max"] <= 1.5, f"streaming wall ratio {doc['wall_ratio_max']:.2f} > 1.5"
 assert len(doc["legs"]) == 4
+# Zero-copy regression gate: the batched mmap path must stay well ahead of
+# the istream parser, in records/sec and (where a cycle counter exists) in
+# cycles/record. The checked-in reference shows ~3.4x; the floor is padded
+# to 2.5x for CI noise, and skipped entirely on small hosts where the
+# scheduler can starve one of the timed legs.
+ing = doc["ingest"]
+assert ing["identical"] is True, "ingest legs decoded different records"
+assert ing["records"] >= 100_000, f"ingest capture only {ing['records']} records"
+if (os.cpu_count() or 1) >= 4:
+    speedup = ing["speedup_mmap_batched_vs_istream"]
+    assert speedup >= 2.5, f"batched-mmap ingest speedup {speedup:.2f}x < 2.5x"
+    if ing["cycle_source"] != "none":
+        per = {leg["mode"]: leg["cycles_per_record"] for leg in ing["legs"]}
+        assert per["mmap+batch"] * 2.5 <= per["istream"], \
+            f"cycles/record regressed: batched {per['mmap+batch']:.0f} vs istream {per['istream']:.0f}"
 PYEOF
-  echo "memory-regression leg OK (streaming ingest bounded and equivalent)"
+  echo "memory-regression leg OK (streaming ingest bounded, equivalent, zero-copy >= 2.5x)"
 
   # Demux leg, part 1: per-flow fidelity and bounded footprint at the
   # library layer. The bench exits nonzero itself if any of the 100

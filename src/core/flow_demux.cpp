@@ -1,6 +1,7 @@
 #include "core/flow_demux.hpp"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <list>
 #include <unordered_map>
@@ -299,6 +300,11 @@ FlowDemux::FlowDemux(FlowDemuxOptions opts, Sink sink)
 FlowDemux::~FlowDemux() = default;
 
 void FlowDemux::add(const trace::PacketRecord& rec) { impl_->add(rec); }
+
+void FlowDemux::add_batch(std::span<const trace::PacketRecord> recs) {
+  for (const trace::PacketRecord& rec : recs) impl_->add(rec);
+}
+
 void FlowDemux::finish() { impl_->finish(); }
 const FlowDemuxStats& FlowDemux::stats() const { return impl_->stats_; }
 
@@ -307,7 +313,9 @@ CaptureFlowAnalysis analyze_capture_flows(trace::RecordSource& source,
   CaptureFlowAnalysis out;
   FlowDemux demux(std::move(opts),
                   [&out](FlowResult r) { out.flows.push_back(std::move(r)); });
-  while (auto rec = source.next()) demux.add(*rec);
+  std::array<trace::PacketRecord, trace::kRecordBatch> batch;
+  while (const std::size_t got = source.next_batch(batch))
+    demux.add_batch(std::span<const trace::PacketRecord>(batch.data(), got));
   out.skipped_frames = source.skipped_frames();
   demux.finish();
   out.stats = demux.stats();

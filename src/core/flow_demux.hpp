@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/stream_analysis.hpp"
@@ -140,6 +141,12 @@ class FlowDemux {
   /// close / idle / capacity finalization sweeps against the advanced
   /// watermark. May invoke the sink zero or more times.
   void add(const trace::PacketRecord& rec);
+
+  /// Route a batch pulled via RecordSource::next_batch. Exactly equivalent
+  /// to add() in a loop (routing and the finalization sweeps are per
+  /// record by design -- the watermark must advance between records); the
+  /// batch form exists so batch-pulling drivers need no per-record lambda.
+  void add_batch(std::span<const trace::PacketRecord> recs);
 
   /// Finalize every live flow in creation (serial) order. The demux is
   /// spent afterwards; stats() is final.

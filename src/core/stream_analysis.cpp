@@ -1,6 +1,7 @@
 #include "core/stream_analysis.hpp"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <limits>
 #include <utility>
@@ -821,7 +822,10 @@ struct AnnotationBuilder::Impl {
     if (opts.mem) opts.mem->sub(last_footprint);
   }
 
-  void add(const PacketRecord& rec) {
+  // Per-record work minus the footprint settle; add() settles every record,
+  // add_batch() once per batch (footprint() walks every detector's
+  // capacity, so per-record settling dominates the bounded-mode hot path).
+  void add_one(const PacketRecord& rec) {
     tally.add(rec);
     const std::size_t i = n++;
     if (opts.mode == Mode::kFull) records->push_back(rec);
@@ -860,6 +864,10 @@ struct AnnotationBuilder::Impl {
         h.receiver_drops->add(i, rec, from_local, *h.receiver_reseq);
       }
     }
+  }
+
+  void add(const PacketRecord& rec) {
+    add_one(rec);
     settle_footprint();
   }
 
@@ -913,6 +921,11 @@ AnnotationBuilder::AnnotationBuilder(Options opts)
 AnnotationBuilder::~AnnotationBuilder() = default;
 
 void AnnotationBuilder::add(const PacketRecord& rec) { impl_->add(rec); }
+
+void AnnotationBuilder::add_batch(std::span<const PacketRecord> recs) {
+  for (const PacketRecord& rec : recs) impl_->add_one(rec);
+  impl_->settle_footprint();
+}
 
 std::uint64_t AnnotationBuilder::records_streamed() const { return impl_->n; }
 std::uint64_t AnnotationBuilder::peak_bytes() const { return impl_->own_mem.peak(); }
@@ -1122,7 +1135,9 @@ StreamedTraceAnalysis analyze_capture_stream(RecordSource& source, bool local_is
     bopts.cap_graces = {opts.match.sender.vantage_grace};
     bopts.mem = mem;
     AnnotationBuilder builder(std::move(bopts));
-    while (auto rec = source.next()) builder.add(*rec);
+    std::array<PacketRecord, trace::kRecordBatch> batch;
+    while (const std::size_t got = source.next_batch(batch))
+      builder.add_batch(std::span<const PacketRecord>(batch.data(), got));
     out.skipped_frames = source.skipped_frames();
     BuiltAnnotation built = builder.finish_full();
     out.trace = built.trace;

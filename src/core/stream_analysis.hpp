@@ -41,6 +41,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,6 +114,13 @@ class AnnotationBuilder {
 
   /// Consume the next record of the stream.
   void add(const trace::PacketRecord& rec);
+
+  /// Consume a batch pulled via RecordSource::next_batch. Identical
+  /// analysis results to add() record by record; the footprint is settled
+  /// once per batch instead of once per record, so the memory high-water
+  /// mark is sampled at batch granularity (still an upper-bound gate for
+  /// every consumer, which only ever asserts inequalities on it).
+  void add_batch(std::span<const trace::PacketRecord> recs);
 
   /// kFull only: resolve endpoints, pick the winning hypothesis, and
   /// assemble the annotated trace. The builder is spent afterwards.

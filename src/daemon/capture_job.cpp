@@ -1,13 +1,15 @@
 #include "daemon/capture_job.hpp"
 
-#include <fstream>
+#include <array>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
 #include "core/flow_demux.hpp"
 #include "corpus/naming.hpp"
 #include "tcp/profiles.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/record_source.hpp"
 #include "trace/trace.hpp"
 
@@ -52,15 +54,13 @@ CaptureJobResult run_capture_job(const CaptureJob& job,
   report::FlowCounts flows;
   bool load_failed = false;
   try {
-    // One pass: records are pulled out of the capture and routed to their
-    // flow's incremental builder as they decode. Each finalized flow is
-    // rendered to its row immediately and its analysis dropped, so the
-    // worker's footprint follows the capture's CONCURRENT flows, not its
-    // total.
-    std::ifstream f(job.path, std::ios::binary);
-    if (!f)
-      throw std::runtime_error("capture: cannot open for read: " + job.path.string());
-    auto source = trace::open_capture_source(f);
+    // One pass: records are pulled out of the capture in batches and
+    // routed to their flow's incremental builder as they decode. Regular
+    // files take the zero-copy mmap path; anything else falls back to the
+    // stream parsers. Each finalized flow is rendered to its row
+    // immediately and its analysis dropped, so the worker's footprint
+    // follows the capture's CONCURRENT flows, not its total.
+    auto source = trace::open_capture_source(job.path.string());
 
     core::FlowDemuxOptions dopts;
     dopts.local_is_sender = !rec.trace.receiver_side;
@@ -98,7 +98,9 @@ CaptureJobResult run_capture_job(const CaptureJob& job,
     });
     {
       auto demux_scope = rec.timings.stage("demux");
-      while (auto r = source->next()) demux.add(*r);
+      std::array<trace::PacketRecord, trace::kRecordBatch> batch;
+      while (const std::size_t got = source->next_batch(batch))
+        demux.add_batch(std::span<const trace::PacketRecord>(batch.data(), got));
       rec.trace.skipped_frames = source->skipped_frames();
       demux.finish();
       rec.trace.records = demux.stats().records;

@@ -1,7 +1,9 @@
 #include "fuzz/fuzzer.hpp"
 
+#include <array>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,6 +12,7 @@
 #include "netsim/mix.hpp"
 #include "report/json.hpp"
 #include "tcp/session.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/pcap_io.hpp"
 #include "trace/record_source.hpp"
 #include "util/mem_tracker.hpp"
@@ -126,6 +129,47 @@ std::string demux_violation(const trace::Trace& parsed) {
   return "";
 }
 
+/// Zero-copy leg for accepted captures: replay the same bytes through the
+/// mmap parsers (in-memory fallback of MappedCapture) and demand
+/// record-for-record identity with the materialized stream parse,
+/// including the skipped-frame count. The mmap sources are a second
+/// implementation of both formats, so any divergence on an accepted input
+/// is a contract violation -- and under ASan/UBSan this leg also proves
+/// the in-place parse never reads outside the capture bytes.
+std::string mmap_divergence(InputFormat fmt, const Bytes& data,
+                            const trace::PcapReadResult& parsed,
+                            const util::ParseLimits& limits) {
+  auto same_record = [](const trace::PacketRecord& a, const trace::PacketRecord& b) {
+    return a.timestamp == b.timestamp && a.src == b.src && a.dst == b.dst &&
+           a.tcp == b.tcp && a.checksum_ok == b.checksum_ok &&
+           a.checksum_known == b.checksum_known;
+  };
+  auto cap =
+      std::make_shared<const trace::MappedCapture>(trace::MappedCapture::from_bytes(data));
+  std::unique_ptr<trace::RecordSource> source;
+  if (fmt == InputFormat::kPcap)
+    source = std::make_unique<trace::MmapPcapSource>(std::move(cap), limits);
+  else
+    source = std::make_unique<trace::MmapPcapngSource>(std::move(cap), limits);
+  std::size_t i = 0;
+  std::array<trace::PacketRecord, trace::kRecordBatch> batch;
+  while (const std::size_t got = source->next_batch(batch)) {
+    for (std::size_t k = 0; k < got; ++k, ++i) {
+      if (i >= parsed.trace.size())
+        return "mmap parse yields extra record " + std::to_string(i);
+      if (!same_record(batch[k], parsed.trace[i]))
+        return "record " + std::to_string(i) + " differs between mmap and stream parse";
+    }
+  }
+  if (i != parsed.trace.size())
+    return "mmap parse yielded " + std::to_string(i) + " records, stream parse " +
+           std::to_string(parsed.trace.size());
+  if (source->skipped_frames() != parsed.skipped_frames)
+    return "skipped_frames " + std::to_string(source->skipped_frames()) +
+           " != stream parse " + std::to_string(parsed.skipped_frames);
+  return "";
+}
+
 }  // namespace
 
 ParseCheck check_parse(InputFormat fmt, const Bytes& data,
@@ -138,6 +182,9 @@ ParseCheck check_parse(InputFormat fmt, const Bytes& data,
         const std::string diff = stream_divergence(data, result.trace, limits);
         if (!diff.empty())
           return {ParseOutcome::kContractViolation, "stream divergence: " + diff};
+        const std::string mmap = mmap_divergence(fmt, data, result, limits);
+        if (!mmap.empty())
+          return {ParseOutcome::kContractViolation, "mmap divergence: " + mmap};
         const std::string demux = demux_violation(result.trace);
         if (!demux.empty())
           return {ParseOutcome::kContractViolation, "demux invariant: " + demux};
@@ -149,6 +196,9 @@ ParseCheck check_parse(InputFormat fmt, const Bytes& data,
         const std::string diff = stream_divergence(data, result.trace, limits);
         if (!diff.empty())
           return {ParseOutcome::kContractViolation, "stream divergence: " + diff};
+        const std::string mmap = mmap_divergence(fmt, data, result, limits);
+        if (!mmap.empty())
+          return {ParseOutcome::kContractViolation, "mmap divergence: " + mmap};
         const std::string demux = demux_violation(result.trace);
         if (!demux.empty())
           return {ParseOutcome::kContractViolation, "demux invariant: " + demux};

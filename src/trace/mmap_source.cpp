@@ -1,0 +1,342 @@
+#include "trace/mmap_source.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "trace/pcap_detail.hpp"
+
+namespace tcpanaly::trace {
+
+// ---------------------------------------------------------- MappedCapture
+
+MappedCapture::~MappedCapture() {
+  if (map_) ::munmap(map_, map_len_);
+}
+
+MappedCapture::MappedCapture(MappedCapture&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)),
+      owned_(std::move(other.owned_)) {}
+
+MappedCapture& MappedCapture::operator=(MappedCapture&& other) noexcept {
+  if (this != &other) {
+    if (map_) ::munmap(map_, map_len_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    owned_ = std::move(other.owned_);
+  }
+  return *this;
+}
+
+MappedCapture MappedCapture::map_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw std::runtime_error("capture: cannot open " + path);
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw std::runtime_error("capture: not a regular file: " + path);
+  }
+  MappedCapture cap;
+  const auto len = static_cast<std::size_t>(st.st_size);
+  if (len > 0) {
+    void* p = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      throw std::runtime_error("capture: mmap failed for " + path);
+    }
+    ::madvise(p, len, MADV_SEQUENTIAL);
+    cap.map_ = p;
+    cap.map_len_ = len;
+  }
+  ::close(fd);
+  return cap;
+}
+
+MappedCapture MappedCapture::from_bytes(std::vector<std::uint8_t> bytes) {
+  MappedCapture cap;
+  cap.owned_ = std::move(bytes);
+  return cap;
+}
+
+// --------------------------------------------------------- MmapPcapSource
+
+MmapPcapSource::MmapPcapSource(std::shared_ptr<const MappedCapture> capture,
+                               const util::ParseLimits& limits)
+    : capture_(std::move(capture)), data_(capture_->bytes()), limits_(limits) {
+  // The mapped size is known before any record is parsed, so the
+  // total-byte budget rejects an oversized capture up front; the stream
+  // parser can only discover the breach record by record.
+  if (data_.size() > limits_.max_total_bytes)
+    throw std::runtime_error("capture: mapped size exceeds total byte budget");
+  if (data_.size() < 4) {
+    if (data_.empty()) throw std::runtime_error(detail::kEmptyCaptureMsg);
+    throw std::runtime_error("pcap: truncated magic");
+  }
+  const std::uint32_t magic = detail::load_u32(data_.data(), false);
+  if (magic == detail::kMagicSwapped || magic == detail::kMagicNsSwapped) {
+    swapped_ = true;
+    nanos_ = magic == detail::kMagicNsSwapped;
+  } else if (magic == detail::kMagicLE || magic == detail::kMagicNsLE) {
+    nanos_ = magic == detail::kMagicNsLE;
+  } else {
+    throw std::runtime_error("pcap: bad magic");
+  }
+  if (data_.size() < 24) throw std::runtime_error("pcap: truncated global header");
+  snaplen_ = detail::load_u32(data_.data() + 16, swapped_);
+  linktype_ = detail::load_u32(data_.data() + 20, swapped_) & 0x0fffffff;
+  if (!linktype_supported(linktype_)) throw std::runtime_error("pcap: unsupported linktype");
+  pos_ = 24;
+}
+
+bool MmapPcapSource::decode_next(PacketRecord& out) {
+  for (;;) {
+    const std::size_t remaining = data_.size() - pos_;
+    // Stream parity: fewer bytes than one timestamp field is the
+    // historical clean EOF; a partial record header is an error.
+    if (remaining < 4) return false;
+    if (remaining < 16) throw std::runtime_error("pcap: truncated record header");
+    const std::uint8_t* p = data_.data() + pos_;
+    const std::uint32_t ts_sec = detail::load_u32(p, swapped_);
+    const std::uint32_t ts_usec = detail::load_u32(p + 4, swapped_);
+    const std::uint32_t cap_len = detail::load_u32(p + 8, swapped_);
+    if (cap_len > limits_.max_record_bytes)
+      throw std::runtime_error("pcap: frame length " + std::to_string(cap_len) +
+                               " exceeds record-size limit");
+    if (snaplen_ != 0 && cap_len > snaplen_)
+      throw std::runtime_error("pcap: frame length exceeds declared snaplen");
+    if (++records_ > limits_.max_records)
+      throw std::runtime_error("pcap: record count exceeds limit");
+    total_bytes_ += cap_len;
+    if (total_bytes_ > limits_.max_total_bytes)
+      throw std::runtime_error("pcap: capture exceeds total byte budget");
+    if (remaining - 16 < cap_len) throw std::runtime_error("pcap: truncated frame");
+    pos_ += 16;
+    // The frame is a span into the mapping: no copy on the ingest path.
+    auto decoded = decode_frame(linktype_, data_.subspan(pos_, cap_len));
+    pos_ += cap_len;
+    if (!decoded) {
+      ++skipped_;
+      continue;
+    }
+    const std::uint64_t abs_us = static_cast<std::uint64_t>(ts_sec) * 1000000ULL +
+                                 (nanos_ ? ts_usec / 1000 : ts_usec);
+    if (first_) {
+      epoch0_us_ = abs_us;
+      first_ = false;
+    }
+    decoded->timestamp = util::TimePoint(static_cast<std::int64_t>(abs_us - epoch0_us_));
+    out = *std::move(decoded);
+    return true;
+  }
+}
+
+std::optional<PacketRecord> MmapPcapSource::next() {
+  PacketRecord rec;
+  if (!decode_next(rec)) return std::nullopt;
+  return rec;
+}
+
+std::size_t MmapPcapSource::next_batch(std::span<PacketRecord> out) {
+  std::size_t n = 0;
+  while (n < out.size() && decode_next(out[n])) ++n;
+  return n;
+}
+
+// ------------------------------------------------------- MmapPcapngSource
+
+MmapPcapngSource::MmapPcapngSource(std::shared_ptr<const MappedCapture> capture,
+                                   const util::ParseLimits& limits)
+    : capture_(std::move(capture)), data_(capture_->bytes()), limits_(limits) {
+  if (data_.size() > limits_.max_total_bytes)
+    throw std::runtime_error("capture: mapped size exceeds total byte budget");
+}
+
+bool MmapPcapngSource::decode_next(PacketRecord& out) {
+  constexpr std::uint32_t kByteOrderMagic = 0x1a2b3c4d;
+  constexpr std::uint32_t kIdb = 1, kSpb = 3, kEpb = 6;
+
+  for (;;) {
+    const std::size_t remaining = data_.size() - pos_;
+    if (remaining < 8) {
+      // No bytes at all is the unified empty-input error; a short
+      // trailing header is the historical clean EOF.
+      if (blocks_ == 0 && data_.empty())
+        throw std::runtime_error(detail::kEmptyCaptureMsg);
+      return false;
+    }
+    const std::uint8_t* hdr = data_.data() + pos_;
+    const std::uint32_t type = detail::load_u32(hdr, false);  // SHB magic is palindromic
+    const bool is_shb = type == detail::kPcapngShb;
+    if (!is_shb && !in_section_) throw std::runtime_error("pcapng: no section header");
+
+    if (++blocks_ > limits_.max_records)
+      throw std::runtime_error("pcapng: block count exceeds limit");
+
+    std::uint32_t total_len = detail::load_u32(hdr + 4, swapped_);
+    if (is_shb) {
+      if (remaining < 12) throw std::runtime_error("pcapng: truncated section header");
+      if (detail::load_u32(hdr + 8, false) == kByteOrderMagic)
+        swapped_ = false;
+      else if (detail::load_u32(hdr + 8, true) == kByteOrderMagic)
+        swapped_ = true;
+      else
+        throw std::runtime_error("pcapng: bad byte-order magic");
+      total_len = detail::load_u32(hdr + 4, swapped_);
+      if (total_len < 16 || total_len % 4 != 0)
+        throw std::runtime_error("pcapng: bad block length");
+      if (total_len - 16 > limits_.max_record_bytes)
+        throw std::runtime_error("pcapng: block length exceeds limit");
+      total_bytes_ += total_len;
+      if (total_bytes_ > limits_.max_total_bytes)
+        throw std::runtime_error("pcapng: capture exceeds total byte budget");
+      // Stream parity: the body must be fully present, but a short or
+      // missing trailing length is tolerated (istream ignore() sets
+      // eofbit, not failbit).
+      if (remaining - 12 < static_cast<std::size_t>(total_len) - 16)
+        throw std::runtime_error("pcapng: truncated section header");
+      pos_ += std::min<std::size_t>(total_len, remaining);
+      in_section_ = true;
+      interfaces_.clear();  // interfaces are per-section
+      continue;
+    }
+
+    if (total_len < 12 || total_len % 4 != 0)
+      throw std::runtime_error("pcapng: bad block length");
+    if (total_len - 12 > limits_.max_record_bytes)
+      throw std::runtime_error("pcapng: block length exceeds limit");
+    total_bytes_ += total_len;
+    if (total_bytes_ > limits_.max_total_bytes)
+      throw std::runtime_error("pcapng: capture exceeds total byte budget");
+    if (remaining - 8 < static_cast<std::size_t>(total_len) - 12)
+      throw std::runtime_error("pcapng: truncated block");
+    // The block body is viewed in place; packet frames below are subspans
+    // of the mapping, not copies.
+    const detail::BlockView v(data_.subspan(pos_ + 8, total_len - 12), swapped_);
+    pos_ += std::min<std::size_t>(total_len, remaining);
+
+    if (type == kIdb) {
+      if (v.size() < 8) throw std::runtime_error("pcapng: short interface block");
+      Interface iface;
+      iface.linktype = v.u16(0);
+      iface.ticks_per_sec = detail::parse_tsresol(v, 8);
+      interfaces_.push_back(iface);
+      continue;
+    }
+
+    auto decode_one = [&](std::uint32_t linktype, std::span<const std::uint8_t> frame,
+                          util::TimePoint ts) -> bool {
+      auto decoded = decode_frame(linktype, frame);
+      if (!decoded) {
+        ++skipped_;
+        return false;
+      }
+      decoded->timestamp = ts;
+      last_ts_ = ts;
+      out = *std::move(decoded);
+      return true;
+    };
+
+    if (type == kEpb) {
+      if (v.size() < 20) throw std::runtime_error("pcapng: short packet block");
+      const std::uint32_t iface_id = v.u32(0);
+      if (iface_id >= interfaces_.size())
+        throw std::runtime_error("pcapng: packet references unknown interface");
+      const Interface& iface = interfaces_[iface_id];
+      const std::uint64_t ticks =
+          (static_cast<std::uint64_t>(v.u32(4)) << 32) | v.u32(8);
+      const std::uint32_t cap_len = v.u32(12);
+      if (cap_len > v.size() - 20)
+        throw std::runtime_error("pcapng: truncated packet data");
+      const std::uint64_t abs_us = detail::ticks_to_us(ticks, iface.ticks_per_sec);
+      if (first_packet_) {
+        epoch0_us_ = abs_us;
+        first_packet_ = false;
+      }
+      if (decode_one(iface.linktype, v.bytes(20, cap_len),
+                     util::TimePoint(static_cast<std::int64_t>(abs_us - epoch0_us_))))
+        return true;
+    } else if (type == kSpb) {
+      // Simple Packet Block: no timestamp; reuse the previous packet's so
+      // ordering survives (analysis of such captures is degraded anyway).
+      if (interfaces_.empty())
+        throw std::runtime_error("pcapng: simple packet without interface");
+      if (v.size() < 4) throw std::runtime_error("pcapng: short packet block");
+      const std::uint32_t orig_len = v.u32(0);
+      const std::uint32_t cap_len =
+          std::min<std::uint32_t>(orig_len, static_cast<std::uint32_t>(v.size() - 4));
+      if (decode_one(interfaces_[0].linktype, v.bytes(4, cap_len), last_ts_)) return true;
+    }
+    // All other block types (name resolution, statistics, custom) skipped.
+  }
+}
+
+std::optional<PacketRecord> MmapPcapngSource::next() {
+  PacketRecord rec;
+  if (!decode_next(rec)) return std::nullopt;
+  return rec;
+}
+
+std::size_t MmapPcapngSource::next_batch(std::span<PacketRecord> out) {
+  std::size_t n = 0;
+  while (n < out.size() && decode_next(out[n])) ++n;
+  return n;
+}
+
+// ------------------------------------------------------------ open by path
+
+namespace {
+
+// Keeps the ifstream alive for the lifetime of a stream source opened by
+// path: the fallback for non-regular files (FIFOs, devices) that cannot
+// be mapped.
+class OwningStreamSource final : public RecordSource {
+ public:
+  OwningStreamSource(std::unique_ptr<std::ifstream> in, std::unique_ptr<RecordSource> inner)
+      : in_(std::move(in)), inner_(std::move(inner)) {}
+
+  std::optional<PacketRecord> next() override { return inner_->next(); }
+  std::size_t next_batch(std::span<PacketRecord> out) override {
+    return inner_->next_batch(out);
+  }
+  std::size_t skipped_frames() const override { return inner_->skipped_frames(); }
+
+ private:
+  std::unique_ptr<std::ifstream> in_;
+  std::unique_ptr<RecordSource> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecordSource> open_mapped_source(std::shared_ptr<const MappedCapture> capture,
+                                                 const util::ParseLimits& limits) {
+  // Same sniff contract as the istream open_capture_source.
+  if (limits.max_total_bytes < 4)
+    throw std::runtime_error("capture: total byte budget below magic size");
+  const auto data = capture->bytes();
+  if (data.empty()) throw std::runtime_error(detail::kEmptyCaptureMsg);
+  if (data.size() >= 4 && detail::load_u32(data.data(), false) == detail::kPcapngShb)
+    return std::make_unique<MmapPcapngSource>(std::move(capture), limits);
+  return std::make_unique<MmapPcapSource>(std::move(capture), limits);
+}
+
+std::unique_ptr<RecordSource> open_capture_source(const std::string& path,
+                                                  const util::ParseLimits& limits) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+    auto cap = std::make_shared<const MappedCapture>(MappedCapture::map_file(path));
+    return open_mapped_source(std::move(cap), limits);
+  }
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*in) throw std::runtime_error("capture: cannot open " + path);
+  auto inner = open_capture_source(*in, limits);
+  return std::make_unique<OwningStreamSource>(std::move(in), std::move(inner));
+}
+
+}  // namespace tcpanaly::trace

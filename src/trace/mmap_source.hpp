@@ -1,0 +1,147 @@
+// Zero-copy capture sources: the mmap half of the ingestion layer.
+//
+// MappedCapture owns a read-only view of a capture's bytes -- an mmap'd
+// regular file (unmapped on destruction) or, for consumers that only have
+// bytes in hand (fuzz replays, tests, pipes spooled by a caller), an owned
+// in-memory buffer. MmapPcapSource and MmapPcapngSource parse that view in
+// place: a pcap record's frame is a span straight into the mapping (no
+// per-record copy at all), and a pcapng packet's frame is a span into its
+// block body within the mapping. Both implement the RecordSource contract
+// bit-for-bit -- same records, same skipped_frames, same error messages,
+// same ParseLimits accounting -- which the differential tests and the
+// fuzzer's mmap replay leg pin against the istream sources.
+//
+// Lifetime: sources share ownership of the MappedCapture, but the frames a
+// decoded PacketRecord was built from are NOT retained -- records are
+// plain values, so consumers never see a dangling span.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/record_source.hpp"
+#include "util/parse_limits.hpp"
+
+namespace tcpanaly::trace {
+
+/// RAII view of a capture's bytes: a private read-only mapping of a
+/// regular file, or an owned buffer as the in-memory fallback. Move-only;
+/// the mapping is released exactly once, on destruction.
+class MappedCapture {
+ public:
+  MappedCapture() = default;
+  ~MappedCapture();
+  MappedCapture(MappedCapture&& other) noexcept;
+  MappedCapture& operator=(MappedCapture&& other) noexcept;
+  MappedCapture(const MappedCapture&) = delete;
+  MappedCapture& operator=(const MappedCapture&) = delete;
+
+  /// Map a regular file read-only (advised for sequential access). Throws
+  /// std::runtime_error when the file cannot be opened, is not a regular
+  /// file, or the mapping fails. An empty file yields an empty view (the
+  /// sources report the unified empty-input error on first use).
+  static MappedCapture map_file(const std::string& path);
+
+  /// Wrap already-loaded bytes (the stream fallback: fuzz replays, tests).
+  static MappedCapture from_bytes(std::vector<std::uint8_t> bytes);
+
+  std::span<const std::uint8_t> bytes() const {
+    return map_ ? std::span(static_cast<const std::uint8_t*>(map_), map_len_)
+                : std::span(owned_);
+  }
+  bool is_mapped() const { return map_ != nullptr; }
+
+ private:
+  void* map_ = nullptr;      // non-null iff backed by mmap
+  std::size_t map_len_ = 0;  // mapped length (0-length files are not mapped)
+  std::vector<std::uint8_t> owned_;
+};
+
+/// Classic-pcap parser over a MappedCapture. Identical observable behavior
+/// to PcapSource (records, diagnostics, limits), but each frame handed to
+/// the decoder is a span into the mapping and next_batch decodes without
+/// per-record virtual dispatch. The whole capture is validated against
+/// ParseLimits' total-byte budget up front, then per-record accounting
+/// proceeds exactly as in the stream parser.
+class MmapPcapSource final : public RecordSource {
+ public:
+  explicit MmapPcapSource(std::shared_ptr<const MappedCapture> capture,
+                          const util::ParseLimits& limits = {});
+
+  std::optional<PacketRecord> next() override;
+  std::size_t next_batch(std::span<PacketRecord> out) override;
+  std::size_t skipped_frames() const override { return skipped_; }
+
+ private:
+  bool decode_next(PacketRecord& out);  // false at clean EOF
+
+  std::shared_ptr<const MappedCapture> capture_;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  util::ParseLimits limits_;
+  bool swapped_ = false;
+  bool nanos_ = false;
+  std::uint32_t snaplen_ = 0;
+  std::uint32_t linktype_ = 0;
+  bool first_ = true;
+  std::uint64_t epoch0_us_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+/// pcapng parser over a MappedCapture; the stream parser's block loop with
+/// block bodies viewed in place. Packet frames are spans into the mapped
+/// block body -- the only copies left are the decoded records themselves.
+class MmapPcapngSource final : public RecordSource {
+ public:
+  explicit MmapPcapngSource(std::shared_ptr<const MappedCapture> capture,
+                            const util::ParseLimits& limits = {});
+
+  std::optional<PacketRecord> next() override;
+  std::size_t next_batch(std::span<PacketRecord> out) override;
+  std::size_t skipped_frames() const override { return skipped_; }
+
+ private:
+  struct Interface {
+    std::uint32_t linktype;
+    std::uint64_t ticks_per_sec;
+  };
+
+  bool decode_next(PacketRecord& out);  // false at clean EOF
+
+  std::shared_ptr<const MappedCapture> capture_;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  util::ParseLimits limits_;
+  std::vector<Interface> interfaces_;
+  bool swapped_ = false;
+  bool in_section_ = false;
+  bool first_packet_ = true;
+  std::uint64_t epoch0_us_ = 0;
+  util::TimePoint last_ts_;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+/// Sniff the leading magic of an already-mapped capture and return the
+/// matching mmap source. Same dispatch and diagnostics as the istream
+/// open_capture_source: empty input and sub-magic budgets are rejected
+/// here, before any source is constructed.
+std::unique_ptr<RecordSource> open_mapped_source(std::shared_ptr<const MappedCapture> capture,
+                                                 const util::ParseLimits& limits = {});
+
+/// Open a capture by path. Regular files take the zero-copy path
+/// (MappedCapture + mmap sources); anything else (FIFOs, character
+/// devices) falls back to an owning ifstream wrapped around the classic
+/// stream sources. Throws std::runtime_error when the path cannot be
+/// opened or the capture is rejected.
+std::unique_ptr<RecordSource> open_capture_source(const std::string& path,
+                                                  const util::ParseLimits& limits = {});
+
+}  // namespace tcpanaly::trace

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <istream>
+#include <span>
 #include <vector>
 
 namespace tcpanaly::trace::detail {
@@ -80,6 +81,68 @@ inline std::uint64_t tsresol_ticks_per_sec(std::uint8_t raw) {
   std::uint64_t tps = 1;
   for (unsigned i = 0; i < exp; ++i) tps *= 10;
   return tps;
+}
+
+/// Load a 32-bit header field from memory. `swap` mirrors the parsers'
+/// "swapped" state: false reads little-endian (the native pcap layouts of
+/// interest), true reads big-endian.
+inline std::uint32_t load_u32(const std::uint8_t* p, bool swap) {
+  return swap ? (static_cast<std::uint32_t>(p[0]) << 24) | (p[1] << 16) | (p[2] << 8) | p[3]
+              : (static_cast<std::uint32_t>(p[3]) << 24) | (p[2] << 16) | (p[1] << 8) | p[0];
+}
+
+inline std::uint16_t load_u16(const std::uint8_t* p, bool swap) {
+  return swap ? static_cast<std::uint16_t>((p[0] << 8) | p[1])
+              : static_cast<std::uint16_t>((p[1] << 8) | p[0]);
+}
+
+/// In-memory view of one pcapng block body, honoring section byte order.
+/// Shared by the stream parser (vector-backed body) and the mmap parser
+/// (span into the mapping).
+class BlockView {
+ public:
+  BlockView(std::span<const std::uint8_t> body, bool swapped)
+      : body_(body), swapped_(swapped) {}
+
+  std::size_t size() const { return body_.size(); }
+  std::uint16_t u16(std::size_t off) const { return load_u16(body_.data() + off, swapped_); }
+  std::uint32_t u32(std::size_t off) const { return load_u32(body_.data() + off, swapped_); }
+
+  std::span<const std::uint8_t> bytes(std::size_t off, std::size_t n) const {
+    return body_.subspan(off, n);
+  }
+
+ private:
+  std::span<const std::uint8_t> body_;
+  bool swapped_;
+};
+
+/// Convert an interface-resolution tick count to microseconds.
+inline std::uint64_t ticks_to_us(std::uint64_t ticks, std::uint64_t ticks_per_sec) {
+  if (ticks_per_sec == 1'000'000) return ticks;
+  const auto wide = static_cast<unsigned __int128>(ticks) * 1'000'000u;
+  return static_cast<std::uint64_t>(wide / ticks_per_sec);
+}
+
+/// Walk an options list starting at `off`; returns if_tsresol ticks/sec if
+/// present (option code 9) and representable, else the microsecond default.
+/// Decimal exponents above 19 would overflow 64 bits; they fall back to
+/// the default.
+inline std::uint64_t parse_tsresol(const BlockView& v, std::size_t off) {
+  while (off + 4 <= v.size()) {
+    const std::uint16_t code = v.u16(off);
+    const std::uint16_t len = v.u16(off + 2);
+    off += 4;
+    if (code == 0) break;  // opt_endofopt
+    if (len > v.size() || off > v.size() - len) break;
+    if (code == 9 && len >= 1) {
+      const std::uint64_t tps = tsresol_ticks_per_sec(v.bytes(off, 1)[0]);
+      if (tps == 0) break;  // nonsense resolution; keep default
+      return tps;
+    }
+    off += (len + 3u) & ~3u;  // options pad to 32 bits
+  }
+  return 1'000'000;
 }
 
 }  // namespace tcpanaly::trace::detail

@@ -1,12 +1,14 @@
 #include "trace/pcap_io.hpp"
 
 #include <algorithm>
+#include <array>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
 
+#include "trace/mmap_source.hpp"
 #include "trace/pcap_detail.hpp"
 #include "trace/record_source.hpp"
 
@@ -35,9 +37,12 @@ void put_le16(std::ostream& out, std::uint16_t v) {
 PcapReadResult drain_source(RecordSource& src, bool local_is_sender) {
   PcapReadResult result;
   EndpointTally tally;
-  while (auto rec = src.next()) {
-    tally.add(*rec);
-    result.trace.push_back(std::move(*rec));
+  std::array<PacketRecord, kRecordBatch> batch;
+  while (const std::size_t got = src.next_batch(batch)) {
+    for (std::size_t i = 0; i < got; ++i) {
+      tally.add(batch[i]);
+      result.trace.push_back(std::move(batch[i]));
+    }
   }
   result.skipped_frames = src.skipped_frames();
   tally.resolve(result.trace.meta(), local_is_sender);
@@ -172,9 +177,10 @@ PcapReadResult read_pcapng_file(const std::string& path, bool local_is_sender,
 
 PcapReadResult read_capture_file(const std::string& path, bool local_is_sender,
                                  const util::ParseLimits& limits) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("capture: cannot open for read: " + path);
-  auto src = open_capture_source(f, limits);
+  // Format-agnostic reads take the path-based open: regular files are
+  // parsed zero-copy out of an mmap, everything else falls back to the
+  // stream parsers above.
+  auto src = open_capture_source(path, limits);
   return drain_source(*src, local_is_sender);
 }
 

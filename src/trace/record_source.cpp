@@ -10,69 +10,13 @@
 
 namespace tcpanaly::trace {
 
+using detail::BlockView;
+using detail::parse_tsresol;
+using detail::ticks_to_us;
+
 namespace {
 
-// In-memory parser for one pcapng block body, honoring section byte order.
-class BlockView {
- public:
-  BlockView(const std::vector<std::uint8_t>& body, bool swapped)
-      : body_(body), swapped_(swapped) {}
-
-  std::size_t size() const { return body_.size(); }
-
-  std::uint16_t u16(std::size_t off) const {
-    return swapped_ ? static_cast<std::uint16_t>((body_[off] << 8) | body_[off + 1])
-                    : static_cast<std::uint16_t>((body_[off + 1] << 8) | body_[off]);
-  }
-
-  std::uint32_t u32(std::size_t off) const {
-    return swapped_ ? (static_cast<std::uint32_t>(body_[off]) << 24) |
-                          (body_[off + 1] << 16) | (body_[off + 2] << 8) | body_[off + 3]
-                    : (static_cast<std::uint32_t>(body_[off + 3]) << 24) |
-                          (body_[off + 2] << 16) | (body_[off + 1] << 8) | body_[off];
-  }
-
-  std::span<const std::uint8_t> bytes(std::size_t off, std::size_t n) const {
-    return std::span(body_).subspan(off, n);
-  }
-
- private:
-  const std::vector<std::uint8_t>& body_;
-  bool swapped_;
-};
-
-// Convert an interface-resolution tick count to microseconds.
-std::uint64_t ticks_to_us(std::uint64_t ticks, std::uint64_t ticks_per_sec) {
-  if (ticks_per_sec == 1'000'000) return ticks;
-  const auto wide = static_cast<unsigned __int128>(ticks) * 1'000'000u;
-  return static_cast<std::uint64_t>(wide / ticks_per_sec);
-}
-
-// Walk an options list starting at `off`; returns if_tsresol ticks/sec if
-// present (option code 9) and representable, else the microsecond default.
-// Decimal exponents above 19 would overflow 64 bits (the old code silently
-// computed 10^19 for any of them); they fall back to the default.
-std::uint64_t parse_tsresol(const BlockView& v, std::size_t off) {
-  while (off + 4 <= v.size()) {
-    const std::uint16_t code = v.u16(off);
-    const std::uint16_t len = v.u16(off + 2);
-    off += 4;
-    if (code == 0) break;  // opt_endofopt
-    if (len > v.size() || off > v.size() - len) break;
-    if (code == 9 && len >= 1) {
-      const std::uint64_t tps = detail::tsresol_ticks_per_sec(v.bytes(off, 1)[0]);
-      if (tps == 0) break;  // nonsense resolution; keep default
-      return tps;
-    }
-    off += (len + 3u) & ~3u;  // options pad to 32 bits
-  }
-  return 1'000'000;
-}
-
-std::uint32_t raw_u32(const std::uint8_t* p, bool swap) {
-  return swap ? (static_cast<std::uint32_t>(p[0]) << 24) | (p[1] << 16) | (p[2] << 8) | p[3]
-              : (static_cast<std::uint32_t>(p[3]) << 24) | (p[2] << 16) | (p[1] << 8) | p[0];
-}
+std::uint32_t raw_u32(const std::uint8_t* p, bool swap) { return detail::load_u32(p, swap); }
 
 }  // namespace
 

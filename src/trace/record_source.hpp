@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -25,6 +26,11 @@
 #include "util/parse_limits.hpp"
 
 namespace tcpanaly::trace {
+
+/// Batch size consumers use with RecordSource::next_batch: large enough to
+/// amortize one virtual call and one footprint settle across many records,
+/// small enough that a stack-allocated buffer stays a few tens of KiB.
+inline constexpr std::size_t kRecordBatch = 256;
 
 /// One-way stream of decoded TCP records pulled from a capture.
 class RecordSource {
@@ -35,6 +41,20 @@ class RecordSource {
   /// std::runtime_error on malformed input or a ParseLimits breach; after
   /// a throw the source is dead (further next() calls are undefined).
   virtual std::optional<PacketRecord> next() = 0;
+
+  /// Bulk pull: fill `out` from the front and return the count written,
+  /// 0 only at clean end-of-stream. Same error contract as next(). The
+  /// default loops next(); mmap-backed sources override it with a
+  /// dispatch-free decode loop.
+  virtual std::size_t next_batch(std::span<PacketRecord> out) {
+    std::size_t n = 0;
+    while (n < out.size()) {
+      auto rec = next();
+      if (!rec) break;
+      out[n++] = std::move(*rec);
+    }
+    return n;
+  }
 
   /// Frames seen so far that were not decodable TCP/IPv4 (cumulative;
   /// final once next() has returned nullopt).

@@ -1,5 +1,8 @@
 #include "trace/wire.hpp"
 
+#include <bit>
+#include <cstring>
+
 #include "trace/checksum.hpp"
 
 namespace tcpanaly::trace {
@@ -16,12 +19,21 @@ void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
 }
 
+// Unaligned big-endian loads: memcpy folds to a single load+bswap on every
+// target of interest, where the per-byte shift form compiled to four loads.
+// Callers establish bounds once per header layer.
 std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t off) {
-  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+  std::uint16_t v;
+  std::memcpy(&v, b.data() + off, sizeof v);
+  if constexpr (std::endian::native == std::endian::little) v = __builtin_bswap16(v);
+  return v;
 }
 
 std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
-  return (static_cast<std::uint32_t>(get_u16(b, off)) << 16) | get_u16(b, off + 2);
+  std::uint32_t v;
+  std::memcpy(&v, b.data() + off, sizeof v);
+  if constexpr (std::endian::native == std::endian::little) v = __builtin_bswap32(v);
+  return v;
 }
 
 void set_u16(std::span<std::uint8_t> b, std::size_t off, std::uint16_t v) {
@@ -126,7 +138,8 @@ std::optional<PacketRecord> decode_frame(std::span<const std::uint8_t> frame) {
 
 bool linktype_supported(std::uint32_t linktype) {
   return linktype == kLinktypeNull || linktype == kLinktypeEthernet ||
-         linktype == kLinktypeRaw || linktype == kLinktypeLinuxSll;
+         linktype == kLinktypeRaw || linktype == kLinktypeLinuxSll ||
+         linktype == kLinktypeLinuxSll2;
 }
 
 std::optional<PacketRecord> decode_frame(std::uint32_t linktype,
@@ -147,11 +160,20 @@ std::optional<PacketRecord> decode_frame(std::uint32_t linktype,
     }
     case kLinktypeLinuxSll: {
       // Linux cooked capture: 16-byte header, protocol (ethertype) in the
-      // last two bytes, big-endian.
+      // last two bytes (offsets 14-15), big-endian. The header is complete
+      // at kSllLen bytes; what follows is the IP layer's bounds problem.
       constexpr std::size_t kSllLen = 16;
-      if (frame.size() < kSllLen + 2) return std::nullopt;
+      if (frame.size() < kSllLen) return std::nullopt;
       if (get_u16(frame, 14) != 0x0800) return std::nullopt;
       return decode_ip_packet(frame.subspan(kSllLen));
+    }
+    case kLinktypeLinuxSll2: {
+      // Linux cooked capture v2: 20-byte header, protocol (ethertype)
+      // big-endian at offset 0.
+      constexpr std::size_t kSll2Len = 20;
+      if (frame.size() < kSll2Len) return std::nullopt;
+      if (get_u16(frame, 0) != 0x0800) return std::nullopt;
+      return decode_ip_packet(frame.subspan(kSll2Len));
     }
     default:
       return std::nullopt;
@@ -166,6 +188,15 @@ std::optional<PacketRecord> decode_ip_packet(std::span<const std::uint8_t> ip) {
   const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
   if (ihl < kIpv4HeaderLen || ip.size() < ihl + kTcpBaseHeaderLen) return std::nullopt;
   if (ip[9] != 6) return std::nullopt;
+  // Fragmentation field (bytes 6-7): a non-first fragment carries datagram
+  // payload where the TCP header would sit, so decoding it as TCP would
+  // invent seq/ack/flags out of payload bytes. Skip it (the sources count
+  // it in skipped_frames). A first fragment (offset 0, MF set) does start
+  // with the real TCP header, but its ip_total covers only this fragment
+  // and the checksum spans the whole datagram -- handled below.
+  const std::uint16_t frag = get_u16(ip, 6);
+  if ((frag & 0x1fff) != 0) return std::nullopt;
+  const bool first_fragment = (frag & 0x2000) != 0;
   const std::uint16_t ip_total = get_u16(ip, 2);
 
   PacketRecord rec;
@@ -203,14 +234,26 @@ std::optional<PacketRecord> decode_ip_packet(std::span<const std::uint8_t> ip) {
     opt += len;
   }
 
-  const std::size_t tcp_total =
-      static_cast<std::size_t>(ip_total) >= ihl ? ip_total - ihl : 0;
+  // Segment length. TSO/GSO captures (Linux offload) stamp ip_total 0 on
+  // frames larger than the MTU; the captured slice is then the only length
+  // there is. A first fragment's ip_total spans just this fragment, so it
+  // is capped at what was actually captured rather than trusted.
+  std::size_t tcp_total;
+  bool length_trusted = true;
+  if (ip_total == 0) {
+    tcp_total = tcp.size();
+    length_trusted = false;
+  } else {
+    tcp_total = static_cast<std::size_t>(ip_total) >= ihl ? ip_total - ihl : 0;
+    if (first_fragment && tcp_total > tcp.size()) tcp_total = tcp.size();
+  }
   if (tcp_total < data_off) return std::nullopt;
   rec.tcp.payload_len = static_cast<std::uint32_t>(tcp_total - data_off);
 
-  // Only verify the TCP checksum when the whole segment was captured
-  // (header-only snaplens leave corruption to be *inferred*, paper sec. 7).
-  if (tcp.size() >= tcp_total) {
+  // Only verify the TCP checksum when the whole segment was captured with
+  // a trusted length field (header-only snaplens, TSO frames, and
+  // fragments leave corruption to be *inferred*, paper sec. 7).
+  if (length_trusted && !first_fragment && tcp.size() >= tcp_total) {
     rec.checksum_known = true;
     rec.checksum_ok = tcp_checksum_ok(rec.src.ip, rec.dst.ip, tcp.subspan(0, tcp_total));
   } else {

@@ -42,10 +42,11 @@ std::vector<std::uint8_t> encode_frame(const PacketRecord& rec, const EncodeOpti
 std::optional<PacketRecord> decode_frame(std::span<const std::uint8_t> frame);
 
 // Link-layer types a capture file can carry (pcap LINKTYPE_* values).
-constexpr std::uint32_t kLinktypeNull = 0;        ///< BSD loopback: 4-byte AF
+constexpr std::uint32_t kLinktypeNull = 0;         ///< BSD loopback: 4-byte AF
 constexpr std::uint32_t kLinktypeEthernet = 1;
-constexpr std::uint32_t kLinktypeRaw = 101;       ///< raw IPv4/IPv6, no L2
-constexpr std::uint32_t kLinktypeLinuxSll = 113;  ///< Linux "cooked" (-i any)
+constexpr std::uint32_t kLinktypeRaw = 101;        ///< raw IPv4/IPv6, no L2
+constexpr std::uint32_t kLinktypeLinuxSll = 113;   ///< Linux "cooked" (-i any)
+constexpr std::uint32_t kLinktypeLinuxSll2 = 276;  ///< Linux "cooked" v2
 
 /// Decode a frame whose link layer is `linktype` (see kLinktype*). Used by
 /// the pcap/pcapng readers so captures from `tcpdump -i any` (SLL), raw-IP

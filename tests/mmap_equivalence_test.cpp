@@ -1,0 +1,268 @@
+// Zero-copy ingestion equivalence: the mmap sources are pinned
+// bit-identical to the istream sources they shadow.
+//
+//   * Accepted captures (scenario grid, both formats, both vantages, plus
+//     every accepted file in the fuzz regression corpus) must produce the
+//     same records -- timestamps, endpoints, full TCP tuple, checksum
+//     verdicts -- and the same skipped_frames count.
+//   * Rejected captures (truncations at awkward offsets) must fail with
+//     the stream parser's exact diagnostic, byte for byte.
+//   * next_batch() must be a pure batching of next(): any span size
+//     yields the same record sequence.
+//   * The path-based open_capture_source must take the mmap route for a
+//     regular file and agree with the byte-stream route record for record.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "tcp/profiles.hpp"
+#include "tcp/session.hpp"
+#include "trace/mmap_source.hpp"
+#include "trace/pcap_io.hpp"
+#include "trace/record_source.hpp"
+
+namespace tcpanaly::trace {
+namespace {
+
+const std::filesystem::path kCorpusDir = TCPANALY_FUZZ_CORPUS_DIR;
+
+Trace scenario_trace(const char* impl, double loss, std::int64_t delay_ms,
+                     std::uint64_t seed, bool sender_side) {
+  corpus::ScenarioParams p;
+  p.loss_prob = loss;
+  p.one_way_delay = util::Duration::millis(delay_ms);
+  p.transfer_bytes = 48 * 1024;
+  p.seed = seed;
+  auto r = tcp::run_session(corpus::make_session(*tcp::find_profile(impl), p));
+  return sender_side ? r.sender_trace : r.receiver_trace;
+}
+
+/// The capture byte strings the suite sweeps: a spread of implementations
+/// and network conditions from both vantage points, in both formats, plus
+/// a zero-record capture. Stream-vs-offline identity over the full grid is
+/// stream_equivalence_test's job; here the grid only has to exercise every
+/// parser branch (timestamps, options, skipped frames, empty input).
+std::vector<std::pair<std::string, std::string>> capture_grid() {
+  std::vector<std::pair<std::string, std::string>> out;  // (label, bytes)
+  const struct {
+    const char* impl;
+    double loss;
+    std::int64_t delay_ms;
+    std::uint64_t seed;
+  } cells[] = {
+      {"Generic Reno", 0.0, 20, 7},
+      {"Generic Tahoe", 0.05, 60, 3},
+      {"Solaris 2.4", 0.0, 340, 9},
+      {"Windows 95", 0.03, 200, 5},
+  };
+  for (const auto& c : cells) {
+    for (bool sender : {true, false}) {
+      const Trace tr = scenario_trace(c.impl, c.loss, c.delay_ms, c.seed, sender);
+      std::ostringstream pcap;
+      write_pcap(pcap, tr);
+      out.emplace_back(std::string(c.impl) + (sender ? "/snd/pcap" : "/rcv/pcap"),
+                       pcap.str());
+      std::ostringstream pcapng;
+      write_pcapng(pcapng, tr);
+      out.emplace_back(std::string(c.impl) + (sender ? "/snd/pcapng" : "/rcv/pcapng"),
+                       pcapng.str());
+    }
+  }
+  std::ostringstream empty_pcap;
+  write_pcap(empty_pcap, Trace(TraceMeta{}));
+  out.emplace_back("empty/pcap", empty_pcap.str());
+  std::ostringstream empty_pcapng;
+  write_pcapng(empty_pcapng, Trace(TraceMeta{}));
+  out.emplace_back("empty/pcapng", empty_pcapng.str());
+  return out;
+}
+
+struct Drained {
+  std::vector<PacketRecord> records;
+  std::size_t skipped = 0;
+  bool ok = true;
+  std::string error;
+};
+
+Drained drain(RecordSource& src) {
+  Drained out;
+  while (auto rec = src.next()) out.records.push_back(std::move(*rec));
+  out.skipped = src.skipped_frames();
+  return out;
+}
+
+Drained drain_stream(const std::string& bytes, const util::ParseLimits& limits = {}) {
+  Drained out;
+  try {
+    std::istringstream in(bytes);
+    auto src = open_capture_source(in, limits);
+    out = drain(*src);
+  } catch (const std::runtime_error& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  return out;
+}
+
+std::shared_ptr<const MappedCapture> capture_of(const std::string& bytes) {
+  return std::make_shared<const MappedCapture>(
+      MappedCapture::from_bytes(std::vector<std::uint8_t>(bytes.begin(), bytes.end())));
+}
+
+Drained drain_mmap(const std::string& bytes, const util::ParseLimits& limits = {}) {
+  Drained out;
+  try {
+    auto src = open_mapped_source(capture_of(bytes), limits);
+    out = drain(*src);
+  } catch (const std::runtime_error& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  return out;
+}
+
+void expect_identical(const Drained& stream, const Drained& mmap,
+                      const std::string& label) {
+  ASSERT_EQ(stream.ok, mmap.ok) << label << ": stream said \"" << stream.error
+                                << "\", mmap said \"" << mmap.error << "\"";
+  EXPECT_EQ(stream.error, mmap.error) << label;
+  ASSERT_EQ(stream.records.size(), mmap.records.size()) << label;
+  EXPECT_EQ(stream.skipped, mmap.skipped) << label;
+  for (std::size_t i = 0; i < stream.records.size(); ++i) {
+    const PacketRecord& a = stream.records[i];
+    const PacketRecord& b = mmap.records[i];
+    ASSERT_EQ(a.timestamp.count(), b.timestamp.count()) << label << " record " << i;
+    ASSERT_TRUE(a.src == b.src) << label << " record " << i;
+    ASSERT_TRUE(a.dst == b.dst) << label << " record " << i;
+    ASSERT_TRUE(a.tcp == b.tcp) << label << " record " << i;
+    ASSERT_EQ(a.checksum_known, b.checksum_known) << label << " record " << i;
+    ASSERT_EQ(a.checksum_ok, b.checksum_ok) << label << " record " << i;
+  }
+}
+
+TEST(MmapEquivalence, GridCapturesAreBitIdentical) {
+  for (const auto& [label, bytes] : capture_grid()) {
+    const Drained stream = drain_stream(bytes);
+    ASSERT_TRUE(stream.ok) << label << ": " << stream.error;
+    expect_identical(stream, drain_mmap(bytes), label);
+  }
+}
+
+TEST(MmapEquivalence, FuzzCorpusAgreesOnAcceptAndRecords) {
+  // Every checked-in regression input, accepted or not: the two paths must
+  // agree on the outcome, the diagnostic, and (when accepted) the records.
+  ASSERT_TRUE(std::filesystem::is_directory(kCorpusDir)) << kCorpusDir;
+  std::size_t files = 0;
+  std::size_t accepted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(kCorpusDir)) {
+    if (!entry.is_regular_file()) continue;
+    ++files;
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in) << entry.path();
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    const util::ParseLimits limits = util::ParseLimits::fuzzing();
+    const Drained stream = drain_stream(bytes, limits);
+    expect_identical(stream, drain_mmap(bytes, limits), entry.path().string());
+    if (stream.ok) ++accepted;
+  }
+  EXPECT_GE(files, 1u);
+  EXPECT_GE(accepted, 1u);  // the corpus keeps at least one accepted capture
+}
+
+TEST(MmapEquivalence, TruncationsRejectWithTheStreamDiagnostic) {
+  const Trace tr = scenario_trace("Generic Reno", 0.02, 20, 17, true);
+  std::ostringstream pcap;
+  write_pcap(pcap, tr);
+  std::ostringstream pcapng;
+  write_pcapng(pcapng, tr);
+  for (const std::string& whole : {pcap.str(), pcapng.str()}) {
+    for (const std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{17},
+                                  std::size_t{40}, whole.size() / 2, whole.size() - 3,
+                                  whole.size() - 1}) {
+      const std::string bytes = whole.substr(0, cut);
+      expect_identical(drain_stream(bytes), drain_mmap(bytes),
+                       "cut=" + std::to_string(cut));
+    }
+  }
+}
+
+TEST(MmapEquivalence, NextBatchIsAPureBatchingOfNext) {
+  const auto grid = capture_grid();
+  ASSERT_FALSE(grid.empty());
+  const std::string& bytes = grid.front().second;
+  const Drained one_by_one = drain_mmap(bytes);
+  ASSERT_TRUE(one_by_one.ok) << one_by_one.error;
+  for (const std::size_t span : {std::size_t{1}, std::size_t{7}, kRecordBatch}) {
+    auto src = open_mapped_source(capture_of(bytes));
+    Drained batched;
+    std::vector<PacketRecord> buf(span);
+    while (const std::size_t got = src->next_batch(buf))
+      batched.records.insert(batched.records.end(), buf.begin(),
+                             buf.begin() + static_cast<std::ptrdiff_t>(got));
+    batched.skipped = src->skipped_frames();
+    expect_identical(one_by_one, batched, "span=" + std::to_string(span));
+  }
+}
+
+TEST(MmapEquivalence, PathOpenMapsRegularFilesAndMatchesStream) {
+  const Trace tr = scenario_trace("Generic Reno", 0.0, 20, 7, true);
+  std::ostringstream out;
+  write_pcap(out, tr);
+  const std::string bytes = out.str();
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "mmap_equivalence.pcap";
+  {
+    std::ofstream f(path, std::ios::binary);
+    ASSERT_TRUE(f) << path;
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // The file really is mapped, not buffered.
+  const MappedCapture mapped = MappedCapture::map_file(path.string());
+  EXPECT_TRUE(mapped.is_mapped());
+  ASSERT_EQ(mapped.bytes().size(), bytes.size());
+
+  auto src = open_capture_source(path.string());
+  Drained from_path = drain(*src);
+  expect_identical(drain_stream(bytes), from_path, "path open");
+
+  // And the materializing reader built on top of it agrees with the
+  // classic file reader.
+  const PcapReadResult via_any = read_capture_file(path.string(), true);
+  const PcapReadResult via_pcap = read_pcap_file(path.string(), true);
+  ASSERT_EQ(via_any.trace.size(), via_pcap.trace.size());
+  EXPECT_EQ(via_any.skipped_frames, via_pcap.skipped_frames);
+  EXPECT_EQ(via_any.trace.meta().local.to_string(),
+            via_pcap.trace.meta().local.to_string());
+  for (std::size_t i = 0; i < via_any.trace.size(); ++i)
+    EXPECT_TRUE(via_any.trace[i].tcp == via_pcap.trace[i].tcp) << "record " << i;
+
+  std::filesystem::remove(path);
+}
+
+TEST(MmapEquivalence, MissingPathReportsOpenFailure) {
+  const std::string bogus = std::string(::testing::TempDir()) + "/no_such_capture.pcap";
+  try {
+    (void)open_capture_source(bogus);
+    FAIL() << "expected open failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "capture: cannot open " + bogus);
+  }
+}
+
+TEST(MmapEquivalence, EmptyInputRejectedIdentically) {
+  expect_identical(drain_stream(std::string()), drain_mmap(std::string()), "empty");
+}
+
+}  // namespace
+}  // namespace tcpanaly::trace
