@@ -5,17 +5,26 @@
 // registry: each row aggregates conformance verdicts over scenarios that
 // exercise the requirements (clean, lossy, long-RTT, dead-path, no-MSS
 // peer). The failure pattern reproduces the paper's findings requirement
-// by requirement.
+// by requirement. Columns come from core::requirement_registry(), so the
+// matrix stays aligned with the stable requirement IDs the batch/daemon
+// paths report. With --json FILE the matrix is also written as a
+// machine-readable document (bench/results/sec11_conformance.json keeps
+// the reference copy).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/conformance.hpp"
+#include "report/report.hpp"
 #include "tcp/profiles.hpp"
 #include "tcp/session.hpp"
 #include "util/table.hpp"
 
 using namespace tcpanaly;
+using report::Json;
 
 namespace {
 
@@ -48,31 +57,38 @@ std::vector<tcp::SessionConfig> scenarios(const tcp::TcpProfile& impl) {
 
 }  // namespace
 
-int main() {
-  std::printf("== Section 11: conformance testing program ==\n\n");
-
-  // Establish column order from one run.
-  std::vector<std::string> requirements;
-  {
-    auto r = tcp::run_session(scenarios(tcp::generic_reno())[0]);
-    for (const auto& c : core::check_conformance(r.sender_trace).checks)
-      requirements.push_back(c.requirement);
-    for (const auto& c : core::check_conformance(r.receiver_trace).checks)
-      requirements.push_back(c.requirement);
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
   }
 
+  std::printf("== Section 11: conformance testing program ==\n\n");
+
+  const auto& registry = core::requirement_registry();
+
   std::vector<std::string> headers{"implementation"};
-  for (std::size_t i = 0; i < requirements.size(); ++i)
+  for (std::size_t i = 0; i < registry.size(); ++i)
     headers.push_back(util::strf("R%zu", i + 1));
   util::TextTable table(std::move(headers));
 
+  // implementation -> requirement id -> worst verdict across scenarios.
+  std::vector<std::pair<std::string, std::map<std::string, char>>> matrix;
   for (const auto& impl : tcp::all_profiles()) {
-    std::map<std::string, char> cell;  // requirement -> worst verdict
+    std::map<std::string, char> cell;
     for (const auto& cfg : scenarios(impl)) {
       auto r = tcp::run_session(cfg);
       auto apply = [&](const core::ConformanceReport& rep) {
-        for (const auto& c : rep.checks) {
-          char& v = cell.try_emplace(c.requirement, '-').first->second;
+        for (const auto& c : rep.results) {
+          char& v = cell.try_emplace(c.requirement->id, '-').first->second;
           if (c.verdict == core::Verdict::kFail)
             v = 'F';
           else if (c.verdict == core::Verdict::kPass && v != 'F')
@@ -83,13 +99,16 @@ int main() {
       apply(core::check_conformance(r.receiver_trace));
     }
     std::vector<std::string> row{impl.name};
-    for (const auto& req : requirements)
-      row.push_back(std::string(1, cell.count(req) ? cell[req] : '-'));
+    for (const auto& req : registry)
+      row.push_back(std::string(1, cell.count(req.id) ? cell[req.id] : '-'));
     table.add_row(std::move(row));
+    matrix.emplace_back(impl.name, std::move(cell));
   }
   std::printf("%s\n", table.render().c_str());
-  for (std::size_t i = 0; i < requirements.size(); ++i)
-    std::printf("R%zu: %s\n", i + 1, requirements[i].c_str());
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    std::printf("R%zu: [%s] %s (%s)\n", i + 1,
+                core::to_string(registry[i].level), registry[i].id,
+                registry[i].reference);
   std::printf(
       "\nP = passed wherever exercised; F = failed in at least one scenario;\n"
       "- = never exercised. Scenarios: clean / 3%% loss / 680 ms RTT / peer\n"
@@ -97,5 +116,42 @@ int main() {
       "independently written TCPs (Linux 1.0, Solaris, Trumpet) carry the\n"
       "serious violations; BSD-derived stacks fail only via the Net/3\n"
       "uninitialized-cwnd bug under its unusual trigger (section 8.4, 11).\n");
+
+  if (!json_path.empty()) {
+    Json doc = report::document_header("bench");
+    doc.set("bench", "sec11_conformance");
+    Json reqs = Json::array();
+    for (const auto& r : registry) {
+      Json row = Json::object();
+      row.set("id", r.id);
+      row.set("level", core::to_string(r.level));
+      row.set("reference", r.reference);
+      reqs.push_back(std::move(row));
+    }
+    doc.set("requirements", std::move(reqs));
+    Json impls = Json::array();
+    for (const auto& [name, cell] : matrix) {
+      Json row = Json::object();
+      row.set("implementation", name);
+      Json verdicts = Json::object();
+      for (const auto& r : registry) {
+        const auto it = cell.find(r.id);
+        const char v = it == cell.end() ? '-' : it->second;
+        verdicts.set(r.id, v == 'F'   ? "FAIL"
+                           : v == 'P' ? "PASS"
+                                      : "not exercised");
+      }
+      row.set("verdicts", std::move(verdicts));
+      impls.push_back(std::move(row));
+    }
+    doc.set("implementations", std::move(impls));
+    std::ofstream out(json_path);
+    out << doc.dump(2) << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote bench JSON to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -42,6 +42,7 @@
 
 #include "core/annotations.hpp"
 #include "core/calibration.hpp"
+#include "core/conformance.hpp"
 #include "core/stream_analysis.hpp"
 #include "corpus/corpus.hpp"
 #include "report/report.hpp"
@@ -99,6 +100,10 @@ Leg run_materialized(const std::string& path, int jobs) {
           (void)core::detect_measurement_duplicates(ann);
           (void)core::detect_resequencing(ann);
           (void)core::detect_filter_drops(ann);
+          // The streaming side's finish_summary() includes the conformance
+          // vector, and the equivalence oracle compares it -- the offline
+          // pipeline must do the same work to reach the same conclusions.
+          (void)core::check_conformance(loaded.trace);
           mem.sub(materialized_bytes(loaded.trace, ann));
           return 0;
         },

@@ -234,6 +234,86 @@ assert len(doc["legs"]) == 4
 assert all(leg["identical"] for leg in doc["legs"])
 PYEOF
   echo "daemon-throughput leg OK (rows identical to serial at 1/2/4/8 workers)"
+
+  # Conformance leg: make_corpus always emits one violating and one
+  # conforming scripted trace per registered requirement, and records which
+  # requirement each violating trace breaks in manifest.json. The batch
+  # NDJSON from the JSON leg above covers that corpus, so assert -- keyed
+  # off the manifest, never off file names -- that every scenario flow's
+  # conformance vector fails exactly its target requirement (conforming
+  # traces fail nothing), and that the aggregate roll-up saw a failure and
+  # a pass for every requirement in the registry.
+  python3 - "$JSON_DIR/corpus/manifest.json" "$JSON_DIR/batch.ndjson" <<'PYEOF'
+import json, os, sys
+manifest = json.load(open(sys.argv[1]))
+expect = {}  # basename -> requirement id it violates, or None if conforming
+for entry in manifest["traces"]:
+    if "conformance_scenario" in entry:
+        expect[os.path.basename(entry["file"])] = entry.get("violates")
+assert expect, "manifest.json carries no conformance scenarios"
+docs = [json.loads(line) for line in open(sys.argv[2]) if line.strip()]
+seen = set()
+for d in docs:
+    if d.get("type") != "flow":
+        continue
+    base = os.path.basename(d.get("file", ""))
+    if base not in expect:
+        continue
+    seen.add(base)
+    conf = d.get("conformance")
+    assert conf is not None, f"{base}: flow row has no conformance vector"
+    fails = [r["id"] for r in conf["results"] if r["verdict"] == "FAIL"]
+    want = expect[base]
+    if want is None:
+        assert not fails, f"{base}: conforming trace failed {fails}"
+    else:
+        assert fails == [want], f"{base}: expected [{want}], got {fails}"
+missing = set(expect) - seen
+assert not missing, f"scenario traces never produced flow rows: {sorted(missing)}"
+agg = [d for d in docs if d.get("type") == "aggregate"][-1]
+rollup = agg["conformance"]
+assert rollup["flows"] >= len(expect)
+assert rollup["must_failures"] > 0 and rollup["should_failures"] > 0
+for req in rollup["requirements"]:
+    assert req["fail"] >= 1, f"{req['id']}: roll-up saw no failing flow"
+    assert req["pass"] >= 1, f"{req['id']}: roll-up saw no passing flow"
+print(f"checked {len(seen)} scenario flows across "
+      f"{len(rollup['requirements'])} requirements")
+PYEOF
+
+  # --fail-on-nonconformant: violating traces must turn into a nonzero
+  # batch exit (rc 4), conforming-only input must stay rc 0 even at the
+  # stricter =should level.
+  mkdir "$JSON_DIR/conf_violate" "$JSON_DIR/conf_conform"
+  cp "$JSON_DIR/corpus/"conf_*_violate_*.pcap "$JSON_DIR/conf_violate/"
+  cp "$JSON_DIR/corpus/"conf_*_conform_*.pcap "$JSON_DIR/conf_conform/"
+  rc=0
+  "$BUILD/tools/tcpanaly" --batch "$JSON_DIR/conf_violate" \
+    --fail-on-nonconformant > /dev/null || rc=$?
+  [ "$rc" -eq 4 ] || { echo "conformance leg FAILED: violating corpus rc=$rc != 4"; exit 1; }
+  "$BUILD/tools/tcpanaly" --batch "$JSON_DIR/conf_conform" \
+    --fail-on-nonconformant=should > /dev/null \
+    || { echo "conformance leg FAILED: conforming corpus exited nonzero"; exit 1; }
+
+  # Conformance-matrix bench: one column per registered requirement, one
+  # row per implementation profile, with the JSON evidence validated here
+  # (the checked-in reference lives in bench/results/sec11_conformance.json).
+  "$BUILD/bench/bench_sec11_conformance" --json "$JSON_DIR/sec11_conformance.json" > /dev/null
+  python3 - "$JSON_DIR/sec11_conformance.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["type"] == "bench" and doc["bench"] == "sec11_conformance", doc.get("bench")
+reqs = doc["requirements"]
+ids = [r["id"] for r in reqs]
+assert len(ids) == len(set(ids)) and ids, "requirement ids not unique"
+assert all(r["level"] in ("MUST", "SHOULD") for r in reqs)
+assert doc["implementations"], "no implementations benched"
+for impl in doc["implementations"]:
+    verdicts = impl["verdicts"]
+    assert set(verdicts) == set(ids), impl["implementation"]
+    assert all(v in ("PASS", "FAIL", "not exercised") for v in verdicts.values())
+PYEOF
+  echo "conformance leg OK (scenario matrix, fail-on-nonconformant, bench evidence)"
 else
   echo "python3 not found; skipping external JSON validation leg"
 fi

@@ -57,6 +57,18 @@ void calibrate_and_match(TraceAnalysis& analysis, const trace::Trace& trace,
                   analysis.calibration.duplication.duplicate_indices.size());
   }
 
+  // Conformance: the streaming front ends feed an incremental evaluator
+  // and pre-fill the vector, so this pass only runs when the caller gave
+  // us nothing (materialized analyze_trace) or when calibration stripped
+  // measurement duplicates -- verdicts computed over the raw stream would
+  // then disagree with the cleaned trace, exactly the case
+  // needs_materialized_rerun flags.
+  if (analysis.conformance.results.empty() || analysis.cleaned.owns_copy()) {
+    auto scope = util::StageTimer::maybe(timer, "conformance");
+    analysis.conformance = check_conformance(analysis.cleaned.get(), opts.conformance);
+    scope.counter("results", analysis.conformance.results.size());
+  }
+
   if (opts.run_match) {
     {
       auto scope = util::StageTimer::maybe(timer, "match");

@@ -11,6 +11,7 @@
 
 #include "core/annotations.hpp"
 #include "core/calibration.hpp"
+#include "core/conformance.hpp"
 #include "core/matcher.hpp"
 #include "util/stage_timer.hpp"
 
@@ -63,14 +64,20 @@ struct TraceAnalysis {
   /// want to run further analyses without re-deriving the trace facts.
   std::shared_ptr<const AnnotatedTrace> annotation;
   MatchResult match;
+  /// MUST/SHOULD requirement verdicts for the cleaned trace (full registry
+  /// vector, see core/conformance.hpp). Streaming front ends pre-fill this
+  /// from their incremental evaluator; calibrate_and_match computes it
+  /// itself when the vector is empty or duplicates were stripped.
+  ConformanceReport conformance;
 
   std::string render() const;
 };
 
 struct AnalyzeOptions {
   MatchOptions match;
+  ConformanceOptions conformance;
   /// Skip the matching stage (calibrate-only runs still get the cleaned
-  /// view and the annotation).
+  /// view, the annotation, and the conformance vector).
   bool run_match = true;
 };
 

@@ -1,9 +1,10 @@
 #include "core/conformance.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <map>
-#include <set>
+#include <utility>
 
 #include "core/interval_set.hpp"
 #include "util/table.hpp"
@@ -11,7 +12,6 @@
 namespace tcpanaly::core {
 
 using trace::PacketRecord;
-using trace::seq_ge;
 using trace::seq_gt;
 using trace::seq_le;
 using trace::seq_lt;
@@ -31,9 +31,84 @@ const char* to_string(Verdict verdict) {
   return "?";
 }
 
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kMust:
+      return "MUST";
+    case Level::kShould:
+      return "SHOULD";
+  }
+  return "?";
+}
+
 namespace {
 
-struct SenderView {
+// Registry order; used as indices into ConformanceReport::results.
+enum ReqIndex : std::size_t {
+  kSlowStart = 0,
+  kOfferedWindow,
+  kPrematureRetx,
+  kBackoff,
+  kTimeoutRestart,
+  kAbortRst,
+  kAckDelay,
+  kAckStretch,
+  kOooDupack,
+  kRequirementCount,
+};
+
+// One bounded-history cap for every per-sequence map/deque the evaluator
+// keeps. Normal flows stay far below it (state is O(flight)); overflow
+// marks the dependent requirement group unsound.
+constexpr std::size_t kMaxHistory = 4096;
+
+}  // namespace
+
+const char* const kConformanceEvictedEvidence =
+    "bounded-mode history evicted; verdict needs a materialized pass";
+
+const std::vector<Requirement>& requirement_registry() {
+  using trace::LocalRole;
+  static const std::vector<Requirement> kRegistry = {
+      {"RFC1122-4.2.2.15-slow-start", Level::kMust,
+       "slow start: first flight <= 2 segments", "RFC1122 4.2.2.15 / [Ja88]",
+       LocalRole::kSender},
+      {"RFC793-3.7-offered-window", Level::kMust,
+       "no data beyond the offered window", "RFC793 3.7", LocalRole::kSender},
+      {"RFC1122-4.2.3.1-premature-retx", Level::kMust,
+       "no premature retransmission (< measured RTT, no dup acks)",
+       "RFC1122 4.2.3.1 / [KP87]", LocalRole::kSender},
+      {"RFC1122-4.2.3.1-backoff", Level::kMust,
+       "retransmission timer backs off (>= 1.5x)", "RFC1122 4.2.3.1 / [Ja88]",
+       LocalRole::kSender},
+      {"RFC2001-4-timeout-restart", Level::kShould,
+       "conservative restart after timeout (<= 3 segments)",
+       "RFC2001 4 / [Ja88]", LocalRole::kSender},
+      {"RFC793-3.8-abort-rst", Level::kShould,
+       "abandoned connections announced with a RST",
+       "RFC793 3.8 / Dawson et al.", LocalRole::kSender},
+      {"RFC1122-4.2.3.2-ack-delay", Level::kMust, "ack delay <= 500 ms",
+       "RFC1122 4.2.3.2", trace::LocalRole::kReceiver},
+      {"RFC1122-4.2.3.2-ack-stretch", Level::kShould,
+       "ack at least every 2 full-sized segments", "RFC1122 4.2.3.2",
+       LocalRole::kReceiver},
+      {"RFC5681-3.2-ooo-dupack", Level::kShould,
+       "out-of-order data acked promptly", "RFC5681 3.2 / [Ja88]",
+       LocalRole::kReceiver},
+  };
+  return kRegistry;
+}
+
+const Requirement* find_requirement(std::string_view id) {
+  for (const auto& r : requirement_registry())
+    if (id == r.id) return &r;
+  return nullptr;
+}
+
+struct ConformanceEvaluator::Impl {
+  Config cfg;
+
+  // ---- Sender vantage ---------------------------------------------------
   std::uint32_t mss = 536;
   bool have_ack = false;
   SeqNum last_ack = 0;
@@ -51,12 +126,31 @@ struct SenderView {
   std::size_t window_excesses = 0;
   std::uint64_t worst_excess = 0;
 
-  // Per-segment transmission history and dup-ack context.
-  std::map<SeqNum, TimePoint> last_tx;
+  // Per-segment transmission history and dup-ack context. New data always
+  // starts past snd_max, so entries arrive already sorted in circular
+  // sequence order: a deque + binary search replaces the red-black tree
+  // this used to be, trading two node allocations per data packet for
+  // amortized O(1) appends (the evaluator runs per record on every
+  // ingestion path, so this is a measured hot spot).
+  struct TxEntry {
+    SeqNum seq;
+    TimePoint t;
+  };
+  std::deque<TxEntry> last_tx;  // sorted by seq
   int dups_since_progress = 0;
+  // Bounded mode prunes last_tx entries below the cumulative ack; a later
+  // lookup miss in the pruned region means the offline answer is unknown.
+  bool pruned_acked_tx = false;
 
-  // Karn-valid RTT samples for the premature-retransmission bound.
-  std::map<SeqNum, std::pair<TimePoint, bool>> pending_rtt;  // end -> (t, clean)
+  // Karn-valid RTT samples for the premature-retransmission bound. Keyed
+  // by segment end; new data appends in increasing order (same argument
+  // as last_tx), acks consume a prefix.
+  struct RttEntry {
+    SeqNum end;
+    TimePoint t;
+    bool clean;
+  };
+  std::deque<RttEntry> pending_rtt;  // sorted by end
   Duration min_rtt = Duration::infinite();
   bool have_rtt = false;
 
@@ -66,13 +160,21 @@ struct SenderView {
   Duration worst_premature_gap = Duration::infinite();
 
   // Backoff chains: consecutive retransmissions of one segment with no
-  // forward progress in between.
-  std::vector<std::pair<double, double>> backoff_ratios;  // (g1,g2) secs
-  std::map<SeqNum, std::vector<TimePoint>> retx_times;
+  // forward progress in between. Only the last two timestamps of a chain
+  // feed the next ratio, so the unbounded per-chain vector of the old
+  // offline scan collapses to a constant-size record.
+  struct RetxChain {
+    std::size_t count = 0;
+    TimePoint t_prev2{};  // second-to-last retransmission
+    TimePoint t_prev{};   // last retransmission
+  };
+  std::map<SeqNum, RetxChain> retx_chains;
+  std::size_t backoff_steps = 0;
+  bool backoff_ok = true;
+  double worst_backoff_ratio = 99.0;
 
   // Abandonment: trailing retransmissions of one segment with no progress,
   // and whether a RST announced the abort (Dawson et al., section 2).
-  std::size_t trailing_same_seq_retx = 0;
   bool sent_rst = false;
 
   // Post-timeout restart flight.
@@ -80,224 +182,14 @@ struct SenderView {
   SeqNum restart_trigger = 0;
   std::size_t restart_flight = 0;
   std::size_t worst_restart_flight = 0;
-};
 
-void scan_sender(const trace::Trace& tr, SenderView& v) {
-  for (const auto& rec : tr.records()) {
-    if (tr.is_from_local(rec)) {
-      if (rec.tcp.flags.rst) v.sent_rst = true;
-      if (rec.tcp.flags.syn) {
-        if (rec.tcp.mss_option) v.mss = *rec.tcp.mss_option;
-        continue;
-      }
-      if (rec.tcp.payload_len == 0) continue;
-      const SeqNum end = rec.tcp.seq_end();
-      if (!v.have_data) {
-        v.have_data = true;
-        v.first_data_seq = rec.tcp.seq;
-        v.snd_max = rec.tcp.seq;
-      }
-      if (!v.first_ack_seen) ++v.first_flight;
+  /// Bounded-mode eviction hit sender history: premature/backoff/restart/
+  /// abandonment verdicts are unsound. Slow start and offered window are
+  /// scalar-only and stay exact.
+  bool sender_unsound = false;
 
-      if (v.have_ack) {
-        const std::int64_t over =
-            trace::seq_diff(end, v.last_ack + v.last_win + 2 * v.mss);
-        if (over > 0) {
-          ++v.window_excesses;
-          v.worst_excess = std::max<std::uint64_t>(v.worst_excess,
-                                                   static_cast<std::uint64_t>(over));
-        }
-      }
-
-      if (seq_lt(rec.tcp.seq, v.snd_max)) {
-        // Retransmission.
-        ++v.total_retx;
-        auto& times = v.retx_times[rec.tcp.seq];
-        if (auto it = v.last_tx.find(rec.tcp.seq); it != v.last_tx.end()) {
-          const Duration gap = rec.timestamp - it->second;
-          if (v.have_rtt && gap < v.min_rtt && v.dups_since_progress < 3) {
-            ++v.premature;
-            v.worst_premature_gap = std::min(v.worst_premature_gap, gap);
-          }
-          times.push_back(rec.timestamp);
-          if (times.size() >= 3) {
-            const double g1 = (times[times.size() - 2] - times[times.size() - 3]).to_seconds();
-            const double g2 = (times[times.size() - 1] - times[times.size() - 2]).to_seconds();
-            if (g1 > 0.0) v.backoff_ratios.emplace_back(g1, g2);
-          }
-          // A retransmitted segment never yields a clean RTT sample.
-          if (auto p = v.pending_rtt.find(end); p != v.pending_rtt.end())
-            p->second.second = false;
-          // Timeout-shaped (no dup acks): count everything sent before
-          // the next forward progress -- a conservative restart sends one
-          // segment; Linux-style storms resend the whole flight. A
-          // re-retransmission of the SAME segment is a fresh (backed-off)
-          // timeout epoch, not a bigger flight.
-          if (v.dups_since_progress < 3) {
-            if (!v.counting_restart || rec.tcp.seq == v.restart_trigger) {
-              if (v.counting_restart)
-                v.worst_restart_flight =
-                    std::max(v.worst_restart_flight, v.restart_flight);
-              v.counting_restart = true;
-              v.restart_trigger = rec.tcp.seq;
-              v.restart_flight = 1;
-            } else {
-              ++v.restart_flight;
-            }
-          } else if (v.counting_restart) {
-            ++v.restart_flight;
-          }
-        } else {
-          times.push_back(rec.timestamp);
-        }
-      } else {
-        if (v.counting_restart) ++v.restart_flight;
-        v.pending_rtt.emplace(end, std::make_pair(rec.timestamp, true));
-        v.snd_max = end;
-      }
-      v.last_tx[rec.tcp.seq] = rec.timestamp;
-      continue;
-    }
-    if (!rec.tcp.flags.ack) continue;
-    if (rec.tcp.flags.syn) {
-      v.have_ack = true;
-      v.last_ack = rec.tcp.ack;
-      v.last_win = rec.tcp.window;
-      continue;
-    }
-    if (v.have_data && !v.first_ack_seen && seq_gt(rec.tcp.ack, v.first_data_seq))
-      v.first_ack_seen = true;
-    if (v.have_ack && seq_gt(rec.tcp.ack, v.last_ack)) {
-      // Forward progress: close RTT samples, reset dup context, and end
-      // any restart-flight count.
-      for (auto it = v.pending_rtt.begin(); it != v.pending_rtt.end();) {
-        if (seq_le(it->first, rec.tcp.ack)) {
-          if (it->second.second) {
-            const Duration rtt = rec.timestamp - it->second.first;
-            if (rtt < v.min_rtt) v.min_rtt = rtt;
-            v.have_rtt = true;
-          }
-          it = v.pending_rtt.erase(it);
-        } else {
-          ++it;
-        }
-      }
-      v.dups_since_progress = 0;
-      v.retx_times.clear();
-      if (v.counting_restart) {
-        v.worst_restart_flight = std::max(v.worst_restart_flight, v.restart_flight);
-        v.counting_restart = false;
-      }
-      v.last_ack = rec.tcp.ack;
-    } else if (v.have_ack && rec.tcp.ack == v.last_ack && rec.tcp.payload_len == 0 &&
-               rec.tcp.window == v.last_win) {
-      ++v.dups_since_progress;
-    }
-    v.have_ack = true;
-    v.last_win = rec.tcp.window;
-  }
-  if (v.counting_restart)
-    v.worst_restart_flight = std::max(v.worst_restart_flight, v.restart_flight);
-  // Whatever retransmission chains survive to the end of the trace saw no
-  // further forward progress: the abandonment pattern.
-  for (const auto& [seq, times] : v.retx_times)
-    v.trailing_same_seq_retx = std::max(v.trailing_same_seq_retx, times.size());
-}
-
-void check_abandonment(const SenderView& v, ConformanceReport& report);
-
-void check_sender(const trace::Trace& tr, const ConformanceOptions& opts,
-                  ConformanceReport& report) {
-  SenderView v;
-  scan_sender(tr, v);
-  (void)opts;
-
-  {
-    ConformanceCheck c{"slow start: first flight <= 2 segments", "[Ja88]", Verdict::kNotExercised, ""};
-    if (v.have_data && v.first_ack_seen) {
-      c.verdict = v.first_flight <= 2 ? Verdict::kPass : Verdict::kFail;
-      c.evidence = util::strf("first flight = %zu segment(s)", v.first_flight);
-    }
-    report.checks.push_back(std::move(c));
-  }
-  {
-    ConformanceCheck c{"no data beyond the offered window", "RFC793", Verdict::kNotExercised, ""};
-    if (v.have_data && v.have_ack) {
-      c.verdict = v.window_excesses == 0 ? Verdict::kPass : Verdict::kFail;
-      c.evidence = v.window_excesses == 0
-                       ? "all sends within offered window"
-                       : util::strf("%zu send(s) beyond it, worst by %llu bytes",
-                                    v.window_excesses,
-                                    static_cast<unsigned long long>(v.worst_excess));
-    }
-    report.checks.push_back(std::move(c));
-  }
-  {
-    ConformanceCheck c{"no premature retransmission (< measured RTT, no dup acks)", "[Ja88]/[KP87]", Verdict::kNotExercised, ""};
-    if (v.have_rtt && v.total_retx > 0) {
-      c.verdict = v.premature == 0 ? Verdict::kPass : Verdict::kFail;
-      c.evidence =
-          v.premature == 0
-              ? util::strf("%zu retransmission(s), min RTT %.0f ms respected",
-                           v.total_retx, v.min_rtt.to_millis())
-              : util::strf("%zu retransmission(s) faster than the %.0f ms min RTT"
-                           ", worst gap %.0f ms",
-                           v.premature, v.min_rtt.to_millis(),
-                           v.worst_premature_gap.to_millis());
-    }
-    report.checks.push_back(std::move(c));
-  }
-  {
-    ConformanceCheck c{"retransmission timer backs off (>= 1.5x)", "[Ja88]/[KP87]", Verdict::kNotExercised, ""};
-    if (!v.backoff_ratios.empty()) {
-      bool ok = true;
-      double worst = 99.0;
-      for (const auto& [g1, g2] : v.backoff_ratios) {
-        const double ratio = g2 / g1;
-        if (ratio < 1.5) {
-          ok = false;
-          worst = std::min(worst, ratio);
-        }
-      }
-      c.verdict = ok ? Verdict::kPass : Verdict::kFail;
-      c.evidence = ok ? util::strf("%zu backoff step(s), all >= 1.5x",
-                                   v.backoff_ratios.size())
-                      : util::strf("backoff ratio as low as %.2fx", worst);
-    }
-    report.checks.push_back(std::move(c));
-  }
-  {
-    ConformanceCheck c{"conservative restart after timeout (<= 3 segments)", "[Ja88]", Verdict::kNotExercised, ""};
-    if (v.worst_restart_flight > 0) {
-      c.verdict = v.worst_restart_flight <= 3 ? Verdict::kPass : Verdict::kFail;
-      c.evidence = util::strf("largest post-timeout flight = %zu segment(s)",
-                              v.worst_restart_flight);
-    }
-    report.checks.push_back(std::move(c));
-  }
-  check_abandonment(v, report);
-}
-
-void check_abandonment(const SenderView& v, ConformanceReport& report) {
-  ConformanceCheck c{"abandoned connections announced with a RST",
-                     "RFC793 / Dawson et al.", Verdict::kNotExercised, ""};
-  // Exercised when the trace ends in a dead retransmission chain (>= 4
-  // unanswered resends of one segment): the TCP evidently gave up (or was
-  // cut off); a conformant stack eventually signals the abort.
-  if (v.trailing_same_seq_retx >= 4) {
-    c.verdict = v.sent_rst ? Verdict::kPass : Verdict::kFail;
-    c.evidence = v.sent_rst
-                     ? util::strf("%zu unanswered retransmissions, then RST",
-                                  v.trailing_same_seq_retx)
-                     : util::strf("%zu unanswered retransmissions, no RST ever sent",
-                                  v.trailing_same_seq_retx);
-  }
-  report.checks.push_back(std::move(c));
-}
-
-void check_receiver(const trace::Trace& tr, const ConformanceOptions& opts,
-                    ConformanceReport& report) {
-  std::uint32_t mss = 536;
+  // ---- Receiver vantage -------------------------------------------------
+  std::uint32_t r_mss = 536;
   SeqIntervalSet arrived;
   bool established = false;
   SeqNum frontier = 0;
@@ -314,111 +206,413 @@ void check_receiver(const trace::Trace& tr, const ConformanceOptions& opts,
   std::size_t mandatory_late = 0;
   bool any_mandatory = false;
 
-  for (std::size_t i = 0; i < tr.size(); ++i) {
-    const auto& rec = tr[i];
-    if (!tr.is_from_local(rec)) {
-      if (rec.tcp.flags.syn) {
-        if (rec.tcp.mss_option) mss = *rec.tcp.mss_option;
-        frontier = rec.tcp.seq + 1;
-        established = true;
-        continue;
+  /// Bounded-mode eviction hit receiver history: all three ack verdicts
+  /// are unsound.
+  bool receiver_unsound = false;
+
+  void add_sender(const PacketRecord& rec, bool from_local);
+  void add_receiver(const PacketRecord& rec, bool from_local);
+  ConformanceReport finish() const;
+};
+
+void ConformanceEvaluator::Impl::add_sender(const PacketRecord& rec,
+                                            bool from_local) {
+  if (from_local) {
+    if (rec.tcp.flags.rst) sent_rst = true;
+    if (rec.tcp.flags.syn) {
+      if (rec.tcp.mss_option) mss = *rec.tcp.mss_option;
+      return;
+    }
+    if (rec.tcp.payload_len == 0) return;
+    const SeqNum end = rec.tcp.seq_end();
+    if (!have_data) {
+      have_data = true;
+      first_data_seq = rec.tcp.seq;
+      snd_max = rec.tcp.seq;
+    }
+    if (!first_ack_seen) ++first_flight;
+
+    if (have_ack) {
+      const std::int64_t over =
+          trace::seq_diff(end, last_ack + last_win + 2 * mss);
+      if (over > 0) {
+        ++window_excesses;
+        worst_excess =
+            std::max<std::uint64_t>(worst_excess, static_cast<std::uint64_t>(over));
       }
-      if (!established || rec.tcp.payload_len == 0) continue;
-      if (rec.checksum_known && !rec.checksum_ok) continue;
-      arrived.insert(rec.tcp.seq, rec.tcp.seq + rec.tcp.payload_len);
-      const SeqNum nf = arrived.contiguous_end(frontier);
-      if (seq_gt(nf, frontier)) {
-        frontier = nf;
-        events.push_back({rec.timestamp, frontier});
-        if (rec.tcp.payload_len >= mss) {
-          if (++unacked_full > 2) {
-            ++two_segment_misses;
-            unacked_full = 0;  // count each miss once
+    }
+
+    const auto tx_lower = [&](SeqNum s) {
+      return std::lower_bound(
+          last_tx.begin(), last_tx.end(), s,
+          [](const TxEntry& e, SeqNum v) { return seq_lt(e.seq, v); });
+    };
+
+    if (seq_lt(rec.tcp.seq, snd_max)) {
+      // Retransmission.
+      ++total_retx;
+      if (cfg.bounded && retx_chains.size() >= kMaxHistory &&
+          !retx_chains.count(rec.tcp.seq)) {
+        retx_chains.erase(retx_chains.begin());
+        sender_unsound = true;
+      }
+      RetxChain& chain = retx_chains[rec.tcp.seq];
+      const RetxChain before = chain;
+      chain.t_prev2 = chain.t_prev;
+      chain.t_prev = rec.timestamp;
+      ++chain.count;
+      auto it = tx_lower(rec.tcp.seq);
+      if (it != last_tx.end() && it->seq == rec.tcp.seq) {
+        const Duration gap = rec.timestamp - it->t;
+        if (have_rtt && gap < min_rtt && dups_since_progress < 3) {
+          ++premature;
+          worst_premature_gap = std::min(worst_premature_gap, gap);
+        }
+        if (chain.count >= 3) {
+          const double g1 = (before.t_prev - before.t_prev2).to_seconds();
+          const double g2 = (rec.timestamp - before.t_prev).to_seconds();
+          if (g1 > 0.0) {
+            ++backoff_steps;
+            const double ratio = g2 / g1;
+            if (ratio < 1.5) {
+              backoff_ok = false;
+              worst_backoff_ratio = std::min(worst_backoff_ratio, ratio);
+            }
           }
         }
+        // A retransmitted segment never yields a clean RTT sample.
+        if (auto p = std::lower_bound(
+                pending_rtt.begin(), pending_rtt.end(), end,
+                [](const RttEntry& e, SeqNum v) { return seq_lt(e.end, v); });
+            p != pending_rtt.end() && p->end == end)
+          p->clean = false;
+        // Timeout-shaped (no dup acks): count everything sent before
+        // the next forward progress -- a conservative restart sends one
+        // segment; Linux-style storms resend the whole flight. A
+        // re-retransmission of the SAME segment is a fresh (backed-off)
+        // timeout epoch, not a bigger flight.
+        if (dups_since_progress < 3) {
+          if (!counting_restart || rec.tcp.seq == restart_trigger) {
+            if (counting_restart)
+              worst_restart_flight = std::max(worst_restart_flight, restart_flight);
+            counting_restart = true;
+            restart_trigger = rec.tcp.seq;
+            restart_flight = 1;
+          } else {
+            ++restart_flight;
+          }
+        } else if (counting_restart) {
+          ++restart_flight;
+        }
+        it->t = rec.timestamp;
       } else {
-        any_mandatory = true;
-        mandatory.push_back(rec.timestamp);
+        if (pruned_acked_tx && seq_lt(rec.tcp.seq, last_ack)) {
+          // The offline scan would have found this (acked) segment's last
+          // transmission time; we pruned it. Everything keyed on the
+          // transmission-history branch is now unsound.
+          sender_unsound = true;
+        }
+        // A retransmission starting at a sequence never sent as a packet
+        // start (re-segmentation): mid-deque insert, rare by construction.
+        if (cfg.bounded && last_tx.size() >= kMaxHistory) {
+          last_tx.pop_front();
+          sender_unsound = true;
+          it = tx_lower(rec.tcp.seq);  // pop_front invalidated it
+        }
+        last_tx.insert(it, {rec.tcp.seq, rec.timestamp});
       }
-      continue;
-    }
-    if (!rec.tcp.flags.ack || rec.tcp.flags.syn || !established) continue;
-    // Ack: measure delay from the earliest covered arrival.
-    while (!mandatory.empty()) {
-      if (rec.timestamp - mandatory.front() > opts.timing_slack) ++mandatory_late;
-      mandatory.pop_front();
-      break;  // one obligation per ack
-    }
-    for (const auto& ev : events) {
-      if (seq_le(ev.frontier, rec.tcp.ack)) {
-        const Duration d = rec.timestamp - ev.when;
-        if (d > worst_delay) worst_delay = d;
-        any_delay = true;
+    } else {
+      if (counting_restart) ++restart_flight;
+      if (cfg.bounded && pending_rtt.size() >= kMaxHistory) {
+        pending_rtt.pop_front();
+        sender_unsound = true;
       }
-      break;  // only the earliest outstanding arrival bounds the delay
+      pending_rtt.push_back({end, rec.timestamp, true});
+      snd_max = end;
+      if (cfg.bounded && last_tx.size() >= kMaxHistory) {
+        last_tx.pop_front();
+        sender_unsound = true;
+      }
+      last_tx.push_back({rec.tcp.seq, rec.timestamp});
     }
-    while (!events.empty() && seq_le(events.front().frontier, rec.tcp.ack))
-      events.pop_front();
-    unacked_full = 0;
+    return;
   }
-
-  {
-    ConformanceCheck c{"ack delay <= 500 ms", "RFC1122 4.2.3.2", Verdict::kNotExercised, ""};
-    if (any_delay) {
-      const bool ok = worst_delay <= Duration::millis(500) + opts.timing_slack;
-      c.verdict = ok ? Verdict::kPass : Verdict::kFail;
-      c.evidence = util::strf("worst ack delay %.0f ms", worst_delay.to_millis());
+  if (!rec.tcp.flags.ack) return;
+  if (rec.tcp.flags.syn) {
+    have_ack = true;
+    last_ack = rec.tcp.ack;
+    last_win = rec.tcp.window;
+    return;
+  }
+  if (have_data && !first_ack_seen && seq_gt(rec.tcp.ack, first_data_seq))
+    first_ack_seen = true;
+  if (have_ack && seq_gt(rec.tcp.ack, last_ack)) {
+    // Forward progress: close RTT samples, reset dup context, and end
+    // any restart-flight count.
+    while (!pending_rtt.empty() && seq_le(pending_rtt.front().end, rec.tcp.ack)) {
+      if (pending_rtt.front().clean) {
+        const Duration rtt = rec.timestamp - pending_rtt.front().t;
+        if (rtt < min_rtt) min_rtt = rtt;
+        have_rtt = true;
+      }
+      pending_rtt.pop_front();
     }
-    report.checks.push_back(std::move(c));
-  }
-  {
-    ConformanceCheck c{"ack at least every 2 full-sized segments", "RFC1122 4.2.3.2", Verdict::kNotExercised, ""};
-    if (any_delay) {
-      c.verdict = two_segment_misses == 0 ? Verdict::kPass : Verdict::kFail;
-      c.evidence = two_segment_misses == 0
-                       ? "never more than 2 unacked full segments"
-                       : util::strf("%zu stretch(es) beyond 2 segments",
-                                    two_segment_misses);
+    dups_since_progress = 0;
+    retx_chains.clear();
+    if (counting_restart) {
+      worst_restart_flight = std::max(worst_restart_flight, restart_flight);
+      counting_restart = false;
     }
-    report.checks.push_back(std::move(c));
-  }
-  {
-    ConformanceCheck c{"out-of-order data acked promptly", "[Ja88] fast retransmit", Verdict::kNotExercised, ""};
-    if (any_mandatory) {
-      c.verdict = mandatory_late == 0 ? Verdict::kPass : Verdict::kFail;
-      c.evidence = mandatory_late == 0
-                       ? "every out-of-order arrival answered promptly"
-                       : util::strf("%zu late/missing duplicate ack(s)", mandatory_late);
+    last_ack = rec.tcp.ack;
+    if (cfg.bounded) {
+      // Fully-acked segments can only matter again if the peer
+      // "retransmits" already-acked data; the lookup-miss guard above
+      // flips unsound if that ever happens.
+      while (!last_tx.empty() && seq_lt(last_tx.front().seq, last_ack)) {
+        last_tx.pop_front();
+        pruned_acked_tx = true;
+      }
     }
-    report.checks.push_back(std::move(c));
+  } else if (have_ack && rec.tcp.ack == last_ack && rec.tcp.payload_len == 0 &&
+             rec.tcp.window == last_win) {
+    ++dups_since_progress;
   }
+  have_ack = true;
+  last_win = rec.tcp.window;
 }
 
-}  // namespace
+void ConformanceEvaluator::Impl::add_receiver(const PacketRecord& rec,
+                                              bool from_local) {
+  if (!from_local) {
+    if (rec.tcp.flags.syn) {
+      if (rec.tcp.mss_option) r_mss = *rec.tcp.mss_option;
+      frontier = rec.tcp.seq + 1;
+      established = true;
+      return;
+    }
+    if (!established || rec.tcp.payload_len == 0) return;
+    if (rec.checksum_known && !rec.checksum_ok) return;
+    arrived.insert(rec.tcp.seq, rec.tcp.seq + rec.tcp.payload_len);
+    if (cfg.bounded && arrived.interval_count() > kMaxHistory) {
+      // Collapse the hole structure to keep memory bounded; the frontier
+      // jumps, so every ack-timing verdict is unsound from here on.
+      if (seq_lt(frontier, arrived.max_end()))
+        arrived.insert(frontier, arrived.max_end());
+      receiver_unsound = true;
+    }
+    const SeqNum nf = arrived.contiguous_end(frontier);
+    if (seq_gt(nf, frontier)) {
+      frontier = nf;
+      if (cfg.bounded && events.size() >= kMaxHistory) {
+        events.pop_front();
+        receiver_unsound = true;
+      }
+      events.push_back({rec.timestamp, frontier});
+      if (rec.tcp.payload_len >= r_mss) {
+        if (++unacked_full > 2) {
+          ++two_segment_misses;
+          unacked_full = 0;  // count each miss once
+        }
+      }
+    } else {
+      any_mandatory = true;
+      if (cfg.bounded && mandatory.size() >= kMaxHistory) {
+        mandatory.pop_front();
+        receiver_unsound = true;
+      }
+      mandatory.push_back(rec.timestamp);
+    }
+    return;
+  }
+  if (!rec.tcp.flags.ack || rec.tcp.flags.syn || !established) return;
+  // Ack: measure delay from the earliest covered arrival.
+  while (!mandatory.empty()) {
+    if (rec.timestamp - mandatory.front() > cfg.opts.timing_slack)
+      ++mandatory_late;
+    mandatory.pop_front();
+    break;  // one obligation per ack
+  }
+  for (const auto& ev : events) {
+    if (seq_le(ev.frontier, rec.tcp.ack)) {
+      const Duration d = rec.timestamp - ev.when;
+      if (d > worst_delay) worst_delay = d;
+      any_delay = true;
+    }
+    break;  // only the earliest outstanding arrival bounds the delay
+  }
+  while (!events.empty() && seq_le(events.front().frontier, rec.tcp.ack))
+    events.pop_front();
+  unacked_full = 0;
+}
+
+ConformanceReport ConformanceEvaluator::Impl::finish() const {
+  const auto& registry = requirement_registry();
+  ConformanceReport report;
+  report.results.resize(registry.size());
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    report.results[i].requirement = &registry[i];
+  auto set = [&](ReqIndex i, Verdict v, std::string evidence) {
+    report.results[i].verdict = v;
+    report.results[i].evidence = std::move(evidence);
+  };
+  auto unsound = [&](ReqIndex i) {
+    set(i, Verdict::kNotExercised, kConformanceEvictedEvidence);
+  };
+
+  if (cfg.role == trace::LocalRole::kSender) {
+    // End-of-trace folds, computed without mutating (finish is const):
+    // an open restart epoch counts, and whatever retransmission chains
+    // survive saw no further forward progress -- the abandonment pattern.
+    std::size_t worst_restart = worst_restart_flight;
+    if (counting_restart) worst_restart = std::max(worst_restart, restart_flight);
+    std::size_t trailing_same_seq_retx = 0;
+    for (const auto& [seq, chain] : retx_chains)
+      trailing_same_seq_retx = std::max(trailing_same_seq_retx, chain.count);
+
+    if (have_data && first_ack_seen)
+      set(kSlowStart, first_flight <= 2 ? Verdict::kPass : Verdict::kFail,
+          util::strf("first flight = %zu segment(s)", first_flight));
+    if (have_data && have_ack)
+      set(kOfferedWindow, window_excesses == 0 ? Verdict::kPass : Verdict::kFail,
+          window_excesses == 0
+              ? "all sends within offered window"
+              : util::strf("%zu send(s) beyond it, worst by %llu bytes",
+                           window_excesses,
+                           static_cast<unsigned long long>(worst_excess)));
+    if (sender_unsound) {
+      unsound(kPrematureRetx);
+      unsound(kBackoff);
+      unsound(kTimeoutRestart);
+      unsound(kAbortRst);
+      return report;
+    }
+    if (have_rtt && total_retx > 0)
+      set(kPrematureRetx, premature == 0 ? Verdict::kPass : Verdict::kFail,
+          premature == 0
+              ? util::strf("%zu retransmission(s), min RTT %.0f ms respected",
+                           total_retx, min_rtt.to_millis())
+              : util::strf("%zu retransmission(s) faster than the %.0f ms min RTT"
+                           ", worst gap %.0f ms",
+                           premature, min_rtt.to_millis(),
+                           worst_premature_gap.to_millis()));
+    if (backoff_steps > 0)
+      set(kBackoff, backoff_ok ? Verdict::kPass : Verdict::kFail,
+          backoff_ok
+              ? util::strf("%zu backoff step(s), all >= 1.5x", backoff_steps)
+              : util::strf("backoff ratio as low as %.2fx", worst_backoff_ratio));
+    if (worst_restart > 0)
+      set(kTimeoutRestart, worst_restart <= 3 ? Verdict::kPass : Verdict::kFail,
+          util::strf("largest post-timeout flight = %zu segment(s)",
+                     worst_restart));
+    // Exercised when the trace ends in a dead retransmission chain (>= 4
+    // unanswered resends of one segment): the TCP evidently gave up (or was
+    // cut off); a conformant stack eventually signals the abort.
+    if (trailing_same_seq_retx >= 4)
+      set(kAbortRst, sent_rst ? Verdict::kPass : Verdict::kFail,
+          sent_rst
+              ? util::strf("%zu unanswered retransmissions, then RST",
+                           trailing_same_seq_retx)
+              : util::strf("%zu unanswered retransmissions, no RST ever sent",
+                           trailing_same_seq_retx));
+    return report;
+  }
+
+  if (receiver_unsound) {
+    unsound(kAckDelay);
+    unsound(kAckStretch);
+    unsound(kOooDupack);
+    return report;
+  }
+  if (any_delay) {
+    const bool ok = worst_delay <= Duration::millis(500) + cfg.opts.timing_slack;
+    set(kAckDelay, ok ? Verdict::kPass : Verdict::kFail,
+        util::strf("worst ack delay %.0f ms", worst_delay.to_millis()));
+    set(kAckStretch, two_segment_misses == 0 ? Verdict::kPass : Verdict::kFail,
+        two_segment_misses == 0
+            ? "never more than 2 unacked full segments"
+            : util::strf("%zu stretch(es) beyond 2 segments", two_segment_misses));
+  }
+  if (any_mandatory)
+    set(kOooDupack, mandatory_late == 0 ? Verdict::kPass : Verdict::kFail,
+        mandatory_late == 0
+            ? "every out-of-order arrival answered promptly"
+            : util::strf("%zu late/missing duplicate ack(s)", mandatory_late));
+  return report;
+}
+
+ConformanceEvaluator::ConformanceEvaluator(Config config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->cfg = config;
+}
+
+ConformanceEvaluator::~ConformanceEvaluator() = default;
+ConformanceEvaluator::ConformanceEvaluator(ConformanceEvaluator&&) noexcept =
+    default;
+ConformanceEvaluator& ConformanceEvaluator::operator=(
+    ConformanceEvaluator&&) noexcept = default;
+
+void ConformanceEvaluator::add(const trace::PacketRecord& rec, bool from_local) {
+  if (impl_->cfg.role == trace::LocalRole::kSender)
+    impl_->add_sender(rec, from_local);
+  else
+    impl_->add_receiver(rec, from_local);
+}
+
+ConformanceReport ConformanceEvaluator::finish() const { return impl_->finish(); }
+
+bool ConformanceEvaluator::state_evicted() const {
+  return impl_->cfg.role == trace::LocalRole::kSender ? impl_->sender_unsound
+                                                      : impl_->receiver_unsound;
+}
+
+std::uint64_t ConformanceEvaluator::bytes() const {
+  const Impl& v = *impl_;
+  // Node-overhead estimates in the same spirit as the other online
+  // detectors: a red-black node costs ~3 pointers + color + payload;
+  // deque entries cost their own size (chunk overhead amortizes away).
+  constexpr std::uint64_t kMapNode = 48;
+  return sizeof(Impl) + v.last_tx.size() * sizeof(Impl::TxEntry) +
+         v.pending_rtt.size() * sizeof(Impl::RttEntry) +
+         v.retx_chains.size() * (kMapNode + sizeof(Impl::RetxChain)) +
+         v.arrived.interval_count() * kMapNode +
+         v.events.size() * sizeof(Impl::Event) +
+         v.mandatory.size() * sizeof(TimePoint);
+}
 
 ConformanceReport check_conformance(const trace::Trace& trace,
                                     const ConformanceOptions& opts) {
-  ConformanceReport report;
-  if (trace.meta().role == trace::LocalRole::kSender)
-    check_sender(trace, opts, report);
-  else
-    check_receiver(trace, opts, report);
-  return report;
+  ConformanceEvaluator eval({trace.meta().role, opts, /*bounded=*/false});
+  for (const auto& rec : trace.records()) eval.add(rec, trace.is_from_local(rec));
+  return eval.finish();
 }
 
 std::size_t ConformanceReport::failures() const {
   std::size_t n = 0;
-  for (const auto& c : checks)
-    if (c.verdict == Verdict::kFail) ++n;
+  for (const auto& r : results)
+    if (r.verdict == Verdict::kFail) ++n;
   return n;
+}
+
+std::size_t ConformanceReport::failures(Level level) const {
+  std::size_t n = 0;
+  for (const auto& r : results)
+    if (r.verdict == Verdict::kFail && r.requirement->level == level) ++n;
+  return n;
+}
+
+const RequirementResult* ConformanceReport::find(std::string_view id) const {
+  for (const auto& r : results)
+    if (id == r.requirement->id) return &r;
+  return nullptr;
 }
 
 std::string ConformanceReport::render() const {
   std::string out;
-  for (const auto& c : checks) {
-    out += util::strf("  [%-13s] %-55s (%s)", to_string(c.verdict), c.requirement.c_str(),
-                      c.reference.c_str());
-    if (!c.evidence.empty()) out += "\n                  " + c.evidence;
+  for (const auto& r : results) {
+    out += util::strf("  [%-13s] %-6s %-30s %-55s (%s)", to_string(r.verdict),
+                      to_string(r.requirement->level), r.requirement->id,
+                      r.requirement->title, r.requirement->reference);
+    if (!r.evidence.empty()) out += "\n                  " + r.evidence;
     out += '\n';
   }
   return out;

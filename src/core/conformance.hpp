@@ -2,15 +2,38 @@
 // implementations by (RFC 1122 / Jacobson congestion avoidance) -- the
 // "testing programs" section 11 calls on the community to build.
 //
-// Each requirement is checked from a trace alone. Sender-side traces
-// exercise the congestion requirements; receiver-side traces the
-// acknowledgement requirements. A check can also be inapplicable: a clean
-// short transfer never exercises retransmission backoff, and an honest
-// checker says so instead of passing it.
+// Requirements live in a static registry: each carries a stable ID
+// (e.g. "RFC1122-4.2.3.2-ack-delay"), a MUST/SHOULD level, a citation,
+// and the vantage that exercises it. Every report covers the WHOLE
+// registry in registry order -- requirements the trace's vantage cannot
+// observe simply stay kNotExercised -- so verdict vectors from different
+// flows line up column-for-column and roll up into a corpus matrix.
+//
+// Verdicts are produced by an incremental ConformanceEvaluator fed one
+// PacketRecord at a time, so the streaming front ends (AnnotationBuilder,
+// FlowDemux) get a conformance vector for every analyzed flow with no
+// extra pass over the records. check_conformance() is a thin wrapper that
+// drives the same evaluator over a materialized trace; the streaming and
+// materialized paths are bit-identical by construction, and the
+// differential test pins it.
+//
+// Bounded mode (Config::bounded) caps the evaluator's history maps the
+// same way the bounded AnnotationBuilder caps its detectors. When an
+// eviction could have changed a verdict, the affected requirement group
+// reports kNotExercised rather than guessing -- mirroring
+// duplication_is_exact. The purely scalar checks (slow start, offered
+// window) never need history and stay sound regardless.
+//
+// A check can also be inapplicable on-vantage: a clean short transfer
+// never exercises retransmission backoff, and an honest checker says so
+// instead of passing it.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -22,18 +45,47 @@ enum class Verdict { kPass, kFail, kNotExercised };
 
 const char* to_string(Verdict verdict);
 
-struct ConformanceCheck {
-  std::string requirement;  ///< short name, e.g. "ack-delay <= 500ms"
-  std::string reference;    ///< where it comes from, e.g. "RFC1122 4.2.3.2"
+/// Requirement level per RFC 2119 usage in the checked standards.
+enum class Level { kMust, kShould };
+
+const char* to_string(Level level);
+
+/// One registered, testable requirement. Entries are static: results hold
+/// pointers into the registry, and IDs are stable across releases (they
+/// key the corpus roll-up and the violation-scenario matrix).
+struct Requirement {
+  const char* id;         ///< stable key, e.g. "RFC1122-4.2.3.2-ack-delay"
+  Level level;            ///< kMust / kShould
+  const char* title;      ///< human-readable one-liner
+  const char* reference;  ///< citation, e.g. "RFC1122 4.2.3.2"
+  trace::LocalRole side;  ///< vantage that exercises this requirement
+};
+
+/// All registered requirements, sender-side block first. Registry order is
+/// the report/render/JSON order.
+const std::vector<Requirement>& requirement_registry();
+
+/// Registry lookup by stable ID; nullptr when unknown.
+const Requirement* find_requirement(std::string_view id);
+
+/// Verdict for one registered requirement.
+struct RequirementResult {
+  const Requirement* requirement = nullptr;  ///< points into the registry
   Verdict verdict = Verdict::kNotExercised;
-  std::string evidence;     ///< one-line justification with numbers
+  std::string evidence;  ///< one-line justification with numbers
 };
 
 struct ConformanceReport {
-  std::vector<ConformanceCheck> checks;
+  /// One entry per registered requirement, in registry order.
+  std::vector<RequirementResult> results;
 
   std::size_t failures() const;
+  std::size_t failures(Level level) const;
+  std::size_t must_failures() const { return failures(Level::kMust); }
+  std::size_t should_failures() const { return failures(Level::kShould); }
   bool conformant() const { return failures() == 0; }
+  /// Result for a stable requirement ID; nullptr when unknown.
+  const RequirementResult* find(std::string_view id) const;
   std::string render() const;
 };
 
@@ -42,23 +94,62 @@ struct ConformanceOptions {
   util::Duration timing_slack = util::Duration::millis(30);
 };
 
-/// Check the requirements observable from this trace:
+/// Evidence string on kNotExercised results forced by bounded-mode
+/// eviction (rather than by the trace not exercising the requirement).
+/// The differential oracle keys on it.
+extern const char* const kConformanceEvictedEvidence;
+
+/// Incremental conformance engine. Feed records in capture order with the
+/// caller's direction verdict; finish() yields the full registry vector.
 ///
-/// Sender-side traces:
+/// Sender-vantage requirements:
 ///   * slow start: the first flight after connection setup is at most two
 ///     segments ([Ja88]; pre-RFC2581 allowed 1, we accept <= 2)
 ///   * no data beyond the offered window (RFC 793)
-///   * retransmission timers back off exponentially under repeated loss
-///     ([Ja88]/Karn; factor >= 1.5 between consecutive timeouts)
 ///   * no retransmission storms: a retransmission is not re-sent within a
 ///     plausible minimum RTO unless duplicate acks justify it
+///   * retransmission timers back off exponentially under repeated loss
+///     ([Ja88]/Karn; factor >= 1.5 between consecutive timeouts)
 ///   * the congestion window is respected after loss: the first flight
 ///     following a timeout is at most 3 segments
+///   * an abandoned connection is announced with a RST (Dawson et al.)
 ///
-/// Receiver-side traces:
+/// Receiver-vantage requirements:
 ///   * acks are delayed at most 500 ms (RFC 1122 4.2.3.2)
 ///   * at least one ack for every two full-sized segments (RFC 1122)
 ///   * out-of-order data is acked promptly (duplicate ack)
+class ConformanceEvaluator {
+ public:
+  struct Config {
+    trace::LocalRole role = trace::LocalRole::kSender;
+    ConformanceOptions opts;
+    /// Cap history state (bounded streaming mode). Evictions that could
+    /// change a verdict flip the affected group to kNotExercised.
+    bool bounded = false;
+  };
+
+  explicit ConformanceEvaluator(Config config);
+  ~ConformanceEvaluator();
+  ConformanceEvaluator(ConformanceEvaluator&&) noexcept;
+  ConformanceEvaluator& operator=(ConformanceEvaluator&&) noexcept;
+
+  void add(const trace::PacketRecord& rec, bool from_local);
+  /// Build the report. The evaluator may be queried but not fed afterward.
+  ConformanceReport finish() const;
+
+  /// True when bounded-mode eviction made some history-backed verdict
+  /// unsound (those requirements report kNotExercised).
+  bool state_evicted() const;
+  /// Approximate logical footprint of the history state, for the
+  /// streaming memory meter.
+  std::uint64_t bytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Run the evaluator over a materialized trace (vantage from meta().role).
 ConformanceReport check_conformance(const trace::Trace& trace,
                                     const ConformanceOptions& opts = {});
 

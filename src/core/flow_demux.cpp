@@ -143,6 +143,7 @@ struct FlowDemux::Impl {
       bopts.mode = AnnotationBuilder::Mode::kFull;
       bopts.local_is_sender = opts.local_is_sender;
       bopts.cap_graces = {opts.analyze.match.sender.vantage_grace};
+      bopts.conformance = opts.analyze.conformance;
       bopts.mem = &own_;
       st.builder = std::make_unique<AnnotationBuilder>(std::move(bopts));
     }
@@ -248,6 +249,7 @@ struct FlowDemux::Impl {
       BuiltAnnotation built = st.builder->finish_full();
       r.trace = built.trace;
       r.analysis.annotation = built.annotation;
+      r.analysis.conformance = std::move(built.conformance);
       r.peak_bytes = built.peak_bytes;
       calibrate_and_match(r.analysis, *r.trace, opts.candidates, opts.analyze, nullptr);
       ++stats_.flows_analyzed;

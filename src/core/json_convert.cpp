@@ -131,19 +131,22 @@ Json to_json(const TraceSummary& summary) {
 }
 
 Json to_json(const ConformanceReport& rep) {
-  Json checks = Json::array();
-  for (const auto& c : rep.checks) {
+  Json results = Json::array();
+  for (const auto& r : rep.results) {
     Json e = Json::object();
-    e.set("requirement", c.requirement);
-    e.set("reference", c.reference);
-    e.set("verdict", to_string(c.verdict));
-    e.set("evidence", c.evidence);
-    checks.push_back(std::move(e));
+    e.set("id", r.requirement->id);
+    e.set("level", to_string(r.requirement->level));
+    e.set("title", r.requirement->title);
+    e.set("reference", r.requirement->reference);
+    e.set("verdict", to_string(r.verdict));
+    e.set("evidence", r.evidence);
+    results.push_back(std::move(e));
   }
   Json j = Json::object();
   j.set("conformant", rep.conformant());
-  j.set("failures", rep.failures());
-  j.set("checks", std::move(checks));
+  j.set("must_failures", rep.must_failures());
+  j.set("should_failures", rep.should_failures());
+  j.set("results", std::move(results));
   return j;
 }
 

@@ -799,6 +799,9 @@ struct AnnotationBuilder::Impl {
     std::unique_ptr<SenderDrops> sender_drops;
     std::unique_ptr<ReceiverReseq> receiver_reseq;
     std::unique_ptr<ReceiverDrops> receiver_drops;
+    // Both modes: the incremental MUST/SHOULD requirement evaluator
+    // (kBounded caps its history; kFull is exact by construction).
+    std::unique_ptr<ConformanceEvaluator> conformance;
   };
 
   explicit Impl(Options o) : opts(std::move(o)), graces(cap_grace_list(opts.cap_graces)) {
@@ -816,6 +819,12 @@ struct AnnotationBuilder::Impl {
         }
       }
     }
+    const ConformanceEvaluator::Config conf_cfg{
+        opts.local_is_sender ? trace::LocalRole::kSender
+                             : trace::LocalRole::kReceiver,
+        opts.conformance, /*bounded=*/opts.mode == Mode::kBounded};
+    for (Hypothesis& h : hyp)
+      h.conformance = std::make_unique<ConformanceEvaluator>(conf_cfg);
   }
 
   ~Impl() {
@@ -835,6 +844,7 @@ struct AnnotationBuilder::Impl {
       const bool from_local =
           hi == 0 ? rec.src == tally.first_src() : rec.src == tally.first_dst();
       const RecordNote note = h.classifier.step(rec, from_local);
+      h.conformance->add(rec, from_local);
       if (opts.mode == Mode::kFull) {
         h.notes.push_back(note);
         if (from_local) {
@@ -886,6 +896,7 @@ struct AnnotationBuilder::Impl {
       b += h.duplication.bytes();
       if (h.sender_reseq) b += h.sender_reseq->bytes() + h.sender_drops->bytes();
       if (h.receiver_reseq) b += h.receiver_reseq->bytes() + h.receiver_drops->bytes();
+      if (h.conformance) b += h.conformance->bytes();
     }
     b += time_travel.bytes();
     return b;
@@ -939,6 +950,7 @@ BuiltAnnotation AnnotationBuilder::finish_full() {
   out.annotation = std::make_shared<const AnnotatedTrace>(
       *im.records, std::move(w.notes), w.classifier.handshake(), std::move(w.sends),
       std::move(w.acks), im.opts.cap_graces);
+  out.conformance = w.conformance->finish();
   out.records_streamed = im.n;
   im.settle_footprint();
   out.peak_bytes = im.own_mem.peak();
@@ -968,6 +980,7 @@ StreamSummary AnnotationBuilder::finish_summary() {
     out.calibration.drops = detect_filter_drops(ann);
     out.needs_materialized_rerun =
         !out.calibration.duplication.duplicate_indices.empty();
+    out.conformance = std::move(built.conformance);
     out.peak_bytes = built.peak_bytes;
     return out;
   }
@@ -989,6 +1002,8 @@ StreamSummary AnnotationBuilder::finish_summary() {
   }
   out.needs_materialized_rerun =
       !out.calibration.duplication.duplicate_indices.empty() || !out.duplication_is_exact;
+  out.conformance = w.conformance->finish();
+  out.conformance_is_exact = !w.conformance->state_evicted();
   im.settle_footprint();
   out.peak_bytes = im.own_mem.peak();
   return out;
@@ -1006,7 +1021,8 @@ std::string diff_fail(const char* what, std::uint64_t got, std::uint64_t want) {
 
 }  // namespace
 
-std::string diff_stream_summary(const StreamSummary& summary, const Trace& trace) {
+std::string diff_stream_summary(const StreamSummary& summary, const Trace& trace,
+                                const ConformanceOptions& conformance) {
   if (summary.records_streamed != trace.size())
     return diff_fail("records", summary.records_streamed, trace.size());
   if (!(summary.meta.local == trace.meta().local) ||
@@ -1116,6 +1132,39 @@ std::string diff_stream_summary(const StreamSummary& summary, const Trace& trace
     return diff_fail("inferred missing bytes", sdrops.inferred_missing_bytes,
                      drops.inferred_missing_bytes);
 
+  // Conformance: the streamed vector's reference is check_conformance over
+  // the (unstripped) trace -- exactly the evaluator's input. Results the
+  // bounded evaluator declared unsound (eviction evidence) are exempt from
+  // the verdict comparison but must be kNotExercised; everything else is
+  // bit-identical, evidence strings included.
+  const ConformanceReport conf = check_conformance(trace, conformance);
+  const auto& sconf = summary.conformance;
+  if (sconf.results.size() != conf.results.size())
+    return diff_fail("conformance results", sconf.results.size(), conf.results.size());
+  bool any_evicted = false;
+  for (std::size_t i = 0; i < conf.results.size(); ++i) {
+    const auto& got = sconf.results[i];
+    const auto& want = conf.results[i];
+    if (got.requirement != want.requirement)
+      return util::strf("stream summary mismatch: conformance registry order differs at %zu", i);
+    if (got.evidence == kConformanceEvictedEvidence) {
+      any_evicted = true;
+      if (got.verdict != Verdict::kNotExercised)
+        return util::strf("stream summary mismatch: evicted conformance result %s not kNotExercised",
+                          got.requirement->id);
+      continue;
+    }
+    if (got.verdict != want.verdict || got.evidence != want.evidence)
+      return util::strf("stream summary mismatch: conformance %s: streamed [%s] %s, offline [%s] %s",
+                        got.requirement->id, to_string(got.verdict),
+                        got.evidence.c_str(), to_string(want.verdict),
+                        want.evidence.c_str());
+  }
+  if (summary.conformance_is_exact && any_evicted)
+    return "stream summary mismatch: conformance claims exact but carries evicted results";
+  if (!summary.conformance_is_exact && !any_evicted)
+    return "stream summary mismatch: conformance claims inexact without evicted results";
+
   return {};
 }
 
@@ -1133,6 +1182,7 @@ StreamedTraceAnalysis analyze_capture_stream(RecordSource& source, bool local_is
     bopts.mode = AnnotationBuilder::Mode::kFull;
     bopts.local_is_sender = local_is_sender;
     bopts.cap_graces = {opts.match.sender.vantage_grace};
+    bopts.conformance = opts.conformance;
     bopts.mem = mem;
     AnnotationBuilder builder(std::move(bopts));
     std::array<PacketRecord, trace::kRecordBatch> batch;
@@ -1142,6 +1192,7 @@ StreamedTraceAnalysis analyze_capture_stream(RecordSource& source, bool local_is
     BuiltAnnotation built = builder.finish_full();
     out.trace = built.trace;
     out.analysis.annotation = built.annotation;
+    out.analysis.conformance = std::move(built.conformance);
     out.records_streamed = built.records_streamed;
     out.peak_bytes = built.peak_bytes;
     scope.counter("records", out.trace->size());

@@ -77,6 +77,15 @@ struct StreamSummary {
   /// the unstripped stream, where offline `calibrate` would strip first)
   /// or when `duplication_is_exact` is false.
   bool needs_materialized_rerun = false;
+  /// MUST/SHOULD requirement verdicts from the incremental evaluator (full
+  /// registry vector, computed over the unstripped stream -- when
+  /// needs_materialized_rerun is set, the stripped-trace verdicts may
+  /// differ and a materialized pass decides).
+  ConformanceReport conformance;
+  /// False when bounded-mode eviction forced some history-backed verdict
+  /// to kNotExercised (mirrors duplication_is_exact); the streamed vector
+  /// is then a sound under-approximation, not the exact offline answer.
+  bool conformance_is_exact = true;
   /// High-water logical bytes the builder held (see util::MemTracker).
   std::uint64_t peak_bytes = 0;
 };
@@ -86,6 +95,10 @@ struct StreamSummary {
 struct BuiltAnnotation {
   std::shared_ptr<const trace::Trace> trace;
   std::shared_ptr<const AnnotatedTrace> annotation;
+  /// The incremental evaluator's verdicts for the built trace, identical
+  /// to check_conformance() over it -- callers hand this to
+  /// calibrate_and_match so conformance costs no extra pass.
+  ConformanceReport conformance;
   std::uint64_t records_streamed = 0;
   std::uint64_t peak_bytes = 0;
 };
@@ -101,6 +114,8 @@ class AnnotationBuilder {
     bool local_is_sender = true;
     /// Extra cap graces to precompute (zero grace always included).
     std::vector<Duration> cap_graces;
+    /// Timing knobs for the incremental conformance evaluator.
+    ConformanceOptions conformance;
     /// Optional shared tracker: the builder's footprint deltas are
     /// forwarded here as well as to its own internal meter, so concurrent
     /// builders can be summed (batch / bench accounting).
@@ -146,7 +161,8 @@ class AnnotationBuilder {
 /// an empty string when the summary is exactly equivalent. Used by
 /// stream_equivalence_test and by the capture fuzzer, which replays every
 /// accepted input through both paths under ASan/UBSan.
-std::string diff_stream_summary(const StreamSummary& summary, const trace::Trace& trace);
+std::string diff_stream_summary(const StreamSummary& summary, const trace::Trace& trace,
+                                const ConformanceOptions& conformance = {});
 
 /// A streamed trace analysis: the classic TraceAnalysis plus ownership of
 /// the trace it was computed from (CleanedTrace aliases it) and the

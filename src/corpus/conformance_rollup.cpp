@@ -1,0 +1,164 @@
+#include "corpus/conformance_rollup.hpp"
+
+#include <algorithm>
+
+#include "report/json.hpp"
+#include "util/table.hpp"
+
+namespace tcpanaly::corpus {
+
+using core::Level;
+using core::Verdict;
+using report::Json;
+
+namespace {
+
+const char* impl_key(const std::string& impl) {
+  return impl.empty() ? "unknown" : impl.c_str();
+}
+
+}  // namespace
+
+void ConformanceRollup::add(const std::string& impl,
+                            const core::ConformanceReport& report) {
+  Row& row = rows_[impl_key(impl)];
+  ++row.flows;
+  ++flows_;
+  row.must_failures += report.must_failures();
+  row.should_failures += report.should_failures();
+  for (const auto& r : report.results) {
+    Cell& cell = row.by_requirement[r.requirement->id];
+    switch (r.verdict) {
+      case Verdict::kPass:
+        ++cell.pass;
+        break;
+      case Verdict::kFail:
+        ++cell.fail;
+        break;
+      case Verdict::kNotExercised:
+        ++cell.not_exercised;
+        break;
+    }
+  }
+}
+
+bool ConformanceRollup::fold_ndjson_line(std::string_view line) {
+  // Cheap pre-filter before paying for a parse: only flow rows with a
+  // conformance object can contribute.
+  if (line.find("\"type\"") == std::string_view::npos ||
+      line.find("\"conformance\"") == std::string_view::npos)
+    return false;
+  Json doc;
+  try {
+    doc = Json::parse(std::string(line));
+  } catch (const report::JsonParseError&) {
+    return false;
+  }
+  const Json* type = doc.find("type");
+  if (!type || !type->is_string() || type->as_string() != "flow") return false;
+  const Json* conf = doc.find("conformance");
+  if (!conf || !conf->is_object()) return false;
+  const Json* results = conf->find("results");
+  if (!results || !results->is_array()) return false;
+
+  std::string impl;
+  if (const Json* truth = doc.find("truth"); truth && truth->is_string())
+    impl = truth->as_string();
+  if (impl.empty())
+    if (const Json* best = doc.find("best"); best && best->is_object())
+      if (const Json* name = best->find("name"); name && name->is_string())
+        impl = name->as_string();
+
+  // Rebuild a report against the live registry so add() stays the single
+  // accumulation path; rows naming requirements this build does not know
+  // are skipped rather than miscounted.
+  core::ConformanceReport rep;
+  for (const Json& r : results->items()) {
+    if (!r.is_object()) continue;
+    const Json* id = r.find("id");
+    const Json* verdict = r.find("verdict");
+    if (!id || !id->is_string() || !verdict || !verdict->is_string()) continue;
+    const core::Requirement* req = core::find_requirement(id->as_string());
+    if (!req) continue;
+    Verdict v = Verdict::kNotExercised;
+    if (verdict->as_string() == "PASS")
+      v = Verdict::kPass;
+    else if (verdict->as_string() == "FAIL")
+      v = Verdict::kFail;
+    rep.results.push_back({req, v, std::string()});
+  }
+  if (rep.results.empty()) return false;
+  add(impl, rep);
+  return true;
+}
+
+report::ConformanceCounts ConformanceRollup::totals() const {
+  report::ConformanceCounts out;
+  out.flows = flows_;
+  for (const auto& [impl, row] : rows_) {
+    out.must_failures += row.must_failures;
+    out.should_failures += row.should_failures;
+  }
+  for (const auto& req : core::requirement_registry()) {
+    report::ConformanceRequirementCount rc;
+    rc.id = req.id;
+    rc.level = core::to_string(req.level);
+    for (const auto& [impl, row] : rows_) {
+      const auto it = row.by_requirement.find(rc.id);
+      if (it == row.by_requirement.end()) continue;
+      rc.pass += it->second.pass;
+      rc.fail += it->second.fail;
+      rc.not_exercised += it->second.not_exercised;
+    }
+    out.requirements.push_back(std::move(rc));
+  }
+  return out;
+}
+
+std::vector<std::string> ConformanceRollup::implementations() const {
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& [impl, row] : rows_) out.push_back(impl);
+  return out;
+}
+
+ConformanceRollup::Cell ConformanceRollup::cell(
+    const std::string& impl, std::string_view requirement_id) const {
+  const auto it = rows_.find(impl_key(impl));
+  if (it == rows_.end()) return {};
+  const auto rit = it->second.by_requirement.find(requirement_id);
+  return rit == it->second.by_requirement.end() ? Cell{} : rit->second;
+}
+
+std::string ConformanceRollup::render() const {
+  const auto& registry = core::requirement_registry();
+  std::vector<std::string> headers{"implementation", "flows"};
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    headers.push_back(util::strf("R%zu", i + 1));
+  util::TextTable table(std::move(headers));
+  for (const auto& [impl, row] : rows_) {
+    std::vector<std::string> cells{impl, std::to_string(row.flows)};
+    for (const auto& req : registry) {
+      const auto it = row.by_requirement.find(req.id);
+      if (it == row.by_requirement.end()) {
+        cells.push_back("-");
+        continue;
+      }
+      const Cell& c = it->second;
+      cells.push_back(util::strf("%llu/%llu/%llu",
+                                 static_cast<unsigned long long>(c.pass),
+                                 static_cast<unsigned long long>(c.fail),
+                                 static_cast<unsigned long long>(c.not_exercised)));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::string out = table.render();
+  out += "cells: pass/fail/not-exercised per flow\n";
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    out += util::strf("R%zu: [%s] %s (%s)\n", i + 1,
+                      core::to_string(registry[i].level), registry[i].id,
+                      registry[i].reference);
+  return out;
+}
+
+}  // namespace tcpanaly::corpus

@@ -1,0 +1,80 @@
+// Corpus-wide conformance matrix: fold per-flow requirement vectors (from
+// the incremental evaluator) into per-requirement x per-implementation
+// pass/fail/not-exercised counts -- the machine that turns a batch or
+// daemon run into the paper's section-11 "which stacks violate which
+// requirements" table.
+//
+// Two feeding paths share one accumulator:
+//   * add(impl, report)      -- in-process, from a flow's ConformanceReport
+//                               (what --batch and tcpanalyd use);
+//   * fold_ndjson_line(line) -- offline, re-digesting `--batch --json`
+//                               NDJSON output (flow rows carry the vector).
+// Implementations are keyed by ground truth when the corpus provides it,
+// falling back to the matcher's best guess, then "unknown".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/conformance.hpp"
+#include "report/report.hpp"
+
+namespace tcpanaly::corpus {
+
+class ConformanceRollup {
+ public:
+  /// Per-implementation verdict counts for one requirement.
+  struct Cell {
+    std::uint64_t pass = 0;
+    std::uint64_t fail = 0;
+    std::uint64_t not_exercised = 0;
+  };
+
+  /// Fold one flow's requirement vector under implementation key `impl`
+  /// (pass "" for unknown).
+  void add(const std::string& impl, const core::ConformanceReport& report);
+
+  /// Fold one `--batch --json` NDJSON line. Only "flow" rows carrying a
+  /// conformance object contribute; everything else (trace rows,
+  /// aggregates, blank/garbled lines) is ignored. Returns true iff the
+  /// line contributed a vector.
+  bool fold_ndjson_line(std::string_view line);
+
+  /// Flows folded so far (vectors, not lines).
+  std::uint64_t flows() const { return flows_; }
+  bool empty() const { return flows_ == 0; }
+
+  /// Totals summed across implementations, per-requirement rows in
+  /// registry order -- the `conformance` object of aggregate/daemon_stats
+  /// documents.
+  report::ConformanceCounts totals() const;
+
+  /// The per-implementation matrix: one row per implementation, one R<n>
+  /// column per registered requirement, cells "pass/fail/not-exercised",
+  /// followed by a legend mapping R<n> to the stable IDs.
+  std::string render() const;
+
+  /// Implementation keys seen, sorted.
+  std::vector<std::string> implementations() const;
+
+  /// Counts for (impl, requirement id); zeros when never folded.
+  Cell cell(const std::string& impl, std::string_view requirement_id) const;
+
+ private:
+  struct Row {
+    std::uint64_t flows = 0;
+    std::uint64_t must_failures = 0;
+    std::uint64_t should_failures = 0;
+    // requirement id -> verdict counts (ids come from the registry; a
+    // map keeps the fold independent of vector order).
+    std::map<std::string, Cell, std::less<>> by_requirement;
+  };
+
+  std::map<std::string, Row> rows_;  // keyed by implementation
+  std::uint64_t flows_ = 0;
+};
+
+}  // namespace tcpanaly::corpus

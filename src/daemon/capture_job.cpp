@@ -89,6 +89,11 @@ CaptureJobResult run_capture_job(const CaptureJob& job,
         fr.best_name = best.profile.name;
         fr.best_fit = core::to_string(best.fit);
         fr.best_penalty = best.penalty;
+        fr.truth = rec.trace.truth;
+        rec.conformance_must_failures += r.analysis.conformance.must_failures();
+        rec.conformance_should_failures +=
+            r.analysis.conformance.should_failures();
+        fr.conformance = std::move(r.analysis.conformance);
         if (++analyzed == 1)
           single = std::move(r);
         else

@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "corpus/conformance_rollup.hpp"
 #include "daemon/capture_job.hpp"
 #include "daemon/ndjson_writer.hpp"
 #include "daemon/server.hpp"
@@ -58,6 +59,9 @@ struct Daemon::Impl {
   std::uint64_t spool_claimed = 0;
   std::uint64_t socket_accepted = 0;
   report::FlowCounts flows;
+  /// Per-requirement x per-implementation conformance fold over every
+  /// analyzed flow (keyed by ground truth, else the matcher's best guess).
+  corpus::ConformanceRollup rollup;
   /// Cumulative per-stage walls across every finished capture.
   std::map<std::string, report::DaemonStageTotal> stage_totals;
 
@@ -65,6 +69,9 @@ struct Daemon::Impl {
     std::lock_guard<std::mutex> lock(mu);
     ++captures_done;
     if (res.failed()) ++captures_failed;
+    for (const auto& fr : res.flow_rows)
+      if (fr.conformance)
+        rollup.add(!fr.truth.empty() ? fr.truth : fr.best_name, *fr.conformance);
     if (res.trace.flows) {
       const report::FlowCounts& f = *res.trace.flows;
       flows.seen += f.seen;
@@ -150,6 +157,7 @@ struct Daemon::Impl {
       rec.spool_claimed = spool_claimed;
       rec.socket_accepted = socket_accepted;
       rec.flows = flows;
+      rec.conformance = rollup.totals();
       for (const auto& [name, total] : stage_totals) rec.stage_totals.push_back(total);
     }
     if (rec.uptime_s > 0.0) {

@@ -1,0 +1,300 @@
+#include "netsim/conformance_scenarios.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tcpanaly::sim {
+
+namespace {
+
+using trace::Endpoint;
+using trace::PacketRecord;
+using trace::SeqNum;
+using trace::Trace;
+using util::Duration;
+using util::TimePoint;
+
+constexpr Endpoint kSender{0x0A000001, 40000};  // 10.0.0.1:40000, sends data
+constexpr Endpoint kReceiver{0x0A000002, 80};   // 10.0.0.2:80
+constexpr SeqNum kIssSender = 1000;
+constexpr SeqNum kIssReceiver = 5000;
+constexpr std::uint16_t kMss = 1460;
+constexpr std::uint32_t kBigWindow = 65535;
+
+/// Packet-by-packet trace scripting. All times are absolute milliseconds;
+/// data sequence offsets are relative to the first data byte.
+struct Script {
+  Trace trace;
+  SeqNum base = kIssSender + 1;  // first data byte after the SYN
+
+  explicit Script(std::uint32_t receiver_window = kBigWindow) {
+    // Handshake: SYN (with MSS), SYN-ACK (with MSS + the receiver's
+    // offered window), final ACK. Every scenario starts established.
+    PacketRecord syn = at(0, kSender, kReceiver);
+    syn.tcp.seq = kIssSender;
+    syn.tcp.flags.syn = true;
+    syn.tcp.window = kBigWindow;
+    syn.tcp.mss_option = kMss;
+    trace.push_back(syn);
+
+    PacketRecord synack = at(10, kReceiver, kSender);
+    synack.tcp.seq = kIssReceiver;
+    synack.tcp.ack = kIssSender + 1;
+    synack.tcp.flags.syn = true;
+    synack.tcp.flags.ack = true;
+    synack.tcp.window = receiver_window;
+    synack.tcp.mss_option = kMss;
+    trace.push_back(synack);
+
+    PacketRecord hs_ack = at(20, kSender, kReceiver);
+    hs_ack.tcp.seq = base;
+    hs_ack.tcp.ack = kIssReceiver + 1;
+    hs_ack.tcp.flags.ack = true;
+    hs_ack.tcp.window = kBigWindow;
+    trace.push_back(hs_ack);
+  }
+
+  PacketRecord at(std::int64_t ms, Endpoint src, Endpoint dst) const {
+    PacketRecord rec;
+    rec.timestamp = TimePoint(Duration::millis(ms).count());
+    rec.src = src;
+    rec.dst = dst;
+    return rec;
+  }
+
+  /// One MSS-sized data segment at `off` bytes into the stream.
+  void data(std::int64_t ms, std::uint32_t off, std::uint32_t len = kMss) {
+    PacketRecord rec = at(ms, kSender, kReceiver);
+    rec.tcp.seq = base + off;
+    rec.tcp.ack = kIssReceiver + 1;
+    rec.tcp.flags.ack = true;
+    rec.tcp.flags.psh = true;
+    rec.tcp.window = kBigWindow;
+    rec.tcp.payload_len = len;
+    trace.push_back(rec);
+  }
+
+  /// Pure ack from the receiver cumulatively acking `off` stream bytes.
+  void ack(std::int64_t ms, std::uint32_t off, std::uint32_t window = kBigWindow) {
+    PacketRecord rec = at(ms, kReceiver, kSender);
+    rec.tcp.seq = kIssReceiver + 1;
+    rec.tcp.ack = base + off;
+    rec.tcp.flags.ack = true;
+    rec.tcp.window = window;
+    trace.push_back(rec);
+  }
+
+  /// RST from the sender (announcing an abandoned connection).
+  void rst(std::int64_t ms, std::uint32_t off) {
+    PacketRecord rec = at(ms, kSender, kReceiver);
+    rec.tcp.seq = base + off;
+    rec.tcp.ack = kIssReceiver + 1;
+    rec.tcp.flags.rst = true;
+    rec.tcp.flags.ack = true;
+    rec.tcp.window = kBigWindow;
+    trace.push_back(rec);
+  }
+
+};
+
+Trace finalize(Trace t, const ConformanceScenario& s) {
+  t.meta().local = s.receiver_vantage ? kReceiver : kSender;
+  t.meta().remote = s.receiver_vantage ? kSender : kReceiver;
+  t.meta().role = s.receiver_vantage ? trace::LocalRole::kReceiver
+                                     : trace::LocalRole::kSender;
+  t.meta().label = s.name;
+  return t;
+}
+
+// ---- Sender-vantage scripts ----------------------------------------------
+
+Trace slow_start(bool violate) {
+  Script s;
+  // First flight before any data-covering ack: 6 segments breaks the
+  // <= 2 rule; the conforming sender stops at 2.
+  const std::size_t flight = violate ? 6 : 2;
+  for (std::size_t i = 0; i < flight; ++i)
+    s.data(30 + 2 * static_cast<std::int64_t>(i),
+           static_cast<std::uint32_t>(i) * kMss);
+  s.ack(140, static_cast<std::uint32_t>(flight) * kMss);
+  if (!violate) {
+    // Grow past the first flight so the transfer looks alike in volume.
+    s.data(150, 2 * kMss);
+    s.data(152, 3 * kMss);
+    s.ack(260, 4 * kMss);
+  }
+  return s.trace;
+}
+
+Trace offered_window(bool violate) {
+  // The receiver offers only 4096 bytes. After 2 acked segments the
+  // compliance bound is ack + 4096 + 2*mss = ack + 7016 bytes: the fifth
+  // in-flight segment (ending 7300 bytes past the ack) exceeds it.
+  Script s(/*receiver_window=*/4096);
+  s.data(30, 0);
+  s.data(32, kMss);
+  s.ack(140, 2 * kMss, 4096);
+  const std::size_t burst = violate ? 5 : 4;
+  for (std::size_t i = 0; i < burst; ++i)
+    s.data(150 + 2 * static_cast<std::int64_t>(i),
+           (2 + static_cast<std::uint32_t>(i)) * kMss);
+  s.ack(280, (2 + static_cast<std::uint32_t>(burst)) * kMss, 4096);
+  return s.trace;
+}
+
+/// Shared opening for the retransmission scripts: one acked segment pins a
+/// clean 100 ms RTT sample, then segment #2 (bytes mss..2*mss) goes out at
+/// t=140 ms and is retransmitted by the scenario body.
+Script retx_prelude() {
+  Script s;
+  s.data(30, 0);
+  s.ack(130, kMss);
+  s.data(140, kMss);
+  return s;
+}
+
+Trace premature_retx(bool violate) {
+  Script s = retx_prelude();
+  // Violation: retransmit after 20 ms -- far below the 100 ms measured
+  // RTT, with no duplicate acks to justify it. Conforming: wait a full
+  // timeout (1000 ms).
+  s.data(violate ? 160 : 1140, kMss);
+  s.ack(violate ? 260 : 1240, 2 * kMss);
+  return s.trace;
+}
+
+Trace backoff(bool violate) {
+  Script s = retx_prelude();
+  // Three retransmissions of the same segment give one gap ratio:
+  // constant 1000 ms gaps (ratio 1.0) break the >= 1.5x rule; 1500 then
+  // 3000 ms (ratio 2.0) conforms.
+  s.data(1140, kMss);
+  s.data(violate ? 2140 : 2640, kMss);
+  s.data(violate ? 3140 : 5640, kMss);
+  s.ack(violate ? 3240 : 5740, 2 * kMss);
+  return s.trace;
+}
+
+Trace timeout_restart(bool violate) {
+  Script s = retx_prelude();
+  // After the timeout retransmission, a conservative sender restarts with
+  // at most 3 segments in flight before the next ack; the violator pushes
+  // 4 (the Linux 1.0 storm shape, scaled down).
+  s.data(1140, kMss);  // the timeout retransmission itself
+  const std::size_t extra = violate ? 3 : 2;
+  for (std::size_t i = 0; i < extra; ++i)
+    s.data(1150 + 10 * static_cast<std::int64_t>(i),
+           (2 + static_cast<std::uint32_t>(i)) * kMss);
+  s.ack(1270, (2 + static_cast<std::uint32_t>(extra)) * kMss);
+  return s.trace;
+}
+
+Trace abort_rst(bool violate) {
+  Script s = retx_prelude();
+  // A dead path: four unanswered retransmissions with exponential gaps
+  // (so the backoff check passes), then the sender gives up. A conformant
+  // stack announces the abort with a RST; the violator goes silent.
+  s.data(1140, kMss);
+  s.data(3140, kMss);
+  s.data(7140, kMss);
+  s.data(15140, kMss);
+  if (!violate) s.rst(15200, 2 * kMss);
+  return s.trace;
+}
+
+// ---- Receiver-vantage scripts --------------------------------------------
+
+Trace ack_delay(bool violate) {
+  Script s;
+  // One segment arrives at t=30 ms; the 500 ms delayed-ack ceiling allows
+  // an ack by ~530 ms. Acking at 830 ms violates it, 130 ms conforms.
+  s.data(30, 0);
+  s.ack(violate ? 830 : 130, kMss);
+  return s.trace;
+}
+
+Trace ack_stretch(bool violate) {
+  Script s;
+  if (violate) {
+    // Six full-sized segments acked only once: two stretches beyond the
+    // 2-segment rule, while the ack itself stays prompt.
+    for (std::uint32_t i = 0; i < 6; ++i)
+      s.data(30 + 5 * static_cast<std::int64_t>(i), i * kMss);
+    s.ack(65, 6 * kMss);
+  } else {
+    for (std::uint32_t pair = 0; pair < 3; ++pair) {
+      const std::int64_t t = 30 + 25 * static_cast<std::int64_t>(pair);
+      s.data(t, (2 * pair) * kMss);
+      s.data(t + 5, (2 * pair + 1) * kMss);
+      s.ack(t + 15, (2 * pair + 2) * kMss);
+    }
+  }
+  return s.trace;
+}
+
+Trace ooo_dupack(bool violate) {
+  Script s;
+  // Segment 3 arrives before segment 2: a duplicate ack is mandatory.
+  // Sending it 250 ms later misses the obligation; 5 ms conforms.
+  s.data(30, 0);
+  s.ack(35, kMss);
+  s.data(50, 2 * kMss);               // out of order: segment 2 missing
+  s.ack(violate ? 300 : 55, kMss);    // the (late?) duplicate ack
+  s.data(320, kMss);                  // the hole fills
+  s.ack(330, 3 * kMss);
+  return s.trace;
+}
+
+}  // namespace
+
+const std::vector<ConformanceScenario>& conformance_scenarios() {
+  static const std::vector<ConformanceScenario> kScenarios = {
+      {"conf_slow_start_violate", "RFC1122-4.2.2.15-slow-start", true, false},
+      {"conf_slow_start_conform", "RFC1122-4.2.2.15-slow-start", false, false},
+      {"conf_offered_window_violate", "RFC793-3.7-offered-window", true, false},
+      {"conf_offered_window_conform", "RFC793-3.7-offered-window", false, false},
+      {"conf_premature_retx_violate", "RFC1122-4.2.3.1-premature-retx", true, false},
+      {"conf_premature_retx_conform", "RFC1122-4.2.3.1-premature-retx", false, false},
+      {"conf_backoff_violate", "RFC1122-4.2.3.1-backoff", true, false},
+      {"conf_backoff_conform", "RFC1122-4.2.3.1-backoff", false, false},
+      {"conf_timeout_restart_violate", "RFC2001-4-timeout-restart", true, false},
+      {"conf_timeout_restart_conform", "RFC2001-4-timeout-restart", false, false},
+      {"conf_abort_rst_violate", "RFC793-3.8-abort-rst", true, false},
+      {"conf_abort_rst_conform", "RFC793-3.8-abort-rst", false, false},
+      {"conf_ack_delay_violate", "RFC1122-4.2.3.2-ack-delay", true, true},
+      {"conf_ack_delay_conform", "RFC1122-4.2.3.2-ack-delay", false, true},
+      {"conf_ack_stretch_violate", "RFC1122-4.2.3.2-ack-stretch", true, true},
+      {"conf_ack_stretch_conform", "RFC1122-4.2.3.2-ack-stretch", false, true},
+      {"conf_ooo_dupack_violate", "RFC5681-3.2-ooo-dupack", true, true},
+      {"conf_ooo_dupack_conform", "RFC5681-3.2-ooo-dupack", false, true},
+  };
+  return kScenarios;
+}
+
+trace::Trace make_conformance_trace(const ConformanceScenario& scenario) {
+  const std::string name = scenario.name;
+  Trace built;
+  if (name.find("slow_start") != std::string::npos)
+    built = slow_start(scenario.violate);
+  else if (name.find("offered_window") != std::string::npos)
+    built = offered_window(scenario.violate);
+  else if (name.find("premature_retx") != std::string::npos)
+    built = premature_retx(scenario.violate);
+  else if (name.find("backoff") != std::string::npos)
+    built = backoff(scenario.violate);
+  else if (name.find("timeout_restart") != std::string::npos)
+    built = timeout_restart(scenario.violate);
+  else if (name.find("abort_rst") != std::string::npos)
+    built = abort_rst(scenario.violate);
+  else if (name.find("ack_delay") != std::string::npos)
+    built = ack_delay(scenario.violate);
+  else if (name.find("ack_stretch") != std::string::npos)
+    built = ack_stretch(scenario.violate);
+  else if (name.find("ooo_dupack") != std::string::npos)
+    built = ooo_dupack(scenario.violate);
+  else
+    throw std::invalid_argument("unknown conformance scenario: " + name);
+  return finalize(std::move(built), scenario);
+}
+
+}  // namespace tcpanaly::sim

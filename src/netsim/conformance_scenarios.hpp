@@ -1,0 +1,38 @@
+// Hand-scripted violation traces for the conformance requirement registry:
+// for every registered requirement, one trace that deliberately breaks it
+// and one that exercises it and conforms. make_corpus writes these next to
+// the simulated implementation corpus (recording which requirement each
+// one violates in the manifest) so the batch roll-up and the tier-1
+// conformance leg can assert the full matrix -- a violating and a
+// conforming capture per requirement.
+//
+// The traces are built packet by packet rather than through the simulator:
+// a violation scenario must break exactly ONE requirement, and scripting
+// the segments directly is the only way to pin that down (a misbehaving
+// simulated stack tends to trip several checks at once). This layer may
+// not depend on core/, so requirement IDs are carried as strings; the
+// registry-coverage test asserts they match core::requirement_registry().
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tcpanaly::sim {
+
+struct ConformanceScenario {
+  const char* name;            ///< corpus file stem, e.g. "conf_slow_start_violate"
+  const char* requirement_id;  ///< core requirement this scenario targets
+  bool violate;                ///< true => the trace fails exactly this requirement
+  bool receiver_vantage;       ///< trace is taken at the data receiver
+};
+
+/// The scenario table: every registered requirement appears exactly twice,
+/// once violating and once conforming.
+const std::vector<ConformanceScenario>& conformance_scenarios();
+
+/// Build the scripted trace for one scenario. Meta is fully set (local =
+/// the vantage endpoint, role matching receiver_vantage, label = name).
+trace::Trace make_conformance_trace(const ConformanceScenario& scenario);
+
+}  // namespace tcpanaly::sim

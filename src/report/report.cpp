@@ -62,30 +62,26 @@ Json AnalysisReport::to_json() const {
 
 core::CleanedTrace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
                                 const std::vector<tcp::TcpProfile>& candidates,
-                                const core::MatchOptions& opts, bool run_match) {
-  // Annotate + calibrate through the core facade (one shared layer-1
-  // annotation); matching is deferred below so the summarize/conformance
-  // stages keep their place in the timing sequence.
-  core::AnalyzeOptions aopts;
-  aopts.match = opts;
+                                const core::AnalyzeOptions& opts, bool run_match) {
+  // Annotate + calibrate + conformance through the core facade (one shared
+  // layer-1 annotation; the conformance vector is computed there over the
+  // cleaned view); matching is deferred below so the summarize stage keeps
+  // its place in the timing sequence.
+  core::AnalyzeOptions aopts = opts;
   aopts.run_match = false;
   core::TraceAnalysis analysis =
       core::analyze_trace(trace, candidates, aopts, &doc.timings);
   doc.calibration = std::move(analysis.calibration);
+  doc.conformance = std::move(analysis.conformance);
   {
     auto scope = doc.timings.stage("summarize");
     doc.summary = core::summarize(trace);
-  }
-  {
-    auto scope = doc.timings.stage("conformance");
-    doc.conformance = core::check_conformance(trace);
-    scope.counter("checks", doc.conformance->checks.size());
   }
   if (run_match) {
     {
       auto scope = doc.timings.stage("match");
       doc.match =
-          core::match_implementations(*analysis.annotation, candidates, opts);
+          core::match_implementations(*analysis.annotation, candidates, opts.match);
       scope.counter("candidates", candidates.size());
     }
     for (const auto& fit : doc.match->fits)
@@ -125,6 +121,8 @@ Json BatchFlowRecord::to_json() const {
     best.set("fit", best_fit);
     best.set("penalty", best_penalty);
     doc.set("best", std::move(best));
+    if (!truth.empty()) doc.set("truth", truth);
+    if (conformance) doc.set("conformance", core::to_json(*conformance));
   }
   return doc;
 }
@@ -152,6 +150,10 @@ Json BatchTraceRecord::to_json() const {
       doc.set("best", std::move(best));
       if (!trace.truth.empty()) doc.set("identified", identified);
     }
+    Json conf = Json::object();
+    conf.set("must_failures", conformance_must_failures);
+    conf.set("should_failures", conformance_should_failures);
+    doc.set("conformance", std::move(conf));
   }
   doc.set("timings", core::to_json(timings));
   return doc;
@@ -166,6 +168,27 @@ Json to_json(const GateCounts& gate) {
   return j;
 }
 
+Json to_json(const ConformanceRequirementCount& row) {
+  Json j = Json::object();
+  j.set("id", row.id);
+  j.set("level", row.level);
+  j.set("pass", row.pass);
+  j.set("fail", row.fail);
+  j.set("not_exercised", row.not_exercised);
+  return j;
+}
+
+Json to_json(const ConformanceCounts& counts) {
+  Json j = Json::object();
+  j.set("flows", counts.flows);
+  j.set("must_failures", counts.must_failures);
+  j.set("should_failures", counts.should_failures);
+  Json rows = Json::array();
+  for (const auto& r : counts.requirements) rows.push_back(report::to_json(r));
+  j.set("requirements", std::move(rows));
+  return j;
+}
+
 Json BatchAggregate::to_json() const {
   Json doc = document_header("aggregate");
   doc.set("traces_analyzed", traces_analyzed);
@@ -177,6 +200,7 @@ Json BatchAggregate::to_json() const {
   doc.set("flows", report::to_json(flows));
   doc.set("key_collisions", key_collisions);
   doc.set("mem_gate", report::to_json(mem_gate));
+  doc.set("conformance", report::to_json(conformance));
   doc.set("timings", core::to_json(timings));
   return doc;
 }
@@ -201,6 +225,7 @@ Json DaemonStatsRecord::to_json() const {
   doc.set("mem_gate", report::to_json(mem_gate));
   doc.set("rows_written", rows_written);
   doc.set("output_rotations", output_rotations);
+  doc.set("conformance", report::to_json(conformance));
   Json stages = Json::array();
   for (const auto& s : stage_totals) {
     Json row = Json::object();

@@ -42,9 +42,18 @@ namespace tcpanaly::report {
 // cumulative per-stage timings); "aggregate" gains a `mem_gate` object
 // making --max-rss-mb admission decisions visible. "flow"/"trace" rows are
 // unchanged, so schema-4 consumers of those rows keep working.
-inline constexpr int kSchemaVersion = 5;
+//
+// Schema 6: conformance is a first-class output. "flow" rows carry the
+// flow's full MUST/SHOULD requirement vector (stable IDs from
+// core::requirement_registry) plus the capture's ground truth when known;
+// "trace" rows, "aggregate", and "daemon_stats" carry a `conformance`
+// object with MUST/SHOULD failure counts, the latter two also folding
+// per-requirement pass/fail/not-exercised totals. The "analysis"
+// document's `conformance` section switches from the flat check list to
+// the registry vector ({id, level, title, reference, verdict, evidence}).
+inline constexpr int kSchemaVersion = 6;
 inline constexpr const char* kToolName = "tcpanaly";
-inline constexpr const char* kToolVersion = "0.6.0";
+inline constexpr const char* kToolVersion = "0.7.0";
 
 /// What `tcpanaly --version` prints: "tcpanaly 0.4.0 (report schema 3)".
 std::string version_line();
@@ -92,7 +101,7 @@ struct AnalysisReport {
 /// matcher when `run_match` is false (--calibrate-only).
 core::CleanedTrace run_analysis(AnalysisReport& doc, const trace::Trace& trace,
                                 const std::vector<tcp::TcpProfile>& candidates,
-                                const core::MatchOptions& opts = {},
+                                const core::AnalyzeOptions& opts = {},
                                 bool run_match = true);
 
 /// Flow accounting for one capture or a whole batch. Invariant (checked by
@@ -129,6 +138,11 @@ struct BatchFlowRecord {
   std::string best_name;
   std::string best_fit;
   double best_penalty = 0.0;
+  /// Capture-level ground truth (make_corpus naming); empty otherwise.
+  std::string truth;
+  /// The flow's MUST/SHOULD requirement vector (registry order), from the
+  /// incremental evaluator -- present iff the flow was analyzable.
+  std::optional<core::ConformanceReport> conformance;
 
   std::string key() const { return file + "#" + src + "-" + dst; }
   Json to_json() const;
@@ -148,6 +162,9 @@ struct BatchTraceRecord {
   std::string best_fit;
   double best_penalty = 0.0;
   bool identified = false;  ///< meaningful only when trace.truth is set
+  /// MUST/SHOULD failures summed over the capture's analyzable flows.
+  std::uint64_t conformance_must_failures = 0;
+  std::uint64_t conformance_should_failures = 0;
   util::StageTimer timings;
 
   Json to_json() const;
@@ -166,6 +183,32 @@ struct GateCounts {
 
 Json to_json(const GateCounts& gate);
 
+/// Per-requirement verdict totals folded over many flows -- one row of the
+/// corpus conformance matrix (corpus::ConformanceRollup digests these
+/// further per implementation; the aggregate/daemon rows sum across
+/// implementations).
+struct ConformanceRequirementCount {
+  std::string id;     ///< stable registry ID
+  std::string level;  ///< "MUST" / "SHOULD"
+  std::uint64_t pass = 0;
+  std::uint64_t fail = 0;
+  std::uint64_t not_exercised = 0;
+};
+
+Json to_json(const ConformanceRequirementCount& row);
+
+/// Conformance totals for an aggregate/daemon_stats document: how many
+/// flows contributed vectors, their failure counts by level, and the
+/// per-requirement fold.
+struct ConformanceCounts {
+  std::uint64_t flows = 0;  ///< analyzable flows with a conformance vector
+  std::uint64_t must_failures = 0;
+  std::uint64_t should_failures = 0;
+  std::vector<ConformanceRequirementCount> requirements;  ///< registry order
+};
+
+Json to_json(const ConformanceCounts& counts);
+
 /// The batch run's closing document.
 struct BatchAggregate {
   std::size_t traces_analyzed = 0;
@@ -179,6 +222,7 @@ struct BatchAggregate {
   std::size_t key_collisions = 0;
   unsigned workers = 0;
   GateCounts mem_gate;
+  ConformanceCounts conformance;
   util::StageTimer timings;
 
   Json to_json() const;
@@ -220,6 +264,7 @@ struct DaemonStatsRecord {
   // Result stream accounting.
   std::uint64_t rows_written = 0;
   std::uint64_t output_rotations = 0;
+  ConformanceCounts conformance;
   std::vector<DaemonStageTotal> stage_totals;
 
   Json to_json() const;

@@ -1,0 +1,137 @@
+// Requirement-registry contract tests: stable unique IDs, full scenario
+// coverage (every registered requirement has a deliberately violating AND
+// a conforming corpus trace), violation scenarios fail exactly their
+// target requirement, and the streaming evaluator's verdicts are
+// bit-identical to the materialized checker over the whole scenario grid.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/conformance.hpp"
+#include "core/stream_analysis.hpp"
+#include "netsim/conformance_scenarios.hpp"
+#include "trace/record_source.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+TEST(ConformanceRegistry, StableUniqueIds) {
+  const auto& registry = requirement_registry();
+  ASSERT_FALSE(registry.empty());
+  std::set<std::string> ids;
+  for (const auto& req : registry) {
+    ASSERT_NE(req.id, nullptr);
+    EXPECT_TRUE(ids.insert(req.id).second) << "duplicate id " << req.id;
+    EXPECT_NE(std::string(req.id), "");
+    EXPECT_NE(std::string(req.title), "");
+    EXPECT_NE(std::string(req.reference), "");
+    // IDs lead with the governing document, e.g. "RFC1122-...".
+    EXPECT_EQ(std::string(req.id).rfind("RFC", 0), 0u) << req.id;
+    EXPECT_EQ(find_requirement(req.id), &req);
+  }
+  EXPECT_EQ(find_requirement("no-such-requirement"), nullptr);
+}
+
+TEST(ConformanceRegistry, LevelsSplitMustAndShould) {
+  std::size_t must = 0, should = 0;
+  for (const auto& req : requirement_registry())
+    (req.level == Level::kMust ? must : should) += 1;
+  EXPECT_GT(must, 0u);
+  EXPECT_GT(should, 0u);
+}
+
+TEST(ConformanceRegistry, ScenarioMatrixCoversEveryRequirement) {
+  // id -> (violating count, conforming count)
+  std::map<std::string, std::pair<int, int>> coverage;
+  for (const auto& s : sim::conformance_scenarios()) {
+    ASSERT_NE(find_requirement(s.requirement_id), nullptr)
+        << s.name << " targets unregistered requirement " << s.requirement_id;
+    auto& [violating, conforming] = coverage[s.requirement_id];
+    (s.violate ? violating : conforming) += 1;
+  }
+  for (const auto& req : requirement_registry()) {
+    const auto it = coverage.find(req.id);
+    ASSERT_NE(it, coverage.end()) << "no scenario for " << req.id;
+    EXPECT_GE(it->second.first, 1) << "no violating scenario for " << req.id;
+    EXPECT_GE(it->second.second, 1) << "no conforming scenario for " << req.id;
+  }
+}
+
+TEST(ConformanceRegistry, ReportsAlwaysCoverTheWholeRegistryInOrder) {
+  for (const auto& s : sim::conformance_scenarios()) {
+    const ConformanceReport rep =
+        check_conformance(sim::make_conformance_trace(s));
+    const auto& registry = requirement_registry();
+    ASSERT_EQ(rep.results.size(), registry.size()) << s.name;
+    for (std::size_t i = 0; i < registry.size(); ++i)
+      EXPECT_EQ(rep.results[i].requirement, &registry[i]) << s.name;
+  }
+}
+
+TEST(ConformanceRegistry, ViolationScenariosFailExactlyTheirRequirement) {
+  for (const auto& s : sim::conformance_scenarios()) {
+    if (!s.violate) continue;
+    const ConformanceReport rep =
+        check_conformance(sim::make_conformance_trace(s));
+    for (const auto& r : rep.results) {
+      if (std::string(r.requirement->id) == s.requirement_id)
+        EXPECT_EQ(r.verdict, Verdict::kFail)
+            << s.name << ": " << r.requirement->id << "\n" << rep.render();
+      else
+        EXPECT_NE(r.verdict, Verdict::kFail)
+            << s.name << " also fails " << r.requirement->id << "\n"
+            << rep.render();
+    }
+  }
+}
+
+TEST(ConformanceRegistry, ConformingScenariosExerciseAndPassTheirRequirement) {
+  for (const auto& s : sim::conformance_scenarios()) {
+    if (s.violate) continue;
+    const ConformanceReport rep =
+        check_conformance(sim::make_conformance_trace(s));
+    EXPECT_EQ(rep.failures(), 0u) << s.name << "\n" << rep.render();
+    const RequirementResult* target = rep.find(s.requirement_id);
+    ASSERT_NE(target, nullptr) << s.name;
+    EXPECT_EQ(target->verdict, Verdict::kPass)
+        << s.name << "\n" << rep.render();
+  }
+}
+
+/// Streaming (kFull and kBounded) verdicts must be bit-identical to the
+/// materialized checker over every scenario trace -- these traces are
+/// small enough that bounded mode never evicts, so conformance_is_exact
+/// must hold everywhere.
+TEST(ConformanceRegistry, StreamingVerdictsMatchMaterializedChecker) {
+  for (const auto& s : sim::conformance_scenarios()) {
+    const trace::Trace tr = sim::make_conformance_trace(s);
+    const ConformanceReport offline = check_conformance(tr);
+    for (const auto mode :
+         {AnnotationBuilder::Mode::kFull, AnnotationBuilder::Mode::kBounded}) {
+      AnnotationBuilder::Options bopts;
+      bopts.mode = mode;
+      bopts.local_is_sender = !s.receiver_vantage;
+      AnnotationBuilder builder(std::move(bopts));
+      trace::InMemorySource source(tr);
+      while (auto rec = source.next()) builder.add(*rec);
+      const StreamSummary summary = builder.finish_summary();
+      EXPECT_TRUE(summary.conformance_is_exact) << s.name;
+      ASSERT_EQ(summary.conformance.results.size(), offline.results.size())
+          << s.name;
+      for (std::size_t i = 0; i < offline.results.size(); ++i) {
+        EXPECT_EQ(summary.conformance.results[i].verdict,
+                  offline.results[i].verdict)
+            << s.name << " " << offline.results[i].requirement->id;
+        EXPECT_EQ(summary.conformance.results[i].evidence,
+                  offline.results[i].evidence)
+            << s.name << " " << offline.results[i].requirement->id;
+      }
+      EXPECT_EQ(diff_stream_summary(summary, tr), "") << s.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

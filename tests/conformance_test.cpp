@@ -11,9 +11,10 @@ namespace tcpanaly::core {
 namespace {
 
 Verdict verdict_of(const ConformanceReport& rep, const std::string& needle) {
-  for (const auto& c : rep.checks)
-    if (c.requirement.find(needle) != std::string::npos) return c.verdict;
-  ADD_FAILURE() << "no check matching '" << needle << "'";
+  for (const auto& c : rep.results)
+    if (std::string(c.requirement->title).find(needle) != std::string::npos)
+      return c.verdict;
+  ADD_FAILURE() << "no requirement whose title matches '" << needle << "'";
   return Verdict::kNotExercised;
 }
 

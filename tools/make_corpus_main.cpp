@@ -8,9 +8,17 @@
 // manifest.json (the report subsystem's schema, one entry per trace with
 // the full scenario parameters).
 //
+// Alongside the simulated sweep, the conformance scenario set is always
+// written: for every requirement in core::requirement_registry(), one
+// scripted trace that violates exactly that requirement and one that
+// exercises it and conforms (conf_*.pcap). Their manifest.json entries
+// carry `conformance_scenario` (the scenario name) and, on violating
+// traces, `violates` (the requirement ID), so the tier-1 conformance leg
+// keys off the manifest instead of parsing file names.
+//
 // Usage:
 //   make_corpus <output-dir> [--impl <name>] [--seeds N] [--transfer BYTES]
-//               [--jobs N]
+//               [--jobs N] [--skip-conformance]
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -19,6 +27,7 @@
 
 #include "corpus/corpus.hpp"
 #include "corpus/naming.hpp"
+#include "netsim/conformance_scenarios.hpp"
 #include "report/report.hpp"
 #include "tcp/profiles.hpp"
 #include "trace/pcap_io.hpp"
@@ -28,11 +37,14 @@ using namespace tcpanaly;
 int main(int argc, char** argv) {
   std::string out_dir;
   std::string only_impl;
+  bool skip_conformance = false;
   corpus::CorpusOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--impl" && i + 1 < argc) {
       only_impl = argv[++i];
+    } else if (arg == "--skip-conformance") {
+      skip_conformance = true;
     } else if (arg == "--seeds" && i + 1 < argc) {
       opts.seeds_per_cell = std::atoi(argv[++i]);
     } else if (arg == "--transfer" && i + 1 < argc) {
@@ -42,7 +54,7 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <output-dir> [--impl <name>] [--seeds N] "
-                   "[--transfer BYTES] [--jobs N]\n",
+                   "[--transfer BYTES] [--jobs N] [--skip-conformance]\n",
                    argv[0]);
       return 2;
     } else {
@@ -102,6 +114,26 @@ int main(int argc, char** argv) {
       };
       emit("snd", entry.result.sender_trace);
       emit("rcv", entry.result.receiver_trace);
+    }
+  }
+
+  if (!skip_conformance) {
+    for (const auto& s : sim::conformance_scenarios()) {
+      const char* role = s.receiver_vantage ? "rcv" : "snd";
+      const std::string path =
+          out_dir + "/" + s.name + "_" + role + ".pcap";
+      trace::write_pcap_file(path, sim::make_conformance_trace(s));
+      // TSV columns keep their shape; the scripted traces have no loss/
+      // delay/rate scenario, so those cells are zero.
+      manifest << path << '\t' << role << '\t' << s.name << "\t0\t0\t0\t0\t1\n";
+      report::Json e = report::Json::object();
+      e.set("file", path);
+      e.set("vantage", role);
+      e.set("conformance_scenario", s.name);
+      if (s.violate) e.set("violates", s.requirement_id);
+      e.set("completed", true);
+      traces.push_back(std::move(e));
+      ++files;
     }
   }
 

@@ -45,7 +45,17 @@
 //   --candidates a,b,c   comma-separated implementation names to test
 //                        (default: all known; --list shows them)
 //   --summary            print per-connection statistics (tcptrace-style)
-//   --conformance        check RFC1122/[Ja88] requirements observable here
+//   --conformance        render the flow's RFC1122/[Ja88] requirement
+//                        vector (stable IDs, MUST/SHOULD levels)
+//   --conformance-slack-ms N
+//                        timing slack for conformance checks (default 30):
+//                        how much measured delays may exceed a requirement's
+//                        bound before it FAILs
+//   --fail-on-nonconformant[=must|should]
+//                        with --batch: exit non-zero when any flow failed a
+//                        MUST requirement (=should also counts SHOULD
+//                        failures); composes with --keep-going, which only
+//                        forgives load failures
 //   --calibrate-only     stop after the measurement-error report
 //   --seqplot            print an ASCII time-sequence plot of the trace
 //   --report <name>      print the detailed report for one candidate
@@ -75,6 +85,7 @@
 #include "core/receiver_analyzer.hpp"
 #include "core/sender_analyzer.hpp"
 #include "core/summary.hpp"
+#include "corpus/conformance_rollup.hpp"
 #include "corpus/naming.hpp"
 #include "corpus/scan.hpp"
 #include "daemon/capture_job.hpp"
@@ -167,9 +178,13 @@ std::vector<tcp::TcpProfile> parse_candidates(const std::string& arg, bool* ok) 
 // tcpanalyd schedules -- fanned out over a util::Scheduler, so --batch is
 // a thin one-shot client of the daemon's engine.
 
+/// --fail-on-nonconformant levels.
+enum class FailOn { kNone, kMust, kShould };
+
 int run_batch(const std::string& dir, bool receiver_flag,
               const std::vector<tcp::TcpProfile>& candidates, int jobs, bool recursive,
-              std::uint64_t max_rss_mb, bool keep_going, const JsonSink& json) {
+              std::uint64_t max_rss_mb, bool keep_going, FailOn fail_on,
+              const core::ConformanceOptions& conformance, const JsonSink& json) {
   namespace fs = std::filesystem;
   report::BatchAggregate agg;
   corpus::ScanResult scan;
@@ -208,6 +223,7 @@ int run_batch(const std::string& dir, bool receiver_flag,
   jopts.candidates = candidates;
   jopts.receiver_fallback = receiver_flag;
   jopts.analyze.match.jobs = 1;
+  jopts.analyze.conformance = conformance;
   util::MemGate gate(max_rss_mb * (1024ull * 1024ull));
   util::MemTracker stream_mem;
   jopts.gate = &gate;
@@ -239,7 +255,11 @@ int run_batch(const std::string& dir, bool receiver_flag,
   util::TextTable table({"file", "role", "records", "flows", "calibration", "best match",
                          "fit", "penalty", "truth", "error"});
   std::size_t failed = 0, with_truth = 0, identified = 0, confused = 0;
+  corpus::ConformanceRollup rollup;
   for (const auto& row : rows) {
+    for (const auto& fr : row.flow_rows)
+      if (fr.conformance)
+        rollup.add(!fr.truth.empty() ? fr.truth : fr.best_name, *fr.conformance);
     const report::BatchTraceRecord& rec = row.trace;
     if (row.failed()) {
       ++failed;
@@ -291,6 +311,15 @@ int run_batch(const std::string& dir, bool receiver_flag,
                 (unsigned long long)agg.flows.mid_stream,
                 (unsigned long long)agg.flows.degenerate);
   }
+  agg.conformance = rollup.totals();
+  if (!json.owns_stdout() && !rollup.empty()) {
+    std::printf("\n== conformance matrix (%llu flow(s): %llu MUST, %llu SHOULD "
+                "failure(s)) ==\n%s",
+                (unsigned long long)agg.conformance.flows,
+                (unsigned long long)agg.conformance.must_failures,
+                (unsigned long long)agg.conformance.should_failures,
+                rollup.render().c_str());
+  }
 
   if (json.enabled) {
     // NDJSON: per file, one compact "flow" row per finalized connection
@@ -319,6 +348,20 @@ int run_batch(const std::string& dir, bool receiver_flag,
     }
     out += agg.to_json().dump() + "\n";
     if (!write_json(json, out)) return 1;
+  }
+  // --fail-on-nonconformant turns conformance failures into the exit code
+  // independently of --keep-going, which only forgives load failures.
+  if (fail_on != FailOn::kNone) {
+    const bool nonconformant =
+        agg.conformance.must_failures > 0 ||
+        (fail_on == FailOn::kShould && agg.conformance.should_failures > 0);
+    if (nonconformant) {
+      std::fprintf(stderr,
+                   "--fail-on-nonconformant: %llu MUST, %llu SHOULD failure(s)\n",
+                   (unsigned long long)agg.conformance.must_failures,
+                   (unsigned long long)agg.conformance.should_failures);
+      return 4;
+    }
   }
   // Any capture that failed to load fails the run -- CI must notice a
   // corrupt corpus -- unless --keep-going says partial results are fine.
@@ -375,11 +418,14 @@ void print_receiver_report(const core::ReceiverReport& rep) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--receiver] [--candidates a,b,c] [--calibrate-only]\n"
-               "          [--summary] [--json[=FILE]]\n"
+               "          [--summary] [--conformance] [--conformance-slack-ms N]\n"
+               "          [--json[=FILE]]\n"
                "          [--seqplot] [--report <impl>] [--strip-duplicates out.pcap]\n"
                "          [--pair other.pcap] [--list] [--version] <trace.pcap>\n"
                "       %s --batch <dir> [--jobs N] [--recursive] [--max-rss-mb N]\n"
-               "          [--keep-going] [--receiver] [--candidates a,b,c] [--json[=FILE]]\n",
+               "          [--keep-going] [--fail-on-nonconformant[=must|should]]\n"
+               "          [--conformance-slack-ms N] [--receiver] [--candidates a,b,c]\n"
+               "          [--json[=FILE]]\n",
                argv0, argv0);
   return 2;
 }
@@ -390,6 +436,7 @@ struct CliOptions {
   bool seqplot = false;
   bool summary = false;
   bool conformance = false;
+  core::ConformanceOptions conformance_opts;
   std::string report_name;
   std::string strip_out;
   std::string pair_path;
@@ -441,9 +488,10 @@ int run_single(const CliOptions& o, const std::vector<tcp::TcpProfile>& candidat
                 loaded.trace.meta().remote.to_string().c_str());
   }
 
-  core::MatchOptions mopts;
+  core::AnalyzeOptions aopts;
+  aopts.conformance = o.conformance_opts;
   core::CleanedTrace cleaned =
-      report::run_analysis(doc, loaded.trace, candidates, mopts,
+      report::run_analysis(doc, loaded.trace, candidates, aopts,
                            /*run_match=*/!o.calibrate_only);
 
   if (o.summary && !quiet)
@@ -533,6 +581,7 @@ int main(int argc, char** argv) {
   int jobs = 0;
   bool recursive = false;
   bool keep_going = false;
+  FailOn fail_on = FailOn::kNone;
   std::uint64_t max_rss_mb = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -550,6 +599,15 @@ int main(int argc, char** argv) {
       o.summary = true;
     } else if (arg == "--conformance") {
       o.conformance = true;
+    } else if (arg == "--conformance-slack-ms" && i + 1 < argc) {
+      const long long ms = std::atoll(argv[++i]);
+      if (ms < 0) return usage(argv[0]);
+      o.conformance_opts.timing_slack = util::Duration::millis(ms);
+    } else if (arg == "--fail-on-nonconformant" ||
+               arg == "--fail-on-nonconformant=must") {
+      fail_on = FailOn::kMust;
+    } else if (arg == "--fail-on-nonconformant=should") {
+      fail_on = FailOn::kShould;
     } else if (arg == "--seqplot") {
       o.seqplot = true;
     } else if (arg == "--json") {
@@ -595,6 +653,6 @@ int main(int argc, char** argv) {
 
   if (!batch_dir.empty())
     return run_batch(batch_dir, o.receiver_side, candidates, jobs, recursive, max_rss_mb,
-                     keep_going, o.json);
+                     keep_going, fail_on, o.conformance_opts, o.json);
   return run_single(o, candidates);
 }

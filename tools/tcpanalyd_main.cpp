@@ -34,6 +34,10 @@
 //   --once               drain the spools and exit (non-zero when any
 //                        capture failed) instead of running forever
 //   --candidates a,b,c   implementation names to test (default: all)
+//   --conformance-slack-ms N
+//                        timing slack for the per-flow conformance checks
+//                        (default 30); the roll-up appears in STATUS and
+//                        every daemon_stats heartbeat row
 //   --receiver           vantage fallback for files whose name does not
 //                        encode it: local host is the data RECEIVER
 //   --client PATH CMD    act as a client: send one command line to the
@@ -60,7 +64,7 @@ int usage(const char* argv0) {
                "usage: %s [--spool DIR]... [--socket PATH] [--out FILE]\n"
                "          [--rotate-mb N] [--jobs N] [--max-rss-mb N] [--poll-ms N]\n"
                "          [--stats-interval-s S] [--once] [--candidates a,b,c]\n"
-               "          [--receiver] [--version]\n"
+               "          [--conformance-slack-ms N] [--receiver] [--version]\n"
                "       %s --client SOCKET COMMAND [ARG]\n",
                argv0, argv0);
   return 2;
@@ -164,6 +168,10 @@ int main(int argc, char** argv) {
       opts.exit_when_drained = true;
     } else if (arg == "--candidates" && i + 1 < argc) {
       candidates_arg = argv[++i];
+    } else if (arg == "--conformance-slack-ms" && i + 1 < argc) {
+      const long long ms = std::atoll(argv[++i]);
+      if (ms < 0) return usage(argv[0]);
+      opts.analyze.conformance.timing_slack = util::Duration::millis(ms);
     } else if (arg == "--receiver") {
       opts.receiver_fallback = true;
     } else {
