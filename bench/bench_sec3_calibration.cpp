@@ -1,0 +1,188 @@
+// Section 3 calibration cost: the registry refactor routed calibrate()
+// through the incremental CalibrationEvaluator (one pass, plus a second
+// pass on the duplicate-stripped view when additions were found) instead
+// of the four independent materialized detect_* scans it used to run.
+// This bench pins the price of that unification: over a workload mixing
+// simulated sessions (clean / lossy / window-limited, thousands of
+// records) with the tampering-scenario grid, the registry path must stay
+// within 1.2x of the pre-refactor pass sequence -- re-run here verbatim
+// as the "legacy" leg: time travel, duplication (+strip on hit),
+// resequencing, filter drops, each as its own walk over the trace.
+//
+// The legacy leg has no tampering detectors (they did not exist before
+// the registry), so the comparison charges the registry leg for the
+// three TAMPER-* state machines AND the verdict-vector finalization it
+// now performs -- the honest worst case for the refactor.
+//
+// With --json FILE the measurements are written as a machine-readable
+// document (bench/results/sec3_calibration.json keeps the reference copy).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "netsim/tampering_scenarios.hpp"
+#include "report/report.hpp"
+#include "tcp/session.hpp"
+#include "util/table.hpp"
+
+using namespace tcpanaly;
+using report::Json;
+using trace::Trace;
+
+namespace {
+
+double wall_ms(const std::chrono::steady_clock::time_point t0,
+               const std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// The pre-refactor calibrate(): four materialized scans, with the
+/// resequencing/drop passes re-run on the duplicate-stripped view when the
+/// duplication detector fired (the same two-pass shape calibrate() keeps).
+core::CalibrationReport legacy_calibrate(const Trace& tr) {
+  core::CalibrationReport rep;
+  rep.time_travel = core::detect_time_travel(tr);
+  rep.duplication = core::detect_measurement_duplicates(tr);
+  if (!rep.duplication.duplicate_indices.empty()) {
+    const Trace stripped = core::strip_duplicates(tr, rep.duplication);
+    rep.resequencing = core::detect_resequencing(stripped);
+    rep.drops = core::detect_filter_drops(stripped);
+  } else {
+    rep.resequencing = core::detect_resequencing(tr);
+    rep.drops = core::detect_filter_drops(tr);
+  }
+  return rep;
+}
+
+std::vector<Trace> workload() {
+  std::vector<Trace> out;
+  // Sessions big enough that per-record detector cost dominates: clean,
+  // lossy (retransmissions exercise the drop/reseq machinery), and
+  // window-limited (dense liberating-ack pattern).
+  tcp::SessionConfig clean = tcp::default_session();
+  clean.sender.transfer_bytes = 512 * 1024;
+  tcp::SessionConfig lossy = tcp::default_session();
+  lossy.sender.transfer_bytes = 512 * 1024;
+  lossy.fwd_path.loss_prob = 0.02;
+  lossy.seed = 7;
+  tcp::SessionConfig limited = tcp::default_session();
+  limited.sender.transfer_bytes = 256 * 1024;
+  limited.receiver.recv_buffer = 8 * 1024;
+  for (const auto& cfg : {clean, lossy, limited}) {
+    auto r = tcp::run_session(cfg);
+    out.push_back(std::move(r.sender_trace));
+    out.push_back(std::move(r.receiver_trace));
+  }
+  // The tampering grid: small traces, but they drive every registry
+  // detector through its firing and clean paths.
+  for (const auto& s : sim::tampering_scenarios())
+    out.push_back(sim::make_tampering_trace(s));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int reps = 30;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--reps N] [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== Section 3: calibration registry cost ==\n\n");
+
+  const std::vector<Trace> traces = workload();
+  std::uint64_t records = 0;
+  for (const auto& tr : traces) records += tr.size();
+  std::printf("workload: %zu traces, %llu records, %d reps/leg\n\n",
+              traces.size(), static_cast<unsigned long long>(records), reps);
+
+  // Warm both paths once (page in code, fault the allocator) and sanity
+  // check that the registry path agrees with the legacy scans where they
+  // overlap -- a speedup from computing something different is no speedup.
+  std::uint64_t legacy_findings = 0, registry_findings = 0;
+  for (const auto& tr : traces) {
+    const auto legacy = legacy_calibrate(tr);
+    const auto reg = core::calibrate(tr);
+    legacy_findings += legacy.time_travel.instances.size() +
+                       legacy.duplication.duplicate_indices.size() +
+                       legacy.resequencing.instances.size() +
+                       legacy.drops.findings.size();
+    registry_findings += reg.time_travel.instances.size() +
+                         reg.duplication.duplicate_indices.size() +
+                         reg.resequencing.instances.size() +
+                         reg.drops.findings.size();
+  }
+  const bool agree = legacy_findings == registry_findings;
+
+  const auto l0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r)
+    for (const auto& tr : traces) {
+      const auto rep = legacy_calibrate(tr);
+      if (rep.time_travel.instances.size() > records) std::abort();  // keep it live
+    }
+  const auto l1 = std::chrono::steady_clock::now();
+  const double legacy_ms = wall_ms(l0, l1) / reps;
+
+  const auto g0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r)
+    for (const auto& tr : traces) {
+      const auto rep = core::calibrate(tr);
+      if (rep.detectors.size() != core::calibration_registry().size())
+        std::abort();
+    }
+  const auto g1 = std::chrono::steady_clock::now();
+  const double registry_ms = wall_ms(g0, g1) / reps;
+
+  const double ratio = registry_ms / legacy_ms;
+
+  util::TextTable table({"leg", "wall ms/rep", "detectors", "notes"});
+  table.add_row({"legacy 4-pass", util::strf("%.3f", legacy_ms), "4",
+                 "pre-refactor detect_* sequence"});
+  table.add_row({"registry calibrate()", util::strf("%.3f", registry_ms),
+                 util::strf("%zu", core::calibration_registry().size()),
+                 "evaluator + tampering + verdict vector"});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("wall ratio (registry / legacy): %.3f  [budget 1.2]\n", ratio);
+  std::printf("overlapping findings agree: %s (%llu)\n", agree ? "yes" : "NO",
+              static_cast<unsigned long long>(registry_findings));
+
+  if (!json_path.empty()) {
+    Json doc = report::document_header("bench");
+    doc.set("bench", "sec3_calibration");
+    doc.set("traces", static_cast<std::uint64_t>(traces.size()));
+    doc.set("records", records);
+    doc.set("reps", static_cast<std::uint64_t>(reps));
+    doc.set("registry_detectors",
+            static_cast<std::uint64_t>(core::calibration_registry().size()));
+    doc.set("legacy_wall_ms", legacy_ms);
+    doc.set("registry_wall_ms", registry_ms);
+    doc.set("wall_ratio", ratio);
+    doc.set("budget_ratio", 1.2);
+    doc.set("within_budget", ratio <= 1.2);
+    doc.set("overlapping_findings_agree", agree);
+    doc.set("overlapping_findings", registry_findings);
+    std::ofstream out(json_path);
+    out << doc.dump(2) << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote bench JSON to %s\n", json_path.c_str());
+  }
+  return agree && ratio <= 1.2 ? 0 : 1;
+}

@@ -314,6 +314,92 @@ for impl in doc["implementations"]:
     assert all(v in ("PASS", "FAIL", "not exercised") for v in verdicts.values())
 PYEOF
   echo "conformance leg OK (scenario matrix, fail-on-nonconformant, bench evidence)"
+
+  # Calibration leg: make_corpus also emits one violating and one clean
+  # scripted trace per registered calibration detector (the section-3
+  # filter-error classes plus the TAMPER-* middlebox detectors), recording
+  # each trace's target detector in manifest.json. Assert -- keyed off the
+  # manifest, never off file names -- that every violating scenario's flow
+  # fails exactly its target detector while every clean scenario still
+  # exercises it to PASS, and that the aggregate calibration roll-up saw a
+  # failure and a pass for every detector in the registry.
+  python3 - "$JSON_DIR/corpus/manifest.json" "$JSON_DIR/batch.ndjson" <<'PYEOF'
+import json, os, sys
+manifest = json.load(open(sys.argv[1]))
+expect = {}  # basename -> (target detector id, trips)
+for entry in manifest["traces"]:
+    if "calibration_scenario" in entry:
+        expect[os.path.basename(entry["file"])] = (
+            entry["calibration_scenario"], entry["trips"])
+assert expect, "manifest.json carries no calibration scenarios"
+docs = [json.loads(line) for line in open(sys.argv[2]) if line.strip()]
+seen = set()
+for d in docs:
+    if d.get("type") != "flow":
+        continue
+    base = os.path.basename(d.get("file", ""))
+    if base not in expect:
+        continue
+    seen.add(base)
+    cal = d.get("calibration")
+    assert cal is not None, f"{base}: flow row has no calibration object"
+    verdicts = {r["id"]: r["verdict"] for r in cal["detectors"]}
+    fails = sorted(k for k, v in verdicts.items() if v == "FAIL")
+    target, trips = expect[base]
+    if trips:
+        assert fails == [target], f"{base}: expected [{target}], got {fails}"
+        assert cal["trustworthy"] is False, f"{base}: tampered yet trustworthy"
+    else:
+        assert not fails, f"{base}: clean trace failed {fails}"
+        assert verdicts[target] == "PASS", \
+            f"{base}: clean trace left {target} {verdicts[target]}"
+    # Satellite surface: the drop report's inferred-missing-bytes floor
+    # rides along on every flow row's calibration object.
+    assert "inferred_missing_bytes" in cal["filter_drops"], base
+missing = set(expect) - seen
+assert not missing, f"scenario traces never produced flow rows: {sorted(missing)}"
+agg = [d for d in docs if d.get("type") == "aggregate"][-1]
+rollup = agg["calibration"]
+assert rollup["flows"] >= len(expect)
+trips_count = sum(1 for _, t in expect.values() if t)
+assert rollup["untrustworthy"] >= trips_count, rollup
+assert rollup["severities"]["tampering"] >= 1, rollup
+for det in rollup["detectors"]:
+    assert det["fail"] >= 1, f"{det['id']}: roll-up saw no failing flow"
+    assert det["pass"] >= 1, f"{det['id']}: roll-up saw no passing flow"
+print(f"checked {len(seen)} scenario flows across "
+      f"{len(rollup['detectors'])} detectors")
+PYEOF
+
+  # --fail-on-untrustworthy: a corpus carrying tampered/miscalibrated
+  # traces must turn into rc 5; a clean-only corpus must stay rc 0.
+  mkdir "$JSON_DIR/cal_violate" "$JSON_DIR/cal_clean"
+  cp "$JSON_DIR/corpus/"cal_*_violate_*.pcap "$JSON_DIR/corpus/"tamper_*_violate_*.pcap \
+    "$JSON_DIR/cal_violate/"
+  cp "$JSON_DIR/corpus/"cal_*_clean_*.pcap "$JSON_DIR/corpus/"tamper_*_clean_*.pcap \
+    "$JSON_DIR/cal_clean/"
+  rc=0
+  "$BUILD/tools/tcpanaly" --batch "$JSON_DIR/cal_violate" \
+    --fail-on-untrustworthy > /dev/null || rc=$?
+  [ "$rc" -eq 5 ] || { echo "calibration leg FAILED: tampered corpus rc=$rc != 5"; exit 1; }
+  "$BUILD/tools/tcpanaly" --batch "$JSON_DIR/cal_clean" \
+    --fail-on-untrustworthy > /dev/null \
+    || { echo "calibration leg FAILED: clean corpus exited nonzero"; exit 1; }
+
+  # Calibration-cost bench: the registry-routed calibrate() must hold its
+  # 1.2x wall budget against the pre-refactor four-pass sequence and agree
+  # with it finding for finding (the bench gates both in its exit code;
+  # the checked-in reference lives in bench/results/sec3_calibration.json).
+  "$BUILD/bench/bench_sec3_calibration" --json "$JSON_DIR/sec3_calibration.json" > /dev/null
+  python3 - "$JSON_DIR/sec3_calibration.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["type"] == "bench" and doc["bench"] == "sec3_calibration", doc.get("bench")
+assert doc["overlapping_findings_agree"] is True, "registry diverged from legacy scans"
+assert doc["within_budget"] is True, \
+    f"registry calibrate() ratio {doc['wall_ratio']:.3f} > {doc['budget_ratio']}"
+PYEOF
+  echo "calibration leg OK (scenario matrix, fail-on-untrustworthy, bench evidence)"
 else
   echo "python3 not found; skipping external JSON validation leg"
 fi

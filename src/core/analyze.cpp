@@ -52,6 +52,8 @@ void calibrate_and_match(TraceAnalysis& analysis, const trace::Trace& trace,
     }
     analysis.calibration.resequencing = detect_resequencing(*analysis.annotation);
     analysis.calibration.drops = detect_filter_drops(*analysis.annotation);
+    analysis.calibration.tampering = detect_tampering(*analysis.annotation);
+    finalize_calibration(analysis.calibration);
     scope.counter("records", trace.size());
     scope.counter("stripped_duplicates",
                   analysis.calibration.duplication.duplicate_indices.size());

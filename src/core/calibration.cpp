@@ -1,9 +1,14 @@
 #include "core/calibration.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <deque>
+#include <limits>
 #include <map>
 #include <optional>
 #include <tuple>
+#include <unordered_map>
+#include <utility>
 
 #include "core/interval_set.hpp"
 #include "core/sender_analyzer.hpp"
@@ -433,21 +438,1085 @@ FilterDropReport infer_drops_from_model(const Trace& trace,
   return report;
 }
 
+// --------------------------------------------------- middlebox tampering
+
+namespace {
+
+/// All three tampering detectors as one per-direction state machine. This
+/// IS the implementation on every path: the offline detect_tampering
+/// wrappers drive it over a materialized trace, CalibrationEvaluator
+/// drives it record-by-record, so the verdicts agree by construction.
+class OnlineTampering {
+ public:
+  OnlineTampering(TamperingOptions opts, bool bounded)
+      : opts_(opts), bounded_(bounded) {}
+
+  void add(std::size_t i, const PacketRecord& rec, bool from_local) {
+    Dir& d = dirs_[from_local ? 0 : 1];
+
+    // Forged RST: a real stack's RST carries its snd_nxt, so its seq must
+    // sit at (or below) the sequence frontier this direction has already
+    // vouched for. Judge against the frontier BEFORE this record -- the
+    // RST must not vouch for its own lineage -- and never let a RST
+    // advance it.
+    if (rec.tcp.flags.rst) {
+      if (d.have_frontier) {
+        report_.rst_exercised = true;
+        const std::int64_t over = seq_diff(rec.tcp.seq, d.frontier);
+        if (over > static_cast<std::int64_t>(opts_.rst_seq_slack)) {
+          report_.forged_rsts.push_back(
+              {i, util::strf("RST seq %u runs %lld byte(s) beyond the %s-side "
+                             "sequence frontier %u",
+                             rec.tcp.seq, static_cast<long long>(over),
+                             from_local ? "local" : "remote", d.frontier)});
+        }
+      }
+    } else {
+      const SeqNum end = rec.tcp.seq_end();
+      if (!d.have_frontier || seq_gt(end, d.frontier)) d.frontier = end;
+      d.have_frontier = true;
+    }
+
+    // Injected-segment TTL anomaly: a direction's packets all take the same
+    // path, so their TTLs agree; an in-path injector's hop count (often
+    // deliberately short, to die before the real peer) breaks the baseline.
+    if (rec.ttl != 0) {
+      if (d.ttl_locked) {
+        const int delta = static_cast<int>(rec.ttl) - d.ttl_baseline;
+        if (delta >= opts_.ttl_anomaly_delta || -delta >= opts_.ttl_anomaly_delta) {
+          report_.ttl_anomalies.push_back(
+              {i, util::strf("TTL %d against the %s-side baseline %d (ipid 0x%04x)",
+                             static_cast<int>(rec.ttl),
+                             from_local ? "local" : "remote", d.ttl_baseline,
+                             rec.ip_id)});
+        }
+      } else if (d.ttl_samples == 0 || static_cast<int>(rec.ttl) != d.ttl_baseline) {
+        d.ttl_baseline = rec.ttl;
+        d.ttl_samples = 1;
+      } else if (++d.ttl_samples >= opts_.ttl_baseline_samples) {
+        d.ttl_locked = true;
+        report_.ttl_exercised = true;
+      }
+    }
+
+    // Inconsistent retransmission: a repeat of (seq, len) must carry the
+    // same payload bytes; comparing digests catches an injector mangling
+    // a copy. Network-corrupted segments (checksum fails) are excluded --
+    // their payload legitimately differs.
+    if (rec.tcp.payload_len > 0 && rec.payload_digest_known &&
+        !(rec.checksum_known && !rec.checksum_ok)) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(rec.tcp.seq) << 32) | rec.tcp.payload_len;
+      if (d.digests.empty())
+        d.digests.reserve(bounded_ ? opts_.digest_window : 256);
+      auto it = d.digests.find(key);
+      if (it != d.digests.end()) {
+        report_.retx_exercised = true;
+        if (it->second != rec.payload_digest) {
+          report_.inconsistent_retx.push_back(
+              {i, util::strf("retransmission of [%u, +%u) carries payload digest "
+                             "0x%llx, original was 0x%llx",
+                             rec.tcp.seq, rec.tcp.payload_len,
+                             static_cast<unsigned long long>(rec.payload_digest),
+                             static_cast<unsigned long long>(it->second))});
+        }
+        // Keep the original copy as the reference for further repeats.
+      } else {
+        d.digests.emplace(key, rec.payload_digest);
+        if (bounded_) {
+          d.digest_fifo.push_back(key);
+          if (d.digest_fifo.size() > opts_.digest_window) {
+            d.digests.erase(d.digest_fifo.front());
+            d.digest_fifo.pop_front();
+            report_.retx_window_evicted = true;
+          }
+        }
+      }
+    }
+  }
+
+  TamperingReport finish() { return std::move(report_); }
+
+  std::uint64_t bytes() const {
+    std::uint64_t b = 0;
+    for (const Dir& d : dirs_)
+      b += d.digests.size() * kDigestNodeBytes +
+           d.digest_fifo.size() * sizeof(std::uint64_t);
+    b += (report_.forged_rsts.capacity() + report_.ttl_anomalies.capacity() +
+          report_.inconsistent_retx.capacity()) * sizeof(TamperingFinding);
+    return b;
+  }
+
+ private:
+  /// Approximate heap cost of one digest-map node.
+  static constexpr std::uint64_t kDigestNodeBytes = 64;
+
+  struct Dir {
+    bool have_frontier = false;
+    SeqNum frontier = 0;
+    int ttl_baseline = 0;
+    int ttl_samples = 0;
+    bool ttl_locked = false;
+    // Keyed (seq << 32 | payload_len); open hashing keeps the per-data-record
+    // insert off the allocator-heavy tree path the hot loop cannot afford.
+    std::unordered_map<std::uint64_t, std::uint64_t> digests;
+    std::deque<std::uint64_t> digest_fifo;  // bounded mode: FIFO of keys
+  };
+
+  TamperingOptions opts_;
+  bool bounded_;
+  Dir dirs_[2];
+  TamperingReport report_;
+};
+
+}  // namespace
+
+TamperingReport detect_tampering(const Trace& trace, const TamperingOptions& opts) {
+  OnlineTampering t(opts, /*bounded=*/false);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    t.add(i, trace[i], trace.is_from_local(trace[i]));
+  return t.finish();
+}
+
+TamperingReport detect_tampering(const AnnotatedTrace& ann, const TamperingOptions& opts) {
+  OnlineTampering t(opts, /*bounded=*/false);
+  const Trace& trace = ann.trace();
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    t.add(i, trace[i], ann.note(i).from_local);
+  return t.finish();
+}
+
+// -------------------------------------------------------- detector registry
+
+const char* to_string(CalSeverity severity) {
+  switch (severity) {
+    case CalSeverity::kUntrustworthyOrder: return "untrustworthy-order";
+    case CalSeverity::kUntrustworthyClock: return "untrustworthy-clock";
+    case CalSeverity::kMissingRecords: return "missing-records";
+    case CalSeverity::kTampering: return "tampering";
+  }
+  return "?";
+}
+
+const std::vector<CalDetector>& calibration_registry() {
+  static const std::vector<CalDetector> registry = {
+      {"SEC3.1.4-time-travel", CalSeverity::kUntrustworthyClock,
+       "timestamps that decrease", "Paxson sec. 3.1.4"},
+      {"SEC3.1.2-measurement-additions", CalSeverity::kUntrustworthyOrder,
+       "filter-duplicated records", "Paxson sec. 3.1.2, Figure 1"},
+      {"SEC3.1.3-resequencing", CalSeverity::kUntrustworthyOrder,
+       "record order contradicting TCP cause-and-effect", "Paxson sec. 3.1.3"},
+      {"SEC3.1.1-filter-drops", CalSeverity::kMissingRecords,
+       "packets the filter provably failed to record", "Paxson sec. 3.1.1"},
+      {"TAMPER-forged-rst", CalSeverity::kTampering,
+       "RST whose sequence lineage contradicts the flow state",
+       "sniffjoke attack catalog; RFC 5961 sec. 3.2"},
+      {"TAMPER-ttl-ipid-inject", CalSeverity::kTampering,
+       "injected segment breaking the flow's TTL baseline",
+       "sniffjoke TTL-expiring injection"},
+      {"TAMPER-inconsistent-retx", CalSeverity::kTampering,
+       "retransmission whose payload differs from the original copy",
+       "sniffjoke fake-data injection"},
+  };
+  return registry;
+}
+
+const CalDetector* find_calibration_detector(std::string_view id) {
+  for (const CalDetector& d : calibration_registry())
+    if (id == d.id) return &d;
+  return nullptr;
+}
+
+const char* const kCalibrationEvictedEvidence =
+    "state evicted under memory bound; verdict surrendered";
+
+// ---------------------------------------------- online detector machinery
+//
+// Each online detector below is the corresponding offline scan above
+// re-expressed as a state machine: same conditions in the same order, with
+// every lookahead the offline code performed turned into a bounded "armed
+// entry" that later records resolve. Exactness is the contract --
+// diff_stream_summary holds each one to account against its offline twin
+// over the fuzz corpus. They were born in stream_analysis.cpp; the
+// registry refactor moved them here so that calibrate() and the streaming
+// paths run literally the same evaluators.
+
+namespace {
+
+/// detect_time_travel as a cursor: remembers only the previous timestamp.
+class OnlineTimeTravel {
+ public:
+  void add(std::size_t i, const PacketRecord& rec) {
+    if (i > 0 && rec.timestamp < prev_)
+      report_.instances.push_back({i, prev_ - rec.timestamp});
+    prev_ = rec.timestamp;
+  }
+  TimeTravelReport take() { return std::move(report_); }
+  std::uint64_t bytes() const {
+    return report_.instances.capacity() * sizeof(TimeTravelInstance);
+  }
+
+ private:
+  TimePoint prev_;
+  TimeTravelReport report_;
+};
+
+/// The duplicate detector's pending-twin table as a compact open-addressing
+/// map keyed on segment content (the offline std::map<SegKey, ...> keeps
+/// one entry per distinct unmatched segment; this stores the same entries
+/// in ~32 bytes each).
+///
+/// Boundedness: when the table would grow, entries whose timestamp has
+/// fallen more than the match gap behind the stream's running-max
+/// timestamp are swept first. Such an entry can only ever match a record
+/// whose timestamp regresses below that watermark (the match window is a
+/// signed comparison), so eviction is exact on monotone streams; the
+/// owning OnlineDuplication flags the summary inexact if a regression
+/// arrives after any eviction, and diff_stream_summary checks that the
+/// flag is only ever raised on genuinely regressing streams.
+class DupTable {
+ public:
+  struct Key {
+    SeqNum seq;
+    SeqNum ack;
+    std::uint32_t payload;
+    std::uint32_t window;
+    std::uint8_t flags;  // syn | fin<<1 | psh<<2
+  };
+  struct Slot {
+    SeqNum seq = 0;
+    SeqNum ack = 0;
+    std::uint32_t payload = 0;
+    std::uint32_t window = 0;
+    std::int64_t ts_us = 0;
+    std::uint8_t flags = 0;
+    std::uint8_t state = 0;  // 0 empty, 1 occupied, 2 tombstone
+  };
+
+  static Key key_of(const PacketRecord& rec) {
+    return {rec.tcp.seq, rec.tcp.ack, rec.tcp.payload_len, rec.tcp.window,
+            static_cast<std::uint8_t>((rec.tcp.flags.syn ? 1 : 0) |
+                                      (rec.tcp.flags.fin ? 2 : 0) |
+                                      (rec.tcp.flags.psh ? 4 : 0))};
+  }
+
+  /// The occupied slot matching `k`, or nullptr.
+  Slot* find(const Key& k) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = hash(k) & mask;
+    for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
+      Slot& s = slots_[idx];
+      if (s.state == 0) return nullptr;
+      if (s.state == 1 && matches(s, k)) return &s;
+      idx = (idx + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  /// Insert a fresh pending entry (caller has established `k` is absent).
+  /// Entries older than `evict_before` are swept before the table is
+  /// allowed to grow.
+  void insert(const Key& k, std::int64_t ts_us, std::int64_t evict_before) {
+    if (slots_.empty()) {
+      rehash(64);
+    } else if ((used_ + 1) * 10 > slots_.size() * 7) {
+      sweep(evict_before);
+      // Mostly-tombstones tables just compact in place; genuinely full
+      // ones double.
+      rehash(occupied_ * 100 < slots_.size() * 35 ? slots_.size() : slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = hash(k) & mask;
+    Slot* tomb = nullptr;
+    for (;;) {
+      Slot& s = slots_[idx];
+      if (s.state == 0) {
+        Slot& target = tomb ? *tomb : s;
+        if (!tomb) ++used_;  // consuming a never-used slot
+        target = {k.seq, k.ack, k.payload, k.window, ts_us, k.flags, 1};
+        ++occupied_;
+        return;
+      }
+      if (s.state == 2 && !tomb) tomb = &s;
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  void erase(Slot* s) {
+    s->state = 2;
+    --occupied_;
+  }
+
+  /// True once any entry has been dropped by age rather than matched.
+  bool evicted() const { return evicted_; }
+
+  std::uint64_t bytes() const { return slots_.size() * sizeof(Slot); }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+  static std::uint64_t hash(const Key& k) {
+    std::uint64_t h = mix((static_cast<std::uint64_t>(k.seq) << 32) | k.ack);
+    h = mix(h ^ ((static_cast<std::uint64_t>(k.payload) << 32) | k.window));
+    return mix(h ^ k.flags);
+  }
+  static bool matches(const Slot& s, const Key& k) {
+    return s.seq == k.seq && s.ack == k.ack && s.payload == k.payload &&
+           s.window == k.window && s.flags == k.flags;
+  }
+
+  void sweep(std::int64_t min_ts) {
+    for (Slot& s : slots_) {
+      if (s.state == 1 && s.ts_us < min_ts) {
+        s.state = 2;
+        --occupied_;
+        evicted_ = true;
+      }
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    used_ = occupied_ = 0;
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.state != 1) continue;
+      std::size_t idx =
+          hash({s.seq, s.ack, s.payload, s.window, s.flags}) & mask;
+      while (slots_[idx].state != 0) idx = (idx + 1) & mask;
+      slots_[idx] = s;
+      ++used_;
+      ++occupied_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t used_ = 0;      // occupied + tombstones
+  std::size_t occupied_ = 0;  // live entries
+  bool evicted_ = false;
+};
+
+/// detect_measurement_duplicates as a cursor: the pending map becomes the
+/// DupTable; match/overwrite/insert decisions are unchanged, including the
+/// signed gap comparison. Unbounded mode never ages anything out -- the
+/// no-eviction table reproduces the offline std::map's decisions exactly
+/// on any input, which is what makes calibrate() exact by construction.
+class OnlineDuplication {
+ public:
+  explicit OnlineDuplication(DuplicationOptions opts, bool bounded)
+      : opts_(opts), bounded_(bounded) {}
+
+  /// Feed outbound (from-local) records only, as the offline scan does.
+  void add(std::size_t i, const PacketRecord& rec) {
+    if (rec.tcp.payload_len > 0) ++outbound_data_;
+    const std::int64_t ts = rec.timestamp.count();
+    // A record below the running-max timestamp could have matched an
+    // already-evicted entry; from that point the online answer is no
+    // longer guaranteed equal to the offline one.
+    if (have_watermark_ && ts < watermark_ && table_.evicted()) exact_ = false;
+    watermark_ = have_watermark_ ? std::max(watermark_, ts) : ts;
+    min_ts_ = have_watermark_ ? std::min(min_ts_, ts) : ts;
+    have_watermark_ = true;
+    const DupTable::Key key = DupTable::key_of(rec);
+    if (DupTable::Slot* s = table_.find(key)) {
+      if (rec.timestamp - TimePoint(s->ts_us) <= opts_.max_gap) {
+        later_copies_.push_back(i);
+        first_pts_.emplace_back(TimePoint(s->ts_us), rec.tcp.payload_len);
+        second_pts_.emplace_back(rec.timestamp, rec.tcp.payload_len);
+        table_.erase(s);
+      } else {
+        s->ts_us = rec.timestamp.count();
+      }
+    } else if (!bounded_) {
+      table_.insert(key, ts, std::numeric_limits<std::int64_t>::min());
+    } else {
+      // Saturate rather than wrap: an underflowed threshold would evict
+      // fresh entries instead of none.
+      const std::int64_t gap = opts_.max_gap.count();
+      const std::int64_t floor = std::numeric_limits<std::int64_t>::min();
+      const std::int64_t evict_before =
+          gap <= 0 ? watermark_ : (watermark_ < floor + gap ? floor : watermark_ - gap);
+      table_.insert(key, ts, evict_before);
+    }
+    // The gap test above wraps (like all analyzer time arithmetic), so on
+    // captures whose outbound timestamps span more than the int64 range an
+    // evicted entry could still have wrap-matched a much-later record;
+    // eviction is only provably answer-preserving on sane spans.
+    if (table_.evicted() && span_wraps(min_ts_, watermark_)) exact_ = false;
+  }
+
+  static bool span_wraps(std::int64_t lo, std::int64_t hi) {
+    return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) >
+           static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  }
+
+  /// False when eviction interacted with a timestamp regression: the
+  /// reported duplication result then needs a materialized re-check.
+  bool is_exact() const { return exact_; }
+
+  DuplicationReport finish() {
+    DuplicationReport report;
+    if (outbound_data_ > 4 && later_copies_.size() * 2 >= outbound_data_) {
+      report.duplicate_indices = std::move(later_copies_);
+      std::sort(first_pts_.begin(), first_pts_.end());
+      std::sort(second_pts_.begin(), second_pts_.end());
+      report.first_copy_rate = burst_rate(first_pts_);
+      report.second_copy_rate = burst_rate(second_pts_);
+    }
+    return report;
+  }
+
+  std::uint64_t bytes() const {
+    return table_.bytes() + later_copies_.capacity() * sizeof(std::size_t) +
+           (first_pts_.capacity() + second_pts_.capacity()) *
+               sizeof(std::pair<TimePoint, std::uint32_t>);
+  }
+
+ private:
+  DuplicationOptions opts_;
+  bool bounded_;
+  DupTable table_;
+  std::vector<std::size_t> later_copies_;
+  std::size_t outbound_data_ = 0;
+  std::int64_t watermark_ = 0;
+  std::int64_t min_ts_ = 0;
+  bool have_watermark_ = false;
+  bool exact_ = true;
+  std::vector<std::pair<TimePoint, std::uint32_t>> first_pts_, second_pts_;
+};
+
+/// The sender-side resequencing scan. Offline, each suspicious data record
+/// looks AHEAD up to epsilon for a liberating ack; here the record arms an
+/// entry carrying a snapshot of the scan state and subsequent records
+/// resolve it -- killed at the first record more than epsilon later (the
+/// offline break), fired by an inbound ack meeting the same repair/advance
+/// test against the arm-time snapshot.
+class SenderReseq {
+ public:
+  explicit SenderReseq(ResequencingOptions opts = {}) : opts_(opts) {}
+
+  void add(std::size_t i, const PacketRecord& rec, bool from_local) {
+    // Resolve entries armed by earlier records against this one, in arm
+    // order (the offline outer loop's lookahead order).
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      if (rec.timestamp - it->ts > opts_.epsilon) {
+        it = armed_.erase(it);
+        continue;
+      }
+      bool fired = false;
+      if (!from_local && rec.tcp.flags.ack) {
+        const bool repairs = seq_le(it->seq_end, rec.tcp.ack + rec.tcp.window);
+        const bool advances = !it->have_ack || seq_gt(rec.tcp.ack, it->last_ack);
+        if ((it->violates && repairs) || (it->lull && advances)) {
+          fired_.push_back(
+              {it->order,
+               {i, ResequencingKind::kDataBeforeLiberatingAck, rec.timestamp - it->ts}});
+          fired_record_idx_.push_back(i);  // i is non-decreasing: stays sorted
+          fired = true;
+        }
+      }
+      it = fired ? armed_.erase(it) : std::next(it);
+    }
+
+    // Advance the scan state / arm this record.
+    if (from_local) {
+      if (rec.tcp.payload_len == 0) return;
+      const bool violates =
+          have_ack_ && seq_gt(rec.tcp.seq_end(), last_ack_ + last_win_);
+      const bool lull = have_outbound_ &&
+                        rec.timestamp - last_outbound_ > Duration::millis(200);
+      last_outbound_ = rec.timestamp;
+      have_outbound_ = true;
+      if (violates || lull)
+        armed_.push_back({next_order_++, rec.timestamp, rec.tcp.seq_end(), violates,
+                          lull, have_ack_, last_ack_});
+    } else if (rec.tcp.flags.ack) {
+      have_ack_ = true;
+      last_ack_ = rec.tcp.ack;
+      last_win_ = rec.tcp.window;
+    }
+  }
+
+  ResequencingReport finish() {
+    armed_.clear();  // entries that never resolved produce no instance
+    // The offline report is in arm (outer-loop) order; fires happened in
+    // resolve order, which can differ when a later arm fires sooner.
+    std::sort(fired_.begin(), fired_.end(),
+              [](const Fired& a, const Fired& b) { return a.order < b.order; });
+    ResequencingReport report;
+    report.instances.reserve(fired_.size());
+    for (const Fired& f : fired_) report.instances.push_back(f.instance);
+    return report;
+  }
+
+  /// Sorted record indices of every instance fired so far (final for
+  /// indices <= the last record processed); the drop detector's
+  /// "explained by resequencing" window check binary-searches this.
+  const std::vector<std::size_t>& fired_record_indices() const {
+    return fired_record_idx_;
+  }
+
+  std::uint64_t bytes() const {
+    return armed_.size() * sizeof(Armed) + fired_.capacity() * sizeof(Fired) +
+           fired_record_idx_.capacity() * sizeof(std::size_t);
+  }
+
+ private:
+  struct Armed {
+    std::size_t order;
+    TimePoint ts;
+    SeqNum seq_end;
+    bool violates;
+    bool lull;
+    bool have_ack;  // scan-state snapshot at arm time
+    SeqNum last_ack;
+  };
+  struct Fired {
+    std::size_t order;
+    ResequencingInstance instance;
+  };
+
+  ResequencingOptions opts_;
+  std::deque<Armed> armed_;
+  std::vector<Fired> fired_;
+  std::vector<std::size_t> fired_record_idx_;
+  std::size_t next_order_ = 0;
+  bool have_ack_ = false;
+  SeqNum last_ack_ = 0;
+  std::uint32_t last_win_ = 0;
+  bool have_outbound_ = false;
+  TimePoint last_outbound_;
+};
+
+/// The sender-side drop checks. Everything is eager except offered-window
+/// violations, whose offline "explained by resequencing" test consults
+/// instances up to four records ahead -- those findings wait in a short
+/// queue until the resequencing detector has processed record i+4 (or
+/// end-of-stream) and are then admitted or suppressed.
+class SenderDrops {
+ public:
+  void add(std::size_t i, const PacketRecord& rec, bool from_local,
+           const SenderReseq& reseq) {
+    resolve_pending(reseq, i);
+    if (from_local) {
+      const SeqNum begin = rec.tcp.seq;
+      const SeqNum end = rec.tcp.seq_end();
+      if (end != begin) {
+        sent_.insert(begin, end);
+        if (!have_send_ || seq_gt(end, max_sent_end_)) max_sent_end_ = end;
+        if (!have_send_) {
+          checked_to_ = begin;
+          have_checked_ = true;
+        }
+        have_send_ = true;
+      }
+      if (rec.tcp.payload_len > 0 && have_ack_ &&
+          seq_gt(end, last_ack_ + last_win_)) {
+        pending_viol_.push_back(
+            {i, static_cast<std::uint64_t>(seq_diff(end, last_ack_ + last_win_))});
+      }
+      return;
+    }
+    if (!rec.tcp.flags.ack || rec.tcp.flags.syn) {
+      if (rec.tcp.flags.syn) {
+        have_ack_ = true;
+        last_ack_ = rec.tcp.ack;
+        last_win_ = rec.tcp.window;
+      }
+      return;
+    }
+    if (have_send_ && seq_gt(rec.tcp.ack, max_sent_end_)) {
+      const auto missing =
+          static_cast<std::uint64_t>(seq_diff(rec.tcp.ack, max_sent_end_));
+      findings_.push_back({DropCheck::kAckForUnseenData, i, missing});
+      inferred_missing_ += missing;
+      sent_.insert(max_sent_end_, rec.tcp.ack);
+      max_sent_end_ = rec.tcp.ack;
+    } else if (have_send_ && have_checked_ && seq_gt(rec.tcp.ack, checked_to_)) {
+      const std::uint64_t hole = sent_.missing_in(checked_to_, rec.tcp.ack);
+      if (hole > 0) {
+        findings_.push_back({DropCheck::kAckedHoleNeverSent, i, hole});
+        inferred_missing_ += hole;
+        sent_.insert(checked_to_, rec.tcp.ack);
+      }
+      checked_to_ = rec.tcp.ack;
+    }
+    have_ack_ = true;
+    last_ack_ = rec.tcp.ack;
+    last_win_ = rec.tcp.window;
+  }
+
+  /// Call after the paired SenderReseq::finish-time state is final.
+  FilterDropReport finish(const SenderReseq& reseq) {
+    while (!pending_viol_.empty()) admit_or_drop(reseq, pending_viol_.front()), pending_viol_.pop_front();
+    // Offline pushes each finding while scanning record i; at most one
+    // finding per record on this side, so record order restores it.
+    std::sort(findings_.begin(), findings_.end(),
+              [](const FilterDropFinding& a, const FilterDropFinding& b) {
+                return a.record_index < b.record_index;
+              });
+    FilterDropReport report;
+    report.findings = std::move(findings_);
+    report.inferred_missing_bytes = inferred_missing_;
+    return report;
+  }
+
+  std::uint64_t bytes() const {
+    return sent_.interval_count() * kIntervalNodeBytes +
+           pending_viol_.size() * sizeof(PendingViolation) +
+           findings_.capacity() * sizeof(FilterDropFinding);
+  }
+
+ private:
+  struct PendingViolation {
+    std::size_t i;
+    std::uint64_t over_bytes;
+  };
+  /// Approximate heap cost of one interval-set map node.
+  static constexpr std::uint64_t kIntervalNodeBytes = 48;
+
+  void resolve_pending(const SenderReseq& reseq, std::size_t current) {
+    // A violation at record i is explained by any resequencing instance
+    // landing in [i, i+4]; all such instances exist once the resequencing
+    // detector has consumed record i+4.
+    while (!pending_viol_.empty() && current > pending_viol_.front().i + 4) {
+      admit_or_drop(reseq, pending_viol_.front());
+      pending_viol_.pop_front();
+    }
+  }
+
+  void admit_or_drop(const SenderReseq& reseq, const PendingViolation& pv) {
+    const auto& fired = reseq.fired_record_indices();
+    auto it = std::lower_bound(fired.begin(), fired.end(), pv.i);
+    const bool explained = it != fired.end() && *it <= pv.i + 4;
+    if (!explained)
+      findings_.push_back({DropCheck::kOfferedWindowViolation, pv.i, pv.over_bytes});
+  }
+
+  SeqIntervalSet sent_;
+  bool have_send_ = false;
+  SeqNum max_sent_end_ = 0;
+  bool have_ack_ = false;
+  SeqNum last_ack_ = 0;
+  std::uint32_t last_win_ = 0;
+  SeqNum checked_to_ = 0;
+  bool have_checked_ = false;
+  std::deque<PendingViolation> pending_viol_;
+  std::vector<FilterDropFinding> findings_;
+  std::uint64_t inferred_missing_ = 0;
+};
+
+/// The receiver-side resequencing scan. A local ack beyond the arrived
+/// frontier arms an entry; inbound data within epsilon covering the ack
+/// fires it (instance indexed at the ACK record, so the drop detector must
+/// know the outcome before it can audit that very record -- entries
+/// therefore persist, with their fired flag, until the drop detector's
+/// delayed queue has passed them).
+class ReceiverReseq {
+ public:
+  enum class ArmState { kUnarmed, kPending, kResolved };
+
+  explicit ReceiverReseq(ResequencingOptions opts = {}) : opts_(opts) {}
+
+  void add(std::size_t i, const PacketRecord& rec, bool from_local) {
+    const bool candidate_data = !from_local && rec.tcp.payload_len > 0;
+    for (Armed& e : armed_) {
+      if (!e.live) continue;
+      if (rec.timestamp - e.ts > opts_.epsilon) {
+        e.live = false;
+        continue;
+      }
+      if (candidate_data && !seq_gt(e.ack, rec.tcp.seq_end())) {
+        instances_.push_back({e.index, ResequencingKind::kAckForDataNotYetArrived,
+                              rec.timestamp - e.ts});
+        e.fired = true;
+        e.live = false;
+      }
+    }
+
+    if (!from_local) {
+      if (rec.tcp.payload_len > 0 || rec.tcp.flags.syn) {
+        const SeqNum end = rec.tcp.seq_end();
+        if (!have_data_ || seq_gt(end, max_arrived_)) max_arrived_ = end;
+        have_data_ = true;
+      }
+      return;
+    }
+    if (!rec.tcp.flags.ack || !have_data_) return;
+    if (!seq_gt(rec.tcp.ack, max_arrived_)) return;
+    armed_.push_back({i, rec.timestamp, rec.tcp.ack, true, false});
+  }
+
+  /// End-of-stream: entries still waiting can never fire.
+  void finish_stream() {
+    eof_ = true;
+    for (Armed& e : armed_) e.live = false;
+  }
+
+  ResequencingReport finish() {
+    // Instances were pushed in fire order; the offline report is in arm
+    // order, which on this side equals record-index order (each instance
+    // is indexed at its arming ack, unique per entry).
+    std::sort(instances_.begin(), instances_.end(),
+              [](const ResequencingInstance& a, const ResequencingInstance& b) {
+                return a.record_index < b.record_index;
+              });
+    ResequencingReport report;
+    report.instances = std::move(instances_);
+    return report;
+  }
+
+  bool eof() const { return eof_; }
+
+  /// Resolution state of the armed entry for the ack at `index`.
+  ArmState arm_state(std::size_t index) const {
+    for (const Armed& e : armed_)
+      if (e.index == index) return e.live ? ArmState::kPending : ArmState::kResolved;
+    return ArmState::kUnarmed;
+  }
+  /// True iff the ack at `index` fired an instance (its "explained" bit).
+  bool fired(std::size_t index) const {
+    for (const Armed& e : armed_)
+      if (e.index == index) return e.fired;
+    return false;
+  }
+  /// Drop entries the consumer has audited (entries arm in index order).
+  void prune_through(std::size_t index) {
+    while (!armed_.empty() && armed_.front().index <= index) armed_.pop_front();
+  }
+
+  std::uint64_t bytes() const {
+    return armed_.size() * sizeof(Armed) +
+           instances_.capacity() * sizeof(ResequencingInstance);
+  }
+
+ private:
+  struct Armed {
+    std::size_t index;
+    TimePoint ts;
+    SeqNum ack;
+    bool live;
+    bool fired;
+  };
+
+  ResequencingOptions opts_;
+  std::deque<Armed> armed_;
+  std::vector<ResequencingInstance> instances_;
+  bool have_data_ = false;
+  SeqNum max_arrived_ = 0;
+  bool eof_ = false;
+};
+
+/// The receiver-side drop checks, run as a delayed in-order replay. A local
+/// ack's "explained by resequencing" test needs its own record's instance
+/// -- decided up to epsilon later -- so records queue in compact form and
+/// drain in order, the head blocking only while it is an ack whose armed
+/// entry is still pending. One record can emit two findings here
+/// (dup-acks-without-cause before the consistency check), and the replay's
+/// head order IS the offline scan order, so no sort at the end.
+class ReceiverDrops {
+ public:
+  void add(std::size_t i, const PacketRecord& rec, bool from_local,
+           ReceiverReseq& reseq) {
+    fifo_.push_back({i, from_local, rec.tcp.flags.ack, rec.tcp.payload_len,
+                     rec.tcp.seq, rec.tcp.seq_end(), rec.tcp.ack});
+    drain(reseq);
+  }
+
+  FilterDropReport finish(ReceiverReseq& reseq) {
+    drain(reseq);  // reseq.finish_stream() has run: nothing blocks now
+    FilterDropReport report;
+    report.findings = std::move(findings_);
+    report.inferred_missing_bytes = inferred_missing_;
+    return report;
+  }
+
+  std::uint64_t bytes() const {
+    return fifo_.size() * sizeof(Rec) + arrived_.interval_count() * kIntervalNodeBytes +
+           findings_.capacity() * sizeof(FilterDropFinding);
+  }
+
+ private:
+  struct Rec {
+    std::size_t index;
+    bool from_local;
+    bool is_ack;
+    std::uint32_t payload;
+    SeqNum seq;
+    SeqNum seq_end;
+    SeqNum ack;
+  };
+  static constexpr std::uint64_t kIntervalNodeBytes = 48;
+
+  void drain(ReceiverReseq& reseq) {
+    while (!fifo_.empty()) {
+      const Rec r = fifo_.front();
+      if (r.from_local && r.is_ack && !reseq.eof() &&
+          reseq.arm_state(r.index) == ReceiverReseq::ArmState::kPending)
+        return;  // its explained bit is still in flight
+      fifo_.pop_front();
+      step(r, reseq);
+      reseq.prune_through(r.index);
+    }
+  }
+
+  void step(const Rec& r, const ReceiverReseq& reseq) {
+    if (!r.from_local) {
+      if (r.payload > 0) uncaused_dups_ = 0;
+      if (r.seq_end != r.seq) {
+        arrived_.insert(r.seq, r.seq_end);
+        if (!have_data_ || seq_gt(r.seq_end, max_arrived_)) max_arrived_ = r.seq_end;
+        if (!have_data_) {
+          checked_to_ = r.seq;
+          have_checked_ = true;
+        }
+        have_data_ = true;
+      }
+      return;
+    }
+    if (!r.is_ack || !have_data_) return;
+    if (have_local_ack_ && r.ack == last_local_ack_ && r.payload == 0) {
+      if (++uncaused_dups_ == 2)
+        findings_.push_back({DropCheck::kDupAcksWithoutCause, r.index, 0});
+    }
+    have_local_ack_ = true;
+    last_local_ack_ = r.ack;
+    if (reseq.fired(r.index)) return;  // explained by resequencing
+    if (seq_gt(r.ack, max_arrived_)) {
+      const auto missing = static_cast<std::uint64_t>(seq_diff(r.ack, max_arrived_));
+      findings_.push_back({DropCheck::kLocalAckForUnseenData, r.index, missing});
+      inferred_missing_ += missing;
+      arrived_.insert(max_arrived_, r.ack);
+      max_arrived_ = r.ack;
+    } else if (have_checked_ && seq_gt(r.ack, checked_to_)) {
+      const std::uint64_t hole = arrived_.missing_in(checked_to_, r.ack);
+      if (hole > 0) {
+        findings_.push_back({DropCheck::kAckedHoleNeverArrived, r.index, hole});
+        inferred_missing_ += hole;
+        arrived_.insert(checked_to_, r.ack);
+      }
+      checked_to_ = r.ack;
+    }
+  }
+
+  std::deque<Rec> fifo_;
+  SeqIntervalSet arrived_;
+  bool have_data_ = false;
+  SeqNum max_arrived_ = 0;
+  SeqNum checked_to_ = 0;
+  bool have_checked_ = false;
+  bool have_local_ack_ = false;
+  SeqNum last_local_ack_ = 0;
+  int uncaused_dups_ = 0;
+  std::vector<FilterDropFinding> findings_;
+  std::uint64_t inferred_missing_ = 0;
+};
+
+}  // namespace
+
+// --------------------------------------------------- incremental evaluator
+
+struct CalibrationEvaluator::Impl {
+  explicit Impl(Config c)
+      : cfg(c), duplication(c.duplication, c.bounded), tampering(c.tampering, c.bounded) {
+    if (cfg.role == trace::LocalRole::kSender) {
+      sender_reseq = std::make_unique<SenderReseq>(cfg.resequencing);
+      sender_drops = std::make_unique<SenderDrops>();
+    } else {
+      receiver_reseq = std::make_unique<ReceiverReseq>(cfg.resequencing);
+      receiver_drops = std::make_unique<ReceiverDrops>();
+    }
+  }
+
+  Config cfg;
+  std::size_t n = 0;
+  OnlineTimeTravel time_travel;
+  OnlineDuplication duplication;
+  std::unique_ptr<SenderReseq> sender_reseq;
+  std::unique_ptr<SenderDrops> sender_drops;
+  std::unique_ptr<ReceiverReseq> receiver_reseq;
+  std::unique_ptr<ReceiverDrops> receiver_drops;
+  OnlineTampering tampering;
+};
+
+CalibrationEvaluator::CalibrationEvaluator(Config cfg)
+    : impl_(std::make_unique<Impl>(cfg)) {}
+CalibrationEvaluator::~CalibrationEvaluator() = default;
+CalibrationEvaluator::CalibrationEvaluator(CalibrationEvaluator&&) noexcept = default;
+CalibrationEvaluator& CalibrationEvaluator::operator=(CalibrationEvaluator&&) noexcept =
+    default;
+
+void CalibrationEvaluator::add(const PacketRecord& rec, bool from_local) {
+  Impl& im = *impl_;
+  const std::size_t i = im.n++;
+  im.time_travel.add(i, rec);
+  if (from_local) im.duplication.add(i, rec);
+  if (im.sender_reseq) {
+    im.sender_reseq->add(i, rec, from_local);
+    im.sender_drops->add(i, rec, from_local, *im.sender_reseq);
+  } else {
+    im.receiver_reseq->add(i, rec, from_local);
+    im.receiver_drops->add(i, rec, from_local, *im.receiver_reseq);
+  }
+  im.tampering.add(i, rec, from_local);
+}
+
+CalibrationEvaluator::Result CalibrationEvaluator::finish() {
+  Impl& im = *impl_;
+  Result res;
+  res.report.time_travel = im.time_travel.take();
+  res.duplication_is_exact = im.duplication.is_exact();
+  res.report.duplication = im.duplication.finish();
+  if (im.sender_reseq) {
+    res.report.resequencing = im.sender_reseq->finish();
+    res.report.drops = im.sender_drops->finish(*im.sender_reseq);
+  } else {
+    im.receiver_reseq->finish_stream();
+    res.report.drops = im.receiver_drops->finish(*im.receiver_reseq);
+    res.report.resequencing = im.receiver_reseq->finish();
+  }
+  res.report.tampering = im.tampering.finish();
+  finalize_calibration(res.report, res.duplication_is_exact);
+  return res;
+}
+
+std::uint64_t CalibrationEvaluator::bytes() const {
+  const Impl& im = *impl_;
+  std::uint64_t b = im.time_travel.bytes() + im.duplication.bytes() + im.tampering.bytes();
+  if (im.sender_reseq) b += im.sender_reseq->bytes() + im.sender_drops->bytes();
+  if (im.receiver_reseq) b += im.receiver_reseq->bytes() + im.receiver_drops->bytes();
+  return b;
+}
+
 // ------------------------------------------------------------- aggregation
 
+void finalize_calibration(CalibrationReport& report, bool duplication_exact) {
+  const auto& registry = calibration_registry();
+  report.detectors.clear();
+  report.detectors.reserve(registry.size());
+  auto push = [&](std::size_t idx, Verdict v, std::string evidence) {
+    report.detectors.push_back({&registry[idx], v, std::move(evidence)});
+  };
+
+  const auto& tt = report.time_travel;
+  if (!tt.instances.empty())
+    push(0, Verdict::kFail,
+         util::strf("%zu timestamp regression(s), first at record %zu (%lld us)",
+                    tt.instances.size(), tt.instances[0].record_index,
+                    static_cast<long long>(tt.instances[0].magnitude.count())));
+  else
+    push(0, Verdict::kPass, "timestamps monotone");
+
+  const auto& dup = report.duplication;
+  if (!dup.duplicate_indices.empty())
+    push(1, Verdict::kFail,
+         util::strf("%zu filter-duplicated record(s) [first-copy rate %.0f B/s, "
+                    "second-copy rate %.0f B/s]",
+                    dup.duplicate_indices.size(), dup.first_copy_rate,
+                    dup.second_copy_rate));
+  else if (!duplication_exact)
+    push(1, Verdict::kNotExercised, kCalibrationEvictedEvidence);
+  else
+    push(1, Verdict::kPass, "no systematic duplication");
+
+  const auto& rs = report.resequencing;
+  if (rs.ordering_untrustworthy())
+    push(2, Verdict::kFail,
+         util::strf("%zu resequencing instance(s), first at record %zu",
+                    rs.instances.size(), rs.instances[0].record_index));
+  else if (rs.instances.size() == 1)
+    push(2, Verdict::kPass, "1 instance (below the >=2 threshold)");
+  else
+    push(2, Verdict::kPass, "record order consistent");
+
+  const auto& dr = report.drops;
+  if (dr.drops_detected())
+    push(3, Verdict::kFail,
+         util::strf("%zu finding(s), >= %llu byte(s) unrecorded", dr.findings.size(),
+                    static_cast<unsigned long long>(dr.inferred_missing_bytes)));
+  else
+    push(3, Verdict::kPass, "trace self-consistent");
+
+  const auto& tam = report.tampering;
+  if (!tam.forged_rsts.empty())
+    push(4, Verdict::kFail,
+         util::strf("%zu forged RST(s): %s", tam.forged_rsts.size(),
+                    tam.forged_rsts[0].detail.c_str()));
+  else if (tam.rst_exercised)
+    push(4, Verdict::kPass, "every RST consistent with the flow state");
+  else
+    push(4, Verdict::kNotExercised, "no judgeable RST observed");
+
+  if (!tam.ttl_anomalies.empty())
+    push(5, Verdict::kFail,
+         util::strf("%zu TTL-anomalous segment(s): %s", tam.ttl_anomalies.size(),
+                    tam.ttl_anomalies[0].detail.c_str()));
+  else if (tam.ttl_exercised)
+    push(5, Verdict::kPass, "all TTLs within the flow baseline");
+  else
+    push(5, Verdict::kNotExercised, "no per-direction TTL baseline");
+
+  if (!tam.inconsistent_retx.empty())
+    push(6, Verdict::kFail,
+         util::strf("%zu inconsistent retransmission(s): %s",
+                    tam.inconsistent_retx.size(),
+                    tam.inconsistent_retx[0].detail.c_str()));
+  else if (tam.retx_window_evicted)
+    push(6, Verdict::kNotExercised, kCalibrationEvictedEvidence);
+  else if (tam.retx_exercised)
+    push(6, Verdict::kPass, "retransmitted payloads match their originals");
+  else
+    push(6, Verdict::kNotExercised, "no digest-comparable retransmission");
+}
+
+bool CalibrationReport::trustworthy() const {
+  if (!detectors.empty()) {
+    // Registry-derived: any failing detector at or above
+    // kUntrustworthyOrder (i.e. every registered class) poisons the trace.
+    for (const CalDetectorResult& r : detectors)
+      if (r.verdict == Verdict::kFail &&
+          r.detector->severity >= CalSeverity::kUntrustworthyOrder)
+        return false;
+    return true;
+  }
+  // Piecemeal-built report (tests assembling component reports by hand):
+  // derive the same answer from the components directly.
+  return !time_travel.clock_untrustworthy() && duplication.duplicate_indices.empty() &&
+         !resequencing.ordering_untrustworthy() && !drops.drops_detected() &&
+         !tampering.tampering_detected();
+}
+
+const CalDetectorResult* CalibrationReport::find(std::string_view id) const {
+  for (const CalDetectorResult& r : detectors)
+    if (r.detector && id == r.detector->id) return &r;
+  return nullptr;
+}
+
 CalibrationReport calibrate(const Trace& trace) {
-  CalibrationReport report;
-  report.time_travel = detect_time_travel(trace);
-  report.duplication = detect_measurement_duplicates(trace);
-  // Analyze ordering and drops on the duplicate-stripped view, as tcpanaly
-  // does after discarding later copies.
-  if (report.duplication.duplicate_indices.empty()) {
-    report.resequencing = detect_resequencing(trace);
-    report.drops = detect_filter_drops(trace);
-  } else {
-    Trace cleaned = strip_duplicates(trace, report.duplication);
-    report.resequencing = detect_resequencing(cleaned);
-    report.drops = detect_filter_drops(cleaned);
+  CalibrationEvaluator::Config cfg;
+  cfg.role = trace.meta().role;
+  CalibrationEvaluator eval(cfg);
+  for (const auto& rec : trace.records()) eval.add(rec, trace.is_from_local(rec));
+  CalibrationReport report = std::move(eval.finish().report);
+  if (!report.duplication.duplicate_indices.empty()) {
+    // Analyze ordering, drops, and tampering on the duplicate-stripped
+    // view, as tcpanaly does after discarding later copies.
+    const Trace cleaned = strip_duplicates(trace, report.duplication);
+    CalibrationEvaluator second(cfg);
+    for (const auto& rec : cleaned.records()) second.add(rec, cleaned.is_from_local(rec));
+    CalibrationReport pass2 = std::move(second.finish().report);
+    report.resequencing = std::move(pass2.resequencing);
+    report.drops = std::move(pass2.drops);
+    report.tampering = std::move(pass2.tampering);
+    finalize_calibration(report);
   }
   return report;
 }
@@ -464,6 +1533,13 @@ std::string CalibrationReport::summary() const {
   out += util::strf("filter drops:  %zu finding(s), >= %llu byte(s) unrecorded\n",
                     drops.findings.size(),
                     static_cast<unsigned long long>(drops.inferred_missing_bytes));
+  out += util::strf("tampering:     %zu forged RST(s), %zu TTL anomaly(ies), %zu inconsistent retx\n",
+                    tampering.forged_rsts.size(), tampering.ttl_anomalies.size(),
+                    tampering.inconsistent_retx.size());
+  for (const CalDetectorResult& r : detectors)
+    out += util::strf("  [%-30s %-19s] %-14s %s\n", r.detector->id,
+                      to_string(r.detector->severity), to_string(r.verdict),
+                      r.evidence.c_str());
   out += util::strf("verdict:       %s\n", trustworthy() ? "trustworthy" : "SUSPECT");
   return out;
 }

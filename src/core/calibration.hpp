@@ -14,14 +14,28 @@
 //   * filter drops         (3.1.1) -- self-consistency checks exploiting
 //     TCP's reliability: acks for unseen data, acked sequence holes never
 //     seen retransmitted, sends beyond the offered window
+//   * middlebox tampering  (beyond the paper) -- in-path injection the
+//     modern equivalent of a lying filter: forged RSTs whose sequence
+//     lineage contradicts the flow, injected segments whose TTL breaks the
+//     flow's hop-count baseline, and "retransmissions" whose payload bytes
+//     differ from the original copy
+//
+// Every detector is registered with a stable ID and severity class
+// (calibration_registry()); CalibrationEvaluator runs them all
+// incrementally, and calibrate() is a thin materialized wrapper over the
+// same evaluator, so streaming and materialized verdict vectors are
+// bit-identical by construction.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/annotations.hpp"
+#include "core/conformance.hpp"
 #include "tcp/profile.hpp"
 #include "trace/trace.hpp"
 
@@ -151,6 +165,93 @@ FilterDropReport detect_filter_drops(const AnnotatedTrace& ann);
 FilterDropReport infer_drops_from_model(const Trace& trace,
                                         const tcp::TcpProfile& profile);
 
+// --------------------------------------------------- middlebox tampering
+
+struct TamperingFinding {
+  std::size_t record_index = 0;  ///< the injected/mangled record
+  std::string detail;            ///< one-line evidence with the numbers
+};
+
+struct TamperingOptions {
+  /// Consecutive equal nonzero TTLs that lock a direction's baseline.
+  int ttl_baseline_samples = 3;
+  /// |TTL - baseline| at or beyond this flags an injected segment.
+  int ttl_anomaly_delta = 5;
+  /// A RST whose seq runs more than this many bytes beyond the direction's
+  /// recorded sequence frontier contradicts the flow state (a real stack's
+  /// RST carries snd_nxt; injectors guess).
+  std::uint32_t rst_seq_slack = 16384;
+  /// Bounded mode: max (seq,len)->digest entries retained per direction.
+  /// Sized so the tampering state stays a small fraction of the streaming
+  /// builder's reordering-window footprint; a retransmission lands within
+  /// roughly one RTO of the original, far inside this many data segments.
+  std::size_t digest_window = 256;
+};
+
+struct TamperingReport {
+  std::vector<TamperingFinding> forged_rsts;       ///< TAMPER-forged-rst
+  std::vector<TamperingFinding> ttl_anomalies;     ///< TAMPER-ttl-ipid-inject
+  std::vector<TamperingFinding> inconsistent_retx; ///< TAMPER-inconsistent-retx
+  // Whether each detector saw enough signal to judge anything at all (a
+  // trace with no RST, no IP TTLs, or no digest-comparable retransmission
+  // reports not-exercised rather than a hollow pass).
+  bool rst_exercised = false;
+  bool ttl_exercised = false;
+  bool retx_exercised = false;
+  /// Bounded mode only: the digest window dropped entries, so a clean
+  /// inconsistent-retransmission verdict would be unsound.
+  bool retx_window_evicted = false;
+
+  bool tampering_detected() const {
+    return !forged_rsts.empty() || !ttl_anomalies.empty() || !inconsistent_retx.empty();
+  }
+};
+
+TamperingReport detect_tampering(const Trace& trace, const TamperingOptions& opts = {});
+TamperingReport detect_tampering(const AnnotatedTrace& ann, const TamperingOptions& opts = {});
+
+// -------------------------------------------------------- detector registry
+
+/// How a failing detector poisons the trace's trustworthiness. Ordered by
+/// class; anything at or above kUntrustworthyOrder fails the trace.
+enum class CalSeverity {
+  kUntrustworthyOrder,  ///< record order / content cannot be trusted
+  kUntrustworthyClock,  ///< timestamps cannot be trusted
+  kMissingRecords,      ///< the filter provably failed to record packets
+  kTampering,           ///< an in-path party actively altered the flow
+};
+
+const char* to_string(CalSeverity severity);
+
+/// One registered calibration detector: a stable ID tools can key on, its
+/// severity class, and the citation grounding the check.
+struct CalDetector {
+  const char* id;        ///< stable, e.g. "SEC3.1.4-time-travel"
+  CalSeverity severity;
+  const char* title;
+  const char* reference; ///< paper section / threat-model citation
+};
+
+/// Every calibration detector, in report order (legacy section-3 classes
+/// first, tampering detectors after).
+const std::vector<CalDetector>& calibration_registry();
+
+/// Registry entry by stable ID, or nullptr.
+const CalDetector* find_calibration_detector(std::string_view id);
+
+/// Verdict of one detector over one flow. Reuses the conformance Verdict
+/// vocabulary: kFail = the pathology was detected, kPass = judged and
+/// clean, kNotExercised = the trace carried no signal to judge.
+struct CalDetectorResult {
+  const CalDetector* detector = nullptr;
+  Verdict verdict = Verdict::kNotExercised;
+  std::string evidence;
+};
+
+/// Evidence sentinel for verdicts the bounded evaluator had to surrender
+/// after evicting state (mirrors kConformanceEvictedEvidence).
+extern const char* const kCalibrationEvictedEvidence;
+
 // ------------------------------------------------------------- aggregation
 
 struct CalibrationReport {
@@ -158,15 +259,72 @@ struct CalibrationReport {
   DuplicationReport duplication;
   ResequencingReport resequencing;
   FilterDropReport drops;
+  TamperingReport tampering;
+  /// Per-detector verdicts, one per registry entry in registry order.
+  /// Filled by finalize_calibration(); trustworthy() derives from the
+  /// component reports directly when this is empty (piecemeal-built
+  /// reports in tests).
+  std::vector<CalDetectorResult> detectors;
 
-  bool trustworthy() const {
-    return !time_travel.clock_untrustworthy() && duplication.duplicate_indices.empty() &&
-           !resequencing.ordering_untrustworthy() && !drops.drops_detected();
-  }
+  bool trustworthy() const;
+  const CalDetectorResult* find(std::string_view id) const;
   std::string summary() const;
 };
 
-/// Run every calibration pass over a trace.
+/// (Re)derive the per-detector verdict vector from the component reports.
+/// `duplication_exact` is false only when a bounded evaluator's duplicate
+/// table evicted state on a regressing stream; the additions verdict then
+/// reports kNotExercised instead of a hollow pass.
+void finalize_calibration(CalibrationReport& report, bool duplication_exact = true);
+
+/// Run every calibration pass over a trace: a thin materialized wrapper
+/// over CalibrationEvaluator (one incremental pass; a second pass on the
+/// duplicate-stripped view when additions were found, as tcpanaly does
+/// after discarding later copies).
 CalibrationReport calibrate(const Trace& trace);
+
+// --------------------------------------------------- incremental evaluator
+
+/// Runs every registered detector as a state machine over a record stream.
+/// This is THE implementation of the calibration detectors -- the offline
+/// detect_* scans above are the independently-written oracles that
+/// diff_stream_summary pins it against. In unbounded mode (the default)
+/// the evaluator is exact on any input; bounded mode caps the duplicate
+/// table and the payload-digest window, surrendering verdicts (never
+/// guessing) when eviction could have changed the answer.
+class CalibrationEvaluator {
+ public:
+  struct Config {
+    trace::LocalRole role = trace::LocalRole::kSender;
+    DuplicationOptions duplication;
+    ResequencingOptions resequencing;
+    TamperingOptions tampering;
+    bool bounded = false;
+  };
+
+  explicit CalibrationEvaluator(Config cfg);
+  ~CalibrationEvaluator();
+  CalibrationEvaluator(CalibrationEvaluator&&) noexcept;
+  CalibrationEvaluator& operator=(CalibrationEvaluator&&) noexcept;
+
+  void add(const trace::PacketRecord& rec, bool from_local);
+
+  struct Result {
+    CalibrationReport report;  ///< detectors vector finalized
+    /// False when bounded-mode eviction interacted with a timestamp
+    /// regression: the duplication result then needs a materialized
+    /// re-check.
+    bool duplication_is_exact = true;
+  };
+  /// Consumes the evaluator's accumulated state.
+  Result finish();
+
+  /// Approximate heap footprint (memory metering).
+  std::uint64_t bytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace tcpanaly::core

@@ -95,6 +95,25 @@ Json to_json(const FilterDropReport& rep) {
   return j;
 }
 
+Json to_json(const TamperingReport& rep) {
+  auto findings_json = [](const std::vector<TamperingFinding>& findings) {
+    Json arr = Json::array();
+    for (const auto& f : findings) {
+      Json e = Json::object();
+      e.set("record", f.record_index);
+      e.set("detail", f.detail);
+      arr.push_back(std::move(e));
+    }
+    return arr;
+  };
+  Json j = Json::object();
+  j.set("tampering_detected", rep.tampering_detected());
+  j.set("forged_rsts", findings_json(rep.forged_rsts));
+  j.set("ttl_anomalies", findings_json(rep.ttl_anomalies));
+  j.set("inconsistent_retx", findings_json(rep.inconsistent_retx));
+  return j;
+}
+
 Json to_json(const CalibrationReport& rep) {
   Json j = Json::object();
   j.set("trustworthy", rep.trustworthy());
@@ -102,6 +121,21 @@ Json to_json(const CalibrationReport& rep) {
   j.set("additions", to_json(rep.duplication));
   j.set("resequencing", to_json(rep.resequencing));
   j.set("filter_drops", to_json(rep.drops));
+  j.set("tampering", to_json(rep.tampering));
+  // The registry verdict vector: one row per detector in registry order,
+  // the same projection the conformance vector uses.
+  Json detectors = Json::array();
+  for (const auto& d : rep.detectors) {
+    Json e = Json::object();
+    e.set("id", d.detector->id);
+    e.set("severity", to_string(d.detector->severity));
+    e.set("title", d.detector->title);
+    e.set("reference", d.detector->reference);
+    e.set("verdict", to_string(d.verdict));
+    e.set("evidence", d.evidence);
+    detectors.push_back(std::move(e));
+  }
+  j.set("detectors", std::move(detectors));
   return j;
 }
 

@@ -27,6 +27,7 @@ report::Json to_json(const TimeTravelReport& rep);
 report::Json to_json(const DuplicationReport& rep);
 report::Json to_json(const ResequencingReport& rep);
 report::Json to_json(const FilterDropReport& rep);
+report::Json to_json(const TamperingReport& rep);
 report::Json to_json(const CalibrationReport& rep);
 
 report::Json to_json(const TraceSummary& summary);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <deque>
 #include <limits>
 #include <utility>
@@ -20,32 +21,11 @@ using trace::Trace;
 
 namespace {
 
-// Each online detector below is the corresponding offline scan from
-// core/calibration.cpp re-expressed as a state machine: same conditions in
-// the same order, with every lookahead the offline code performed turned
-// into a bounded "armed entry" that later records resolve. Exactness is
-// the contract -- diff_stream_summary holds each one to account against
-// its offline twin over the fuzz corpus.
-
-// ------------------------------------------------------------ time travel
-
-/// detect_time_travel as a cursor: remembers only the previous timestamp.
-class OnlineTimeTravel {
- public:
-  void add(std::size_t i, const PacketRecord& rec) {
-    if (i > 0 && rec.timestamp < prev_)
-      report_.instances.push_back({i, prev_ - rec.timestamp});
-    prev_ = rec.timestamp;
-  }
-  TimeTravelReport take() { return std::move(report_); }
-  std::uint64_t bytes() const {
-    return report_.instances.capacity() * sizeof(TimeTravelInstance);
-  }
-
- private:
-  TimePoint prev_;
-  TimeTravelReport report_;
-};
+// The online calibration detectors (time travel, duplication, reseq, drop,
+// tampering state machines) live in core/calibration.cpp behind
+// CalibrationEvaluator since the registry refactor; each hypothesis below
+// owns one evaluator in bounded mode. Only the window-cap cursor -- a
+// section-6.2 estimator, not a calibration detector -- remains here.
 
 // ------------------------------------------------------------- window cap
 
@@ -88,684 +68,6 @@ class OnlineWindowCap {
   std::uint32_t peak_ = 0;
 };
 
-// -------------------------------------------------------------- additions
-
-/// Mean rate (bytes/sec) over back-to-back same-set records. Local replica
-/// of the file-local helper in calibration.cpp -- same filter, same float
-/// operations in the same order, so the rates stay bit-identical (the
-/// differential oracle pins this against drift).
-double burst_rate(const std::vector<std::pair<TimePoint, std::uint32_t>>& pts) {
-  double bytes = 0.0, secs = 0.0;
-  for (std::size_t i = 1; i < pts.size(); ++i) {
-    const Duration gap = pts[i].first - pts[i - 1].first;
-    if (gap <= Duration::zero() || gap > Duration::millis(3)) continue;
-    bytes += pts[i].second;
-    secs += gap.to_seconds();
-  }
-  return secs > 0.0 ? bytes / secs : 0.0;
-}
-
-/// The duplicate detector's pending-twin table as a compact open-addressing
-/// map keyed on segment content (the offline std::map<SegKey, ...> keeps
-/// one entry per distinct unmatched segment; this stores the same entries
-/// in ~32 bytes each).
-///
-/// Boundedness: when the table would grow, entries whose timestamp has
-/// fallen more than the match gap behind the stream's running-max
-/// timestamp are swept first. Such an entry can only ever match a record
-/// whose timestamp regresses below that watermark (the match window is a
-/// signed comparison), so eviction is exact on monotone streams; the
-/// owning OnlineDuplication flags the summary inexact if a regression
-/// arrives after any eviction, and diff_stream_summary checks that the
-/// flag is only ever raised on genuinely regressing streams.
-class DupTable {
- public:
-  struct Key {
-    SeqNum seq;
-    SeqNum ack;
-    std::uint32_t payload;
-    std::uint32_t window;
-    std::uint8_t flags;  // syn | fin<<1 | psh<<2
-  };
-  struct Slot {
-    SeqNum seq = 0;
-    SeqNum ack = 0;
-    std::uint32_t payload = 0;
-    std::uint32_t window = 0;
-    std::int64_t ts_us = 0;
-    std::uint8_t flags = 0;
-    std::uint8_t state = 0;  // 0 empty, 1 occupied, 2 tombstone
-  };
-
-  static Key key_of(const PacketRecord& rec) {
-    return {rec.tcp.seq, rec.tcp.ack, rec.tcp.payload_len, rec.tcp.window,
-            static_cast<std::uint8_t>((rec.tcp.flags.syn ? 1 : 0) |
-                                      (rec.tcp.flags.fin ? 2 : 0) |
-                                      (rec.tcp.flags.psh ? 4 : 0))};
-  }
-
-  /// The occupied slot matching `k`, or nullptr.
-  Slot* find(const Key& k) {
-    if (slots_.empty()) return nullptr;
-    const std::size_t mask = slots_.size() - 1;
-    std::size_t idx = hash(k) & mask;
-    for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
-      Slot& s = slots_[idx];
-      if (s.state == 0) return nullptr;
-      if (s.state == 1 && matches(s, k)) return &s;
-      idx = (idx + 1) & mask;
-    }
-    return nullptr;
-  }
-
-  /// Insert a fresh pending entry (caller has established `k` is absent).
-  /// Entries older than `evict_before` are swept before the table is
-  /// allowed to grow.
-  void insert(const Key& k, std::int64_t ts_us, std::int64_t evict_before) {
-    if (slots_.empty()) {
-      rehash(64);
-    } else if ((used_ + 1) * 10 > slots_.size() * 7) {
-      sweep(evict_before);
-      // Mostly-tombstones tables just compact in place; genuinely full
-      // ones double.
-      rehash(occupied_ * 100 < slots_.size() * 35 ? slots_.size() : slots_.size() * 2);
-    }
-    const std::size_t mask = slots_.size() - 1;
-    std::size_t idx = hash(k) & mask;
-    Slot* tomb = nullptr;
-    for (;;) {
-      Slot& s = slots_[idx];
-      if (s.state == 0) {
-        Slot& target = tomb ? *tomb : s;
-        if (!tomb) ++used_;  // consuming a never-used slot
-        target = {k.seq, k.ack, k.payload, k.window, ts_us, k.flags, 1};
-        ++occupied_;
-        return;
-      }
-      if (s.state == 2 && !tomb) tomb = &s;
-      idx = (idx + 1) & mask;
-    }
-  }
-
-  void erase(Slot* s) {
-    s->state = 2;
-    --occupied_;
-  }
-
-  /// True once any entry has been dropped by age rather than matched.
-  bool evicted() const { return evicted_; }
-
-  std::uint64_t bytes() const { return slots_.size() * sizeof(Slot); }
-
- private:
-  static std::uint64_t mix(std::uint64_t x) {
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ULL;
-    x ^= x >> 33;
-    return x;
-  }
-  static std::uint64_t hash(const Key& k) {
-    std::uint64_t h = mix((static_cast<std::uint64_t>(k.seq) << 32) | k.ack);
-    h = mix(h ^ ((static_cast<std::uint64_t>(k.payload) << 32) | k.window));
-    return mix(h ^ k.flags);
-  }
-  static bool matches(const Slot& s, const Key& k) {
-    return s.seq == k.seq && s.ack == k.ack && s.payload == k.payload &&
-           s.window == k.window && s.flags == k.flags;
-  }
-
-  void sweep(std::int64_t min_ts) {
-    for (Slot& s : slots_) {
-      if (s.state == 1 && s.ts_us < min_ts) {
-        s.state = 2;
-        --occupied_;
-        evicted_ = true;
-      }
-    }
-  }
-
-  void rehash(std::size_t new_cap) {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(new_cap, Slot{});
-    used_ = occupied_ = 0;
-    const std::size_t mask = slots_.size() - 1;
-    for (const Slot& s : old) {
-      if (s.state != 1) continue;
-      std::size_t idx =
-          hash({s.seq, s.ack, s.payload, s.window, s.flags}) & mask;
-      while (slots_[idx].state != 0) idx = (idx + 1) & mask;
-      slots_[idx] = s;
-      ++used_;
-      ++occupied_;
-    }
-  }
-
-  std::vector<Slot> slots_;
-  std::size_t used_ = 0;      // occupied + tombstones
-  std::size_t occupied_ = 0;  // live entries
-  bool evicted_ = false;
-};
-
-/// detect_measurement_duplicates as a cursor: the pending map becomes the
-/// DupTable; match/overwrite/insert decisions are unchanged, including the
-/// signed gap comparison.
-class OnlineDuplication {
- public:
-  explicit OnlineDuplication(DuplicationOptions opts = {}) : opts_(opts) {}
-
-  /// Feed outbound (from-local) records only, as the offline scan does.
-  void add(std::size_t i, const PacketRecord& rec) {
-    if (rec.tcp.payload_len > 0) ++outbound_data_;
-    const std::int64_t ts = rec.timestamp.count();
-    // A record below the running-max timestamp could have matched an
-    // already-evicted entry; from that point the online answer is no
-    // longer guaranteed equal to the offline one.
-    if (have_watermark_ && ts < watermark_ && table_.evicted()) exact_ = false;
-    watermark_ = have_watermark_ ? std::max(watermark_, ts) : ts;
-    min_ts_ = have_watermark_ ? std::min(min_ts_, ts) : ts;
-    have_watermark_ = true;
-    const DupTable::Key key = DupTable::key_of(rec);
-    if (DupTable::Slot* s = table_.find(key)) {
-      if (rec.timestamp - TimePoint(s->ts_us) <= opts_.max_gap) {
-        later_copies_.push_back(i);
-        first_pts_.emplace_back(TimePoint(s->ts_us), rec.tcp.payload_len);
-        second_pts_.emplace_back(rec.timestamp, rec.tcp.payload_len);
-        table_.erase(s);
-      } else {
-        s->ts_us = rec.timestamp.count();
-      }
-    } else {
-      // Saturate rather than wrap: an underflowed threshold would evict
-      // fresh entries instead of none.
-      const std::int64_t gap = opts_.max_gap.count();
-      const std::int64_t floor = std::numeric_limits<std::int64_t>::min();
-      const std::int64_t evict_before =
-          gap <= 0 ? watermark_ : (watermark_ < floor + gap ? floor : watermark_ - gap);
-      table_.insert(key, ts, evict_before);
-    }
-    // The gap test above wraps (like all analyzer time arithmetic), so on
-    // captures whose outbound timestamps span more than the int64 range an
-    // evicted entry could still have wrap-matched a much-later record;
-    // eviction is only provably answer-preserving on sane spans.
-    if (table_.evicted() && span_wraps(min_ts_, watermark_)) exact_ = false;
-  }
-
-  static bool span_wraps(std::int64_t lo, std::int64_t hi) {
-    return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) >
-           static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
-  }
-
-  /// False when eviction interacted with a timestamp regression: the
-  /// reported duplication result then needs a materialized re-check.
-  bool is_exact() const { return exact_; }
-
-  DuplicationReport finish() {
-    DuplicationReport report;
-    if (outbound_data_ > 4 && later_copies_.size() * 2 >= outbound_data_) {
-      report.duplicate_indices = std::move(later_copies_);
-      std::sort(first_pts_.begin(), first_pts_.end());
-      std::sort(second_pts_.begin(), second_pts_.end());
-      report.first_copy_rate = burst_rate(first_pts_);
-      report.second_copy_rate = burst_rate(second_pts_);
-    }
-    return report;
-  }
-
-  std::uint64_t bytes() const {
-    return table_.bytes() + later_copies_.capacity() * sizeof(std::size_t) +
-           (first_pts_.capacity() + second_pts_.capacity()) *
-               sizeof(std::pair<TimePoint, std::uint32_t>);
-  }
-
- private:
-  DuplicationOptions opts_;
-  DupTable table_;
-  std::vector<std::size_t> later_copies_;
-  std::size_t outbound_data_ = 0;
-  std::int64_t watermark_ = 0;
-  std::int64_t min_ts_ = 0;
-  bool have_watermark_ = false;
-  bool exact_ = true;
-  std::vector<std::pair<TimePoint, std::uint32_t>> first_pts_, second_pts_;
-};
-
-// ------------------------------------------------- resequencing (sender)
-
-/// The sender-side resequencing scan. Offline, each suspicious data record
-/// looks AHEAD up to epsilon for a liberating ack; here the record arms an
-/// entry carrying a snapshot of the scan state and subsequent records
-/// resolve it -- killed at the first record more than epsilon later (the
-/// offline break), fired by an inbound ack meeting the same repair/advance
-/// test against the arm-time snapshot.
-class SenderReseq {
- public:
-  explicit SenderReseq(ResequencingOptions opts = {}) : opts_(opts) {}
-
-  void add(std::size_t i, const PacketRecord& rec, bool from_local) {
-    // Resolve entries armed by earlier records against this one, in arm
-    // order (the offline outer loop's lookahead order).
-    for (auto it = armed_.begin(); it != armed_.end();) {
-      if (rec.timestamp - it->ts > opts_.epsilon) {
-        it = armed_.erase(it);
-        continue;
-      }
-      bool fired = false;
-      if (!from_local && rec.tcp.flags.ack) {
-        const bool repairs = seq_le(it->seq_end, rec.tcp.ack + rec.tcp.window);
-        const bool advances = !it->have_ack || seq_gt(rec.tcp.ack, it->last_ack);
-        if ((it->violates && repairs) || (it->lull && advances)) {
-          fired_.push_back(
-              {it->order,
-               {i, ResequencingKind::kDataBeforeLiberatingAck, rec.timestamp - it->ts}});
-          fired_record_idx_.push_back(i);  // i is non-decreasing: stays sorted
-          fired = true;
-        }
-      }
-      it = fired ? armed_.erase(it) : std::next(it);
-    }
-
-    // Advance the scan state / arm this record.
-    if (from_local) {
-      if (rec.tcp.payload_len == 0) return;
-      const bool violates =
-          have_ack_ && seq_gt(rec.tcp.seq_end(), last_ack_ + last_win_);
-      const bool lull = have_outbound_ &&
-                        rec.timestamp - last_outbound_ > Duration::millis(200);
-      last_outbound_ = rec.timestamp;
-      have_outbound_ = true;
-      if (violates || lull)
-        armed_.push_back({next_order_++, rec.timestamp, rec.tcp.seq_end(), violates,
-                          lull, have_ack_, last_ack_});
-    } else if (rec.tcp.flags.ack) {
-      have_ack_ = true;
-      last_ack_ = rec.tcp.ack;
-      last_win_ = rec.tcp.window;
-    }
-  }
-
-  ResequencingReport finish() {
-    armed_.clear();  // entries that never resolved produce no instance
-    // The offline report is in arm (outer-loop) order; fires happened in
-    // resolve order, which can differ when a later arm fires sooner.
-    std::sort(fired_.begin(), fired_.end(),
-              [](const Fired& a, const Fired& b) { return a.order < b.order; });
-    ResequencingReport report;
-    report.instances.reserve(fired_.size());
-    for (const Fired& f : fired_) report.instances.push_back(f.instance);
-    return report;
-  }
-
-  /// Sorted record indices of every instance fired so far (final for
-  /// indices <= the last record processed); the drop detector's
-  /// "explained by resequencing" window check binary-searches this.
-  const std::vector<std::size_t>& fired_record_indices() const {
-    return fired_record_idx_;
-  }
-
-  std::uint64_t bytes() const {
-    return armed_.size() * sizeof(Armed) + fired_.capacity() * sizeof(Fired) +
-           fired_record_idx_.capacity() * sizeof(std::size_t);
-  }
-
- private:
-  struct Armed {
-    std::size_t order;
-    TimePoint ts;
-    SeqNum seq_end;
-    bool violates;
-    bool lull;
-    bool have_ack;  // scan-state snapshot at arm time
-    SeqNum last_ack;
-  };
-  struct Fired {
-    std::size_t order;
-    ResequencingInstance instance;
-  };
-
-  ResequencingOptions opts_;
-  std::deque<Armed> armed_;
-  std::vector<Fired> fired_;
-  std::vector<std::size_t> fired_record_idx_;
-  std::size_t next_order_ = 0;
-  bool have_ack_ = false;
-  SeqNum last_ack_ = 0;
-  std::uint32_t last_win_ = 0;
-  bool have_outbound_ = false;
-  TimePoint last_outbound_;
-};
-
-// ------------------------------------------------- filter drops (sender)
-
-/// The sender-side drop checks. Everything is eager except offered-window
-/// violations, whose offline "explained by resequencing" test consults
-/// instances up to four records ahead -- those findings wait in a short
-/// queue until the resequencing detector has processed record i+4 (or
-/// end-of-stream) and are then admitted or suppressed.
-class SenderDrops {
- public:
-  void add(std::size_t i, const PacketRecord& rec, bool from_local,
-           const SenderReseq& reseq) {
-    resolve_pending(reseq, i);
-    if (from_local) {
-      const SeqNum begin = rec.tcp.seq;
-      const SeqNum end = rec.tcp.seq_end();
-      if (end != begin) {
-        sent_.insert(begin, end);
-        if (!have_send_ || seq_gt(end, max_sent_end_)) max_sent_end_ = end;
-        if (!have_send_) {
-          checked_to_ = begin;
-          have_checked_ = true;
-        }
-        have_send_ = true;
-      }
-      if (rec.tcp.payload_len > 0 && have_ack_ &&
-          seq_gt(end, last_ack_ + last_win_)) {
-        pending_viol_.push_back(
-            {i, static_cast<std::uint64_t>(seq_diff(end, last_ack_ + last_win_))});
-      }
-      return;
-    }
-    if (!rec.tcp.flags.ack || rec.tcp.flags.syn) {
-      if (rec.tcp.flags.syn) {
-        have_ack_ = true;
-        last_ack_ = rec.tcp.ack;
-        last_win_ = rec.tcp.window;
-      }
-      return;
-    }
-    if (have_send_ && seq_gt(rec.tcp.ack, max_sent_end_)) {
-      const auto missing =
-          static_cast<std::uint64_t>(seq_diff(rec.tcp.ack, max_sent_end_));
-      findings_.push_back({DropCheck::kAckForUnseenData, i, missing});
-      inferred_missing_ += missing;
-      sent_.insert(max_sent_end_, rec.tcp.ack);
-      max_sent_end_ = rec.tcp.ack;
-    } else if (have_send_ && have_checked_ && seq_gt(rec.tcp.ack, checked_to_)) {
-      const std::uint64_t hole = sent_.missing_in(checked_to_, rec.tcp.ack);
-      if (hole > 0) {
-        findings_.push_back({DropCheck::kAckedHoleNeverSent, i, hole});
-        inferred_missing_ += hole;
-        sent_.insert(checked_to_, rec.tcp.ack);
-      }
-      checked_to_ = rec.tcp.ack;
-    }
-    have_ack_ = true;
-    last_ack_ = rec.tcp.ack;
-    last_win_ = rec.tcp.window;
-  }
-
-  /// Call after the paired SenderReseq::finish-time state is final.
-  FilterDropReport finish(const SenderReseq& reseq) {
-    while (!pending_viol_.empty()) admit_or_drop(reseq, pending_viol_.front()), pending_viol_.pop_front();
-    // Offline pushes each finding while scanning record i; at most one
-    // finding per record on this side, so record order restores it.
-    std::sort(findings_.begin(), findings_.end(),
-              [](const FilterDropFinding& a, const FilterDropFinding& b) {
-                return a.record_index < b.record_index;
-              });
-    FilterDropReport report;
-    report.findings = std::move(findings_);
-    report.inferred_missing_bytes = inferred_missing_;
-    return report;
-  }
-
-  std::uint64_t bytes() const {
-    return sent_.interval_count() * kIntervalNodeBytes +
-           pending_viol_.size() * sizeof(PendingViolation) +
-           findings_.capacity() * sizeof(FilterDropFinding);
-  }
-
- private:
-  struct PendingViolation {
-    std::size_t i;
-    std::uint64_t over_bytes;
-  };
-  /// Approximate heap cost of one interval-set map node.
-  static constexpr std::uint64_t kIntervalNodeBytes = 48;
-
-  void resolve_pending(const SenderReseq& reseq, std::size_t current) {
-    // A violation at record i is explained by any resequencing instance
-    // landing in [i, i+4]; all such instances exist once the resequencing
-    // detector has consumed record i+4.
-    while (!pending_viol_.empty() && current > pending_viol_.front().i + 4) {
-      admit_or_drop(reseq, pending_viol_.front());
-      pending_viol_.pop_front();
-    }
-  }
-
-  void admit_or_drop(const SenderReseq& reseq, const PendingViolation& pv) {
-    const auto& fired = reseq.fired_record_indices();
-    auto it = std::lower_bound(fired.begin(), fired.end(), pv.i);
-    const bool explained = it != fired.end() && *it <= pv.i + 4;
-    if (!explained)
-      findings_.push_back({DropCheck::kOfferedWindowViolation, pv.i, pv.over_bytes});
-  }
-
-  SeqIntervalSet sent_;
-  bool have_send_ = false;
-  SeqNum max_sent_end_ = 0;
-  bool have_ack_ = false;
-  SeqNum last_ack_ = 0;
-  std::uint32_t last_win_ = 0;
-  SeqNum checked_to_ = 0;
-  bool have_checked_ = false;
-  std::deque<PendingViolation> pending_viol_;
-  std::vector<FilterDropFinding> findings_;
-  std::uint64_t inferred_missing_ = 0;
-};
-
-// ----------------------------------------------- resequencing (receiver)
-
-/// The receiver-side resequencing scan. A local ack beyond the arrived
-/// frontier arms an entry; inbound data within epsilon covering the ack
-/// fires it (instance indexed at the ACK record, so the drop detector must
-/// know the outcome before it can audit that very record -- entries
-/// therefore persist, with their fired flag, until the drop detector's
-/// delayed queue has passed them).
-class ReceiverReseq {
- public:
-  enum class ArmState { kUnarmed, kPending, kResolved };
-
-  explicit ReceiverReseq(ResequencingOptions opts = {}) : opts_(opts) {}
-
-  void add(std::size_t i, const PacketRecord& rec, bool from_local) {
-    const bool candidate_data = !from_local && rec.tcp.payload_len > 0;
-    for (Armed& e : armed_) {
-      if (!e.live) continue;
-      if (rec.timestamp - e.ts > opts_.epsilon) {
-        e.live = false;
-        continue;
-      }
-      if (candidate_data && !seq_gt(e.ack, rec.tcp.seq_end())) {
-        instances_.push_back({e.index, ResequencingKind::kAckForDataNotYetArrived,
-                              rec.timestamp - e.ts});
-        e.fired = true;
-        e.live = false;
-      }
-    }
-
-    if (!from_local) {
-      if (rec.tcp.payload_len > 0 || rec.tcp.flags.syn) {
-        const SeqNum end = rec.tcp.seq_end();
-        if (!have_data_ || seq_gt(end, max_arrived_)) max_arrived_ = end;
-        have_data_ = true;
-      }
-      return;
-    }
-    if (!rec.tcp.flags.ack || !have_data_) return;
-    if (!seq_gt(rec.tcp.ack, max_arrived_)) return;
-    armed_.push_back({i, rec.timestamp, rec.tcp.ack, true, false});
-  }
-
-  /// End-of-stream: entries still waiting can never fire.
-  void finish_stream() {
-    eof_ = true;
-    for (Armed& e : armed_) e.live = false;
-  }
-
-  ResequencingReport finish() {
-    // Instances were pushed in fire order; the offline report is in arm
-    // order, which on this side equals record-index order (each instance
-    // is indexed at its arming ack, unique per entry).
-    std::sort(instances_.begin(), instances_.end(),
-              [](const ResequencingInstance& a, const ResequencingInstance& b) {
-                return a.record_index < b.record_index;
-              });
-    ResequencingReport report;
-    report.instances = std::move(instances_);
-    return report;
-  }
-
-  bool eof() const { return eof_; }
-
-  /// Resolution state of the armed entry for the ack at `index`.
-  ArmState arm_state(std::size_t index) const {
-    for (const Armed& e : armed_)
-      if (e.index == index) return e.live ? ArmState::kPending : ArmState::kResolved;
-    return ArmState::kUnarmed;
-  }
-  /// True iff the ack at `index` fired an instance (its "explained" bit).
-  bool fired(std::size_t index) const {
-    for (const Armed& e : armed_)
-      if (e.index == index) return e.fired;
-    return false;
-  }
-  /// Drop entries the consumer has audited (entries arm in index order).
-  void prune_through(std::size_t index) {
-    while (!armed_.empty() && armed_.front().index <= index) armed_.pop_front();
-  }
-
-  std::uint64_t bytes() const {
-    return armed_.size() * sizeof(Armed) +
-           instances_.capacity() * sizeof(ResequencingInstance);
-  }
-
- private:
-  struct Armed {
-    std::size_t index;
-    TimePoint ts;
-    SeqNum ack;
-    bool live;
-    bool fired;
-  };
-
-  ResequencingOptions opts_;
-  std::deque<Armed> armed_;
-  std::vector<ResequencingInstance> instances_;
-  bool have_data_ = false;
-  SeqNum max_arrived_ = 0;
-  bool eof_ = false;
-};
-
-// ----------------------------------------------- filter drops (receiver)
-
-/// The receiver-side drop checks, run as a delayed in-order replay. A local
-/// ack's "explained by resequencing" test needs its own record's instance
-/// -- decided up to epsilon later -- so records queue in compact form and
-/// drain in order, the head blocking only while it is an ack whose armed
-/// entry is still pending. One record can emit two findings here
-/// (dup-acks-without-cause before the consistency check), and the replay's
-/// head order IS the offline scan order, so no sort at the end.
-class ReceiverDrops {
- public:
-  void add(std::size_t i, const PacketRecord& rec, bool from_local,
-           ReceiverReseq& reseq) {
-    fifo_.push_back({i, from_local, rec.tcp.flags.ack, rec.tcp.payload_len,
-                     rec.tcp.seq, rec.tcp.seq_end(), rec.tcp.ack});
-    drain(reseq);
-  }
-
-  FilterDropReport finish(ReceiverReseq& reseq) {
-    drain(reseq);  // reseq.finish_stream() has run: nothing blocks now
-    FilterDropReport report;
-    report.findings = std::move(findings_);
-    report.inferred_missing_bytes = inferred_missing_;
-    return report;
-  }
-
-  std::uint64_t bytes() const {
-    return fifo_.size() * sizeof(Rec) + arrived_.interval_count() * kIntervalNodeBytes +
-           findings_.capacity() * sizeof(FilterDropFinding);
-  }
-
- private:
-  struct Rec {
-    std::size_t index;
-    bool from_local;
-    bool is_ack;
-    std::uint32_t payload;
-    SeqNum seq;
-    SeqNum seq_end;
-    SeqNum ack;
-  };
-  static constexpr std::uint64_t kIntervalNodeBytes = 48;
-
-  void drain(ReceiverReseq& reseq) {
-    while (!fifo_.empty()) {
-      const Rec r = fifo_.front();
-      if (r.from_local && r.is_ack && !reseq.eof() &&
-          reseq.arm_state(r.index) == ReceiverReseq::ArmState::kPending)
-        return;  // its explained bit is still in flight
-      fifo_.pop_front();
-      step(r, reseq);
-      reseq.prune_through(r.index);
-    }
-  }
-
-  void step(const Rec& r, const ReceiverReseq& reseq) {
-    if (!r.from_local) {
-      if (r.payload > 0) uncaused_dups_ = 0;
-      if (r.seq_end != r.seq) {
-        arrived_.insert(r.seq, r.seq_end);
-        if (!have_data_ || seq_gt(r.seq_end, max_arrived_)) max_arrived_ = r.seq_end;
-        if (!have_data_) {
-          checked_to_ = r.seq;
-          have_checked_ = true;
-        }
-        have_data_ = true;
-      }
-      return;
-    }
-    if (!r.is_ack || !have_data_) return;
-    if (have_local_ack_ && r.ack == last_local_ack_ && r.payload == 0) {
-      if (++uncaused_dups_ == 2)
-        findings_.push_back({DropCheck::kDupAcksWithoutCause, r.index, 0});
-    }
-    have_local_ack_ = true;
-    last_local_ack_ = r.ack;
-    if (reseq.fired(r.index)) return;  // explained by resequencing
-    if (seq_gt(r.ack, max_arrived_)) {
-      const auto missing = static_cast<std::uint64_t>(seq_diff(r.ack, max_arrived_));
-      findings_.push_back({DropCheck::kLocalAckForUnseenData, r.index, missing});
-      inferred_missing_ += missing;
-      arrived_.insert(max_arrived_, r.ack);
-      max_arrived_ = r.ack;
-    } else if (have_checked_ && seq_gt(r.ack, checked_to_)) {
-      const std::uint64_t hole = arrived_.missing_in(checked_to_, r.ack);
-      if (hole > 0) {
-        findings_.push_back({DropCheck::kAckedHoleNeverArrived, r.index, hole});
-        inferred_missing_ += hole;
-        arrived_.insert(checked_to_, r.ack);
-      }
-      checked_to_ = r.ack;
-    }
-  }
-
-  std::deque<Rec> fifo_;
-  SeqIntervalSet arrived_;
-  bool have_data_ = false;
-  SeqNum max_arrived_ = 0;
-  SeqNum checked_to_ = 0;
-  bool have_checked_ = false;
-  bool have_local_ack_ = false;
-  SeqNum last_local_ack_ = 0;
-  int uncaused_dups_ = 0;
-  std::vector<FilterDropFinding> findings_;
-  std::uint64_t inferred_missing_ = 0;
-};
-
 /// The precompute_caps grace list: requested graces in order, first
 /// occurrence wins, zero grace appended when not already present.
 std::vector<Duration> cap_grace_list(std::vector<Duration> requested) {
@@ -791,14 +93,11 @@ struct AnnotationBuilder::Impl {
     std::vector<RecordNote> notes;
     std::vector<SendEvent> sends;
     std::vector<AckEvent> acks;
-    // kBounded: online detectors, nothing per-record retained.
+    // kBounded: online detectors, nothing per-record retained. The full
+    // calibration registry runs behind one incremental evaluator.
     std::array<std::uint64_t, 8> kind_counts{};
     std::vector<OnlineWindowCap> window_caps;
-    OnlineDuplication duplication;
-    std::unique_ptr<SenderReseq> sender_reseq;
-    std::unique_ptr<SenderDrops> sender_drops;
-    std::unique_ptr<ReceiverReseq> receiver_reseq;
-    std::unique_ptr<ReceiverDrops> receiver_drops;
+    std::unique_ptr<CalibrationEvaluator> calibration;
     // Both modes: the incremental MUST/SHOULD requirement evaluator
     // (kBounded caps its history; kFull is exact by construction).
     std::unique_ptr<ConformanceEvaluator> conformance;
@@ -808,15 +107,13 @@ struct AnnotationBuilder::Impl {
     if (opts.mode == Mode::kFull) {
       records = std::make_shared<Trace>();
     } else {
+      CalibrationEvaluator::Config cal_cfg;
+      cal_cfg.role = opts.local_is_sender ? trace::LocalRole::kSender
+                                          : trace::LocalRole::kReceiver;
+      cal_cfg.bounded = true;
       for (Hypothesis& h : hyp) {
         for (Duration g : graces) h.window_caps.emplace_back(g);
-        if (opts.local_is_sender) {
-          h.sender_reseq = std::make_unique<SenderReseq>();
-          h.sender_drops = std::make_unique<SenderDrops>();
-        } else {
-          h.receiver_reseq = std::make_unique<ReceiverReseq>();
-          h.receiver_drops = std::make_unique<ReceiverDrops>();
-        }
+        h.calibration = std::make_unique<CalibrationEvaluator>(cal_cfg);
       }
     }
     const ConformanceEvaluator::Config conf_cfg{
@@ -838,7 +135,6 @@ struct AnnotationBuilder::Impl {
     tally.add(rec);
     const std::size_t i = n++;
     if (opts.mode == Mode::kFull) records->push_back(rec);
-    time_travel.add(i, rec);
     for (int hi = 0; hi < 2; ++hi) {
       Hypothesis& h = hyp[hi];
       const bool from_local =
@@ -861,18 +157,11 @@ struct AnnotationBuilder::Impl {
           const SendEvent s{rec.timestamp, i, rec.tcp.seq, rec.tcp.seq_end()};
           for (OnlineWindowCap& w : h.window_caps) w.on_send(s);
         }
-        h.duplication.add(i, rec);
       } else if (h.cap.admit_ack(rec)) {
         const AckEvent a{rec.timestamp, i, rec.tcp.ack};
         for (OnlineWindowCap& w : h.window_caps) w.on_ack(a);
       }
-      if (h.sender_reseq) {
-        h.sender_reseq->add(i, rec, from_local);
-        h.sender_drops->add(i, rec, from_local, *h.sender_reseq);
-      } else {
-        h.receiver_reseq->add(i, rec, from_local);
-        h.receiver_drops->add(i, rec, from_local, *h.receiver_reseq);
-      }
+      h.calibration->add(rec, from_local);
     }
   }
 
@@ -893,12 +182,9 @@ struct AnnotationBuilder::Impl {
            h.sends.capacity() * sizeof(SendEvent) +
            h.acks.capacity() * sizeof(AckEvent);
       for (const OnlineWindowCap& w : h.window_caps) b += w.bytes();
-      b += h.duplication.bytes();
-      if (h.sender_reseq) b += h.sender_reseq->bytes() + h.sender_drops->bytes();
-      if (h.receiver_reseq) b += h.receiver_reseq->bytes() + h.receiver_drops->bytes();
+      if (h.calibration) b += h.calibration->bytes();
       if (h.conformance) b += h.conformance->bytes();
     }
-    b += time_travel.bytes();
     return b;
   }
 
@@ -919,7 +205,6 @@ struct AnnotationBuilder::Impl {
   Options opts;
   std::vector<Duration> graces;
   trace::EndpointTally tally;
-  OnlineTimeTravel time_travel;
   Hypothesis hyp[2];
   std::shared_ptr<Trace> records;  // kFull only
   std::uint64_t n = 0;
@@ -978,6 +263,8 @@ StreamSummary AnnotationBuilder::finish_summary() {
     out.calibration.duplication = detect_measurement_duplicates(ann);
     out.calibration.resequencing = detect_resequencing(ann);
     out.calibration.drops = detect_filter_drops(ann);
+    out.calibration.tampering = detect_tampering(ann);
+    finalize_calibration(out.calibration);
     out.needs_materialized_rerun =
         !out.calibration.duplication.duplicate_indices.empty();
     out.conformance = std::move(built.conformance);
@@ -989,17 +276,9 @@ StreamSummary AnnotationBuilder::finish_summary() {
   out.handshake = w.classifier.handshake();
   out.kind_counts = w.kind_counts;
   for (const OnlineWindowCap& c : w.window_caps) out.caps.emplace_back(c.grace(), c.peak());
-  out.calibration.time_travel = im.time_travel.take();
-  out.duplication_is_exact = w.duplication.is_exact();
-  out.calibration.duplication = w.duplication.finish();
-  if (w.sender_reseq) {
-    out.calibration.resequencing = w.sender_reseq->finish();
-    out.calibration.drops = w.sender_drops->finish(*w.sender_reseq);
-  } else {
-    w.receiver_reseq->finish_stream();
-    out.calibration.drops = w.receiver_drops->finish(*w.receiver_reseq);
-    out.calibration.resequencing = w.receiver_reseq->finish();
-  }
+  CalibrationEvaluator::Result cal = w.calibration->finish();
+  out.calibration = std::move(cal.report);
+  out.duplication_is_exact = cal.duplication_is_exact;
   out.needs_materialized_rerun =
       !out.calibration.duplication.duplicate_indices.empty() || !out.duplication_is_exact;
   out.conformance = w.conformance->finish();
@@ -1131,6 +410,80 @@ std::string diff_stream_summary(const StreamSummary& summary, const Trace& trace
   if (sdrops.inferred_missing_bytes != drops.inferred_missing_bytes)
     return diff_fail("inferred missing bytes", sdrops.inferred_missing_bytes,
                      drops.inferred_missing_bytes);
+
+  // Tampering: forged-RST and TTL state is O(1) and always exact; the
+  // digest window is the one bounded structure, so inconsistent-retx
+  // findings are compared only while the streamed window never evicted.
+  const TamperingReport tam = detect_tampering(ann);
+  const auto& stam = summary.calibration.tampering;
+  auto diff_findings = [](const char* what, const std::vector<TamperingFinding>& got,
+                          const std::vector<TamperingFinding>& want) -> std::string {
+    if (got.size() != want.size())
+      return util::strf("stream summary mismatch: %s findings: streamed %zu, offline %zu",
+                        what, got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      if (got[i].record_index != want[i].record_index || got[i].detail != want[i].detail)
+        return util::strf("stream summary mismatch: %s finding %zu differs", what, i);
+    return {};
+  };
+  if (std::string d = diff_findings("forged-rst", stam.forged_rsts, tam.forged_rsts);
+      !d.empty())
+    return d;
+  if (stam.rst_exercised != tam.rst_exercised)
+    return "stream summary mismatch: forged-rst exercised flag differs";
+  if (std::string d = diff_findings("ttl-anomaly", stam.ttl_anomalies, tam.ttl_anomalies);
+      !d.empty())
+    return d;
+  if (stam.ttl_exercised != tam.ttl_exercised)
+    return "stream summary mismatch: ttl exercised flag differs";
+  if (!stam.retx_window_evicted) {
+    if (std::string d = diff_findings("inconsistent-retx", stam.inconsistent_retx,
+                                      tam.inconsistent_retx);
+        !d.empty())
+      return d;
+    if (stam.retx_exercised != tam.retx_exercised)
+      return "stream summary mismatch: retx exercised flag differs";
+  }
+
+  // Detector verdict vector: the streamed registry results must equal the
+  // offline finalize over the same component reports, entry by entry --
+  // except entries the bounded evaluator surrendered (eviction evidence),
+  // which must be kNotExercised, and the additions entry when duplication
+  // was declared inexact (its component comparison was exempted above).
+  {
+    CalibrationReport ref;
+    ref.time_travel = tt;
+    ref.duplication = dup;
+    ref.resequencing = reseq;
+    ref.drops = drops;
+    ref.tampering = tam;
+    finalize_calibration(ref);
+    const auto& sdet = summary.calibration.detectors;
+    if (sdet.size() != ref.detectors.size())
+      return diff_fail("calibration detectors", sdet.size(), ref.detectors.size());
+    for (std::size_t i = 0; i < ref.detectors.size(); ++i) {
+      const auto& got = sdet[i];
+      const auto& want = ref.detectors[i];
+      if (got.detector != want.detector)
+        return util::strf("stream summary mismatch: calibration registry order differs at %zu", i);
+      if (got.evidence == kCalibrationEvictedEvidence) {
+        if (got.verdict != Verdict::kNotExercised)
+          return util::strf("stream summary mismatch: evicted calibration result %s not kNotExercised",
+                            got.detector->id);
+        continue;
+      }
+      if (!summary.duplication_is_exact &&
+          std::strcmp(got.detector->id, "SEC3.1.2-measurement-additions") == 0)
+        continue;
+      if (stam.retx_window_evicted &&
+          std::strcmp(got.detector->id, "TAMPER-inconsistent-retx") == 0)
+        continue;  // streamed findings may be a subset after eviction
+      if (got.verdict != want.verdict || got.evidence != want.evidence)
+        return util::strf("stream summary mismatch: calibration %s: streamed [%s] %s, offline [%s] %s",
+                          got.detector->id, to_string(got.verdict), got.evidence.c_str(),
+                          to_string(want.verdict), want.evidence.c_str());
+    }
+  }
 
   // Conformance: the streamed vector's reference is check_conformance over
   // the (unstripped) trace -- exactly the evaluator's input. Results the

@@ -1,0 +1,171 @@
+#include "corpus/calibration_rollup.hpp"
+
+#include "report/json.hpp"
+#include "util/table.hpp"
+
+namespace tcpanaly::corpus {
+
+using core::CalSeverity;
+using core::Verdict;
+using report::Json;
+
+namespace {
+
+const char* impl_key(const std::string& impl) {
+  return impl.empty() ? "unknown" : impl.c_str();
+}
+
+}  // namespace
+
+void CalibrationRollup::add(const std::string& impl,
+                            const core::CalibrationReport& report) {
+  if (report.detectors.empty()) return;
+  Row& row = rows_[impl_key(impl)];
+  ++row.flows;
+  ++flows_;
+  if (!report.trustworthy()) ++row.untrustworthy;
+  for (const auto& r : report.detectors) {
+    Cell& cell = row.by_detector[r.detector->id];
+    switch (r.verdict) {
+      case Verdict::kPass:
+        ++cell.pass;
+        break;
+      case Verdict::kFail:
+        ++cell.fail;
+        ++row.severity_failures[static_cast<int>(r.detector->severity)];
+        break;
+      case Verdict::kNotExercised:
+        ++cell.not_exercised;
+        break;
+    }
+  }
+}
+
+bool CalibrationRollup::fold_ndjson_line(std::string_view line) {
+  // Cheap pre-filter before paying for a parse: only flow rows with a
+  // calibration object can contribute.
+  if (line.find("\"type\"") == std::string_view::npos ||
+      line.find("\"calibration\"") == std::string_view::npos)
+    return false;
+  Json doc;
+  try {
+    doc = Json::parse(std::string(line));
+  } catch (const report::JsonParseError&) {
+    return false;
+  }
+  const Json* type = doc.find("type");
+  if (!type || !type->is_string() || type->as_string() != "flow") return false;
+  const Json* cal = doc.find("calibration");
+  if (!cal || !cal->is_object()) return false;
+  const Json* detectors = cal->find("detectors");
+  if (!detectors || !detectors->is_array()) return false;
+
+  std::string impl;
+  if (const Json* truth = doc.find("truth"); truth && truth->is_string())
+    impl = truth->as_string();
+  if (impl.empty())
+    if (const Json* best = doc.find("best"); best && best->is_object())
+      if (const Json* name = best->find("name"); name && name->is_string())
+        impl = name->as_string();
+
+  // Rebuild a report against the live registry so add() stays the single
+  // accumulation path; rows naming detectors this build does not know are
+  // skipped rather than miscounted.
+  core::CalibrationReport rep;
+  for (const Json& r : detectors->items()) {
+    if (!r.is_object()) continue;
+    const Json* id = r.find("id");
+    const Json* verdict = r.find("verdict");
+    if (!id || !id->is_string() || !verdict || !verdict->is_string()) continue;
+    const core::CalDetector* det = core::find_calibration_detector(id->as_string());
+    if (!det) continue;
+    Verdict v = Verdict::kNotExercised;
+    if (verdict->as_string() == "PASS")
+      v = Verdict::kPass;
+    else if (verdict->as_string() == "FAIL")
+      v = Verdict::kFail;
+    rep.detectors.push_back({det, v, std::string()});
+  }
+  if (rep.detectors.empty()) return false;
+  add(impl, rep);
+  return true;
+}
+
+report::CalibrationCounts CalibrationRollup::totals() const {
+  report::CalibrationCounts out;
+  out.flows = flows_;
+  for (const auto& [impl, row] : rows_) {
+    out.untrustworthy += row.untrustworthy;
+    out.order_failures +=
+        row.severity_failures[static_cast<int>(CalSeverity::kUntrustworthyOrder)];
+    out.clock_failures +=
+        row.severity_failures[static_cast<int>(CalSeverity::kUntrustworthyClock)];
+    out.missing_failures +=
+        row.severity_failures[static_cast<int>(CalSeverity::kMissingRecords)];
+    out.tampering_failures +=
+        row.severity_failures[static_cast<int>(CalSeverity::kTampering)];
+  }
+  for (const auto& det : core::calibration_registry()) {
+    report::CalibrationDetectorCount dc;
+    dc.id = det.id;
+    dc.severity = core::to_string(det.severity);
+    for (const auto& [impl, row] : rows_) {
+      const auto it = row.by_detector.find(dc.id);
+      if (it == row.by_detector.end()) continue;
+      dc.pass += it->second.pass;
+      dc.fail += it->second.fail;
+      dc.not_exercised += it->second.not_exercised;
+    }
+    out.detectors.push_back(std::move(dc));
+  }
+  return out;
+}
+
+std::vector<std::string> CalibrationRollup::implementations() const {
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& [impl, row] : rows_) out.push_back(impl);
+  return out;
+}
+
+CalibrationRollup::Cell CalibrationRollup::cell(
+    const std::string& impl, std::string_view detector_id) const {
+  const auto it = rows_.find(impl_key(impl));
+  if (it == rows_.end()) return {};
+  const auto rit = it->second.by_detector.find(detector_id);
+  return rit == it->second.by_detector.end() ? Cell{} : rit->second;
+}
+
+std::string CalibrationRollup::render() const {
+  const auto& registry = core::calibration_registry();
+  std::vector<std::string> headers{"implementation", "flows", "untrusted"};
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    headers.push_back(util::strf("D%zu", i + 1));
+  util::TextTable table(std::move(headers));
+  for (const auto& [impl, row] : rows_) {
+    std::vector<std::string> cells{impl, std::to_string(row.flows),
+                                   std::to_string(row.untrustworthy)};
+    for (const auto& det : registry) {
+      const auto it = row.by_detector.find(det.id);
+      if (it == row.by_detector.end()) {
+        cells.push_back("-");
+        continue;
+      }
+      const Cell& c = it->second;
+      cells.push_back(util::strf("%llu/%llu/%llu",
+                                 static_cast<unsigned long long>(c.pass),
+                                 static_cast<unsigned long long>(c.fail),
+                                 static_cast<unsigned long long>(c.not_exercised)));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::string out = table.render();
+  out += "cells: pass/fail/not-exercised per flow\n";
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    out += util::strf("D%zu: [%s] %s (%s)\n", i + 1,
+                      core::to_string(registry[i].severity), registry[i].id,
+                      registry[i].reference);
+  return out;
+}
+
+}  // namespace tcpanaly::corpus

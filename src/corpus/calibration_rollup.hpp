@@ -1,0 +1,81 @@
+// Corpus-wide calibration matrix: fold per-flow detector verdict vectors
+// (from the calibration registry) into per-detector x per-implementation
+// pass/fail/not-exercised counts -- the aggregate view that shows which
+// measurement setups produced untrustworthy captures and which corpora
+// carry middlebox tampering.
+//
+// Two feeding paths share one accumulator, mirroring ConformanceRollup:
+//   * add(impl, report)      -- in-process, from a flow's CalibrationReport
+//                               (what --batch and tcpanalyd use);
+//   * fold_ndjson_line(line) -- offline, re-digesting `--batch --json`
+//                               NDJSON output (flow rows carry the vector).
+// Implementations are keyed by ground truth when the corpus provides it,
+// falling back to the matcher's best guess, then "unknown".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "report/report.hpp"
+
+namespace tcpanaly::corpus {
+
+class CalibrationRollup {
+ public:
+  /// Per-implementation verdict counts for one detector.
+  struct Cell {
+    std::uint64_t pass = 0;
+    std::uint64_t fail = 0;
+    std::uint64_t not_exercised = 0;
+  };
+
+  /// Fold one flow's detector vector under implementation key `impl`
+  /// (pass "" for unknown). Reports with an empty vector (piecemeal-built,
+  /// never finalized) contribute nothing.
+  void add(const std::string& impl, const core::CalibrationReport& report);
+
+  /// Fold one `--batch --json` NDJSON line. Only "flow" rows carrying a
+  /// calibration object contribute; everything else (trace rows,
+  /// aggregates, blank/garbled lines) is ignored. Returns true iff the
+  /// line contributed a vector.
+  bool fold_ndjson_line(std::string_view line);
+
+  /// Flows folded so far (vectors, not lines).
+  std::uint64_t flows() const { return flows_; }
+  bool empty() const { return flows_ == 0; }
+
+  /// Totals summed across implementations, per-detector rows in registry
+  /// order -- the `calibration` object of aggregate/daemon_stats documents.
+  report::CalibrationCounts totals() const;
+
+  /// The per-implementation matrix: one row per implementation, one D<n>
+  /// column per registered detector, cells "pass/fail/not-exercised",
+  /// followed by a legend mapping D<n> to the stable IDs.
+  std::string render() const;
+
+  /// Implementation keys seen, sorted.
+  std::vector<std::string> implementations() const;
+
+  /// Counts for (impl, detector id); zeros when never folded.
+  Cell cell(const std::string& impl, std::string_view detector_id) const;
+
+ private:
+  struct Row {
+    std::uint64_t flows = 0;
+    std::uint64_t untrustworthy = 0;
+    // severity class -> failing detector verdicts under that class
+    std::uint64_t severity_failures[4] = {0, 0, 0, 0};
+    // detector id -> verdict counts (ids come from the registry; a map
+    // keeps the fold independent of vector order).
+    std::map<std::string, Cell, std::less<>> by_detector;
+  };
+
+  std::map<std::string, Row> rows_;  // keyed by implementation
+  std::uint64_t flows_ = 0;
+};
+
+}  // namespace tcpanaly::corpus

@@ -94,6 +94,27 @@ CaptureJobResult run_capture_job(const CaptureJob& job,
         rec.conformance_should_failures +=
             r.analysis.conformance.should_failures();
         fr.conformance = std::move(r.analysis.conformance);
+        // Copied, not moved: the single-flow block below still reads
+        // r.analysis.calibration for the trace row's verdict.
+        fr.calibration = r.analysis.calibration;
+        if (!fr.trustworthy) ++rec.untrustworthy_flows;
+        for (const auto& d : fr.calibration->detectors) {
+          if (d.verdict != core::Verdict::kFail) continue;
+          switch (d.detector->severity) {
+            case core::CalSeverity::kUntrustworthyOrder:
+              ++rec.cal_order_failures;
+              break;
+            case core::CalSeverity::kUntrustworthyClock:
+              ++rec.cal_clock_failures;
+              break;
+            case core::CalSeverity::kMissingRecords:
+              ++rec.cal_missing_failures;
+              break;
+            case core::CalSeverity::kTampering:
+              ++rec.cal_tampering_failures;
+              break;
+          }
+        }
         if (++analyzed == 1)
           single = std::move(r);
         else

@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "corpus/calibration_rollup.hpp"
 #include "corpus/conformance_rollup.hpp"
 #include "daemon/capture_job.hpp"
 #include "daemon/ndjson_writer.hpp"
@@ -62,6 +63,8 @@ struct Daemon::Impl {
   /// Per-requirement x per-implementation conformance fold over every
   /// analyzed flow (keyed by ground truth, else the matcher's best guess).
   corpus::ConformanceRollup rollup;
+  /// Per-detector x per-implementation calibration fold, same keying.
+  corpus::CalibrationRollup cal_rollup;
   /// Cumulative per-stage walls across every finished capture.
   std::map<std::string, report::DaemonStageTotal> stage_totals;
 
@@ -69,9 +72,12 @@ struct Daemon::Impl {
     std::lock_guard<std::mutex> lock(mu);
     ++captures_done;
     if (res.failed()) ++captures_failed;
-    for (const auto& fr : res.flow_rows)
+    for (const auto& fr : res.flow_rows) {
       if (fr.conformance)
         rollup.add(!fr.truth.empty() ? fr.truth : fr.best_name, *fr.conformance);
+      if (fr.calibration)
+        cal_rollup.add(!fr.truth.empty() ? fr.truth : fr.best_name, *fr.calibration);
+    }
     if (res.trace.flows) {
       const report::FlowCounts& f = *res.trace.flows;
       flows.seen += f.seen;
@@ -158,6 +164,7 @@ struct Daemon::Impl {
       rec.socket_accepted = socket_accepted;
       rec.flows = flows;
       rec.conformance = rollup.totals();
+      rec.calibration = cal_rollup.totals();
       for (const auto& [name, total] : stage_totals) rec.stage_totals.push_back(total);
     }
     if (rec.uptime_s > 0.0) {

@@ -41,6 +41,63 @@ void append_record(Bytes& out, const Bytes& pcap, const PcapRecordSpan& r) {
              pcap.begin() + static_cast<std::ptrdiff_t>(r.offset + r.length));
 }
 
+void push_le32(Bytes& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+/// Encode `rec` as a fresh Ethernet frame and append it as a pcap record
+/// stamped `ts_us`. Checksums come out valid, and payload bytes are derived
+/// from rec.payload_digest when known, so a mutated digest round-trips as
+/// genuinely different payload content.
+void append_encoded(Bytes& out, const trace::PacketRecord& rec, std::uint64_t ts_us) {
+  const auto frame = trace::encode_frame(rec);
+  push_le32(out, static_cast<std::uint32_t>(ts_us / 1'000'000));
+  push_le32(out, static_cast<std::uint32_t>(ts_us % 1'000'000));
+  push_le32(out, static_cast<std::uint32_t>(frame.size()));
+  push_le32(out, static_cast<std::uint32_t>(frame.size()));
+  out.insert(out.end(), frame.begin(), frame.end());
+}
+
+/// Decoded view shared by the tampering mutators: every record decoded,
+/// sender inferred by payload bytes (mirroring the reader), linktype
+/// checked against what append_encoded can emit.
+struct DecodedPcap {
+  std::vector<PcapRecordSpan> records;
+  std::vector<std::optional<trace::PacketRecord>> decoded;
+  trace::Endpoint sender{};
+};
+
+DecodedPcap decode_for_tampering(const Bytes& pcap) {
+  DecodedPcap d;
+  d.records = pcap_records(pcap);
+  const std::uint32_t linktype = get_le32(pcap, 20) & 0x0fffffff;
+  if (linktype != trace::kLinktypeEthernet)
+    throw std::runtime_error(
+        "fault_inject: tampering injection needs an Ethernet capture");
+  d.decoded.resize(d.records.size());
+  trace::Endpoint a{}, b{};
+  bool have_ep = false;
+  std::uint64_t bytes_a = 0, bytes_b = 0;
+  for (std::size_t i = 0; i < d.records.size(); ++i) {
+    const auto frame = std::span(pcap).subspan(d.records[i].offset + 16,
+                                               d.records[i].length - 16);
+    d.decoded[i] = trace::decode_frame(linktype, frame);
+    const auto& rec = d.decoded[i];
+    if (!rec) continue;
+    if (!have_ep) {
+      a = rec->src;
+      b = rec->dst;
+      have_ep = true;
+    }
+    (rec->src == a ? bytes_a : bytes_b) += rec->tcp.payload_len;
+  }
+  d.sender = bytes_a >= bytes_b ? a : b;
+  return d;
+}
+
 }  // namespace
 
 std::vector<PcapRecordSpan> pcap_records(const Bytes& pcap) {
@@ -223,6 +280,88 @@ Bytes inject_time_travel(const Bytes& pcap, std::size_t jumps, util::Rng& rng,
     }
   }
   if (summary) summary->time_travel += applied;
+  return out;
+}
+
+Bytes inject_forged_rst(const Bytes& pcap, util::Rng& rng, FaultSummary* summary) {
+  const DecodedPcap d = decode_for_tampering(pcap);
+  // The injector impersonates the remote peer: copy a genuine inbound
+  // record's addressing/TTL, then stamp a sequence number far past the
+  // direction's recorded frontier (max seq_end over non-RST records --
+  // exactly the state the detector tracks).
+  std::optional<trace::PacketRecord> tmpl;
+  trace::SeqNum frontier = 0;
+  bool have_frontier = false;
+  for (const auto& rec : d.decoded) {
+    if (!rec || rec->src == d.sender || rec->tcp.flags.rst) continue;
+    tmpl = *rec;
+    const trace::SeqNum end = rec->tcp.seq_end();
+    if (!have_frontier || trace::seq_gt(end, frontier)) {
+      frontier = end;
+      have_frontier = true;
+    }
+  }
+  if (!tmpl || !have_frontier)
+    throw std::runtime_error("fault_inject: no inbound record to forge a RST from");
+  trace::PacketRecord rst = *tmpl;
+  rst.tcp.flags = {};
+  rst.tcp.flags.rst = true;
+  rst.tcp.seq = frontier + 100'000 +
+                static_cast<std::uint32_t>(rng.next_below(100'000));
+  rst.tcp.ack = 0;
+  rst.tcp.window = 0;
+  rst.tcp.payload_len = 0;
+  rst.tcp.mss_option.reset();
+  rst.payload_digest = 0;
+  rst.payload_digest_known = false;
+  Bytes out = pcap;
+  append_encoded(out, rst, record_ts_us(pcap, d.records.back()) + 1000);
+  if (summary) ++summary->forged_rsts;
+  return out;
+}
+
+Bytes inject_ttl_anomaly(const Bytes& pcap, util::Rng& rng, FaultSummary* summary) {
+  const DecodedPcap d = decode_for_tampering(pcap);
+  // Template: the last genuine inbound pure ack, so the direction's TTL
+  // baseline is long since locked and the copy is otherwise unremarkable
+  // (a stale window update; no detector but TTL has anything to say).
+  std::optional<trace::PacketRecord> tmpl;
+  for (const auto& rec : d.decoded)
+    if (rec && !(rec->src == d.sender) && rec->tcp.is_pure_ack()) tmpl = *rec;
+  if (!tmpl)
+    throw std::runtime_error("fault_inject: no inbound pure ack to inject");
+  trace::PacketRecord inj = *tmpl;
+  // An injector a couple of hops away: TTL far off the locked baseline.
+  inj.ttl = static_cast<std::uint8_t>(2 + rng.next_below(3));
+  inj.ip_id = 0xBEEF;
+  Bytes out = pcap;
+  append_encoded(out, inj, record_ts_us(pcap, d.records.back()) + 1000);
+  if (summary) ++summary->ttl_anomalies;
+  return out;
+}
+
+Bytes inject_payload_mangle(const Bytes& pcap, util::Rng& rng, FaultSummary* summary) {
+  const DecodedPcap d = decode_for_tampering(pcap);
+  // Victims: outbound data records whose payload was fully captured (the
+  // digest is the comparison the detector runs).
+  std::vector<std::size_t> victims;
+  for (std::size_t i = 0; i < d.decoded.size(); ++i) {
+    const auto& rec = d.decoded[i];
+    if (rec && rec->src == d.sender && rec->is_data() && rec->payload_digest_known)
+      victims.push_back(i);
+  }
+  if (victims.empty())
+    throw std::runtime_error("fault_inject: no digest-comparable data to mangle");
+  const std::size_t pick =
+      victims[static_cast<std::size_t>(rng.next_below(victims.size()))];
+  trace::PacketRecord mangled = *d.decoded[pick];
+  // Flip the digest's low byte: the encoder derives payload content from
+  // the digest, so the copy's bytes genuinely differ from the original's
+  // while its TCP checksum still verifies.
+  mangled.payload_digest ^= 0xff;
+  Bytes out = pcap;
+  append_encoded(out, mangled, record_ts_us(pcap, d.records.back()) + 1000);
+  if (summary) ++summary->payload_mangles;
   return out;
 }
 

@@ -3,10 +3,12 @@
 // The paper's section 3 taxonomy of measurement errors -- drops (3.1.1),
 // additions (3.1.2), resequencing (3.1.3), and clock "time travel"
 // (3.1.4) -- applied directly to a written capture file, the way a buggy
-// filter would have produced it. This closes the loop between the fuzz
-// layer and calibration semantics: a capture mangled here must make the
-// corresponding core::calibrate detector fire when read back
-// (tools/capture_fuzz --fault-inject asserts exactly that).
+// filter would have produced it, plus the middlebox-tampering classes the
+// calibration registry covers beyond the paper: forged RSTs, TTL-anomalous
+// injected segments, and payload-mangled "retransmissions". This closes
+// the loop between the fuzz layer and calibration semantics: a capture
+// mangled here must make the corresponding registered detector fire when
+// read back (tools/capture_fuzz --fault-inject asserts exactly that).
 //
 // All functions take a well-formed little-endian classic pcap file and
 // throw std::runtime_error if it is not one. Injection is deterministic
@@ -35,6 +37,9 @@ struct FaultSummary {
   std::size_t added = 0;
   std::size_t resequenced = 0;
   std::size_t time_travel = 0;
+  std::size_t forged_rsts = 0;
+  std::size_t ttl_anomalies = 0;
+  std::size_t payload_mangles = 0;
 };
 
 /// 3.1.1: the filter fails to record packets. Each record is independently
@@ -69,5 +74,31 @@ Bytes inject_resequencing(const Bytes& pcap, std::size_t swaps, util::Rng& rng,
 /// records get timestamps earlier than their predecessors.
 Bytes inject_time_travel(const Bytes& pcap, std::size_t jumps, util::Rng& rng,
                          FaultSummary* summary = nullptr);
+
+// Middlebox tampering (TAMPER-* registry classes). Unlike the filter-error
+// mutators above, these synthesize a NEW frame and append it, so they
+// require an Ethernet-linktype capture (what trace::write_pcap emits) and
+// throw std::runtime_error otherwise.
+
+/// TAMPER-forged-rst: an in-path injector tears the connection down with a
+/// RST whose sequence number runs far beyond the receiving direction's
+/// recorded frontier -- a real stack's RST carries snd_nxt; injectors
+/// guess. The forged segment reuses a genuine inbound record's addressing
+/// and TTL so only the sequence lineage is wrong.
+Bytes inject_forged_rst(const Bytes& pcap, util::Rng& rng,
+                        FaultSummary* summary = nullptr);
+
+/// TAMPER-ttl-ipid-inject: an injected copy of an inbound pure ack whose
+/// IPv4 TTL contradicts the direction's established hop-count baseline
+/// (the injector sits at a different network distance than the real peer).
+Bytes inject_ttl_anomaly(const Bytes& pcap, util::Rng& rng,
+                         FaultSummary* summary = nullptr);
+
+/// TAMPER-inconsistent-retx: a "retransmission" of an outbound data
+/// segment -- same (seq, len), different payload bytes -- the signature of
+/// in-path content rewriting. The mangled copy carries a valid TCP
+/// checksum, so it cannot be dismissed as capture corruption.
+Bytes inject_payload_mangle(const Bytes& pcap, util::Rng& rng,
+                            FaultSummary* summary = nullptr);
 
 }  // namespace tcpanaly::fuzz

@@ -46,7 +46,7 @@ trace::Trace interleave_flows(const std::vector<FlowSlice>& slices) {
       else if (r.dst == src_meta.remote)
         r.dst = s.remote;
       r.timestamp += s.start_offset;
-      if (r.truth_wire_time) *r.truth_wire_time += s.start_offset;
+      if (r.truth_wire_time_known) r.truth_wire_time += s.start_offset;
       out.push_back(std::move(r));
     }
   }

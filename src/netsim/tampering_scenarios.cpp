@@ -1,0 +1,309 @@
+#include "netsim/tampering_scenarios.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tcpanaly::sim {
+
+namespace {
+
+using trace::Endpoint;
+using trace::PacketRecord;
+using trace::SeqNum;
+using trace::Trace;
+using util::Duration;
+using util::TimePoint;
+
+constexpr Endpoint kSender{0x0A000001, 40000};  // 10.0.0.1:40000, sends data
+constexpr Endpoint kReceiver{0x0A000002, 80};   // 10.0.0.2:80
+constexpr SeqNum kIssSender = 1000;
+constexpr SeqNum kIssReceiver = 5000;
+constexpr std::uint16_t kMss = 1460;
+constexpr std::uint32_t kBigWindow = 65535;
+
+/// Every record in these scripts carries IP-layer facts -- a uniform TTL
+/// and per-segment payload digests -- because that is what the tampering
+/// detectors judge. (A pcap round trip preserves both: the codec derives
+/// payload bytes from the digest, so equal/unequal digests survive as
+/// equal/unequal recomputed ones.)
+constexpr std::uint8_t kPathTtl = 64;
+
+/// Deterministic per-segment payload digest: any fixed injection keyed by
+/// the first sequence number, so a faithful retransmission repeats its
+/// original's digest and a mangled copy cannot.
+std::uint64_t digest_for(SeqNum seq) { return 0x9E3779B97F4A7C15ull ^ seq; }
+
+/// Packet-by-packet trace scripting, mirroring the conformance scenario
+/// helper but stamping TTL/IPID/digest on every record. All times are
+/// absolute milliseconds; data offsets are relative to the first data byte.
+struct Script {
+  Trace trace;
+  SeqNum base = kIssSender + 1;  // first data byte after the SYN
+  std::uint16_t next_ip_id = 1;
+
+  explicit Script(std::uint32_t receiver_window = kBigWindow) {
+    PacketRecord syn = at(0, kSender, kReceiver);
+    syn.tcp.seq = kIssSender;
+    syn.tcp.flags.syn = true;
+    syn.tcp.window = kBigWindow;
+    syn.tcp.mss_option = kMss;
+    trace.push_back(syn);
+
+    PacketRecord synack = at(10, kReceiver, kSender);
+    synack.tcp.seq = kIssReceiver;
+    synack.tcp.ack = kIssSender + 1;
+    synack.tcp.flags.syn = true;
+    synack.tcp.flags.ack = true;
+    synack.tcp.window = receiver_window;
+    synack.tcp.mss_option = kMss;
+    trace.push_back(synack);
+
+    PacketRecord hs_ack = at(20, kSender, kReceiver);
+    hs_ack.tcp.seq = base;
+    hs_ack.tcp.ack = kIssReceiver + 1;
+    hs_ack.tcp.flags.ack = true;
+    hs_ack.tcp.window = kBigWindow;
+    trace.push_back(hs_ack);
+  }
+
+  PacketRecord at(std::int64_t ms, Endpoint src, Endpoint dst) {
+    PacketRecord rec;
+    rec.timestamp = TimePoint(Duration::millis(ms).count());
+    rec.src = src;
+    rec.dst = dst;
+    rec.ttl = kPathTtl;
+    rec.ip_id = next_ip_id++;
+    return rec;
+  }
+
+  /// One MSS-sized data segment at `off` bytes into the stream, carrying
+  /// its deterministic payload digest (overridable to script a mangled
+  /// retransmission).
+  void data(std::int64_t ms, std::uint32_t off, std::uint32_t len = kMss,
+            std::uint64_t digest_xor = 0) {
+    PacketRecord rec = at(ms, kSender, kReceiver);
+    rec.tcp.seq = base + off;
+    rec.tcp.ack = kIssReceiver + 1;
+    rec.tcp.flags.ack = true;
+    rec.tcp.flags.psh = true;
+    rec.tcp.window = kBigWindow;
+    rec.tcp.payload_len = len;
+    rec.payload_digest = digest_for(rec.tcp.seq) ^ digest_xor;
+    rec.payload_digest_known = true;
+    trace.push_back(rec);
+  }
+
+  /// Pure ack from the receiver cumulatively acking `off` stream bytes.
+  void ack(std::int64_t ms, std::uint32_t off, std::uint32_t window = kBigWindow) {
+    PacketRecord rec = at(ms, kReceiver, kSender);
+    rec.tcp.seq = kIssReceiver + 1;
+    rec.tcp.ack = base + off;
+    rec.tcp.flags.ack = true;
+    rec.tcp.window = window;
+    trace.push_back(rec);
+  }
+
+  /// Re-append the last record 1 ms later: a filter-added measurement copy.
+  void duplicate_last() {
+    PacketRecord copy = trace[trace.size() - 1];
+    copy.timestamp = copy.timestamp + Duration::millis(1);
+    trace.push_back(copy);
+  }
+
+  /// RST arriving from the receiver side, `over` bytes beyond the receiver
+  /// direction's sequence frontier (kIssReceiver + 1 once established).
+  /// No ack flag: an injected reset vouches for nothing.
+  void remote_rst(std::int64_t ms, std::uint32_t over) {
+    PacketRecord rec = at(ms, kReceiver, kSender);
+    rec.tcp.seq = kIssReceiver + 1 + over;
+    rec.tcp.flags.rst = true;
+    rec.tcp.window = 0;
+    trace.push_back(rec);
+  }
+};
+
+Trace finalize(Trace t, const TamperingScenario& s) {
+  t.meta().local = s.receiver_vantage ? kReceiver : kSender;
+  t.meta().remote = s.receiver_vantage ? kSender : kReceiver;
+  t.meta().role = s.receiver_vantage ? trace::LocalRole::kReceiver
+                                     : trace::LocalRole::kSender;
+  t.meta().label = s.name;
+  return t;
+}
+
+// ---- Section 3.1 trace-integrity scripts ---------------------------------
+
+Trace time_travel(bool trips) {
+  Script s;
+  s.data(30, 0);
+  s.data(32, kMss);
+  s.ack(130, 2 * kMss);
+  if (trips) {
+    // The filter hands records over out of time order: this ack's
+    // timestamp regresses 70 ms behind its predecessor. Its content is a
+    // plain duplicate of the previous ack, so only the clock check trips.
+    PacketRecord late = s.at(60, kReceiver, kSender);
+    late.tcp.seq = kIssReceiver + 1;
+    late.tcp.ack = s.base + 2 * kMss;
+    late.tcp.flags.ack = true;
+    late.tcp.window = kBigWindow;
+    s.trace.push_back(late);
+  } else {
+    s.data(150, 2 * kMss);
+    s.ack(250, 3 * kMss);
+  }
+  return s.trace;
+}
+
+Trace additions(bool trips) {
+  Script s;
+  // Six outbound segments; the tripping variant doubles every one 1 ms
+  // after the original -- the systematic local-copy artifact (a majority
+  // of outbound data duplicated within the pairing gap).
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    s.data(30 + 10 * static_cast<std::int64_t>(i), i * kMss);
+    if (trips) s.duplicate_last();
+  }
+  s.ack(180, 6 * kMss);
+  return s.trace;
+}
+
+Trace resequencing(bool trips) {
+  // The receiver offers 4096 bytes. The tripping script twice records a
+  // data segment beyond the offered window with the liberating ack
+  // showing up within the resequencing epsilon: the filter resequenced
+  // the ack behind the data it freed. Two instances cross the
+  // ordering-untrustworthy threshold; the clean script respects the
+  // window and acks at RTT timescales.
+  Script s(/*receiver_window=*/4096);
+  s.data(30, 0);
+  s.ack(130, kMss, 4096);
+  const std::uint32_t flight = trips ? 3 : 2;  // 4380 vs 2920 in-flight bytes
+  std::uint32_t acked = kMss;
+  for (std::uint32_t round = 0; round < 2; ++round) {
+    const std::int64_t t = 200 + 100 * static_cast<std::int64_t>(round);
+    for (std::uint32_t i = 0; i < flight; ++i)
+      s.data(t + 2 * i, acked + i * kMss);
+    acked += flight * kMss;
+    // Tripping: the third segment breaches the 4096-byte window and the
+    // liberating ack shows up within the resequencing epsilon -- the
+    // filter recorded the ack behind the data it freed. Twice crosses the
+    // ordering-untrustworthy threshold. Clean: the flight fits the window
+    // and acks arrive at RTT timescales.
+    s.ack(trips ? t + 2 * flight - 1 : t + 90, acked, 4096);
+  }
+  return s.trace;
+}
+
+Trace filter_drops(bool trips) {
+  Script s;
+  s.data(30, 0);
+  // The tripping trace acks two segments while only one was recorded:
+  // the filter dropped an outbound data packet, and the ack frontier
+  // vouches for at least kMss unrecorded bytes.
+  if (trips) {
+    s.ack(130, 2 * kMss);
+    s.data(150, 2 * kMss);
+    s.ack(250, 3 * kMss);
+  } else {
+    s.ack(130, kMss);
+    s.data(150, kMss);
+    s.ack(250, 2 * kMss);
+  }
+  return s.trace;
+}
+
+// ---- Middlebox-tampering scripts -----------------------------------------
+
+Trace forged_rst(bool trips) {
+  Script s;
+  s.data(30, 0);
+  s.ack(130, kMss);
+  // Tripping: an injected reset claiming a sequence number 100000 bytes
+  // past everything the receiver direction ever sent -- no real stack's
+  // snd_nxt lives there. Clean: an ordinary teardown RST at exactly the
+  // receiver's frontier.
+  s.remote_rst(200, trips ? 100000 : 0);
+  return s.trace;
+}
+
+Trace ttl_inject(bool trips) {
+  Script s;
+  s.data(30, 0);
+  s.ack(130, kMss);
+  s.data(150, kMss);
+  s.ack(250, 2 * kMss);
+  if (trips) {
+    // By now the receiver direction's TTL baseline (64) is locked. The
+    // injector sits near the monitored host, so its forged ack arrives
+    // with a hop count no path packet ever shows.
+    PacketRecord inj = s.at(260, kReceiver, kSender);
+    inj.tcp.seq = kIssReceiver + 1;
+    inj.tcp.ack = s.base + 2 * kMss;
+    inj.tcp.flags.ack = true;
+    inj.tcp.window = kBigWindow;
+    inj.ttl = 2;
+    inj.ip_id = 0xBEEF;
+    s.trace.push_back(inj);
+  }
+  return s.trace;
+}
+
+Trace inconsistent_retx(bool trips) {
+  Script s;
+  s.data(30, 0);
+  s.ack(130, kMss);
+  s.data(150, kMss);
+  // A timeout retransmission of the unacked segment 1.2 s later. The
+  // faithful copy repeats the original payload digest; the tampered one
+  // cannot. The ack follows at RTT (not resequencing) timescales.
+  s.data(1350, kMss, kMss, trips ? 0x1 : 0x0);
+  s.ack(1500, 2 * kMss);
+  return s.trace;
+}
+
+}  // namespace
+
+const std::vector<TamperingScenario>& tampering_scenarios() {
+  static const std::vector<TamperingScenario> kScenarios = {
+      {"cal_time_travel_violate", "SEC3.1.4-time-travel", true, false},
+      {"cal_time_travel_clean", "SEC3.1.4-time-travel", false, false},
+      {"cal_additions_violate", "SEC3.1.2-measurement-additions", true, false},
+      {"cal_additions_clean", "SEC3.1.2-measurement-additions", false, false},
+      {"cal_resequencing_violate", "SEC3.1.3-resequencing", true, false},
+      {"cal_resequencing_clean", "SEC3.1.3-resequencing", false, false},
+      {"cal_filter_drops_violate", "SEC3.1.1-filter-drops", true, false},
+      {"cal_filter_drops_clean", "SEC3.1.1-filter-drops", false, false},
+      {"tamper_forged_rst_violate", "TAMPER-forged-rst", true, false},
+      {"tamper_forged_rst_clean", "TAMPER-forged-rst", false, false},
+      {"tamper_ttl_inject_violate", "TAMPER-ttl-ipid-inject", true, false},
+      {"tamper_ttl_inject_clean", "TAMPER-ttl-ipid-inject", false, false},
+      {"tamper_retx_violate", "TAMPER-inconsistent-retx", true, false},
+      {"tamper_retx_clean", "TAMPER-inconsistent-retx", false, false},
+  };
+  return kScenarios;
+}
+
+trace::Trace make_tampering_trace(const TamperingScenario& scenario) {
+  const std::string name = scenario.name;
+  Trace built;
+  if (name.find("time_travel") != std::string::npos)
+    built = time_travel(scenario.trips);
+  else if (name.find("additions") != std::string::npos)
+    built = additions(scenario.trips);
+  else if (name.find("resequencing") != std::string::npos)
+    built = resequencing(scenario.trips);
+  else if (name.find("filter_drops") != std::string::npos)
+    built = filter_drops(scenario.trips);
+  else if (name.find("forged_rst") != std::string::npos)
+    built = forged_rst(scenario.trips);
+  else if (name.find("ttl_inject") != std::string::npos)
+    built = ttl_inject(scenario.trips);
+  else if (name.find("retx") != std::string::npos)
+    built = inconsistent_retx(scenario.trips);
+  else
+    throw std::invalid_argument("unknown tampering scenario: " + name);
+  return finalize(std::move(built), scenario);
+}
+
+}  // namespace tcpanaly::sim

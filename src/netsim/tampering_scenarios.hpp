@@ -1,0 +1,39 @@
+// Hand-scripted traces for the calibration detector registry: for every
+// registered detector -- the four Paxson section 3.1 trace-integrity
+// checks plus the middlebox-tampering class -- one trace that trips
+// exactly that detector and one that exercises it and stays clean.
+// make_corpus writes these next to the simulated implementation corpus
+// (recording the targeted detector in the manifest) so the batch roll-up
+// and the tier-1 tampering leg can assert the full matrix: a tripping and
+// a clean capture per detector.
+//
+// Like the conformance scenarios, the traces are scripted packet by
+// packet: a tampering scenario must trip exactly ONE calibration detector
+// (forging a RST, say, without also looking like a filter drop), and only
+// direct scripting pins that down. This layer may not depend on core/, so
+// detector IDs are carried as strings; the registry-coverage test asserts
+// they match core::calibration_registry().
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tcpanaly::sim {
+
+struct TamperingScenario {
+  const char* name;         ///< corpus file stem, e.g. "tamper_forged_rst_violate"
+  const char* detector_id;  ///< core calibration detector this scenario targets
+  bool trips;               ///< true => the trace trips exactly this detector
+  bool receiver_vantage;    ///< trace is taken at the data receiver
+};
+
+/// The scenario table: every registered calibration detector appears
+/// exactly twice, once tripping and once exercised-but-clean.
+const std::vector<TamperingScenario>& tampering_scenarios();
+
+/// Build the scripted trace for one scenario. Meta is fully set (local =
+/// the vantage endpoint, role matching receiver_vantage, label = name).
+trace::Trace make_tampering_trace(const TamperingScenario& scenario);
+
+}  // namespace tcpanaly::sim

@@ -70,6 +70,7 @@ void FilterTap::record(const SimPacket& pkt, TimePoint process_time,
   rec.dst = pkt.dst;
   rec.tcp = pkt.tcp;
   rec.truth_wire_time = true_wire_time;
+  rec.truth_wire_time_known = true;
   rec.truth_filter_duplicate = is_filter_duplicate;
   rec.truth_corrupted = pkt.corrupted;
   if (config_.snap_headers_only) {

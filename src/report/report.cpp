@@ -123,6 +123,7 @@ Json BatchFlowRecord::to_json() const {
     doc.set("best", std::move(best));
     if (!truth.empty()) doc.set("truth", truth);
     if (conformance) doc.set("conformance", core::to_json(*conformance));
+    if (calibration) doc.set("calibration", core::to_json(*calibration));
   }
   return doc;
 }
@@ -154,6 +155,13 @@ Json BatchTraceRecord::to_json() const {
     conf.set("must_failures", conformance_must_failures);
     conf.set("should_failures", conformance_should_failures);
     doc.set("conformance", std::move(conf));
+    doc.set("untrustworthy_flows", untrustworthy_flows);
+    Json sev = Json::object();
+    sev.set("untrustworthy_order", cal_order_failures);
+    sev.set("untrustworthy_clock", cal_clock_failures);
+    sev.set("missing_records", cal_missing_failures);
+    sev.set("tampering", cal_tampering_failures);
+    doc.set("calibration_severities", std::move(sev));
   }
   doc.set("timings", core::to_json(timings));
   return doc;
@@ -189,6 +197,32 @@ Json to_json(const ConformanceCounts& counts) {
   return j;
 }
 
+Json to_json(const CalibrationDetectorCount& row) {
+  Json j = Json::object();
+  j.set("id", row.id);
+  j.set("severity", row.severity);
+  j.set("pass", row.pass);
+  j.set("fail", row.fail);
+  j.set("not_exercised", row.not_exercised);
+  return j;
+}
+
+Json to_json(const CalibrationCounts& counts) {
+  Json j = Json::object();
+  j.set("flows", counts.flows);
+  j.set("untrustworthy", counts.untrustworthy);
+  Json sev = Json::object();
+  sev.set("untrustworthy_order", counts.order_failures);
+  sev.set("untrustworthy_clock", counts.clock_failures);
+  sev.set("missing_records", counts.missing_failures);
+  sev.set("tampering", counts.tampering_failures);
+  j.set("severities", std::move(sev));
+  Json rows = Json::array();
+  for (const auto& r : counts.detectors) rows.push_back(report::to_json(r));
+  j.set("detectors", std::move(rows));
+  return j;
+}
+
 Json BatchAggregate::to_json() const {
   Json doc = document_header("aggregate");
   doc.set("traces_analyzed", traces_analyzed);
@@ -201,6 +235,7 @@ Json BatchAggregate::to_json() const {
   doc.set("key_collisions", key_collisions);
   doc.set("mem_gate", report::to_json(mem_gate));
   doc.set("conformance", report::to_json(conformance));
+  doc.set("calibration", report::to_json(calibration));
   doc.set("timings", core::to_json(timings));
   return doc;
 }
@@ -226,6 +261,7 @@ Json DaemonStatsRecord::to_json() const {
   doc.set("rows_written", rows_written);
   doc.set("output_rotations", output_rotations);
   doc.set("conformance", report::to_json(conformance));
+  doc.set("calibration", report::to_json(calibration));
   Json stages = Json::array();
   for (const auto& s : stage_totals) {
     Json row = Json::object();

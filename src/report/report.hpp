@@ -51,9 +51,20 @@ namespace tcpanaly::report {
 // per-requirement pass/fail/not-exercised totals. The "analysis"
 // document's `conformance` section switches from the flat check list to
 // the registry vector ({id, level, title, reference, verdict, evidence}).
-inline constexpr int kSchemaVersion = 6;
+// Schema 7: calibration becomes a registry, with middlebox tampering a
+// first-class severity class. "flow" rows carry the flow's full
+// calibration object -- the per-detector verdict vector (stable IDs from
+// core::calibration_registry), the tampering findings, and the filter-drop
+// detail including `inferred_missing_bytes` (previously computed but never
+// surfaced on flow rows); "trace" rows gain `untrustworthy_flows` and a
+// `calibration_severities` failure-count object; "aggregate" and
+// "daemon_stats" carry a `calibration` object folding per-detector
+// pass/fail/not-exercised totals, mirroring the schema-6 conformance
+// shape. The "analysis" document's `calibration` section gains `tampering`
+// and the `detectors` vector.
+inline constexpr int kSchemaVersion = 7;
 inline constexpr const char* kToolName = "tcpanaly";
-inline constexpr const char* kToolVersion = "0.7.0";
+inline constexpr const char* kToolVersion = "0.8.0";
 
 /// What `tcpanaly --version` prints: "tcpanaly 0.4.0 (report schema 3)".
 std::string version_line();
@@ -143,6 +154,10 @@ struct BatchFlowRecord {
   /// The flow's MUST/SHOULD requirement vector (registry order), from the
   /// incremental evaluator -- present iff the flow was analyzable.
   std::optional<core::ConformanceReport> conformance;
+  /// The flow's full calibration report -- detector verdict vector,
+  /// tampering findings, and the filter-drop lower bound
+  /// (`inferred_missing_bytes`) -- present iff the flow was analyzable.
+  std::optional<core::CalibrationReport> calibration;
 
   std::string key() const { return file + "#" + src + "-" + dst; }
   Json to_json() const;
@@ -165,6 +180,14 @@ struct BatchTraceRecord {
   /// MUST/SHOULD failures summed over the capture's analyzable flows.
   std::uint64_t conformance_must_failures = 0;
   std::uint64_t conformance_should_failures = 0;
+  /// Flows whose calibration verdict was untrustworthy.
+  std::uint64_t untrustworthy_flows = 0;
+  /// Calibration detector failures by severity class, summed over the
+  /// capture's analyzable flows.
+  std::uint64_t cal_order_failures = 0;
+  std::uint64_t cal_clock_failures = 0;
+  std::uint64_t cal_missing_failures = 0;
+  std::uint64_t cal_tampering_failures = 0;
   util::StageTimer timings;
 
   Json to_json() const;
@@ -209,6 +232,35 @@ struct ConformanceCounts {
 
 Json to_json(const ConformanceCounts& counts);
 
+/// Per-detector verdict totals folded over many flows -- one row of the
+/// corpus calibration matrix (corpus::CalibrationRollup digests these
+/// further per implementation; the aggregate/daemon rows sum across
+/// implementations).
+struct CalibrationDetectorCount {
+  std::string id;        ///< stable registry ID
+  std::string severity;  ///< to_string(CalSeverity) spelling
+  std::uint64_t pass = 0;
+  std::uint64_t fail = 0;
+  std::uint64_t not_exercised = 0;
+};
+
+Json to_json(const CalibrationDetectorCount& row);
+
+/// Calibration totals for an aggregate/daemon_stats document: how many
+/// flows contributed verdict vectors, how many were untrustworthy, the
+/// failure counts by severity class, and the per-detector fold.
+struct CalibrationCounts {
+  std::uint64_t flows = 0;  ///< analyzable flows with a calibration vector
+  std::uint64_t untrustworthy = 0;
+  std::uint64_t order_failures = 0;
+  std::uint64_t clock_failures = 0;
+  std::uint64_t missing_failures = 0;
+  std::uint64_t tampering_failures = 0;
+  std::vector<CalibrationDetectorCount> detectors;  ///< registry order
+};
+
+Json to_json(const CalibrationCounts& counts);
+
 /// The batch run's closing document.
 struct BatchAggregate {
   std::size_t traces_analyzed = 0;
@@ -223,6 +275,7 @@ struct BatchAggregate {
   unsigned workers = 0;
   GateCounts mem_gate;
   ConformanceCounts conformance;
+  CalibrationCounts calibration;
   util::StageTimer timings;
 
   Json to_json() const;
@@ -265,6 +318,7 @@ struct DaemonStatsRecord {
   std::uint64_t rows_written = 0;
   std::uint64_t output_rotations = 0;
   ConformanceCounts conformance;
+  CalibrationCounts calibration;
   std::vector<DaemonStageTotal> stage_totals;
 
   Json to_json() const;

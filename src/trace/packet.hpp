@@ -61,25 +61,48 @@ struct TcpSegment {
 };
 
 /// One record as produced by a packet filter.
+///
+/// Field order is chosen for layout, not narrative: ingestion copies these
+/// by the hundred thousand, so the 8-byte fields sit on aligned words and
+/// the byte-sized fields share what would otherwise be padding (80 bytes
+/// total; a careless ordering costs an extra cache line every few records).
 struct PacketRecord {
   util::TimePoint timestamp;  ///< the filter's timestamp (what tcpanaly sees)
+  /// Digest of the payload bytes, set only when the full payload was
+  /// captured with a trusted length (the same condition under which the
+  /// TCP checksum is verifiable). Lets the inconsistent-retransmission
+  /// detector compare a "retransmission" against the original copy without
+  /// retaining payload bytes.
+  std::uint64_t payload_digest = 0;
   Endpoint src;
   Endpoint dst;
   TcpSegment tcp;
 
+  /// IPv4 identification field (evidence detail for injected segments).
+  std::uint16_t ip_id = 0;
+  /// IPv4 TTL as captured; 0 means the record carries no IP-layer info
+  /// (synthetic traces built record-by-record). The tampering detectors
+  /// use it to spot injected segments whose hop count contradicts the
+  /// flow's established baseline.
+  std::uint8_t ttl = 0;
   /// True if the packet's TCP checksum verifies. Filters that snap only
   /// headers cannot compute this; then `checksum_known` is false and the
   /// analyzer must *infer* corruption from missing acks (paper section 7).
   bool checksum_ok = true;
   bool checksum_known = true;
+  bool payload_digest_known = false;
 
   // ---- Ground truth (simulator annotations; never read by the analyzer) ----
-  /// Wire time on the monitored link, when the simulator knows it.
-  std::optional<util::TimePoint> truth_wire_time;
   /// True if this record is a filter-added duplicate (section 3.1.2).
   bool truth_filter_duplicate = false;
   /// True if the packet was corrupted in the network.
   bool truth_corrupted = false;
+  /// True when the simulator recorded `truth_wire_time` (a flat flag
+  /// rather than std::optional: the optional's alignment padding alone
+  /// costs 8 bytes per record).
+  bool truth_wire_time_known = false;
+  /// Wire time on the monitored link, when the simulator knows it.
+  util::TimePoint truth_wire_time{};
 
   bool is_data() const { return tcp.payload_len > 0; }
 

@@ -67,9 +67,9 @@ std::vector<std::uint8_t> encode_frame(const PacketRecord& rec, const EncodeOpti
   out.push_back(0x45);  // version 4, IHL 5
   out.push_back(0x00);  // DSCP/ECN
   put_u16(out, static_cast<std::uint16_t>(ip_len));
-  put_u16(out, 0x0000);  // identification
-  put_u16(out, 0x4000);  // DF, no fragmentation
-  out.push_back(opts.ttl);
+  put_u16(out, rec.ip_id);  // identification
+  put_u16(out, 0x4000);     // DF, no fragmentation
+  out.push_back(rec.ttl != 0 ? rec.ttl : opts.ttl);
   out.push_back(6);      // protocol TCP
   put_u16(out, 0x0000);  // checksum placeholder
   put_u32(out, rec.src.ip);
@@ -103,7 +103,16 @@ std::vector<std::uint8_t> encode_frame(const PacketRecord& rec, const EncodeOpti
     out.push_back(4);  // length
     put_u16(out, *rec.tcp.mss_option);
   }
-  out.insert(out.end(), rec.tcp.payload_len, opts.payload_fill);
+  if (rec.payload_digest_known && rec.tcp.payload_len > 0) {
+    // Scripted payload content: derive the bytes from the record's digest so
+    // that distinct digests survive a pcap round trip as distinct payloads
+    // (the decoder recomputes a real digest over these bytes; equality of
+    // the scripted digests is preserved as equality of the recomputed ones).
+    for (std::uint32_t j = 0; j < rec.tcp.payload_len; ++j)
+      out.push_back(static_cast<std::uint8_t>(rec.payload_digest >> ((j % 8) * 8)));
+  } else {
+    out.insert(out.end(), rec.tcp.payload_len, opts.payload_fill);
+  }
 
   const std::uint16_t tcp_csum =
       tcp_checksum(rec.src.ip, rec.dst.ip, std::span(out).subspan(tcp_off, tcp_len));
@@ -256,10 +265,33 @@ std::optional<PacketRecord> decode_ip_packet(std::span<const std::uint8_t> ip) {
   if (length_trusted && !first_fragment && tcp.size() >= tcp_total) {
     rec.checksum_known = true;
     rec.checksum_ok = tcp_checksum_ok(rec.src.ip, rec.dst.ip, tcp.subspan(0, tcp_total));
+    if (rec.tcp.payload_len > 0) {
+      // Payload digest for the inconsistent-retransmission detector. Only
+      // meaningful when the whole payload is here (same condition as
+      // checksum verification). The detector needs a deterministic equality
+      // digest, not a standard one, so hash a 64-bit lane per step: the
+      // byte-serial FNV-1a multiply chain costs ~5 cycles/byte and shows up
+      // in ingest throughput on full-payload captures.
+      const std::uint8_t* p = tcp.data() + data_off;
+      const std::size_t n = rec.tcp.payload_len;
+      std::uint64_t h = 1469598103934665603ull;
+      std::size_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p + j, 8);
+        h = (h ^ w) * 1099511628211ull;
+        h ^= h >> 32;
+      }
+      for (; j < n; ++j) h = (h ^ p[j]) * 1099511628211ull;
+      rec.payload_digest = h;
+      rec.payload_digest_known = true;
+    }
   } else {
     rec.checksum_known = false;
     rec.checksum_ok = true;
   }
+  rec.ttl = ip[8];
+  rec.ip_id = get_u16(ip, 4);
   return rec;
 }
 

@@ -1,0 +1,194 @@
+// Calibration-registry contract tests: stable unique IDs, full scenario
+// coverage (every registered detector has a deliberately violating AND a
+// clean corpus trace that still exercises it), violation scenarios fail
+// exactly their target detector, trustworthiness derives from the registry
+// severities, and the streaming evaluator's verdict vectors are
+// bit-identical to materialized calibrate() over the whole scenario grid
+// in both builder modes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/calibration.hpp"
+#include "core/stream_analysis.hpp"
+#include "netsim/tampering_scenarios.hpp"
+#include "trace/record_source.hpp"
+
+namespace tcpanaly::core {
+namespace {
+
+TEST(CalibrationRegistry, StableUniqueIds) {
+  const auto& registry = calibration_registry();
+  ASSERT_FALSE(registry.empty());
+  std::set<std::string> ids;
+  for (const auto& det : registry) {
+    ASSERT_NE(det.id, nullptr);
+    EXPECT_TRUE(ids.insert(det.id).second) << "duplicate id " << det.id;
+    EXPECT_NE(std::string(det.id), "");
+    EXPECT_NE(std::string(det.title), "");
+    EXPECT_NE(std::string(det.reference), "");
+    // IDs lead with the governing source: the paper section for the
+    // filter-error classes, TAMPER- for the middlebox threat model.
+    const std::string id = det.id;
+    EXPECT_TRUE(id.rfind("SEC3.", 0) == 0 || id.rfind("TAMPER-", 0) == 0) << id;
+    EXPECT_NE(std::string(to_string(det.severity)), "");
+    EXPECT_EQ(find_calibration_detector(det.id), &det);
+  }
+  EXPECT_EQ(find_calibration_detector("no-such-detector"), nullptr);
+}
+
+TEST(CalibrationRegistry, SeveritiesSpanFilterErrorsAndTampering) {
+  std::map<CalSeverity, int> by_severity;
+  for (const auto& det : calibration_registry()) ++by_severity[det.severity];
+  EXPECT_GT(by_severity[CalSeverity::kUntrustworthyOrder], 0);
+  EXPECT_GT(by_severity[CalSeverity::kUntrustworthyClock], 0);
+  EXPECT_GT(by_severity[CalSeverity::kMissingRecords], 0);
+  EXPECT_GT(by_severity[CalSeverity::kTampering], 0);
+}
+
+TEST(CalibrationRegistry, ScenarioMatrixCoversEveryDetector) {
+  // id -> (violating count, clean count)
+  std::map<std::string, std::pair<int, int>> coverage;
+  for (const auto& s : sim::tampering_scenarios()) {
+    ASSERT_NE(find_calibration_detector(s.detector_id), nullptr)
+        << s.name << " targets unregistered detector " << s.detector_id;
+    auto& [violating, clean] = coverage[s.detector_id];
+    (s.trips ? violating : clean) += 1;
+  }
+  for (const auto& det : calibration_registry()) {
+    const auto it = coverage.find(det.id);
+    ASSERT_NE(it, coverage.end()) << "no scenario for " << det.id;
+    EXPECT_GE(it->second.first, 1) << "no violating scenario for " << det.id;
+    EXPECT_GE(it->second.second, 1) << "no clean scenario for " << det.id;
+  }
+}
+
+TEST(CalibrationRegistry, ReportsAlwaysCoverTheWholeRegistryInOrder) {
+  for (const auto& s : sim::tampering_scenarios()) {
+    const CalibrationReport rep = calibrate(sim::make_tampering_trace(s));
+    const auto& registry = calibration_registry();
+    ASSERT_EQ(rep.detectors.size(), registry.size()) << s.name;
+    for (std::size_t i = 0; i < registry.size(); ++i)
+      EXPECT_EQ(rep.detectors[i].detector, &registry[i]) << s.name;
+  }
+}
+
+TEST(CalibrationRegistry, ViolationScenariosFailExactlyTheirDetector) {
+  for (const auto& s : sim::tampering_scenarios()) {
+    if (!s.trips) continue;
+    const CalibrationReport rep = calibrate(sim::make_tampering_trace(s));
+    for (const auto& r : rep.detectors) {
+      if (std::string(r.detector->id) == s.detector_id)
+        EXPECT_EQ(r.verdict, Verdict::kFail)
+            << s.name << ": " << r.detector->id << "\n" << rep.summary();
+      else
+        EXPECT_NE(r.verdict, Verdict::kFail)
+            << s.name << " also fails " << r.detector->id << "\n"
+            << rep.summary();
+    }
+    // Any failing detector poisons the trace, tampering included -- the
+    // trustworthy() derivation runs off the registry severities.
+    EXPECT_FALSE(rep.trustworthy()) << s.name;
+  }
+}
+
+TEST(CalibrationRegistry, CleanScenariosExerciseAndPassTheirDetector) {
+  for (const auto& s : sim::tampering_scenarios()) {
+    if (s.trips) continue;
+    const CalibrationReport rep = calibrate(sim::make_tampering_trace(s));
+    EXPECT_TRUE(rep.trustworthy()) << s.name << "\n" << rep.summary();
+    const CalDetectorResult* target = rep.find(s.detector_id);
+    ASSERT_NE(target, nullptr) << s.name;
+    // Clean means judged-and-passed, not silent: the scenario must carry
+    // the signal (a genuine RST, a locked TTL baseline, a faithful
+    // retransmission...) its detector needs to say PASS.
+    EXPECT_EQ(target->verdict, Verdict::kPass) << s.name << "\n" << rep.summary();
+  }
+}
+
+/// Streaming (kFull and kBounded) verdict vectors must match materialized
+/// calibrate() over every scenario trace. These traces are small enough
+/// that bounded mode never evicts, so exactness must hold everywhere; the
+/// duplication-violating scenarios are the one place streaming reports
+/// from the unstripped stream and flags needs_materialized_rerun.
+TEST(CalibrationRegistry, StreamingVerdictsMatchMaterializedCalibrate) {
+  for (const auto& s : sim::tampering_scenarios()) {
+    const trace::Trace tr = sim::make_tampering_trace(s);
+    const CalibrationReport offline = calibrate(tr);
+    for (const auto mode :
+         {AnnotationBuilder::Mode::kFull, AnnotationBuilder::Mode::kBounded}) {
+      AnnotationBuilder::Options bopts;
+      bopts.mode = mode;
+      bopts.local_is_sender = !s.receiver_vantage;
+      AnnotationBuilder builder(std::move(bopts));
+      trace::InMemorySource source(tr);
+      while (auto rec = source.next()) builder.add(*rec);
+      const StreamSummary summary = builder.finish_summary();
+      // The one-pass summary must agree with every offline detector run on
+      // the drained trace (this internally re-finalizes the registry
+      // vector and compares verdict by verdict).
+      EXPECT_EQ(diff_stream_summary(summary, tr), "") << s.name;
+      EXPECT_TRUE(summary.duplication_is_exact) << s.name;
+      ASSERT_EQ(summary.calibration.detectors.size(), offline.detectors.size())
+          << s.name;
+      // The target detector's verdict must survive the stream/materialize
+      // split even when duplicates get stripped in the materialized pass.
+      const CalDetectorResult* streamed = summary.calibration.find(s.detector_id);
+      const CalDetectorResult* mat = offline.find(s.detector_id);
+      ASSERT_NE(streamed, nullptr) << s.name;
+      ASSERT_NE(mat, nullptr) << s.name;
+      EXPECT_EQ(streamed->verdict, mat->verdict) << s.name;
+      if (!summary.needs_materialized_rerun) {
+        for (std::size_t i = 0; i < offline.detectors.size(); ++i) {
+          EXPECT_EQ(summary.calibration.detectors[i].verdict,
+                    offline.detectors[i].verdict)
+              << s.name << " " << offline.detectors[i].detector->id;
+          EXPECT_EQ(summary.calibration.detectors[i].evidence,
+                    offline.detectors[i].evidence)
+              << s.name << " " << offline.detectors[i].detector->id;
+        }
+      }
+    }
+  }
+}
+
+/// Bounded mode must surrender (not guess) when the payload-digest window
+/// evicts state a verdict would have needed: the inconsistent-retx verdict
+/// becomes kNotExercised carrying the eviction sentinel.
+TEST(CalibrationRegistry, BoundedRetxEvictionSurrendersVerdict) {
+  CalibrationEvaluator::Config cfg;
+  cfg.bounded = true;
+  cfg.tampering.digest_window = 2;
+  CalibrationEvaluator eval(std::move(cfg));
+  auto data = [](std::int64_t us, std::uint32_t seq, std::uint64_t digest) {
+    trace::PacketRecord rec;
+    rec.timestamp = util::TimePoint(us);
+    rec.src = {0x0a000001, 1000};
+    rec.dst = {0x0a000002, 2000};
+    rec.tcp.seq = seq;
+    rec.tcp.ack = 1;
+    rec.tcp.flags.ack = true;
+    rec.tcp.payload_len = 100;
+    rec.ttl = 64;
+    rec.payload_digest = digest;
+    rec.payload_digest_known = true;
+    return rec;
+  };
+  // Three distinct keys overflow the 2-entry window (evicting seq=1000),
+  // then a mangled "retransmission" of the evicted key arrives.
+  eval.add(data(1'000'000, 1000, 0xAA), true);
+  eval.add(data(2'000'000, 1100, 0xBB), true);
+  eval.add(data(3'000'000, 1200, 0xCC), true);
+  eval.add(data(4'000'000, 1000, 0xFF), true);
+  const auto res = eval.finish();
+  EXPECT_TRUE(res.report.tampering.retx_window_evicted);
+  const CalDetectorResult* retx = res.report.find("TAMPER-inconsistent-retx");
+  ASSERT_NE(retx, nullptr);
+  EXPECT_EQ(retx->verdict, Verdict::kNotExercised);
+  EXPECT_EQ(retx->evidence, kCalibrationEvictedEvidence);
+}
+
+}  // namespace
+}  // namespace tcpanaly::core

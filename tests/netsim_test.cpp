@@ -288,7 +288,7 @@ TEST(FilterTap, RecordsOutboundAtHandoff) {
   loop.run();
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].timestamp, TimePoint(1000));  // BPF hooks before the queue
-  EXPECT_EQ(*out[0].truth_wire_time, TimePoint(3000));
+  EXPECT_EQ(out[0].truth_wire_time, TimePoint(3000));
 }
 
 TEST(FilterTap, IrixModeRecordsTwice) {
@@ -356,7 +356,7 @@ TEST(FilterTap, ClockShapesTimestamps) {
   loop.run();
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].timestamp, TimePoint(3000));
-  EXPECT_EQ(*out[0].truth_wire_time, TimePoint(1000));  // truth unaffected
+  EXPECT_EQ(out[0].truth_wire_time, TimePoint(1000));  // truth unaffected
 }
 
 TEST(FilterTap, HeaderSnapLosesChecksums) {

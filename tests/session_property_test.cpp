@@ -109,11 +109,11 @@ TEST(SessionProperties, GroundTruthWireTimesPrecedeOrEqualRecords) {
   cfg.receiver_profile = cfg.sender_profile;
   auto r = tcp::run_session(cfg);
   for (const auto& rec : r.sender_trace.records()) {
-    ASSERT_TRUE(rec.truth_wire_time.has_value());
+    ASSERT_TRUE(rec.truth_wire_time_known);
     if (r.sender_trace.is_from_local(rec)) {
-      EXPECT_LE(rec.timestamp, *rec.truth_wire_time);
+      EXPECT_LE(rec.timestamp, rec.truth_wire_time);
     } else {
-      EXPECT_EQ(rec.timestamp, *rec.truth_wire_time);
+      EXPECT_EQ(rec.timestamp, rec.truth_wire_time);
     }
   }
 }

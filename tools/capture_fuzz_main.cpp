@@ -15,8 +15,10 @@
 //
 //   capture_fuzz --fault-inject [--seed S]
 //       Apply the paper's section 3 filter-error taxonomy (drops,
-//       additions, resequencing, time travel) to a written capture and
-//       assert the corresponding core::calibrate detector fires.
+//       additions, resequencing, time travel) plus the middlebox-tampering
+//       classes (forged RST, TTL-anomalous injection, payload-mangled
+//       retransmission) to a written capture and assert the corresponding
+//       registered calibration detector fires.
 //
 //   capture_fuzz --write-regressions DIR
 //       Emit the hand-built reproducers for the historical parser bugs
@@ -275,8 +277,37 @@ int fault_inject(std::uint64_t seed) {
           std::to_string(warp_cal.time_travel.instances.size()) + " instances")
              .c_str());
 
-  // Control: the unmangled capture must calibrate clean, or the positives
-  // above mean nothing.
+  // The tampering mutators assert against the registry verdict vector, not
+  // just the component report: the detector must both fire AND be wired
+  // into the flow's per-detector verdicts under its stable ID.
+  auto fails = [](const tcpanaly::core::CalibrationReport& cal, const char* id) {
+    const auto* r = cal.find(id);
+    return r && r->verdict == tcpanaly::core::Verdict::kFail;
+  };
+
+  const auto forged = tcpanaly::fuzz::inject_forged_rst(base, rng, &sum);
+  const auto rst_cal = calibrate(read_back(forged));
+  report("forged-rst", fails(rst_cal, "TAMPER-forged-rst"),
+         (std::to_string(sum.forged_rsts) + " forged, " +
+          std::to_string(rst_cal.tampering.forged_rsts.size()) + " flagged")
+             .c_str());
+
+  const auto ttl = tcpanaly::fuzz::inject_ttl_anomaly(base, rng, &sum);
+  const auto ttl_cal = calibrate(read_back(ttl));
+  report("ttl-inject", fails(ttl_cal, "TAMPER-ttl-ipid-inject"),
+         (std::to_string(sum.ttl_anomalies) + " injected, " +
+          std::to_string(ttl_cal.tampering.ttl_anomalies.size()) + " flagged")
+             .c_str());
+
+  const auto mangled = tcpanaly::fuzz::inject_payload_mangle(base, rng, &sum);
+  const auto retx_cal = calibrate(read_back(mangled));
+  report("mangled-retx", fails(retx_cal, "TAMPER-inconsistent-retx"),
+         (std::to_string(sum.payload_mangles) + " mangled, " +
+          std::to_string(retx_cal.tampering.inconsistent_retx.size()) + " flagged")
+             .c_str());
+
+  // Control: the unmangled capture must calibrate clean -- every registry
+  // detector PASS or not-exercised -- or the positives above mean nothing.
   const auto clean_cal = calibrate(read_back(base));
   report("control-clean", clean_cal.trustworthy(), "unmangled capture trustworthy");
 

@@ -28,6 +28,7 @@
 #include "corpus/corpus.hpp"
 #include "corpus/naming.hpp"
 #include "netsim/conformance_scenarios.hpp"
+#include "netsim/tampering_scenarios.hpp"
 #include "report/report.hpp"
 #include "tcp/profiles.hpp"
 #include "trace/pcap_io.hpp"
@@ -131,6 +132,29 @@ int main(int argc, char** argv) {
       e.set("vantage", role);
       e.set("conformance_scenario", s.name);
       if (s.violate) e.set("violates", s.requirement_id);
+      e.set("completed", true);
+      traces.push_back(std::move(e));
+      ++files;
+    }
+  }
+
+  if (!skip_conformance) {
+    // Calibration scenario set: for every detector in the calibration
+    // registry, one scripted trace that trips exactly that detector and
+    // one that exercises it and stays clean (cal_*/tamper_*.pcap). Their
+    // manifest entries carry `calibration_scenario` (the targeted
+    // detector ID) and `trips`, so the tier-1 tampering leg keys off the
+    // manifest instead of parsing file names.
+    for (const auto& s : sim::tampering_scenarios()) {
+      const char* role = s.receiver_vantage ? "rcv" : "snd";
+      const std::string path = out_dir + "/" + s.name + "_" + role + ".pcap";
+      trace::write_pcap_file(path, sim::make_tampering_trace(s));
+      manifest << path << '\t' << role << '\t' << s.name << "\t0\t0\t0\t0\t1\n";
+      report::Json e = report::Json::object();
+      e.set("file", path);
+      e.set("vantage", role);
+      e.set("calibration_scenario", s.detector_id);
+      e.set("trips", s.trips);
       e.set("completed", true);
       traces.push_back(std::move(e));
       ++files;

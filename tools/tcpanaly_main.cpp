@@ -56,6 +56,10 @@
 //                        MUST requirement (=should also counts SHOULD
 //                        failures); composes with --keep-going, which only
 //                        forgives load failures
+//   --fail-on-untrustworthy
+//                        with --batch: exit 5 when any flow's calibration
+//                        verdict is untrustworthy (filter artifacts or
+//                        middlebox tampering); composes with --keep-going
 //   --calibrate-only     stop after the measurement-error report
 //   --seqplot            print an ASCII time-sequence plot of the trace
 //   --report <name>      print the detailed report for one candidate
@@ -85,6 +89,7 @@
 #include "core/receiver_analyzer.hpp"
 #include "core/sender_analyzer.hpp"
 #include "core/summary.hpp"
+#include "corpus/calibration_rollup.hpp"
 #include "corpus/conformance_rollup.hpp"
 #include "corpus/naming.hpp"
 #include "corpus/scan.hpp"
@@ -184,6 +189,7 @@ enum class FailOn { kNone, kMust, kShould };
 int run_batch(const std::string& dir, bool receiver_flag,
               const std::vector<tcp::TcpProfile>& candidates, int jobs, bool recursive,
               std::uint64_t max_rss_mb, bool keep_going, FailOn fail_on,
+              bool fail_on_untrustworthy,
               const core::ConformanceOptions& conformance, const JsonSink& json) {
   namespace fs = std::filesystem;
   report::BatchAggregate agg;
@@ -256,10 +262,14 @@ int run_batch(const std::string& dir, bool receiver_flag,
                          "fit", "penalty", "truth", "error"});
   std::size_t failed = 0, with_truth = 0, identified = 0, confused = 0;
   corpus::ConformanceRollup rollup;
+  corpus::CalibrationRollup cal_rollup;
   for (const auto& row : rows) {
-    for (const auto& fr : row.flow_rows)
+    for (const auto& fr : row.flow_rows) {
       if (fr.conformance)
         rollup.add(!fr.truth.empty() ? fr.truth : fr.best_name, *fr.conformance);
+      if (fr.calibration)
+        cal_rollup.add(!fr.truth.empty() ? fr.truth : fr.best_name, *fr.calibration);
+    }
     const report::BatchTraceRecord& rec = row.trace;
     if (row.failed()) {
       ++failed;
@@ -320,6 +330,15 @@ int run_batch(const std::string& dir, bool receiver_flag,
                 (unsigned long long)agg.conformance.should_failures,
                 rollup.render().c_str());
   }
+  agg.calibration = cal_rollup.totals();
+  if (!json.owns_stdout() && !cal_rollup.empty()) {
+    std::printf("\n== calibration matrix (%llu flow(s): %llu untrustworthy, "
+                "%llu tampering failure(s)) ==\n%s",
+                (unsigned long long)agg.calibration.flows,
+                (unsigned long long)agg.calibration.untrustworthy,
+                (unsigned long long)agg.calibration.tampering_failures,
+                cal_rollup.render().c_str());
+  }
 
   if (json.enabled) {
     // NDJSON: per file, one compact "flow" row per finalized connection
@@ -362,6 +381,18 @@ int run_batch(const std::string& dir, bool receiver_flag,
                    (unsigned long long)agg.conformance.should_failures);
       return 4;
     }
+  }
+  // --fail-on-untrustworthy does the same for calibration: any flow whose
+  // trace the registry deems untrustworthy (or tampered-with) fails the
+  // run with a distinct exit code.
+  if (fail_on_untrustworthy && agg.calibration.untrustworthy > 0) {
+    std::fprintf(stderr,
+                 "--fail-on-untrustworthy: %llu of %llu flow(s) untrustworthy "
+                 "(%llu tampering failure(s))\n",
+                 (unsigned long long)agg.calibration.untrustworthy,
+                 (unsigned long long)agg.calibration.flows,
+                 (unsigned long long)agg.calibration.tampering_failures);
+    return 5;
   }
   // Any capture that failed to load fails the run -- CI must notice a
   // corrupt corpus -- unless --keep-going says partial results are fine.
@@ -424,6 +455,7 @@ int usage(const char* argv0) {
                "          [--pair other.pcap] [--list] [--version] <trace.pcap>\n"
                "       %s --batch <dir> [--jobs N] [--recursive] [--max-rss-mb N]\n"
                "          [--keep-going] [--fail-on-nonconformant[=must|should]]\n"
+               "          [--fail-on-untrustworthy]\n"
                "          [--conformance-slack-ms N] [--receiver] [--candidates a,b,c]\n"
                "          [--json[=FILE]]\n",
                argv0, argv0);
@@ -582,6 +614,7 @@ int main(int argc, char** argv) {
   bool recursive = false;
   bool keep_going = false;
   FailOn fail_on = FailOn::kNone;
+  bool fail_on_untrustworthy = false;
   std::uint64_t max_rss_mb = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -608,6 +641,8 @@ int main(int argc, char** argv) {
       fail_on = FailOn::kMust;
     } else if (arg == "--fail-on-nonconformant=should") {
       fail_on = FailOn::kShould;
+    } else if (arg == "--fail-on-untrustworthy") {
+      fail_on_untrustworthy = true;
     } else if (arg == "--seqplot") {
       o.seqplot = true;
     } else if (arg == "--json") {
@@ -653,6 +688,7 @@ int main(int argc, char** argv) {
 
   if (!batch_dir.empty())
     return run_batch(batch_dir, o.receiver_side, candidates, jobs, recursive, max_rss_mb,
-                     keep_going, fail_on, o.conformance_opts, o.json);
+                     keep_going, fail_on, fail_on_untrustworthy, o.conformance_opts,
+                     o.json);
   return run_single(o, candidates);
 }
